@@ -1,0 +1,420 @@
+//! Concrete attack strategies.
+//!
+//! Every attack implements [`Attack`]: given the number of Byzantine users
+//! and the LDP mechanism in force, it emits the poison *reports* the
+//! collector receives. Direct (general-manipulation) attacks place values
+//! straight into the mechanism's output domain; the input-manipulation
+//! attack routes a poison input through the honest mechanism instead.
+
+use dap_estimation::sampling;
+use dap_ldp::NumericMechanism;
+use rand::RngCore;
+
+/// A Byzantine attack strategy (Definition 2: any map from the Byzantine
+/// coalition to reports inside the perturbation output domain).
+pub trait Attack {
+    /// Generates `m` poison reports.
+    fn reports(&self, m: usize, mech: &dyn NumericMechanism, rng: &mut dyn RngCore) -> Vec<f64>;
+
+    /// Short human-readable label used by the experiment harness.
+    fn label(&self) -> String;
+}
+
+/// A point of the poison range, resolved against the mechanism in force.
+///
+/// DAP assigns different budgets (hence different output domains `[DL, DR]`)
+/// to different groups, and a coordinated coalition scales its poison range
+/// with each group's domain — `Poi[C/2, C]` means the top half of *that
+/// group's* `[0, C]`. Anchors express the paper's range specs
+/// mechanism-relatively.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Anchor {
+    /// An absolute output value.
+    Abs(f64),
+    /// `frac · DR` — fractions of the upper output bound (the paper's
+    /// `C`-relative ranges for PM, e.g. `Anchor::OfUpper(0.75)` = `3C/4`).
+    OfUpper(f64),
+    /// `frac · |DL|` mirrored to the left: resolves to `frac · DL`
+    /// (e.g. `OfLower(0.5)` = `−C/2` for PM).
+    OfLower(f64),
+    /// `input_hi + frac·(DR − input_hi)` — fractions of the inflated band
+    /// above the input domain (the Square-Wave spec `[1 + b/2, 1 + b]` is
+    /// `AboveInputMax(0.5)..AboveInputMax(1.0)`).
+    AboveInputMax(f64),
+}
+
+impl Anchor {
+    /// Resolves the anchor to a concrete output value for `mech`.
+    pub fn resolve(self, mech: &dyn NumericMechanism) -> f64 {
+        let (dl, dr) = mech.output_range();
+        match self {
+            Anchor::Abs(v) => v,
+            Anchor::OfUpper(f) => f * dr,
+            Anchor::OfLower(f) => f * dl,
+            Anchor::AboveInputMax(f) => {
+                let (_, ihi) = mech.input_range();
+                ihi + f * (dr - ihi)
+            }
+        }
+    }
+}
+
+fn resolve_range(lo: Anchor, hi: Anchor, mech: &dyn NumericMechanism) -> (f64, f64) {
+    let (lo, hi) = (lo.resolve(mech), hi.resolve(mech));
+    let (dl, dr) = mech.output_range();
+    assert!(
+        lo < hi && lo >= dl - 1e-9 && hi <= dr + 1e-9,
+        "poison range [{lo}, {hi}] outside output domain [{dl}, {dr}]"
+    );
+    (lo, hi)
+}
+
+/// No attack — used for the γ = 0 false-positive experiments (Fig. 5c).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoAttack;
+
+impl Attack for NoAttack {
+    fn reports(&self, _m: usize, _mech: &dyn NumericMechanism, _rng: &mut dyn RngCore) -> Vec<f64> {
+        Vec::new()
+    }
+
+    fn label(&self) -> String {
+        "none".into()
+    }
+}
+
+/// Poison values uniform on the resolved range — the paper's default attack
+/// (`Poi[rl, rr]` in every figure).
+#[derive(Debug, Clone, Copy)]
+pub struct UniformAttack {
+    /// Lower end of the poison range.
+    pub lo: Anchor,
+    /// Upper end of the poison range.
+    pub hi: Anchor,
+}
+
+impl UniformAttack {
+    /// Uniform attack between two anchors.
+    pub fn new(lo: Anchor, hi: Anchor) -> Self {
+        UniformAttack { lo, hi }
+    }
+
+    /// Uniform attack on an absolute range `[lo, hi]`.
+    pub fn absolute(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "empty poison range [{lo}, {hi}]");
+        UniformAttack { lo: Anchor::Abs(lo), hi: Anchor::Abs(hi) }
+    }
+
+    /// The paper's `Poi[a·C, b·C]` spec (right-side, PM-style).
+    pub fn of_upper(a: f64, b: f64) -> Self {
+        assert!(a < b, "empty poison range");
+        UniformAttack { lo: Anchor::OfUpper(a), hi: Anchor::OfUpper(b) }
+    }
+}
+
+impl Attack for UniformAttack {
+    fn reports(&self, m: usize, mech: &dyn NumericMechanism, rng: &mut dyn RngCore) -> Vec<f64> {
+        let (lo, hi) = resolve_range(self.lo, self.hi, mech);
+        use rand::Rng;
+        (0..m).map(|_| rng.gen_range(lo..=hi)).collect()
+    }
+
+    fn label(&self) -> String {
+        format!("uniform[{:?},{:?}]", self.lo, self.hi)
+    }
+}
+
+/// Poison values from a truncated Gaussian centred in the poison range
+/// (Fig. 7c, d).
+#[derive(Debug, Clone, Copy)]
+pub struct GaussianAttack {
+    /// Lower end of the poison range.
+    pub lo: Anchor,
+    /// Upper end of the poison range.
+    pub hi: Anchor,
+}
+
+impl GaussianAttack {
+    /// Truncated Gaussian attack between two anchors, with μ at the range
+    /// midpoint and σ a sixth of the range width.
+    pub fn new(lo: Anchor, hi: Anchor) -> Self {
+        GaussianAttack { lo, hi }
+    }
+}
+
+impl Attack for GaussianAttack {
+    fn reports(&self, m: usize, mech: &dyn NumericMechanism, rng: &mut dyn RngCore) -> Vec<f64> {
+        let (lo, hi) = resolve_range(self.lo, self.hi, mech);
+        let mu = (lo + hi) / 2.0;
+        let sigma = (hi - lo) / 6.0;
+        (0..m).map(|_| sampling::truncated_normal(mu, sigma, lo, hi, rng)).collect()
+    }
+
+    fn label(&self) -> String {
+        format!("gaussian[{:?},{:?}]", self.lo, self.hi)
+    }
+}
+
+/// Poison values Beta(α, β)-shaped, rescaled into the poison range
+/// (Beta(1,6) and Beta(6,1) in Fig. 7c, d).
+#[derive(Debug, Clone, Copy)]
+pub struct BetaShapedAttack {
+    /// Beta α parameter.
+    pub alpha: f64,
+    /// Beta β parameter.
+    pub beta: f64,
+    /// Lower end of the poison range.
+    pub lo: Anchor,
+    /// Upper end of the poison range.
+    pub hi: Anchor,
+}
+
+impl BetaShapedAttack {
+    /// Beta(α, β) attack rescaled onto the anchored range.
+    pub fn new(alpha: f64, beta: f64, lo: Anchor, hi: Anchor) -> Self {
+        assert!(alpha > 0.0 && beta > 0.0, "invalid beta parameters");
+        BetaShapedAttack { alpha, beta, lo, hi }
+    }
+}
+
+impl Attack for BetaShapedAttack {
+    fn reports(&self, m: usize, mech: &dyn NumericMechanism, rng: &mut dyn RngCore) -> Vec<f64> {
+        let (lo, hi) = resolve_range(self.lo, self.hi, mech);
+        (0..m)
+            .map(|_| lo + (hi - lo) * sampling::beta(self.alpha, self.beta, rng))
+            .collect()
+    }
+
+    fn label(&self) -> String {
+        format!("beta({},{})[{:?},{:?}]", self.alpha, self.beta, self.lo, self.hi)
+    }
+}
+
+/// All poison reports at a single point — the long-tail / maximum-gain attack
+/// (`Anchor::OfUpper(1.0)` = all at `C` maximizes deviation, Eq. 18).
+#[derive(Debug, Clone, Copy)]
+pub struct PointAttack {
+    /// The injected report location.
+    pub value: Anchor,
+}
+
+impl Attack for PointAttack {
+    fn reports(&self, m: usize, mech: &dyn NumericMechanism, _rng: &mut dyn RngCore) -> Vec<f64> {
+        let v = self.value.resolve(mech);
+        let (dl, dr) = mech.output_range();
+        assert!(
+            (dl - 1e-9..=dr + 1e-9).contains(&v),
+            "point {v} outside output domain [{dl}, {dr}]"
+        );
+        vec![v; m]
+    }
+
+    fn label(&self) -> String {
+        format!("point[{:?}]", self.value)
+    }
+}
+
+/// Input manipulation attack: every Byzantine user submits the poison input
+/// `g` through the *honest* mechanism, making reports statistically
+/// indistinguishable from an honest user holding `g` (Fig. 5d, Fig. 9b).
+#[derive(Debug, Clone, Copy)]
+pub struct InputManipulationAttack {
+    /// The fabricated input value in the mechanism's input domain.
+    pub g: f64,
+}
+
+impl Attack for InputManipulationAttack {
+    fn reports(&self, m: usize, mech: &dyn NumericMechanism, rng: &mut dyn RngCore) -> Vec<f64> {
+        let (lo, hi) = mech.input_range();
+        assert!(
+            (lo..=hi).contains(&self.g),
+            "IMA input {} outside input domain [{lo}, {hi}]",
+            self.g
+        );
+        (0..m).map(|_| mech.perturb(self.g, rng)).collect()
+    }
+
+    fn label(&self) -> String {
+        format!("ima[g={:.2}]", self.g)
+    }
+}
+
+/// Evasion attack of §V-D: fraction `a` of the coalition posts decoy reports
+/// at `evasive_value` on the opposite side, the rest runs the `true_attack`.
+pub struct EvasionAttack<A> {
+    /// Fraction of Byzantine users posting decoys, in `[0, 1]`.
+    pub a: f64,
+    /// Location of the decoy reports (the paper uses `−C/2`, i.e.
+    /// `Anchor::OfLower(0.5)`).
+    pub evasive_value: Anchor,
+    /// The genuine one-sided attack.
+    pub true_attack: A,
+}
+
+impl<A: Attack> EvasionAttack<A> {
+    /// Builds an evasion attack; `a` must be in `[0, 1]`.
+    pub fn new(a: f64, evasive_value: Anchor, true_attack: A) -> Self {
+        assert!((0.0..=1.0).contains(&a), "evasive fraction {a} outside [0, 1]");
+        EvasionAttack { a, evasive_value, true_attack }
+    }
+
+    /// The paper's utility bound Eq. 20: the minimum utility loss
+    /// `U_max − U_eva = m·a·(C − O')/(m + n)` the attacker pays for the
+    /// decoys.
+    pub fn utility_loss_bound(&self, m: usize, n: usize, c: f64, o_prime: f64) -> f64 {
+        m as f64 * self.a * (c - o_prime) / (m + n) as f64
+    }
+}
+
+impl<A: Attack> Attack for EvasionAttack<A> {
+    fn reports(&self, m: usize, mech: &dyn NumericMechanism, rng: &mut dyn RngCore) -> Vec<f64> {
+        let decoys = (self.a * m as f64).round() as usize;
+        let decoys = decoys.min(m);
+        let decoy_value = self.evasive_value.resolve(mech);
+        let (dl, dr) = mech.output_range();
+        assert!(
+            (dl - 1e-9..=dr + 1e-9).contains(&decoy_value),
+            "evasive value outside output domain"
+        );
+        let mut reports = self.true_attack.reports(m - decoys, mech, rng);
+        reports.extend(std::iter::repeat_n(decoy_value, decoys));
+        reports
+    }
+
+    fn label(&self) -> String {
+        format!("evasion[a={:.2}]+{}", self.a, self.true_attack.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_estimation::rng::seeded;
+    use dap_estimation::stats::mean;
+    use dap_ldp::PiecewiseMechanism;
+
+    fn mech() -> PiecewiseMechanism {
+        PiecewiseMechanism::with_epsilon(1.0).unwrap()
+    }
+
+    #[test]
+    fn no_attack_is_empty() {
+        let mut rng = seeded(0);
+        assert!(NoAttack.reports(100, &mech(), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn anchors_resolve_against_the_mechanism() {
+        let m = mech();
+        let c = m.c();
+        assert_eq!(Anchor::Abs(0.7).resolve(&m), 0.7);
+        assert!((Anchor::OfUpper(0.75).resolve(&m) - 0.75 * c).abs() < 1e-12);
+        assert!((Anchor::OfLower(0.5).resolve(&m) + 0.5 * c).abs() < 1e-12);
+        // Above input max: 1 + 0.5·(C − 1).
+        assert!((Anchor::AboveInputMax(0.5).resolve(&m) - (1.0 + 0.5 * (c - 1.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_attack_stays_in_range() {
+        let m = mech();
+        let c = m.c();
+        let mut rng = seeded(1);
+        let reports = UniformAttack::of_upper(0.5, 1.0).reports(10_000, &m, &mut rng);
+        assert_eq!(reports.len(), 10_000);
+        assert!(reports.iter().all(|&v| v >= c / 2.0 && v <= c));
+        // Mean near 3C/4.
+        assert!((mean(&reports) - 0.75 * c).abs() < 0.05 * c);
+    }
+
+    #[test]
+    fn uniform_attack_rescales_across_budgets() {
+        // The same spec Poi[C/2, C] resolves to different absolute ranges
+        // for different group budgets — the coordinated-coalition model.
+        let strong = PiecewiseMechanism::with_epsilon(0.25).unwrap();
+        let weak = PiecewiseMechanism::with_epsilon(2.0).unwrap();
+        let atk = UniformAttack::of_upper(0.5, 1.0);
+        let mut rng = seeded(8);
+        let r_strong = atk.reports(1000, &strong, &mut rng);
+        let r_weak = atk.reports(1000, &weak, &mut rng);
+        assert!(mean(&r_strong) > 2.0 * mean(&r_weak));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside output domain")]
+    fn uniform_attack_rejects_out_of_domain_range() {
+        let m = mech();
+        let mut rng = seeded(2);
+        UniformAttack::absolute(0.0, m.c() * 2.0).reports(10, &m, &mut rng);
+    }
+
+    #[test]
+    fn gaussian_attack_concentrates_at_midpoint() {
+        let m = mech();
+        let c = m.c();
+        let mut rng = seeded(3);
+        let reports = GaussianAttack::new(Anchor::Abs(0.0), Anchor::OfUpper(1.0))
+            .reports(20_000, &m, &mut rng);
+        assert!(reports.iter().all(|&v| (0.0..=c).contains(&v)));
+        assert!((mean(&reports) - c / 2.0).abs() < 0.05 * c);
+    }
+
+    #[test]
+    fn beta_attacks_skew_correctly() {
+        let m = mech();
+        let c = m.c();
+        let mut rng = seeded(4);
+        let low = BetaShapedAttack::new(1.0, 6.0, Anchor::Abs(0.0), Anchor::OfUpper(1.0))
+            .reports(10_000, &m, &mut rng);
+        let high = BetaShapedAttack::new(6.0, 1.0, Anchor::Abs(0.0), Anchor::OfUpper(1.0))
+            .reports(10_000, &m, &mut rng);
+        assert!(mean(&low) < 0.25 * c);
+        assert!(mean(&high) > 0.75 * c);
+    }
+
+    #[test]
+    fn point_attack_is_constant() {
+        let m = mech();
+        let mut rng = seeded(5);
+        let reports = PointAttack { value: Anchor::OfUpper(1.0) }.reports(5, &m, &mut rng);
+        assert_eq!(reports, vec![m.c(); 5]);
+    }
+
+    #[test]
+    fn ima_reports_look_like_perturbed_values() {
+        let m = mech();
+        let mut rng = seeded(6);
+        let reports = InputManipulationAttack { g: 1.0 }.reports(50_000, &m, &mut rng);
+        // Honest PM on input 1.0 is unbiased: sample mean ≈ 1.0, and values
+        // span the whole output range rather than clustering at C.
+        assert!((mean(&reports) - 1.0).abs() < 0.05);
+        assert!(reports.iter().any(|&v| v < 0.0));
+    }
+
+    #[test]
+    fn evasion_attack_splits_reports() {
+        let m = mech();
+        let c = m.c();
+        let mut rng = seeded(7);
+        let atk =
+            EvasionAttack::new(0.3, Anchor::OfLower(0.5), UniformAttack::of_upper(0.5, 1.0));
+        let reports = atk.reports(1000, &m, &mut rng);
+        assert_eq!(reports.len(), 1000);
+        let decoys = reports.iter().filter(|&&v| v == -c / 2.0).count();
+        assert_eq!(decoys, 300);
+    }
+
+    #[test]
+    fn evasion_utility_loss_bound_matches_eq20() {
+        let atk =
+            EvasionAttack::new(0.2, Anchor::Abs(-1.0), PointAttack { value: Anchor::Abs(1.0) });
+        let loss = atk.utility_loss_bound(250, 750, 3.0, 0.0);
+        assert!((loss - 250.0 * 0.2 * 3.0 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert!(UniformAttack::absolute(0.0, 1.0).label().contains("uniform"));
+        assert!(InputManipulationAttack { g: 0.5 }.label().contains("ima"));
+        assert!(EvasionAttack::new(0.1, Anchor::Abs(0.0), NoAttack).label().contains("evasion"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Byzantine threat models for LDP aggregation.
+//!
+//! Implements the paper's attacker taxonomy:
+//!
+//! * **GBA** — General Byzantine Attack (Definition 2): colluding users may
+//!   report *arbitrary* values in the perturbed output domain `[DL, DR]`.
+//!   Modelled by the [`Attack`] trait.
+//! * **BBA** — Biased Byzantine Attack (Definition 4): poison values
+//!   coordinated on one side of the true mean. Every GBA is mean-equivalent
+//!   to a BBA (Theorem 1); [`reduction::reduce_to_bba`] is a constructive
+//!   implementation used to validate the theorem.
+//! * **IMA** — input manipulation attack (refs. \[12\], \[38\] of the paper): Byzantine users feed a
+//!   poison *input* through the honest LDP mechanism, which disguises them
+//!   from histogram probing (Fig. 5d / Fig. 9b).
+//! * **Evasion** — a fraction `a` of decoy reports on the opposite side to
+//!   flip the poisoned-side probe (§V-D, Fig. 10).
+
+pub mod attacks;
+pub mod reduction;
+pub mod side;
+
+pub use attacks::{
+    Anchor, Attack, BetaShapedAttack, EvasionAttack, GaussianAttack, InputManipulationAttack,
+    NoAttack, PointAttack, UniformAttack,
+};
+pub use reduction::reduce_to_bba;
+pub use side::Side;

@@ -1,0 +1,152 @@
+//! Constructive GBA → BBA reduction (Theorem 1).
+//!
+//! For mean estimation only the total deviation `Σ (v' − O)` of a poison set
+//! matters (Definition 3). Theorem 1 states that any two-sided General
+//! Byzantine Attack is equivalent to a one-sided Biased Byzantine Attack.
+//! [`reduce_to_bba`] realizes the reduction by repeatedly merging one value
+//! from each side into a single value carrying their combined deviation —
+//! each merge stays inside the domain and preserves the total deviation, and
+//! removes one value, so the loop terminates with all survivors on one side.
+
+use crate::side::Side;
+
+/// Reduces a poison-value set to an equivalent one-sided (BBA) set.
+///
+/// * `poison` — the GBA report values, each in `[dl, dr]`.
+/// * `o` — the reference mean `O` deviations are measured against.
+///
+/// Returns the reduced values and the side they ended on (values exactly at
+/// `o` are dropped — they carry zero deviation). The sum of deviations is
+/// preserved exactly up to floating-point rounding.
+///
+/// ```
+/// use dap_attack::{reduce_to_bba, Side};
+///
+/// // A two-sided attack with net-positive deviation...
+/// let (reduced, side) = reduce_to_bba(&[-1.0, 2.0, 1.5], 0.0, -3.0, 3.0);
+/// // ...is equivalent to a right-sided one with the same total deviation.
+/// assert_eq!(side, Side::Right);
+/// let total: f64 = reduced.iter().sum();
+/// assert!((total - 2.5).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+/// If any value lies outside `[dl, dr]` or `o` does.
+pub fn reduce_to_bba(poison: &[f64], o: f64, dl: f64, dr: f64) -> (Vec<f64>, Side) {
+    assert!((dl..=dr).contains(&o), "reference mean {o} outside domain [{dl}, {dr}]");
+    let mut left: Vec<f64> = Vec::new();
+    let mut right: Vec<f64> = Vec::new();
+    for &v in poison {
+        assert!(
+            v >= dl - 1e-9 && v <= dr + 1e-9,
+            "poison value {v} outside domain [{dl}, {dr}]"
+        );
+        if v < o {
+            left.push(v);
+        } else if v > o {
+            right.push(v);
+        }
+        // Values equal to o contribute no deviation; drop them.
+    }
+
+    while !left.is_empty() && !right.is_empty() {
+        let l = left.pop().expect("non-empty");
+        let r = right.pop().expect("non-empty");
+        let s = (l - o) + (r - o);
+        if s < 0.0 {
+            // Merged value lands on the left: o + s ≥ l ≥ dl because r ≥ o.
+            left.push(o + s);
+        } else if s > 0.0 {
+            // Merged value lands on the right: o + s ≤ r ≤ dr because l ≤ o.
+            right.push(o + s);
+        }
+        // s == 0: both deviations cancel; drop the pair.
+    }
+
+    if right.is_empty() {
+        (left, Side::Left)
+    } else {
+        (right, Side::Right)
+    }
+}
+
+/// Total deviation `Σ (v − o)` of a value set — the GBA equivalence
+/// invariant of Definition 3.
+pub fn total_deviation(values: &[f64], o: f64) -> f64 {
+    values.iter().map(|&v| v - o).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DL: f64 = -3.0;
+    const DR: f64 = 3.0;
+
+    #[test]
+    fn preserves_total_deviation() {
+        let poison = [-2.5, -1.0, 0.5, 2.0, 2.9, -0.2];
+        let before = total_deviation(&poison, 0.0);
+        let (reduced, _) = reduce_to_bba(&poison, 0.0, DL, DR);
+        let after = total_deviation(&reduced, 0.0);
+        assert!((before - after).abs() < 1e-9, "{before} vs {after}");
+    }
+
+    #[test]
+    fn result_is_one_sided() {
+        let poison = [-2.5, -1.0, 0.5, 2.0, 2.9, -0.2];
+        let (reduced, side) = reduce_to_bba(&poison, 0.0, DL, DR);
+        match side {
+            Side::Left => assert!(reduced.iter().all(|&v| v <= 0.0)),
+            Side::Right => assert!(reduced.iter().all(|&v| v >= 0.0)),
+        }
+    }
+
+    #[test]
+    fn result_stays_in_domain() {
+        let poison = [-3.0, 3.0, -3.0, 3.0, 2.0];
+        let (reduced, _) = reduce_to_bba(&poison, 0.0, DL, DR);
+        assert!(reduced.iter().all(|&v| (DL..=DR).contains(&v)));
+    }
+
+    #[test]
+    fn already_biased_set_is_untouched_in_sum_and_side() {
+        let poison = [1.0, 2.0, 2.5];
+        let (reduced, side) = reduce_to_bba(&poison, 0.0, DL, DR);
+        assert_eq!(side, Side::Right);
+        assert!((total_deviation(&reduced, 0.0) - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cancelling_set_reduces_to_nothing() {
+        let poison = [-1.5, 1.5];
+        let (reduced, _) = reduce_to_bba(&poison, 0.0, DL, DR);
+        assert!(total_deviation(&reduced, 0.0).abs() < 1e-12);
+        assert!(reduced.is_empty());
+    }
+
+    #[test]
+    fn nonzero_reference_mean() {
+        let o = 0.5;
+        let poison = [-2.0, 1.0, 2.0, 0.4];
+        let before = total_deviation(&poison, o);
+        let (reduced, side) = reduce_to_bba(&poison, o, DL, DR);
+        assert!((total_deviation(&reduced, o) - before).abs() < 1e-9);
+        match side {
+            Side::Left => assert!(reduced.iter().all(|&v| v <= o)),
+            Side::Right => assert!(reduced.iter().all(|&v| v >= o)),
+        }
+    }
+
+    #[test]
+    fn values_at_reference_are_dropped() {
+        let (reduced, _) = reduce_to_bba(&[0.0, 0.0], 0.0, DL, DR);
+        assert!(reduced.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn rejects_out_of_domain_values() {
+        reduce_to_bba(&[10.0], 0.0, DL, DR);
+    }
+}

@@ -1,0 +1,62 @@
+//! The poisoned side of the value domain.
+
+/// Which side of the initial mean `O'` an attack biases toward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Poison values in `[DL, O']`.
+    Left,
+    /// Poison values in `[O', DR]`.
+    Right,
+}
+
+impl Side {
+    /// The opposite side.
+    #[inline]
+    pub fn flipped(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+
+    /// `+1` for right, `-1` for left — handy for symmetric formulas.
+    #[inline]
+    pub fn sign(self) -> f64 {
+        match self {
+            Side::Left => -1.0,
+            Side::Right => 1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Side {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Side::Left => write!(f, "L"),
+            Side::Right => write!(f, "R"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involutive() {
+        assert_eq!(Side::Left.flipped(), Side::Right);
+        assert_eq!(Side::Left.flipped().flipped(), Side::Left);
+    }
+
+    #[test]
+    fn signs() {
+        assert_eq!(Side::Right.sign(), 1.0);
+        assert_eq!(Side::Left.sign(), -1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Side::Left.to_string(), "L");
+        assert_eq!(Side::Right.to_string(), "R");
+    }
+}

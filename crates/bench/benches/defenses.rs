@@ -1,0 +1,47 @@
+//! Benchmarks for the baseline defenses on a poisoned 50k-report batch.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dap_attack::Attack;
+use dap_defenses::{BoxplotFilter, IsolationForest, KMeansDefense, MeanDefense, Ostrich, Trimming};
+use dap_estimation::rng::seeded;
+use dap_ldp::{NumericMechanism, PiecewiseMechanism};
+
+fn poisoned_reports(n: usize) -> Vec<f64> {
+    let mech = PiecewiseMechanism::with_epsilon(1.0).unwrap();
+    let mut rng = seeded(21);
+    use rand::Rng;
+    let mut reports: Vec<f64> = (0..(n as f64 * 0.75) as usize)
+        .map(|_| mech.perturb(rng.gen_range(-0.8..0.4), &mut rng))
+        .collect();
+    let attack = dap_attack::UniformAttack::of_upper(0.5, 1.0);
+    reports.extend(attack.reports(n - reports.len(), &mech, &mut rng));
+    reports
+}
+
+fn bench_defenses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("defenses_50k");
+    group.sample_size(10);
+    let reports = poisoned_reports(50_000);
+    group.throughput(Throughput::Elements(reports.len() as u64));
+
+    let cases: Vec<(&str, Box<dyn MeanDefense>)> = vec![
+        ("ostrich", Box::new(Ostrich)),
+        ("trimming", Box::new(Trimming::paper_default(dap_attack::Side::Right))),
+        ("boxplot", Box::new(BoxplotFilter::default())),
+        ("kmeans_2k_subsets", Box::new(KMeansDefense::new(0.01, 2_000))),
+        (
+            "iforest_50_trees",
+            Box::new(IsolationForest { trees: 50, subsample: 256, score_threshold: 0.6 }),
+        ),
+    ];
+    for (name, defense) in cases {
+        group.bench_function(name, |b| {
+            let mut rng = seeded(22);
+            b.iter(|| std::hint::black_box(defense.estimate_mean(&reports, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_defenses);
+criterion_main!(benches);

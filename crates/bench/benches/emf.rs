@@ -1,0 +1,63 @@
+//! Benchmarks for the EMF engine: one E/M iteration cost scaling with the
+//! bucket counts, and full convergence at the paper's probing budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dap_attack::Attack;
+use dap_emf::{emf, emf_star, probe_side};
+use dap_estimation::em::EmOptions;
+use dap_estimation::rng::seeded;
+use dap_estimation::{Grid, PoisonRegion, TransformMatrix};
+use dap_ldp::{NumericMechanism, PiecewiseMechanism};
+
+fn poisoned_counts(eps: f64, n: usize, d_out: usize) -> (Vec<f64>, PiecewiseMechanism) {
+    let mech = PiecewiseMechanism::with_epsilon(eps).unwrap();
+    let mut rng = seeded(11);
+    use rand::Rng;
+    let mut reports: Vec<f64> = (0..(n as f64 * 0.75) as usize)
+        .map(|_| mech.perturb(rng.gen_range(-0.8..0.4), &mut rng))
+        .collect();
+    let attack = dap_attack::UniformAttack::of_upper(0.5, 1.0);
+    reports.extend(attack.reports(n - reports.len(), &mech, &mut rng));
+    let (olo, ohi) = mech.output_range();
+    (Grid::new(olo, ohi, d_out).counts(&reports), mech)
+}
+
+fn bench_emf_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emf_converge");
+    group.sample_size(10);
+    for d_out in [64usize, 128, 256] {
+        let (counts, mech) = poisoned_counts(0.25, 50_000, d_out);
+        let d_in = (d_out / 4).max(8);
+        let matrix =
+            TransformMatrix::for_numeric(&mech, d_in, d_out, &PoisonRegion::RightOf(0.0));
+        let opts = EmOptions::paper_default(0.25);
+        group.bench_with_input(BenchmarkId::new("emf", d_out), &d_out, |b, _| {
+            b.iter(|| std::hint::black_box(emf(&matrix, &counts, &opts)))
+        });
+        group.bench_with_input(BenchmarkId::new("emf_star", d_out), &d_out, |b, _| {
+            b.iter(|| std::hint::black_box(emf_star(&matrix, &counts, 0.25, &opts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_side_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("side_probe");
+    group.sample_size(10);
+    let (counts, mech) = poisoned_counts(0.0625, 50_000, 128);
+    group.bench_function("probe_128", |b| {
+        b.iter(|| {
+            std::hint::black_box(probe_side(
+                &mech,
+                &counts,
+                16,
+                0.0,
+                &EmOptions::paper_default(0.0625),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_emf_convergence, bench_side_probe);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Microbenchmarks for the LDP mechanisms: perturbation throughput and
+//! transform-matrix construction (the per-report and per-EMF-setup costs
+//! behind every experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dap_estimation::rng::seeded;
+use dap_estimation::{PoisonRegion, TransformMatrix};
+use dap_ldp::{
+    CategoricalMechanism, Duchi, Epsilon, KRandomizedResponse, NumericMechanism,
+    PiecewiseMechanism, SquareWave,
+};
+
+fn bench_perturbation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perturb");
+    group.throughput(Throughput::Elements(1));
+    let eps = Epsilon::of(1.0);
+    let pm = PiecewiseMechanism::new(eps);
+    let sw = SquareWave::new(eps);
+    let duchi = Duchi::new(eps);
+    let krr = KRandomizedResponse::new(eps, 15).unwrap();
+
+    group.bench_function("pm", |b| {
+        let mut rng = seeded(1);
+        let mut v = -1.0;
+        b.iter(|| {
+            v = if v >= 1.0 { -1.0 } else { v + 1e-4 };
+            std::hint::black_box(pm.perturb(v, &mut rng))
+        })
+    });
+    group.bench_function("sw", |b| {
+        let mut rng = seeded(2);
+        let mut v = 0.0;
+        b.iter(|| {
+            v = if v >= 1.0 { 0.0 } else { v + 1e-4 };
+            std::hint::black_box(NumericMechanism::perturb(&sw, v, &mut rng))
+        })
+    });
+    group.bench_function("duchi", |b| {
+        let mut rng = seeded(3);
+        b.iter(|| std::hint::black_box(duchi.perturb(0.3, &mut rng)))
+    });
+    group.bench_function("krr", |b| {
+        let mut rng = seeded(4);
+        b.iter(|| std::hint::black_box(CategoricalMechanism::perturb(&krr, 7, &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_transform_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform_matrix");
+    for d_out in [64usize, 256, 1000] {
+        let d_in = (d_out as f64 * 0.25) as usize;
+        group.bench_with_input(BenchmarkId::new("pm", d_out), &d_out, |b, &d_out| {
+            let mech = PiecewiseMechanism::with_epsilon(1.0).unwrap();
+            b.iter(|| {
+                std::hint::black_box(TransformMatrix::for_numeric(
+                    &mech,
+                    d_in,
+                    d_out,
+                    &PoisonRegion::RightOf(0.0),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_perturbation, bench_transform_matrix);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! End-to-end protocol benchmarks: a full DAP run (grouping, perturbation,
+//! probing, estimation, aggregation) and the baseline protocol, at several
+//! population sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dap_attack::UniformAttack;
+use dap_core::baseline::{BaselineConfig, BaselineProtocol};
+use dap_core::{Dap, DapConfig, Population, Scheme};
+use dap_datasets::Dataset;
+use dap_estimation::rng::seeded;
+use dap_ldp::PiecewiseMechanism;
+
+fn bench_dap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dap_run");
+    group.sample_size(10);
+    for n in [5_000usize, 20_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        let mut rng = seeded(3);
+        let honest = Dataset::Taxi.generate_signed((n as f64 * 0.75) as usize, &mut rng);
+        let population = Population { honest, byzantine: n / 4 };
+        let attack = UniformAttack::of_upper(0.5, 1.0);
+        for scheme in Scheme::ALL {
+            let cfg = DapConfig { max_d_out: 128, ..DapConfig::paper_default(1.0, scheme) };
+            let dap = Dap::new(cfg, PiecewiseMechanism::new);
+            group.bench_with_input(
+                BenchmarkId::new(scheme.label(), n),
+                &n,
+                |b, _| {
+                    let mut rng = seeded(4);
+                    b.iter(|| std::hint::black_box(dap.run(&population, &attack, &mut rng)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_run");
+    group.sample_size(10);
+    let n = 20_000usize;
+    let mut rng = seeded(5);
+    let honest = Dataset::Taxi.generate_signed((n as f64 * 0.75) as usize, &mut rng);
+    let population = Population { honest, byzantine: n / 4 };
+    let attack = UniformAttack::of_upper(0.5, 1.0);
+    let cfg = BaselineConfig { max_d_out: 128, ..BaselineConfig::with_eps(1.0) };
+    let proto = BaselineProtocol::new(cfg, PiecewiseMechanism::new);
+    group.bench_function("baseline_20k", |b| {
+        let mut rng = seeded(6);
+        b.iter(|| std::hint::black_box(proto.run(&population, &attack, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dap, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p dap-bench --bin experiments -- <id> [flags]
+//!
+//! ids:    fig4 table1 fig5 fig6 fig7 fig8 fig9 fig10
+//!         ablation-weights ablation-split all
+//! flags:  --n <users>        population per trial   (default 20000)
+//!         --trials <t>       trials per cell        (default 3)
+//!         --seed <s>         master seed            (default 42)
+//!         --max-dout <d>     EMF bucket cap         (default 128)
+//!         --paper-scale      n = 1e6, max-dout = 512
+//! ```
+
+use dap_bench::common::ExpOptions;
+use dap_bench::{ablations, fig10, fig4, fig5, fig6, fig7, fig8, fig9, table1};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let id = args.first().map(String::as_str).unwrap_or("help");
+    let opts = ExpOptions::parse(&args);
+
+    if id == "help" || id == "--help" {
+        println!("usage: experiments <id> [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale]");
+        println!("ids: fig4 table1 fig5 fig6 fig7 fig8 fig9 fig10 ablation-weights ablation-split ablation-mechanism all");
+        return;
+    }
+
+    println!(
+        "# options: n = {}, trials = {}, seed = {}, max_d_out = {}\n",
+        opts.n, opts.trials, opts.seed, opts.max_d_out
+    );
+    let start = Instant::now();
+    let mut ran = false;
+    let mut run = |name: &str, f: &dyn Fn(&ExpOptions)| {
+        if id == name || id == "all" {
+            let t = Instant::now();
+            f(&opts);
+            eprintln!("[{name} done in {:.1?}]", t.elapsed());
+            ran = true;
+        }
+    };
+
+    run("fig4", &fig4::run);
+    run("table1", &table1::run);
+    run("fig5", &fig5::run);
+    run("fig6", &fig6::run);
+    run("fig7", &fig7::run);
+    run("fig8", &fig8::run);
+    run("fig9", &fig9::run);
+    run("fig10", &fig10::run);
+    run("ablation-weights", &ablations::run_weights);
+    run("ablation-split", &ablations::run_split);
+    run("ablation-mechanism", &ablations::run_mechanism);
+
+    if !ran {
+        eprintln!("unknown experiment id '{id}'; run `experiments help`");
+        std::process::exit(2);
+    }
+    eprintln!("[total {:.1?}]", start.elapsed());
+}

@@ -1,0 +1,259 @@
+//! Shared experiment infrastructure: options, poison-range specs, report
+//! simulation, and trial loops.
+
+use dap_attack::{Anchor, Attack, UniformAttack};
+use dap_core::{Population, Scheme};
+use dap_datasets::Dataset;
+use dap_estimation::rng::derive;
+use dap_estimation::stats::mean;
+use dap_ldp::{Epsilon, NumericMechanism, PiecewiseMechanism};
+use rand::RngCore;
+
+/// Global experiment options parsed from the command line.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Total population size N per trial.
+    pub n: usize,
+    /// Independent trials per configuration (MSE averages over these).
+    pub trials: usize,
+    /// Master seed; every (experiment, config, trial) derives its own
+    /// stream, so results are reproducible and order-independent.
+    pub seed: u64,
+    /// Cap on the EMF output-bucket count.
+    pub max_d_out: usize,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions { n: 20_000, trials: 3, seed: 42, max_d_out: 128 }
+    }
+}
+
+impl ExpOptions {
+    /// Parses `--n`, `--trials`, `--seed`, `--max-dout`, `--paper-scale`
+    /// from an argument list, ignoring unknown flags.
+    pub fn parse(args: &[String]) -> Self {
+        let mut opts = ExpOptions::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut grab = |target: &mut usize| {
+                if let Some(v) = it.next() {
+                    if let Ok(parsed) = v.parse::<usize>() {
+                        *target = parsed;
+                    }
+                }
+            };
+            match arg.as_str() {
+                "--n" => grab(&mut opts.n),
+                "--trials" => grab(&mut opts.trials),
+                "--max-dout" => grab(&mut opts.max_d_out),
+                "--seed" => {
+                    if let Some(v) = it.next() {
+                        if let Ok(parsed) = v.parse::<u64>() {
+                            opts.seed = parsed;
+                        }
+                    }
+                }
+                "--paper-scale" => {
+                    opts.n = 1_000_000;
+                    opts.max_d_out = 512;
+                }
+                _ => {}
+            }
+        }
+        opts
+    }
+}
+
+/// The paper's four poison ranges over `[O', C]` (right side, `O' = 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoiRange {
+    /// `Poi[3C/4, C]`.
+    TopQuarter,
+    /// `Poi[C/2, C]`.
+    TopHalf,
+    /// `Poi[O, C/2]`.
+    LowerHalf,
+    /// `Poi[O, C]`.
+    Full,
+}
+
+impl PoiRange {
+    /// All four, in Fig. 6's order.
+    pub const ALL: [PoiRange; 4] =
+        [PoiRange::TopQuarter, PoiRange::TopHalf, PoiRange::LowerHalf, PoiRange::Full];
+
+    /// The paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PoiRange::TopQuarter => "[3C/4,C]",
+            PoiRange::TopHalf => "[C/2,C]",
+            PoiRange::LowerHalf => "[O,C/2]",
+            PoiRange::Full => "[O,C]",
+        }
+    }
+
+    /// Fractions of `C` for the range ends.
+    pub fn fractions(self) -> (f64, f64) {
+        match self {
+            PoiRange::TopQuarter => (0.75, 1.0),
+            PoiRange::TopHalf => (0.5, 1.0),
+            PoiRange::LowerHalf => (0.0, 0.5),
+            PoiRange::Full => (0.0, 1.0),
+        }
+    }
+
+    /// The uniform attack over this range (mechanism-relative).
+    pub fn attack(self) -> UniformAttack {
+        let (a, b) = self.fractions();
+        // `Abs(0.0)` for the O-anchored lower ends keeps the range valid
+        // for every group budget.
+        if a == 0.0 {
+            UniformAttack::new(Anchor::Abs(0.0), Anchor::OfUpper(b))
+        } else {
+            UniformAttack::of_upper(a, b)
+        }
+    }
+}
+
+/// Simulates a single-batch collection at budget `eps`: honest users perturb
+/// once with PM, the coalition attacks. Returns `(reports, honest_mean)`.
+pub fn simulate_batch(
+    dataset: Dataset,
+    n: usize,
+    gamma: f64,
+    eps: f64,
+    attack: &dyn Attack,
+    rng: &mut dyn RngCore,
+) -> (Vec<f64>, f64) {
+    let m = (n as f64 * gamma).round() as usize;
+    let honest = dataset.generate_signed(n - m, rng);
+    let truth = mean(&honest);
+    let mech = PiecewiseMechanism::new(Epsilon::of(eps));
+    let mut reports: Vec<f64> = honest.iter().map(|&v| mech.perturb(v, rng)).collect();
+    reports.extend(attack.reports(m, &mech, rng));
+    (reports, truth)
+}
+
+/// Builds a population for protocol-level experiments. Returns
+/// `(population, honest_mean)`.
+pub fn build_population(
+    dataset: Dataset,
+    n: usize,
+    gamma: f64,
+    rng: &mut dyn RngCore,
+) -> (Population, f64) {
+    let m = (n as f64 * gamma).round() as usize;
+    let honest = dataset.generate_signed(n - m, rng);
+    let truth = mean(&honest);
+    (Population { honest, byzantine: m }, truth)
+}
+
+/// Runs `trials` evaluations of `f` with derived RNG streams and returns the
+/// MSE of the produced estimates against the per-trial truth.
+pub fn mse_over_trials<F>(opts: &ExpOptions, stream: u64, mut f: F) -> f64
+where
+    F: FnMut(&mut dyn RngCore) -> (f64, f64), // (estimate, truth)
+{
+    let mut se = 0.0;
+    for t in 0..opts.trials {
+        let mut rng = derive(opts.seed, stream.wrapping_mul(1_000_003).wrapping_add(t as u64));
+        let (est, truth) = f(&mut rng);
+        se += (est - truth) * (est - truth);
+    }
+    se / opts.trials as f64
+}
+
+/// The paper's scheme labels next to baselines, for table headers.
+pub fn scheme_columns() -> Vec<String> {
+    let mut cols: Vec<String> = Scheme::ALL.iter().map(|s| s.label().to_string()).collect();
+    cols.push("Ostrich".into());
+    cols.push("Trimming".into());
+    cols
+}
+
+/// Formats an MSE in the paper's scientific style.
+pub fn sci(v: f64) -> String {
+    format!("{v:9.2e}")
+}
+
+/// A mechanism-agnostic stable stream id from experiment coordinates.
+pub fn stream_id(parts: &[usize]) -> u64 {
+    parts
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |acc, &p| {
+            (acc ^ p as u64).wrapping_mul(0x1000_0000_01b3)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_estimation::rng::seeded;
+
+    #[test]
+    fn parse_reads_flags_and_ignores_junk() {
+        let args: Vec<String> =
+            ["--n", "5000", "--bogus", "--trials", "7", "--seed", "9", "--max-dout", "32"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let opts = ExpOptions::parse(&args);
+        assert_eq!(opts.n, 5000);
+        assert_eq!(opts.trials, 7);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.max_d_out, 32);
+    }
+
+    #[test]
+    fn paper_scale_flag() {
+        let args: Vec<String> = ["--paper-scale"].iter().map(|s| s.to_string()).collect();
+        let opts = ExpOptions::parse(&args);
+        assert_eq!(opts.n, 1_000_000);
+    }
+
+    #[test]
+    fn poi_ranges_resolve_inside_domain() {
+        let mech = PiecewiseMechanism::with_epsilon(1.0).unwrap();
+        let mut rng = seeded(1);
+        for range in PoiRange::ALL {
+            let reports = range.attack().reports(100, &mech, &mut rng);
+            let (lo_f, hi_f) = range.fractions();
+            let (lo, hi) = (lo_f * mech.c(), hi_f * mech.c());
+            assert!(
+                reports.iter().all(|&v| v >= lo - 1e-9 && v <= hi + 1e-9),
+                "{}",
+                range.label()
+            );
+        }
+    }
+
+    #[test]
+    fn simulate_batch_report_count() {
+        let mut rng = seeded(2);
+        let attack = PoiRange::TopHalf.attack();
+        let (reports, truth) = simulate_batch(Dataset::Beta25, 1000, 0.25, 1.0, &attack, &mut rng);
+        assert_eq!(reports.len(), 1000);
+        assert!((-1.0..=1.0).contains(&truth));
+    }
+
+    #[test]
+    fn mse_over_trials_is_deterministic() {
+        let opts = ExpOptions { trials: 3, ..ExpOptions::default() };
+        let f = |rng: &mut dyn RngCore| {
+            use rand::Rng;
+            (rng.gen::<f64>(), 0.5)
+        };
+        let a = mse_over_trials(&opts, 17, f);
+        let b = mse_over_trials(&opts, 17, f);
+        assert_eq!(a, b);
+        let c = mse_over_trials(&opts, 18, f);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stream_ids_differ() {
+        assert_ne!(stream_id(&[1, 2, 3]), stream_id(&[3, 2, 1]));
+        assert_ne!(stream_id(&[0]), stream_id(&[1]));
+    }
+}

@@ -1,0 +1,100 @@
+//! Fig. 6: MSE of mean estimation — the paper's headline comparison.
+//! 16 panels: 4 datasets × 4 poison ranges; each panel sweeps
+//! ε ∈ {1/4, 1/2, 1, 3/2, 2} for DAP_EMF / DAP_EMF* / DAP_CEMF* /
+//! Ostrich / Trimming.
+
+use crate::common::{
+    build_population, mse_over_trials, sci, simulate_batch, stream_id, ExpOptions, PoiRange,
+};
+use dap_attack::Side;
+use dap_core::{Dap, DapConfig, Scheme};
+use dap_datasets::Dataset;
+use dap_defenses::{MeanDefense, Ostrich, Trimming};
+use dap_ldp::PiecewiseMechanism;
+
+/// The Fig. 6 budget axis.
+pub const EPSILONS: [f64; 5] = [0.25, 0.5, 1.0, 1.5, 2.0];
+
+/// MSE of one DAP scheme on a (dataset, range, eps) cell.
+pub fn dap_mse(
+    dataset: Dataset,
+    range: PoiRange,
+    gamma: f64,
+    eps: f64,
+    scheme: Scheme,
+    opts: &ExpOptions,
+    stream: u64,
+) -> f64 {
+    mse_over_trials(opts, stream, |rng| {
+        let (population, truth) = build_population(dataset, opts.n, gamma, rng);
+        let cfg = DapConfig { max_d_out: opts.max_d_out, ..DapConfig::paper_default(eps, scheme) };
+        let dap = Dap::new(cfg, PiecewiseMechanism::new);
+        let out = dap.run(&population, &range.attack(), rng);
+        (out.mean, truth)
+    })
+}
+
+/// MSE of a single-batch defense on the same cell.
+pub fn defense_mse(
+    dataset: Dataset,
+    range: PoiRange,
+    gamma: f64,
+    eps: f64,
+    defense: &dyn MeanDefense,
+    opts: &ExpOptions,
+    stream: u64,
+) -> f64 {
+    mse_over_trials(opts, stream, |rng| {
+        let (reports, truth) = simulate_batch(dataset, opts.n, gamma, eps, &range.attack(), rng);
+        (defense.estimate_mean(&reports, rng), truth)
+    })
+}
+
+/// Prints one panel (a dataset × range cell across the ε axis).
+pub fn panel(dataset: Dataset, range: PoiRange, opts: &ExpOptions, base_stream: u64) {
+    println!("-- {} , Poi{} (gamma = 0.25) --", dataset.label(), range.label());
+    print!("{:<12}", "scheme");
+    for eps in EPSILONS {
+        print!(" {:>10}", format!("eps={eps}"));
+    }
+    println!();
+    for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
+        print!("{:<12}", scheme.label());
+        for (ei, eps) in EPSILONS.into_iter().enumerate() {
+            let mse = dap_mse(dataset, range, 0.25, eps, scheme, opts, base_stream + stream_id(&[si, ei]) % 1000);
+            print!(" {:>10}", sci(mse));
+        }
+        println!();
+    }
+    for (di, defense) in [&Ostrich as &dyn MeanDefense, &Trimming::paper_default(Side::Right)]
+        .into_iter()
+        .enumerate()
+    {
+        print!("{:<12}", defense.label().split('(').next().expect("label"));
+        for (ei, eps) in EPSILONS.into_iter().enumerate() {
+            let mse = defense_mse(
+                dataset,
+                range,
+                0.25,
+                eps,
+                defense,
+                opts,
+                base_stream + stream_id(&[90 + di, ei]) % 1000,
+            );
+            print!(" {:>10}", sci(mse));
+        }
+        println!();
+    }
+    println!();
+}
+
+/// Runs all 16 panels.
+pub fn run(opts: &ExpOptions) {
+    println!("== Fig. 6: MSE of mean estimation vs eps ==\n");
+    for (di, dataset) in Dataset::ALL.into_iter().enumerate() {
+        for (ri, range) in PoiRange::ALL.into_iter().enumerate() {
+            panel(dataset, range, opts, stream_id(&[600, di, ri]));
+        }
+    }
+    println!("expected shape: DAP family below Ostrich/Trimming except when poison hugs O at large eps (panels j, k, n).\n");
+}

@@ -1,0 +1,149 @@
+//! Fig. 7: robustness on Taxi at ε = 1 — (a)(b) MSE vs the Byzantine
+//! proportion γ; (c)(d) MSE vs the poison-value distribution.
+
+use crate::common::{
+    build_population, mse_over_trials, sci, simulate_batch, stream_id, ExpOptions, PoiRange,
+};
+use dap_attack::{Anchor, Attack, BetaShapedAttack, GaussianAttack, Side, UniformAttack};
+use dap_core::{Dap, DapConfig, Scheme};
+use dap_datasets::Dataset;
+use dap_defenses::{MeanDefense, Ostrich, Trimming};
+use dap_ldp::PiecewiseMechanism;
+
+/// The γ axis of panels (a)(b).
+pub const GAMMAS: [f64; 4] = [0.05, 0.10, 0.30, 0.40];
+
+fn attack_for(range: PoiRange, shape: &str) -> Box<dyn Attack> {
+    let (a, b) = range.fractions();
+    let lo = if a == 0.0 { Anchor::Abs(0.0) } else { Anchor::OfUpper(a) };
+    let hi = Anchor::OfUpper(b);
+    match shape {
+        "Uniform" => Box::new(UniformAttack::new(lo, hi)),
+        "Gaussian" => Box::new(GaussianAttack::new(lo, hi)),
+        "Beta(1,6)" => Box::new(BetaShapedAttack::new(1.0, 6.0, lo, hi)),
+        "Beta(6,1)" => Box::new(BetaShapedAttack::new(6.0, 1.0, lo, hi)),
+        other => unreachable!("unknown shape {other}"),
+    }
+}
+
+fn row(
+    label: &str,
+    cells: impl Iterator<Item = f64>,
+) {
+    print!("{label:<12}");
+    for mse in cells {
+        print!(" {:>10}", sci(mse));
+    }
+    println!();
+}
+
+/// Runs all four panels.
+pub fn run(opts: &ExpOptions) {
+    let eps = 1.0;
+    for (panel, range) in [("a", PoiRange::LowerHalf), ("b", PoiRange::TopHalf)] {
+        println!("== Fig. 7({panel}): MSE vs gamma (Taxi, eps = 1, Poi{}) ==", range.label());
+        print!("{:<12}", "scheme");
+        for g in GAMMAS {
+            print!(" {:>10}", format!("{:.0}%", g * 100.0));
+        }
+        println!();
+        for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
+            row(
+                scheme.label(),
+                GAMMAS.iter().enumerate().map(|(gi, &gamma)| {
+                    mse_over_trials(opts, stream_id(&[700, si, gi, range as usize]), |rng| {
+                        let (population, truth) =
+                            build_population(Dataset::Taxi, opts.n, gamma, rng);
+                        let cfg = DapConfig {
+                            max_d_out: opts.max_d_out,
+                            ..DapConfig::paper_default(eps, scheme)
+                        };
+                        let out =
+                            Dap::new(cfg, PiecewiseMechanism::new).run(&population, &range.attack(), rng);
+                        (out.mean, truth)
+                    })
+                }),
+            );
+        }
+        for (di, defense) in
+            [&Ostrich as &dyn MeanDefense, &Trimming::paper_default(Side::Right)]
+                .into_iter()
+                .enumerate()
+        {
+            row(
+                defense.label().split('(').next().expect("label"),
+                GAMMAS.iter().enumerate().map(|(gi, &gamma)| {
+                    mse_over_trials(opts, stream_id(&[710, di, gi, range as usize]), |rng| {
+                        let (reports, truth) = simulate_batch(
+                            Dataset::Taxi,
+                            opts.n,
+                            gamma,
+                            eps,
+                            &range.attack(),
+                            rng,
+                        );
+                        (defense.estimate_mean(&reports, rng), truth)
+                    })
+                }),
+            );
+        }
+        println!();
+    }
+
+    const SHAPES: [&str; 4] = ["Uniform", "Gaussian", "Beta(1,6)", "Beta(6,1)"];
+    for (panel, range) in [("c", PoiRange::LowerHalf), ("d", PoiRange::TopHalf)] {
+        println!(
+            "== Fig. 7({panel}): MSE vs poison distribution (Taxi, eps = 1, gamma = 0.25, Poi{}) ==",
+            range.label()
+        );
+        print!("{:<12}", "scheme");
+        for s in SHAPES {
+            print!(" {:>10}", s);
+        }
+        println!();
+        for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
+            row(
+                scheme.label(),
+                SHAPES.iter().enumerate().map(|(shi, shape)| {
+                    let attack = attack_for(range, shape);
+                    mse_over_trials(opts, stream_id(&[720, si, shi, range as usize]), |rng| {
+                        let (population, truth) =
+                            build_population(Dataset::Taxi, opts.n, 0.25, rng);
+                        let cfg = DapConfig {
+                            max_d_out: opts.max_d_out,
+                            ..DapConfig::paper_default(eps, scheme)
+                        };
+                        let out = Dap::new(cfg, PiecewiseMechanism::new)
+                            .run(&population, attack.as_ref(), rng);
+                        (out.mean, truth)
+                    })
+                }),
+            );
+        }
+        for (di, defense) in
+            [&Ostrich as &dyn MeanDefense, &Trimming::paper_default(Side::Right)]
+                .into_iter()
+                .enumerate()
+        {
+            row(
+                defense.label().split('(').next().expect("label"),
+                SHAPES.iter().enumerate().map(|(shi, shape)| {
+                    let attack = attack_for(range, shape);
+                    mse_over_trials(opts, stream_id(&[730, di, shi, range as usize]), |rng| {
+                        let (reports, truth) = simulate_batch(
+                            Dataset::Taxi,
+                            opts.n,
+                            0.25,
+                            eps,
+                            attack.as_ref(),
+                            rng,
+                        );
+                        (defense.estimate_mean(&reports, rng), truth)
+                    })
+                }),
+            );
+        }
+        println!();
+    }
+    println!("expected shape: DAP schemes lowest across gamma and poison shapes (Fig. 7).\n");
+}

@@ -1,0 +1,180 @@
+//! Fig. 8: the Square-Wave extension — (a) distribution-estimation accuracy
+//! (Wasserstein distance), (b) `|γ̂ − γ|` for SW, (c)(d) MSE of SW-based
+//! mean estimation.
+
+use crate::common::{mse_over_trials, sci, stream_id, ExpOptions};
+use dap_attack::{Anchor, Attack, UniformAttack};
+use dap_core::sw::{SwDap, SwDapConfig};
+use dap_core::{Population, Scheme};
+use dap_datasets::Dataset;
+use dap_emf::{cemf_star, cemf_star_threshold, emf, emf_star, EmfConfig};
+use dap_estimation::rng::derive;
+use dap_estimation::stats::{mean, wasserstein_1};
+use dap_estimation::{ems, Grid, PoisonRegion, TransformMatrix};
+use dap_ldp::{Epsilon, NumericMechanism, SquareWave};
+use rand::RngCore;
+
+/// Budget axes.
+pub const EPS_SMALL: [f64; 6] = [1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 1.0, 2.0];
+pub const EPS_LARGE: [f64; 5] = [0.25, 0.5, 1.0, 1.5, 2.0];
+
+/// The paper's SW attack: poison uniform on `[1 + b/2, 1 + b]`.
+pub fn sw_attack() -> UniformAttack {
+    UniformAttack::new(Anchor::AboveInputMax(0.5), Anchor::AboveInputMax(1.0))
+}
+
+/// Simulates one SW batch. Returns `(reports, honest_values)`.
+fn simulate_sw(
+    dataset: Dataset,
+    n: usize,
+    gamma: f64,
+    eps: f64,
+    rng: &mut dyn RngCore,
+) -> (Vec<f64>, Vec<f64>) {
+    let m = (n as f64 * gamma).round() as usize;
+    let honest = dataset.generate_unit(n - m, rng);
+    let mech = SquareWave::new(Epsilon::of(eps));
+    let mut reports: Vec<f64> = honest.iter().map(|&v| mech.perturb(v, rng)).collect();
+    reports.extend(sw_attack().reports(m, &mech, rng));
+    (reports, honest)
+}
+
+/// Panel (a): Wasserstein distance of the reconstructed honest distribution,
+/// Beta(2,5), γ = 0.25.
+fn panel_a(opts: &ExpOptions) {
+    println!("== Fig. 8(a): Wasserstein distance of distribution estimation (Beta(2,5), SW, gamma = 0.25) ==");
+    print!("{:<10}", "scheme");
+    for eps in EPS_SMALL {
+        print!(" {:>10}", format!("{eps:.4}"));
+    }
+    println!();
+    let labels = ["EMF", "EMF*", "CEMF*", "Ostrich"];
+    for (si, label) in labels.into_iter().enumerate() {
+        print!("{:<10}", label);
+        for (ei, eps) in EPS_SMALL.into_iter().enumerate() {
+            let mut acc = 0.0;
+            for t in 0..opts.trials {
+                let mut rng = derive(opts.seed, stream_id(&[800, si, ei, t]));
+                let (reports, honest) = simulate_sw(Dataset::Beta25, opts.n, 0.25, eps, &mut rng);
+                let mech = SquareWave::new(Epsilon::of(eps));
+                let cfg = EmfConfig::capped(reports.len(), eps, opts.max_d_out);
+                let (olo, ohi) = mech.output_range();
+                let counts = Grid::new(olo, ohi, cfg.d_out).counts(&reports);
+                let truth_hist = Grid::new(0.0, 1.0, cfg.d_in).frequencies(&honest);
+                let est_hist: Vec<f64> = if label == "Ostrich" {
+                    let matrix = TransformMatrix::for_numeric(
+                        &mech, cfg.d_in, cfg.d_out, &PoisonRegion::None,
+                    );
+                    ems::solve(&matrix, &counts, &cfg.em).histogram
+                } else {
+                    let matrix = TransformMatrix::for_numeric(
+                        &mech, cfg.d_in, cfg.d_out, &PoisonRegion::RightOf(1.0),
+                    );
+                    let base = emf(&matrix, &counts, &cfg.em);
+                    let gamma = base.poison_mass();
+                    let out = match label {
+                        "EMF" => base,
+                        "EMF*" => emf_star(&matrix, &counts, gamma, &cfg.em),
+                        _ => {
+                            let thr = cemf_star_threshold(gamma, matrix.poison_buckets().len());
+                            cemf_star(&matrix, &counts, gamma, thr, &base, &cfg.em)
+                        }
+                    };
+                    let total: f64 = out.normal.iter().sum();
+                    out.normal.iter().map(|&v| if total > 0.0 { v / total } else { v }).collect()
+                };
+                acc += wasserstein_1(&est_hist, &truth_hist, 1.0 / cfg.d_in as f64);
+            }
+            print!(" {:>10.4}", acc / opts.trials as f64);
+        }
+        println!();
+    }
+    println!("expected shape: EMF family at least ~10% below Ostrich.\n");
+}
+
+/// Panel (b): `|γ̂ − γ|` for SW across budgets and the two Beta datasets.
+fn panel_b(opts: &ExpOptions) {
+    println!("== Fig. 8(b): |gamma_hat - gamma| for SW (gamma = 0.25, Poi[1+b/2, 1+b]) ==");
+    print!("{:<12}", "dataset");
+    for eps in EPS_SMALL {
+        print!(" {:>10}", format!("{eps:.4}"));
+    }
+    println!();
+    for (di, ds) in [Dataset::Beta25, Dataset::Beta52].into_iter().enumerate() {
+        print!("{:<12}", ds.label());
+        for (ei, eps) in EPS_SMALL.into_iter().enumerate() {
+            let mut acc = 0.0;
+            for t in 0..opts.trials {
+                let mut rng = derive(opts.seed, stream_id(&[810, di, ei, t]));
+                let (reports, _) = simulate_sw(ds, opts.n, 0.25, eps, &mut rng);
+                let mech = SquareWave::new(Epsilon::of(eps));
+                let cfg = EmfConfig::capped(reports.len(), eps, opts.max_d_out);
+                let (olo, ohi) = mech.output_range();
+                let counts = Grid::new(olo, ohi, cfg.d_out).counts(&reports);
+                let matrix = TransformMatrix::for_numeric(
+                    &mech, cfg.d_in, cfg.d_out, &PoisonRegion::RightOf(1.0),
+                );
+                acc += (emf(&matrix, &counts, &cfg.em).poison_mass() - 0.25).abs();
+            }
+            print!(" {:>10.4}", acc / opts.trials as f64);
+        }
+        println!();
+    }
+    println!("expected shape: error shrinks as eps -> 0.\n");
+}
+
+/// Panels (c)(d): MSE of SW mean estimation.
+fn panel_cd(opts: &ExpOptions) {
+    for (panel, ds) in [("c", Dataset::Beta25), ("d", Dataset::Beta52)] {
+        println!("== Fig. 8({panel}): SW MSE ({}, gamma = 0.25, Poi[1+b/2, 1+b]) ==", ds.label());
+        print!("{:<10}", "scheme");
+        for eps in EPS_LARGE {
+            print!(" {:>10}", format!("eps={eps}"));
+        }
+        println!();
+        for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
+            print!("{:<10}", format!("SW_{}", scheme.label().trim_start_matches("DAP_")));
+            for (ei, eps) in EPS_LARGE.into_iter().enumerate() {
+                let mse = mse_over_trials(opts, stream_id(&[820, si, ei, panel.len()]), |rng| {
+                    let m_count = (opts.n as f64 * 0.25).round() as usize;
+                    let honest = ds.generate_unit(opts.n - m_count, rng);
+                    let truth = mean(&honest);
+                    let population = Population { honest, byzantine: m_count };
+                    let cfg = SwDapConfig {
+                        max_d_out: opts.max_d_out,
+                        ..SwDapConfig::paper_default(eps, scheme)
+                    };
+                    let out = SwDap::new(cfg).run(&population, &sw_attack(), rng);
+                    (out.mean, truth)
+                });
+                print!(" {:>10}", sci(mse));
+            }
+            println!();
+        }
+        for (di, label) in ["Ostrich", "Trimming"].into_iter().enumerate() {
+            print!("{:<10}", label);
+            for (ei, eps) in EPS_LARGE.into_iter().enumerate() {
+                let mse = mse_over_trials(opts, stream_id(&[830, di, ei, panel.len()]), |rng| {
+                    let (mut reports, honest) = simulate_sw(ds, opts.n, 0.25, eps, rng);
+                    let truth = mean(&honest);
+                    if label == "Trimming" {
+                        reports.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                        reports.truncate(reports.len() / 2);
+                    }
+                    (mean(&reports), truth)
+                });
+                print!(" {:>10}", sci(mse));
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("expected shape: SW_EMF family lowest in most cells; Ostrich competitive on Beta(5,2) (paper's own caveat).\n");
+}
+
+/// Runs all panels.
+pub fn run(opts: &ExpOptions) {
+    panel_a(opts);
+    panel_b(opts);
+    panel_cd(opts);
+}

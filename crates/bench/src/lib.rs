@@ -1,0 +1,18 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§VI), plus ablations for the design decisions DESIGN.md
+//! calls out.
+//!
+//! Each module corresponds to one paper artifact and prints the same
+//! rows/series the paper reports. The binary `experiments` dispatches on a
+//! subcommand; see `experiments help`.
+
+pub mod ablations;
+pub mod common;
+pub mod fig10;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;

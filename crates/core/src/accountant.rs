@@ -1,0 +1,128 @@
+//! Per-user privacy budget accounting.
+//!
+//! DAP's grouping stage has users in low-budget groups report multiple
+//! times; sequential composition says the spends must sum to at most the
+//! global ε. The accountant makes that invariant explicit and testable
+//! instead of assumed.
+
+use std::fmt;
+
+/// Error raised when a user would exceed their privacy budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetError {
+    /// The user that would overspend.
+    pub user: usize,
+    /// Budget spent so far.
+    pub spent: f64,
+    /// The attempted additional spend.
+    pub attempted: f64,
+    /// The per-user cap.
+    pub cap: f64,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "user {} would spend {} + {} > ε = {}",
+            self.user, self.spent, self.attempted, self.cap
+        )
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// Tracks per-user cumulative ε spend against a global cap.
+#[derive(Debug, Clone)]
+pub struct PrivacyAccountant {
+    cap: f64,
+    spent: Vec<f64>,
+    /// Numerical slack for accumulating many float spends.
+    slack: f64,
+}
+
+impl PrivacyAccountant {
+    /// An accountant for `users` users, each capped at `eps`.
+    pub fn new(users: usize, eps: f64) -> Self {
+        assert!(eps > 0.0 && eps.is_finite(), "invalid budget cap {eps}");
+        PrivacyAccountant { cap: eps, spent: vec![0.0; users], slack: 1e-9 * eps }
+    }
+
+    /// Charges `eps` to `user`; fails if the cap would be exceeded.
+    pub fn charge(&mut self, user: usize, eps: f64) -> Result<(), BudgetError> {
+        assert!(eps > 0.0 && eps.is_finite(), "invalid charge {eps}");
+        let spent = self.spent[user];
+        if spent + eps > self.cap + self.slack {
+            return Err(BudgetError { user, spent, attempted: eps, cap: self.cap });
+        }
+        self.spent[user] = spent + eps;
+        Ok(())
+    }
+
+    /// Budget already spent by `user`.
+    pub fn spent(&self, user: usize) -> f64 {
+        self.spent[user]
+    }
+
+    /// Remaining budget of `user` (never negative).
+    pub fn remaining(&self, user: usize) -> f64 {
+        (self.cap - self.spent[user]).max(0.0)
+    }
+
+    /// The per-user cap ε.
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// True when every user spent their full budget (within slack) — DAP's
+    /// "perturb and report multiple times until the overall privacy budget
+    /// is depleted".
+    pub fn all_depleted(&self) -> bool {
+        self.spent.iter().all(|&s| (self.cap - s).abs() <= self.slack.max(1e-9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut acc = PrivacyAccountant::new(2, 1.0);
+        acc.charge(0, 0.25).unwrap();
+        acc.charge(0, 0.25).unwrap();
+        assert!((acc.spent(0) - 0.5).abs() < 1e-12);
+        assert!((acc.remaining(0) - 0.5).abs() < 1e-12);
+        assert_eq!(acc.spent(1), 0.0);
+    }
+
+    #[test]
+    fn overspend_is_rejected() {
+        let mut acc = PrivacyAccountant::new(1, 1.0);
+        acc.charge(0, 0.75).unwrap();
+        let err = acc.charge(0, 0.5).unwrap_err();
+        assert_eq!(err.user, 0);
+        assert!(err.to_string().contains("0.75"));
+        // The failed charge did not mutate state.
+        assert!((acc.spent(0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_depletion_is_allowed() {
+        let mut acc = PrivacyAccountant::new(1, 1.0);
+        for _ in 0..16 {
+            acc.charge(0, 1.0 / 16.0).unwrap();
+        }
+        assert!(acc.all_depleted());
+        assert!(acc.charge(0, 1.0 / 16.0).is_err());
+    }
+
+    #[test]
+    fn all_depleted_is_false_while_budget_remains() {
+        let mut acc = PrivacyAccountant::new(2, 1.0);
+        acc.charge(0, 1.0).unwrap();
+        assert!(!acc.all_depleted());
+        acc.charge(1, 1.0).unwrap();
+        assert!(acc.all_depleted());
+    }
+}

@@ -1,0 +1,153 @@
+//! Inter-group mean aggregation (Algorithm 5 / Theorem 6).
+//!
+//! Group means are combined linearly with weights minimizing the worst-case
+//! variance (all inputs at ±1). The paper's Algorithm 5 line 3 sets
+//! `w_t ∝ 1/B_t` with `B_t = n̂_t·Var_worst(ε_t)`, while its Theorem 6 proof
+//! derives `w_t ∝ n̂_t²/B_t`; the two differ whenever group sizes differ.
+//! Both are implemented (plus uniform weights) so the discrepancy can be
+//! measured — see the `ablation-weights` experiment.
+
+/// Weighting rule for combining group means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Weighting {
+    /// `w_t ∝ 1/B_t` — Algorithm 5 as printed (the default).
+    AlgorithmFive,
+    /// `w_t ∝ n̂_t²/B_t` — the weight the Theorem 6 proof derives.
+    ProofOptimal,
+    /// Equal weights, as a reference point.
+    Uniform,
+}
+
+/// Result of an aggregation.
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    /// The combined mean `M̃ = Σ w_t M_t`.
+    pub mean: f64,
+    /// The weights used (sum to 1).
+    pub weights: Vec<f64>,
+    /// The minimal worst-case variance `[Σ n̂_t²/B_t]⁻¹` of Theorem 6.
+    pub min_variance: f64,
+}
+
+/// The paper's `B_t = n̂_t·Var_worst(v'; ε_t)` where the worst-case
+/// per-report variance for PM is `1/(e^{ε/2}−1) + (e^{ε/2}+3)/(3(e^{ε/2}−1)²)`
+/// (Theorem 6). `worst_case_variance` is passed in so other mechanisms can
+/// reuse the aggregation.
+pub fn b_factor(n_hat: f64, worst_case_variance: f64) -> f64 {
+    n_hat.max(1.0) * worst_case_variance
+}
+
+/// Combines group means (Algorithm 5).
+///
+/// * `means[t]` — intra-group estimate `M_t`,
+/// * `n_hats[t]` — estimated honest-user count `n̂_t`,
+/// * `worst_vars[t]` — per-report worst-case variance at `ε_t`.
+///
+/// ```
+/// use dap_core::{aggregate, Weighting};
+///
+/// // Two groups: the first has a 10x smaller per-report variance (larger
+/// // ε), so it dominates the combination.
+/// let agg = aggregate(&[0.10, 0.50], &[1000.0, 1000.0], &[1.0, 10.0],
+///                     Weighting::AlgorithmFive);
+/// assert!((agg.weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// assert!(agg.weights[0] > 0.9);
+/// assert!(agg.mean < 0.15);
+/// ```
+///
+/// # Panics
+/// If slice lengths differ or are empty.
+pub fn aggregate(
+    means: &[f64],
+    n_hats: &[f64],
+    worst_vars: &[f64],
+    weighting: Weighting,
+) -> Aggregate {
+    assert!(
+        !means.is_empty() && means.len() == n_hats.len() && means.len() == worst_vars.len(),
+        "aggregation inputs must be non-empty and the same length"
+    );
+    let b: Vec<f64> = n_hats.iter().zip(worst_vars).map(|(&n, &v)| b_factor(n, v)).collect();
+    let raw: Vec<f64> = match weighting {
+        Weighting::AlgorithmFive => b.iter().map(|&bt| 1.0 / bt).collect(),
+        Weighting::ProofOptimal => {
+            n_hats.iter().zip(&b).map(|(&n, &bt)| n * n / bt).collect()
+        }
+        Weighting::Uniform => vec![1.0; means.len()],
+    };
+    let total: f64 = raw.iter().sum();
+    let weights: Vec<f64> = raw.iter().map(|&w| w / total).collect();
+    let mean = weights.iter().zip(means).map(|(w, m)| w * m).sum();
+    // Theorem 6's minimal variance (independent of the weighting actually
+    // chosen; reported for diagnostics).
+    let min_variance = 1.0 / n_hats.iter().zip(&b).map(|(&n, &bt)| n * n / bt).sum::<f64>();
+    Aggregate { mean, weights, min_variance }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_ldp::{NumericMechanism, PiecewiseMechanism};
+
+    #[test]
+    fn weights_sum_to_one() {
+        for w in [Weighting::AlgorithmFive, Weighting::ProofOptimal, Weighting::Uniform] {
+            let agg = aggregate(&[0.1, 0.2, 0.3], &[100.0, 200.0, 400.0], &[1.0, 2.0, 4.0], w);
+            assert!((agg.weights.iter().sum::<f64>() - 1.0).abs() < 1e-12, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn higher_budget_groups_get_more_weight() {
+        // Same n̂, increasing worst-case variance (decreasing ε): weights
+        // must decrease.
+        let pm_var = |eps: f64| PiecewiseMechanism::with_epsilon(eps).unwrap().worst_case_variance();
+        let vars = [pm_var(2.0), pm_var(1.0), pm_var(0.5)];
+        let agg =
+            aggregate(&[0.0, 0.0, 0.0], &[100.0, 100.0, 100.0], &vars, Weighting::AlgorithmFive);
+        assert!(agg.weights[0] > agg.weights[1]);
+        assert!(agg.weights[1] > agg.weights[2]);
+    }
+
+    #[test]
+    fn uniform_weighting_is_plain_average() {
+        let agg = aggregate(&[1.0, 3.0], &[10.0, 1000.0], &[1.0, 1.0], Weighting::Uniform);
+        assert!((agg.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn the_two_printed_rules_disagree_on_unequal_groups() {
+        // Group 1 has 10× the users at the same per-report variance.
+        // Algorithm 5 (w ∝ 1/B = 1/(n̂·v)) *down*-weights the larger group
+        // to 1/11; the Theorem 6 proof (w ∝ n̂²/B = n̂/v) up-weights it to
+        // 10/11. This is the discrepancy the weights ablation measures.
+        let a5 = aggregate(&[0.0, 1.0], &[10.0, 100.0], &[1.0, 1.0], Weighting::AlgorithmFive);
+        let po = aggregate(&[0.0, 1.0], &[10.0, 100.0], &[1.0, 1.0], Weighting::ProofOptimal);
+        assert!((a5.weights[1] - 1.0 / 11.0).abs() < 1e-9, "{:?}", a5.weights);
+        assert!((po.weights[1] - 10.0 / 11.0).abs() < 1e-9, "{:?}", po.weights);
+    }
+
+    #[test]
+    fn min_variance_matches_theorem6_closed_form() {
+        let n = [100.0, 200.0];
+        let v = [2.0, 3.0];
+        let agg = aggregate(&[0.0, 0.0], &n, &v, Weighting::AlgorithmFive);
+        let expect = 1.0 / (n[0] * n[0] / (n[0] * v[0]) + n[1] * n[1] / (n[1] * v[1]));
+        assert!((agg.min_variance - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_group_sizes_are_floored() {
+        // n̂ can come out 0 from a bad probe; b_factor floors it so the
+        // weights stay finite.
+        let agg = aggregate(&[0.5], &[0.0], &[1.0], Weighting::AlgorithmFive);
+        assert!(agg.mean.is_finite());
+        assert_eq!(agg.weights, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn rejects_mismatched_inputs() {
+        aggregate(&[1.0], &[1.0, 2.0], &[1.0], Weighting::Uniform);
+    }
+}

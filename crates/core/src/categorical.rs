@@ -1,0 +1,442 @@
+//! Categorical frequency estimation under attack (§V-D, Fig. 9c-d).
+//!
+//! Honest users perturb their category with k-RR; Byzantine users inject
+//! chosen categories directly. The collector first *locates* the poisoned
+//! categories with a greedy likelihood-ratio extension of Algorithm 3:
+//! the poison hypothesis `{c}` is worth keeping exactly when it raises the
+//! EM log-likelihood far beyond the O(1) gain a spurious free parameter
+//! yields — an injected category's count exceeds what any honest
+//! distribution smoothed through k-RR can produce, so its gain is O(N·KL).
+//! The honest frequency vector is then reconstructed with EMF / EMF\* /
+//! CEMF\* on the located poison block.
+
+use crate::scheme::Scheme;
+use dap_emf::{cemf_star, cemf_star_threshold, emf, emf_star};
+use dap_estimation::em::EmOptions;
+use dap_estimation::TransformMatrix;
+use dap_ldp::{CategoricalMechanism, KRandomizedResponse};
+use rand::RngCore;
+
+/// Configuration for one categorical DAP run.
+#[derive(Debug, Clone, Copy)]
+pub struct CategoricalConfig {
+    /// Privacy budget ε for k-RR.
+    pub eps: f64,
+    /// Reconstruction scheme.
+    pub scheme: Scheme,
+    /// Absolute log-likelihood gain a candidate category must contribute.
+    /// A useless extra parameter gains O(1) (half a χ²₁); genuine injections
+    /// gain thousands at Fig. 9 scales.
+    pub min_ll_gain: f64,
+    /// Relative floor: later additions must keep at least this fraction of
+    /// the first (largest) gain.
+    pub min_relative_gain: f64,
+    /// Upper bound on how many categories may be flagged as poisoned.
+    pub max_poisoned: usize,
+    /// EM stopping rule.
+    pub em: EmOptions,
+}
+
+impl CategoricalConfig {
+    /// Defaults matching the Fig. 9 experiments.
+    pub fn paper_default(eps: f64, scheme: Scheme) -> Self {
+        CategoricalConfig {
+            eps,
+            scheme,
+            min_ll_gain: 25.0,
+            min_relative_gain: 0.02,
+            max_poisoned: 6,
+            em: EmOptions::paper_default(eps),
+        }
+    }
+}
+
+/// Result of a categorical run.
+#[derive(Debug, Clone)]
+pub struct CategoricalOutput {
+    /// Estimated honest frequency vector (sums to 1).
+    pub frequencies: Vec<f64>,
+    /// Categories flagged as poisoned.
+    pub poisoned: Vec<usize>,
+    /// Reconstructed coalition proportion.
+    pub gamma: f64,
+}
+
+/// Greedy Algorithm-3 extension: grow the poison category set while each
+/// addition buys a log-likelihood gain far above parameter-counting noise.
+pub fn locate_poisoned_categories(
+    mech: &KRandomizedResponse,
+    counts: &[f64],
+    config: &CategoricalConfig,
+) -> Vec<usize> {
+    let k = mech.categories();
+    assert_eq!(counts.len(), k, "counts length must equal k");
+    // Tight EM runs: the location step compares likelihoods, so converge
+    // well past the estimation tolerance.
+    let em = EmOptions { tol: config.em.tol.min(1e-3), max_iters: config.em.max_iters.max(500) };
+    let mut chosen: Vec<usize> = Vec::new();
+    let baseline = TransformMatrix::for_categorical(mech, &chosen);
+    let mut best_ll = emf(&baseline, counts, &em).log_likelihood;
+    let mut first_gain: Option<f64> = None;
+
+    while chosen.len() < config.max_poisoned.min(k - 1) {
+        let mut best_candidate: Option<(usize, f64)> = None;
+        for c in 0..k {
+            if chosen.contains(&c) {
+                continue;
+            }
+            let mut trial = chosen.clone();
+            trial.push(c);
+            let matrix = TransformMatrix::for_categorical(mech, &trial);
+            let ll = emf(&matrix, counts, &em).log_likelihood;
+            if best_candidate.is_none_or(|(_, best)| ll > best) {
+                best_candidate = Some((c, ll));
+            }
+        }
+        let Some((c, ll)) = best_candidate else { break };
+        let gain = ll - best_ll;
+        let floor = match first_gain {
+            None => config.min_ll_gain,
+            Some(first) => config.min_ll_gain.max(config.min_relative_gain * first),
+        };
+        if gain < floor {
+            break;
+        }
+        first_gain.get_or_insert(gain);
+        chosen.push(c);
+        best_ll = ll;
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Full pipeline: locate poisoned categories, then reconstruct the honest
+/// frequencies from the report counts.
+pub fn estimate_frequencies(
+    mech: &KRandomizedResponse,
+    counts: &[f64],
+    config: &CategoricalConfig,
+) -> CategoricalOutput {
+    let poisoned = locate_poisoned_categories(mech, counts, config);
+    let matrix = TransformMatrix::for_categorical(mech, &poisoned);
+    let base = emf(&matrix, counts, &config.em);
+    let gamma = base.poison_mass();
+    let outcome = match config.scheme {
+        Scheme::Emf => base,
+        Scheme::EmfStar => emf_star(&matrix, counts, gamma, &config.em),
+        Scheme::CemfStar => {
+            let thr = cemf_star_threshold(gamma, matrix.poison_buckets().len());
+            cemf_star(&matrix, counts, gamma, thr, &base, &config.em)
+        }
+    };
+    let total: f64 = outcome.normal.iter().sum();
+    let frequencies = if total > 0.0 {
+        outcome.normal.iter().map(|&v| v / total).collect()
+    } else {
+        vec![1.0 / matrix.d_in() as f64; matrix.d_in()]
+    };
+    CategoricalOutput { frequencies, poisoned, gamma }
+}
+
+/// Configuration of the grouped categorical DAP (the Fig. 9c-d protocol).
+#[derive(Debug, Clone, Copy)]
+pub struct CategoricalDapConfig {
+    /// Global per-user budget ε.
+    pub eps: f64,
+    /// Minimum group budget ε₀ (probing group).
+    pub eps0: f64,
+    /// Reconstruction scheme for the per-group estimates.
+    pub scheme: Scheme,
+    /// Location parameters applied on the probing group.
+    pub location: CategoricalConfig,
+}
+
+impl CategoricalDapConfig {
+    /// Paper-style defaults: ε₀ = 1/16, location at the probing budget.
+    pub fn paper_default(eps: f64, scheme: Scheme) -> Self {
+        let eps0: f64 = 1.0 / 16.0;
+        CategoricalDapConfig {
+            eps,
+            eps0,
+            scheme,
+            location: CategoricalConfig::paper_default(eps0.min(eps), scheme),
+        }
+    }
+}
+
+/// Grouped categorical DAP: random ε-grouping as in the numeric protocol,
+/// poison-category location and `γ̂` probing on the most private group
+/// (where honest k-RR counts are near-uniform and injections stick out —
+/// Theorem 3's analogue), per-group EMF\*/CEMF\* reconstruction with the
+/// shared poison set, and inverse-variance aggregation of the per-group
+/// frequency vectors (k-RR frequency-oracle variance `∝ 1/(n̂_t (p_t−q_t)²)`).
+pub fn categorical_dap(
+    honest: &[usize],
+    byzantine: usize,
+    attack_categories: &[usize],
+    k: usize,
+    config: &CategoricalDapConfig,
+    rng: &mut dyn RngCore,
+) -> CategoricalOutput {
+    use crate::grouping::GroupPlan;
+    use rand::Rng;
+    assert!(!honest.is_empty(), "empty honest population");
+    assert!(attack_categories.iter().all(|&c| c < k), "attack category out of range");
+    assert!(byzantine == 0 || !attack_categories.is_empty(), "attack needs target categories");
+    let n_total = honest.len() + byzantine;
+    let plan = GroupPlan::build(n_total, config.eps, config.eps0, rng);
+
+    // Perturbation per group: honest users k-RR their category k_t times,
+    // the coalition injects k_t reports each over its target categories.
+    let mut group_counts: Vec<Vec<f64>> = Vec::with_capacity(plan.len());
+    let mut group_mechs: Vec<KRandomizedResponse> = Vec::with_capacity(plan.len());
+    for g in 0..plan.len() {
+        let mech = KRandomizedResponse::new(plan.budgets[g], k).expect("k >= 2");
+        let k_t = plan.reports_per_user[g];
+        let mut counts = vec![0.0; k];
+        for &user in &plan.assignment[g] {
+            if user < honest.len() {
+                for _ in 0..k_t {
+                    counts[mech.perturb(honest[user], rng)] += 1.0;
+                }
+            } else {
+                for _ in 0..k_t {
+                    let c = attack_categories[rng.gen_range(0..attack_categories.len().max(1))];
+                    counts[c] += 1.0;
+                }
+            }
+        }
+        group_counts.push(counts);
+        group_mechs.push(mech);
+    }
+
+    // Probing on the most private group.
+    let pg = plan.probe_group();
+    let poisoned =
+        locate_poisoned_categories(&group_mechs[pg], &group_counts[pg], &config.location);
+    let probe_matrix = TransformMatrix::for_categorical(&group_mechs[pg], &poisoned);
+    let gamma = emf(&probe_matrix, &group_counts[pg], &config.location.em).poison_mass();
+
+    // Per-group reconstruction with the shared poison set and γ̂.
+    let mut freq_acc = vec![0.0; k];
+    let mut weight_acc = 0.0;
+    for g in 0..plan.len() {
+        let mech = &group_mechs[g];
+        let matrix = TransformMatrix::for_categorical(mech, &poisoned);
+        let em = EmOptions::paper_default(plan.budgets[g].get());
+        let base = emf(&matrix, &group_counts[g], &em);
+        let outcome = match config.scheme {
+            Scheme::Emf => base,
+            Scheme::EmfStar => emf_star(&matrix, &group_counts[g], gamma, &em),
+            Scheme::CemfStar => {
+                let thr = cemf_star_threshold(gamma, matrix.poison_buckets().len());
+                cemf_star(&matrix, &group_counts[g], gamma, thr, &base, &em)
+            }
+        };
+        let total: f64 = outcome.normal.iter().sum();
+        if total <= 0.0 {
+            continue;
+        }
+        let n_t: f64 = group_counts[g].iter().sum();
+        let n_hat = n_t * (1.0 - gamma) * plan.budgets[g].get() / config.eps;
+        let pq = mech.p_keep() - mech.p_flip();
+        let weight = n_hat * pq * pq;
+        for (acc, &v) in freq_acc.iter_mut().zip(&outcome.normal) {
+            *acc += weight * v / total;
+        }
+        weight_acc += weight;
+    }
+    let frequencies: Vec<f64> = if weight_acc > 0.0 {
+        freq_acc.iter().map(|&v| v / weight_acc).collect()
+    } else {
+        vec![1.0 / k as f64; k]
+    };
+    CategoricalOutput { frequencies, poisoned, gamma }
+}
+
+/// The Ostrich categorical baseline: standard k-RR debiasing over *all*
+/// reports, clamped and renormalized.
+pub fn ostrich_frequencies(mech: &KRandomizedResponse, counts: &[f64]) -> Vec<f64> {
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        return vec![1.0 / mech.categories() as f64; mech.categories()];
+    }
+    let mut freqs: Vec<f64> = counts.iter().map(|&c| c / total).collect();
+    mech.debias_frequencies(&mut freqs);
+    for f in &mut freqs {
+        *f = f.max(0.0);
+    }
+    let s: f64 = freqs.iter().sum();
+    if s > 0.0 {
+        for f in &mut freqs {
+            *f /= s;
+        }
+    }
+    freqs
+}
+
+/// Simulates a categorical collection: honest users k-RR their categories,
+/// the coalition injects uniformly over `poison_categories`. Returns report
+/// counts.
+pub fn simulate_reports(
+    mech: &KRandomizedResponse,
+    honest: &[usize],
+    byzantine: usize,
+    poison_categories: &[usize],
+    rng: &mut dyn RngCore,
+) -> Vec<f64> {
+    use rand::Rng;
+    let k = mech.categories();
+    let mut counts = vec![0.0; k];
+    for &v in honest {
+        counts[mech.perturb(v, rng)] += 1.0;
+    }
+    assert!(!poison_categories.is_empty() || byzantine == 0, "attack needs target categories");
+    for _ in 0..byzantine {
+        let c = poison_categories[rng.gen_range(0..poison_categories.len())];
+        counts[c] += 1.0;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_estimation::rng::seeded;
+    use dap_estimation::stats::mse;
+    use dap_ldp::Epsilon;
+
+    fn covid_like_honest(n: usize, rng: &mut dyn RngCore) -> Vec<usize> {
+        dap_datasets::sample_covid(n, rng)
+    }
+
+    #[test]
+    fn locates_a_single_poisoned_category() {
+        let mech = KRandomizedResponse::new(Epsilon::of(1.0), 15).unwrap();
+        let mut rng = seeded(1);
+        let honest = covid_like_honest(40_000, &mut rng);
+        let counts = simulate_reports(&mech, &honest, 10_000, &[10], &mut rng);
+        let cfg = CategoricalConfig::paper_default(1.0, Scheme::EmfStar);
+        let found = locate_poisoned_categories(&mech, &counts, &cfg);
+        assert!(found.contains(&10), "found {found:?}");
+        assert!(found.len() <= 3, "over-flagged: {found:?}");
+    }
+
+    #[test]
+    fn locates_a_poisoned_block() {
+        let mech = KRandomizedResponse::new(Epsilon::of(1.0), 15).unwrap();
+        let mut rng = seeded(2);
+        let honest = covid_like_honest(40_000, &mut rng);
+        let counts = simulate_reports(&mech, &honest, 12_000, &[10, 11, 12], &mut rng);
+        let cfg = CategoricalConfig::paper_default(1.0, Scheme::EmfStar);
+        let found = locate_poisoned_categories(&mech, &counts, &cfg);
+        for c in [10, 11, 12] {
+            assert!(found.contains(&c), "missing {c} in {found:?}");
+        }
+    }
+
+    #[test]
+    fn dap_frequencies_beat_ostrich_under_attack() {
+        let mech = KRandomizedResponse::new(Epsilon::of(1.0), 15).unwrap();
+        let mut rng = seeded(3);
+        let honest = covid_like_honest(40_000, &mut rng);
+        // True honest frequencies.
+        let mut truth = vec![0.0; 15];
+        for &v in &honest {
+            truth[v] += 1.0;
+        }
+        let n = honest.len() as f64;
+        truth.iter_mut().for_each(|t| *t /= n);
+
+        let counts = simulate_reports(&mech, &honest, 10_000, &[10], &mut rng);
+        let cfg = CategoricalConfig::paper_default(1.0, Scheme::EmfStar);
+        let dap = estimate_frequencies(&mech, &counts, &cfg);
+        let ostrich = ostrich_frequencies(&mech, &counts);
+
+        let err_dap: f64 = dap
+            .frequencies
+            .iter()
+            .zip(&truth)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / 15.0;
+        let err_ostrich: f64 = ostrich
+            .iter()
+            .zip(&truth)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / 15.0;
+        assert!(
+            err_dap < err_ostrich,
+            "DAP {err_dap:.2e} not below Ostrich {err_ostrich:.2e}"
+        );
+        assert!((dap.frequencies.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clean_data_flags_nothing_catastrophic() {
+        let mech = KRandomizedResponse::new(Epsilon::of(1.0), 15).unwrap();
+        let mut rng = seeded(4);
+        let honest = covid_like_honest(40_000, &mut rng);
+        let counts = simulate_reports(&mech, &honest, 0, &[], &mut rng);
+        let cfg = CategoricalConfig::paper_default(1.0, Scheme::EmfStar);
+        let out = estimate_frequencies(&mech, &counts, &cfg);
+        // Reconstruction still close to the k-RR debiased truth.
+        let ostrich = ostrich_frequencies(&mech, &counts);
+        let diff = mse(&out.frequencies, 0.0) - mse(&ostrich, 0.0);
+        assert!(diff.abs() < 0.05);
+        assert!(out.gamma < 0.25, "phantom coalition {}", out.gamma);
+    }
+
+    #[test]
+    fn grouped_dap_locates_block_even_at_large_eps() {
+        // A single batch at ε = 2 cannot separate a 3-category injection
+        // (the honest block absorbs it feasibly); the grouped protocol's
+        // ε₀ = 1/16 probe group can.
+        let mut rng = seeded(11);
+        let honest = covid_like_honest(30_000, &mut rng);
+        let cfg = CategoricalDapConfig::paper_default(2.0, Scheme::EmfStar);
+        let out = categorical_dap(&honest, 10_000, &[10, 11, 12], 15, &cfg, &mut rng);
+        for c in [10usize, 11, 12] {
+            assert!(out.poisoned.contains(&c), "missing {c} in {:?}", out.poisoned);
+        }
+        assert!((out.gamma - 0.25).abs() < 0.08, "gamma {}", out.gamma);
+        assert!((out.frequencies.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grouped_dap_beats_single_batch_ostrich() {
+        let mut rng = seeded(12);
+        let honest = covid_like_honest(30_000, &mut rng);
+        let mut truth = vec![0.0; 15];
+        for &v in &honest {
+            truth[v] += 1.0;
+        }
+        truth.iter_mut().for_each(|t| *t /= honest.len() as f64);
+        let err = |est: &[f64]| -> f64 {
+            est.iter().zip(&truth).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / 15.0
+        };
+
+        let eps = 1.0;
+        let cfg = CategoricalDapConfig::paper_default(eps, Scheme::EmfStar);
+        let dap = categorical_dap(&honest, 10_000, &[10], 15, &cfg, &mut rng);
+
+        let mech = KRandomizedResponse::new(Epsilon::of(eps), 15).unwrap();
+        let counts = simulate_reports(&mech, &honest, 10_000, &[10], &mut rng);
+        let ostrich = ostrich_frequencies(&mech, &counts);
+        assert!(
+            err(&dap.frequencies) < err(&ostrich),
+            "DAP {:.2e} !< Ostrich {:.2e}",
+            err(&dap.frequencies),
+            err(&ostrich)
+        );
+    }
+
+    #[test]
+    fn ostrich_frequencies_are_a_distribution() {
+        let mech = KRandomizedResponse::new(Epsilon::of(0.5), 5).unwrap();
+        let freqs = ostrich_frequencies(&mech, &[10.0, 0.0, 0.0, 0.0, 90.0]);
+        assert!((freqs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(freqs.iter().all(|&f| f >= 0.0));
+    }
+}

@@ -1,0 +1,47 @@
+//! The Differential Aggregation Protocol (DAP) — the paper's primary
+//! contribution — plus the §IV baseline protocol and the extensions of §V-D.
+//!
+//! # Protocol overview
+//!
+//! DAP estimates the mean of honest users' values under ε-LDP while an
+//! unknown coalition of Byzantine users injects arbitrary reports:
+//!
+//! 1. **Grouping** — users are randomly assigned to `h = ⌈log₂(ε/ε₀)⌉ + 1`
+//!    equal groups with geometrically decreasing budgets `ε, ε/2, …, ε₀`.
+//!    Users in low-budget groups report multiple times until their total
+//!    budget reaches ε (sequential composition, enforced by
+//!    [`PrivacyAccountant`]).
+//! 2. **Probing** — the Expectation-Maximization Filter runs per group; the
+//!    most private group (budget ε₀) yields the poisoned side and the
+//!    coalition proportion `γ̂` (Theorem 3 says small ε probes best).
+//! 3. **Intra-group estimation** — each group's mean is corrected by
+//!    subtracting the reconstructed poison mass (Eq. 13), with EMF, EMF\* or
+//!    CEMF\* reconstructions ([`Scheme`]).
+//! 4. **Inter-group aggregation** — group means are combined with the
+//!    variance-optimal weights of Algorithm 5 / Theorem 6
+//!    ([`aggregation`]).
+//!
+//! The [`baseline`] module implements the §IV two-budget protocol (and its
+//! security flaw against probing-aware attackers, which motivates DAP), the
+//! [`categorical`] module the k-RR frequency-estimation extension, the
+//! [`sw`] module the Square-Wave extension, and [`ima`] the EMF + k-means
+//! integration against input-manipulation attacks.
+
+pub mod accountant;
+pub mod aggregation;
+pub mod baseline;
+pub mod categorical;
+pub mod grouping;
+pub mod ima;
+pub mod population;
+pub mod protocol;
+pub mod scheme;
+pub mod sw;
+
+pub use accountant::{BudgetError, PrivacyAccountant};
+pub use aggregation::{aggregate, Weighting};
+pub use baseline::{BaselineConfig, BaselineProtocol};
+pub use grouping::GroupPlan;
+pub use population::Population;
+pub use protocol::{Dap, DapConfig, DapOutput, GroupReport};
+pub use scheme::Scheme;

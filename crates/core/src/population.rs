@@ -1,0 +1,78 @@
+//! The simulated user population a protocol run consumes.
+
+/// A population of `N` users: honest users holding values, plus a Byzantine
+/// coalition of known size (known to the *simulation*, not to the
+/// collector).
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// Honest users' true values, already normalized to the mechanism's
+    /// input domain.
+    pub honest: Vec<f64>,
+    /// Number of colluding Byzantine users.
+    pub byzantine: usize,
+}
+
+impl Population {
+    /// Builds a population from honest values and a Byzantine proportion
+    /// `γ ∈ [0, ½)` of the *total* population: `m = ⌊γ/(1−γ)·n⌋` attackers
+    /// join `n` honest users so that `m/(n+m) ≈ γ`.
+    pub fn with_gamma(honest: Vec<f64>, gamma: f64) -> Self {
+        assert!(
+            (0.0..0.5).contains(&gamma),
+            "Byzantine proportion {gamma} outside [0, 0.5) (BFT bound, §III-A)"
+        );
+        let n = honest.len() as f64;
+        let m = (gamma / (1.0 - gamma) * n).round() as usize;
+        Population { honest, byzantine: m }
+    }
+
+    /// Total population size `N = n + m`.
+    pub fn total(&self) -> usize {
+        self.honest.len() + self.byzantine
+    }
+
+    /// True Byzantine proportion `γ = m / N`.
+    pub fn gamma(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.byzantine as f64 / self.total() as f64
+    }
+
+    /// True honest mean `O` — the protocol's estimand.
+    pub fn true_mean(&self) -> f64 {
+        dap_estimation::stats::mean(&self.honest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_gamma_hits_the_target_proportion() {
+        let pop = Population::with_gamma(vec![0.0; 7_500], 0.25);
+        assert_eq!(pop.byzantine, 2_500);
+        assert!((pop.gamma() - 0.25).abs() < 1e-3);
+        assert_eq!(pop.total(), 10_000);
+    }
+
+    #[test]
+    fn gamma_zero_means_no_attackers() {
+        let pop = Population::with_gamma(vec![1.0; 100], 0.0);
+        assert_eq!(pop.byzantine, 0);
+        assert_eq!(pop.gamma(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "BFT bound")]
+    fn rejects_majority_byzantine() {
+        Population::with_gamma(vec![0.0; 10], 0.5);
+    }
+
+    #[test]
+    fn true_mean_ignores_attackers() {
+        let pop = Population { honest: vec![-1.0, 1.0, 1.0, 1.0], byzantine: 1000 };
+        assert!((pop.true_mean() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,321 @@
+//! The end-to-end Differential Aggregation Protocol (§V, Fig. 3).
+
+use crate::accountant::PrivacyAccountant;
+use crate::aggregation::{aggregate, Weighting};
+use crate::grouping::GroupPlan;
+use crate::population::Population;
+use crate::scheme::{estimate_group_mean, Scheme};
+use dap_attack::{Attack, Side};
+use dap_emf::{probe_side, EmfConfig};
+use dap_estimation::Grid;
+use dap_ldp::{Epsilon, NumericMechanism};
+use rand::RngCore;
+
+/// Configuration of one DAP deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct DapConfig {
+    /// Global per-user privacy budget ε.
+    pub eps: f64,
+    /// Minimum acceptable group budget ε₀ (the paper's experiments use
+    /// 1/16).
+    pub eps0: f64,
+    /// Reconstruction scheme (EMF / EMF\* / CEMF\*).
+    pub scheme: Scheme,
+    /// Inter-group weighting rule (Algorithm 5 by default).
+    pub weighting: Weighting,
+    /// Pessimistic initial mean `O'` (0 by the paper's convention; see
+    /// Theorem 2 / [`dap_emf::pessimistic_init`] for data-driven choices).
+    pub o_prime: f64,
+    /// Cap on the per-group output-bucket count `d'` so EM cost stays
+    /// bounded at paper-scale populations.
+    pub max_d_out: usize,
+    /// Project the final estimate onto the mechanism's input domain. The
+    /// honest mean provably lies there, so projection can only reduce error;
+    /// disable to observe the raw aggregate.
+    pub clamp_to_input: bool,
+}
+
+impl DapConfig {
+    /// The paper's default deployment: ε₀ = 1/16, Algorithm 5 weights,
+    /// `O' = 0`.
+    pub fn paper_default(eps: f64, scheme: Scheme) -> Self {
+        DapConfig {
+            eps,
+            eps0: 1.0 / 16.0,
+            scheme,
+            weighting: Weighting::AlgorithmFive,
+            o_prime: 0.0,
+            max_d_out: 256,
+            clamp_to_input: true,
+        }
+    }
+}
+
+/// Per-group diagnostics of a DAP run.
+#[derive(Debug, Clone)]
+pub struct GroupReport {
+    /// The group's budget ε_t.
+    pub eps_t: f64,
+    /// Reports collected `N_t`.
+    pub n_reports: usize,
+    /// Intra-group mean estimate `M_t` (Eq. 13).
+    pub mean_t: f64,
+    /// Estimated poison-report count `m̂_t`.
+    pub m_hat: f64,
+    /// Estimated honest-user count `n̂_t = (N_t − m̂_t)·ε_t/ε`.
+    pub n_hat: f64,
+    /// Aggregation weight `w_t`.
+    pub weight: f64,
+}
+
+/// Result of a DAP run.
+#[derive(Debug, Clone)]
+pub struct DapOutput {
+    /// The aggregated mean estimate `M̃`.
+    pub mean: f64,
+    /// Probed poisoned side.
+    pub side: Side,
+    /// Probed coalition proportion `γ̂` (from the most private group).
+    pub gamma: f64,
+    /// Theorem 6's minimal worst-case variance for the realized weights.
+    pub min_variance: f64,
+    /// Per-group diagnostics.
+    pub groups: Vec<GroupReport>,
+}
+
+/// The Differential Aggregation Protocol, generic over the numerical LDP
+/// mechanism (PM in the paper's default deployment; see [`crate::sw`] for the
+/// Square-Wave variant, which estimates from reconstructed histograms
+/// instead).
+#[derive(Debug, Clone)]
+pub struct Dap<F> {
+    config: DapConfig,
+    mech_factory: F,
+}
+
+impl<M, F> Dap<F>
+where
+    M: NumericMechanism,
+    F: Fn(Epsilon) -> M,
+{
+    /// Builds a protocol instance from a config and a mechanism factory
+    /// (e.g. `|eps| PiecewiseMechanism::new(eps)`).
+    pub fn new(config: DapConfig, mech_factory: F) -> Self {
+        assert!(config.eps >= config.eps0 && config.eps0 > 0.0, "need ε ≥ ε₀ > 0");
+        Dap { config, mech_factory }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DapConfig {
+        &self.config
+    }
+
+    /// Runs the five-stage protocol against a population and an attack,
+    /// returning the aggregated mean and per-group diagnostics.
+    ///
+    /// The simulation enforces the privacy contract: every honest user's
+    /// total spend is exactly ε (k_t reports at ε_t each), checked by the
+    /// internal [`PrivacyAccountant`].
+    pub fn run(
+        &self,
+        population: &Population,
+        attack: &dyn Attack,
+        rng: &mut dyn RngCore,
+    ) -> DapOutput {
+        let cfg = &self.config;
+        let n_total = population.total();
+        assert!(n_total > 0, "empty population");
+        let plan = GroupPlan::build(n_total, cfg.eps, cfg.eps0, rng);
+        let mut accountant = PrivacyAccountant::new(n_total, cfg.eps);
+
+        // Stage 2: perturbation. User indices < |honest| are honest; the
+        // rest are the coalition (assignment order is already shuffled).
+        let n_honest = population.honest.len();
+        let mut group_reports: Vec<Vec<f64>> = Vec::with_capacity(plan.len());
+        for g in 0..plan.len() {
+            let eps_t = plan.budgets[g];
+            let k_t = plan.reports_per_user[g];
+            let mech = (self.mech_factory)(eps_t);
+            let mut reports = Vec::with_capacity(plan.reports_in_group(g));
+            let mut byz_members = 0usize;
+            for &user in &plan.assignment[g] {
+                if user < n_honest {
+                    let v = population.honest[user];
+                    for _ in 0..k_t {
+                        accountant
+                            .charge(user, eps_t.get())
+                            .expect("grouping never exceeds the budget");
+                        reports.push(mech.perturb(v, rng));
+                    }
+                } else {
+                    byz_members += 1;
+                }
+            }
+            // The coalition matches the honest report volume: k_t poison
+            // reports per member, scaled to the group's output domain.
+            reports.extend(attack.reports(byz_members * k_t, &mech, rng));
+            group_reports.push(reports);
+        }
+        debug_assert!(accountant.all_depleted() || population.byzantine > 0);
+
+        // Stage 3: probing on the most private group (Theorem 3: smallest ε
+        // probes Byzantine features best).
+        let probe_g = plan.probe_group();
+        let probe_eps = plan.budgets[probe_g];
+        let probe_mech = (self.mech_factory)(probe_eps);
+        let probe_cfg = EmfConfig::capped(group_reports[probe_g].len(), probe_eps.get(), cfg.max_d_out);
+        let (olo, ohi) = probe_mech.output_range();
+        let probe_counts =
+            Grid::new(olo, ohi, probe_cfg.d_out).counts(&group_reports[probe_g]);
+        let probe =
+            probe_side(&probe_mech, &probe_counts, probe_cfg.d_in, cfg.o_prime, &probe_cfg.em);
+        let side = probe.side;
+        let gamma = probe.chosen().poison_mass();
+
+        // Stage 4: intra-group estimation (Eq. 13).
+        let mut means = Vec::with_capacity(plan.len());
+        let mut n_hats = Vec::with_capacity(plan.len());
+        let mut worst_vars = Vec::with_capacity(plan.len());
+        let mut groups = Vec::with_capacity(plan.len());
+        for (g, reports) in group_reports.iter().enumerate() {
+            let eps_t = plan.budgets[g];
+            let mech = (self.mech_factory)(eps_t);
+            let emf_cfg = EmfConfig::capped(reports.len(), eps_t.get(), cfg.max_d_out);
+            let est = estimate_group_mean(
+                &mech,
+                reports,
+                side,
+                cfg.o_prime,
+                gamma,
+                cfg.scheme,
+                &emf_cfg,
+            );
+            let n_hat = (est.n_reports as f64 - est.m_hat) * eps_t.get() / cfg.eps;
+            means.push(est.mean);
+            n_hats.push(n_hat);
+            worst_vars.push(mech.worst_case_variance());
+            groups.push(GroupReport {
+                eps_t: eps_t.get(),
+                n_reports: est.n_reports,
+                mean_t: est.mean,
+                m_hat: est.m_hat,
+                n_hat,
+                weight: 0.0, // filled below
+            });
+        }
+
+        // Stage 5: inter-group aggregation (Algorithm 5).
+        let agg = aggregate(&means, &n_hats, &worst_vars, cfg.weighting);
+        for (g, w) in groups.iter_mut().zip(&agg.weights) {
+            g.weight = *w;
+        }
+        let mech0 = (self.mech_factory)(Epsilon::of(cfg.eps));
+        let (ilo, ihi) = mech0.input_range();
+        let mean =
+            if cfg.clamp_to_input { agg.mean.clamp(ilo, ihi) } else { agg.mean };
+        DapOutput { mean, side, gamma, min_variance: agg.min_variance, groups }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_attack::{NoAttack, UniformAttack};
+    use dap_estimation::rng::seeded;
+    use dap_estimation::stats::mean as smean;
+    use dap_ldp::PiecewiseMechanism;
+
+    fn pm_dap(eps: f64, scheme: Scheme) -> Dap<impl Fn(Epsilon) -> PiecewiseMechanism> {
+        let mut cfg = DapConfig::paper_default(eps, scheme);
+        cfg.max_d_out = 64; // keep debug-mode tests fast
+        Dap::new(cfg, PiecewiseMechanism::new)
+    }
+
+    fn honest_values(n: usize, seed: u64) -> Vec<f64> {
+        use rand::Rng;
+        let mut rng = seeded(seed);
+        (0..n).map(|_| (rng.gen::<f64>() * 1.2 - 0.8).clamp(-1.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn dap_beats_ostrich_under_attack() {
+        let honest = honest_values(12_000, 1);
+        let truth = smean(&honest);
+        let pop = Population::with_gamma(honest, 0.25);
+        let attack = UniformAttack::of_upper(0.5, 1.0);
+        let mut rng = seeded(2);
+
+        // Ostrich on the same total report volume at full ε.
+        let mech = PiecewiseMechanism::with_epsilon(0.5).unwrap();
+        let mut ostrich_reports: Vec<f64> =
+            pop.honest.iter().map(|&v| mech.perturb(v, &mut rng)).collect();
+        ostrich_reports.extend(
+            dap_attack::Attack::reports(&attack, pop.byzantine, &mech, &mut rng),
+        );
+        let ostrich_err = (smean(&ostrich_reports) - truth).abs();
+
+        let dap = pm_dap(0.5, Scheme::EmfStar);
+        let out = dap.run(&pop, &attack, &mut rng);
+        let dap_err = (out.mean - truth).abs();
+        assert!(
+            dap_err < ostrich_err,
+            "DAP err {dap_err} not below Ostrich err {ostrich_err}"
+        );
+        assert_eq!(out.side, Side::Right);
+        assert!((out.gamma - 0.25).abs() < 0.1, "gamma {}", out.gamma);
+    }
+
+    #[test]
+    fn group_structure_matches_plan() {
+        let pop = Population::with_gamma(honest_values(6_000, 3), 0.1);
+        let dap = pm_dap(0.5, Scheme::Emf);
+        let mut rng = seeded(4);
+        let out = dap.run(&pop, &UniformAttack::of_upper(0.5, 1.0), &mut rng);
+        // ε = 1/2, ε₀ = 1/16 → h = 4 groups with doubling report volume.
+        assert_eq!(out.groups.len(), 4);
+        assert!((out.groups[0].eps_t - 0.5).abs() < 1e-12);
+        assert!((out.groups[3].eps_t - 1.0 / 16.0).abs() < 1e-12);
+        let w_sum: f64 = out.groups.iter().map(|g| g.weight).sum();
+        assert!((w_sum - 1.0).abs() < 1e-9);
+        // More reports in more private groups.
+        assert!(out.groups[3].n_reports > out.groups[0].n_reports);
+    }
+
+    #[test]
+    fn no_attack_estimate_is_accurate() {
+        let honest = honest_values(12_000, 5);
+        let truth = smean(&honest);
+        let pop = Population::with_gamma(honest, 0.0);
+        let dap = pm_dap(1.0, Scheme::CemfStar);
+        let mut rng = seeded(6);
+        let out = dap.run(&pop, &NoAttack, &mut rng);
+        assert!((out.mean - truth).abs() < 0.08, "estimate {} vs {}", out.mean, truth);
+    }
+
+    #[test]
+    fn output_is_deterministic_under_fixed_seed() {
+        let pop = Population::with_gamma(honest_values(4_000, 7), 0.2);
+        let dap = pm_dap(0.25, Scheme::EmfStar);
+        let a = dap.run(&pop, &UniformAttack::of_upper(0.75, 1.0), &mut seeded(8));
+        let b = dap.run(&pop, &UniformAttack::of_upper(0.75, 1.0), &mut seeded(8));
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.gamma, b.gamma);
+    }
+
+    #[test]
+    fn clamping_keeps_estimate_in_input_domain() {
+        let pop = Population::with_gamma(vec![1.0; 2_000], 0.3);
+        let dap = pm_dap(0.25, Scheme::Emf);
+        let mut rng = seeded(9);
+        let out = dap.run(&pop, &UniformAttack::of_upper(0.9, 1.0), &mut rng);
+        assert!((-1.0..=1.0).contains(&out.mean));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn rejects_empty_population() {
+        let pop = Population { honest: vec![], byzantine: 0 };
+        let dap = pm_dap(0.25, Scheme::Emf);
+        dap.run(&pop, &NoAttack, &mut seeded(0));
+    }
+}

@@ -1,0 +1,191 @@
+//! Intra-group mean estimation (Eq. 13) under the three reconstruction
+//! schemes.
+
+use dap_attack::Side;
+use dap_emf::{cemf_star, cemf_star_threshold, emf, emf_star, EmfConfig};
+use dap_estimation::{Grid, PoisonRegion, TransformMatrix};
+use dap_ldp::NumericMechanism;
+
+/// Which EMF reconstruction a DAP variant uses per group (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Plain EMF (Algorithm 2) — the `DAP_EMF` scheme.
+    Emf,
+    /// EMF\* post-processing (Algorithm 4) — `DAP_EMF*`.
+    EmfStar,
+    /// CEMF\* post-processing (Theorem 5) — `DAP_CEMF*`.
+    CemfStar,
+}
+
+impl Scheme {
+    /// All schemes, in the paper's order.
+    pub const ALL: [Scheme; 3] = [Scheme::Emf, Scheme::EmfStar, Scheme::CemfStar];
+
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Emf => "DAP_EMF",
+            Scheme::EmfStar => "DAP_EMF*",
+            Scheme::CemfStar => "DAP_CEMF*",
+        }
+    }
+}
+
+/// One group's corrected mean estimate.
+#[derive(Debug, Clone)]
+pub struct GroupEstimate {
+    /// The corrected group mean `M_t` (Eq. 13).
+    pub mean: f64,
+    /// Reports observed in the group `N_t`.
+    pub n_reports: usize,
+    /// Estimated poison-report count `m̂_t = N_t·Σŷ(t)`.
+    pub m_hat: f64,
+    /// The group's reconstructed poison share `Σŷ(t)`.
+    pub gamma_group: f64,
+}
+
+/// Estimates one group's mean from its reports (Eq. 13):
+/// `M_t = (Σ v' − N_t·Σ_j ŷ_j(t)·ν_j) / (N_t − m̂_t)`.
+///
+/// * `side`/`o_prime` — poisoned side and pivot from the probing stage,
+/// * `gamma_global` — coalition proportion probed from the most private
+///   group, consumed by the EMF\*/CEMF\* constraints.
+pub fn estimate_group_mean(
+    mech: &dyn NumericMechanism,
+    reports: &[f64],
+    side: Side,
+    o_prime: f64,
+    gamma_global: f64,
+    scheme: Scheme,
+    config: &EmfConfig,
+) -> GroupEstimate {
+    let n_reports = reports.len();
+    if n_reports == 0 {
+        return GroupEstimate { mean: 0.0, n_reports: 0, m_hat: 0.0, gamma_group: 0.0 };
+    }
+    let (olo, ohi) = mech.output_range();
+    let grid = Grid::new(olo, ohi, config.d_out);
+    let counts = grid.counts(reports);
+    let region = match side {
+        Side::Right => PoisonRegion::RightOf(o_prime),
+        Side::Left => PoisonRegion::LeftOf(o_prime),
+    };
+    let matrix = TransformMatrix::for_numeric(mech, config.d_in, config.d_out, &region);
+
+    let base = emf(&matrix, &counts, &config.em);
+    let outcome = match scheme {
+        Scheme::Emf => base,
+        Scheme::EmfStar => emf_star(&matrix, &counts, gamma_global, &config.em),
+        Scheme::CemfStar => {
+            let thr = cemf_star_threshold(gamma_global, matrix.poison_buckets().len());
+            cemf_star(&matrix, &counts, gamma_global, thr, &base, &config.em)
+        }
+    };
+
+    let gamma_group: f64 = outcome.poison.iter().sum();
+    let nt = n_reports as f64;
+    let m_hat = nt * gamma_group;
+    let poison_term: f64 = outcome
+        .poison
+        .iter()
+        .zip(matrix.output_centers())
+        .map(|(y, nu)| nt * y * nu)
+        .sum();
+    let sum_reports: f64 = reports.iter().sum();
+    let honest_reports = nt - m_hat;
+    let mean = if honest_reports >= 1.0 {
+        mech.debias_mean((sum_reports - poison_term) / honest_reports)
+    } else {
+        // Degenerate probe claiming everything is poison: fall back to the
+        // uncorrected mean rather than dividing by ~0.
+        mech.debias_mean(sum_reports / nt)
+    };
+    GroupEstimate { mean, n_reports, m_hat, gamma_group }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_attack::{Attack, UniformAttack};
+    use dap_estimation::rng::seeded;
+    use dap_ldp::PiecewiseMechanism;
+
+    fn group_reports(
+        eps: f64,
+        n: usize,
+        gamma: f64,
+        honest_value: f64,
+        seed: u64,
+    ) -> (Vec<f64>, PiecewiseMechanism) {
+        let mech = PiecewiseMechanism::with_epsilon(eps).unwrap();
+        let mut rng = seeded(seed);
+        let m = (n as f64 * gamma).round() as usize;
+        let mut reports: Vec<f64> =
+            (0..n - m).map(|_| mech.perturb(honest_value, &mut rng)).collect();
+        reports.extend(UniformAttack::of_upper(0.5, 1.0).reports(m, &mech, &mut rng));
+        (reports, mech)
+    }
+
+    #[test]
+    fn corrected_mean_beats_raw_mean_under_attack() {
+        let truth = -0.3;
+        let (reports, mech) = group_reports(0.5, 30_000, 0.25, truth, 1);
+        let raw = dap_estimation::stats::mean(&reports);
+        let config = EmfConfig::capped(reports.len(), 0.5, 64);
+        for scheme in Scheme::ALL {
+            let est = estimate_group_mean(
+                &mech,
+                &reports,
+                Side::Right,
+                0.0,
+                0.25,
+                scheme,
+                &config,
+            );
+            assert!(
+                (est.mean - truth).abs() < (raw - truth).abs(),
+                "{}: {} vs raw {}",
+                scheme.label(),
+                est.mean,
+                raw
+            );
+            assert!(est.gamma_group > 0.1, "{}: gamma {}", scheme.label(), est.gamma_group);
+        }
+    }
+
+    #[test]
+    fn emf_star_respects_global_gamma() {
+        let (reports, mech) = group_reports(1.0, 20_000, 0.2, 0.0, 2);
+        let config = EmfConfig::capped(reports.len(), 1.0, 64);
+        let est =
+            estimate_group_mean(&mech, &reports, Side::Right, 0.0, 0.2, Scheme::EmfStar, &config);
+        assert!((est.gamma_group - 0.2).abs() < 1e-9);
+        assert!((est.m_hat - 0.2 * reports.len() as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn clean_group_is_estimated_without_large_bias() {
+        let truth = 0.4;
+        let (reports, mech) = group_reports(1.0, 30_000, 0.0, truth, 3);
+        let config = EmfConfig::capped(reports.len(), 1.0, 64);
+        let est =
+            estimate_group_mean(&mech, &reports, Side::Right, 0.0, 0.0, Scheme::EmfStar, &config);
+        assert!((est.mean - truth).abs() < 0.05, "estimate {}", est.mean);
+    }
+
+    #[test]
+    fn empty_group_is_harmless() {
+        let mech = PiecewiseMechanism::with_epsilon(1.0).unwrap();
+        let config = EmfConfig::capped(0, 1.0, 16);
+        let est = estimate_group_mean(&mech, &[], Side::Right, 0.0, 0.1, Scheme::Emf, &config);
+        assert_eq!(est.mean, 0.0);
+        assert_eq!(est.n_reports, 0);
+    }
+
+    #[test]
+    fn scheme_labels_match_paper() {
+        assert_eq!(Scheme::Emf.label(), "DAP_EMF");
+        assert_eq!(Scheme::EmfStar.label(), "DAP_EMF*");
+        assert_eq!(Scheme::CemfStar.label(), "DAP_CEMF*");
+    }
+}

@@ -1,0 +1,90 @@
+//! COVID-19-style categorical dataset for the frequency-estimation
+//! experiments (Fig. 9c, d).
+//!
+//! The paper uses CDC's provisional COVID-19 deaths for females in
+//! California by age group (15 groups, December 2022). The surrogate below
+//! hard-codes a frequency profile with the canonical age-mortality shape —
+//! negligible mass below 25, rapid growth through middle age, and a heavy
+//! 75+ tail — which is all the relative-MSE experiment depends on.
+
+use rand::{Rng, RngCore};
+
+/// Number of age groups.
+pub const COVID_GROUPS: usize = 15;
+
+/// Age-group labels (CDC bucketing).
+pub const COVID_LABELS: [&str; COVID_GROUPS] = [
+    "<1", "1-4", "5-14", "15-24", "25-34", "35-44", "45-54", "55-64", "65-74", "75-84", "85+",
+    "u-1", "u-2", "u-3", "u-4",
+];
+
+/// The surrogate frequency profile (sums to 1). The final four groups model
+/// the dataset's small residual categories so the experiment keeps the
+/// paper's 15-way layout.
+pub fn covid_frequencies() -> [f64; COVID_GROUPS] {
+    let raw = [
+        0.0004, 0.0004, 0.0008, 0.0024, 0.0070, 0.0170, 0.0420, 0.1000, 0.1900, 0.2800, 0.3200,
+        0.0160, 0.0120, 0.0080, 0.0040,
+    ];
+    debug_assert!((raw.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    raw
+}
+
+/// Samples `n` categorical records from the surrogate profile.
+pub fn sample_covid(n: usize, rng: &mut dyn RngCore) -> Vec<usize> {
+    let freqs = covid_frequencies();
+    let mut cdf = [0.0; COVID_GROUPS];
+    let mut acc = 0.0;
+    for (c, f) in cdf.iter_mut().zip(freqs.iter()) {
+        acc += f;
+        *c = acc;
+    }
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            cdf.iter().position(|&c| u <= c).unwrap_or(COVID_GROUPS - 1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_estimation::rng::seeded;
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        assert!((covid_frequencies().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_has_the_age_mortality_shape() {
+        let f = covid_frequencies();
+        // Heavy old-age tail.
+        assert!(f[10] > f[8]);
+        assert!(f[9] > f[7]);
+        // Negligible young mass.
+        assert!(f[0] < 0.001 && f[3] < 0.01);
+    }
+
+    #[test]
+    fn samples_match_the_profile() {
+        let mut rng = seeded(1);
+        let n = 200_000;
+        let records = sample_covid(n, &mut rng);
+        let mut counts = [0usize; COVID_GROUPS];
+        for r in records {
+            counts[r] += 1;
+        }
+        let f = covid_frequencies();
+        for (i, (&c, &expect)) in counts.iter().zip(f.iter()).enumerate() {
+            let obs = c as f64 / n as f64;
+            assert!((obs - expect).abs() < 0.01, "group {i}: {obs} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn labels_cover_every_group() {
+        assert_eq!(COVID_LABELS.len(), COVID_GROUPS);
+    }
+}

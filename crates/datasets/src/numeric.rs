@@ -1,0 +1,175 @@
+//! Numerical dataset generators.
+
+use dap_estimation::sampling;
+use dap_estimation::stats::{normalize_to_signed, normalize_to_unit};
+use rand::{Rng, RngCore};
+
+/// The four numerical datasets of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Beta(2, 5) on `[0, 1]` — left-leaning synthetic.
+    Beta25,
+    /// Beta(5, 2) on `[0, 1]` — right-leaning synthetic.
+    Beta52,
+    /// Taxi pick-up seconds-of-day surrogate, integers in `[0, 86 340]`.
+    Taxi,
+    /// SF retirement compensation surrogate in `[10 000, 60 000]`.
+    Retirement,
+}
+
+impl Dataset {
+    /// All four datasets, in the paper's order.
+    pub const ALL: [Dataset; 4] = [Dataset::Beta25, Dataset::Beta52, Dataset::Taxi, Dataset::Retirement];
+
+    /// Display name matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dataset::Beta25 => "Beta(2,5)",
+            Dataset::Beta52 => "Beta(5,2)",
+            Dataset::Taxi => "Taxi",
+            Dataset::Retirement => "Retirement",
+        }
+    }
+
+    /// Raw value range `[lo, hi]` used for normalization.
+    pub fn raw_range(self) -> (f64, f64) {
+        match self {
+            Dataset::Beta25 | Dataset::Beta52 => (0.0, 1.0),
+            Dataset::Taxi => (0.0, 86_340.0),
+            Dataset::Retirement => (10_000.0, 60_000.0),
+        }
+    }
+
+    /// Samples `n` raw values.
+    pub fn generate_raw(self, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+        match self {
+            Dataset::Beta25 => (0..n).map(|_| sampling::beta(2.0, 5.0, rng)).collect(),
+            Dataset::Beta52 => (0..n).map(|_| sampling::beta(5.0, 2.0, rng)).collect(),
+            Dataset::Taxi => (0..n).map(|_| taxi_pickup_second(rng)).collect(),
+            Dataset::Retirement => (0..n).map(|_| retirement_compensation(rng)).collect(),
+        }
+    }
+
+    /// Samples `n` values normalized into `[-1, 1]` (Piecewise-Mechanism
+    /// domain, the paper's default).
+    pub fn generate_signed(self, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+        let raw = self.generate_raw(n, rng);
+        let (lo, hi) = self.raw_range();
+        normalize_to_signed(&raw, lo, hi)
+    }
+
+    /// Samples `n` values normalized into `[0, 1]` (Square-Wave domain).
+    pub fn generate_unit(self, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+        let raw = self.generate_raw(n, rng);
+        let (lo, hi) = self.raw_range();
+        normalize_to_unit(&raw, lo, hi)
+    }
+}
+
+/// One synthetic pick-up time in seconds of day.
+///
+/// Mixture tuned so the normalized mean lands near the paper's Taxi mean
+/// (`O ≈ 0.12` on `[-1, 1]`): a uniform all-day base plus morning and evening
+/// rush-hour Gaussians.
+fn taxi_pickup_second(rng: &mut dyn RngCore) -> f64 {
+    const DAY: f64 = 86_340.0;
+    let u: f64 = rng.gen();
+    let t = if u < 0.35 {
+        rng.gen_range(0.0..=DAY)
+    } else if u < 0.65 {
+        sampling::normal(32_000.0, 7_000.0, rng)
+    } else {
+        sampling::normal(68_000.0, 6_000.0, rng)
+    };
+    t.clamp(0.0, DAY).round()
+}
+
+/// One synthetic total-compensation value.
+///
+/// Truncated log-normal shifted to the `[10 000, 60 000]` window, matching
+/// the left-concentrated shape of Fig. 4(d) (normalized mean `O ≈ −0.62`).
+fn retirement_compensation(rng: &mut dyn RngCore) -> f64 {
+    let body = (sampling::normal(9.0, 0.5, rng)).exp();
+    (10_000.0 + body).clamp(10_000.0, 60_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_estimation::rng::seeded;
+    use dap_estimation::stats::mean;
+
+    #[test]
+    fn beta_means_match_theory() {
+        let mut rng = seeded(1);
+        let b25 = Dataset::Beta25.generate_signed(50_000, &mut rng);
+        let b52 = Dataset::Beta52.generate_signed(50_000, &mut rng);
+        // Beta(2,5) mean 2/7 → signed −0.4286; Beta(5,2) mirrors at +0.4286.
+        assert!((mean(&b25) + 0.4286).abs() < 0.01, "Beta(2,5) mean {}", mean(&b25));
+        assert!((mean(&b52) - 0.4286).abs() < 0.01, "Beta(5,2) mean {}", mean(&b52));
+    }
+
+    #[test]
+    fn taxi_mean_is_near_paper_value() {
+        let mut rng = seeded(2);
+        let taxi = Dataset::Taxi.generate_signed(50_000, &mut rng);
+        let m = mean(&taxi);
+        // Paper reports O = 0.1190 for the real dump; the surrogate mixture
+        // is tuned to the same neighbourhood.
+        assert!((m - 0.12).abs() < 0.05, "taxi mean {m}");
+    }
+
+    #[test]
+    fn retirement_mean_is_near_paper_value() {
+        let mut rng = seeded(3);
+        let ret = Dataset::Retirement.generate_signed(50_000, &mut rng);
+        let m = mean(&ret);
+        // Paper reports O = −0.6240.
+        assert!((m + 0.62).abs() < 0.06, "retirement mean {m}");
+    }
+
+    #[test]
+    fn all_values_respect_domains() {
+        let mut rng = seeded(4);
+        for ds in Dataset::ALL {
+            let signed = ds.generate_signed(5_000, &mut rng);
+            assert!(signed.iter().all(|&v| (-1.0..=1.0).contains(&v)), "{}", ds.label());
+            let unit = ds.generate_unit(5_000, &mut rng);
+            assert!(unit.iter().all(|&v| (0.0..=1.0).contains(&v)), "{}", ds.label());
+        }
+    }
+
+    #[test]
+    fn taxi_values_are_integer_seconds() {
+        let mut rng = seeded(5);
+        let raw = Dataset::Taxi.generate_raw(1_000, &mut rng);
+        assert!(raw.iter().all(|&v| v == v.round() && (0.0..=86_340.0).contains(&v)));
+    }
+
+    #[test]
+    fn taxi_is_bimodal() {
+        let mut rng = seeded(6);
+        let raw = Dataset::Taxi.generate_raw(100_000, &mut rng);
+        let grid = dap_estimation::Grid::new(0.0, 86_340.0, 24);
+        let freqs = grid.frequencies(&raw);
+        // Rush hours (bucket around 32 000 s ≈ index 8 and 68 000 s ≈ 18)
+        // dominate the small hours (index 1).
+        assert!(freqs[8] > 2.0 * freqs[1], "{freqs:?}");
+        assert!(freqs[18] > 2.0 * freqs[1], "{freqs:?}");
+    }
+
+    #[test]
+    fn retirement_is_left_concentrated() {
+        let mut rng = seeded(7);
+        let signed = Dataset::Retirement.generate_signed(50_000, &mut rng);
+        let below = signed.iter().filter(|&&v| v < 0.0).count();
+        assert!(below as f64 / 50_000.0 > 0.9, "left mass {below}");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            Dataset::ALL.iter().map(|d| d.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,99 @@
+//! Boxplot (IQR) outlier filter \[56\], one of the detection techniques the
+//! paper's §III-A mentions as composable with DAP.
+
+use crate::MeanDefense;
+use dap_estimation::stats::mean;
+use rand::RngCore;
+
+/// Drops reports outside `[Q1 − k·IQR, Q3 + k·IQR]` and averages the rest.
+#[derive(Debug, Clone, Copy)]
+pub struct BoxplotFilter {
+    /// Whisker multiplier `k` (1.5 is Tukey's classic value).
+    pub whisker: f64,
+}
+
+impl Default for BoxplotFilter {
+    fn default() -> Self {
+        BoxplotFilter { whisker: 1.5 }
+    }
+}
+
+impl BoxplotFilter {
+    /// Linear-interpolated quantile of sorted data, `q ∈ [0, 1]`.
+    fn quantile(sorted: &[f64], q: f64) -> f64 {
+        debug_assert!(!sorted.is_empty());
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// The retained (inlier) reports.
+    pub fn inliers(&self, reports: &[f64]) -> Vec<f64> {
+        if reports.is_empty() {
+            return Vec::new();
+        }
+        let mut sorted = reports.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in reports"));
+        let q1 = Self::quantile(&sorted, 0.25);
+        let q3 = Self::quantile(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let (lo, hi) = (q1 - self.whisker * iqr, q3 + self.whisker * iqr);
+        sorted.retain(|&v| v >= lo && v <= hi);
+        sorted
+    }
+}
+
+impl MeanDefense for BoxplotFilter {
+    fn estimate_mean(&self, reports: &[f64], _rng: &mut dyn RngCore) -> f64 {
+        mean(&self.inliers(reports))
+    }
+
+    fn label(&self) -> String {
+        format!("Boxplot(k={})", self.whisker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_estimation::rng::seeded;
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert!((BoxplotFilter::quantile(&sorted, 0.0) - 1.0).abs() < 1e-12);
+        assert!((BoxplotFilter::quantile(&sorted, 1.0) - 4.0).abs() < 1e-12);
+        assert!((BoxplotFilter::quantile(&sorted, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removes_far_outliers_only() {
+        let mut reports: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+        reports.push(50.0);
+        reports.push(-50.0);
+        let inliers = BoxplotFilter::default().inliers(&reports);
+        assert_eq!(inliers.len(), 100);
+        assert!(inliers.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn estimate_ignores_spikes() {
+        let mut rng = seeded(0);
+        let mut reports: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect();
+        reports.extend(std::iter::repeat_n(100.0, 50));
+        let est = BoxplotFilter::default().estimate_mean(&reports, &mut rng);
+        assert!((est - 0.5).abs() < 0.05, "estimate {est}");
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let mut rng = seeded(0);
+        assert_eq!(BoxplotFilter::default().estimate_mean(&[], &mut rng), 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Isolation forest \[41\] over one-dimensional reports, another detection
+//! technique §III-A lists as composable with DAP.
+//!
+//! Each isolation tree recursively splits a subsample at a uniform random
+//! point between the node's min and max; anomalies isolate near the root, so
+//! short average path lengths mean high anomaly scores
+//! `s(x) = 2^{−E[h(x)]/c(ψ)}`.
+
+use crate::MeanDefense;
+use dap_estimation::stats::mean;
+use rand::{Rng, RngCore};
+
+/// Isolation-forest outlier filter.
+#[derive(Debug, Clone, Copy)]
+pub struct IsolationForest {
+    /// Number of trees (the original paper recommends 100).
+    pub trees: usize,
+    /// Subsample size per tree (256 in the original paper).
+    pub subsample: usize,
+    /// Reports with anomaly score above this are dropped (0.5 = average,
+    /// 0.6+ = clear anomaly).
+    pub score_threshold: f64,
+}
+
+impl Default for IsolationForest {
+    fn default() -> Self {
+        IsolationForest { trees: 100, subsample: 256, score_threshold: 0.6 }
+    }
+}
+
+/// One fitted isolation tree: a flat array of nodes.
+#[derive(Debug, Clone)]
+enum Node {
+    Split { point: f64, left: usize, right: usize },
+    Leaf { size: usize },
+}
+
+#[derive(Debug, Clone)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+/// Average unsuccessful-search path length of a BST with `n` nodes — the
+/// normalizer `c(n)` from the isolation-forest paper.
+fn c_factor(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    let harmonic = (n - 1.0).ln() + 0.577_215_664_901_532_9;
+    2.0 * harmonic - 2.0 * (n - 1.0) / n
+}
+
+impl Tree {
+    fn fit(sample: &mut [f64], max_depth: usize, rng: &mut dyn RngCore) -> Tree {
+        let mut nodes = Vec::new();
+        Self::build(sample, 0, max_depth, &mut nodes, rng);
+        Tree { nodes }
+    }
+
+    fn build(
+        sample: &mut [f64],
+        depth: usize,
+        max_depth: usize,
+        nodes: &mut Vec<Node>,
+        rng: &mut dyn RngCore,
+    ) -> usize {
+        let idx = nodes.len();
+        let (min, max) = sample.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+            (a.min(v), b.max(v))
+        });
+        if sample.len() <= 1 || depth >= max_depth || max - min < 1e-12 {
+            nodes.push(Node::Leaf { size: sample.len() });
+            return idx;
+        }
+        let point = rng.gen_range(min..max);
+        nodes.push(Node::Leaf { size: 0 }); // placeholder, patched below
+        let split = partition(sample, point);
+        let (lo, hi) = sample.split_at_mut(split);
+        let left = Self::build(lo, depth + 1, max_depth, nodes, rng);
+        let right = Self::build(hi, depth + 1, max_depth, nodes, rng);
+        nodes[idx] = Node::Split { point, left, right };
+        idx
+    }
+
+    /// Path length of `x`, with the standard `c(size)` leaf adjustment.
+    fn path_length(&self, x: f64) -> f64 {
+        let mut node = 0usize;
+        let mut depth = 0.0;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { size } => return depth + c_factor(*size),
+                Node::Split { point, left, right } => {
+                    node = if x < *point { *left } else { *right };
+                    depth += 1.0;
+                }
+            }
+        }
+    }
+}
+
+/// In-place partition: values `< point` first; returns the split index.
+fn partition(sample: &mut [f64], point: f64) -> usize {
+    let mut i = 0;
+    for j in 0..sample.len() {
+        if sample[j] < point {
+            sample.swap(i, j);
+            i += 1;
+        }
+    }
+    i
+}
+
+impl IsolationForest {
+    /// Anomaly scores in `[0, 1]` for every report.
+    pub fn scores(&self, reports: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
+        if reports.is_empty() {
+            return Vec::new();
+        }
+        let psi = self.subsample.min(reports.len()).max(2);
+        let max_depth = (psi as f64).log2().ceil() as usize;
+        let trees: Vec<Tree> = (0..self.trees)
+            .map(|_| {
+                let mut sample: Vec<f64> =
+                    (0..psi).map(|_| reports[rng.gen_range(0..reports.len())]).collect();
+                Tree::fit(&mut sample, max_depth, rng)
+            })
+            .collect();
+        let cn = c_factor(psi);
+        reports
+            .iter()
+            .map(|&x| {
+                let avg: f64 =
+                    trees.iter().map(|t| t.path_length(x)).sum::<f64>() / trees.len() as f64;
+                2.0f64.powf(-avg / cn)
+            })
+            .collect()
+    }
+
+    /// Reports that survive the anomaly filter.
+    pub fn inliers(&self, reports: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
+        let scores = self.scores(reports, rng);
+        reports
+            .iter()
+            .zip(scores)
+            .filter_map(|(&v, s)| (s <= self.score_threshold).then_some(v))
+            .collect()
+    }
+}
+
+impl MeanDefense for IsolationForest {
+    fn estimate_mean(&self, reports: &[f64], rng: &mut dyn RngCore) -> f64 {
+        let kept = self.inliers(reports, rng);
+        if kept.is_empty() {
+            mean(reports)
+        } else {
+            mean(&kept)
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("IsolationForest(t={}, psi={})", self.trees, self.subsample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_estimation::rng::seeded;
+
+    #[test]
+    fn c_factor_grows_slowly() {
+        assert_eq!(c_factor(1), 0.0);
+        assert!(c_factor(256) > c_factor(16));
+        assert!(c_factor(256) < 16.0);
+    }
+
+    #[test]
+    fn partition_splits_correctly() {
+        let mut v = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let split = partition(&mut v, 3.0);
+        assert_eq!(split, 2);
+        assert!(v[..split].iter().all(|&x| x < 3.0));
+        assert!(v[split..].iter().all(|&x| x >= 3.0));
+    }
+
+    #[test]
+    fn isolated_point_scores_higher() {
+        let mut rng = seeded(1);
+        let mut reports: Vec<f64> = (0..500).map(|i| i as f64 / 499.0).collect();
+        reports.push(25.0); // far outlier
+        let forest = IsolationForest::default();
+        let scores = forest.scores(&reports, &mut rng);
+        let outlier_score = *scores.last().expect("non-empty");
+        let typical: f64 = scores[..500].iter().sum::<f64>() / 500.0;
+        assert!(
+            outlier_score > typical + 0.1,
+            "outlier {outlier_score} vs typical {typical}"
+        );
+    }
+
+    #[test]
+    fn filter_recovers_clean_mean() {
+        let mut rng = seeded(2);
+        let mut reports: Vec<f64> = (0..2000).map(|i| i as f64 / 1999.0).collect();
+        reports.extend(std::iter::repeat_n(40.0, 100));
+        let est = IsolationForest::default().estimate_mean(&reports, &mut rng);
+        // Ostrich would give ≈ 2.38; the forest should land near 0.5.
+        assert!((est - 0.5).abs() < 0.2, "estimate {est}");
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let mut rng = seeded(3);
+        assert_eq!(IsolationForest::default().estimate_mean(&[], &mut rng), 0.0);
+    }
+
+    #[test]
+    fn constant_input_is_safe() {
+        let mut rng = seeded(4);
+        let est = IsolationForest::default().estimate_mean(&[2.0; 500], &mut rng);
+        assert!((est - 2.0).abs() < 1e-12);
+    }
+}

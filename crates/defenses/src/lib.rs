@@ -1,0 +1,53 @@
+//! Baseline defenses the paper compares DAP against.
+//!
+//! * [`Ostrich`] — ignore the attack, average everything (the paper's
+//!   no-defense baseline),
+//! * [`Trimming`] — drop the extreme half of the reports on the poisoned
+//!   side before averaging (the robust-statistics baseline of §I),
+//! * [`KMeansDefense`] — the subset-sampling 2-means defense of Li et
+//!   al. \[38\] (Fig. 9a, b),
+//! * [`BoxplotFilter`] — IQR outlier removal \[56\],
+//! * [`IsolationForest`] — isolation-forest anomaly filtering \[41\].
+//!
+//! Every defense implements [`MeanDefense`]: reports in, mean estimate out.
+//! Honest Piecewise-Mechanism reports are unbiased, so averaging surviving
+//! reports estimates the honest mean directly.
+//!
+//! ```
+//! use dap_defenses::{BoxplotFilter, MeanDefense, Ostrich};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! // 1000 clean reports around 0 plus 50 poison reports at +100.
+//! let mut reports: Vec<f64> = (0..1000).map(|i| (i as f64 / 999.0) - 0.5).collect();
+//! reports.extend(std::iter::repeat_n(100.0, 50));
+//!
+//! let naive = Ostrich.estimate_mean(&reports, &mut rng);
+//! let robust = BoxplotFilter::default().estimate_mean(&reports, &mut rng);
+//! assert!(naive > 4.0);          // dragged far off by the poison
+//! assert!(robust.abs() < 0.1);   // the IQR filter drops the spike
+//! ```
+
+pub mod boxplot;
+pub mod iforest;
+pub mod kmeans;
+pub mod ostrich;
+pub mod trimming;
+
+pub use boxplot::BoxplotFilter;
+pub use iforest::IsolationForest;
+pub use kmeans::KMeansDefense;
+pub use ostrich::Ostrich;
+pub use trimming::Trimming;
+
+use rand::RngCore;
+
+/// A defense that turns a batch of (possibly poisoned) LDP reports into a
+/// mean estimate.
+pub trait MeanDefense {
+    /// Estimates the honest-population mean from the reports.
+    fn estimate_mean(&self, reports: &[f64], rng: &mut dyn RngCore) -> f64;
+
+    /// Short label for experiment output.
+    fn label(&self) -> String;
+}

@@ -1,0 +1,41 @@
+//! The Ostrich baseline: pretend there is no attack.
+
+use crate::MeanDefense;
+use dap_estimation::stats::mean;
+use rand::RngCore;
+
+/// Averages every report, Byzantine or not (the paper's "Ostrich" scheme).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ostrich;
+
+impl MeanDefense for Ostrich {
+    fn estimate_mean(&self, reports: &[f64], _rng: &mut dyn RngCore) -> f64 {
+        mean(reports)
+    }
+
+    fn label(&self) -> String {
+        "Ostrich".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_estimation::rng::seeded;
+
+    #[test]
+    fn averages_everything() {
+        let mut rng = seeded(0);
+        let est = Ostrich.estimate_mean(&[1.0, 2.0, 3.0], &mut rng);
+        assert!((est - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poison_shifts_ostrich_fully() {
+        let mut rng = seeded(0);
+        // 50% poison at +10 shifts the estimate by +5.
+        let reports: Vec<f64> = vec![0.0; 100].into_iter().chain(vec![10.0; 100]).collect();
+        let est = Ostrich.estimate_mean(&reports, &mut rng);
+        assert!((est - 5.0).abs() < 1e-12);
+    }
+}

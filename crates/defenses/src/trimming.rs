@@ -1,0 +1,90 @@
+//! Trimming baseline: drop a fixed fraction of extreme reports on the
+//! poisoned side (§VI-C uses 50%).
+
+use crate::MeanDefense;
+use dap_attack::Side;
+use dap_estimation::stats::mean;
+use rand::RngCore;
+
+/// Removes the most extreme `fraction` of the reports on `side`, then
+/// averages the remainder.
+#[derive(Debug, Clone, Copy)]
+pub struct Trimming {
+    /// Fraction of reports to remove, in `[0, 1)`.
+    pub fraction: f64,
+    /// Which tail to remove (the hypothesized poisoned side).
+    pub side: Side,
+}
+
+impl Trimming {
+    /// The paper's configuration: trim 50% on the given side.
+    pub fn paper_default(side: Side) -> Self {
+        Trimming { fraction: 0.5, side }
+    }
+}
+
+impl MeanDefense for Trimming {
+    fn estimate_mean(&self, reports: &[f64], _rng: &mut dyn RngCore) -> f64 {
+        assert!((0.0..1.0).contains(&self.fraction), "invalid trim fraction");
+        if reports.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = reports.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in reports"));
+        let drop = (self.fraction * sorted.len() as f64).round() as usize;
+        let drop = drop.min(sorted.len() - 1);
+        let kept = match self.side {
+            Side::Right => &sorted[..sorted.len() - drop],
+            Side::Left => &sorted[drop..],
+        };
+        mean(kept)
+    }
+
+    fn label(&self) -> String {
+        format!("Trimming({}%, {})", self.fraction * 100.0, self.side)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_estimation::rng::seeded;
+
+    #[test]
+    fn removes_the_right_tail() {
+        let mut rng = seeded(0);
+        let reports = [0.0, 1.0, 2.0, 3.0, 100.0, 100.0];
+        let t = Trimming { fraction: 1.0 / 3.0, side: Side::Right };
+        let est = t.estimate_mean(&reports, &mut rng);
+        assert!((est - 1.5).abs() < 1e-12); // mean of [0,1,2,3]
+    }
+
+    #[test]
+    fn removes_the_left_tail() {
+        let mut rng = seeded(0);
+        let reports = [-100.0, -100.0, 0.0, 1.0, 2.0, 3.0];
+        let t = Trimming { fraction: 1.0 / 3.0, side: Side::Left };
+        let est = t.estimate_mean(&reports, &mut rng);
+        assert!((est - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trimming_biases_clean_data() {
+        // The §I criticism: trimming removes honest tail values and biases
+        // the estimate even with no attack present.
+        let mut rng = seeded(0);
+        let reports: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect(); // uniform [0,1]
+        let t = Trimming::paper_default(Side::Right);
+        let est = t.estimate_mean(&reports, &mut rng);
+        assert!(est < 0.3, "50% right-trim of uniform[0,1] should be ≈0.25, got {est}");
+    }
+
+    #[test]
+    fn survives_tiny_inputs() {
+        let mut rng = seeded(0);
+        let t = Trimming::paper_default(Side::Right);
+        assert_eq!(t.estimate_mean(&[], &mut rng), 0.0);
+        let one = t.estimate_mean(&[7.0], &mut rng);
+        assert!((one - 7.0).abs() < 1e-12);
+    }
+}

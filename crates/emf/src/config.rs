@@ -1,0 +1,93 @@
+//! EMF sizing and stopping configuration.
+
+use dap_estimation::{EmOptions, Grid};
+
+/// Bucketization and stopping parameters for one EMF run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmfConfig {
+    /// Input buckets `d` (honest-user histogram resolution).
+    pub d_in: usize,
+    /// Output buckets `d'` (report histogram resolution).
+    pub d_out: usize,
+    /// EM stopping rule.
+    pub em: EmOptions,
+}
+
+impl EmfConfig {
+    /// Floor on the input-bucket count. The paper's rule
+    /// `d = ⌊d'(e^{ε/2}−1)/(e^{ε/2}+1)⌋` is calibrated for `d' = 1000`
+    /// (N = 10⁶), where it yields `d = 15` even at ε = 1/16; at smaller `d'`
+    /// it can collapse to 2-3 buckets, which destroys the `Var(x̂)` side
+    /// probe (Algorithm 3 compares variances of that vector). The floor
+    /// restores the paper's effective probe resolution.
+    pub const MIN_D_IN: usize = 16;
+
+    fn floored_d_in(d_out: usize, eps: f64) -> usize {
+        let rule = Grid::input_bucket_count(d_out, eps);
+        let floor = Self::MIN_D_IN.min((d_out / 4).max(2));
+        rule.max(floor)
+    }
+
+    /// The paper's sizing rule (§VI-A): `d' = ⌊√N⌋` (evened),
+    /// `d = ⌊d'(e^{ε/2}−1)/(e^{ε/2}+1)⌋` (floored, see [`Self::MIN_D_IN`]),
+    /// stopping at `τ = 0.01·e^ε`.
+    pub fn paper_default(n_reports: usize, eps: f64) -> Self {
+        let d_out = Grid::output_bucket_count(n_reports);
+        let d_in = Self::floored_d_in(d_out, eps);
+        EmfConfig { d_in, d_out, em: EmOptions::paper_default(eps) }
+    }
+
+    /// Same sizing but with a hard cap on `d'`, keeping EM cost bounded for
+    /// very large populations (cost is `O(d'·d)` per iteration).
+    pub fn capped(n_reports: usize, eps: f64, max_d_out: usize) -> Self {
+        let mut cfg = Self::paper_default(n_reports, eps);
+        if cfg.d_out > max_d_out {
+            let d_out = if max_d_out.is_multiple_of(2) { max_d_out } else { max_d_out - 1 };
+            cfg.d_out = d_out.max(2);
+            cfg.d_in = Self::floored_d_in(cfg.d_out, eps);
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_follows_rules() {
+        let cfg = EmfConfig::paper_default(1_000_000, 2.0);
+        assert_eq!(cfg.d_out, 1000);
+        assert_eq!(cfg.d_in, 462);
+        assert!((cfg.em.tol - 0.01 * 2.0f64.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capped_reduces_d_out() {
+        let cfg = EmfConfig::capped(1_000_000, 1.0, 301);
+        assert_eq!(cfg.d_out, 300);
+        assert!(cfg.d_in >= 2);
+        // No-op when under the cap.
+        let cfg = EmfConfig::capped(10_000, 1.0, 1000);
+        assert_eq!(cfg.d_out, 100);
+    }
+
+    #[test]
+    fn d_in_floor_preserves_probe_resolution() {
+        // At ε = 1/16 the raw rule gives d' = 64 → d = 2·0 → clamped 2; the
+        // floor lifts it so the Var(x̂) probe has something to compare.
+        let cfg = EmfConfig::capped(30_000, 1.0 / 16.0, 64);
+        assert_eq!(cfg.d_out, 64);
+        assert!(cfg.d_in >= 16, "d_in {}", cfg.d_in);
+        // The floor never exceeds d'/4 for small grids.
+        let tiny = EmfConfig::capped(30_000, 1.0 / 16.0, 16);
+        assert!(tiny.d_in >= 4 && tiny.d_in <= 16, "d_in {}", tiny.d_in);
+    }
+
+    #[test]
+    fn tiny_populations_stay_valid() {
+        let cfg = EmfConfig::paper_default(3, 0.0625);
+        assert!(cfg.d_out >= 2);
+        assert!(cfg.d_in >= 2);
+    }
+}

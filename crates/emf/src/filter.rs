@@ -1,0 +1,227 @@
+//! EMF (Algorithm 2), EMF\* (Algorithm 4) and CEMF\* (Theorem 5).
+//!
+//! These are thin, well-named instantiations of the generic EM solver in
+//! `dap-estimation`: the paper's three variants differ only in M-step
+//! normalization and poison-bucket initialization.
+
+use dap_estimation::em::{self, EmOptions, EmOutcome, MStep};
+use dap_estimation::TransformMatrix;
+
+/// Plain EMF (Algorithm 2): free M-step, uniform initialization.
+///
+/// ```
+/// use dap_emf::emf;
+/// use dap_estimation::{EmOptions, PoisonRegion, TransformMatrix};
+/// use dap_ldp::PiecewiseMechanism;
+///
+/// let mech = PiecewiseMechanism::with_epsilon(0.25).unwrap();
+/// let matrix = TransformMatrix::for_numeric(&mech, 8, 32, &PoisonRegion::RightOf(0.0));
+/// // A synthetic report histogram: uniform honest mass plus a spike in the
+/// // topmost (poisoned-side) bucket.
+/// let mut counts = vec![100.0; 32];
+/// counts[31] += 3_000.0;
+/// let outcome = emf(&matrix, &counts, &EmOptions::default());
+/// // The spike is attributed to the poison block, not to honest users.
+/// assert!(outcome.poison[31] > 0.3, "poison mass {}", outcome.poison[31]);
+/// ```
+pub fn emf(matrix: &TransformMatrix, counts: &[f64], opts: &EmOptions) -> EmOutcome {
+    em::solve(matrix, counts, MStep::Free, opts)
+}
+
+/// EMF\* (Algorithm 4): M-step constrained to `Σ x̂ = 1 − γ̂`, `Σ ŷ = γ̂`,
+/// where `γ̂` comes from a prior EMF pass (typically on the most-private
+/// group, per Theorem 3).
+pub fn emf_star(
+    matrix: &TransformMatrix,
+    counts: &[f64],
+    gamma: f64,
+    opts: &EmOptions,
+) -> EmOutcome {
+    em::solve(matrix, counts, MStep::Constrained { gamma }, opts)
+}
+
+/// The experiment section's suppression threshold for CEMF\*:
+/// `0.5·γ̂ / |poison buckets|` (§VI-C uses `0.5 γ̂/(d'/2)`).
+pub fn cemf_star_threshold(gamma: f64, poison_buckets: usize) -> f64 {
+    if poison_buckets == 0 {
+        return f64::INFINITY;
+    }
+    0.5 * gamma / poison_buckets as f64
+}
+
+/// CEMF\*: suppresses the poison buckets whose mass in `base` (an EMF/EMF\*
+/// outcome on the same matrix) falls below `threshold`, then re-runs the
+/// constrained EM. Suppressed buckets are initialized to exactly zero, which
+/// keeps them at zero for the whole run (their E-step responsibility
+/// vanishes) — precisely the paper's "treat these buckets as if no poison
+/// values are there".
+pub fn cemf_star(
+    matrix: &TransformMatrix,
+    counts: &[f64],
+    gamma: f64,
+    threshold: f64,
+    base: &EmOutcome,
+    opts: &EmOptions,
+) -> EmOutcome {
+    assert_eq!(base.poison.len(), matrix.d_out(), "base outcome shape mismatch");
+    let n_components = matrix.d_in() + matrix.poison_buckets().len();
+    let share = 1.0 / n_components.max(1) as f64;
+    let x0 = vec![share; matrix.d_in()];
+    let mut y0 = vec![0.0; matrix.d_out()];
+    let mut survivors = 0usize;
+    for &j in matrix.poison_buckets() {
+        if base.poison[j] >= threshold {
+            y0[j] = share;
+            survivors += 1;
+        }
+    }
+    if survivors == 0 {
+        // Everything suppressed — the attack mass is below noise. Fall back
+        // to a pure normal-block fit with γ = 0 so the caller still gets a
+        // usable histogram.
+        return em::solve_with_init(
+            matrix,
+            counts,
+            MStep::Constrained { gamma: 0.0 },
+            &x0,
+            &y0,
+            opts,
+        );
+    }
+    em::solve_with_init(matrix, counts, MStep::Constrained { gamma }, &x0, &y0, opts)
+}
+
+/// Poison-value mean `M_α` from a reconstructed poison histogram (Eq. 11):
+/// `Σ ŷ_j ν_j / Σ ŷ_j`, with `ν_j` the output-bucket centers.
+///
+/// Returns `None` when the histogram carries no mass (no detectable attack).
+pub fn poison_mean(outcome: &EmOutcome, output_centers: &[f64]) -> Option<f64> {
+    assert_eq!(outcome.poison.len(), output_centers.len(), "centers shape mismatch");
+    let mass: f64 = outcome.poison.iter().sum();
+    if mass <= 0.0 {
+        return None;
+    }
+    let weighted: f64 = outcome
+        .poison
+        .iter()
+        .zip(output_centers)
+        .map(|(y, nu)| y * nu)
+        .sum();
+    Some(weighted / mass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_estimation::grid::Grid;
+    use dap_estimation::PoisonRegion;
+    use dap_ldp::{NumericMechanism, PiecewiseMechanism};
+    use rand::Rng;
+
+    /// Simulate N honest users (values ~ spike at -0.5) + poison uniform on
+    /// the top quarter of the output domain.
+    fn scenario(
+        eps: f64,
+        n: usize,
+        gamma: f64,
+        seed: u64,
+    ) -> (TransformMatrix, Vec<f64>, PiecewiseMechanism) {
+        let mech = PiecewiseMechanism::with_epsilon(eps).unwrap();
+        let mut rng = dap_estimation::rng::seeded(seed);
+        let m = (n as f64 * gamma).round() as usize;
+        let honest = n - m;
+        let c = mech.c();
+        let mut reports: Vec<f64> =
+            (0..honest).map(|_| mech.perturb(-0.5, &mut rng)).collect();
+        reports.extend((0..m).map(|_| rng.gen_range((0.75 * c)..=c)));
+
+        let d_out = 64;
+        let d_in = 8;
+        let matrix =
+            TransformMatrix::for_numeric(&mech, d_in, d_out, &PoisonRegion::RightOf(0.0));
+        let grid = Grid::new(-c, c, d_out);
+        let counts = grid.counts(&reports);
+        (matrix, counts, mech)
+    }
+
+    #[test]
+    fn emf_estimates_gamma_at_small_epsilon() {
+        let (matrix, counts, _) = scenario(0.125, 40_000, 0.25, 1);
+        let out = emf(&matrix, &counts, &EmOptions { tol: 1e-6, max_iters: 1000 });
+        let gamma_hat = out.poison_mass();
+        assert!(
+            (gamma_hat - 0.25).abs() < 0.05,
+            "gamma_hat = {gamma_hat}, expected ≈ 0.25"
+        );
+    }
+
+    #[test]
+    fn emf_star_pins_total_poison_mass() {
+        let (matrix, counts, _) = scenario(0.5, 20_000, 0.2, 2);
+        let out = emf_star(&matrix, &counts, 0.2, &EmOptions::default());
+        assert!((out.poison_mass() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poison_mean_locates_the_attack() {
+        let (matrix, counts, mech) = scenario(0.25, 40_000, 0.25, 3);
+        let out = emf(&matrix, &counts, &EmOptions { tol: 1e-6, max_iters: 1000 });
+        let m_alpha = poison_mean(&out, matrix.output_centers()).expect("attack present");
+        // True poison mean is 0.875·C (uniform on [0.75C, C]).
+        let c = mech.c();
+        assert!(
+            (m_alpha - 0.875 * c).abs() < 0.1 * c,
+            "M_alpha = {m_alpha}, C = {c}"
+        );
+    }
+
+    #[test]
+    fn poison_mean_is_none_without_mass() {
+        let (matrix, counts, _) = scenario(0.5, 5_000, 0.2, 4);
+        let mut out = emf(&matrix, &counts, &EmOptions::default());
+        out.poison.iter_mut().for_each(|v| *v = 0.0);
+        assert!(poison_mean(&out, matrix.output_centers()).is_none());
+    }
+
+    #[test]
+    fn cemf_star_suppresses_empty_buckets() {
+        // Attack concentrated on the top quarter: buckets below 0.75C on the
+        // poisoned side should end up with zero mass after suppression.
+        let (matrix, counts, mech) = scenario(0.25, 40_000, 0.25, 5);
+        let opts = EmOptions { tol: 1e-6, max_iters: 1000 };
+        let base = emf(&matrix, &counts, &opts);
+        let gamma = base.poison_mass();
+        let thr = cemf_star_threshold(gamma, matrix.poison_buckets().len());
+        let refined = cemf_star(&matrix, &counts, gamma, thr, &base, &opts);
+
+        let c = mech.c();
+        let suppressed_mass: f64 = matrix
+            .poison_buckets()
+            .iter()
+            .filter(|&&j| matrix.output_centers()[j] < 0.7 * c)
+            .map(|&j| refined.poison[j])
+            .sum();
+        let kept_mass: f64 = refined.poison.iter().sum();
+        assert!(
+            suppressed_mass < 0.1 * kept_mass,
+            "low buckets kept {suppressed_mass} of {kept_mass}"
+        );
+        assert!((kept_mass - gamma).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cemf_star_with_everything_suppressed_degrades_gracefully() {
+        let (matrix, counts, _) = scenario(0.5, 5_000, 0.0, 6);
+        let opts = EmOptions::default();
+        let base = emf(&matrix, &counts, &opts);
+        let refined = cemf_star(&matrix, &counts, 0.0, f64::INFINITY, &base, &opts);
+        assert!(refined.poison.iter().all(|&v| v == 0.0));
+        assert!((refined.normal.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_formula() {
+        assert!((cemf_star_threshold(0.25, 32) - 0.5 * 0.25 / 32.0).abs() < 1e-15);
+        assert!(cemf_star_threshold(0.25, 0).is_infinite());
+    }
+}

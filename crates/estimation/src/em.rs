@@ -1,0 +1,326 @@
+//! Generic EM solver over a block transform matrix.
+//!
+//! This is the computational core shared by EMF (Algorithm 2), EMF\*
+//! (Algorithm 4) and CEMF\* (Theorem 5): they differ only in the M-step
+//! normalization and in the initialization of the poison components, both of
+//! which are parameters here.
+//!
+//! Latent state is `(x̂, ŷ)` — the frequency histogram of normal users over
+//! `d` input buckets and of poison values over the poison-side output
+//! buckets. One E/M iteration costs `O(d' · d)`.
+
+use crate::transform::TransformMatrix;
+
+/// Stopping rule for the EM loop.
+///
+/// The paper stops when `|l(F)_t − l(F)_{t+1}| < τ` with `τ = 0.01·e^ε`
+/// (§VI-A); the log-likelihood here is the data-dependent part
+/// `Σ_i c_i ln(den_i)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmOptions {
+    /// Absolute tolerance on the log-likelihood improvement.
+    pub tol: f64,
+    /// Hard iteration cap (EM on concave likelihoods converges, but we never
+    /// spin unbounded on degenerate inputs).
+    pub max_iters: usize,
+}
+
+impl EmOptions {
+    /// The paper's stopping rule `τ = 0.01·e^ε` with a 500-iteration cap.
+    pub fn paper_default(eps: f64) -> Self {
+        EmOptions { tol: 0.01 * eps.exp(), max_iters: 500 }
+    }
+}
+
+impl Default for EmOptions {
+    fn default() -> Self {
+        EmOptions { tol: 1e-4, max_iters: 500 }
+    }
+}
+
+/// M-step normalization variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MStep {
+    /// Plain EMF (Algorithm 2): normalize `(x̂, ŷ)` jointly to sum 1.
+    Free,
+    /// EMF\* / CEMF\* (Algorithm 4, Theorem 4): `Σx̂ = 1−γ̂`, `Σŷ = γ̂`.
+    Constrained {
+        /// Byzantine proportion estimate from a prior EMF pass.
+        gamma: f64,
+    },
+}
+
+/// Result of an EM run.
+#[derive(Debug, Clone)]
+pub struct EmOutcome {
+    /// Normal-user frequency histogram `x̂` over the `d` input buckets.
+    pub normal: Vec<f64>,
+    /// Poison frequency histogram `ŷ`, full output length `d'` with zeros at
+    /// non-poison buckets.
+    pub poison: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met before the iteration cap.
+    pub converged: bool,
+    /// Final (data-dependent part of the) log-likelihood.
+    pub log_likelihood: f64,
+}
+
+impl EmOutcome {
+    /// Total poison mass `Σ ŷ_j` — the Byzantine proportion estimate `γ̂`
+    /// (Eq. 9).
+    pub fn poison_mass(&self) -> f64 {
+        self.poison.iter().sum()
+    }
+}
+
+/// Floor applied to mixture densities before taking logarithms, so empty
+/// buckets cannot produce `-inf`/NaN likelihoods.
+pub(crate) const DENSITY_FLOOR: f64 = 1e-300;
+
+/// Runs EM with uniform initialization over all latent components.
+pub fn solve(
+    matrix: &TransformMatrix,
+    counts: &[f64],
+    mstep: MStep,
+    opts: &EmOptions,
+) -> EmOutcome {
+    let share = 1.0 / (matrix.d_in() + matrix.poison_buckets().len()).max(1) as f64;
+    let x0 = vec![share; matrix.d_in()];
+    let mut y0 = vec![0.0; matrix.d_out()];
+    for &j in matrix.poison_buckets() {
+        y0[j] = share;
+    }
+    solve_with_init(matrix, counts, mstep, &x0, &y0, opts)
+}
+
+/// Runs EM from an explicit initialization.
+///
+/// CEMF\* uses this to suppress buckets: a poison component initialized to
+/// exactly `0` stays `0` for the whole run (its E-step responsibility is
+/// always zero), which is precisely the paper's "suppression".
+///
+/// # Panics
+/// If `counts.len() != d'`, or the initial vectors have wrong lengths or
+/// negative entries.
+pub fn solve_with_init(
+    matrix: &TransformMatrix,
+    counts: &[f64],
+    mstep: MStep,
+    x_init: &[f64],
+    y_init: &[f64],
+    opts: &EmOptions,
+) -> EmOutcome {
+    let d_in = matrix.d_in();
+    let d_out = matrix.d_out();
+    assert_eq!(counts.len(), d_out, "counts length must equal d'");
+    assert_eq!(x_init.len(), d_in, "x init length must equal d");
+    assert_eq!(y_init.len(), d_out, "y init length must equal d'");
+    assert!(
+        x_init.iter().chain(y_init.iter()).all(|&v| v >= 0.0 && v.is_finite()),
+        "initial histograms must be non-negative"
+    );
+
+    let mut x = x_init.to_vec();
+    let mut y = y_init.to_vec();
+    let mut px = vec![0.0; d_in];
+    let mut py = vec![0.0; d_out];
+    let mut prev_ll = f64::NEG_INFINITY;
+    let mut ll = prev_ll;
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for iter in 0..opts.max_iters {
+        iterations = iter + 1;
+        px.iter_mut().for_each(|v| *v = 0.0);
+        py.iter_mut().for_each(|v| *v = 0.0);
+        ll = 0.0;
+
+        // E-step. den_i = Σ_k M[i][k]·x_k + y_i; responsibilities are
+        // accumulated column-wise through the weight c_i/den_i.
+        for i in 0..d_out {
+            let row = matrix.normal_row(i);
+            let mut den: f64 = row.iter().zip(x.iter()).map(|(m, xv)| m * xv).sum();
+            den += y[i];
+            let den = den.max(DENSITY_FLOOR);
+            let c = counts[i];
+            if c > 0.0 {
+                ll += c * den.ln();
+                let w = c / den;
+                for (pxk, (m, xv)) in px.iter_mut().zip(row.iter().zip(x.iter())) {
+                    *pxk += m * xv * w;
+                }
+                py[i] = y[i] * w;
+            }
+        }
+
+        // M-step.
+        match mstep {
+            MStep::Free => {
+                let total: f64 = px.iter().sum::<f64>() + py.iter().sum::<f64>();
+                if total > 0.0 {
+                    for (xk, pxk) in x.iter_mut().zip(px.iter()) {
+                        *xk = pxk / total;
+                    }
+                    for (yj, pyj) in y.iter_mut().zip(py.iter()) {
+                        *yj = pyj / total;
+                    }
+                }
+            }
+            MStep::Constrained { gamma } => {
+                let gamma = gamma.clamp(0.0, 1.0);
+                let sx: f64 = px.iter().sum();
+                let sy: f64 = py.iter().sum();
+                if sx > 0.0 {
+                    for (xk, pxk) in x.iter_mut().zip(px.iter()) {
+                        *xk = (1.0 - gamma) * pxk / sx;
+                    }
+                }
+                if sy > 0.0 {
+                    for (yj, pyj) in y.iter_mut().zip(py.iter()) {
+                        *yj = gamma * pyj / sy;
+                    }
+                } else {
+                    // No feasible poison mass (all suppressed or γ=0): put
+                    // everything on the normal block so the output remains a
+                    // distribution.
+                    if sx > 0.0 {
+                        for (xk, pxk) in x.iter_mut().zip(px.iter()) {
+                            *xk = pxk / sx;
+                        }
+                    }
+                    y.iter_mut().for_each(|v| *v = 0.0);
+                }
+            }
+        }
+
+        if (ll - prev_ll).abs() < opts.tol {
+            converged = true;
+            break;
+        }
+        prev_ll = ll;
+    }
+
+    EmOutcome { normal: x, poison: y, iterations, converged, log_likelihood: ll }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::PoisonRegion;
+    use dap_ldp::PiecewiseMechanism;
+
+    fn pm_matrix(eps: f64, d_in: usize, d_out: usize) -> TransformMatrix {
+        let mech = PiecewiseMechanism::with_epsilon(eps).unwrap();
+        TransformMatrix::for_numeric(&mech, d_in, d_out, &PoisonRegion::RightOf(0.0))
+    }
+
+    #[test]
+    fn output_is_a_distribution() {
+        let m = pm_matrix(0.5, 8, 32);
+        let counts = vec![10.0; 32];
+        let out = solve(&m, &counts, MStep::Free, &EmOptions::default());
+        let total: f64 = out.normal.iter().sum::<f64>() + out.poison_mass();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        assert!(out.normal.iter().all(|&v| v >= 0.0));
+        assert!(out.poison.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn constrained_mstep_respects_gamma() {
+        let m = pm_matrix(0.5, 8, 32);
+        let counts = vec![5.0; 32];
+        let gamma = 0.3;
+        let out = solve(&m, &counts, MStep::Constrained { gamma }, &EmOptions::default());
+        assert!((out.poison_mass() - gamma).abs() < 1e-9);
+        assert!((out.normal.iter().sum::<f64>() - (1.0 - gamma)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_initialized_poison_stays_zero() {
+        let m = pm_matrix(0.5, 8, 32);
+        let counts = vec![5.0; 32];
+        let share = 1.0 / 8.0;
+        let x0 = vec![share; 8];
+        let mut y0 = vec![0.0; 32];
+        // Leave exactly one poison bucket alive.
+        let alive = m.poison_buckets()[0];
+        y0[alive] = share;
+        let out = solve_with_init(
+            &m,
+            &counts,
+            MStep::Constrained { gamma: 0.2 },
+            &x0,
+            &y0,
+            &EmOptions::default(),
+        );
+        for &j in m.poison_buckets() {
+            if j != alive {
+                assert_eq!(out.poison[j], 0.0, "suppressed bucket {j} resurrected");
+            }
+        }
+        assert!((out.poison[alive] - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn likelihood_is_monotone_under_free_mstep() {
+        let m = pm_matrix(1.0, 8, 32);
+        // A lopsided count vector.
+        let counts: Vec<f64> = (0..32).map(|i| 1.0 + (i as f64) * (i as f64)).collect();
+        let opts = EmOptions { tol: 0.0, max_iters: 40 };
+        // Track the likelihood trajectory by running with increasing caps.
+        let mut prev = f64::NEG_INFINITY;
+        for iters in [1usize, 2, 5, 10, 20, 40] {
+            let out = solve(&m, &counts, MStep::Free, &EmOptions { max_iters: iters, ..opts });
+            assert!(
+                out.log_likelihood >= prev - 1e-6,
+                "likelihood decreased: {} -> {}",
+                prev,
+                out.log_likelihood
+            );
+            prev = out.log_likelihood;
+        }
+    }
+
+    #[test]
+    fn converges_under_paper_stopping_rule() {
+        let m = pm_matrix(0.25, 4, 16);
+        let counts = vec![100.0; 16];
+        let out = solve(&m, &counts, MStep::Free, &EmOptions::paper_default(0.25));
+        assert!(out.converged, "no convergence in {} iters", out.iterations);
+    }
+
+    #[test]
+    fn recovers_pure_poison_spike() {
+        // All mass in a single right-side bucket with a near-zero budget:
+        // EM should attribute most of it to the poison component of that
+        // bucket (Theorem 3 intuition).
+        let m = pm_matrix(0.0625, 4, 16);
+        let spike = 12; // right-side bucket
+        assert!(m.is_poison(spike));
+        let mut counts = vec![0.0; 16];
+        counts[spike] = 1000.0;
+        let out = solve(&m, &counts, MStep::Free, &EmOptions { tol: 1e-9, max_iters: 2000 });
+        assert!(
+            out.poison[spike] > 0.8,
+            "poison mass at spike only {}",
+            out.poison[spike]
+        );
+    }
+
+    #[test]
+    fn handles_empty_counts_without_nan() {
+        let m = pm_matrix(0.5, 4, 16);
+        let counts = vec![0.0; 16];
+        let out = solve(&m, &counts, MStep::Free, &EmOptions::default());
+        assert!(out.normal.iter().all(|v| v.is_finite()));
+        assert!(out.poison.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "counts length")]
+    fn rejects_wrong_count_length() {
+        let m = pm_matrix(0.5, 4, 16);
+        solve(&m, &[1.0; 8], MStep::Free, &EmOptions::default());
+    }
+}

@@ -1,0 +1,58 @@
+//! Deterministic RNG plumbing.
+//!
+//! Every randomized component in the workspace takes an explicit RNG; the
+//! experiment harness derives independent, reproducible streams from a single
+//! master seed with [`fn@derive`], so adding a trial never perturbs existing
+//! ones.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A seeded standard RNG.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives an independent RNG for a named sub-stream of `seed`.
+///
+/// Uses SplitMix64 finalization over `(seed, stream)` so that nearby stream
+/// ids produce uncorrelated states.
+pub fn derive(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(split_mix(seed ^ split_mix(stream)))
+}
+
+fn split_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a: u64 = seeded(1).gen();
+        let b: u64 = seeded(1).gen();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streams_differ() {
+        let a: u64 = derive(1, 0).gen();
+        let b: u64 = derive(1, 1).gen();
+        let c: u64 = derive(2, 0).gen();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn derive_is_deterministic() {
+        let a: u64 = derive(99, 7).gen();
+        let b: u64 = derive(99, 7).gen();
+        assert_eq!(a, b);
+    }
+}

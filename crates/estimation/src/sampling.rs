@@ -1,0 +1,158 @@
+//! Distribution samplers built on plain `rand`.
+//!
+//! The approved offline dependency set lacks `rand_distr`, so the small set
+//! of distributions the paper needs — normal (Box–Muller), gamma
+//! (Marsaglia–Tsang), and beta (ratio of gammas) — is implemented here and
+//! shared by the dataset generators and the poison-value distributions.
+
+use rand::{Rng, RngCore};
+
+/// Standard normal draw via the Box–Muller transform.
+pub fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+    // Avoid ln(0) by sampling u1 from the open interval.
+    let u1: f64 = loop {
+        let u = rng.gen::<f64>();
+        if u > 0.0 {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal draw with the given mean and standard deviation.
+///
+/// # Panics
+/// If `sigma` is negative or not finite.
+pub fn normal(mu: f64, sigma: f64, rng: &mut dyn RngCore) -> f64 {
+    assert!(sigma >= 0.0 && sigma.is_finite(), "invalid sigma {sigma}");
+    mu + sigma * standard_normal(rng)
+}
+
+/// Gamma draw with the given shape and scale (Marsaglia–Tsang for
+/// `shape ≥ 1`, boosted by the `U^{1/shape}` trick below 1).
+///
+/// # Panics
+/// If `shape` or `scale` is not finite and positive.
+pub fn gamma(shape: f64, scale: f64, rng: &mut dyn RngCore) -> f64 {
+    assert!(shape.is_finite() && shape > 0.0, "invalid gamma shape {shape}");
+    assert!(scale.is_finite() && scale > 0.0, "invalid gamma scale {scale}");
+    if shape < 1.0 {
+        // Johnk boost: Gamma(a) = Gamma(a+1) · U^{1/a}.
+        let u: f64 = loop {
+            let u = rng.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        return gamma(shape + 1.0, scale, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.gen();
+        // Squeeze then full acceptance check.
+        if u < 1.0 - 0.0331 * x * x * x * x
+            || (u > 0.0 && u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()))
+        {
+            return d * v3 * scale;
+        }
+    }
+}
+
+/// Beta(α, β) draw on `[0, 1]` as `G_α / (G_α + G_β)`.
+///
+/// # Panics
+/// If either parameter is not finite and positive.
+pub fn beta(alpha: f64, beta_p: f64, rng: &mut dyn RngCore) -> f64 {
+    let ga = gamma(alpha, 1.0, rng);
+    let gb = gamma(beta_p, 1.0, rng);
+    if ga + gb == 0.0 {
+        return 0.5;
+    }
+    ga / (ga + gb)
+}
+
+/// Truncated-normal draw on `[lo, hi]` by rejection with a clamp fallback
+/// after 64 tries (only reachable when the window is many σ from μ).
+///
+/// # Panics
+/// If `lo >= hi` or `sigma` is invalid.
+pub fn truncated_normal(mu: f64, sigma: f64, lo: f64, hi: f64, rng: &mut dyn RngCore) -> f64 {
+    assert!(lo < hi, "empty truncation window [{lo}, {hi}]");
+    for _ in 0..64 {
+        let x = normal(mu, sigma, rng);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    normal(mu, sigma, rng).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use crate::stats::{mean, variance};
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded(1);
+        let xs: Vec<f64> = (0..100_000).map(|_| normal(2.0, 3.0, &mut rng)).collect();
+        assert!((mean(&xs) - 2.0).abs() < 0.05, "mean {}", mean(&xs));
+        assert!((variance(&xs) - 9.0).abs() < 0.3, "var {}", variance(&xs));
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut rng = seeded(2);
+        // Gamma(k=4, θ=0.5): mean 2, var 1.
+        let xs: Vec<f64> = (0..100_000).map(|_| gamma(4.0, 0.5, &mut rng)).collect();
+        assert!((mean(&xs) - 2.0).abs() < 0.05);
+        assert!((variance(&xs) - 1.0).abs() < 0.1);
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn gamma_small_shape() {
+        let mut rng = seeded(3);
+        // Gamma(0.5, 1): mean 0.5.
+        let xs: Vec<f64> = (0..100_000).map(|_| gamma(0.5, 1.0, &mut rng)).collect();
+        assert!((mean(&xs) - 0.5).abs() < 0.02);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn beta_moments_match() {
+        let mut rng = seeded(4);
+        // Beta(2,5): mean 2/7 ≈ 0.2857, var = 10/(49·8) ≈ 0.0255.
+        let xs: Vec<f64> = (0..100_000).map(|_| beta(2.0, 5.0, &mut rng)).collect();
+        assert!((mean(&xs) - 2.0 / 7.0).abs() < 0.01);
+        assert!((variance(&xs) - 0.0255).abs() < 0.005);
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn beta_skews_the_right_way() {
+        let mut rng = seeded(5);
+        let left: Vec<f64> = (0..20_000).map(|_| beta(1.0, 6.0, &mut rng)).collect();
+        let right: Vec<f64> = (0..20_000).map(|_| beta(6.0, 1.0, &mut rng)).collect();
+        assert!(mean(&left) < 0.2);
+        assert!(mean(&right) > 0.8);
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut rng = seeded(6);
+        for _ in 0..10_000 {
+            let x = truncated_normal(0.0, 1.0, 0.5, 1.5, &mut rng);
+            assert!((0.5..=1.5).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Statistics helpers: moments, error metrics, histogram distances.
+
+/// Arithmetic mean of a slice; `0.0` for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population variance of a slice; `0.0` for fewer than two values.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Mean squared error of repeated estimates against a scalar truth.
+pub fn mse(estimates: &[f64], truth: f64) -> f64 {
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    estimates.iter().map(|&e| (e - truth) * (e - truth)).sum::<f64>() / estimates.len() as f64
+}
+
+/// Mean of a frequency histogram given per-bucket representative values.
+///
+/// # Panics
+/// If lengths mismatch.
+pub fn histogram_mean(freqs: &[f64], centers: &[f64]) -> f64 {
+    assert_eq!(freqs.len(), centers.len(), "histogram/centers length mismatch");
+    let total: f64 = freqs.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    freqs.iter().zip(centers).map(|(f, c)| f * c).sum::<f64>() / total
+}
+
+/// Wasserstein-1 distance between two frequency histograms on the same
+/// uniform grid of bucket width `width`. Both inputs are normalized to mass 1
+/// first (empty histograms count as uniform-zero and yield 0).
+///
+/// # Panics
+/// If lengths mismatch.
+pub fn wasserstein_1(p: &[f64], q: &[f64], width: f64) -> f64 {
+    assert_eq!(p.len(), q.len(), "histogram length mismatch");
+    let (sp, sq) = (p.iter().sum::<f64>(), q.iter().sum::<f64>());
+    if sp <= 0.0 || sq <= 0.0 {
+        return 0.0;
+    }
+    let mut cum = 0.0;
+    let mut dist = 0.0;
+    for (a, b) in p.iter().zip(q) {
+        cum += a / sp - b / sq;
+        dist += cum.abs() * width;
+    }
+    dist
+}
+
+/// Normalizes values from `[lo, hi]` into `[-1, 1]` (the paper's numerical
+/// input domain).
+pub fn normalize_to_signed(values: &[f64], lo: f64, hi: f64) -> Vec<f64> {
+    assert!(hi > lo, "degenerate normalization range");
+    let scale = 2.0 / (hi - lo);
+    values.iter().map(|&v| ((v - lo) * scale - 1.0).clamp(-1.0, 1.0)).collect()
+}
+
+/// Normalizes values from `[lo, hi]` into `[0, 1]` (the Square-Wave domain).
+pub fn normalize_to_unit(values: &[f64], lo: f64, hi: f64) -> Vec<f64> {
+    assert!(hi > lo, "degenerate normalization range");
+    let scale = 1.0 / (hi - lo);
+    values.iter().map(|&v| ((v - lo) * scale).clamp(0.0, 1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_of_perfect_estimates_is_zero() {
+        assert_eq!(mse(&[0.5, 0.5], 0.5), 0.0);
+        assert!((mse(&[0.0, 1.0], 0.5) - 0.25).abs() < 1e-12);
+        assert_eq!(mse(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_mean_weights_by_frequency() {
+        let m = histogram_mean(&[0.25, 0.75], &[-1.0, 1.0]);
+        assert!((m - 0.5).abs() < 1e-12);
+        // Unnormalized input is normalized internally.
+        let m = histogram_mean(&[1.0, 3.0], &[-1.0, 1.0]);
+        assert!((m - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wasserstein_identical_is_zero() {
+        let p = [0.2, 0.3, 0.5];
+        assert_eq!(wasserstein_1(&p, &p, 0.1), 0.0);
+    }
+
+    #[test]
+    fn wasserstein_shift_by_one_bucket() {
+        // Point mass moved one bucket over: distance = bucket width.
+        let p = [1.0, 0.0, 0.0];
+        let q = [0.0, 1.0, 0.0];
+        assert!((wasserstein_1(&p, &q, 0.25) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wasserstein_is_symmetric() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.1, 0.8];
+        assert!((wasserstein_1(&p, &q, 0.5) - wasserstein_1(&q, &p, 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_signed_maps_endpoints() {
+        let out = normalize_to_signed(&[0.0, 50.0, 100.0], 0.0, 100.0);
+        assert_eq!(out, vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn normalize_unit_clamps_outliers() {
+        let out = normalize_to_unit(&[-10.0, 5.0, 20.0], 0.0, 10.0);
+        assert_eq!(out, vec![0.0, 0.5, 1.0]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Transform matrices (Fig. 2 of the paper).
+//!
+//! The matrix `M` has one row per *output* bucket and one column per latent
+//! component. Latent components come in two blocks:
+//!
+//! * **normal block** — `d` input buckets of honest users; entry
+//!   `M[b_i][x_k] = Pr[v' ∈ B'_i | v = center(B_{x_k})]`, integrated exactly
+//!   from the mechanism's conditional output density;
+//! * **poison block** — one latent component per output bucket on the
+//!   *poisoned side*; Byzantine users inject values directly, so the block is
+//!   the identity (`M[b_i][y_j] = 1 ⟺ i = j`).
+//!
+//! The identity structure of the poison block means we never materialize it;
+//! [`TransformMatrix`] stores the normal block plus a poison-bucket mask.
+
+use crate::grid::Grid;
+use dap_ldp::{CategoricalMechanism, NumericMechanism};
+
+/// Which output buckets may contain poison values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoisonRegion {
+    /// No poison block (plain distribution estimation, e.g. EMS).
+    None,
+    /// All output buckets whose center is `≥ pivot` (attack on the right of
+    /// the initial mean `O'`).
+    RightOf(f64),
+    /// All output buckets whose center is `≤ pivot` (attack on the left).
+    LeftOf(f64),
+    /// Explicit output-bucket indices (categorical side probing).
+    Buckets(Vec<usize>),
+}
+
+/// A block transform matrix ready for the EM solver.
+#[derive(Debug, Clone)]
+pub struct TransformMatrix {
+    d_out: usize,
+    d_in: usize,
+    /// Row-major `d_out × d_in` normal block.
+    normal: Vec<f64>,
+    /// `poison_mask[i]` — output bucket `i` doubles as a poison component.
+    poison_mask: Vec<bool>,
+    /// Sorted indices of poison buckets (derived from the mask).
+    poison_buckets: Vec<usize>,
+    /// Center value of each output bucket (the paper's `ν_j`).
+    output_centers: Vec<f64>,
+    /// Center value of each input bucket.
+    input_centers: Vec<f64>,
+}
+
+impl TransformMatrix {
+    /// Builds the matrix for a numerical mechanism with `d_in` input buckets
+    /// over the mechanism's input range and `d_out` output buckets over its
+    /// output range.
+    pub fn for_numeric<M: NumericMechanism + ?Sized>(
+        mech: &M,
+        d_in: usize,
+        d_out: usize,
+        poison: &PoisonRegion,
+    ) -> Self {
+        let (ilo, ihi) = mech.input_range();
+        let (olo, ohi) = mech.output_range();
+        let input_grid = Grid::new(ilo, ihi, d_in);
+        let output_grid = Grid::new(olo, ohi, d_out);
+
+        let mut normal = vec![0.0; d_out * d_in];
+        for k in 0..d_in {
+            let dist = mech.output_distribution(input_grid.center(k));
+            for i in 0..d_out {
+                let (a, b) = output_grid.edges(i);
+                let closed_right = i + 1 == d_out;
+                normal[i * d_in + k] = dist.mass_between(a, b, closed_right);
+            }
+        }
+
+        let output_centers: Vec<f64> = (0..d_out).map(|i| output_grid.center(i)).collect();
+        let input_centers: Vec<f64> = (0..d_in).map(|k| input_grid.center(k)).collect();
+        let poison_mask = Self::mask_from_region(poison, &output_centers);
+        let poison_buckets = mask_indices(&poison_mask);
+        TransformMatrix { d_out, d_in, normal, poison_mask, poison_buckets, output_centers, input_centers }
+    }
+
+    /// Builds the matrix for a categorical mechanism: the normal block is the
+    /// `k × k` transition matrix; poison components sit on the listed
+    /// categories.
+    pub fn for_categorical<M: CategoricalMechanism + ?Sized>(
+        mech: &M,
+        poison_categories: &[usize],
+    ) -> Self {
+        let k = mech.categories();
+        let mut normal = vec![0.0; k * k];
+        for inp in 0..k {
+            for out in 0..k {
+                normal[out * k + inp] = mech.transition_probability(out, inp);
+            }
+        }
+        let mut poison_mask = vec![false; k];
+        for &c in poison_categories {
+            assert!(c < k, "poison category {c} out of range (k={k})");
+            poison_mask[c] = true;
+        }
+        let poison_buckets = mask_indices(&poison_mask);
+        let centers: Vec<f64> = (0..k).map(|i| i as f64).collect();
+        TransformMatrix {
+            d_out: k,
+            d_in: k,
+            normal,
+            poison_mask,
+            poison_buckets,
+            output_centers: centers.clone(),
+            input_centers: centers,
+        }
+    }
+
+    fn mask_from_region(poison: &PoisonRegion, output_centers: &[f64]) -> Vec<bool> {
+        match poison {
+            PoisonRegion::None => vec![false; output_centers.len()],
+            PoisonRegion::RightOf(pivot) => {
+                output_centers.iter().map(|&c| c >= *pivot).collect()
+            }
+            PoisonRegion::LeftOf(pivot) => output_centers.iter().map(|&c| c <= *pivot).collect(),
+            PoisonRegion::Buckets(idx) => {
+                let mut m = vec![false; output_centers.len()];
+                for &i in idx {
+                    assert!(i < m.len(), "poison bucket {i} out of range");
+                    m[i] = true;
+                }
+                m
+            }
+        }
+    }
+
+    /// Number of output buckets `d'`.
+    #[inline]
+    pub fn d_out(&self) -> usize {
+        self.d_out
+    }
+
+    /// Number of normal input buckets `d`.
+    #[inline]
+    pub fn d_in(&self) -> usize {
+        self.d_in
+    }
+
+    /// Normal-block entry `Pr[out bucket i | input bucket k]`.
+    #[inline]
+    pub fn normal_entry(&self, out: usize, inp: usize) -> f64 {
+        self.normal[out * self.d_in + inp]
+    }
+
+    /// Row `i` of the normal block.
+    #[inline]
+    pub fn normal_row(&self, out: usize) -> &[f64] {
+        &self.normal[out * self.d_in..(out + 1) * self.d_in]
+    }
+
+    /// Whether output bucket `i` doubles as a poison component.
+    #[inline]
+    pub fn is_poison(&self, i: usize) -> bool {
+        self.poison_mask[i]
+    }
+
+    /// Sorted indices of poison buckets.
+    #[inline]
+    pub fn poison_buckets(&self) -> &[usize] {
+        &self.poison_buckets
+    }
+
+    /// Center values `ν_j` of the output buckets.
+    #[inline]
+    pub fn output_centers(&self) -> &[f64] {
+        &self.output_centers
+    }
+
+    /// Center values of the normal input buckets.
+    #[inline]
+    pub fn input_centers(&self) -> &[f64] {
+        &self.input_centers
+    }
+
+    /// Column sums of the normal block — 1.0 for a proper mechanism, useful
+    /// as a sanity check in tests and debug assertions.
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.d_in];
+        for i in 0..self.d_out {
+            for (k, s) in sums.iter_mut().enumerate() {
+                *s += self.normal_entry(i, k);
+            }
+        }
+        sums
+    }
+}
+
+fn mask_indices(mask: &[bool]) -> Vec<usize> {
+    mask.iter().enumerate().filter_map(|(i, &m)| m.then_some(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_ldp::{Epsilon, KRandomizedResponse, PiecewiseMechanism, SquareWave};
+
+    #[test]
+    fn pm_columns_are_stochastic() {
+        let mech = PiecewiseMechanism::with_epsilon(1.0).unwrap();
+        let m = TransformMatrix::for_numeric(&mech, 16, 64, &PoisonRegion::RightOf(0.0));
+        for (k, s) in m.column_sums().iter().enumerate() {
+            assert!((s - 1.0).abs() < 1e-9, "column {k} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn sw_columns_are_stochastic() {
+        let mech = SquareWave::with_epsilon(0.5).unwrap();
+        let m = TransformMatrix::for_numeric(&mech, 8, 32, &PoisonRegion::None);
+        for s in m.column_sums() {
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        assert!(m.poison_buckets().is_empty());
+    }
+
+    #[test]
+    fn right_of_zero_marks_upper_half() {
+        let mech = PiecewiseMechanism::with_epsilon(1.0).unwrap();
+        let m = TransformMatrix::for_numeric(&mech, 4, 10, &PoisonRegion::RightOf(0.0));
+        // Output domain symmetric about 0 with 10 buckets → upper 5 poison.
+        assert_eq!(m.poison_buckets(), &[5, 6, 7, 8, 9]);
+        assert!(!m.is_poison(4));
+        assert!(m.is_poison(5));
+    }
+
+    #[test]
+    fn left_of_zero_marks_lower_half() {
+        let mech = PiecewiseMechanism::with_epsilon(1.0).unwrap();
+        let m = TransformMatrix::for_numeric(&mech, 4, 10, &PoisonRegion::LeftOf(0.0));
+        assert_eq!(m.poison_buckets(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nonzero_pivot_shifts_the_split() {
+        let mech = PiecewiseMechanism::with_epsilon(1.0).unwrap();
+        let c = mech.c();
+        let m = TransformMatrix::for_numeric(&mech, 4, 10, &PoisonRegion::RightOf(c / 2.0));
+        // Only buckets with center ≥ C/2 (top quarter) are poison.
+        for &b in m.poison_buckets() {
+            assert!(m.output_centers()[b] >= c / 2.0);
+        }
+        assert!(m.poison_buckets().len() < 5);
+        assert!(!m.poison_buckets().is_empty());
+    }
+
+    #[test]
+    fn band_mass_concentrates_near_input() {
+        let mech = PiecewiseMechanism::with_epsilon(2.0).unwrap();
+        let m = TransformMatrix::for_numeric(&mech, 8, 64, &PoisonRegion::None);
+        // For the middle input bucket, output buckets near the input carry
+        // more mass than remote ones.
+        let k = 4; // input center ≈ 0.125
+        let center_bucket = 32;
+        let far_bucket = 0;
+        assert!(m.normal_entry(center_bucket, k) > m.normal_entry(far_bucket, k));
+    }
+
+    #[test]
+    fn categorical_matrix_mirrors_transitions() {
+        let mech = KRandomizedResponse::new(Epsilon::of(1.0), 5).unwrap();
+        let m = TransformMatrix::for_categorical(&mech, &[2, 3]);
+        assert_eq!(m.d_in(), 5);
+        assert_eq!(m.d_out(), 5);
+        assert_eq!(m.poison_buckets(), &[2, 3]);
+        for out in 0..5 {
+            for inp in 0..5 {
+                assert_eq!(m.normal_entry(out, inp), mech.transition_probability(out, inp));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_poison_category() {
+        let mech = KRandomizedResponse::new(Epsilon::of(1.0), 3).unwrap();
+        TransformMatrix::for_categorical(&mech, &[7]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Privacy budget newtype.
+
+use crate::error::LdpError;
+use std::fmt;
+
+/// A validated local differential privacy budget `ε > 0`.
+///
+/// The paper works with budgets between `1/16` and `2`; the type accepts any
+/// finite positive value. `Epsilon` is `Copy` and ordered so it can be used
+/// directly as a map key in experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Creates a budget, rejecting non-finite or non-positive values.
+    pub fn new(eps: f64) -> Result<Self, LdpError> {
+        if eps.is_finite() && eps > 0.0 {
+            Ok(Epsilon(eps))
+        } else {
+            Err(LdpError::InvalidEpsilon(eps))
+        }
+    }
+
+    /// Creates a budget, panicking on invalid input.
+    ///
+    /// Convenient for literals in examples and tests:
+    /// `Epsilon::of(0.5)`.
+    ///
+    /// # Panics
+    /// If `eps` is not finite and positive.
+    pub fn of(eps: f64) -> Self {
+        Self::new(eps).expect("invalid privacy budget")
+    }
+
+    /// Raw budget value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// `e^ε`.
+    #[inline]
+    pub fn exp(self) -> f64 {
+        self.0.exp()
+    }
+
+    /// `e^{ε/2}` — the quantity dominating the Piecewise Mechanism algebra.
+    #[inline]
+    pub fn exp_half(self) -> f64 {
+        (self.0 / 2.0).exp()
+    }
+
+    /// Splits the budget into `(αε, (1-α)ε)` for the baseline two-phase
+    /// protocol of §IV. `alpha` must lie strictly in `(0, 1)`.
+    pub fn split(self, alpha: f64) -> Result<(Epsilon, Epsilon), LdpError> {
+        if !(alpha.is_finite() && alpha > 0.0 && alpha < 1.0) {
+            return Err(LdpError::InvalidEpsilon(alpha * self.0));
+        }
+        Ok((Epsilon(self.0 * alpha), Epsilon(self.0 * (1.0 - alpha))))
+    }
+
+    /// Halves the budget, as the DAP grouping stage does repeatedly.
+    #[inline]
+    pub fn halved(self) -> Epsilon {
+        Epsilon(self.0 / 2.0)
+    }
+}
+
+impl fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_positive_finite() {
+        assert_eq!(Epsilon::new(0.0625).unwrap().get(), 0.0625);
+        assert_eq!(Epsilon::new(5.0).unwrap().get(), 5.0);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(Epsilon::new(0.0).is_err());
+        assert!(Epsilon::new(-1.0).is_err());
+        assert!(Epsilon::new(f64::NAN).is_err());
+        assert!(Epsilon::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn split_conserves_budget() {
+        let (a, b) = Epsilon::of(1.0).split(0.1).unwrap();
+        assert!((a.get() + b.get() - 1.0).abs() < 1e-12);
+        assert!((a.get() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_rejects_degenerate_alpha() {
+        assert!(Epsilon::of(1.0).split(0.0).is_err());
+        assert!(Epsilon::of(1.0).split(1.0).is_err());
+        assert!(Epsilon::of(1.0).split(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn halved_halves() {
+        assert_eq!(Epsilon::of(2.0).halved().get(), 1.0);
+    }
+
+    #[test]
+    fn exp_helpers() {
+        let e = Epsilon::of(2.0);
+        assert!((e.exp() - 2.0f64.exp()).abs() < 1e-12);
+        assert!((e.exp_half() - 1.0f64.exp()).abs() < 1e-12);
+    }
+}

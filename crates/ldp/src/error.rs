@@ -1,0 +1,72 @@
+//! Error type shared by the LDP mechanism constructors.
+
+use std::fmt;
+
+/// Errors produced when constructing or invoking an LDP mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LdpError {
+    /// The privacy budget was not a finite positive number.
+    InvalidEpsilon(f64),
+    /// An input value fell outside the mechanism's input domain.
+    OutOfDomain {
+        /// The offending value.
+        value: f64,
+        /// Inclusive lower bound of the domain.
+        lo: f64,
+        /// Inclusive upper bound of the domain.
+        hi: f64,
+    },
+    /// A categorical mechanism was constructed with fewer than two categories.
+    TooFewCategories(usize),
+    /// A categorical input index was at least the category count.
+    CategoryOutOfRange {
+        /// The offending category index.
+        index: usize,
+        /// Number of categories of the mechanism.
+        categories: usize,
+    },
+}
+
+impl fmt::Display for LdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LdpError::InvalidEpsilon(e) => {
+                write!(f, "privacy budget must be finite and positive, got {e}")
+            }
+            LdpError::OutOfDomain { value, lo, hi } => {
+                write!(f, "input {value} outside mechanism domain [{lo}, {hi}]")
+            }
+            LdpError::TooFewCategories(k) => {
+                write!(f, "categorical mechanism needs at least 2 categories, got {k}")
+            }
+            LdpError::CategoryOutOfRange { index, categories } => {
+                write!(f, "category index {index} out of range for {categories} categories")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LdpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LdpError::InvalidEpsilon(-1.0);
+        assert!(e.to_string().contains("-1"));
+        let e = LdpError::OutOfDomain { value: 2.0, lo: -1.0, hi: 1.0 };
+        assert!(e.to_string().contains("[-1, 1]"));
+        let e = LdpError::TooFewCategories(1);
+        assert!(e.to_string().contains("at least 2"));
+        let e = LdpError::CategoryOutOfRange { index: 9, categories: 5 };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&LdpError::InvalidEpsilon(f64::NAN));
+    }
+}

@@ -1,0 +1,173 @@
+//! k-ary Randomized Response (Kairouz et al., NeurIPS 2014) for categorical
+//! data, used by the paper's frequency-estimation extension (Fig. 9c, d).
+//!
+//! The true category is kept with probability `p = e^ε / (e^ε + k − 1)`;
+//! otherwise one of the remaining `k − 1` categories is reported uniformly.
+
+use crate::budget::Epsilon;
+use crate::error::LdpError;
+use crate::mechanism::CategoricalMechanism;
+use rand::{Rng, RngCore};
+
+/// k-RR over categories `0..k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KRandomizedResponse {
+    eps: Epsilon,
+    k: usize,
+    /// Probability of reporting the true category.
+    p_keep: f64,
+    /// Probability of reporting any specific other category.
+    p_flip: f64,
+}
+
+impl KRandomizedResponse {
+    /// Builds a k-RR instance over `k ≥ 2` categories.
+    pub fn new(eps: Epsilon, k: usize) -> Result<Self, LdpError> {
+        if k < 2 {
+            return Err(LdpError::TooFewCategories(k));
+        }
+        let e = eps.exp();
+        let p_keep = e / (e + k as f64 - 1.0);
+        let p_flip = 1.0 / (e + k as f64 - 1.0);
+        Ok(KRandomizedResponse { eps, k, p_keep, p_flip })
+    }
+
+    /// Probability of reporting the true category.
+    #[inline]
+    pub fn p_keep(&self) -> f64 {
+        self.p_keep
+    }
+
+    /// Probability of reporting one specific wrong category.
+    #[inline]
+    pub fn p_flip(&self) -> f64 {
+        self.p_flip
+    }
+
+    /// Unbiases an observed report frequency vector in place:
+    /// `f̂_true = (f_obs − q) / (p − q)` with `q = p_flip`.
+    ///
+    /// Output entries may be slightly negative due to sampling noise;
+    /// callers needing a distribution should clamp and renormalize.
+    pub fn debias_frequencies(&self, observed: &mut [f64]) {
+        let q = self.p_flip;
+        let denom = self.p_keep - q;
+        for f in observed.iter_mut() {
+            *f = (*f - q) / denom;
+        }
+    }
+}
+
+impl CategoricalMechanism for KRandomizedResponse {
+    fn epsilon(&self) -> Epsilon {
+        self.eps
+    }
+
+    fn categories(&self) -> usize {
+        self.k
+    }
+
+    fn perturb(&self, v: usize, rng: &mut dyn RngCore) -> usize {
+        debug_assert!(v < self.k, "category {v} out of range (k={})", self.k);
+        if rng.gen::<f64>() < self.p_keep {
+            v
+        } else {
+            // Uniform over the other k-1 categories.
+            let draw = rng.gen_range(0..self.k - 1);
+            if draw >= v {
+                draw + 1
+            } else {
+                draw
+            }
+        }
+    }
+
+    fn transition_probability(&self, out: usize, inp: usize) -> f64 {
+        debug_assert!(out < self.k && inp < self.k);
+        if out == inp {
+            self.p_keep
+        } else {
+            self.p_flip
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn krr(eps: f64, k: usize) -> KRandomizedResponse {
+        KRandomizedResponse::new(Epsilon::of(eps), k).unwrap()
+    }
+
+    #[test]
+    fn rejects_small_k() {
+        assert!(KRandomizedResponse::new(Epsilon::of(1.0), 1).is_err());
+        assert!(KRandomizedResponse::new(Epsilon::of(1.0), 0).is_err());
+    }
+
+    #[test]
+    fn transition_rows_sum_to_one() {
+        let m = krr(1.0, 15);
+        for inp in 0..15 {
+            let row: f64 = (0..15).map(|out| m.transition_probability(out, inp)).sum();
+            assert!((row - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn keep_flip_ratio_is_exp_eps() {
+        let m = krr(0.5, 10);
+        assert!((m.p_keep() / m.p_flip() - 0.5f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perturb_never_leaves_domain_and_keeps_at_right_rate() {
+        let m = krr(2.0, 5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mut kept = 0usize;
+        for _ in 0..n {
+            let out = CategoricalMechanism::perturb(&m, 3, &mut rng);
+            assert!(out < 5);
+            if out == 3 {
+                kept += 1;
+            }
+        }
+        let freq = kept as f64 / n as f64;
+        assert!((freq - m.p_keep()).abs() < 0.01, "keep freq {freq}");
+    }
+
+    #[test]
+    fn flips_are_uniform_over_other_categories() {
+        let m = krr(1.0, 4);
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[CategoricalMechanism::perturb(&m, 0, &mut rng)] += 1;
+        }
+        // Categories 1..3 should be hit equally often.
+        let others: Vec<f64> = counts[1..].iter().map(|&c| c as f64 / n as f64).collect();
+        for w in others.windows(2) {
+            assert!((w[0] - w[1]).abs() < 0.01, "non-uniform flips: {others:?}");
+        }
+    }
+
+    #[test]
+    fn debias_recovers_true_frequencies() {
+        let m = krr(1.0, 3);
+        let truth = [0.5, 0.3, 0.2];
+        // Expected observed frequency: p*f + q*(1-f).
+        let mut observed: Vec<f64> = truth
+            .iter()
+            .map(|&f| m.p_keep() * f + m.p_flip() * (1.0 - f))
+            .collect();
+        m.debias_frequencies(&mut observed);
+        for (o, t) in observed.iter().zip(truth.iter()) {
+            assert!((o - t).abs() < 1e-12);
+        }
+    }
+}

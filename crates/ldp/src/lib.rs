@@ -1,0 +1,42 @@
+//! Local differential privacy mechanisms used by the Differential
+//! Aggregation Protocol (DAP) reproduction.
+//!
+//! This crate provides the perturbation substrate of the paper
+//! *"Differential Aggregation against General Colluding Attackers"*
+//! (ICDE 2023):
+//!
+//! * [`PiecewiseMechanism`] — the paper's default numerical mechanism
+//!   (Algorithm 1, from Wang et al., ICDE 2019),
+//! * [`SquareWave`] — the Square Wave mechanism (Li et al., SIGMOD 2020)
+//!   used in the paper's §V-D / Fig. 8 extension,
+//! * [`KRandomizedResponse`] — k-RR for categorical data (Fig. 9c, d),
+//! * [`Duchi`] — Duchi et al.'s one-bit mean mechanism, included as the
+//!   classical alternative numerical mechanism.
+//!
+//! Beyond sampling perturbed reports, every mechanism exposes its full
+//! conditional *output distribution* ([`NumericMechanism::output_distribution`])
+//! as either a piecewise-constant density or a finite set of atoms. The
+//! estimation layer integrates these exactly to build the transform matrix
+//! `M` consumed by the Expectation-Maximization Filter (EMF), so no
+//! Monte-Carlo estimation of transition probabilities is ever needed.
+//!
+//! All mechanisms take an explicit [`rand::RngCore`] so that higher layers
+//! can drive them deterministically in tests and experiments.
+
+pub mod budget;
+pub mod duchi;
+pub mod error;
+pub mod krr;
+pub mod mechanism;
+pub mod pm;
+pub mod sw;
+
+pub use budget::Epsilon;
+pub use duchi::Duchi;
+pub use error::LdpError;
+pub use krr::KRandomizedResponse;
+pub use mechanism::{
+    CategoricalMechanism, NumericMechanism, OutputDistribution, PiecewiseConstant,
+};
+pub use pm::PiecewiseMechanism;
+pub use sw::SquareWave;

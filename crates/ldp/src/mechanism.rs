@@ -1,0 +1,283 @@
+//! Mechanism traits and exact output-distribution representations.
+//!
+//! The Expectation-Maximization Filter needs the transition probability
+//! `Pr[v' ∈ B_i | v]` for every output bucket `B_i`. All mechanisms in this
+//! crate have outputs that are either piecewise-constant densities (PM, SW)
+//! or finite atom sets (k-RR, Duchi), so these probabilities have closed
+//! forms. [`OutputDistribution`] captures both shapes and integrates them
+//! exactly.
+
+use crate::budget::Epsilon;
+use rand::RngCore;
+
+/// A piecewise-constant probability density over a closed interval.
+///
+/// Stored as sorted breakpoints `x_0 < x_1 < … < x_n` and densities
+/// `d_0, …, d_{n-1}` where `d_j` applies on `[x_j, x_{j+1})`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseConstant {
+    breakpoints: Vec<f64>,
+    densities: Vec<f64>,
+}
+
+impl PiecewiseConstant {
+    /// Builds a piecewise-constant density.
+    ///
+    /// # Panics
+    /// If the breakpoints are not strictly increasing, the lengths are
+    /// inconsistent, or any density is negative.
+    pub fn new(breakpoints: Vec<f64>, densities: Vec<f64>) -> Self {
+        assert!(
+            breakpoints.len() == densities.len() + 1 && !densities.is_empty(),
+            "need n+1 breakpoints for n densities"
+        );
+        assert!(
+            breakpoints.windows(2).all(|w| w[0] < w[1]),
+            "breakpoints must be strictly increasing"
+        );
+        assert!(
+            densities.iter().all(|&d| d >= 0.0 && d.is_finite()),
+            "densities must be finite and non-negative"
+        );
+        PiecewiseConstant { breakpoints, densities }
+    }
+
+    /// Support of the density (first and last breakpoint).
+    pub fn support(&self) -> (f64, f64) {
+        (self.breakpoints[0], *self.breakpoints.last().expect("non-empty"))
+    }
+
+    /// Total mass `∫ f` — should be 1 for a proper density.
+    pub fn total_mass(&self) -> f64 {
+        self.densities
+            .iter()
+            .zip(self.breakpoints.windows(2))
+            .map(|(&d, w)| d * (w[1] - w[0]))
+            .sum()
+    }
+
+    /// Probability mass on `[lo, hi]` (intersected with the support).
+    pub fn mass_between(&self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return 0.0;
+        }
+        let mut mass = 0.0;
+        for (j, &d) in self.densities.iter().enumerate() {
+            let (a, b) = (self.breakpoints[j], self.breakpoints[j + 1]);
+            let overlap = (b.min(hi) - a.max(lo)).max(0.0);
+            mass += d * overlap;
+        }
+        mass
+    }
+
+    /// First moment `∫ x f(x) dx`.
+    pub fn mean(&self) -> f64 {
+        self.densities
+            .iter()
+            .zip(self.breakpoints.windows(2))
+            .map(|(&d, w)| d * (w[1] * w[1] - w[0] * w[0]) / 2.0)
+            .sum()
+    }
+
+    /// Second moment `∫ x² f(x) dx`.
+    pub fn second_moment(&self) -> f64 {
+        self.densities
+            .iter()
+            .zip(self.breakpoints.windows(2))
+            .map(|(&d, w)| d * (w[1] * w[1] * w[1] - w[0] * w[0] * w[0]) / 3.0)
+            .sum()
+    }
+
+    /// Density value at `x` (0 outside the support; right-continuous).
+    pub fn density_at(&self, x: f64) -> f64 {
+        let (lo, hi) = self.support();
+        if x < lo || x > hi {
+            return 0.0;
+        }
+        // Last segment is closed on the right.
+        match self.breakpoints.iter().rposition(|&b| b <= x) {
+            Some(j) if j < self.densities.len() => self.densities[j],
+            Some(_) => *self.densities.last().expect("non-empty"),
+            None => 0.0,
+        }
+    }
+}
+
+/// The exact conditional distribution of a mechanism's output given an input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputDistribution {
+    /// Continuous output with a piecewise-constant density (PM, SW).
+    Density(PiecewiseConstant),
+    /// Discrete output as `(value, probability)` atoms (Duchi).
+    Atoms(Vec<(f64, f64)>),
+}
+
+impl OutputDistribution {
+    /// Probability that the output falls in `[lo, hi)` (atoms on `hi` are
+    /// excluded except when `hi` is the global upper end — callers building
+    /// bucket rows pass half-open buckets with a closed last bucket).
+    pub fn mass_between(&self, lo: f64, hi: f64, closed_right: bool) -> f64 {
+        match self {
+            OutputDistribution::Density(p) => p.mass_between(lo, hi),
+            OutputDistribution::Atoms(atoms) => atoms
+                .iter()
+                .filter(|(v, _)| *v >= lo && (*v < hi || (closed_right && *v == hi)))
+                .map(|(_, p)| p)
+                .sum(),
+        }
+    }
+
+    /// Total probability mass (should be 1).
+    pub fn total_mass(&self) -> f64 {
+        match self {
+            OutputDistribution::Density(p) => p.total_mass(),
+            OutputDistribution::Atoms(atoms) => atoms.iter().map(|(_, p)| p).sum(),
+        }
+    }
+
+    /// Expected output value.
+    pub fn mean(&self) -> f64 {
+        match self {
+            OutputDistribution::Density(p) => p.mean(),
+            OutputDistribution::Atoms(atoms) => atoms.iter().map(|(v, p)| v * p).sum(),
+        }
+    }
+
+    /// Variance of the output value.
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        let m2 = match self {
+            OutputDistribution::Density(p) => p.second_moment(),
+            OutputDistribution::Atoms(atoms) => atoms.iter().map(|(v, p)| v * v * p).sum(),
+        };
+        (m2 - m * m).max(0.0)
+    }
+}
+
+/// A numerical LDP mechanism over a closed input interval.
+///
+/// The trait is object-safe: perturbation takes `&mut dyn RngCore` so that
+/// protocol layers can hold heterogeneous mechanisms behind `dyn`.
+pub trait NumericMechanism {
+    /// The privacy budget this instance was built with.
+    fn epsilon(&self) -> Epsilon;
+
+    /// Closed input domain `[lo, hi]`.
+    fn input_range(&self) -> (f64, f64);
+
+    /// Closed output domain `[DL, DR]` — the domain Byzantine users may
+    /// inject arbitrary values into (Definition 2 of the paper).
+    fn output_range(&self) -> (f64, f64);
+
+    /// Perturbs one value. Implementations may debug-assert domain
+    /// membership; callers should clamp or validate first.
+    fn perturb(&self, v: f64, rng: &mut dyn RngCore) -> f64;
+
+    /// Exact conditional output distribution given input `v`.
+    fn output_distribution(&self, v: f64) -> OutputDistribution;
+
+    /// Maps the raw mean of perturbed outputs to an unbiased estimate of the
+    /// input mean. Identity for unbiased mechanisms (PM, Duchi).
+    fn debias_mean(&self, perturbed_mean: f64) -> f64 {
+        perturbed_mean
+    }
+
+    /// Per-report output variance when the input is `v` — derived exactly
+    /// from [`Self::output_distribution`].
+    fn variance_at(&self, v: f64) -> f64 {
+        self.output_distribution(v).variance()
+    }
+
+    /// Worst-case per-report variance over the input domain. Used by the
+    /// inter-group aggregation weights (Theorem 6). The default probes both
+    /// domain ends, which is where unbiased mechanisms peak.
+    fn worst_case_variance(&self) -> f64 {
+        let (lo, hi) = self.input_range();
+        self.variance_at(lo).max(self.variance_at(hi))
+    }
+}
+
+/// A categorical LDP mechanism over `k` categories indexed `0..k`.
+pub trait CategoricalMechanism {
+    /// The privacy budget this instance was built with.
+    fn epsilon(&self) -> Epsilon;
+
+    /// Number of categories `k`.
+    fn categories(&self) -> usize;
+
+    /// Perturbs one category index.
+    fn perturb(&self, v: usize, rng: &mut dyn RngCore) -> usize;
+
+    /// `Pr[output = out | input = inp]`.
+    fn transition_probability(&self, out: usize, inp: usize) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_pc() -> PiecewiseConstant {
+        PiecewiseConstant::new(vec![0.0, 1.0], vec![1.0])
+    }
+
+    #[test]
+    fn piecewise_total_mass() {
+        let pc = PiecewiseConstant::new(vec![-1.0, 0.0, 2.0], vec![0.25, 0.375]);
+        assert!((pc.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn piecewise_mass_between_clips_to_support() {
+        let pc = uniform_pc();
+        assert!((pc.mass_between(-5.0, 0.5) - 0.5).abs() < 1e-12);
+        assert!((pc.mass_between(0.25, 0.75) - 0.5).abs() < 1e-12);
+        assert_eq!(pc.mass_between(2.0, 3.0), 0.0);
+        assert_eq!(pc.mass_between(0.7, 0.7), 0.0);
+    }
+
+    #[test]
+    fn piecewise_moments_of_uniform() {
+        let pc = uniform_pc();
+        assert!((pc.mean() - 0.5).abs() < 1e-12);
+        assert!((pc.second_moment() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn piecewise_density_lookup() {
+        let pc = PiecewiseConstant::new(vec![0.0, 1.0, 3.0], vec![0.8, 0.1]);
+        assert_eq!(pc.density_at(-0.1), 0.0);
+        assert_eq!(pc.density_at(0.5), 0.8);
+        assert_eq!(pc.density_at(2.0), 0.1);
+        assert_eq!(pc.density_at(3.0), 0.1); // closed right end
+        assert_eq!(pc.density_at(3.1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn piecewise_rejects_unsorted_breakpoints() {
+        PiecewiseConstant::new(vec![0.0, 0.0, 1.0], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n+1 breakpoints")]
+    fn piecewise_rejects_mismatched_lengths() {
+        PiecewiseConstant::new(vec![0.0, 1.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn atoms_mass_and_moments() {
+        let d = OutputDistribution::Atoms(vec![(-2.0, 0.25), (2.0, 0.75)]);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+        assert!((d.variance() - 3.0).abs() < 1e-12);
+        // half-open vs closed-right bucket membership
+        assert_eq!(d.mass_between(-2.0, 2.0, false), 0.25);
+        assert_eq!(d.mass_between(-2.0, 2.0, true), 1.0);
+    }
+
+    #[test]
+    fn variance_of_uniform_density() {
+        let d = OutputDistribution::Density(uniform_pc());
+        assert!((d.variance() - 1.0 / 12.0).abs() < 1e-12);
+    }
+}

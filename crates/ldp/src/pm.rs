@@ -1,0 +1,264 @@
+//! Piecewise Mechanism (Algorithm 1 of the paper; Wang et al., ICDE 2019).
+//!
+//! Input domain `[-1, 1]`, output domain `[-C, C]` with
+//! `C = (e^{ε/2}+1)/(e^{ε/2}-1)`. Given input `v`, the output is uniform on
+//! the *high-probability band* `[l(v), r(v)]` (length `C-1`) with probability
+//! `e^{ε/2}/(e^{ε/2}+1)`, and uniform on the complement otherwise. The output
+//! is an unbiased estimator of the input, which is what makes plain averaging
+//! (and the paper's Eq. 12/13 corrections) work.
+
+use crate::budget::Epsilon;
+use crate::error::LdpError;
+use crate::mechanism::{NumericMechanism, OutputDistribution, PiecewiseConstant};
+use rand::{Rng, RngCore};
+
+/// The Piecewise Mechanism for numerical values in `[-1, 1]`.
+///
+/// ```
+/// use dap_ldp::{Epsilon, NumericMechanism, PiecewiseMechanism};
+/// use rand::SeedableRng;
+///
+/// let mech = PiecewiseMechanism::new(Epsilon::of(1.0));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let report = mech.perturb(0.3, &mut rng);
+/// let (lo, hi) = mech.output_range();
+/// assert!(report >= lo && report <= hi);
+/// // Reports are unbiased: the conditional mean equals the input.
+/// assert!((mech.output_distribution(0.3).mean() - 0.3).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PiecewiseMechanism {
+    eps: Epsilon,
+    /// Output half-width `C = (e^{ε/2}+1)/(e^{ε/2}-1)`.
+    c: f64,
+    /// Probability of landing in the high-probability band.
+    band_prob: f64,
+    /// Density inside the band.
+    p_in: f64,
+    /// Density outside the band.
+    p_out: f64,
+}
+
+impl PiecewiseMechanism {
+    /// Builds a PM instance for budget `ε`.
+    pub fn new(eps: Epsilon) -> Self {
+        let eh = eps.exp_half();
+        let c = (eh + 1.0) / (eh - 1.0);
+        let band_prob = eh / (eh + 1.0);
+        // Band has length C-1, complement has length 2C-(C-1) = C+1.
+        let p_in = band_prob / (c - 1.0);
+        let p_out = (1.0 - band_prob) / (c + 1.0);
+        PiecewiseMechanism { eps, c, band_prob, p_in, p_out }
+    }
+
+    /// Convenience constructor from a raw `ε`.
+    pub fn with_epsilon(eps: f64) -> Result<Self, LdpError> {
+        Ok(Self::new(Epsilon::new(eps)?))
+    }
+
+    /// Output half-width `C`; the perturbed domain is `[-C, C]`.
+    #[inline]
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// Left end of the high-probability band for input `v`.
+    #[inline]
+    pub fn l(&self, v: f64) -> f64 {
+        (self.c + 1.0) / 2.0 * v - (self.c - 1.0) / 2.0
+    }
+
+    /// Right end of the high-probability band for input `v`.
+    #[inline]
+    pub fn r(&self, v: f64) -> f64 {
+        self.l(v) + self.c - 1.0
+    }
+
+    /// Closed-form per-report variance `Var[v' | v]` (Wang et al., Eq. 5):
+    /// `v²/(e^{ε/2}-1) + (e^{ε/2}+3)/(3(e^{ε/2}-1)²)`.
+    pub fn variance_formula(&self, v: f64) -> f64 {
+        let eh = self.eps.exp_half();
+        v * v / (eh - 1.0) + (eh + 3.0) / (3.0 * (eh - 1.0) * (eh - 1.0))
+    }
+}
+
+impl NumericMechanism for PiecewiseMechanism {
+    fn epsilon(&self) -> Epsilon {
+        self.eps
+    }
+
+    fn input_range(&self) -> (f64, f64) {
+        (-1.0, 1.0)
+    }
+
+    fn output_range(&self) -> (f64, f64) {
+        (-self.c, self.c)
+    }
+
+    fn perturb(&self, v: f64, rng: &mut dyn RngCore) -> f64 {
+        debug_assert!((-1.0..=1.0).contains(&v), "PM input {v} outside [-1, 1]");
+        let v = v.clamp(-1.0, 1.0);
+        let (l, r) = (self.l(v), self.r(v));
+        if rng.gen::<f64>() < self.band_prob {
+            rng.gen_range(l..=r)
+        } else {
+            // Complement [-C, l) ∪ (r, C]: pick a point along the combined
+            // length and map it into the two segments.
+            let left_len = l + self.c;
+            let total = self.c + 1.0;
+            let u = rng.gen::<f64>() * total;
+            if u < left_len {
+                -self.c + u
+            } else {
+                r + (u - left_len)
+            }
+        }
+    }
+
+    fn output_distribution(&self, v: f64) -> OutputDistribution {
+        let v = v.clamp(-1.0, 1.0);
+        let (l, r) = (self.l(v), self.r(v));
+        // Assemble breakpoints, dropping empty side segments (v = ±1).
+        let mut bps = vec![-self.c];
+        let mut dens = Vec::with_capacity(3);
+        const TOL: f64 = 1e-12;
+        if l > -self.c + TOL {
+            bps.push(l);
+            dens.push(self.p_out);
+        }
+        bps.push(r.min(self.c));
+        dens.push(self.p_in);
+        if r < self.c - TOL {
+            bps.push(self.c);
+            dens.push(self.p_out);
+        }
+        OutputDistribution::Density(PiecewiseConstant::new(bps, dens))
+    }
+
+    fn worst_case_variance(&self) -> f64 {
+        self.variance_formula(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pm(eps: f64) -> PiecewiseMechanism {
+        PiecewiseMechanism::with_epsilon(eps).unwrap()
+    }
+
+    #[test]
+    fn band_ends_match_paper() {
+        let m = pm(2.0);
+        assert!((m.l(1.0) - 1.0).abs() < 1e-12);
+        assert!((m.r(1.0) - m.c()).abs() < 1e-12);
+        assert!((m.l(-1.0) + m.c()).abs() < 1e-12);
+        assert!((m.r(-1.0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_density_integrates_to_one() {
+        for &eps in &[0.0625, 0.5, 1.0, 2.0, 4.0] {
+            let m = pm(eps);
+            for &v in &[-1.0, -0.3, 0.0, 0.7, 1.0] {
+                let d = m.output_distribution(v);
+                assert!(
+                    (d.total_mass() - 1.0).abs() < 1e-9,
+                    "mass {} for eps={eps} v={v}",
+                    d.total_mass()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_unbiased() {
+        for &eps in &[0.25, 1.0, 2.0] {
+            let m = pm(eps);
+            for &v in &[-1.0, -0.5, 0.0, 0.25, 1.0] {
+                let d = m.output_distribution(v);
+                assert!((d.mean() - v).abs() < 1e-9, "E[v'|{v}] = {} (eps={eps})", d.mean());
+            }
+        }
+    }
+
+    #[test]
+    fn density_variance_matches_closed_form() {
+        for &eps in &[0.25, 1.0, 2.0] {
+            let m = pm(eps);
+            for &v in &[-0.8, 0.0, 0.5, 1.0] {
+                let analytic = m.variance_formula(v);
+                let from_density = m.variance_at(v);
+                assert!(
+                    (analytic - from_density).abs() < 1e-8,
+                    "eps={eps} v={v}: {analytic} vs {from_density}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn density_ratio_satisfies_ldp() {
+        // Density ratio between band and tail is exactly e^ε.
+        for &eps in &[0.0625, 0.5, 2.0] {
+            let m = pm(eps);
+            let ratio = m.p_in / m.p_out;
+            assert!(
+                (ratio - eps.exp()).abs() / eps.exp() < 1e-9,
+                "eps={eps}: ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_outputs_stay_in_range_and_average_to_input() {
+        let m = pm(1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = 0.4;
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let out = m.perturb(v, &mut rng);
+            assert!(out >= -m.c() - 1e-9 && out <= m.c() + 1e-9);
+            sum += out;
+        }
+        let mean = sum / n as f64;
+        // Standard error ≈ sqrt(Var/n); Var(ε=1) ≈ 3.6 ⇒ se ≈ 0.0042.
+        assert!((mean - v).abs() < 0.02, "sample mean {mean}");
+    }
+
+    #[test]
+    fn empirical_band_frequency_matches() {
+        let m = pm(1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let v = -0.2;
+        let (l, r) = (m.l(v), m.r(v));
+        let n = 100_000;
+        let hits = (0..n)
+            .filter(|_| {
+                let o = m.perturb(v, &mut rng);
+                o >= l && o <= r
+            })
+            .count();
+        let freq = hits as f64 / n as f64;
+        let expect = m.band_prob;
+        assert!((freq - expect).abs() < 0.01, "band freq {freq}, expect {expect}");
+    }
+
+    #[test]
+    fn c_shrinks_as_epsilon_grows() {
+        assert!(pm(0.25).c() > pm(1.0).c());
+        assert!(pm(1.0).c() > pm(4.0).c());
+        // As ε → ∞, C → 1 (no inflation).
+        assert!(pm(20.0).c() < 1.01);
+    }
+
+    #[test]
+    fn rejects_invalid_epsilon() {
+        assert!(PiecewiseMechanism::with_epsilon(0.0).is_err());
+        assert!(PiecewiseMechanism::with_epsilon(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Square Wave mechanism (Li et al., SIGMOD 2020), used in the paper's
+//! extension experiments (Fig. 8).
+//!
+//! Input domain `[0, 1]`, output domain `[-b, 1+b]` with
+//! `b = (ε e^ε − e^ε + 1) / (2 e^ε (e^ε − 1 − ε))`. Given input `v`, the
+//! output density is `p` on the band `[v-b, v+b]` and `q` elsewhere, with
+//! `p = e^ε q` and `2bp + q = 1`.
+//!
+//! Unlike PM, SW reports are *not* unbiased estimators of the input; SW is
+//! designed for distribution reconstruction via EM (EMS), after which the
+//! mean is read off the reconstructed histogram.
+
+use crate::budget::Epsilon;
+use crate::error::LdpError;
+use crate::mechanism::{NumericMechanism, OutputDistribution, PiecewiseConstant};
+use rand::{Rng, RngCore};
+
+/// The Square Wave mechanism for numerical values in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SquareWave {
+    eps: Epsilon,
+    /// Band half-width `b`.
+    b: f64,
+    /// In-band density `p`.
+    p: f64,
+    /// Out-of-band density `q`.
+    q: f64,
+}
+
+impl SquareWave {
+    /// Builds an SW instance for budget `ε`.
+    pub fn new(eps: Epsilon) -> Self {
+        let e = eps.exp();
+        let eps_v = eps.get();
+        let b = (eps_v * e - e + 1.0) / (2.0 * e * (e - 1.0 - eps_v));
+        let q = 1.0 / (2.0 * b * e + 1.0);
+        let p = e * q;
+        SquareWave { eps, b, p, q }
+    }
+
+    /// Convenience constructor from a raw `ε`.
+    pub fn with_epsilon(eps: f64) -> Result<Self, LdpError> {
+        Ok(Self::new(Epsilon::new(eps)?))
+    }
+
+    /// Band half-width `b`; the output domain is `[-b, 1+b]`.
+    #[inline]
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// In-band density `p`.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Out-of-band density `q`.
+    #[inline]
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+}
+
+impl NumericMechanism for SquareWave {
+    fn epsilon(&self) -> Epsilon {
+        self.eps
+    }
+
+    fn input_range(&self) -> (f64, f64) {
+        (0.0, 1.0)
+    }
+
+    fn output_range(&self) -> (f64, f64) {
+        (-self.b, 1.0 + self.b)
+    }
+
+    fn perturb(&self, v: f64, rng: &mut dyn RngCore) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&v), "SW input {v} outside [0, 1]");
+        let v = v.clamp(0.0, 1.0);
+        let band_prob = 2.0 * self.b * self.p;
+        if rng.gen::<f64>() < band_prob {
+            rng.gen_range((v - self.b)..=(v + self.b))
+        } else {
+            // Complement [-b, v-b) ∪ (v+b, 1+b], total length 1.
+            let left_len = v; // (v-b) - (-b)
+            let u = rng.gen::<f64>();
+            if u < left_len {
+                -self.b + u
+            } else {
+                v + self.b + (u - left_len)
+            }
+        }
+    }
+
+    fn output_distribution(&self, v: f64) -> OutputDistribution {
+        let v = v.clamp(0.0, 1.0);
+        let (lo, hi) = self.output_range();
+        let (l, r) = (v - self.b, v + self.b);
+        const TOL: f64 = 1e-12;
+        let mut bps = vec![lo];
+        let mut dens = Vec::with_capacity(3);
+        if l > lo + TOL {
+            bps.push(l);
+            dens.push(self.q);
+        }
+        bps.push(r.min(hi));
+        dens.push(self.p);
+        if r < hi - TOL {
+            bps.push(hi);
+            dens.push(self.q);
+        }
+        OutputDistribution::Density(PiecewiseConstant::new(bps, dens))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sw(eps: f64) -> SquareWave {
+        SquareWave::with_epsilon(eps).unwrap()
+    }
+
+    #[test]
+    fn density_normalizes() {
+        for &eps in &[0.0625, 0.5, 1.0, 2.0] {
+            let m = sw(eps);
+            for &v in &[0.0, 0.3, 0.5, 1.0] {
+                let d = m.output_distribution(v);
+                assert!(
+                    (d.total_mass() - 1.0).abs() < 1e-9,
+                    "eps={eps} v={v} mass={}",
+                    d.total_mass()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p_over_q_is_exp_eps() {
+        for &eps in &[0.25, 1.0, 2.0] {
+            let m = sw(eps);
+            assert!(((m.p() / m.q()) - eps.exp()).abs() / eps.exp() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn band_probability_identity() {
+        // 2bp + q = 1 (band mass + unit-length complement mass).
+        for &eps in &[0.0625, 0.5, 2.0] {
+            let m = sw(eps);
+            assert!((2.0 * m.b() * m.p() + m.q() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_output_range() {
+        let m = sw(1.0);
+        let (lo, hi) = m.output_range();
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..50_000 {
+            let v = (i % 100) as f64 / 99.0;
+            let o = m.perturb(v, &mut rng);
+            assert!(o >= lo - 1e-9 && o <= hi + 1e-9, "{o} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn empirical_band_mass_matches_analytic() {
+        let m = sw(1.0);
+        let v = 0.5;
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let hits = (0..n)
+            .filter(|_| {
+                let o = m.perturb(v, &mut rng);
+                (o - v).abs() <= m.b()
+            })
+            .count();
+        let freq = hits as f64 / n as f64;
+        let expect = 2.0 * m.b() * m.p();
+        assert!((freq - expect).abs() < 0.01, "band freq {freq} vs {expect}");
+    }
+
+    #[test]
+    fn b_grows_as_epsilon_shrinks() {
+        assert!(sw(0.25).b() > sw(1.0).b());
+        assert!(sw(1.0).b() > sw(4.0).b());
+    }
+
+    #[test]
+    fn variance_at_is_finite_everywhere() {
+        let m = sw(0.5);
+        for &v in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let var = m.variance_at(v);
+            assert!(var.is_finite() && var > 0.0);
+        }
+    }
+}

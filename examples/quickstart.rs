@@ -1,0 +1,54 @@
+//! Quickstart: estimate a mean under LDP while a colluding coalition poisons
+//! the collection.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use differential_aggregation::prelude::*;
+
+fn main() {
+    let mut rng = estimation::rng::seeded(42);
+
+    // 50 000 honest users hold values in [-1, 1] (imagine normalized
+    // incomes, ratings, sensor readings…).
+    let honest = Dataset::Taxi.generate_signed(50_000, &mut rng);
+    let truth = estimation::stats::mean(&honest);
+
+    // A 25% coalition injects values into the top half of the Piecewise
+    // Mechanism's inflated output domain [C/2, C] to drag the mean up.
+    let population = Population::with_gamma(honest, 0.25);
+    let attack = UniformAttack::of_upper(0.5, 1.0);
+
+    // What the collector would get by ignoring the attack.
+    let eps = 1.0;
+    let mech = PiecewiseMechanism::new(Epsilon::of(eps));
+    let mut reports: Vec<f64> = population
+        .honest
+        .iter()
+        .map(|&v| mech.perturb(v, &mut rng))
+        .collect();
+    reports.extend(attack.reports(population.byzantine, &mech, &mut rng));
+    let ostrich = Ostrich.estimate_mean(&reports, &mut rng);
+
+    // The Differential Aggregation Protocol.
+    let dap = Dap::new(DapConfig::paper_default(eps, Scheme::CemfStar), PiecewiseMechanism::new);
+    let output = dap.run(&population, &attack, &mut rng);
+
+    println!("true honest mean      : {truth:+.4}");
+    println!("Ostrich (no defense)  : {ostrich:+.4}  (error {:+.4})", ostrich - truth);
+    println!(
+        "DAP_CEMF*             : {:+.4}  (error {:+.4})",
+        output.mean,
+        output.mean - truth
+    );
+    println!(
+        "probed coalition      : side={}, gamma={:.3} (true 0.25)",
+        output.side, output.gamma
+    );
+    println!("groups                : {}", output.groups.len());
+    for g in &output.groups {
+        println!(
+            "  eps={:<8.4} reports={:<7} M_t={:+.4} weight={:.3}",
+            g.eps_t, g.n_reports, g.mean_t, g.weight
+        );
+    }
+}

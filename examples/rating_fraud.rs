@@ -1,0 +1,82 @@
+//! Rating-fraud scenario (the paper's §I motivation): a merchant hires a
+//! coalition to post fake five-star reviews through a privacy-preserving
+//! rating channel, and the platform defends the aggregate rating with DAP.
+//!
+//! Compares Ostrich, 50%-trimming, boxplot, isolation forest and the three
+//! DAP schemes on the same poisoned collection.
+//!
+//! Run with `cargo run --release --example rating_fraud`.
+
+use differential_aggregation::prelude::*;
+
+/// Honest star ratings (1..=5) for a mediocre product, normalized to the PM
+/// input domain [-1, 1].
+fn honest_ratings(n: usize, rng: &mut dyn rand::RngCore) -> Vec<f64> {
+    use rand::Rng;
+    // 1★: 10%, 2★: 25%, 3★: 35%, 4★: 20%, 5★: 10%.
+    let cdf = [0.10, 0.35, 0.70, 0.90, 1.0];
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            let stars = cdf.iter().position(|&c| u <= c).unwrap_or(4) as f64 + 1.0;
+            (stars - 3.0) / 2.0 // 1..5 → -1..1
+        })
+        .collect()
+}
+
+fn to_stars(normalized: f64) -> f64 {
+    normalized * 2.0 + 3.0
+}
+
+fn main() {
+    let mut rng = estimation::rng::seeded(2023);
+    let eps = 1.0;
+    let n = 40_000;
+
+    let honest = honest_ratings(n, &mut rng);
+    let truth = estimation::stats::mean(&honest);
+    println!("true average rating: {:.3} stars\n", to_stars(truth));
+
+    // 20% hired reviewers flood the channel with maximal reports — the
+    // long-tail attack the inflated PM domain invites (values near C count
+    // far more than an honest 5★).
+    let population = Population::with_gamma(honest, 0.20);
+    let attack = PointAttack { value: Anchor::OfUpper(1.0) };
+
+    // One shared poisoned collection for the single-batch defenses.
+    let mech = PiecewiseMechanism::new(Epsilon::of(eps));
+    let mut reports: Vec<f64> = population
+        .honest
+        .iter()
+        .map(|&v| mech.perturb(v, &mut rng))
+        .collect();
+    reports.extend(attack.reports(population.byzantine, &mech, &mut rng));
+
+    println!("{:<22} {:>8} {:>10}", "defense", "stars", "error");
+    let defenses: Vec<Box<dyn MeanDefense>> = vec![
+        Box::new(Ostrich),
+        Box::new(Trimming::paper_default(Side::Right)),
+        Box::new(BoxplotFilter::default()),
+        Box::new(IsolationForest { trees: 50, subsample: 256, score_threshold: 0.6 }),
+    ];
+    for defense in &defenses {
+        let est = defense.estimate_mean(&reports, &mut rng);
+        println!(
+            "{:<22} {:>8.3} {:>+10.3}",
+            defense.label(),
+            to_stars(est),
+            to_stars(est) - to_stars(truth)
+        );
+    }
+
+    for scheme in Scheme::ALL {
+        let dap = Dap::new(DapConfig::paper_default(eps, scheme), PiecewiseMechanism::new);
+        let output = dap.run(&population, &attack, &mut rng);
+        println!(
+            "{:<22} {:>8.3} {:>+10.3}",
+            scheme.label(),
+            to_stars(output.mean),
+            to_stars(output.mean) - to_stars(truth)
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! The paper's motivating security argument (§V): probing-aware attackers
+//! defeat the §IV baseline protocol but not DAP, because DAP's random
+//! single-ε grouping leaves them no way to tell probing reports from
+//! estimation reports.
+
+use differential_aggregation::prelude::*;
+use differential_aggregation::protocol::baseline::{BaselineConfig, BaselineProtocol};
+
+fn setup(seed: u64) -> (Population, f64) {
+    let mut rng = estimation::rng::seeded(seed);
+    let honest = Dataset::Taxi.generate_signed(15_000, &mut rng);
+    let truth = estimation::stats::mean(&honest);
+    (Population::with_gamma(honest, 0.25), truth)
+}
+
+#[test]
+fn evading_coalition_breaks_baseline_but_not_dap() {
+    let (population, truth) = setup(31);
+    let attack = UniformAttack::of_upper(0.5, 1.0);
+    let eps = 1.0;
+
+    // Baseline vs the probing-aware coalition: act honest on the ε_α batch,
+    // poison the ε_β batch.
+    let mut cfg = BaselineConfig::with_eps(eps);
+    cfg.max_d_out = 64;
+    let baseline = BaselineProtocol::new(cfg, PiecewiseMechanism::new);
+    let evaded = baseline.run_with_evading_attacker(
+        &population,
+        &attack,
+        0.0,
+        &mut estimation::rng::seeded(32),
+    );
+    let baseline_err = (evaded.mean - truth).abs();
+
+    // DAP vs the same coalition. Under DAP the attacker cannot target a
+    // probing phase — every report is both. The strongest analogous move is
+    // simply attacking every group, which is the standard model.
+    let mut dcfg = DapConfig::paper_default(eps, Scheme::EmfStar);
+    dcfg.max_d_out = 64;
+    let dap = Dap::new(dcfg, PiecewiseMechanism::new);
+    let out = dap.run(&population, &attack, &mut estimation::rng::seeded(32));
+    let dap_err = (out.mean - truth).abs();
+
+    // The evading coalition hides from the baseline probe...
+    assert!(evaded.gamma < 0.1, "baseline probe should be blinded, gamma {}", evaded.gamma);
+    // ...while DAP still sees it and estimates better.
+    assert!(out.gamma > 0.15, "DAP probe blinded too: gamma {}", out.gamma);
+    assert!(
+        dap_err < baseline_err,
+        "DAP err {dap_err:.4} !< evaded-baseline err {baseline_err:.4}"
+    );
+}
+
+#[test]
+fn baseline_still_works_against_naive_attackers() {
+    let (population, truth) = setup(33);
+    let attack = UniformAttack::of_upper(0.5, 1.0);
+    let mut cfg = BaselineConfig::with_eps(1.0);
+    cfg.max_d_out = 64;
+    let baseline = BaselineProtocol::new(cfg, PiecewiseMechanism::new);
+    let out = baseline.run(&population, &attack, &mut estimation::rng::seeded(34));
+    assert!((out.mean - truth).abs() < 0.15, "estimate {} truth {}", out.mean, truth);
+    assert!((out.gamma - 0.25).abs() < 0.1, "gamma {}", out.gamma);
+}

@@ -1,0 +1,107 @@
+//! Failure injection: degenerate configurations must fail loudly or degrade
+//! gracefully — never produce silently wrong statistics.
+
+use differential_aggregation::prelude::*;
+
+#[test]
+#[should_panic(expected = "BFT bound")]
+fn majority_coalitions_are_rejected() {
+    // §III-A: no convergence guarantee at γ ≥ 1/2.
+    Population::with_gamma(vec![0.0; 100], 0.5);
+}
+
+#[test]
+#[should_panic(expected = "need ε ≥ ε₀")]
+fn dap_rejects_eps_below_eps0() {
+    let cfg = DapConfig { eps: 0.01, ..DapConfig::paper_default(0.01, Scheme::Emf) };
+    let _ = Dap::new(cfg, PiecewiseMechanism::new);
+}
+
+#[test]
+#[should_panic(expected = "invalid privacy budget")]
+fn epsilon_constructor_rejects_nan() {
+    Epsilon::of(f64::NAN);
+}
+
+/// A coalition that sends nothing (NoAttack with byzantine slots) just
+/// shrinks the report volume; the protocol still estimates the honest mean.
+#[test]
+fn silent_coalition_degrades_gracefully() {
+    let mut rng = estimation::rng::seeded(81);
+    let honest = Dataset::Beta25.generate_signed(8_000, &mut rng);
+    let truth = estimation::stats::mean(&honest);
+    let population = Population { honest, byzantine: 2_000 };
+    let cfg = DapConfig { max_d_out: 64, ..DapConfig::paper_default(1.0, Scheme::EmfStar) };
+    let out = Dap::new(cfg, PiecewiseMechanism::new).run(&population, &NoAttack, &mut rng);
+    assert!((out.mean - truth).abs() < 0.12, "estimate {} truth {}", out.mean, truth);
+}
+
+/// A constant honest population (zero variance) is an edge case for every
+/// histogram step; the estimate must still land on the constant.
+#[test]
+fn constant_population_is_estimated() {
+    let mut rng = estimation::rng::seeded(82);
+    let population = Population::with_gamma(vec![0.5; 10_000], 0.2);
+    let cfg = DapConfig { max_d_out: 64, ..DapConfig::paper_default(1.0, Scheme::CemfStar) };
+    let out = Dap::new(cfg, PiecewiseMechanism::new)
+        .run(&population, &UniformAttack::of_upper(0.75, 1.0), &mut rng);
+    assert!((out.mean - 0.5).abs() < 0.15, "estimate {}", out.mean);
+}
+
+/// Honest values pinned at the domain edge — the worst case of Theorem 6's
+/// variance bound — still produce a bounded, sane estimate.
+#[test]
+fn edge_pinned_population_is_estimated() {
+    let mut rng = estimation::rng::seeded(83);
+    let population = Population::with_gamma(vec![-1.0; 10_000], 0.25);
+    let cfg = DapConfig { max_d_out: 64, ..DapConfig::paper_default(0.5, Scheme::EmfStar) };
+    let out = Dap::new(cfg, PiecewiseMechanism::new)
+        .run(&population, &UniformAttack::of_upper(0.5, 1.0), &mut rng);
+    assert!((-1.0..=1.0).contains(&out.mean));
+    assert!(out.mean < -0.5, "estimate {} should stay near -1", out.mean);
+}
+
+/// Tiny populations (fewer users than groups) must not panic.
+#[test]
+fn tiny_population_runs() {
+    let mut rng = estimation::rng::seeded(84);
+    let population = Population { honest: vec![0.3, -0.2, 0.1], byzantine: 1 };
+    let cfg = DapConfig { max_d_out: 16, ..DapConfig::paper_default(0.25, Scheme::Emf) };
+    let out = Dap::new(cfg, PiecewiseMechanism::new)
+        .run(&population, &UniformAttack::of_upper(0.5, 1.0), &mut rng);
+    assert!(out.mean.is_finite());
+}
+
+/// The accountant blocks any attempt to overspend a user's budget.
+#[test]
+fn accountant_is_a_hard_gate() {
+    let mut acc = PrivacyAccountant::new(3, 1.0);
+    acc.charge(0, 0.5).unwrap();
+    acc.charge(0, 0.5).unwrap();
+    let err = acc.charge(0, 0.01).unwrap_err();
+    assert_eq!(err.user, 0);
+    assert!(acc.remaining(0) < 1e-9);
+    assert!((acc.remaining(1) - 1.0).abs() < 1e-12);
+}
+
+/// Defenses never emit NaN on adversarial (but NaN-free) inputs.
+#[test]
+fn defenses_stay_finite_on_adversarial_inputs() {
+    let mut rng = estimation::rng::seeded(85);
+    let nasty: Vec<f64> = vec![f64::MIN_POSITIVE; 10]
+        .into_iter()
+        .chain(vec![1e300; 3])
+        .chain(vec![-1e300; 2])
+        .collect();
+    let defenses: Vec<Box<dyn MeanDefense>> = vec![
+        Box::new(Ostrich),
+        Box::new(Trimming::paper_default(Side::Right)),
+        Box::new(BoxplotFilter::default()),
+        Box::new(KMeansDefense::new(0.5, 10)),
+        Box::new(IsolationForest { trees: 10, subsample: 8, score_threshold: 0.6 }),
+    ];
+    for d in &defenses {
+        let est = d.estimate_mean(&nasty, &mut rng);
+        assert!(est.is_finite(), "{} produced {est}", d.label());
+    }
+}

@@ -1,0 +1,138 @@
+//! The protocol layer is generic over the LDP mechanism (§V-D "Extension to
+//! Other Perturbation Mechanisms"). These tests run the full DAP stack on
+//! Duchi's one-bit mechanism — an output domain of just two atoms, the
+//! polar opposite of PM's continuum — and on mixed configurations.
+
+use differential_aggregation::prelude::*;
+
+fn duchi_dap(eps: f64, scheme: Scheme) -> Dap<impl Fn(Epsilon) -> Duchi> {
+    let mut cfg = DapConfig::paper_default(eps, scheme);
+    cfg.max_d_out = 64;
+    Dap::new(cfg, Duchi::new)
+}
+
+/// Duchi's bounded two-atom domain shrinks the attack surface: even Ostrich
+/// cannot be dragged beyond ±t. DAP still runs end-to-end and the estimate
+/// stays in the input domain.
+#[test]
+fn dap_runs_on_duchi_reports() {
+    let mut rng = estimation::rng::seeded(61);
+    let honest = Dataset::Taxi.generate_signed(8_000, &mut rng);
+    let truth = estimation::stats::mean(&honest);
+    let population = Population::with_gamma(honest, 0.25);
+    // The strongest Duchi attack: all reports at the +t atom.
+    let attack = PointAttack { value: Anchor::OfUpper(1.0) };
+    let out = duchi_dap(1.0, Scheme::EmfStar).run(&population, &attack, &mut rng);
+    assert!((-1.0..=1.0).contains(&out.mean));
+    // The probe must not be *worse* than Ostrich on the same reports.
+    let mech = Duchi::new(Epsilon::of(1.0));
+    let mut reports: Vec<f64> = population
+        .honest
+        .iter()
+        .map(|&v| mech.perturb(v, &mut rng))
+        .collect();
+    reports.extend(attack.reports(population.byzantine, &mech, &mut rng));
+    let ostrich_err = (estimation::stats::mean(&reports) - truth).abs();
+    let dap_err = (out.mean - truth).abs();
+    assert!(
+        dap_err <= ostrich_err * 1.5 + 0.05,
+        "Duchi-DAP err {dap_err:.4} far above Ostrich {ostrich_err:.4}"
+    );
+}
+
+/// Duchi's long-tail exposure really is smaller than PM's: the same
+/// maximal point attack biases a plain average less under Duchi than
+/// under PM at equal ε (the output domain is [−t, t] with t < C).
+#[test]
+fn duchi_shrinks_the_attack_surface_vs_pm() {
+    let eps = Epsilon::of(0.5);
+    let duchi = Duchi::new(eps);
+    let pm = PiecewiseMechanism::new(eps);
+    let (_, t) = duchi.output_range();
+    let (_, c) = pm.output_range();
+    assert!(t < c, "Duchi range {t} should be tighter than PM's {c}");
+
+    let mut rng = estimation::rng::seeded(62);
+    let honest: Vec<f64> = vec![0.0; 8_000];
+    let gamma = 0.2;
+    let m = 2_000;
+    let bias = |reports: &[f64]| estimation::stats::mean(reports).abs();
+
+    let mut duchi_reports: Vec<f64> =
+        honest.iter().map(|&v| duchi.perturb(v, &mut rng)).collect();
+    duchi_reports.extend(
+        PointAttack { value: Anchor::OfUpper(1.0) }.reports(m, &duchi, &mut rng),
+    );
+    let mut pm_reports: Vec<f64> = honest.iter().map(|&v| pm.perturb(v, &mut rng)).collect();
+    pm_reports
+        .extend(PointAttack { value: Anchor::OfUpper(1.0) }.reports(m, &pm, &mut rng));
+
+    assert!(
+        bias(&duchi_reports) < bias(&pm_reports),
+        "duchi bias {} !< pm bias {} at gamma {gamma}",
+        bias(&duchi_reports),
+        bias(&pm_reports)
+    );
+}
+
+/// EMF's transform matrix handles atom mechanisms: columns are stochastic
+/// and concentrated on the two atom buckets.
+#[test]
+fn duchi_transform_matrix_is_valid() {
+    use differential_aggregation::estimation::{PoisonRegion, TransformMatrix};
+    let mech = Duchi::new(Epsilon::of(1.0));
+    let m = TransformMatrix::for_numeric(&mech, 8, 32, &PoisonRegion::RightOf(0.0));
+    for (k, s) in m.column_sums().iter().enumerate() {
+        assert!((s - 1.0).abs() < 1e-9, "column {k} sums to {s}");
+    }
+    // Exactly two output buckets carry honest mass.
+    let occupied = (0..32)
+        .filter(|&i| (0..8).any(|k| m.normal_entry(i, k) > 0.0))
+        .count();
+    assert_eq!(occupied, 2, "Duchi mass must sit on the two atom buckets");
+}
+
+/// A single-group deployment (ε = ε₀) degenerates to the baseline intra-
+/// group pipeline and still works.
+#[test]
+fn single_group_dap_is_valid() {
+    let mut rng = estimation::rng::seeded(63);
+    let honest = Dataset::Beta25.generate_signed(10_000, &mut rng);
+    let truth = estimation::stats::mean(&honest);
+    let population = Population::with_gamma(honest, 0.2);
+    let cfg = DapConfig {
+        eps: 0.0625,
+        eps0: 0.0625,
+        max_d_out: 64,
+        ..DapConfig::paper_default(0.0625, Scheme::EmfStar)
+    };
+    let dap = Dap::new(cfg, PiecewiseMechanism::new);
+    let out = dap.run(&population, &UniformAttack::of_upper(0.5, 1.0), &mut rng);
+    assert_eq!(out.groups.len(), 1);
+    assert_eq!(out.groups[0].weight, 1.0);
+    assert!((out.mean - truth).abs() < 0.3, "estimate {} truth {}", out.mean, truth);
+}
+
+/// All weighting rules produce sane estimates on the same run.
+#[test]
+fn weighting_rules_all_work_end_to_end() {
+    let mut rng = estimation::rng::seeded(64);
+    let honest = Dataset::Taxi.generate_signed(9_000, &mut rng);
+    let truth = estimation::stats::mean(&honest);
+    let population = Population::with_gamma(honest, 0.25);
+    for weighting in [Weighting::AlgorithmFive, Weighting::ProofOptimal, Weighting::Uniform] {
+        let cfg = DapConfig {
+            weighting,
+            max_d_out: 64,
+            ..DapConfig::paper_default(1.0, Scheme::CemfStar)
+        };
+        let dap = Dap::new(cfg, PiecewiseMechanism::new);
+        let out = dap.run(&population, &UniformAttack::of_upper(0.5, 1.0), &mut rng);
+        assert!(
+            (out.mean - truth).abs() < 0.25,
+            "{weighting:?}: estimate {} truth {}",
+            out.mean,
+            truth
+        );
+    }
+}

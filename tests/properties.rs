@@ -1,0 +1,188 @@
+//! Property-based tests on the core invariants (proptest).
+
+use differential_aggregation::prelude::*;
+use differential_aggregation::{attack, estimation, ldp};
+use estimation::em::{self, EmOptions, MStep};
+use estimation::{Grid, PoisonRegion, TransformMatrix};
+use ldp::{CategoricalMechanism, OutputDistribution};
+use proptest::prelude::*;
+
+/// Density ratio between any two inputs at any output point, for a
+/// piecewise-constant mechanism distribution.
+fn max_density_ratio(mech: &dyn NumericMechanism, x1: f64, x2: f64, probes: usize) -> f64 {
+    let (olo, ohi) = mech.output_range();
+    let (d1, d2) = (mech.output_distribution(x1), mech.output_distribution(x2));
+    let density = |d: &OutputDistribution, y: f64| -> f64 {
+        match d {
+            OutputDistribution::Density(p) => p.density_at(y),
+            OutputDistribution::Atoms(_) => unreachable!("probed mechanisms are continuous"),
+        }
+    };
+    let mut worst: f64 = 0.0;
+    for i in 0..probes {
+        // Probe strictly inside the domain to dodge boundary ties.
+        let y = olo + (ohi - olo) * (i as f64 + 0.5) / probes as f64;
+        let (a, b) = (density(&d1, y), density(&d2, y));
+        if a > 0.0 && b > 0.0 {
+            worst = worst.max(a / b).max(b / a);
+        } else if (a > 0.0) != (b > 0.0) {
+            return f64::INFINITY; // zero vs non-zero density breaks LDP outright
+        }
+    }
+    worst
+}
+
+proptest! {
+    /// Definition 1: PM's conditional densities never differ by more than
+    /// e^ε anywhere in the output domain, for any pair of inputs.
+    #[test]
+    fn pm_satisfies_eps_ldp(
+        eps in 0.1f64..4.0,
+        x1 in -1.0f64..1.0,
+        x2 in -1.0f64..1.0,
+    ) {
+        let mech = PiecewiseMechanism::with_epsilon(eps).unwrap();
+        let ratio = max_density_ratio(&mech, x1, x2, 257);
+        prop_assert!(ratio <= eps.exp() * (1.0 + 1e-9), "ratio {ratio} > e^{eps}");
+    }
+
+    /// Definition 1 for Square Wave.
+    #[test]
+    fn sw_satisfies_eps_ldp(
+        eps in 0.1f64..4.0,
+        x1 in 0.0f64..1.0,
+        x2 in 0.0f64..1.0,
+    ) {
+        let mech = SquareWave::with_epsilon(eps).unwrap();
+        let ratio = max_density_ratio(&mech, x1, x2, 257);
+        prop_assert!(ratio <= eps.exp() * (1.0 + 1e-9), "ratio {ratio} > e^{eps}");
+    }
+
+    /// Definition 1 for k-RR (probability-mass form).
+    #[test]
+    fn krr_satisfies_eps_ldp(
+        eps in 0.1f64..4.0,
+        k in 2usize..20,
+        out in 0usize..20,
+        x1 in 0usize..20,
+        x2 in 0usize..20,
+    ) {
+        let (out, x1, x2) = (out % k, x1 % k, x2 % k);
+        let mech = KRandomizedResponse::new(Epsilon::of(eps), k).unwrap();
+        let (p1, p2) = (
+            mech.transition_probability(out, x1),
+            mech.transition_probability(out, x2),
+        );
+        prop_assert!(p1 / p2 <= eps.exp() * (1.0 + 1e-12));
+        prop_assert!(p2 / p1 <= eps.exp() * (1.0 + 1e-12));
+    }
+
+    /// PM reports are unbiased for every input and budget.
+    #[test]
+    fn pm_is_unbiased(eps in 0.1f64..4.0, x in -1.0f64..1.0) {
+        let mech = PiecewiseMechanism::with_epsilon(eps).unwrap();
+        let mean = mech.output_distribution(x).mean();
+        prop_assert!((mean - x).abs() < 1e-8, "E[v'|{x}] = {mean}");
+    }
+
+    /// Theorem 1: the GBA→BBA reduction preserves total deviation, lands on
+    /// one side, and stays inside the domain.
+    #[test]
+    fn reduction_preserves_deviation(
+        values in proptest::collection::vec(-3.0f64..3.0, 1..40),
+        o in -1.0f64..1.0,
+    ) {
+        let before = attack::reduction::total_deviation(&values, o);
+        let (reduced, side) = attack::reduce_to_bba(&values, o, -3.0, 3.0);
+        let after = attack::reduction::total_deviation(&reduced, o);
+        prop_assert!((before - after).abs() < 1e-6 * (1.0 + before.abs()));
+        prop_assert!(reduced.iter().all(|&v| (-3.0..=3.0).contains(&v)));
+        match side {
+            Side::Left => prop_assert!(reduced.iter().all(|&v| v <= o + 1e-12)),
+            Side::Right => prop_assert!(reduced.iter().all(|&v| v >= o - 1e-12)),
+        }
+    }
+
+    /// EM always returns a proper distribution regardless of the counts.
+    #[test]
+    fn em_outputs_are_distributions(
+        eps in 0.2f64..2.0,
+        counts in proptest::collection::vec(0.0f64..500.0, 16),
+    ) {
+        let mech = PiecewiseMechanism::with_epsilon(eps).unwrap();
+        let matrix = TransformMatrix::for_numeric(&mech, 4, 16, &PoisonRegion::RightOf(0.0));
+        let out = em::solve(&matrix, &counts, MStep::Free, &EmOptions::default());
+        let total: f64 = out.normal.iter().sum::<f64>() + out.poison.iter().sum::<f64>();
+        prop_assert!(out.normal.iter().chain(out.poison.iter()).all(|&v| v >= 0.0));
+        if counts.iter().sum::<f64>() > 0.0 {
+            prop_assert!((total - 1.0).abs() < 1e-6, "total {total}");
+        }
+    }
+
+    /// Aggregation weights are a convex combination under every rule.
+    #[test]
+    fn aggregation_weights_are_convex(
+        means in proptest::collection::vec(-1.0f64..1.0, 1..8),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = estimation::rng::seeded(seed);
+        use rand::Rng;
+        let n = means.len();
+        let n_hats: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..1e4)).collect();
+        let vars: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..50.0)).collect();
+        for w in [Weighting::AlgorithmFive, Weighting::ProofOptimal, Weighting::Uniform] {
+            let agg = aggregate(&means, &n_hats, &vars, w);
+            prop_assert!((agg.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(agg.weights.iter().all(|&x| x >= 0.0));
+            let (lo, hi) = means.iter().fold((f64::INFINITY, f64::NEG_INFINITY),
+                |(a, b), &m| (a.min(m), b.max(m)));
+            prop_assert!(agg.mean >= lo - 1e-9 && agg.mean <= hi + 1e-9);
+        }
+    }
+
+    /// Grid bucketization is a partition: every value maps to exactly one
+    /// bucket whose edges contain it.
+    #[test]
+    fn grid_partitions_the_domain(
+        v in -1.0f64..1.0,
+        n in 1usize..200,
+    ) {
+        let grid = Grid::new(-1.0, 1.0, n);
+        let b = grid.bucket_of(v);
+        let (lo, hi) = grid.edges(b);
+        let closed_right = b + 1 == n;
+        prop_assert!(v >= lo - 1e-12);
+        if closed_right {
+            prop_assert!(v <= hi + 1e-12);
+        } else {
+            prop_assert!(v < hi + 1e-12);
+        }
+    }
+
+    /// Privacy accounting: k reports at ε/k always fit, k+1 never do.
+    #[test]
+    fn accountant_enforces_composition(eps in 0.1f64..4.0, k in 1usize..64) {
+        let mut acc = PrivacyAccountant::new(1, eps);
+        let share = eps / k as f64;
+        for _ in 0..k {
+            prop_assert!(acc.charge(0, share).is_ok());
+        }
+        prop_assert!(acc.charge(0, share).is_err());
+    }
+
+    /// Anchor resolution always lands inside the output domain for
+    /// fractions in [0, 1].
+    #[test]
+    fn anchors_stay_in_domain(eps in 0.1f64..4.0, frac in 0.0f64..1.0) {
+        let mech = PiecewiseMechanism::with_epsilon(eps).unwrap();
+        let (dl, dr) = mech.output_range();
+        for anchor in [
+            Anchor::OfUpper(frac),
+            Anchor::OfLower(frac),
+            Anchor::AboveInputMax(frac),
+        ] {
+            let v = anchor.resolve(&mech);
+            prop_assert!(v >= dl - 1e-9 && v <= dr + 1e-9, "{anchor:?} -> {v}");
+        }
+    }
+}
