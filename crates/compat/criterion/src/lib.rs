@@ -1,0 +1,279 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the API subset the workspace's four bench targets use — benchmark
+//! groups, `bench_function` / `bench_with_input`, [`BenchmarkId`],
+//! [`Throughput`], `sample_size`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — over a simple wall-clock timing loop.
+//!
+//! Reported numbers are medians over `sample_size` samples, each sample
+//! auto-calibrated to run long enough for the clock to resolve. There is
+//! no statistical regression analysis, HTML report, or baseline
+//! comparison; swap the real crate back in (one line in the workspace
+//! manifest) for those.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+    /// Per-sample time budget; calibration stops growing the iteration
+    /// count once one sample takes at least this long.
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            sample_budget: Duration::from_millis(25),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            sample_budget: self.sample_budget,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark (an implicit single-entry group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (size, budget) = (self.sample_size, self.sample_budget);
+        run_benchmark(&id.into().label, size, budget, None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    sample_budget: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates how much work one iteration performs, so results are also
+    /// reported as a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&label, self.sample_size, self.sample_budget, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f(input)` under `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API parity; all output is already printed).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally parameterized (`name/param`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Work performed by one benchmark iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    iters_per_sample: u64,
+    sample_size: usize,
+    sample_budget: Duration,
+    /// Median per-iteration time, filled by `iter`.
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // fills the budget, so short routines aren't dominated by clock
+        // resolution.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.sample_budget || iters >= 1 << 24 {
+                break;
+            }
+            let target = self.sample_budget.as_nanos().max(1) as u64;
+            let took = elapsed.as_nanos().max(1) as u64;
+            iters = (iters * target / took).clamp(iters + 1, iters * 100);
+        }
+        self.iters_per_sample = iters;
+
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed() / iters as u32
+            })
+            .collect();
+        samples.sort_unstable();
+        self.median = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    sample_budget: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iters_per_sample: 0,
+        sample_size,
+        sample_budget,
+        median: None,
+    };
+    f(&mut bencher);
+    match bencher.median {
+        Some(per_iter) => {
+            let rate = throughput.map(|t| {
+                let secs = per_iter.as_secs_f64().max(f64::MIN_POSITIVE);
+                match t {
+                    Throughput::Elements(n) => format!("  {:.3e} elem/s", n as f64 / secs),
+                    Throughput::Bytes(n) => format!("  {:.3e} B/s", n as f64 / secs),
+                }
+            });
+            println!(
+                "{label:<40} {per_iter:>12.3?}/iter{}  ({} iters/sample, {} samples)",
+                rate.unwrap_or_default(),
+                bencher.iters_per_sample,
+                sample_size,
+            );
+        }
+        None => println!("{label:<40} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion {
+            sample_size: 3,
+            sample_budget: Duration::from_micros(50),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(1));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,156 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro wrapping `fn name(arg in strategy, ...) { .. }`
+//!   test bodies,
+//! * range strategies (`0.1f64..4.0`, `1usize..64`, `0u64..1000`, and the
+//!   inclusive forms),
+//! * [`collection::vec`](fn@collection::vec) with a fixed size or a size
+//!   range,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`].
+//!
+//! Semantics differ from real proptest in three deliberate ways: cases are
+//! drawn from a deterministic per-test seed (no persisted failure file),
+//! there is **no shrinking** — a failing case panics with the standard
+//! `assert!` message — and [`prop_assume!`] skips a rejected case instead
+//! of re-drawing it. Case count defaults to 64 and can be overridden with
+//! the `PROPTEST_CASES` environment variable, matching the real crate's
+//! knob.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Everything a `proptest!` test body needs in scope.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES` overrides).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic RNG for case `case` of the test named `name`.
+pub fn case_rng(name: &str, case: u64) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index, so every
+    // (test, case) pair gets an independent, reproducible stream.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples every argument [`case_count`] times and
+/// runs the body.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for __case in 0..$crate::case_count() {
+                    let mut __rng = $crate::case_rng(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    // The closure gives `prop_assume!` a whole-case scope to
+                    // `return` out of, matching real proptest's rejection
+                    // semantics even inside loops in the body.
+                    #[allow(clippy::redundant_closure_call)]
+                    let () = (|| { $body })();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property; identical to `assert!` (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality; identical to `assert_eq!` (no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// Unlike real proptest, a rejected case is simply skipped rather than
+/// re-drawn, so heavy rejection shrinks the effective case count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        /// The runner samples within the strategy's bounds.
+        #[test]
+        fn ranges_are_respected(x in -1.0f64..1.0, n in 1usize..10) {
+            prop_assert!((-1.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        /// Vec strategies honour both fixed and ranged sizes.
+        #[test]
+        fn vec_sizes_are_respected(
+            fixed in crate::collection::vec(0.0f64..1.0, 7),
+            ranged in crate::collection::vec(0.0f64..1.0, 1..5),
+        ) {
+            prop_assert_eq!(fixed.len(), 7);
+            prop_assert!((1..5).contains(&ranged.len()));
+            prop_assert!(fixed.iter().chain(&ranged).all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    proptest! {
+        /// `prop_assume!` must reject the *whole case*, not just break an
+        /// enclosing loop iteration.
+        #[test]
+        fn assume_rejects_the_whole_case(n in 0usize..10) {
+            for _ in 0..3 {
+                prop_assume!(n % 2 == 0);
+            }
+            assert!(n % 2 == 0, "odd case {n} survived prop_assume");
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::RngCore;
+        assert_eq!(
+            crate::case_rng("t", 3).next_u64(),
+            crate::case_rng("t", 3).next_u64()
+        );
+        assert_ne!(
+            crate::case_rng("t", 3).next_u64(),
+            crate::case_rng("t", 4).next_u64()
+        );
+    }
+}
