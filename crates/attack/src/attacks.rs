@@ -12,7 +12,9 @@ use rand::RngCore;
 
 /// A Byzantine attack strategy (Definition 2: any map from the Byzantine
 /// coalition to reports inside the perturbation output domain).
-pub trait Attack {
+/// `Sync` so the experiment harness can share one attack across parallel
+/// trials (attacks are parameter structs; per-trial state lives in the RNG).
+pub trait Attack: Sync {
     /// Generates `m` poison reports.
     fn reports(&self, m: usize, mech: &dyn NumericMechanism, rng: &mut dyn RngCore) -> Vec<f64>;
 
@@ -115,8 +117,26 @@ impl UniformAttack {
 impl Attack for UniformAttack {
     fn reports(&self, m: usize, mech: &dyn NumericMechanism, rng: &mut dyn RngCore) -> Vec<f64> {
         let (lo, hi) = resolve_range(self.lo, self.hi, mech);
-        use rand::Rng;
-        (0..m).map(|_| rng.gen_range(lo..=hi)).collect()
+        // Batch the raw words through `fill_bytes` (one `dyn` dispatch per
+        // block instead of per report) and apply the same inclusive-range
+        // map as `Rng::gen_range(lo..=hi)`.
+        let mut out = vec![0.0f64; m];
+        let mut block = [0u8; 8 * 512];
+        let scale = 1.0 / ((1u64 << 53) - 1) as f64;
+        let mut filled = 0usize;
+        while filled < m {
+            let take = (m - filled).min(512);
+            rng.fill_bytes(&mut block[..8 * take]);
+            for (slot, word) in
+                out[filled..filled + take].iter_mut().zip(block.chunks_exact(8))
+            {
+                let bits = u64::from_le_bytes(word.try_into().expect("8-byte chunk"));
+                let u = (bits >> 11) as f64 * scale;
+                *slot = (lo + u * (hi - lo)).min(hi);
+            }
+            filled += take;
+        }
+        out
     }
 
     fn label(&self) -> String {

@@ -7,9 +7,9 @@
 //! * `ablation-mechanism` — PM-DAP vs Duchi-DAP under the same coalition
 //!   (§V-D's mechanism-generality claim).
 
-use crate::common::{build_population, mse_over_trials, sci, stream_id, ExpOptions, PoiRange};
+use crate::common::{build_population, dap_config, mse_over_trials, sci, stream_id, ExpOptions, PoiRange};
 use dap_core::baseline::{BaselineConfig, BaselineProtocol};
-use dap_core::{Dap, DapConfig, Scheme, Weighting};
+use dap_core::{Dap, Scheme, Weighting};
 use dap_datasets::Dataset;
 use dap_ldp::{Duchi, PiecewiseMechanism};
 
@@ -36,11 +36,8 @@ pub fn run_weights(opts: &ExpOptions) {
         for (ei, eps) in EPS_AXIS.into_iter().enumerate() {
             let mse = mse_over_trials(opts, stream_id(&[1100, wi, ei]), |rng| {
                 let (population, truth) = build_population(Dataset::Taxi, opts.n, 0.25, rng);
-                let cfg = DapConfig {
-                    weighting,
-                    max_d_out: opts.max_d_out,
-                    ..DapConfig::paper_default(eps, Scheme::EmfStar)
-                };
+                let cfg = dap_config(opts, eps, Scheme::EmfStar);
+                let cfg = dap_core::DapConfig { weighting, ..cfg };
                 let out = Dap::new(cfg, PiecewiseMechanism::new)
                     .run(&population, &PoiRange::TopHalf.attack(), rng);
                 (out.mean, truth)
@@ -68,10 +65,7 @@ pub fn run_mechanism(opts: &ExpOptions) {
         for (ei, eps) in EPS_AXIS.into_iter().enumerate() {
             let mse = mse_over_trials(opts, stream_id(&[1300, mi, ei]), |rng| {
                 let (population, truth) = build_population(Dataset::Taxi, opts.n, 0.25, rng);
-                let cfg = DapConfig {
-                    max_d_out: opts.max_d_out,
-                    ..DapConfig::paper_default(eps, Scheme::EmfStar)
-                };
+                let cfg = dap_config(opts, eps, Scheme::EmfStar);
                 let mean = if mi == 0 {
                     Dap::new(cfg, PiecewiseMechanism::new).run(&population, &attack, rng).mean
                 } else {

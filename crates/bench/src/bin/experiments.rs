@@ -5,24 +5,60 @@
 //!
 //! ids:    fig4 table1 fig5 fig6 fig7 fig8 fig9 fig10
 //!         ablation-weights ablation-split all
-//! flags:  --n <users>        population per trial   (default 20000)
-//!         --trials <t>       trials per cell        (default 3)
-//!         --seed <s>         master seed            (default 42)
-//!         --max-dout <d>     EMF bucket cap         (default 128)
-//!         --paper-scale      n = 1e6, max-dout = 512
+//! flags:  --n <users>          population per trial   (default 20000)
+//!         --trials <t>         trials per cell        (default 3)
+//!         --seed <s>           master seed            (default 42)
+//!         --max-dout <d>       EMF bucket cap         (default 128)
+//!         --paper-scale        n = 1e6, max-dout = 512
+//!         --bench-json <path>  run the experiment --bench-repeats times and
+//!                              write median wall-clock JSON (perf tracking)
+//!         --bench-repeats <r>  timed repeats for --bench-json (default 3)
 //! ```
 
-use dap_bench::common::ExpOptions;
+use dap_bench::common::{write_bench_json, ExpOptions};
 use dap_bench::{ablations, fig10, fig4, fig5, fig6, fig7, fig8, fig9, table1};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let id = args.first().map(String::as_str).unwrap_or("help");
-    let opts = ExpOptions::parse(&args);
+    let opts = match ExpOptions::parse(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let bench_json = match flag_value(&args, "--bench-json") {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let bench_repeats: usize = match flag_value(&args, "--bench-repeats") {
+        Ok(Some(v)) => match v.parse() {
+            Ok(r) if r > 0 => r,
+            _ => {
+                eprintln!("error: invalid value '{v}' for flag --bench-repeats");
+                std::process::exit(2);
+            }
+        },
+        Ok(None) => 3,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    // Timing JSON only makes sense for a single experiment; reject the
+    // aggregate id before hours of work, not after.
+    if bench_json.is_some() && (id == "all" || id == "help" || id == "--help") {
+        eprintln!("error: --bench-json requires a single experiment id (got '{id}')");
+        std::process::exit(2);
+    }
 
     if id == "help" || id == "--help" {
-        println!("usage: experiments <id> [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale]");
+        println!("usage: experiments <id> [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale] [--bench-json PATH] [--bench-repeats R]");
         println!("ids: fig4 table1 fig5 fig6 fig7 fig8 fig9 fig10 ablation-weights ablation-split ablation-mechanism all");
         return;
     }
@@ -33,11 +69,22 @@ fn main() {
     );
     let start = Instant::now();
     let mut ran = false;
+    let mut timed_ms: Vec<f64> = Vec::new();
     let mut run = |name: &str, f: &dyn Fn(&ExpOptions)| {
         if id == name || id == "all" {
-            let t = Instant::now();
-            f(&opts);
-            eprintln!("[{name} done in {:.1?}]", t.elapsed());
+            let timing = bench_json.is_some() && id == name;
+            let repeats = if timing { bench_repeats } else { 1 };
+            for rep in 0..repeats {
+                let t = Instant::now();
+                f(&opts);
+                let ms = t.elapsed().as_secs_f64() * 1e3;
+                if timing {
+                    timed_ms.push(ms);
+                    eprintln!("[{name} repeat {} of {repeats}: {ms:.1} ms]", rep + 1);
+                } else {
+                    eprintln!("[{name} done in {:.1?}]", t.elapsed());
+                }
+            }
             ran = true;
         }
     };
@@ -58,5 +105,25 @@ fn main() {
         eprintln!("unknown experiment id '{id}'; run `experiments help`");
         std::process::exit(2);
     }
+    if let Some(path) = bench_json {
+        if let Err(e) = write_bench_json(&path, id, &opts, &timed_ms) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[wrote {path}]");
+    }
     eprintln!("[total {:.1?}]", start.elapsed());
+}
+
+/// Value of `flag` in `args`: `Ok(None)` when absent, an error when the
+/// flag is present but its value is missing or looks like another flag
+/// (the same no-silent-ignore rule as `ExpOptions::parse`).
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+        _ => Err(format!("flag {flag} is missing its value")),
+    }
 }

@@ -1,13 +1,23 @@
 //! Shared experiment infrastructure: options, poison-range specs, report
-//! simulation, and trial loops.
+//! simulation, trial loops, and the perf-tracking JSON writer.
+//!
+//! Trials are embarrassingly parallel — every `(experiment, config, trial)`
+//! coordinate derives its own RNG stream — so the trial loops fan out over
+//! [`dap_core::parallel_map`] and fold in fixed order; results are
+//! bit-identical for any thread count.
 
 use dap_attack::{Anchor, Attack, UniformAttack};
-use dap_core::{Population, Scheme};
+use dap_core::{parallel_map, DapConfig, Population, Scheme};
 use dap_datasets::Dataset;
+use dap_emf::EmfConfig;
 use dap_estimation::rng::derive;
 use dap_estimation::stats::mean;
+use dap_estimation::{cached_for_numeric, Grid, PoisonRegion, TransformMatrix};
 use dap_ldp::{Epsilon, NumericMechanism, PiecewiseMechanism};
+use rand::rngs::StdRng;
 use rand::RngCore;
+use std::io::Write;
+use std::sync::Arc;
 
 /// Global experiment options parsed from the command line.
 #[derive(Debug, Clone, Copy)]
@@ -31,29 +41,28 @@ impl Default for ExpOptions {
 
 impl ExpOptions {
     /// Parses `--n`, `--trials`, `--seed`, `--max-dout`, `--paper-scale`
-    /// from an argument list, ignoring unknown flags.
-    pub fn parse(args: &[String]) -> Self {
+    /// from an argument list. Unknown flags are ignored (the binary owns
+    /// them), but a recognized flag whose value is missing or fails to
+    /// parse is an error naming the flag — `--n 20k` must not silently run
+    /// the default N.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        fn grab<T: std::str::FromStr>(
+            flag: &str,
+            value: Option<&String>,
+        ) -> Result<T, String> {
+            let v = value.ok_or_else(|| format!("flag {flag} is missing its value"))?;
+            v.parse::<T>()
+                .map_err(|_| format!("invalid value '{v}' for flag {flag}"))
+        }
+
         let mut opts = ExpOptions::default();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
-            let mut grab = |target: &mut usize| {
-                if let Some(v) = it.next() {
-                    if let Ok(parsed) = v.parse::<usize>() {
-                        *target = parsed;
-                    }
-                }
-            };
             match arg.as_str() {
-                "--n" => grab(&mut opts.n),
-                "--trials" => grab(&mut opts.trials),
-                "--max-dout" => grab(&mut opts.max_d_out),
-                "--seed" => {
-                    if let Some(v) = it.next() {
-                        if let Ok(parsed) = v.parse::<u64>() {
-                            opts.seed = parsed;
-                        }
-                    }
-                }
+                "--n" => opts.n = grab("--n", it.next())?,
+                "--trials" => opts.trials = grab("--trials", it.next())?,
+                "--max-dout" => opts.max_d_out = grab("--max-dout", it.next())?,
+                "--seed" => opts.seed = grab("--seed", it.next())?,
                 "--paper-scale" => {
                     opts.n = 1_000_000;
                     opts.max_d_out = 512;
@@ -61,8 +70,31 @@ impl ExpOptions {
                 _ => {}
             }
         }
-        opts
+        Ok(opts)
     }
+}
+
+/// The paper's default DAP deployment for one experiment cell, with the
+/// harness's `d'` cap applied — hoisted here because every figure driver
+/// spelled this struct update out by hand.
+pub fn dap_config(opts: &ExpOptions, eps: f64, scheme: Scheme) -> DapConfig {
+    DapConfig { max_d_out: opts.max_d_out, ..DapConfig::paper_default(eps, scheme) }
+}
+
+/// EMF sizing, report histogram and (cached) transform matrix for one batch
+/// of reports — the setup block the figure drivers used to inline.
+pub fn emf_setup(
+    mech: &dyn NumericMechanism,
+    reports: &[f64],
+    eps: f64,
+    max_d_out: usize,
+    region: &PoisonRegion,
+) -> (EmfConfig, Vec<f64>, Arc<TransformMatrix>) {
+    let cfg = EmfConfig::capped(reports.len(), eps, max_d_out);
+    let (olo, ohi) = mech.output_range();
+    let counts = Grid::new(olo, ohi, cfg.d_out).counts(reports);
+    let matrix = cached_for_numeric(mech, cfg.d_in, cfg.d_out, region);
+    (cfg, counts, matrix)
 }
 
 /// The paper's four poison ranges over `[O', C]` (right side, `O' = 0`).
@@ -116,32 +148,46 @@ impl PoiRange {
     }
 }
 
+/// Perturbs every value once through the mechanism's monomorphic batch API
+/// ([`NumericMechanism::perturb_into`]), returning one report per value.
+pub fn perturb_all<M: NumericMechanism, R: RngCore>(
+    mech: &M,
+    values: &[f64],
+    rng: &mut R,
+) -> Vec<f64> {
+    let mut reports = vec![0.0; values.len()];
+    for (slot, &v) in reports.chunks_exact_mut(1).zip(values) {
+        mech.perturb_into(v, slot, rng);
+    }
+    reports
+}
+
 /// Simulates a single-batch collection at budget `eps`: honest users perturb
 /// once with PM, the coalition attacks. Returns `(reports, honest_mean)`.
-pub fn simulate_batch(
+pub fn simulate_batch<R: RngCore>(
     dataset: Dataset,
     n: usize,
     gamma: f64,
     eps: f64,
     attack: &dyn Attack,
-    rng: &mut dyn RngCore,
+    rng: &mut R,
 ) -> (Vec<f64>, f64) {
     let m = (n as f64 * gamma).round() as usize;
     let honest = dataset.generate_signed(n - m, rng);
     let truth = mean(&honest);
     let mech = PiecewiseMechanism::new(Epsilon::of(eps));
-    let mut reports: Vec<f64> = honest.iter().map(|&v| mech.perturb(v, rng)).collect();
+    let mut reports = perturb_all(&mech, &honest, rng);
     reports.extend(attack.reports(m, &mech, rng));
     (reports, truth)
 }
 
 /// Builds a population for protocol-level experiments. Returns
 /// `(population, honest_mean)`.
-pub fn build_population(
+pub fn build_population<R: RngCore + ?Sized>(
     dataset: Dataset,
     n: usize,
     gamma: f64,
-    rng: &mut dyn RngCore,
+    rng: &mut R,
 ) -> (Population, f64) {
     let m = (n as f64 * gamma).round() as usize;
     let honest = dataset.generate_signed(n - m, rng);
@@ -149,19 +195,87 @@ pub fn build_population(
     (Population { honest, byzantine: m }, truth)
 }
 
+/// The RNG stream for trial `t` of the experiment coordinate `stream`.
+///
+/// Concrete (not `dyn`) so the protocol's RNG-generic hot paths
+/// monomorphize all the way down to inlined draws.
+fn trial_rng(opts: &ExpOptions, stream: u64, t: usize) -> StdRng {
+    derive(opts.seed, stream.wrapping_mul(1_000_003).wrapping_add(t as u64))
+}
+
 /// Runs `trials` evaluations of `f` with derived RNG streams and returns the
-/// MSE of the produced estimates against the per-trial truth.
-pub fn mse_over_trials<F>(opts: &ExpOptions, stream: u64, mut f: F) -> f64
+/// MSE of the produced estimates against the per-trial truth. Trials run in
+/// parallel; the fold order is fixed, so the result is thread-count
+/// independent.
+pub fn mse_over_trials<F>(opts: &ExpOptions, stream: u64, f: F) -> f64
 where
-    F: FnMut(&mut dyn RngCore) -> (f64, f64), // (estimate, truth)
+    F: Fn(&mut StdRng) -> (f64, f64) + Sync, // (estimate, truth)
 {
-    let mut se = 0.0;
-    for t in 0..opts.trials {
-        let mut rng = derive(opts.seed, stream.wrapping_mul(1_000_003).wrapping_add(t as u64));
-        let (est, truth) = f(&mut rng);
-        se += (est - truth) * (est - truth);
-    }
+    let results = parallel_map((0..opts.trials).collect(), |t| {
+        let mut rng = trial_rng(opts, stream, t);
+        f(&mut rng)
+    });
+    let se: f64 = results.iter().map(|(est, truth)| (est - truth) * (est - truth)).sum();
     se / opts.trials as f64
+}
+
+/// [`mses_over_trials`] whose closure also receives the trial index, for
+/// drivers that pre-compute shared per-trial inputs (e.g. one population
+/// serving several experiment columns).
+pub fn mses_over_trials_indexed<F>(
+    opts: &ExpOptions,
+    stream: u64,
+    variants: usize,
+    f: F,
+) -> Vec<f64>
+where
+    F: Fn(usize, &mut StdRng) -> (Vec<f64>, f64) + Sync, // (estimates, truth)
+{
+    let results = parallel_map((0..opts.trials).collect(), |t| {
+        let mut rng = trial_rng(opts, stream, t);
+        f(t, &mut rng)
+    });
+    let mut mses = vec![0.0; variants];
+    for (estimates, truth) in &results {
+        assert_eq!(estimates.len(), variants, "variant count mismatch");
+        for (m, est) in mses.iter_mut().zip(estimates) {
+            *m += (est - truth) * (est - truth);
+        }
+    }
+    mses.iter_mut().for_each(|m| *m /= opts.trials as f64);
+    mses
+}
+
+/// Multi-variant trial loop: `f` produces one estimate per variant from the
+/// *same* simulated data (common random numbers — e.g. every DAP scheme on
+/// one shared protocol execution, or every defense on one shared batch).
+/// Returns the per-variant MSEs, in `f`'s output order.
+pub fn mses_over_trials<F>(opts: &ExpOptions, stream: u64, variants: usize, f: F) -> Vec<f64>
+where
+    F: Fn(&mut StdRng) -> (Vec<f64>, f64) + Sync, // (estimates, truth)
+{
+    mses_over_trials_indexed(opts, stream, variants, |_, rng| f(rng))
+}
+
+/// Per-trial means of arbitrary per-variant statistics (no truth/MSE
+/// folding) — used for `|γ̂ − γ|`-style panels.
+pub fn means_over_trials<F>(opts: &ExpOptions, stream: u64, variants: usize, f: F) -> Vec<f64>
+where
+    F: Fn(&mut StdRng) -> Vec<f64> + Sync,
+{
+    let results = parallel_map((0..opts.trials).collect(), |t| {
+        let mut rng = trial_rng(opts, stream, t);
+        f(&mut rng)
+    });
+    let mut acc = vec![0.0; variants];
+    for stats in &results {
+        assert_eq!(stats.len(), variants, "variant count mismatch");
+        for (a, s) in acc.iter_mut().zip(stats) {
+            *a += s;
+        }
+    }
+    acc.iter_mut().for_each(|a| *a /= opts.trials as f64);
+    acc
 }
 
 /// The paper's scheme labels next to baselines, for table headers.
@@ -186,6 +300,28 @@ pub fn stream_id(parts: &[usize]) -> u64 {
         })
 }
 
+/// Writes the perf-tracking JSON for one experiment run: the options it ran
+/// under and the wall-clock of each repeat, with the median the CI trend
+/// tracks. Hand-rolled JSON — the workspace has no serde.
+pub fn write_bench_json(
+    path: &str,
+    experiment: &str,
+    opts: &ExpOptions,
+    runs_ms: &[f64],
+) -> std::io::Result<()> {
+    assert!(!runs_ms.is_empty(), "need at least one timed run");
+    let mut sorted = runs_ms.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let median = sorted[sorted.len() / 2];
+    let runs: Vec<String> = runs_ms.iter().map(|ms| format!("{ms:.1}")).collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"{}\",\n  \"n\": {},\n  \"trials\": {},\n  \"seed\": {},\n  \"max_d_out\": {},\n  \"median_wall_ms\": {:.1},\n  \"runs_wall_ms\": [{}]\n}}\n",
+        experiment, opts.n, opts.trials, opts.seed, opts.max_d_out, median, runs.join(", "),
+    );
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(json.as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,7 +334,7 @@ mod tests {
                 .iter()
                 .map(|s| s.to_string())
                 .collect();
-        let opts = ExpOptions::parse(&args);
+        let opts = ExpOptions::parse(&args).expect("valid flags");
         assert_eq!(opts.n, 5000);
         assert_eq!(opts.trials, 7);
         assert_eq!(opts.seed, 9);
@@ -206,9 +342,23 @@ mod tests {
     }
 
     #[test]
+    fn parse_rejects_bad_values_naming_the_flag() {
+        let args: Vec<String> = ["--n", "20k"].iter().map(|s| s.to_string()).collect();
+        let err = ExpOptions::parse(&args).expect_err("20k is not a count");
+        assert!(err.contains("--n") && err.contains("20k"), "unhelpful error: {err}");
+
+        let args: Vec<String> = ["--trials"].iter().map(|s| s.to_string()).collect();
+        let err = ExpOptions::parse(&args).expect_err("missing value");
+        assert!(err.contains("--trials"), "unhelpful error: {err}");
+
+        let args: Vec<String> = ["--seed", "-3"].iter().map(|s| s.to_string()).collect();
+        assert!(ExpOptions::parse(&args).is_err(), "negative seed must not parse");
+    }
+
+    #[test]
     fn paper_scale_flag() {
         let args: Vec<String> = ["--paper-scale"].iter().map(|s| s.to_string()).collect();
-        let opts = ExpOptions::parse(&args);
+        let opts = ExpOptions::parse(&args).expect("valid flags");
         assert_eq!(opts.n, 1_000_000);
     }
 
@@ -240,7 +390,7 @@ mod tests {
     #[test]
     fn mse_over_trials_is_deterministic() {
         let opts = ExpOptions { trials: 3, ..ExpOptions::default() };
-        let f = |rng: &mut dyn RngCore| {
+        let f = |rng: &mut StdRng| {
             use rand::Rng;
             (rng.gen::<f64>(), 0.5)
         };
@@ -252,8 +402,38 @@ mod tests {
     }
 
     #[test]
+    fn multi_variant_trials_match_single_variant_loops() {
+        let opts = ExpOptions { trials: 4, ..ExpOptions::default() };
+        let multi = mses_over_trials(&opts, 23, 2, |rng| {
+            use rand::Rng;
+            let x: f64 = rng.gen();
+            (vec![x, x * 2.0], 0.5)
+        });
+        let single = mse_over_trials(&opts, 23, |rng| {
+            use rand::Rng;
+            (rng.gen::<f64>(), 0.5)
+        });
+        // The first variant consumes the same stream as the single loop.
+        assert_eq!(multi[0], single);
+        assert_ne!(multi[0], multi[1]);
+    }
+
+    #[test]
     fn stream_ids_differ() {
         assert_ne!(stream_id(&[1, 2, 3]), stream_id(&[3, 2, 1]));
         assert_ne!(stream_id(&[0]), stream_id(&[1]));
+    }
+
+    #[test]
+    fn bench_json_shape() {
+        let opts = ExpOptions::default();
+        let path = std::env::temp_dir().join("dap_bench_json_test.json");
+        let path = path.to_str().expect("utf8 temp path");
+        write_bench_json(path, "fig7", &opts, &[30.0, 10.0, 20.0]).expect("writable");
+        let body = std::fs::read_to_string(path).expect("readable");
+        assert!(body.contains("\"experiment\": \"fig7\""));
+        assert!(body.contains("\"median_wall_ms\": 20.0"));
+        assert!(body.contains("[30.0, 10.0, 20.0]"));
+        std::fs::remove_file(path).ok();
     }
 }

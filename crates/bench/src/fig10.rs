@@ -1,9 +1,9 @@
 //! Fig. 10: robustness to evasion — MSE vs the evasive fraction `a`
 //! (ε = 1/2, γ = 0.25, decoys at −C/2, true poison on [C/2, C]).
 
-use crate::common::{build_population, mse_over_trials, sci, stream_id, ExpOptions};
+use crate::common::{build_population, dap_config, mse_over_trials, sci, stream_id, ExpOptions};
 use dap_attack::{Anchor, EvasionAttack, UniformAttack};
-use dap_core::{Dap, DapConfig, Scheme};
+use dap_core::{Dap, Scheme};
 use dap_datasets::Dataset;
 use dap_ldp::{Epsilon, PiecewiseMechanism};
 
@@ -32,11 +32,8 @@ pub fn run(opts: &ExpOptions) {
                         Anchor::OfLower(0.5),
                         UniformAttack::of_upper(0.5, 1.0),
                     );
-                    let cfg = DapConfig {
-                        max_d_out: opts.max_d_out,
-                        ..DapConfig::paper_default(eps, scheme)
-                    };
-                    let out = Dap::new(cfg, PiecewiseMechanism::new).run(&population, &attack, rng);
+                    let out = Dap::new(dap_config(opts, eps, scheme), PiecewiseMechanism::new)
+                        .run(&population, &attack, rng);
                     (out.mean, truth)
                 });
                 print!(" {:>10}", sci(mse));

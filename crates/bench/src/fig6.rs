@@ -2,12 +2,16 @@
 //! 16 panels: 4 datasets × 4 poison ranges; each panel sweeps
 //! ε ∈ {1/4, 1/2, 1, 3/2, 2} for DAP_EMF / DAP_EMF* / DAP_CEMF* /
 //! Ostrich / Trimming.
+//!
+//! Each panel column shares one protocol execution across the three DAP
+//! schemes and one batch across the two defenses (common random numbers).
 
 use crate::common::{
-    build_population, mse_over_trials, sci, simulate_batch, stream_id, ExpOptions, PoiRange,
+    build_population, dap_config, mse_over_trials, mses_over_trials, sci, simulate_batch,
+    stream_id, ExpOptions, PoiRange,
 };
 use dap_attack::Side;
-use dap_core::{Dap, DapConfig, Scheme};
+use dap_core::{Dap, Scheme};
 use dap_datasets::Dataset;
 use dap_defenses::{MeanDefense, Ostrich, Trimming};
 use dap_ldp::PiecewiseMechanism;
@@ -27,26 +31,9 @@ pub fn dap_mse(
 ) -> f64 {
     mse_over_trials(opts, stream, |rng| {
         let (population, truth) = build_population(dataset, opts.n, gamma, rng);
-        let cfg = DapConfig { max_d_out: opts.max_d_out, ..DapConfig::paper_default(eps, scheme) };
-        let dap = Dap::new(cfg, PiecewiseMechanism::new);
+        let dap = Dap::new(dap_config(opts, eps, scheme), PiecewiseMechanism::new);
         let out = dap.run(&population, &range.attack(), rng);
         (out.mean, truth)
-    })
-}
-
-/// MSE of a single-batch defense on the same cell.
-pub fn defense_mse(
-    dataset: Dataset,
-    range: PoiRange,
-    gamma: f64,
-    eps: f64,
-    defense: &dyn MeanDefense,
-    opts: &ExpOptions,
-    stream: u64,
-) -> f64 {
-    mse_over_trials(opts, stream, |rng| {
-        let (reports, truth) = simulate_batch(dataset, opts.n, gamma, eps, &range.attack(), rng);
-        (defense.estimate_mean(&reports, rng), truth)
     })
 }
 
@@ -58,30 +45,49 @@ pub fn panel(dataset: Dataset, range: PoiRange, opts: &ExpOptions, base_stream: 
         print!(" {:>10}", format!("eps={eps}"));
     }
     println!();
+    let scheme_columns: Vec<Vec<f64>> = EPSILONS
+        .into_iter()
+        .enumerate()
+        .map(|(ei, eps)| {
+            mses_over_trials(
+                opts,
+                base_stream + stream_id(&[1, ei]) % 1000,
+                Scheme::ALL.len(),
+                |rng| {
+                    let (population, truth) = build_population(dataset, opts.n, 0.25, rng);
+                    let dap =
+                        Dap::new(dap_config(opts, eps, Scheme::Emf), PiecewiseMechanism::new);
+                    let outs = dap.run_schemes(&population, &range.attack(), &Scheme::ALL, rng);
+                    (outs.into_iter().map(|o| o.mean).collect(), truth)
+                },
+            )
+        })
+        .collect();
     for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
         print!("{:<12}", scheme.label());
-        for (ei, eps) in EPSILONS.into_iter().enumerate() {
-            let mse = dap_mse(dataset, range, 0.25, eps, scheme, opts, base_stream + stream_id(&[si, ei]) % 1000);
-            print!(" {:>10}", sci(mse));
+        for col in &scheme_columns {
+            print!(" {:>10}", sci(col[si]));
         }
         println!();
     }
-    for (di, defense) in [&Ostrich as &dyn MeanDefense, &Trimming::paper_default(Side::Right)]
+
+    let trimming = Trimming::paper_default(Side::Right);
+    let defenses: [&dyn MeanDefense; 2] = [&Ostrich, &trimming];
+    let defense_columns: Vec<Vec<f64>> = EPSILONS
         .into_iter()
         .enumerate()
-    {
+        .map(|(ei, eps)| {
+            mses_over_trials(opts, base_stream + stream_id(&[90, ei]) % 1000, 2, |rng| {
+                let (reports, truth) =
+                    simulate_batch(dataset, opts.n, 0.25, eps, &range.attack(), rng);
+                (defenses.iter().map(|d| d.estimate_mean(&reports, rng)).collect(), truth)
+            })
+        })
+        .collect();
+    for (di, defense) in defenses.into_iter().enumerate() {
         print!("{:<12}", defense.label().split('(').next().expect("label"));
-        for (ei, eps) in EPSILONS.into_iter().enumerate() {
-            let mse = defense_mse(
-                dataset,
-                range,
-                0.25,
-                eps,
-                defense,
-                opts,
-                base_stream + stream_id(&[90 + di, ei]) % 1000,
-            );
-            print!(" {:>10}", sci(mse));
+        for col in &defense_columns {
+            print!(" {:>10}", sci(col[di]));
         }
         println!();
     }

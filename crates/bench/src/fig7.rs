@@ -1,14 +1,23 @@
 //! Fig. 7: robustness on Taxi at ε = 1 — (a)(b) MSE vs the Byzantine
 //! proportion γ; (c)(d) MSE vs the poison-value distribution.
+//!
+//! This driver is the perf-tracked hot path (`BENCH_fig7.json`): every cell
+//! column evaluates all three DAP schemes on **one shared protocol
+//! execution** (`Dap::run_schemes` — common random numbers) and both
+//! single-batch defenses on one shared simulated batch, instead of
+//! re-simulating per row.
 
 use crate::common::{
-    build_population, mse_over_trials, sci, simulate_batch, stream_id, ExpOptions, PoiRange,
+    build_population, dap_config, mses_over_trials_indexed, perturb_all, sci, stream_id,
+    ExpOptions, PoiRange,
 };
+use dap_core::Population;
+use dap_estimation::rng::derive;
 use dap_attack::{Anchor, Attack, BetaShapedAttack, GaussianAttack, Side, UniformAttack};
-use dap_core::{Dap, DapConfig, Scheme};
+use dap_core::{Dap, Scheme};
 use dap_datasets::Dataset;
 use dap_defenses::{MeanDefense, Ostrich, Trimming};
-use dap_ldp::PiecewiseMechanism;
+use dap_ldp::{Epsilon, PiecewiseMechanism};
 
 /// The γ axis of panels (a)(b).
 pub const GAMMAS: [f64; 4] = [0.05, 0.10, 0.30, 0.40];
@@ -26,124 +35,120 @@ fn attack_for(range: PoiRange, shape: &str) -> Box<dyn Attack> {
     }
 }
 
-fn row(
-    label: &str,
-    cells: impl Iterator<Item = f64>,
-) {
-    print!("{label:<12}");
-    for mse in cells {
-        print!(" {:>10}", sci(mse));
+/// Pre-generates the per-trial Taxi populations for one γ; every column at
+/// this γ (across panels, ranges and poison shapes) shares them — common
+/// random numbers over the honest data as well as across estimators.
+fn taxi_populations(opts: &ExpOptions, gamma: f64) -> Vec<(Population, f64)> {
+    (0..opts.trials)
+        .map(|t| {
+            let mut rng =
+                derive(opts.seed, stream_id(&[740, (gamma * 100.0).round() as usize, t]));
+            build_population(Dataset::Taxi, opts.n, gamma, &mut rng)
+        })
+        .collect()
+}
+
+/// All five compared estimators of one column, sharing one population per
+/// trial: the three DAP schemes read one shared protocol execution, and the
+/// two single-batch defenses read one shared full-budget batch drawn from
+/// the same honest values. Returns MSEs in row order (schemes then
+/// defenses).
+fn column_mses(
+    opts: &ExpOptions,
+    pops: &[(Population, f64)],
+    attack: &dyn Attack,
+    stream: u64,
+) -> Vec<f64> {
+    let eps = 1.0;
+    let trimming = Trimming::paper_default(Side::Right);
+    mses_over_trials_indexed(opts, stream, Scheme::ALL.len() + 2, |t, rng| {
+        let (population, truth) = &pops[t];
+        // `scheme` in the config is ignored by `run_schemes`.
+        let dap = Dap::new(dap_config(opts, eps, Scheme::Emf), PiecewiseMechanism::new);
+        let outs = dap.run_schemes(population, attack, &Scheme::ALL, rng);
+        let mut estimates: Vec<f64> = outs.into_iter().map(|o| o.mean).collect();
+
+        // The defenses see a plain single-batch collection at full budget
+        // over the same honest values.
+        let mech = PiecewiseMechanism::new(Epsilon::of(eps));
+        let mut reports = perturb_all(&mech, &population.honest, rng);
+        reports.extend(attack.reports(population.byzantine, &mech, rng));
+        estimates.push(Ostrich.estimate_mean(&reports, rng));
+        estimates.push(trimming.estimate_mean(&reports, rng));
+        (estimates, *truth)
+    })
+}
+
+fn row_labels() -> Vec<String> {
+    let mut labels: Vec<String> =
+        Scheme::ALL.iter().map(|s| s.label().to_string()).collect();
+    labels.push("Ostrich".into());
+    labels.push("Trimming".into());
+    labels
+}
+
+/// Prints a (row = estimator) × (column = condition) MSE table.
+fn print_table(headers: &[String], columns: &[Vec<f64>]) {
+    print!("{:<12}", "scheme");
+    for h in headers {
+        print!(" {:>10}", h);
+    }
+    println!();
+    for (ri, label) in row_labels().iter().enumerate() {
+        print!("{label:<12}");
+        for col in columns {
+            print!(" {:>10}", sci(col[ri]));
+        }
+        println!();
     }
     println!();
 }
 
 /// Runs all four panels.
 pub fn run(opts: &ExpOptions) {
-    let eps = 1.0;
+    let gamma_pops: Vec<Vec<(Population, f64)>> =
+        GAMMAS.iter().map(|&g| taxi_populations(opts, g)).collect();
     for (panel, range) in [("a", PoiRange::LowerHalf), ("b", PoiRange::TopHalf)] {
         println!("== Fig. 7({panel}): MSE vs gamma (Taxi, eps = 1, Poi{}) ==", range.label());
-        print!("{:<12}", "scheme");
-        for g in GAMMAS {
-            print!(" {:>10}", format!("{:.0}%", g * 100.0));
-        }
-        println!();
-        for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
-            row(
-                scheme.label(),
-                GAMMAS.iter().enumerate().map(|(gi, &gamma)| {
-                    mse_over_trials(opts, stream_id(&[700, si, gi, range as usize]), |rng| {
-                        let (population, truth) =
-                            build_population(Dataset::Taxi, opts.n, gamma, rng);
-                        let cfg = DapConfig {
-                            max_d_out: opts.max_d_out,
-                            ..DapConfig::paper_default(eps, scheme)
-                        };
-                        let out =
-                            Dap::new(cfg, PiecewiseMechanism::new).run(&population, &range.attack(), rng);
-                        (out.mean, truth)
-                    })
-                }),
-            );
-        }
-        for (di, defense) in
-            [&Ostrich as &dyn MeanDefense, &Trimming::paper_default(Side::Right)]
-                .into_iter()
-                .enumerate()
-        {
-            row(
-                defense.label().split('(').next().expect("label"),
-                GAMMAS.iter().enumerate().map(|(gi, &gamma)| {
-                    mse_over_trials(opts, stream_id(&[710, di, gi, range as usize]), |rng| {
-                        let (reports, truth) = simulate_batch(
-                            Dataset::Taxi,
-                            opts.n,
-                            gamma,
-                            eps,
-                            &range.attack(),
-                            rng,
-                        );
-                        (defense.estimate_mean(&reports, rng), truth)
-                    })
-                }),
-            );
-        }
-        println!();
+        let headers: Vec<String> =
+            GAMMAS.iter().map(|g| format!("{:.0}%", g * 100.0)).collect();
+        let columns: Vec<Vec<f64>> = GAMMAS
+            .iter()
+            .enumerate()
+            .map(|(gi, _)| {
+                column_mses(
+                    opts,
+                    &gamma_pops[gi],
+                    &range.attack(),
+                    stream_id(&[700, gi, range as usize]),
+                )
+            })
+            .collect();
+        print_table(&headers, &columns);
     }
 
     const SHAPES: [&str; 4] = ["Uniform", "Gaussian", "Beta(1,6)", "Beta(6,1)"];
+    let quarter_pops = taxi_populations(opts, 0.25);
     for (panel, range) in [("c", PoiRange::LowerHalf), ("d", PoiRange::TopHalf)] {
         println!(
             "== Fig. 7({panel}): MSE vs poison distribution (Taxi, eps = 1, gamma = 0.25, Poi{}) ==",
             range.label()
         );
-        print!("{:<12}", "scheme");
-        for s in SHAPES {
-            print!(" {:>10}", s);
-        }
-        println!();
-        for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
-            row(
-                scheme.label(),
-                SHAPES.iter().enumerate().map(|(shi, shape)| {
-                    let attack = attack_for(range, shape);
-                    mse_over_trials(opts, stream_id(&[720, si, shi, range as usize]), |rng| {
-                        let (population, truth) =
-                            build_population(Dataset::Taxi, opts.n, 0.25, rng);
-                        let cfg = DapConfig {
-                            max_d_out: opts.max_d_out,
-                            ..DapConfig::paper_default(eps, scheme)
-                        };
-                        let out = Dap::new(cfg, PiecewiseMechanism::new)
-                            .run(&population, attack.as_ref(), rng);
-                        (out.mean, truth)
-                    })
-                }),
-            );
-        }
-        for (di, defense) in
-            [&Ostrich as &dyn MeanDefense, &Trimming::paper_default(Side::Right)]
-                .into_iter()
-                .enumerate()
-        {
-            row(
-                defense.label().split('(').next().expect("label"),
-                SHAPES.iter().enumerate().map(|(shi, shape)| {
-                    let attack = attack_for(range, shape);
-                    mse_over_trials(opts, stream_id(&[730, di, shi, range as usize]), |rng| {
-                        let (reports, truth) = simulate_batch(
-                            Dataset::Taxi,
-                            opts.n,
-                            0.25,
-                            eps,
-                            attack.as_ref(),
-                            rng,
-                        );
-                        (defense.estimate_mean(&reports, rng), truth)
-                    })
-                }),
-            );
-        }
-        println!();
+        let headers: Vec<String> = SHAPES.iter().map(|s| s.to_string()).collect();
+        let columns: Vec<Vec<f64>> = SHAPES
+            .iter()
+            .enumerate()
+            .map(|(shi, shape)| {
+                let attack = attack_for(range, shape);
+                column_mses(
+                    opts,
+                    &quarter_pops,
+                    attack.as_ref(),
+                    stream_id(&[720, shi, range as usize]),
+                )
+            })
+            .collect();
+        print_table(&headers, &columns);
     }
     println!("expected shape: DAP schemes lowest across gamma and poison shapes (Fig. 7).\n");
 }

@@ -1,16 +1,22 @@
 //! Fig. 8: the Square-Wave extension — (a) distribution-estimation accuracy
 //! (Wasserstein distance), (b) `|γ̂ − γ|` for SW, (c)(d) MSE of SW-based
 //! mean estimation.
+//!
+//! All rows of a column share simulated data (common random numbers): the
+//! EMF-family reconstructions reuse one batch and one base EMF fit, and the
+//! SW-DAP schemes share one protocol execution via
+//! [`SwDap::run_schemes`].
 
-use crate::common::{mse_over_trials, sci, stream_id, ExpOptions};
+use crate::common::{
+    emf_setup, means_over_trials, mses_over_trials, sci, stream_id, ExpOptions,
+};
 use dap_attack::{Anchor, Attack, UniformAttack};
 use dap_core::sw::{SwDap, SwDapConfig};
 use dap_core::{Population, Scheme};
 use dap_datasets::Dataset;
-use dap_emf::{cemf_star, cemf_star_threshold, emf, emf_star, EmfConfig};
-use dap_estimation::rng::derive;
+use dap_emf::{cemf_star, cemf_star_threshold, emf, emf_star};
 use dap_estimation::stats::{mean, wasserstein_1};
-use dap_estimation::{ems, Grid, PoisonRegion, TransformMatrix};
+use dap_estimation::{ems, Grid, PoisonRegion};
 use dap_ldp::{Epsilon, NumericMechanism, SquareWave};
 use rand::RngCore;
 
@@ -40,52 +46,67 @@ fn simulate_sw(
 }
 
 /// Panel (a): Wasserstein distance of the reconstructed honest distribution,
-/// Beta(2,5), γ = 0.25.
+/// Beta(2,5), γ = 0.25. All four estimators read one shared batch per trial;
+/// the EMF-family rows share one base EMF fit.
 fn panel_a(opts: &ExpOptions) {
     println!("== Fig. 8(a): Wasserstein distance of distribution estimation (Beta(2,5), SW, gamma = 0.25) ==");
+    let labels = ["EMF", "EMF*", "CEMF*", "Ostrich"];
+    let columns: Vec<Vec<f64>> = EPS_SMALL
+        .into_iter()
+        .enumerate()
+        .map(|(ei, eps)| {
+            means_over_trials(opts, stream_id(&[800, ei]), labels.len(), |rng| {
+                let (reports, honest) = simulate_sw(Dataset::Beta25, opts.n, 0.25, eps, rng);
+                let mech = SquareWave::new(Epsilon::of(eps));
+                let (cfg, counts, matrix) = emf_setup(
+                    &mech,
+                    &reports,
+                    eps,
+                    opts.max_d_out,
+                    &PoisonRegion::RightOf(1.0),
+                );
+                let truth_hist = Grid::new(0.0, 1.0, cfg.d_in).frequencies(&honest);
+                let spacing = 1.0 / cfg.d_in as f64;
+                let normalized = |hist: &[f64]| -> Vec<f64> {
+                    let total: f64 = hist.iter().sum();
+                    hist.iter().map(|&v| if total > 0.0 { v / total } else { v }).collect()
+                };
+
+                let base = emf(&matrix, &counts, &cfg.em);
+                let gamma = base.poison_mass();
+                let star = emf_star(&matrix, &counts, gamma, &cfg.em);
+                let thr = cemf_star_threshold(gamma, matrix.poison_buckets().len());
+                let cemf = cemf_star(&matrix, &counts, gamma, thr, &base, &cfg.em);
+                // Same histogram, poison-free matrix: only the matrix
+                // differs for the Ostrich/EMS row.
+                let ems_matrix = dap_estimation::cached_for_numeric(
+                    &mech,
+                    cfg.d_in,
+                    cfg.d_out,
+                    &PoisonRegion::None,
+                );
+                let ostrich = ems::solve(&ems_matrix, &counts, &cfg.em).histogram;
+
+                let dists = vec![
+                    wasserstein_1(&normalized(&base.normal), &truth_hist, spacing),
+                    wasserstein_1(&normalized(&star.normal), &truth_hist, spacing),
+                    wasserstein_1(&normalized(&cemf.normal), &truth_hist, spacing),
+                    wasserstein_1(&ostrich, &truth_hist, spacing),
+                ];
+                dists
+            })
+        })
+        .collect();
+
     print!("{:<10}", "scheme");
     for eps in EPS_SMALL {
         print!(" {:>10}", format!("{eps:.4}"));
     }
     println!();
-    let labels = ["EMF", "EMF*", "CEMF*", "Ostrich"];
-    for (si, label) in labels.into_iter().enumerate() {
+    for (li, label) in labels.into_iter().enumerate() {
         print!("{:<10}", label);
-        for (ei, eps) in EPS_SMALL.into_iter().enumerate() {
-            let mut acc = 0.0;
-            for t in 0..opts.trials {
-                let mut rng = derive(opts.seed, stream_id(&[800, si, ei, t]));
-                let (reports, honest) = simulate_sw(Dataset::Beta25, opts.n, 0.25, eps, &mut rng);
-                let mech = SquareWave::new(Epsilon::of(eps));
-                let cfg = EmfConfig::capped(reports.len(), eps, opts.max_d_out);
-                let (olo, ohi) = mech.output_range();
-                let counts = Grid::new(olo, ohi, cfg.d_out).counts(&reports);
-                let truth_hist = Grid::new(0.0, 1.0, cfg.d_in).frequencies(&honest);
-                let est_hist: Vec<f64> = if label == "Ostrich" {
-                    let matrix = TransformMatrix::for_numeric(
-                        &mech, cfg.d_in, cfg.d_out, &PoisonRegion::None,
-                    );
-                    ems::solve(&matrix, &counts, &cfg.em).histogram
-                } else {
-                    let matrix = TransformMatrix::for_numeric(
-                        &mech, cfg.d_in, cfg.d_out, &PoisonRegion::RightOf(1.0),
-                    );
-                    let base = emf(&matrix, &counts, &cfg.em);
-                    let gamma = base.poison_mass();
-                    let out = match label {
-                        "EMF" => base,
-                        "EMF*" => emf_star(&matrix, &counts, gamma, &cfg.em),
-                        _ => {
-                            let thr = cemf_star_threshold(gamma, matrix.poison_buckets().len());
-                            cemf_star(&matrix, &counts, gamma, thr, &base, &cfg.em)
-                        }
-                    };
-                    let total: f64 = out.normal.iter().sum();
-                    out.normal.iter().map(|&v| if total > 0.0 { v / total } else { v }).collect()
-                };
-                acc += wasserstein_1(&est_hist, &truth_hist, 1.0 / cfg.d_in as f64);
-            }
-            print!(" {:>10.4}", acc / opts.trials as f64);
+        for col in &columns {
+            print!(" {:>10.4}", col[li]);
         }
         println!();
     }
@@ -103,30 +124,71 @@ fn panel_b(opts: &ExpOptions) {
     for (di, ds) in [Dataset::Beta25, Dataset::Beta52].into_iter().enumerate() {
         print!("{:<12}", ds.label());
         for (ei, eps) in EPS_SMALL.into_iter().enumerate() {
-            let mut acc = 0.0;
-            for t in 0..opts.trials {
-                let mut rng = derive(opts.seed, stream_id(&[810, di, ei, t]));
-                let (reports, _) = simulate_sw(ds, opts.n, 0.25, eps, &mut rng);
+            let err = means_over_trials(opts, stream_id(&[810, di, ei]), 1, |rng| {
+                let (reports, _) = simulate_sw(ds, opts.n, 0.25, eps, rng);
                 let mech = SquareWave::new(Epsilon::of(eps));
-                let cfg = EmfConfig::capped(reports.len(), eps, opts.max_d_out);
-                let (olo, ohi) = mech.output_range();
-                let counts = Grid::new(olo, ohi, cfg.d_out).counts(&reports);
-                let matrix = TransformMatrix::for_numeric(
-                    &mech, cfg.d_in, cfg.d_out, &PoisonRegion::RightOf(1.0),
+                let (cfg, counts, matrix) = emf_setup(
+                    &mech,
+                    &reports,
+                    eps,
+                    opts.max_d_out,
+                    &PoisonRegion::RightOf(1.0),
                 );
-                acc += (emf(&matrix, &counts, &cfg.em).poison_mass() - 0.25).abs();
-            }
-            print!(" {:>10.4}", acc / opts.trials as f64);
+                vec![(emf(&matrix, &counts, &cfg.em).poison_mass() - 0.25).abs()]
+            });
+            print!(" {:>10.4}", err[0]);
         }
         println!();
     }
     println!("expected shape: error shrinks as eps -> 0.\n");
 }
 
-/// Panels (c)(d): MSE of SW mean estimation.
+/// Panels (c)(d): MSE of SW mean estimation. The three SW-DAP rows of a
+/// column share one protocol execution; Ostrich and Trimming share one
+/// batch.
 fn panel_cd(opts: &ExpOptions) {
-    for (panel, ds) in [("c", Dataset::Beta25), ("d", Dataset::Beta52)] {
+    for (pi, (panel, ds)) in [("c", Dataset::Beta25), ("d", Dataset::Beta52)].into_iter().enumerate() {
         println!("== Fig. 8({panel}): SW MSE ({}, gamma = 0.25, Poi[1+b/2, 1+b]) ==", ds.label());
+        let scheme_columns: Vec<Vec<f64>> = EPS_LARGE
+            .into_iter()
+            .enumerate()
+            .map(|(ei, eps)| {
+                mses_over_trials(
+                    opts,
+                    stream_id(&[820, ei, pi]),
+                    Scheme::ALL.len(),
+                    |rng| {
+                        let m_count = (opts.n as f64 * 0.25).round() as usize;
+                        let honest = ds.generate_unit(opts.n - m_count, rng);
+                        let truth = mean(&honest);
+                        let population = Population { honest, byzantine: m_count };
+                        let cfg = SwDapConfig {
+                            max_d_out: opts.max_d_out,
+                            ..SwDapConfig::paper_default(eps, Scheme::Emf)
+                        };
+                        let outs =
+                            SwDap::new(cfg).run_schemes(&population, &sw_attack(), &Scheme::ALL, rng);
+                        (outs.into_iter().map(|o| o.mean).collect(), truth)
+                    },
+                )
+            })
+            .collect();
+        let defense_columns: Vec<Vec<f64>> = EPS_LARGE
+            .into_iter()
+            .enumerate()
+            .map(|(ei, eps)| {
+                mses_over_trials(opts, stream_id(&[830, ei, pi]), 2, |rng| {
+                    let (reports, honest) = simulate_sw(ds, opts.n, 0.25, eps, rng);
+                    let truth = mean(&honest);
+                    let ostrich = mean(&reports);
+                    let mut sorted = reports;
+                    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                    sorted.truncate(sorted.len() / 2);
+                    (vec![ostrich, mean(&sorted)], truth)
+                })
+            })
+            .collect();
+
         print!("{:<10}", "scheme");
         for eps in EPS_LARGE {
             print!(" {:>10}", format!("eps={eps}"));
@@ -134,36 +196,15 @@ fn panel_cd(opts: &ExpOptions) {
         println!();
         for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
             print!("{:<10}", format!("SW_{}", scheme.label().trim_start_matches("DAP_")));
-            for (ei, eps) in EPS_LARGE.into_iter().enumerate() {
-                let mse = mse_over_trials(opts, stream_id(&[820, si, ei, panel.len()]), |rng| {
-                    let m_count = (opts.n as f64 * 0.25).round() as usize;
-                    let honest = ds.generate_unit(opts.n - m_count, rng);
-                    let truth = mean(&honest);
-                    let population = Population { honest, byzantine: m_count };
-                    let cfg = SwDapConfig {
-                        max_d_out: opts.max_d_out,
-                        ..SwDapConfig::paper_default(eps, scheme)
-                    };
-                    let out = SwDap::new(cfg).run(&population, &sw_attack(), rng);
-                    (out.mean, truth)
-                });
-                print!(" {:>10}", sci(mse));
+            for col in &scheme_columns {
+                print!(" {:>10}", sci(col[si]));
             }
             println!();
         }
         for (di, label) in ["Ostrich", "Trimming"].into_iter().enumerate() {
             print!("{:<10}", label);
-            for (ei, eps) in EPS_LARGE.into_iter().enumerate() {
-                let mse = mse_over_trials(opts, stream_id(&[830, di, ei, panel.len()]), |rng| {
-                    let (mut reports, honest) = simulate_sw(ds, opts.n, 0.25, eps, rng);
-                    let truth = mean(&honest);
-                    if label == "Trimming" {
-                        reports.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-                        reports.truncate(reports.len() / 2);
-                    }
-                    (mean(&reports), truth)
-                });
-                print!(" {:>10}", sci(mse));
+            for col in &defense_columns {
+                print!(" {:>10}", sci(col[di]));
             }
             println!();
         }

@@ -2,13 +2,16 @@
 //! (b) IMA — EMF-based integration vs k-means alone, (c)(d) categorical
 //! frequency estimation on COVID-19.
 
-use crate::common::{mse_over_trials, sci, simulate_batch, stream_id, ExpOptions, PoiRange};
+use crate::common::{
+    build_population, dap_config, mse_over_trials, mses_over_trials, sci, simulate_batch,
+    stream_id, ExpOptions, PoiRange,
+};
 use dap_attack::InputManipulationAttack;
 use dap_core::categorical::{
     categorical_dap, ostrich_frequencies, simulate_reports, CategoricalDapConfig,
 };
 use dap_core::ima::emf_based_ima_mean;
-use dap_core::Scheme;
+use dap_core::{Dap, Scheme};
 use dap_datasets::{covid_frequencies, sample_covid, Dataset, COVID_GROUPS};
 use dap_defenses::{KMeansDefense, MeanDefense};
 use dap_emf::EmfConfig;
@@ -31,19 +34,24 @@ fn panel_a(opts: &ExpOptions) {
         print!(" {:>10}", format!("eps={eps}"));
     }
     println!();
+    // One shared protocol execution per (eps, trial) covers all three rows.
+    let scheme_columns: Vec<Vec<f64>> = EPS_AXIS
+        .into_iter()
+        .enumerate()
+        .map(|(ei, eps)| {
+            mses_over_trials(opts, stream_id(&[900, ei]), Scheme::ALL.len(), |rng| {
+                let (population, truth) = build_population(Dataset::Taxi, opts.n, 0.25, rng);
+                let dap = Dap::new(dap_config(opts, eps, Scheme::Emf), PiecewiseMechanism::new);
+                let outs =
+                    dap.run_schemes(&population, &PoiRange::TopHalf.attack(), &Scheme::ALL, rng);
+                (outs.into_iter().map(|o| o.mean).collect(), truth)
+            })
+        })
+        .collect();
     for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
         print!("{:<18}", scheme.label());
-        for (ei, eps) in EPS_AXIS.into_iter().enumerate() {
-            let mse = crate::fig6::dap_mse(
-                Dataset::Taxi,
-                PoiRange::TopHalf,
-                0.25,
-                eps,
-                scheme,
-                opts,
-                stream_id(&[900, si, ei]),
-            );
-            print!(" {:>10}", sci(mse));
+        for col in &scheme_columns {
+            print!(" {:>10}", sci(col[si]));
         }
         println!();
     }

@@ -1,0 +1,112 @@
+//! Bit-for-bit thread-count independence of the parallel execution layer.
+//!
+//! The perf work fans trials (bench) and groups (protocol) out over
+//! `dap_core::parallel_map`; the contract is that results are *identical* —
+//! not just statistically equivalent — whether the fleet runs on one thread
+//! or many, because every work item derives its own RNG stream and the fold
+//! order is fixed.
+
+use dap_bench::common::{mse_over_trials, mses_over_trials, ExpOptions, PoiRange};
+use dap_bench::fig7;
+use dap_core::parallel::set_thread_override;
+use dap_core::{Dap, DapConfig, Population, Scheme};
+use dap_datasets::Dataset;
+use dap_estimation::rng::seeded;
+use dap_ldp::PiecewiseMechanism;
+use rand::Rng;
+
+fn small_opts() -> ExpOptions {
+    ExpOptions { n: 3_000, trials: 3, seed: 11, max_d_out: 32 }
+}
+
+// The thread override is process-global, so every assertion that toggles it
+// lives in ONE #[test] — concurrent tests would otherwise race on it and
+// check 5-threads-vs-6-threads instead of serial-vs-threaded.
+#[test]
+fn fanout_is_bit_identical_across_thread_counts() {
+    trial_loops_case();
+    protocol_group_case();
+}
+
+fn trial_loops_case() {
+    let opts = small_opts();
+    let run = |threads: usize| {
+        set_thread_override(Some(threads));
+        let single = mse_over_trials(&opts, 91, |rng| {
+            let (population, truth) =
+                dap_bench::common::build_population(Dataset::Taxi, opts.n, 0.2, rng);
+            let cfg = DapConfig { max_d_out: opts.max_d_out, ..DapConfig::paper_default(0.5, Scheme::EmfStar) };
+            let out = Dap::new(cfg, PiecewiseMechanism::new)
+                .run(&population, &PoiRange::TopHalf.attack(), rng);
+            (out.mean, truth)
+        });
+        let multi = mses_over_trials(&opts, 92, 2, |rng| {
+            let x: f64 = rng.gen();
+            (vec![x, x * 0.5], 0.25)
+        });
+        set_thread_override(None);
+        (single.to_bits(), multi.iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+    };
+    let serial = run(1);
+    let threaded = run(6);
+    assert_eq!(serial, threaded, "trial fan-out changed results");
+}
+
+fn protocol_group_case() {
+    let honest: Vec<f64> = {
+        let mut rng = seeded(3);
+        (0..4_000).map(|_| (rng.gen::<f64>() * 1.6 - 0.9).clamp(-1.0, 1.0)).collect()
+    };
+    let pop = Population::with_gamma(honest, 0.25);
+    let attack = PoiRange::TopHalf.attack();
+    let run = |threads: usize| {
+        set_thread_override(Some(threads));
+        let cfg = DapConfig { max_d_out: 32, ..DapConfig::paper_default(0.5, Scheme::Emf) };
+        let outs = Dap::new(cfg, PiecewiseMechanism::new).run_schemes(
+            &pop,
+            &attack,
+            &Scheme::ALL,
+            &mut seeded(4),
+        );
+        set_thread_override(None);
+        outs.iter()
+            .map(|o| (o.mean.to_bits(), o.gamma.to_bits(), o.side))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(1), run(5), "group fan-out changed results");
+}
+
+#[test]
+fn shared_scheme_runs_match_individual_runs() {
+    // `run_schemes` must agree exactly with three separate `run` calls on
+    // the same RNG stream prefix? No — separate runs consume the stream
+    // differently. What must hold: the outputs of one shared execution, per
+    // scheme, equal a single-scheme `run_schemes` over the same stream.
+    let honest: Vec<f64> = {
+        let mut rng = seeded(8);
+        (0..3_000).map(|_| (rng.gen::<f64>() - 0.3).clamp(-1.0, 1.0)).collect()
+    };
+    let pop = Population::with_gamma(honest, 0.2);
+    let attack = PoiRange::TopQuarter.attack();
+    let cfg = DapConfig { max_d_out: 32, ..DapConfig::paper_default(0.25, Scheme::Emf) };
+    let dap = Dap::new(cfg, PiecewiseMechanism::new);
+
+    let all = dap.run_schemes(&pop, &attack, &Scheme::ALL, &mut seeded(9));
+    for (i, scheme) in Scheme::ALL.into_iter().enumerate() {
+        let solo = dap.run_schemes(&pop, &attack, &[scheme], &mut seeded(9));
+        assert_eq!(
+            solo[0].mean.to_bits(),
+            all[i].mean.to_bits(),
+            "{}: shared vs solo run diverged",
+            scheme.label()
+        );
+    }
+}
+
+#[test]
+fn fig7_smoke_runs_fast_config() {
+    // The perf-tracked driver itself must keep functioning end to end at a
+    // tiny config (CI runs the bigger version in release).
+    let opts = ExpOptions { n: 1_500, trials: 1, seed: 2, max_d_out: 16 };
+    fig7::run(&opts);
+}

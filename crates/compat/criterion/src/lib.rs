@@ -12,8 +12,21 @@
 //! no statistical regression analysis, HTML report, or baseline
 //! comparison; swap the real crate back in (one line in the workspace
 //! manifest) for those.
+//!
+//! # Machine-readable output
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! finished benchmark appends one JSON line to it:
+//!
+//! ```json
+//! {"label":"emf_converge/emf/128","median_ns":123456,"iters_per_sample":4,
+//!  "samples":10,"throughput_elements":null,"throughput_bytes":null}
+//! ```
+//!
+//! CI's bench smoke job reads these lines to track the perf trajectory.
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -227,8 +240,52 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
                 bencher.iters_per_sample,
                 sample_size,
             );
+            emit_json(label, per_iter, bencher.iters_per_sample, sample_size, throughput);
         }
         None => println!("{label:<40} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Appends one JSON line per benchmark to the file named by
+/// `CRITERION_JSON`, if set (see the module docs). Failures print a warning
+/// instead of panicking — timing output must never take the benchmark down.
+fn emit_json(
+    label: &str,
+    per_iter: Duration,
+    iters_per_sample: u64,
+    samples: usize,
+    throughput: Option<Throughput>,
+) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let (elements, bytes) = match throughput {
+        Some(Throughput::Elements(n)) => (n.to_string(), "null".to_string()),
+        Some(Throughput::Bytes(n)) => ("null".to_string(), n.to_string()),
+        None => ("null".to_string(), "null".to_string()),
+    };
+    // The label is a bench identifier (module/function/param); escape the
+    // two JSON-significant characters it could plausibly contain.
+    let escaped = label.replace('\\', "\\\\").replace('"', "\\\"");
+    let line = format!(
+        "{{\"label\":\"{}\",\"median_ns\":{},\"iters_per_sample\":{},\"samples\":{},\"throughput_elements\":{},\"throughput_bytes\":{}}}\n",
+        escaped,
+        per_iter.as_nanos(),
+        iters_per_sample,
+        samples,
+        elements,
+        bytes,
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("warning: CRITERION_JSON={path} not writable: {e}");
     }
 }
 
@@ -257,8 +314,17 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    // A single #[test] covers both the measurement loop and the JSON
+    // emission: the JSON path toggles the process environment
+    // (`std::env::set_var`), which must not race with another test's
+    // benchmarks reading it on a sibling thread.
     #[test]
-    fn bench_function_measures_something() {
+    fn bench_function_measures_and_emits_json() {
+        measurement_case();
+        json_emission_case();
+    }
+
+    fn measurement_case() {
         let mut c = Criterion {
             sample_size: 3,
             sample_budget: Duration::from_micros(50),
@@ -275,5 +341,35 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+    }
+
+    fn json_emission_case() {
+        let path = std::env::temp_dir().join("criterion_json_emission_test.jsonl");
+        let path_str = path.to_str().expect("utf8 temp path").to_string();
+        std::fs::remove_file(&path).ok();
+        std::env::set_var("CRITERION_JSON", &path_str);
+
+        let mut c = Criterion {
+            sample_size: 2,
+            sample_budget: Duration::from_micros(20),
+        };
+        let mut group = c.benchmark_group("jsongroup");
+        group.sample_size(2).throughput(Throughput::Elements(7));
+        group.bench_function("payload", |b| b.iter(|| 2_u64 + 2));
+        group.finish();
+        std::env::remove_var("CRITERION_JSON");
+
+        let body = std::fs::read_to_string(&path).expect("json file written");
+        // Other tests may run benchmarks while the env var is set; pick out
+        // this test's line instead of assuming it is the only one.
+        let line = body
+            .lines()
+            .find(|l| l.contains("jsongroup/payload"))
+            .expect("one line for this benchmark");
+        assert!(line.starts_with("{\"label\":\"jsongroup/payload\""), "line: {line}");
+        assert!(line.contains("\"median_ns\":"), "line: {line}");
+        assert!(line.contains("\"throughput_elements\":7"), "line: {line}");
+        assert!(line.contains("\"throughput_bytes\":null"), "line: {line}");
+        std::fs::remove_file(&path).ok();
     }
 }

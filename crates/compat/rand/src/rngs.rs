@@ -50,6 +50,21 @@ impl RngCore for StdRng {
         s[3] = s[3].rotate_left(45);
         result
     }
+
+    /// Overridden so one `dyn` dispatch fills the whole buffer with a
+    /// monomorphic generator loop (the trait default would re-dispatch
+    /// `next_u64` per word); batch consumers lean on this.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
 }
 
 #[cfg(test)]

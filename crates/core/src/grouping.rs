@@ -45,7 +45,7 @@ impl GroupPlan {
     /// groups (the paper assumes `ε/ε₀` is a power of two; `k_t` is rounded
     /// to the nearest integer otherwise and budgets rescaled so the total
     /// spend stays exactly ε).
-    pub fn build(n_users: usize, eps: f64, eps0: f64, rng: &mut dyn RngCore) -> Self {
+    pub fn build<R: RngCore + ?Sized>(n_users: usize, eps: f64, eps0: f64, rng: &mut R) -> Self {
         let h = Self::group_count(eps, eps0);
         let mut budgets = Vec::with_capacity(h);
         let mut reports_per_user = Vec::with_capacity(h);

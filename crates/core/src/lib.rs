@@ -33,6 +33,7 @@ pub mod baseline;
 pub mod categorical;
 pub mod grouping;
 pub mod ima;
+pub mod parallel;
 pub mod population;
 pub mod protocol;
 pub mod scheme;
@@ -42,6 +43,7 @@ pub use accountant::{BudgetError, PrivacyAccountant};
 pub use aggregation::{aggregate, Weighting};
 pub use baseline::{BaselineConfig, BaselineProtocol};
 pub use grouping::GroupPlan;
+pub use parallel::parallel_map;
 pub use population::Population;
 pub use protocol::{Dap, DapConfig, DapOutput, GroupReport};
 pub use scheme::Scheme;

@@ -3,11 +3,12 @@
 use crate::accountant::PrivacyAccountant;
 use crate::aggregation::{aggregate, Weighting};
 use crate::grouping::GroupPlan;
+use crate::parallel::parallel_map;
 use crate::population::Population;
-use crate::scheme::{estimate_group_mean, Scheme};
+use crate::scheme::{estimate_group_means_hist, GroupEstimate, GroupHistogram, Scheme};
 use dap_attack::{Attack, Side};
 use dap_emf::{probe_side, EmfConfig};
-use dap_estimation::Grid;
+use dap_estimation::{EmWorkspace, Grid};
 use dap_ldp::{Epsilon, NumericMechanism};
 use rand::RngCore;
 
@@ -96,7 +97,9 @@ pub struct Dap<F> {
 impl<M, F> Dap<F>
 where
     M: NumericMechanism,
-    F: Fn(Epsilon) -> M,
+    // `Sync` lets stage 4 call the factory from worker threads; the
+    // mechanisms themselves are built and dropped inside each worker.
+    F: Fn(Epsilon) -> M + Sync,
 {
     /// Builds a protocol instance from a config and a mechanism factory
     /// (e.g. `|eps| PiecewiseMechanism::new(eps)`).
@@ -116,12 +119,38 @@ where
     /// The simulation enforces the privacy contract: every honest user's
     /// total spend is exactly ε (k_t reports at ε_t each), checked by the
     /// internal [`PrivacyAccountant`].
-    pub fn run(
+    pub fn run<R: RngCore>(
         &self,
         population: &Population,
         attack: &dyn Attack,
-        rng: &mut dyn RngCore,
+        rng: &mut R,
     ) -> DapOutput {
+        self.run_schemes(population, attack, &[self.config.scheme], rng)
+            .pop()
+            .expect("one scheme in, one output out")
+    }
+
+    /// Runs the protocol once and reads the result off under several
+    /// reconstruction schemes at a time, in `schemes` order.
+    ///
+    /// The schemes differ only in the stage-4 reconstruction (§V-B), so the
+    /// expensive shared stages — grouping, perturbation of every report,
+    /// probing, and the base EMF fit per group — run a single time. This is
+    /// the evaluation harness's common-random-numbers mode: comparing
+    /// schemes on identical report sets removes between-scheme sampling
+    /// noise and cuts the figure drivers' wall-clock roughly by the number
+    /// of schemes. `config.scheme` is ignored here.
+    ///
+    /// Stage 4 fans the (deterministic, RNG-free) per-group estimations out
+    /// over [`crate::parallel::parallel_map`]; outputs are bit-identical
+    /// for any thread count.
+    pub fn run_schemes<R: RngCore>(
+        &self,
+        population: &Population,
+        attack: &dyn Attack,
+        schemes: &[Scheme],
+        rng: &mut R,
+    ) -> Vec<DapOutput> {
         let cfg = &self.config;
         let n_total = population.total();
         assert!(n_total > 0, "empty population");
@@ -130,22 +159,40 @@ where
 
         // Stage 2: perturbation. User indices < |honest| are honest; the
         // rest are the coalition (assignment order is already shuffled).
+        // Reports stream straight into each group's `d'`-bucket histogram —
+        // the EMF sizing depends only on the solicited report volume
+        // `|G_t|·k_t`, which is known up front, so the raw report vectors
+        // never materialize.
         let n_honest = population.honest.len();
-        let mut group_reports: Vec<Vec<f64>> = Vec::with_capacity(plan.len());
+        let mut group_hists: Vec<GroupHistogram> = Vec::with_capacity(plan.len());
+        let mut emf_cfgs: Vec<EmfConfig> = Vec::with_capacity(plan.len());
         for g in 0..plan.len() {
             let eps_t = plan.budgets[g];
             let k_t = plan.reports_per_user[g];
             let mech = (self.mech_factory)(eps_t);
-            let mut reports = Vec::with_capacity(plan.reports_in_group(g));
+            let emf_cfg =
+                EmfConfig::capped(plan.reports_in_group(g), eps_t.get(), cfg.max_d_out);
+            let (olo, ohi) = mech.output_range();
+            let grid = Grid::new(olo, ohi, emf_cfg.d_out);
+            let mut report_buf = vec![0.0f64; k_t];
+            let mut counts = vec![0.0; emf_cfg.d_out];
+            let mut sum = 0.0;
+            let mut n_reports = 0usize;
             let mut byz_members = 0usize;
             for &user in &plan.assignment[g] {
                 if user < n_honest {
+                    // One accountant charge covers the user's k_t reports at
+                    // ε_t each; ε_t = ε/2^t and k_t = 2^t, so the product is
+                    // exactly ε with no accumulation error.
+                    accountant
+                        .charge(user, eps_t.get() * k_t as f64)
+                        .expect("grouping never exceeds the budget");
                     let v = population.honest[user];
-                    for _ in 0..k_t {
-                        accountant
-                            .charge(user, eps_t.get())
-                            .expect("grouping never exceeds the budget");
-                        reports.push(mech.perturb(v, rng));
+                    mech.perturb_into(v, &mut report_buf[..k_t], rng);
+                    for &r in &report_buf[..k_t] {
+                        counts[grid.bucket_of(r)] += 1.0;
+                        sum += r;
+                        n_reports += 1;
                     }
                 } else {
                     byz_members += 1;
@@ -153,67 +200,92 @@ where
             }
             // The coalition matches the honest report volume: k_t poison
             // reports per member, scaled to the group's output domain.
-            reports.extend(attack.reports(byz_members * k_t, &mech, rng));
-            group_reports.push(reports);
+            for r in attack.reports(byz_members * k_t, &mech, rng) {
+                counts[grid.bucket_of(r)] += 1.0;
+                sum += r;
+                n_reports += 1;
+            }
+            group_hists.push(GroupHistogram { counts, sum_reports: sum, n_reports });
+            emf_cfgs.push(emf_cfg);
         }
         debug_assert!(accountant.all_depleted() || population.byzantine > 0);
 
         // Stage 3: probing on the most private group (Theorem 3: smallest ε
-        // probes Byzantine features best).
+        // probes Byzantine features best). The probe reads the group's
+        // streamed histogram directly.
         let probe_g = plan.probe_group();
-        let probe_eps = plan.budgets[probe_g];
-        let probe_mech = (self.mech_factory)(probe_eps);
-        let probe_cfg = EmfConfig::capped(group_reports[probe_g].len(), probe_eps.get(), cfg.max_d_out);
-        let (olo, ohi) = probe_mech.output_range();
-        let probe_counts =
-            Grid::new(olo, ohi, probe_cfg.d_out).counts(&group_reports[probe_g]);
-        let probe =
-            probe_side(&probe_mech, &probe_counts, probe_cfg.d_in, cfg.o_prime, &probe_cfg.em);
+        let probe_mech = (self.mech_factory)(plan.budgets[probe_g]);
+        let probe_cfg = &emf_cfgs[probe_g];
+        let probe = probe_side(
+            &probe_mech,
+            &group_hists[probe_g].counts,
+            probe_cfg.d_in,
+            cfg.o_prime,
+            &probe_cfg.em,
+        );
         let side = probe.side;
         let gamma = probe.chosen().poison_mass();
 
-        // Stage 4: intra-group estimation (Eq. 13).
-        let mut means = Vec::with_capacity(plan.len());
-        let mut n_hats = Vec::with_capacity(plan.len());
-        let mut worst_vars = Vec::with_capacity(plan.len());
-        let mut groups = Vec::with_capacity(plan.len());
-        for (g, reports) in group_reports.iter().enumerate() {
+        // Stage 4: intra-group estimation (Eq. 13), fanned out over the
+        // independent groups. The probe group's base EMF fit is exactly the
+        // probe's chosen-side run (same cached matrix, counts and stopping
+        // rule), so it is handed down instead of being recomputed.
+        let group_inputs: Vec<usize> = (0..plan.len()).collect();
+        let estimates: Vec<Vec<GroupEstimate>> = parallel_map(group_inputs, |g| {
             let eps_t = plan.budgets[g];
             let mech = (self.mech_factory)(eps_t);
-            let emf_cfg = EmfConfig::capped(reports.len(), eps_t.get(), cfg.max_d_out);
-            let est = estimate_group_mean(
+            let probed_base = (g == probe_g).then(|| probe.chosen());
+            estimate_group_means_hist(
                 &mech,
-                reports,
+                &group_hists[g],
                 side,
                 cfg.o_prime,
                 gamma,
-                cfg.scheme,
-                &emf_cfg,
-            );
-            let n_hat = (est.n_reports as f64 - est.m_hat) * eps_t.get() / cfg.eps;
-            means.push(est.mean);
-            n_hats.push(n_hat);
-            worst_vars.push(mech.worst_case_variance());
-            groups.push(GroupReport {
-                eps_t: eps_t.get(),
-                n_reports: est.n_reports,
-                mean_t: est.mean,
-                m_hat: est.m_hat,
-                n_hat,
-                weight: 0.0, // filled below
-            });
-        }
+                schemes,
+                &emf_cfgs[g],
+                probed_base,
+                &mut EmWorkspace::new(),
+            )
+        });
 
-        // Stage 5: inter-group aggregation (Algorithm 5).
-        let agg = aggregate(&means, &n_hats, &worst_vars, cfg.weighting);
-        for (g, w) in groups.iter_mut().zip(&agg.weights) {
-            g.weight = *w;
-        }
+        // Stage 5: inter-group aggregation (Algorithm 5), per scheme.
         let mech0 = (self.mech_factory)(Epsilon::of(cfg.eps));
         let (ilo, ihi) = mech0.input_range();
-        let mean =
-            if cfg.clamp_to_input { agg.mean.clamp(ilo, ihi) } else { agg.mean };
-        DapOutput { mean, side, gamma, min_variance: agg.min_variance, groups }
+        let worst_vars: Vec<f64> = plan
+            .budgets
+            .iter()
+            .map(|&eps_t| (self.mech_factory)(eps_t).worst_case_variance())
+            .collect();
+
+        (0..schemes.len())
+            .map(|s| {
+                let mut means = Vec::with_capacity(plan.len());
+                let mut n_hats = Vec::with_capacity(plan.len());
+                let mut groups = Vec::with_capacity(plan.len());
+                for (g, per_scheme) in estimates.iter().enumerate() {
+                    let est = &per_scheme[s];
+                    let eps_t = plan.budgets[g];
+                    let n_hat = (est.n_reports as f64 - est.m_hat) * eps_t.get() / cfg.eps;
+                    means.push(est.mean);
+                    n_hats.push(n_hat);
+                    groups.push(GroupReport {
+                        eps_t: eps_t.get(),
+                        n_reports: est.n_reports,
+                        mean_t: est.mean,
+                        m_hat: est.m_hat,
+                        n_hat,
+                        weight: 0.0, // filled below
+                    });
+                }
+                let agg = aggregate(&means, &n_hats, &worst_vars, cfg.weighting);
+                for (g, w) in groups.iter_mut().zip(&agg.weights) {
+                    g.weight = *w;
+                }
+                let mean =
+                    if cfg.clamp_to_input { agg.mean.clamp(ilo, ihi) } else { agg.mean };
+                DapOutput { mean, side, gamma, min_variance: agg.min_variance, groups }
+            })
+            .collect()
     }
 }
 

@@ -2,8 +2,9 @@
 //! schemes.
 
 use dap_attack::Side;
-use dap_emf::{cemf_star, cemf_star_threshold, emf, emf_star, EmfConfig};
-use dap_estimation::{Grid, PoisonRegion, TransformMatrix};
+use dap_emf::{cemf_star, cemf_star_threshold, EmfConfig};
+use dap_estimation::em::{self, EmOutcome, EmWorkspace, MStep};
+use dap_estimation::{cached_for_numeric, Grid, PoisonRegion};
 use dap_ldp::NumericMechanism;
 
 /// Which EMF reconstruction a DAP variant uses per group (§V-B).
@@ -59,48 +60,162 @@ pub fn estimate_group_mean(
     scheme: Scheme,
     config: &EmfConfig,
 ) -> GroupEstimate {
-    let n_reports = reports.len();
-    if n_reports == 0 {
-        return GroupEstimate { mean: 0.0, n_reports: 0, m_hat: 0.0, gamma_group: 0.0 };
+    estimate_group_means(
+        mech,
+        reports,
+        side,
+        o_prime,
+        gamma_global,
+        &[scheme],
+        config,
+        None,
+        &mut EmWorkspace::new(),
+    )
+    .pop()
+    .expect("one scheme in, one estimate out")
+}
+
+/// A group's report set reduced to what estimation needs: the `d'`-bucket
+/// histogram, the report sum (for Eq. 13) and the report count. The
+/// protocol streams perturbed reports straight into this, so the raw
+/// per-group report vectors never materialize.
+#[derive(Debug, Clone)]
+pub struct GroupHistogram {
+    /// Per-output-bucket report counts (length `d'`).
+    pub counts: Vec<f64>,
+    /// `Σ v'` over the group's reports.
+    pub sum_reports: f64,
+    /// Number of reports `N_t`.
+    pub n_reports: usize,
+}
+
+impl GroupHistogram {
+    /// Buckets a report slice over the mechanism's output range.
+    pub fn from_reports(mech: &dyn NumericMechanism, reports: &[f64], d_out: usize) -> Self {
+        let (olo, ohi) = mech.output_range();
+        let counts = Grid::new(olo, ohi, d_out).counts(reports);
+        GroupHistogram {
+            counts,
+            sum_reports: reports.iter().sum(),
+            n_reports: reports.len(),
+        }
     }
-    let (olo, ohi) = mech.output_range();
-    let grid = Grid::new(olo, ohi, config.d_out);
-    let counts = grid.counts(reports);
+}
+
+/// [`estimate_group_mean`] for several schemes over the *same* reports,
+/// sharing everything the schemes have in common: the report histogram, the
+/// (cached) transform matrix, and the base EMF fit — EMF's own outcome and
+/// the input to CEMF\*'s suppression rule, which the per-scheme path used
+/// to recompute from scratch. EMF\* never needs the base fit at all, so it
+/// runs exactly one constrained solve.
+///
+/// `probed_base` short-circuits the base fit with an EMF outcome already
+/// computed on this exact `(matrix, counts, options)` problem — the probing
+/// stage's chosen-side run for the most private group. Estimates come back
+/// in `schemes` order.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_group_means(
+    mech: &dyn NumericMechanism,
+    reports: &[f64],
+    side: Side,
+    o_prime: f64,
+    gamma_global: f64,
+    schemes: &[Scheme],
+    config: &EmfConfig,
+    probed_base: Option<&EmOutcome>,
+    ws: &mut EmWorkspace,
+) -> Vec<GroupEstimate> {
+    let hist = GroupHistogram::from_reports(mech, reports, config.d_out);
+    estimate_group_means_hist(
+        mech,
+        &hist,
+        side,
+        o_prime,
+        gamma_global,
+        schemes,
+        config,
+        probed_base,
+        ws,
+    )
+}
+
+/// [`estimate_group_means`] over a pre-bucketed [`GroupHistogram`].
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_group_means_hist(
+    mech: &dyn NumericMechanism,
+    hist: &GroupHistogram,
+    side: Side,
+    o_prime: f64,
+    gamma_global: f64,
+    schemes: &[Scheme],
+    config: &EmfConfig,
+    probed_base: Option<&EmOutcome>,
+    ws: &mut EmWorkspace,
+) -> Vec<GroupEstimate> {
+    let n_reports = hist.n_reports;
+    if n_reports == 0 {
+        return schemes
+            .iter()
+            .map(|_| GroupEstimate { mean: 0.0, n_reports: 0, m_hat: 0.0, gamma_group: 0.0 })
+            .collect();
+    }
+    assert_eq!(hist.counts.len(), config.d_out, "histogram resolution mismatch");
+    let counts = &hist.counts;
     let region = match side {
         Side::Right => PoisonRegion::RightOf(o_prime),
         Side::Left => PoisonRegion::LeftOf(o_prime),
     };
-    let matrix = TransformMatrix::for_numeric(mech, config.d_in, config.d_out, &region);
+    let matrix = cached_for_numeric(mech, config.d_in, config.d_out, &region);
 
-    let base = emf(&matrix, &counts, &config.em);
-    let outcome = match scheme {
-        Scheme::Emf => base,
-        Scheme::EmfStar => emf_star(&matrix, &counts, gamma_global, &config.em),
-        Scheme::CemfStar => {
-            let thr = cemf_star_threshold(gamma_global, matrix.poison_buckets().len());
-            cemf_star(&matrix, &counts, gamma_global, thr, &base, &config.em)
-        }
-    };
-
-    let gamma_group: f64 = outcome.poison.iter().sum();
-    let nt = n_reports as f64;
-    let m_hat = nt * gamma_group;
-    let poison_term: f64 = outcome
-        .poison
-        .iter()
-        .zip(matrix.output_centers())
-        .map(|(y, nu)| nt * y * nu)
-        .sum();
-    let sum_reports: f64 = reports.iter().sum();
-    let honest_reports = nt - m_hat;
-    let mean = if honest_reports >= 1.0 {
-        mech.debias_mean((sum_reports - poison_term) / honest_reports)
+    // Shared solves, each at most once.
+    let needs_base =
+        schemes.iter().any(|s| matches!(s, Scheme::Emf | Scheme::CemfStar));
+    let base: Option<EmOutcome> = if needs_base {
+        Some(match probed_base {
+            Some(b) => b.clone(),
+            None => em::solve_in(&matrix, counts, MStep::Free, &config.em, ws),
+        })
     } else {
-        // Degenerate probe claiming everything is poison: fall back to the
-        // uncorrected mean rather than dividing by ~0.
-        mech.debias_mean(sum_reports / nt)
+        None
     };
-    GroupEstimate { mean, n_reports, m_hat, gamma_group }
+    let star: Option<EmOutcome> = schemes.contains(&Scheme::EmfStar).then(|| {
+        em::solve_in(&matrix, counts, MStep::Constrained { gamma: gamma_global }, &config.em, ws)
+    });
+    let cemf: Option<EmOutcome> = schemes.contains(&Scheme::CemfStar).then(|| {
+        let b = base.as_ref().expect("base computed for CEMF*");
+        let thr = cemf_star_threshold(gamma_global, matrix.poison_buckets().len());
+        cemf_star(&matrix, counts, gamma_global, thr, b, &config.em)
+    });
+
+    let sum_reports: f64 = hist.sum_reports;
+    schemes
+        .iter()
+        .map(|scheme| {
+            let outcome = match scheme {
+                Scheme::Emf => base.as_ref().expect("base computed for EMF"),
+                Scheme::EmfStar => star.as_ref().expect("star computed"),
+                Scheme::CemfStar => cemf.as_ref().expect("cemf computed"),
+            };
+            let gamma_group: f64 = outcome.poison.iter().sum();
+            let nt = n_reports as f64;
+            let m_hat = nt * gamma_group;
+            let poison_term: f64 = outcome
+                .poison
+                .iter()
+                .zip(matrix.output_centers())
+                .map(|(y, nu)| nt * y * nu)
+                .sum();
+            let honest_reports = nt - m_hat;
+            let mean = if honest_reports >= 1.0 {
+                mech.debias_mean((sum_reports - poison_term) / honest_reports)
+            } else {
+                // Degenerate probe claiming everything is poison: fall back
+                // to the uncorrected mean rather than dividing by ~0.
+                mech.debias_mean(sum_reports / nt)
+            };
+            GroupEstimate { mean, n_reports, m_hat, gamma_group }
+        })
+        .collect()
 }
 
 #[cfg(test)]

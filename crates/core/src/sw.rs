@@ -10,12 +10,14 @@
 
 use crate::aggregation::{aggregate, Weighting};
 use crate::grouping::GroupPlan;
+use crate::parallel::parallel_map;
 use crate::population::Population;
 use crate::scheme::Scheme;
 use dap_attack::{Attack, Side};
-use dap_emf::{cemf_star, cemf_star_threshold, emf, emf_star, EmfConfig};
+use dap_emf::{cemf_star, cemf_star_threshold, emf, EmfConfig};
+use dap_estimation::em::{self, EmOutcome, EmWorkspace, MStep};
 use dap_estimation::stats::histogram_mean;
-use dap_estimation::{ems, EmOptions, Grid, PoisonRegion, TransformMatrix};
+use dap_estimation::{cached_for_numeric, ems, EmOptions, Grid, PoisonRegion};
 use dap_ldp::{NumericMechanism, SquareWave};
 use rand::RngCore;
 
@@ -38,7 +40,7 @@ pub fn sw_o_prime(
         Side::Right => &sorted[..sorted.len() - half],
         Side::Left => &sorted[half..],
     };
-    let matrix = TransformMatrix::for_numeric(mech, config.d_in, config.d_out, &PoisonRegion::None);
+    let matrix = cached_for_numeric(mech, config.d_in, config.d_out, &PoisonRegion::None);
     let (olo, ohi) = mech.output_range();
     let counts = Grid::new(olo, ohi, config.d_out).counts(kept);
     let outcome = ems::solve(&matrix, &counts, &config.em);
@@ -55,27 +57,66 @@ pub fn sw_group_mean(
     scheme: Scheme,
     config: &EmfConfig,
 ) -> (f64, f64) {
+    sw_group_means(mech, reports, side, o_prime_out, gamma_global, &[scheme], config)
+        .pop()
+        .expect("one scheme in, one estimate out")
+}
+
+/// [`sw_group_mean`] for several schemes over the same reports, sharing the
+/// report histogram, the cached transform matrix, and the base EMF fit
+/// (mirrors [`crate::scheme::estimate_group_means`]). Returns
+/// `(mean, γ_group)` pairs in `schemes` order.
+pub fn sw_group_means(
+    mech: &SquareWave,
+    reports: &[f64],
+    side: Side,
+    o_prime_out: f64,
+    gamma_global: f64,
+    schemes: &[Scheme],
+    config: &EmfConfig,
+) -> Vec<(f64, f64)> {
     if reports.is_empty() {
-        return (0.5, 0.0);
+        return vec![(0.5, 0.0); schemes.len()];
     }
     let region = match side {
         Side::Right => PoisonRegion::RightOf(o_prime_out),
         Side::Left => PoisonRegion::LeftOf(o_prime_out),
     };
-    let matrix = TransformMatrix::for_numeric(mech, config.d_in, config.d_out, &region);
+    let matrix = cached_for_numeric(mech, config.d_in, config.d_out, &region);
     let (olo, ohi) = mech.output_range();
     let counts = Grid::new(olo, ohi, config.d_out).counts(reports);
-    let base = emf(&matrix, &counts, &config.em);
-    let outcome = match scheme {
-        Scheme::Emf => base,
-        Scheme::EmfStar => emf_star(&matrix, &counts, gamma_global, &config.em),
-        Scheme::CemfStar => {
-            let thr = cemf_star_threshold(gamma_global, matrix.poison_buckets().len());
-            cemf_star(&matrix, &counts, gamma_global, thr, &base, &config.em)
-        }
-    };
-    let gamma_group: f64 = outcome.poison.iter().sum();
-    (histogram_mean(&outcome.normal, matrix.input_centers()), gamma_group)
+    let mut ws = EmWorkspace::new();
+
+    let needs_base = schemes.iter().any(|s| matches!(s, Scheme::Emf | Scheme::CemfStar));
+    let base: Option<EmOutcome> = needs_base
+        .then(|| em::solve_in(&matrix, &counts, MStep::Free, &config.em, &mut ws));
+    let star: Option<EmOutcome> = schemes.contains(&Scheme::EmfStar).then(|| {
+        em::solve_in(
+            &matrix,
+            &counts,
+            MStep::Constrained { gamma: gamma_global },
+            &config.em,
+            &mut ws,
+        )
+    });
+    let cemf: Option<EmOutcome> = schemes.contains(&Scheme::CemfStar).then(|| {
+        let b = base.as_ref().expect("base computed for CEMF*");
+        let thr = cemf_star_threshold(gamma_global, matrix.poison_buckets().len());
+        cemf_star(&matrix, &counts, gamma_global, thr, b, &config.em)
+    });
+
+    schemes
+        .iter()
+        .map(|scheme| {
+            let outcome = match scheme {
+                Scheme::Emf => base.as_ref().expect("base computed for EMF"),
+                Scheme::EmfStar => star.as_ref().expect("star computed"),
+                Scheme::CemfStar => cemf.as_ref().expect("cemf computed"),
+            };
+            let gamma_group: f64 = outcome.poison.iter().sum();
+            (histogram_mean(&outcome.normal, matrix.input_centers()), gamma_group)
+        })
+        .collect()
 }
 
 /// Configuration of the SW-based DAP deployment.
@@ -138,6 +179,22 @@ impl SwDap {
         attack: &dyn Attack,
         rng: &mut dyn RngCore,
     ) -> SwDapOutput {
+        self.run_schemes(population, attack, &[self.config.scheme], rng)
+            .pop()
+            .expect("one scheme in, one output out")
+    }
+
+    /// Runs the protocol once and reads the result off under several
+    /// schemes — the SW analogue of [`crate::Dap::run_schemes`]:
+    /// grouping, perturbation, probing and the base EMF fits are shared;
+    /// `config.scheme` is ignored. Outputs come back in `schemes` order.
+    pub fn run_schemes(
+        &self,
+        population: &Population,
+        attack: &dyn Attack,
+        schemes: &[Scheme],
+        rng: &mut dyn RngCore,
+    ) -> Vec<SwDapOutput> {
         let cfg = &self.config;
         let n_total = population.total();
         assert!(n_total > 0, "empty population");
@@ -187,29 +244,37 @@ impl SwDap {
             Side::Left => 0.0,
         };
 
-        let mut means = Vec::with_capacity(plan.len());
-        let mut n_hats = Vec::with_capacity(plan.len());
-        let mut worst_vars = Vec::with_capacity(plan.len());
-        for (g, reports) in group_reports.iter().enumerate() {
+        // Per-group estimation fans out over the independent groups; each
+        // estimate is a deterministic function of its reports, so results
+        // are thread-count independent.
+        let estimates: Vec<Vec<(f64, f64)>> = parallel_map((0..plan.len()).collect(), |g| {
+            let reports = &group_reports[g];
             let eps_t = plan.budgets[g];
             let mech = SquareWave::new(eps_t);
             let emf_cfg = EmfConfig::capped(reports.len(), eps_t.get(), cfg.max_d_out);
-            let (mean_t, gamma_t) = sw_group_mean(
-                &mech,
-                reports,
-                side,
-                o_prime,
-                gamma,
-                cfg.scheme,
-                &emf_cfg,
-            );
-            let nt = reports.len() as f64;
-            means.push(mean_t);
-            n_hats.push((nt - nt * gamma_t) * eps_t.get() / cfg.eps);
-            worst_vars.push(mech.worst_case_variance());
-        }
-        let agg = aggregate(&means, &n_hats, &worst_vars, cfg.weighting);
-        SwDapOutput { mean: agg.mean.clamp(0.0, 1.0), side, gamma }
+            sw_group_means(&mech, reports, side, o_prime, gamma, schemes, &emf_cfg)
+        });
+
+        let worst_vars: Vec<f64> = plan
+            .budgets
+            .iter()
+            .map(|&eps_t| SquareWave::new(eps_t).worst_case_variance())
+            .collect();
+        (0..schemes.len())
+            .map(|s| {
+                let mut means = Vec::with_capacity(plan.len());
+                let mut n_hats = Vec::with_capacity(plan.len());
+                for (g, per_scheme) in estimates.iter().enumerate() {
+                    let (mean_t, gamma_t) = per_scheme[s];
+                    let eps_t = plan.budgets[g];
+                    let nt = group_reports[g].len() as f64;
+                    means.push(mean_t);
+                    n_hats.push((nt - nt * gamma_t) * eps_t.get() / cfg.eps);
+                }
+                let agg = aggregate(&means, &n_hats, &worst_vars, cfg.weighting);
+                SwDapOutput { mean: agg.mean.clamp(0.0, 1.0), side, gamma }
+            })
+            .collect()
     }
 }
 
@@ -226,9 +291,9 @@ impl SwDap {
 fn probe_side_bands(mech: &SquareWave, counts: &[f64], config: &EmfConfig) -> (Side, f64) {
     let em = EmOptions { tol: config.em.tol.min(1e-3), max_iters: config.em.max_iters.max(500) };
     let left_m =
-        TransformMatrix::for_numeric(mech, config.d_in, counts.len(), &PoisonRegion::LeftOf(0.0));
+        cached_for_numeric(mech, config.d_in, counts.len(), &PoisonRegion::LeftOf(0.0));
     let right_m =
-        TransformMatrix::for_numeric(mech, config.d_in, counts.len(), &PoisonRegion::RightOf(1.0));
+        cached_for_numeric(mech, config.d_in, counts.len(), &PoisonRegion::RightOf(1.0));
     let left = emf(&left_m, counts, &em);
     let right = emf(&right_m, counts, &em);
     if left.log_likelihood > right.log_likelihood {

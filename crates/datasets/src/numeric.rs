@@ -41,7 +41,7 @@ impl Dataset {
     }
 
     /// Samples `n` raw values.
-    pub fn generate_raw(self, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+    pub fn generate_raw<R: RngCore + ?Sized>(self, n: usize, rng: &mut R) -> Vec<f64> {
         match self {
             Dataset::Beta25 => (0..n).map(|_| sampling::beta(2.0, 5.0, rng)).collect(),
             Dataset::Beta52 => (0..n).map(|_| sampling::beta(5.0, 2.0, rng)).collect(),
@@ -52,14 +52,14 @@ impl Dataset {
 
     /// Samples `n` values normalized into `[-1, 1]` (Piecewise-Mechanism
     /// domain, the paper's default).
-    pub fn generate_signed(self, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+    pub fn generate_signed<R: RngCore + ?Sized>(self, n: usize, rng: &mut R) -> Vec<f64> {
         let raw = self.generate_raw(n, rng);
         let (lo, hi) = self.raw_range();
         normalize_to_signed(&raw, lo, hi)
     }
 
     /// Samples `n` values normalized into `[0, 1]` (Square-Wave domain).
-    pub fn generate_unit(self, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+    pub fn generate_unit<R: RngCore + ?Sized>(self, n: usize, rng: &mut R) -> Vec<f64> {
         let raw = self.generate_raw(n, rng);
         let (lo, hi) = self.raw_range();
         normalize_to_unit(&raw, lo, hi)
@@ -71,7 +71,7 @@ impl Dataset {
 /// Mixture tuned so the normalized mean lands near the paper's Taxi mean
 /// (`O ≈ 0.12` on `[-1, 1]`): a uniform all-day base plus morning and evening
 /// rush-hour Gaussians.
-fn taxi_pickup_second(rng: &mut dyn RngCore) -> f64 {
+fn taxi_pickup_second<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
     const DAY: f64 = 86_340.0;
     let u: f64 = rng.gen();
     let t = if u < 0.35 {
@@ -88,7 +88,7 @@ fn taxi_pickup_second(rng: &mut dyn RngCore) -> f64 {
 ///
 /// Truncated log-normal shifted to the `[10 000, 60 000]` window, matching
 /// the left-concentrated shape of Fig. 4(d) (normalized mean `O ≈ −0.62`).
-fn retirement_compensation(rng: &mut dyn RngCore) -> f64 {
+fn retirement_compensation<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
     let body = (sampling::normal(9.0, 0.5, rng)).exp();
     (10_000.0 + body).clamp(10_000.0, 60_000.0)
 }

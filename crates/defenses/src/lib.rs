@@ -44,7 +44,9 @@ use rand::RngCore;
 
 /// A defense that turns a batch of (possibly poisoned) LDP reports into a
 /// mean estimate.
-pub trait MeanDefense {
+/// `Sync` so the experiment harness can share one defense across parallel
+/// trials.
+pub trait MeanDefense: Sync {
     /// Estimates the honest-population mean from the reports.
     fn estimate_mean(&self, reports: &[f64], rng: &mut dyn RngCore) -> f64;
 

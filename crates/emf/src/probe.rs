@@ -20,7 +20,7 @@ use crate::filter::emf;
 use dap_attack::Side;
 use dap_estimation::em::{EmOptions, EmOutcome};
 use dap_estimation::stats::variance;
-use dap_estimation::{PoisonRegion, TransformMatrix};
+use dap_estimation::{cached_for_numeric, PoisonRegion};
 use dap_ldp::NumericMechanism;
 
 /// Outcome of the side probe: the chosen side plus both hypothesis runs
@@ -75,8 +75,8 @@ pub fn probe_side(
     opts: &EmOptions,
 ) -> SideProbe {
     let d_out = counts.len();
-    let ml = TransformMatrix::for_numeric(mech, d_in, d_out, &PoisonRegion::LeftOf(o_prime));
-    let mr = TransformMatrix::for_numeric(mech, d_in, d_out, &PoisonRegion::RightOf(o_prime));
+    let ml = cached_for_numeric(mech, d_in, d_out, &PoisonRegion::LeftOf(o_prime));
+    let mr = cached_for_numeric(mech, d_in, d_out, &PoisonRegion::RightOf(o_prime));
     let left = emf(&ml, counts, opts);
     let right = emf(&mr, counts, opts);
     let var_left = variance(&left.normal);

@@ -6,7 +6,7 @@
 //! distribution-estimation experiment (Fig. 8a) and to bootstrap `O'` for the
 //! SW variant of DAP (§V-D).
 
-use crate::em::{EmOptions, DENSITY_FLOOR};
+use crate::em::{self, EmOptions, EmWorkspace};
 use crate::transform::TransformMatrix;
 
 /// Result of an EMS run: the reconstructed input histogram.
@@ -24,41 +24,42 @@ pub struct EmsOutcome {
 /// ignored — pass a matrix built with [`crate::PoisonRegion::None`] for
 /// clarity).
 pub fn solve(matrix: &TransformMatrix, counts: &[f64], opts: &EmOptions) -> EmsOutcome {
-    let d_in = matrix.d_in();
-    let d_out = matrix.d_out();
-    assert_eq!(counts.len(), d_out, "counts length must equal d'");
+    solve_in(matrix, counts, opts, &mut EmWorkspace::new())
+}
 
-    let mut x = vec![1.0 / d_in as f64; d_in];
-    let mut px = vec![0.0; d_in];
+/// [`solve`] with caller-provided scratch buffers.
+///
+/// Each iteration is the core solver's E-step (structured fast path when
+/// the matrix analyzes) with every poison component held at zero, followed
+/// by the normal-block normalization and the binomial smoothing.
+pub fn solve_in(
+    matrix: &TransformMatrix,
+    counts: &[f64],
+    opts: &EmOptions,
+    ws: &mut EmWorkspace,
+) -> EmsOutcome {
+    let d_in = matrix.d_in();
+    assert_eq!(counts.len(), matrix.d_out(), "counts length must equal d'");
+
+    ws.prepare(d_in, matrix.d_out());
+    ws.x.iter_mut().for_each(|v| *v = 1.0 / d_in as f64);
     let mut prev_ll = f64::NEG_INFINITY;
     let mut converged = false;
     let mut iterations = 0;
 
     for iter in 0..opts.max_iters {
         iterations = iter + 1;
-        px.iter_mut().for_each(|v| *v = 0.0);
-        let mut ll = 0.0;
+        // With y ≡ 0 the poison responsibilities vanish, so this is exactly
+        // the normal-block E-step.
+        let (ll, _py_total) = em::e_step(matrix, counts, ws);
 
-        for (i, &c) in counts.iter().enumerate() {
-            let row = matrix.normal_row(i);
-            let den: f64 = row.iter().zip(x.iter()).map(|(m, xv)| m * xv).sum();
-            let den = den.max(DENSITY_FLOOR);
-            if c > 0.0 {
-                ll += c * den.ln();
-                let w = c / den;
-                for (pxk, (m, xv)) in px.iter_mut().zip(row.iter().zip(x.iter())) {
-                    *pxk += m * xv * w;
-                }
-            }
-        }
-
-        let total: f64 = px.iter().sum();
+        let total: f64 = ws.px.iter().sum();
         if total > 0.0 {
-            for (xk, pxk) in x.iter_mut().zip(px.iter()) {
+            for (xk, pxk) in ws.x.iter_mut().zip(ws.px.iter()) {
                 *xk = pxk / total;
             }
         }
-        smooth_in_place(&mut x);
+        smooth_in_place(&mut ws.x, &mut ws.smooth);
 
         if (ll - prev_ll).abs() < opts.tol {
             converged = true;
@@ -67,16 +68,20 @@ pub fn solve(matrix: &TransformMatrix, counts: &[f64], opts: &EmOptions) -> EmsO
         prev_ll = ll;
     }
 
-    EmsOutcome { histogram: x, iterations, converged }
+    EmsOutcome { histogram: ws.x.clone(), iterations, converged }
 }
 
 /// Binomial `[1, 2, 1]/4` kernel with reflecting ends; preserves total mass.
-fn smooth_in_place(x: &mut [f64]) {
+/// `scratch` is a reusable buffer so the per-iteration smoothing allocates
+/// nothing.
+fn smooth_in_place(x: &mut [f64], scratch: &mut Vec<f64>) {
     let n = x.len();
     if n < 3 {
         return;
     }
-    let mut out = vec![0.0; n];
+    scratch.clear();
+    scratch.resize(n, 0.0);
+    let out = &mut scratch[..];
     out[0] = (2.0 * x[0] + x[1]) / 3.0;
     out[n - 1] = (x[n - 2] + 2.0 * x[n - 1]) / 3.0;
     for i in 1..n - 1 {
@@ -86,11 +91,11 @@ fn smooth_in_place(x: &mut [f64]) {
     // but exactness matters for downstream γ̂ arithmetic.
     let total: f64 = out.iter().sum();
     if total > 0.0 {
-        for v in &mut out {
+        for v in out.iter_mut() {
             *v /= total;
         }
     }
-    x.copy_from_slice(&out);
+    x.copy_from_slice(out);
 }
 
 #[cfg(test)]
@@ -104,7 +109,7 @@ mod tests {
     #[test]
     fn smoothing_preserves_mass() {
         let mut x = vec![0.1, 0.5, 0.2, 0.15, 0.05];
-        smooth_in_place(&mut x);
+        smooth_in_place(&mut x, &mut Vec::new());
         assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         // The spike at index 1 is flattened toward its neighbours.
         assert!(x[1] < 0.5);
@@ -114,7 +119,7 @@ mod tests {
     #[test]
     fn smoothing_is_noop_for_tiny_vectors() {
         let mut x = vec![0.4, 0.6];
-        smooth_in_place(&mut x);
+        smooth_in_place(&mut x, &mut Vec::new());
         assert_eq!(x, vec![0.4, 0.6]);
     }
 

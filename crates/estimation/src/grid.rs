@@ -15,6 +15,8 @@ pub struct Grid {
     hi: f64,
     n: usize,
     width: f64,
+    /// `1/width`, so the hot `bucket_of` multiplies instead of divides.
+    inv_width: f64,
 }
 
 impl Grid {
@@ -25,7 +27,8 @@ impl Grid {
     pub fn new(lo: f64, hi: f64, n: usize) -> Self {
         assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid interval [{lo}, {hi}]");
         assert!(n >= 1, "grid needs at least one bucket");
-        Grid { lo, hi, n, width: (hi - lo) / n as f64 }
+        let width = (hi - lo) / n as f64;
+        Grid { lo, hi, n, width, inv_width: 1.0 / width }
     }
 
     /// Number of buckets.
@@ -68,7 +71,7 @@ impl Grid {
         if v >= self.hi {
             return self.n - 1;
         }
-        let idx = ((v - self.lo) / self.width) as usize;
+        let idx = ((v - self.lo) * self.inv_width) as usize;
         idx.min(self.n - 1)
     }
 

@@ -13,6 +13,7 @@
 //! * [`stats`] — means, variances, MSE, Wasserstein-1 distance,
 //! * [`rng`] — deterministic RNG plumbing for reproducible experiments.
 
+pub mod cache;
 pub mod em;
 pub mod ems;
 pub mod grid;
@@ -21,6 +22,7 @@ pub mod sampling;
 pub mod stats;
 pub mod transform;
 
-pub use em::{EmOptions, EmOutcome, MStep};
+pub use cache::{cached_for_numeric, MatrixCache};
+pub use em::{EmOptions, EmOutcome, EmWorkspace, MStep};
 pub use grid::Grid;
-pub use transform::{PoisonRegion, TransformMatrix};
+pub use transform::{PoisonRegion, StructuredColumns, TransformMatrix};

@@ -1,4 +1,5 @@
-//! Distribution samplers built on plain `rand`.
+//! Distribution samplers built on plain `rand`, generic over the RNG so
+//! monomorphic callers (the simulation hot paths) get inlined draws.
 //!
 //! The approved offline dependency set lacks `rand_distr`, so the small set
 //! of distributions the paper needs — normal (Box–Muller), gamma
@@ -8,7 +9,7 @@
 use rand::{Rng, RngCore};
 
 /// Standard normal draw via the Box–Muller transform.
-pub fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+pub fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
     // Avoid ln(0) by sampling u1 from the open interval.
     let u1: f64 = loop {
         let u = rng.gen::<f64>();
@@ -24,7 +25,7 @@ pub fn standard_normal(rng: &mut dyn RngCore) -> f64 {
 ///
 /// # Panics
 /// If `sigma` is negative or not finite.
-pub fn normal(mu: f64, sigma: f64, rng: &mut dyn RngCore) -> f64 {
+pub fn normal<R: RngCore + ?Sized>(mu: f64, sigma: f64, rng: &mut R) -> f64 {
     assert!(sigma >= 0.0 && sigma.is_finite(), "invalid sigma {sigma}");
     mu + sigma * standard_normal(rng)
 }
@@ -34,7 +35,7 @@ pub fn normal(mu: f64, sigma: f64, rng: &mut dyn RngCore) -> f64 {
 ///
 /// # Panics
 /// If `shape` or `scale` is not finite and positive.
-pub fn gamma(shape: f64, scale: f64, rng: &mut dyn RngCore) -> f64 {
+pub fn gamma<R: RngCore + ?Sized>(shape: f64, scale: f64, rng: &mut R) -> f64 {
     assert!(shape.is_finite() && shape > 0.0, "invalid gamma shape {shape}");
     assert!(scale.is_finite() && scale > 0.0, "invalid gamma scale {scale}");
     if shape < 1.0 {
@@ -70,7 +71,7 @@ pub fn gamma(shape: f64, scale: f64, rng: &mut dyn RngCore) -> f64 {
 ///
 /// # Panics
 /// If either parameter is not finite and positive.
-pub fn beta(alpha: f64, beta_p: f64, rng: &mut dyn RngCore) -> f64 {
+pub fn beta<R: RngCore + ?Sized>(alpha: f64, beta_p: f64, rng: &mut R) -> f64 {
     let ga = gamma(alpha, 1.0, rng);
     let gb = gamma(beta_p, 1.0, rng);
     if ga + gb == 0.0 {

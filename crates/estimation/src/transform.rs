@@ -30,13 +30,130 @@ pub enum PoisonRegion {
     Buckets(Vec<usize>),
 }
 
+/// Analyzed column structure of the normal block (the fast E-step's view).
+///
+/// Every mechanism in the paper has heavily structured conditional-output
+/// densities: SW and PM are a constant floor plus one uniform band, k-RR is
+/// `q` everywhere plus a single diagonal spike, Duchi is mostly zeros. Column
+/// `k` therefore decomposes as
+///
+/// ```text
+/// M[i][k] = floor_k + delta_k[i − start_k]      (delta zero outside the band)
+/// ```
+///
+/// which turns the E-step's `d'·d` row-by-row multiply into `O(d' + nnz)`
+/// work: the constant part `Σ_k floor_k·x_k` is hoisted out of the row loop
+/// and only the bands are touched per row.
+///
+/// Out-of-band entries within one relative ulp-cluster of the floor are
+/// *represented by* the floor, so the structured product can differ from the
+/// dense one by at most ~1e-13 relative — the equivalence suite pins this at
+/// ≤ 1e-12 per EM iteration against the dense reference.
+#[derive(Debug, Clone)]
+pub struct StructuredColumns {
+    /// Per-column constant floor.
+    floors: Vec<f64>,
+    /// First row of each column's band.
+    band_start: Vec<usize>,
+    /// Prefix offsets into `values` (`len d_in + 1`); column `k`'s band
+    /// values live at `values[band_offset[k]..band_offset[k + 1]]`.
+    band_offset: Vec<usize>,
+    /// Concatenated band deltas (`M[i][k] − floor_k`).
+    values: Vec<f64>,
+}
+
+impl StructuredColumns {
+    /// Relative tolerance for clustering out-of-band entries onto the floor.
+    const FLOOR_TOL: f64 = 1e-13;
+
+    /// Bands covering more than this fraction of the matrix mean the
+    /// analysis buys nothing; the solver falls back to dense rows. The
+    /// paper's banded mechanisms (PM, SW, k-RR) sit near or below 1/2.
+    const MAX_FILL: f64 = 0.80;
+
+    /// Analyzes a row-major `d_out × d_in` matrix; `None` when the columns
+    /// carry no exploitable structure.
+    fn analyze(normal: &[f64], d_out: usize, d_in: usize) -> Option<Self> {
+        if d_out < 4 {
+            return None;
+        }
+        let mut floors = Vec::with_capacity(d_in);
+        let mut band_start = Vec::with_capacity(d_in);
+        let mut band_offset = Vec::with_capacity(d_in + 1);
+        let mut values = Vec::new();
+        band_offset.push(0);
+        for k in 0..d_in {
+            let col = |i: usize| normal[i * d_in + k];
+            // The floor is the column's most frequent exact value — for a
+            // piecewise-constant density that's the out-of-band level (up to
+            // last-ulp wobble from bucket-width rounding, absorbed below).
+            let floor = column_mode((0..d_out).map(col));
+            let near = |v: f64| v == floor || (v - floor).abs() <= Self::FLOOR_TOL * floor.abs();
+            let first = (0..d_out).find(|&i| !near(col(i)));
+            let (start, end) = match first {
+                None => (0, 0), // perfectly constant column
+                Some(first) => {
+                    let last = (0..d_out).rfind(|&i| !near(col(i))).expect("first exists");
+                    (first, last + 1)
+                }
+            };
+            floors.push(floor);
+            band_start.push(start);
+            values.extend((start..end).map(|i| col(i) - floor));
+            band_offset.push(values.len());
+        }
+        if (values.len() as f64) > Self::MAX_FILL * (d_out * d_in) as f64 {
+            return None;
+        }
+        Some(StructuredColumns { floors, band_start, band_offset, values })
+    }
+
+    /// Per-column floors (length `d_in`).
+    #[inline]
+    pub fn floors(&self) -> &[f64] {
+        &self.floors
+    }
+
+    /// Column `k`'s band as `(first_row, deltas)`.
+    #[inline]
+    pub fn band(&self, k: usize) -> (usize, &[f64]) {
+        (self.band_start[k], &self.values[self.band_offset[k]..self.band_offset[k + 1]])
+    }
+
+    /// Total stored band entries (the `nnz` of the analysis).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Most frequent exact value of an iterator (ties break toward the smaller
+/// bit pattern, so the choice is deterministic).
+fn column_mode(col: impl Iterator<Item = f64>) -> f64 {
+    let mut counts: Vec<(u64, u32)> = Vec::new();
+    for v in col {
+        let bits = v.to_bits();
+        match counts.iter_mut().find(|(b, _)| *b == bits) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((bits, 1)),
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(bits, _)| f64::from_bits(bits))
+        .unwrap_or(0.0)
+}
+
 /// A block transform matrix ready for the EM solver.
 #[derive(Debug, Clone)]
 pub struct TransformMatrix {
     d_out: usize,
     d_in: usize,
-    /// Row-major `d_out × d_in` normal block.
+    /// Row-major `d_out × d_in` normal block (the dense reference view).
     normal: Vec<f64>,
+    /// Analyzed per-column structure; `None` when the columns are dense.
+    structure: Option<StructuredColumns>,
     /// `poison_mask[i]` — output bucket `i` doubles as a poison component.
     poison_mask: Vec<bool>,
     /// Sorted indices of poison buckets (derived from the mask).
@@ -76,7 +193,17 @@ impl TransformMatrix {
         let input_centers: Vec<f64> = (0..d_in).map(|k| input_grid.center(k)).collect();
         let poison_mask = Self::mask_from_region(poison, &output_centers);
         let poison_buckets = mask_indices(&poison_mask);
-        TransformMatrix { d_out, d_in, normal, poison_mask, poison_buckets, output_centers, input_centers }
+        let structure = StructuredColumns::analyze(&normal, d_out, d_in);
+        TransformMatrix {
+            d_out,
+            d_in,
+            normal,
+            structure,
+            poison_mask,
+            poison_buckets,
+            output_centers,
+            input_centers,
+        }
     }
 
     /// Builds the matrix for a categorical mechanism: the normal block is the
@@ -100,10 +227,12 @@ impl TransformMatrix {
         }
         let poison_buckets = mask_indices(&poison_mask);
         let centers: Vec<f64> = (0..k).map(|i| i as f64).collect();
+        let structure = StructuredColumns::analyze(&normal, k, k);
         TransformMatrix {
             d_out: k,
             d_in: k,
             normal,
+            structure,
             poison_mask,
             poison_buckets,
             output_centers: centers.clone(),
@@ -151,6 +280,14 @@ impl TransformMatrix {
     #[inline]
     pub fn normal_row(&self, out: usize) -> &[f64] {
         &self.normal[out * self.d_in..(out + 1) * self.d_in]
+    }
+
+    /// The analyzed column structure, if the normal block has one. The EM
+    /// solver uses it for the `O(d' + nnz)` E-step; `None` routes to the
+    /// dense row path.
+    #[inline]
+    pub fn structure(&self) -> Option<&StructuredColumns> {
+        self.structure.as_ref()
     }
 
     /// Whether output bucket `i` doubles as a poison component.
@@ -279,5 +416,80 @@ mod tests {
     fn rejects_bad_poison_category() {
         let mech = KRandomizedResponse::new(Epsilon::of(1.0), 3).unwrap();
         TransformMatrix::for_categorical(&mech, &[7]);
+    }
+
+    /// Reconstructs `M[i][k]` from an analysis and compares to the dense
+    /// entry; the floor clustering admits ~1e-13 relative slack.
+    fn assert_structure_matches(m: &TransformMatrix) {
+        let s = m.structure().expect("structure detected");
+        for k in 0..m.d_in() {
+            let (start, deltas) = s.band(k);
+            for i in 0..m.d_out() {
+                let rebuilt = s.floors()[k]
+                    + if i >= start && i < start + deltas.len() { deltas[i - start] } else { 0.0 };
+                let dense = m.normal_entry(i, k);
+                assert!(
+                    (rebuilt - dense).abs() <= 1e-12 * dense.abs().max(1.0),
+                    "column {k} row {i}: {rebuilt} vs {dense}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pm_and_sw_columns_are_floor_plus_band() {
+        for eps in [0.0625, 0.5, 2.0] {
+            let pm = PiecewiseMechanism::with_epsilon(eps).unwrap();
+            let m = TransformMatrix::for_numeric(&pm, 16, 64, &PoisonRegion::RightOf(0.0));
+            assert_structure_matches(&m);
+            // The PM band covers (C−1)/2C of the output domain — well under
+            // the dense fallback threshold.
+            assert!(m.structure().unwrap().nnz() < 16 * 64 * 3 / 4);
+
+            let sw = SquareWave::with_epsilon(eps).unwrap();
+            let m = TransformMatrix::for_numeric(&sw, 16, 64, &PoisonRegion::None);
+            assert_structure_matches(&m);
+        }
+    }
+
+    #[test]
+    fn duchi_and_krr_analyze_exactly() {
+        let duchi = dap_ldp::Duchi::with_epsilon(1.0).unwrap();
+        let m = TransformMatrix::for_numeric(&duchi, 8, 32, &PoisonRegion::RightOf(0.0));
+        if m.structure().is_some() {
+            assert_structure_matches(&m);
+        }
+        let krr = KRandomizedResponse::new(Epsilon::of(1.0), 12).unwrap();
+        let m = TransformMatrix::for_categorical(&krr, &[3]);
+        // k-RR is q everywhere plus a diagonal spike: one band entry per
+        // column.
+        let s = m.structure().expect("k-RR is perfectly banded");
+        assert_eq!(s.nnz(), 12);
+        assert_structure_matches(&m);
+    }
+
+    #[test]
+    fn unstructured_matrix_falls_back_to_dense() {
+        // A hand-built matrix whose every column is a distinct ramp — no
+        // floor, no band. Use the categorical constructor with a fake
+        // mechanism shape by checking analyze directly through a tiny grid.
+        struct Ramp;
+        impl CategoricalMechanism for Ramp {
+            fn epsilon(&self) -> Epsilon {
+                Epsilon::of(1.0)
+            }
+            fn categories(&self) -> usize {
+                8
+            }
+            fn perturb(&self, v: usize, _rng: &mut dyn rand::RngCore) -> usize {
+                v
+            }
+            fn transition_probability(&self, out: usize, inp: usize) -> f64 {
+                // Strictly increasing in `out`, different slope per `inp`.
+                (out + 1) as f64 * (inp + 2) as f64 * 1e-3
+            }
+        }
+        let m = TransformMatrix::for_categorical(&Ramp, &[]);
+        assert!(m.structure().is_none(), "ramp columns must not analyze");
     }
 }

@@ -51,6 +51,10 @@ impl NumericMechanism for Duchi {
         self.eps
     }
 
+    fn matrix_cache_key(&self) -> Option<(&'static str, u64)> {
+        Some(("duchi", self.eps.get().to_bits()))
+    }
+
     fn input_range(&self) -> (f64, f64) {
         (-1.0, 1.0)
     }

@@ -173,6 +173,25 @@ pub trait NumericMechanism {
     /// membership; callers should clamp or validate first.
     fn perturb(&self, v: f64, rng: &mut dyn RngCore) -> f64;
 
+    /// Perturbs `v` once per slot of `out`, filling the slice.
+    ///
+    /// The default forwards to [`Self::perturb`] through the `dyn` RNG; hot
+    /// mechanisms (PM) override it with a body that is generic over the
+    /// concrete RNG, so a monomorphic caller gets fully inlined draws in
+    /// the protocol's perturbation loop — the single most executed code
+    /// path in the simulation. `where Self: Sized` keeps the trait
+    /// object-safe; `dyn NumericMechanism` users fall back to
+    /// [`Self::perturb`].
+    fn perturb_into<R: RngCore>(&self, v: f64, out: &mut [f64], rng: &mut R)
+    where
+        Self: Sized,
+    {
+        let rng: &mut dyn RngCore = rng;
+        for slot in out.iter_mut() {
+            *slot = self.perturb(v, rng);
+        }
+    }
+
     /// Exact conditional output distribution given input `v`.
     fn output_distribution(&self, v: f64) -> OutputDistribution;
 
@@ -194,6 +213,16 @@ pub trait NumericMechanism {
     fn worst_case_variance(&self) -> f64 {
         let (lo, hi) = self.input_range();
         self.variance_at(lo).max(self.variance_at(hi))
+    }
+
+    /// Stable identity for transform-matrix caching: a mechanism-family tag
+    /// plus the bits of every parameter that shapes
+    /// [`Self::output_distribution`] (for the paper's mechanisms that is ε
+    /// alone). Two instances with equal keys must produce bit-identical
+    /// transform matrices. `None` (the default) opts the mechanism out of
+    /// caching.
+    fn matrix_cache_key(&self) -> Option<(&'static str, u64)> {
+        None
     }
 }
 

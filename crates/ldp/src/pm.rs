@@ -37,6 +37,10 @@ pub struct PiecewiseMechanism {
     p_in: f64,
     /// Density outside the band.
     p_out: f64,
+    /// `(C−1)/band_prob` — maps a sub-band uniform onto the band length.
+    band_scale: f64,
+    /// `(C+1)/(1−band_prob)` — maps a tail uniform onto the complement.
+    comp_scale: f64,
 }
 
 impl PiecewiseMechanism {
@@ -48,7 +52,9 @@ impl PiecewiseMechanism {
         // Band has length C-1, complement has length 2C-(C-1) = C+1.
         let p_in = band_prob / (c - 1.0);
         let p_out = (1.0 - band_prob) / (c + 1.0);
-        PiecewiseMechanism { eps, c, band_prob, p_in, p_out }
+        let band_scale = (c - 1.0) / band_prob;
+        let comp_scale = (c + 1.0) / (1.0 - band_prob);
+        PiecewiseMechanism { eps, c, band_prob, p_in, p_out, band_scale, comp_scale }
     }
 
     /// Convenience constructor from a raw `ε`.
@@ -80,6 +86,37 @@ impl PiecewiseMechanism {
         let eh = self.eps.exp_half();
         v * v / (eh - 1.0) + (eh + 3.0) / (3.0 * (eh - 1.0) * (eh - 1.0))
     }
+
+    /// The perturbation body, generic over the RNG so monomorphic callers
+    /// ([`NumericMechanism::perturb_into`]) get inlined draws.
+    ///
+    /// Samples by inverting the output CDF from a *single* uniform draw:
+    /// `u < band_prob` lands in the band at relative position
+    /// `u / band_prob` (uniform, since `u | u < p` is uniform on `[0, p)`),
+    /// and the remainder maps onto the complement `[-C, l) ∪ (r, C]` —
+    /// exactly the same output distribution as two-stage sampling at half
+    /// the RNG cost.
+    #[inline]
+    fn perturb_generic<R: RngCore + ?Sized>(&self, v: f64, rng: &mut R) -> f64 {
+        debug_assert!((-1.0..=1.0).contains(&v), "PM input {v} outside [-1, 1]");
+        let v = v.clamp(-1.0, 1.0);
+        let l = self.l(v);
+        let u: f64 = rng.gen();
+        if u < self.band_prob {
+            // Band [l, r], length C−1; the rescaled uniform stays below the
+            // band length up to one ulp, and `r ≤ C` caps the boundary case.
+            l + u * self.band_scale
+        } else {
+            // Complement, total length C+1, left piece [−C, l) first.
+            let pos = (u - self.band_prob) * self.comp_scale;
+            let left_len = l + self.c;
+            if pos < left_len {
+                -self.c + pos
+            } else {
+                (l + self.c - 1.0) + (pos - left_len)
+            }
+        }
+    }
 }
 
 impl NumericMechanism for PiecewiseMechanism {
@@ -96,22 +133,26 @@ impl NumericMechanism for PiecewiseMechanism {
     }
 
     fn perturb(&self, v: f64, rng: &mut dyn RngCore) -> f64 {
+        self.perturb_generic(v, rng)
+    }
+
+    fn perturb_into<R: RngCore>(&self, v: f64, out: &mut [f64], rng: &mut R) {
         debug_assert!((-1.0..=1.0).contains(&v), "PM input {v} outside [-1, 1]");
+        // Same inverse-CDF map as `perturb_generic`, with the per-input
+        // constants hoisted out of the loop and the piecewise cases written
+        // as selects the compiler if-converts — the loop carries only the
+        // RNG state dependency.
         let v = v.clamp(-1.0, 1.0);
-        let (l, r) = (self.l(v), self.r(v));
-        if rng.gen::<f64>() < self.band_prob {
-            rng.gen_range(l..=r)
-        } else {
-            // Complement [-C, l) ∪ (r, C]: pick a point along the combined
-            // length and map it into the two segments.
-            let left_len = l + self.c;
-            let total = self.c + 1.0;
-            let u = rng.gen::<f64>() * total;
-            if u < left_len {
-                -self.c + u
-            } else {
-                r + (u - left_len)
-            }
+        let l = self.l(v);
+        let r = l + self.c - 1.0;
+        let left_len = l + self.c;
+        for slot in out.iter_mut() {
+            let u: f64 = rng.gen();
+            let band_val = l + u * self.band_scale;
+            let pos = (u - self.band_prob) * self.comp_scale;
+            let comp_val =
+                if pos < left_len { -self.c + pos } else { r + (pos - left_len) };
+            *slot = if u < self.band_prob { band_val } else { comp_val };
         }
     }
 
@@ -137,6 +178,10 @@ impl NumericMechanism for PiecewiseMechanism {
 
     fn worst_case_variance(&self) -> f64 {
         self.variance_formula(1.0)
+    }
+
+    fn matrix_cache_key(&self) -> Option<(&'static str, u64)> {
+        Some(("pm", self.eps.get().to_bits()))
     }
 }
 

@@ -67,6 +67,10 @@ impl NumericMechanism for SquareWave {
         self.eps
     }
 
+    fn matrix_cache_key(&self) -> Option<(&'static str, u64)> {
+        Some(("sw", self.eps.get().to_bits()))
+    }
+
     fn input_range(&self) -> (f64, f64) {
         (0.0, 1.0)
     }
