@@ -6,6 +6,7 @@
 //! straight into the mechanism's output domain; the input-manipulation
 //! attack routes a poison input through the honest mechanism instead.
 
+use dap_estimation::rng::BufferedRng;
 use dap_estimation::sampling;
 use dap_ldp::NumericMechanism;
 use rand::RngCore;
@@ -14,9 +15,35 @@ use rand::RngCore;
 /// coalition to reports inside the perturbation output domain).
 /// `Sync` so the experiment harness can share one attack across parallel
 /// trials (attacks are parameter structs; per-trial state lives in the RNG).
+///
+/// [`Attack::reports`] and [`Attack::reports_into`] are defined in terms of
+/// each other; implementors must override at least one (the in-tree attacks
+/// all implement the buffer-filling `reports_into`, which is what the
+/// protocol driver's hot loop calls).
 pub trait Attack: Sync {
-    /// Generates `m` poison reports.
-    fn reports(&self, m: usize, mech: &dyn NumericMechanism, rng: &mut dyn RngCore) -> Vec<f64>;
+    /// Generates `m` poison reports. The result may be *shorter* than `m`
+    /// (a coalition is free to stay silent — [`NoAttack`] always does).
+    fn reports(&self, m: usize, mech: &dyn NumericMechanism, rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut out = vec![0.0; m];
+        let n = self.reports_into(&mut out, mech, rng);
+        out.truncate(n);
+        out
+    }
+
+    /// Fills up to `out.len()` poison reports into the caller's buffer and
+    /// returns how many were written (a prefix of `out`); the rest of the
+    /// buffer is unspecified. Lets the driver reuse one allocation per
+    /// group instead of collecting a fresh `Vec` per call.
+    fn reports_into(
+        &self,
+        out: &mut [f64],
+        mech: &dyn NumericMechanism,
+        rng: &mut dyn RngCore,
+    ) -> usize {
+        let v = self.reports(out.len(), mech, rng);
+        out[..v.len()].copy_from_slice(&v);
+        v.len()
+    }
 
     /// Short human-readable label used by the experiment harness.
     fn label(&self) -> String;
@@ -80,6 +107,15 @@ impl Attack for NoAttack {
         Vec::new()
     }
 
+    fn reports_into(
+        &self,
+        _out: &mut [f64],
+        _mech: &dyn NumericMechanism,
+        _rng: &mut dyn RngCore,
+    ) -> usize {
+        0
+    }
+
     fn label(&self) -> String {
         "none".into()
     }
@@ -115,12 +151,17 @@ impl UniformAttack {
 }
 
 impl Attack for UniformAttack {
-    fn reports(&self, m: usize, mech: &dyn NumericMechanism, rng: &mut dyn RngCore) -> Vec<f64> {
+    fn reports_into(
+        &self,
+        out: &mut [f64],
+        mech: &dyn NumericMechanism,
+        rng: &mut dyn RngCore,
+    ) -> usize {
+        let m = out.len();
         let (lo, hi) = resolve_range(self.lo, self.hi, mech);
         // Batch the raw words through `fill_bytes` (one `dyn` dispatch per
         // block instead of per report) and apply the same inclusive-range
         // map as `Rng::gen_range(lo..=hi)`.
-        let mut out = vec![0.0f64; m];
         let mut block = [0u8; 8 * 512];
         let scale = 1.0 / ((1u64 << 53) - 1) as f64;
         let mut filled = 0usize;
@@ -136,7 +177,7 @@ impl Attack for UniformAttack {
             }
             filled += take;
         }
-        out
+        m
     }
 
     fn label(&self) -> String {
@@ -163,11 +204,23 @@ impl GaussianAttack {
 }
 
 impl Attack for GaussianAttack {
-    fn reports(&self, m: usize, mech: &dyn NumericMechanism, rng: &mut dyn RngCore) -> Vec<f64> {
+    fn reports_into(
+        &self,
+        out: &mut [f64],
+        mech: &dyn NumericMechanism,
+        rng: &mut dyn RngCore,
+    ) -> usize {
         let (lo, hi) = resolve_range(self.lo, self.hi, mech);
         let mu = (lo + hi) / 2.0;
         let sigma = (hi - lo) / 6.0;
-        (0..m).map(|_| sampling::truncated_normal(mu, sigma, lo, hi, rng)).collect()
+        // Rejection sampling draws a variable number of words per report, so
+        // batching happens on the RNG side: one `dyn` dispatch per block,
+        // monomorphic (inlined) draws inside the sampler.
+        let mut brng = BufferedRng::new(rng);
+        for slot in out.iter_mut() {
+            *slot = sampling::truncated_normal(mu, sigma, lo, hi, &mut brng);
+        }
+        out.len()
     }
 
     fn label(&self) -> String {
@@ -198,11 +251,20 @@ impl BetaShapedAttack {
 }
 
 impl Attack for BetaShapedAttack {
-    fn reports(&self, m: usize, mech: &dyn NumericMechanism, rng: &mut dyn RngCore) -> Vec<f64> {
+    fn reports_into(
+        &self,
+        out: &mut [f64],
+        mech: &dyn NumericMechanism,
+        rng: &mut dyn RngCore,
+    ) -> usize {
         let (lo, hi) = resolve_range(self.lo, self.hi, mech);
-        (0..m)
-            .map(|_| lo + (hi - lo) * sampling::beta(self.alpha, self.beta, rng))
-            .collect()
+        // Gamma rejection sampling under the hood — same RNG-side batching
+        // as the Gaussian attack.
+        let mut brng = BufferedRng::new(rng);
+        for slot in out.iter_mut() {
+            *slot = lo + (hi - lo) * sampling::beta(self.alpha, self.beta, &mut brng);
+        }
+        out.len()
     }
 
     fn label(&self) -> String {
@@ -219,14 +281,20 @@ pub struct PointAttack {
 }
 
 impl Attack for PointAttack {
-    fn reports(&self, m: usize, mech: &dyn NumericMechanism, _rng: &mut dyn RngCore) -> Vec<f64> {
+    fn reports_into(
+        &self,
+        out: &mut [f64],
+        mech: &dyn NumericMechanism,
+        _rng: &mut dyn RngCore,
+    ) -> usize {
         let v = self.value.resolve(mech);
         let (dl, dr) = mech.output_range();
         assert!(
             (dl - 1e-9..=dr + 1e-9).contains(&v),
             "point {v} outside output domain [{dl}, {dr}]"
         );
-        vec![v; m]
+        out.fill(v);
+        out.len()
     }
 
     fn label(&self) -> String {
@@ -244,14 +312,25 @@ pub struct InputManipulationAttack {
 }
 
 impl Attack for InputManipulationAttack {
-    fn reports(&self, m: usize, mech: &dyn NumericMechanism, rng: &mut dyn RngCore) -> Vec<f64> {
+    fn reports_into(
+        &self,
+        out: &mut [f64],
+        mech: &dyn NumericMechanism,
+        rng: &mut dyn RngCore,
+    ) -> usize {
         let (lo, hi) = mech.input_range();
         assert!(
             (lo..=hi).contains(&self.g),
             "IMA input {} outside input domain [{lo}, {hi}]",
             self.g
         );
-        (0..m).map(|_| mech.perturb(self.g, rng)).collect()
+        // The honest mechanism perturbs the fabricated input; the draws come
+        // from a block buffer so the per-report `dyn` RNG cost disappears.
+        let mut brng = BufferedRng::new(rng);
+        for slot in out.iter_mut() {
+            *slot = mech.perturb(self.g, &mut brng);
+        }
+        out.len()
     }
 
     fn label(&self) -> String {
@@ -287,7 +366,13 @@ impl<A: Attack> EvasionAttack<A> {
 }
 
 impl<A: Attack> Attack for EvasionAttack<A> {
-    fn reports(&self, m: usize, mech: &dyn NumericMechanism, rng: &mut dyn RngCore) -> Vec<f64> {
+    fn reports_into(
+        &self,
+        out: &mut [f64],
+        mech: &dyn NumericMechanism,
+        rng: &mut dyn RngCore,
+    ) -> usize {
+        let m = out.len();
         let decoys = (self.a * m as f64).round() as usize;
         let decoys = decoys.min(m);
         let decoy_value = self.evasive_value.resolve(mech);
@@ -296,9 +381,11 @@ impl<A: Attack> Attack for EvasionAttack<A> {
             (dl - 1e-9..=dr + 1e-9).contains(&decoy_value),
             "evasive value outside output domain"
         );
-        let mut reports = self.true_attack.reports(m - decoys, mech, rng);
-        reports.extend(std::iter::repeat_n(decoy_value, decoys));
-        reports
+        // A silent true attack shrinks the genuine share; the decoys still
+        // land, packed right after it.
+        let genuine = self.true_attack.reports_into(&mut out[..m - decoys], mech, rng);
+        out[genuine..genuine + decoys].fill(decoy_value);
+        genuine + decoys
     }
 
     fn label(&self) -> String {

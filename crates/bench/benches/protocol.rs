@@ -21,7 +21,7 @@ fn bench_dap(c: &mut Criterion) {
         let attack = UniformAttack::of_upper(0.5, 1.0);
         for scheme in Scheme::ALL {
             let cfg = DapConfig { max_d_out: 128, ..DapConfig::paper_default(1.0, scheme) };
-            let dap = Dap::new(cfg, PiecewiseMechanism::new);
+            let dap = Dap::new(cfg, PiecewiseMechanism::new).expect("valid config");
             group.bench_with_input(
                 BenchmarkId::new(scheme.label(), n),
                 &n,
@@ -44,7 +44,7 @@ fn bench_baseline(c: &mut Criterion) {
     let population = Population { honest, byzantine: n / 4 };
     let attack = UniformAttack::of_upper(0.5, 1.0);
     let cfg = BaselineConfig { max_d_out: 128, ..BaselineConfig::with_eps(1.0) };
-    let proto = BaselineProtocol::new(cfg, PiecewiseMechanism::new);
+    let proto = BaselineProtocol::new(cfg, PiecewiseMechanism::new).expect("valid config");
     group.bench_function("baseline_20k", |b| {
         let mut rng = seeded(6);
         b.iter(|| std::hint::black_box(proto.run(&population, &attack, &mut rng)))

@@ -39,7 +39,9 @@ pub fn run_weights(opts: &ExpOptions) {
                 let cfg = dap_config(opts, eps, Scheme::EmfStar);
                 let cfg = dap_core::DapConfig { weighting, ..cfg };
                 let out = Dap::new(cfg, PiecewiseMechanism::new)
-                    .run(&population, &PoiRange::TopHalf.attack(), rng);
+                    .expect("valid config")
+                    .run(&population, &PoiRange::TopHalf.attack(), rng)
+                    .expect("valid run");
                 (out.mean, truth)
             });
             print!(" {:>10}", sci(mse));
@@ -67,9 +69,17 @@ pub fn run_mechanism(opts: &ExpOptions) {
                 let (population, truth) = build_population(Dataset::Taxi, opts.n, 0.25, rng);
                 let cfg = dap_config(opts, eps, Scheme::EmfStar);
                 let mean = if mi == 0 {
-                    Dap::new(cfg, PiecewiseMechanism::new).run(&population, &attack, rng).mean
+                    Dap::new(cfg, PiecewiseMechanism::new)
+                        .expect("valid config")
+                        .run(&population, &attack, rng)
+                        .expect("valid run")
+                        .mean
                 } else {
-                    Dap::new(cfg, Duchi::new).run(&population, &attack, rng).mean
+                    Dap::new(cfg, Duchi::new)
+                        .expect("valid config")
+                        .run(&population, &attack, rng)
+                        .expect("valid run")
+                        .mean
                 };
                 (mean, truth)
             });
@@ -127,13 +137,15 @@ pub fn run_split(opts: &ExpOptions) {
                     max_d_out: opts.max_d_out,
                     ..BaselineConfig::with_eps(1.0)
                 };
-                let proto = BaselineProtocol::new(cfg, PiecewiseMechanism::new);
+                let proto =
+                    BaselineProtocol::new(cfg, PiecewiseMechanism::new).expect("valid config");
                 let attack = PoiRange::TopHalf.attack();
                 let out = if mode == "naive" {
                     proto.run(&population, &attack, rng)
                 } else {
                     proto.run_with_evading_attacker(&population, &attack, 0.0, rng)
-                };
+                }
+                .expect("valid run");
                 (out.mean, truth)
             });
             print!(" {:>12}", sci(mse));

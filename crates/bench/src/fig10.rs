@@ -33,7 +33,9 @@ pub fn run(opts: &ExpOptions) {
                         UniformAttack::of_upper(0.5, 1.0),
                     );
                     let out = Dap::new(dap_config(opts, eps, scheme), PiecewiseMechanism::new)
-                        .run(&population, &attack, rng);
+                        .expect("valid config")
+                        .run(&population, &attack, rng)
+                        .expect("valid run");
                     (out.mean, truth)
                 });
                 print!(" {:>10}", sci(mse));

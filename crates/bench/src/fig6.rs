@@ -31,8 +31,9 @@ pub fn dap_mse(
 ) -> f64 {
     mse_over_trials(opts, stream, |rng| {
         let (population, truth) = build_population(dataset, opts.n, gamma, rng);
-        let dap = Dap::new(dap_config(opts, eps, scheme), PiecewiseMechanism::new);
-        let out = dap.run(&population, &range.attack(), rng);
+        let dap = Dap::new(dap_config(opts, eps, scheme), PiecewiseMechanism::new)
+            .expect("valid config");
+        let out = dap.run(&population, &range.attack(), rng).expect("valid run");
         (out.mean, truth)
     })
 }
@@ -56,8 +57,11 @@ pub fn panel(dataset: Dataset, range: PoiRange, opts: &ExpOptions, base_stream: 
                 |rng| {
                     let (population, truth) = build_population(dataset, opts.n, 0.25, rng);
                     let dap =
-                        Dap::new(dap_config(opts, eps, Scheme::Emf), PiecewiseMechanism::new);
-                    let outs = dap.run_schemes(&population, &range.attack(), &Scheme::ALL, rng);
+                        Dap::new(dap_config(opts, eps, Scheme::Emf), PiecewiseMechanism::new)
+                            .expect("valid config");
+                    let outs = dap
+                        .run_schemes(&population, &range.attack(), &Scheme::ALL, rng)
+                        .expect("valid run");
                     (outs.into_iter().map(|o| o.mean).collect(), truth)
                 },
             )

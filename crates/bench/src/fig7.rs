@@ -64,8 +64,9 @@ fn column_mses(
     mses_over_trials_indexed(opts, stream, Scheme::ALL.len() + 2, |t, rng| {
         let (population, truth) = &pops[t];
         // `scheme` in the config is ignored by `run_schemes`.
-        let dap = Dap::new(dap_config(opts, eps, Scheme::Emf), PiecewiseMechanism::new);
-        let outs = dap.run_schemes(population, attack, &Scheme::ALL, rng);
+        let dap = Dap::new(dap_config(opts, eps, Scheme::Emf), PiecewiseMechanism::new)
+            .expect("valid config");
+        let outs = dap.run_schemes(population, attack, &Scheme::ALL, rng).expect("valid run");
         let mut estimates: Vec<f64> = outs.into_iter().map(|o| o.mean).collect();
 
         // The defenses see a plain single-batch collection at full budget

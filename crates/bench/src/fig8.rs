@@ -167,7 +167,10 @@ fn panel_cd(opts: &ExpOptions) {
                             ..SwDapConfig::paper_default(eps, Scheme::Emf)
                         };
                         let outs =
-                            SwDap::new(cfg).run_schemes(&population, &sw_attack(), &Scheme::ALL, rng);
+                            SwDap::new(cfg)
+                            .expect("valid config")
+                            .run_schemes(&population, &sw_attack(), &Scheme::ALL, rng)
+                            .expect("valid run");
                         (outs.into_iter().map(|o| o.mean).collect(), truth)
                     },
                 )

@@ -41,9 +41,11 @@ fn panel_a(opts: &ExpOptions) {
         .map(|(ei, eps)| {
             mses_over_trials(opts, stream_id(&[900, ei]), Scheme::ALL.len(), |rng| {
                 let (population, truth) = build_population(Dataset::Taxi, opts.n, 0.25, rng);
-                let dap = Dap::new(dap_config(opts, eps, Scheme::Emf), PiecewiseMechanism::new);
-                let outs =
-                    dap.run_schemes(&population, &PoiRange::TopHalf.attack(), &Scheme::ALL, rng);
+                let dap = Dap::new(dap_config(opts, eps, Scheme::Emf), PiecewiseMechanism::new)
+                    .expect("valid config");
+                let outs = dap
+                    .run_schemes(&population, &PoiRange::TopHalf.attack(), &Scheme::ALL, rng)
+                    .expect("valid run");
                 (outs.into_iter().map(|o| o.mean).collect(), truth)
             })
         })

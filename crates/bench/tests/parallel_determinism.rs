@@ -37,7 +37,9 @@ fn trial_loops_case() {
                 dap_bench::common::build_population(Dataset::Taxi, opts.n, 0.2, rng);
             let cfg = DapConfig { max_d_out: opts.max_d_out, ..DapConfig::paper_default(0.5, Scheme::EmfStar) };
             let out = Dap::new(cfg, PiecewiseMechanism::new)
-                .run(&population, &PoiRange::TopHalf.attack(), rng);
+                .expect("valid config")
+                .run(&population, &PoiRange::TopHalf.attack(), rng)
+                .expect("valid run");
             (out.mean, truth)
         });
         let multi = mses_over_trials(&opts, 92, 2, |rng| {
@@ -62,12 +64,10 @@ fn protocol_group_case() {
     let run = |threads: usize| {
         set_thread_override(Some(threads));
         let cfg = DapConfig { max_d_out: 32, ..DapConfig::paper_default(0.5, Scheme::Emf) };
-        let outs = Dap::new(cfg, PiecewiseMechanism::new).run_schemes(
-            &pop,
-            &attack,
-            &Scheme::ALL,
-            &mut seeded(4),
-        );
+        let outs = Dap::new(cfg, PiecewiseMechanism::new)
+            .expect("valid config")
+            .run_schemes(&pop, &attack, &Scheme::ALL, &mut seeded(4))
+            .expect("valid run");
         set_thread_override(None);
         outs.iter()
             .map(|o| (o.mean.to_bits(), o.gamma.to_bits(), o.side))
@@ -89,11 +89,11 @@ fn shared_scheme_runs_match_individual_runs() {
     let pop = Population::with_gamma(honest, 0.2);
     let attack = PoiRange::TopQuarter.attack();
     let cfg = DapConfig { max_d_out: 32, ..DapConfig::paper_default(0.25, Scheme::Emf) };
-    let dap = Dap::new(cfg, PiecewiseMechanism::new);
+    let dap = Dap::new(cfg, PiecewiseMechanism::new).expect("valid config");
 
-    let all = dap.run_schemes(&pop, &attack, &Scheme::ALL, &mut seeded(9));
+    let all = dap.run_schemes(&pop, &attack, &Scheme::ALL, &mut seeded(9)).expect("valid run");
     for (i, scheme) in Scheme::ALL.into_iter().enumerate() {
-        let solo = dap.run_schemes(&pop, &attack, &[scheme], &mut seeded(9));
+        let solo = dap.run_schemes(&pop, &attack, &[scheme], &mut seeded(9)).expect("valid run");
         assert_eq!(
             solo[0].mean.to_bits(),
             all[i].mean.to_bits(),

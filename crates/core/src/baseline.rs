@@ -10,6 +10,7 @@
 //! DAP's single-but-random-ε design (§V).
 
 use crate::accountant::PrivacyAccountant;
+use crate::error::DapError;
 use crate::population::Population;
 use crate::scheme::{estimate_group_mean, Scheme};
 use dap_attack::{Attack, Side};
@@ -64,14 +65,19 @@ where
     M: NumericMechanism,
     F: Fn(Epsilon) -> M,
 {
-    /// Builds the protocol from a config and mechanism factory.
-    pub fn new(config: BaselineConfig, mech_factory: F) -> Self {
-        assert!(
-            config.alpha > 0.0 && config.alpha < 1.0,
-            "alpha {} outside (0, 1)",
-            config.alpha
-        );
-        BaselineProtocol { config, mech_factory }
+    /// Builds the protocol from a config and mechanism factory, rejecting
+    /// degenerate budget splits as [`DapError`]s.
+    pub fn new(config: BaselineConfig, mech_factory: F) -> Result<Self, DapError> {
+        if !(config.alpha > 0.0 && config.alpha < 1.0) {
+            return Err(DapError::InvalidConfig {
+                field: "alpha",
+                reason: format!("budget split {} outside (0, 1)", config.alpha),
+            });
+        }
+        if !(config.eps.is_finite() && config.eps > 0.0) {
+            return Err(DapError::InvalidBudget { eps: config.eps, eps0: config.eps });
+        }
+        Ok(BaselineProtocol { config, mech_factory })
     }
 
     /// Runs the protocol with attackers poisoning *both* phases (the naive
@@ -81,7 +87,7 @@ where
         population: &Population,
         attack: &dyn Attack,
         rng: &mut dyn RngCore,
-    ) -> BaselineOutput {
+    ) -> Result<BaselineOutput, DapError> {
         self.run_inner(population, attack, None, rng)
     }
 
@@ -94,7 +100,7 @@ where
         attack: &dyn Attack,
         decoy_input: f64,
         rng: &mut dyn RngCore,
-    ) -> BaselineOutput {
+    ) -> Result<BaselineOutput, DapError> {
         self.run_inner(population, attack, Some(decoy_input), rng)
     }
 
@@ -104,11 +110,13 @@ where
         attack: &dyn Attack,
         evading_decoy: Option<f64>,
         rng: &mut dyn RngCore,
-    ) -> BaselineOutput {
+    ) -> Result<BaselineOutput, DapError> {
         let cfg = &self.config;
         let n_total = population.total();
-        assert!(n_total > 0, "empty population");
-        let (eps_a, eps_b) = Epsilon::of(cfg.eps).split(cfg.alpha).expect("validated alpha");
+        if n_total == 0 {
+            return Err(DapError::EmptyPopulation);
+        }
+        let (eps_a, eps_b) = Epsilon::new(cfg.eps)?.split(cfg.alpha)?;
         let mech_a = (self.mech_factory)(eps_a);
         let mech_b = (self.mech_factory)(eps_b);
         let mut accountant = PrivacyAccountant::new(n_total, cfg.eps);
@@ -116,8 +124,8 @@ where
         let mut reports_a = Vec::with_capacity(n_total);
         let mut reports_b = Vec::with_capacity(n_total);
         for (user, &v) in population.honest.iter().enumerate() {
-            accountant.charge(user, eps_a.get()).expect("α within budget");
-            accountant.charge(user, eps_b.get()).expect("β within budget");
+            accountant.charge(user, eps_a.get())?;
+            accountant.charge(user, eps_b.get())?;
             reports_a.push(mech_a.perturb(v, rng));
             reports_b.push(mech_b.perturb(v, rng));
         }
@@ -150,7 +158,7 @@ where
             &est_cfg,
         );
         let (ilo, ihi) = mech_b.input_range();
-        BaselineOutput { mean: est.mean.clamp(ilo, ihi), side: probe.side, gamma }
+        Ok(BaselineOutput { mean: est.mean.clamp(ilo, ihi), side: probe.side, gamma })
     }
 }
 
@@ -166,7 +174,7 @@ mod tests {
     fn protocol(eps: f64) -> BaselineProtocol<impl Fn(Epsilon) -> PiecewiseMechanism> {
         let mut cfg = BaselineConfig::with_eps(eps);
         cfg.max_d_out = 64;
-        BaselineProtocol::new(cfg, PiecewiseMechanism::new)
+        BaselineProtocol::new(cfg, PiecewiseMechanism::new).expect("valid config")
     }
 
     fn population(n: usize, gamma: f64, seed: u64) -> Population {
@@ -181,7 +189,7 @@ mod tests {
         let truth = smean(&pop.honest);
         let attack = UniformAttack::of_upper(0.5, 1.0);
         let mut rng = seeded(2);
-        let out = protocol(1.0).run(&pop, &attack, &mut rng);
+        let out = protocol(1.0).run(&pop, &attack, &mut rng).unwrap();
         assert_eq!(out.side, Side::Right);
         assert!((out.gamma - 0.25).abs() < 0.08, "gamma {}", out.gamma);
         assert!((out.mean - truth).abs() < 0.15, "estimate {} vs {}", out.mean, truth);
@@ -194,8 +202,9 @@ mod tests {
         let attack = UniformAttack::of_upper(0.5, 1.0);
         let proto = protocol(1.0);
 
-        let naive = proto.run(&pop, &attack, &mut seeded(4));
-        let evading = proto.run_with_evading_attacker(&pop, &attack, 0.0, &mut seeded(4));
+        let naive = proto.run(&pop, &attack, &mut seeded(4)).unwrap();
+        let evading =
+            proto.run_with_evading_attacker(&pop, &attack, 0.0, &mut seeded(4)).unwrap();
         // The evading coalition hides from the probe (tiny γ̂) and the
         // estimate degrades markedly versus the naive case.
         assert!(evading.gamma < naive.gamma, "{} !< {}", evading.gamma, naive.gamma);
@@ -209,9 +218,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "outside (0, 1)")]
-    fn rejects_degenerate_alpha() {
+    fn rejects_degenerate_alpha_and_empty_population() {
+        use crate::error::DapError;
         let cfg = BaselineConfig { alpha: 1.0, ..BaselineConfig::with_eps(1.0) };
-        BaselineProtocol::new(cfg, PiecewiseMechanism::new);
+        assert!(matches!(
+            BaselineProtocol::new(cfg, PiecewiseMechanism::new),
+            Err(DapError::InvalidConfig { field: "alpha", .. })
+        ));
+        let empty = Population { honest: vec![], byzantine: 0 };
+        let err = protocol(1.0)
+            .run(&empty, &UniformAttack::of_upper(0.5, 1.0), &mut seeded(5))
+            .unwrap_err();
+        assert!(matches!(err, DapError::EmptyPopulation));
     }
 }

@@ -1,0 +1,156 @@
+//! Typed errors for the DAP service surface.
+//!
+//! The protocol layer is the part of the workspace a deployment actually
+//! links against — a collector ingesting untrusted client reports must be
+//! able to reject malformed input without tearing the process down. Every
+//! fallible operation on [`crate::DapSession`], the [`crate::Dap`] /
+//! [`crate::sw::SwDap`] drivers and the config builders reports through
+//! [`DapError`]; panics are reserved for internal invariants.
+
+use crate::accountant::BudgetError;
+use dap_ldp::LdpError;
+use std::fmt;
+
+/// Errors produced by DAP configuration, ingestion and finalization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DapError {
+    /// The budget pair violates `ε ≥ ε₀ > 0` (or is not finite).
+    InvalidBudget {
+        /// Global per-user budget ε.
+        eps: f64,
+        /// Minimum group budget ε₀.
+        eps0: f64,
+    },
+    /// A configuration field failed validation.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A protocol run was asked to aggregate zero users.
+    EmptyPopulation,
+    /// A group index outside the session's [`crate::GroupPlan`].
+    UnknownGroup {
+        /// The offending index.
+        group: usize,
+        /// Number of groups in the plan.
+        groups: usize,
+    },
+    /// A report fell outside the group mechanism's output domain — by
+    /// Definition 2 even Byzantine users are confined to `[DL, DR]`, so the
+    /// aggregator drops such reports at the door.
+    ReportOutOfRange {
+        /// The group the report was addressed to.
+        group: usize,
+        /// The offending report value.
+        report: f64,
+        /// Inclusive lower end of the group's output domain.
+        lo: f64,
+        /// Inclusive upper end of the group's output domain.
+        hi: f64,
+    },
+    /// More reports than the group plan solicited (`|G_t|·k_t`) — extra
+    /// traffic is a protocol violation, not data.
+    QuotaExceeded {
+        /// The over-full group.
+        group: usize,
+        /// The group's solicited report volume.
+        quota: usize,
+        /// Reports already accepted.
+        ingested: usize,
+        /// Size of the rejected submission.
+        attempted: usize,
+    },
+    /// Sharded sessions being merged disagree on config or group plan.
+    SessionMismatch {
+        /// What differed.
+        what: &'static str,
+    },
+    /// An underlying LDP mechanism rejected its parameters.
+    Ldp(LdpError),
+    /// A simulated user would exceed their privacy budget.
+    Budget(BudgetError),
+}
+
+impl fmt::Display for DapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DapError::InvalidBudget { eps, eps0 } => {
+                write!(f, "need ε ≥ ε₀ > 0, got ε = {eps}, ε₀ = {eps0}")
+            }
+            DapError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config field `{field}`: {reason}")
+            }
+            DapError::EmptyPopulation => write!(f, "empty population"),
+            DapError::UnknownGroup { group, groups } => {
+                write!(f, "group {group} out of range for a {groups}-group plan")
+            }
+            DapError::ReportOutOfRange { group, report, lo, hi } => {
+                write!(f, "report {report} for group {group} outside output domain [{lo}, {hi}]")
+            }
+            DapError::QuotaExceeded { group, quota, ingested, attempted } => {
+                write!(
+                    f,
+                    "group {group} quota exceeded: {ingested} ingested + {attempted} \
+                     attempted > {quota} solicited"
+                )
+            }
+            DapError::SessionMismatch { what } => {
+                write!(f, "sessions cannot be merged: {what} differ")
+            }
+            DapError::Ldp(e) => write!(f, "mechanism error: {e}"),
+            DapError::Budget(e) => write!(f, "privacy budget violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DapError::Ldp(e) => Some(e),
+            DapError::Budget(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LdpError> for DapError {
+    fn from(e: LdpError) -> Self {
+        DapError::Ldp(e)
+    }
+}
+
+impl From<BudgetError> for DapError {
+    fn from(e: BudgetError) -> Self {
+        DapError::Budget(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DapError::InvalidBudget { eps: 0.01, eps0: 0.0625 };
+        assert!(e.to_string().contains("ε ≥ ε₀"));
+        let e = DapError::ReportOutOfRange { group: 2, report: 9.0, lo: -3.0, hi: 3.0 };
+        assert!(e.to_string().contains("group 2") && e.to_string().contains("[-3, 3]"));
+        let e = DapError::QuotaExceeded { group: 0, quota: 10, ingested: 10, attempted: 1 };
+        assert!(e.to_string().contains("quota"));
+        assert_eq!(DapError::EmptyPopulation.to_string(), "empty population");
+    }
+
+    #[test]
+    fn wraps_underlying_errors_with_sources() {
+        use std::error::Error;
+        let e: DapError = LdpError::InvalidEpsilon(-1.0).into();
+        assert!(matches!(e, DapError::Ldp(_)));
+        assert!(e.source().is_some());
+        let e: DapError =
+            BudgetError { user: 3, spent: 1.0, attempted: 0.5, cap: 1.0 }.into();
+        assert!(matches!(e, DapError::Budget(_)));
+        assert!(e.to_string().contains("user 3"));
+    }
+}

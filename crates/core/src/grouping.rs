@@ -24,7 +24,7 @@ use rand::RngCore;
 ///     assert!((*k as f64 * eps_t.get() - 1.0).abs() < 1e-12);
 /// }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupPlan {
     /// Per-group privacy budget `ε_t` (decreasing).
     pub budgets: Vec<Epsilon>,
@@ -90,6 +90,20 @@ impl GroupPlan {
     /// Index of the most private group (smallest `ε_t`) — the probing group.
     pub fn probe_group(&self) -> usize {
         self.len() - 1
+    }
+
+    /// The grouping instruction sent to clients of group `g`: report
+    /// [`crate::client::ClientAssignment::k_t`] times under budget `ε_t`.
+    ///
+    /// # Panics
+    /// If `g` is not a group of this plan (use
+    /// [`crate::DapSession::client_assignment`] for a fallible lookup).
+    pub fn client_assignment(&self, g: usize) -> crate::client::ClientAssignment {
+        crate::client::ClientAssignment {
+            group: g,
+            eps_t: self.budgets[g],
+            k_t: self.reports_per_user[g],
+        }
     }
 }
 

@@ -21,6 +21,21 @@
 //!    variance-optimal weights of Algorithm 5 / Theorem 6
 //!    ([`aggregation`]).
 //!
+//! # Client/aggregator split
+//!
+//! The crate's service surface mirrors the paper's deployment model:
+//!
+//! * [`client`] — the user's device: a [`client::ClientAssignment`] plus any
+//!   [`dap_ldp::NumericMechanism`] turns one private value into the user's
+//!   `k_t` reports, locally.
+//! * [`session`] — the collector: a [`DapSession`] owns the [`GroupPlan`]
+//!   and per-group histograms, ingests reports incrementally (rejecting
+//!   out-of-range and over-quota submissions as [`DapError`]s), merges
+//!   shards accumulated by independent threads/processes, and finalizes
+//!   into [`DapOutput`]s.
+//! * [`protocol`] / [`sw`] — the *simulations*: thin drivers wiring a
+//!   [`Population`] and an attack through the client API into a session.
+//!
 //! The [`baseline`] module implements the §IV two-budget protocol (and its
 //! security flaw against probing-aware attackers, which motivates DAP), the
 //! [`categorical`] module the k-RR frequency-estimation extension, the
@@ -31,19 +46,26 @@ pub mod accountant;
 pub mod aggregation;
 pub mod baseline;
 pub mod categorical;
+pub mod client;
+pub mod error;
 pub mod grouping;
 pub mod ima;
 pub mod parallel;
 pub mod population;
 pub mod protocol;
 pub mod scheme;
+pub mod session;
 pub mod sw;
 
 pub use accountant::{BudgetError, PrivacyAccountant};
 pub use aggregation::{aggregate, Weighting};
 pub use baseline::{BaselineConfig, BaselineProtocol};
+pub use client::ClientAssignment;
+pub use error::DapError;
 pub use grouping::GroupPlan;
 pub use parallel::parallel_map;
 pub use population::Population;
-pub use protocol::{Dap, DapConfig, DapOutput, GroupReport};
-pub use scheme::Scheme;
+pub use protocol::{Dap, DapConfig, DapConfigBuilder, DapOutput, GroupReport};
+pub use scheme::{GroupHistogram, Scheme};
+pub use session::{DapSession, EstimationMode};
+pub use sw::{SwDap, SwDapConfig, SwDapOutput};

@@ -1,19 +1,32 @@
 //! The end-to-end Differential Aggregation Protocol (§V, Fig. 3).
+//!
+//! [`Dap`] is the *simulation driver*: it owns the parts of a run a real
+//! deployment would never centralize — the honest population, the attack
+//! and the RNG — and wires them through the split API: grouping via
+//! [`GroupPlan`], local perturbation via [`crate::client`], and server-side
+//! accumulation + estimation via [`crate::DapSession`]. The privacy
+//! contract (every honest user spends exactly ε) is a property of the
+//! *simulation*, so the [`PrivacyAccountant`] lives here, not in the client
+//! module.
 
 use crate::accountant::PrivacyAccountant;
-use crate::aggregation::{aggregate, Weighting};
+use crate::aggregation::Weighting;
+use crate::error::DapError;
 use crate::grouping::GroupPlan;
-use crate::parallel::parallel_map;
 use crate::population::Population;
-use crate::scheme::{estimate_group_means_hist, GroupEstimate, GroupHistogram, Scheme};
+use crate::scheme::Scheme;
+use crate::session::{DapSession, EstimationMode};
 use dap_attack::{Attack, Side};
-use dap_emf::{probe_side, EmfConfig};
-use dap_estimation::{EmWorkspace, Grid};
 use dap_ldp::{Epsilon, NumericMechanism};
 use rand::RngCore;
 
 /// Configuration of one DAP deployment.
-#[derive(Debug, Clone, Copy)]
+///
+/// Construct via [`DapConfig::paper_default`] + struct update, or through
+/// the validating [`DapConfig::builder`]. Literal construction is kept
+/// public for the experiment harness; validation happens whenever the
+/// config enters the service surface ([`Dap::new`], [`DapSession::new`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DapConfig {
     /// Global per-user privacy budget ε.
     pub eps: f64,
@@ -34,11 +47,14 @@ pub struct DapConfig {
     /// honest mean provably lies there, so projection can only reduce error;
     /// disable to observe the raw aggregate.
     pub clamp_to_input: bool,
+    /// How [`DapSession::finalize`] probes and estimates
+    /// ([`EstimationMode::ReportSum`] for unbiased mechanisms like PM).
+    pub mode: EstimationMode,
 }
 
 impl DapConfig {
     /// The paper's default deployment: ε₀ = 1/16, Algorithm 5 weights,
-    /// `O' = 0`.
+    /// `O' = 0`, report-sum estimation.
     pub fn paper_default(eps: f64, scheme: Scheme) -> Self {
         DapConfig {
             eps,
@@ -48,7 +64,100 @@ impl DapConfig {
             o_prime: 0.0,
             max_d_out: 256,
             clamp_to_input: true,
+            mode: EstimationMode::ReportSum,
         }
+    }
+
+    /// A validating builder seeded with the paper defaults at ε = 1.
+    pub fn builder() -> DapConfigBuilder {
+        DapConfigBuilder { config: DapConfig::paper_default(1.0, Scheme::EmfStar) }
+    }
+
+    /// Checks the invariants the protocol relies on; every service-surface
+    /// entry point calls this, so a [`DapConfig`] inside a running
+    /// [`Dap`] or [`DapSession`] is always valid.
+    pub fn validate(&self) -> Result<(), DapError> {
+        if !(self.eps.is_finite() && self.eps0.is_finite() && self.eps0 > 0.0)
+            || self.eps < self.eps0
+        {
+            return Err(DapError::InvalidBudget { eps: self.eps, eps0: self.eps0 });
+        }
+        if !self.o_prime.is_finite() {
+            return Err(DapError::InvalidConfig {
+                field: "o_prime",
+                reason: format!("pessimistic mean must be finite, got {}", self.o_prime),
+            });
+        }
+        if self.max_d_out < 2 {
+            return Err(DapError::InvalidConfig {
+                field: "max_d_out",
+                reason: format!("need at least 2 output buckets, got {}", self.max_d_out),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder returned by [`DapConfig::builder`]; [`DapConfigBuilder::build`]
+/// validates.
+#[derive(Debug, Clone)]
+pub struct DapConfigBuilder {
+    config: DapConfig,
+}
+
+impl DapConfigBuilder {
+    /// Sets the global per-user budget ε.
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.config.eps = eps;
+        self
+    }
+
+    /// Sets the minimum group budget ε₀.
+    pub fn eps0(mut self, eps0: f64) -> Self {
+        self.config.eps0 = eps0;
+        self
+    }
+
+    /// Sets the reconstruction scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.config.scheme = scheme;
+        self
+    }
+
+    /// Sets the inter-group weighting rule.
+    pub fn weighting(mut self, weighting: Weighting) -> Self {
+        self.config.weighting = weighting;
+        self
+    }
+
+    /// Sets the pessimistic initial mean `O'`.
+    pub fn o_prime(mut self, o_prime: f64) -> Self {
+        self.config.o_prime = o_prime;
+        self
+    }
+
+    /// Sets the cap on the per-group output-bucket count `d'`.
+    pub fn max_d_out(mut self, max_d_out: usize) -> Self {
+        self.config.max_d_out = max_d_out;
+        self
+    }
+
+    /// Enables or disables projecting the estimate onto the input domain.
+    pub fn clamp_to_input(mut self, clamp: bool) -> Self {
+        self.config.clamp_to_input = clamp;
+        self
+    }
+
+    /// Sets the probe/estimation mode.
+    pub fn mode(mut self, mode: EstimationMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<DapConfig, DapError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -84,10 +193,10 @@ pub struct DapOutput {
     pub groups: Vec<GroupReport>,
 }
 
-/// The Differential Aggregation Protocol, generic over the numerical LDP
-/// mechanism (PM in the paper's default deployment; see [`crate::sw`] for the
-/// Square-Wave variant, which estimates from reconstructed histograms
-/// instead).
+/// The Differential Aggregation Protocol simulation, generic over the
+/// numerical LDP mechanism (PM in the paper's default deployment; see
+/// [`crate::sw`] for the Square-Wave variant, which estimates from
+/// reconstructed histograms instead).
 #[derive(Debug, Clone)]
 pub struct Dap<F> {
     config: DapConfig,
@@ -96,16 +205,17 @@ pub struct Dap<F> {
 
 impl<M, F> Dap<F>
 where
-    M: NumericMechanism,
-    // `Sync` lets stage 4 call the factory from worker threads; the
-    // mechanisms themselves are built and dropped inside each worker.
+    // `Sync` lets the session's finalize stage fan per-group estimation out
+    // over worker threads; all mechanisms in the workspace are plain data.
+    M: NumericMechanism + Sync,
     F: Fn(Epsilon) -> M + Sync,
 {
     /// Builds a protocol instance from a config and a mechanism factory
-    /// (e.g. `|eps| PiecewiseMechanism::new(eps)`).
-    pub fn new(config: DapConfig, mech_factory: F) -> Self {
-        assert!(config.eps >= config.eps0 && config.eps0 > 0.0, "need ε ≥ ε₀ > 0");
-        Dap { config, mech_factory }
+    /// (e.g. `|eps| PiecewiseMechanism::new(eps)`), rejecting invalid
+    /// configurations (`ε ≥ ε₀ > 0` and friends) as [`DapError`]s.
+    pub fn new(config: DapConfig, mech_factory: F) -> Result<Self, DapError> {
+        config.validate()?;
+        Ok(Dap { config, mech_factory })
     }
 
     /// The active configuration.
@@ -124,10 +234,11 @@ where
         population: &Population,
         attack: &dyn Attack,
         rng: &mut R,
-    ) -> DapOutput {
-        self.run_schemes(population, attack, &[self.config.scheme], rng)
+    ) -> Result<DapOutput, DapError> {
+        Ok(self
+            .run_schemes(population, attack, &[self.config.scheme], rng)?
             .pop()
-            .expect("one scheme in, one output out")
+            .expect("one scheme in, one output out"))
     }
 
     /// Runs the protocol once and reads the result off under several
@@ -141,151 +252,59 @@ where
     /// noise and cuts the figure drivers' wall-clock roughly by the number
     /// of schemes. `config.scheme` is ignored here.
     ///
-    /// Stage 4 fans the (deterministic, RNG-free) per-group estimations out
-    /// over [`crate::parallel::parallel_map`]; outputs are bit-identical
-    /// for any thread count.
+    /// Stages 1–2 drive the split API: the plan's [`crate::client`]
+    /// assignments perturb locally and the reports stream into a
+    /// [`DapSession`]; stages 3–5 are [`DapSession::finalize`].
     pub fn run_schemes<R: RngCore>(
         &self,
         population: &Population,
         attack: &dyn Attack,
         schemes: &[Scheme],
         rng: &mut R,
-    ) -> Vec<DapOutput> {
+    ) -> Result<Vec<DapOutput>, DapError> {
         let cfg = &self.config;
         let n_total = population.total();
-        assert!(n_total > 0, "empty population");
+        if n_total == 0 {
+            return Err(DapError::EmptyPopulation);
+        }
         let plan = GroupPlan::build(n_total, cfg.eps, cfg.eps0, rng);
+        let mut session = DapSession::new(*cfg, plan, &self.mech_factory)?;
         let mut accountant = PrivacyAccountant::new(n_total, cfg.eps);
 
-        // Stage 2: perturbation. User indices < |honest| are honest; the
-        // rest are the coalition (assignment order is already shuffled).
-        // Reports stream straight into each group's `d'`-bucket histogram —
-        // the EMF sizing depends only on the solicited report volume
-        // `|G_t|·k_t`, which is known up front, so the raw report vectors
-        // never materialize.
+        // Stage 2: perturbation, client by client. User indices < |honest|
+        // are honest; the rest are the coalition (assignment order is
+        // already shuffled). Each honest user perturbs locally under their
+        // assignment; the coalition matches the honest report volume with
+        // k_t poison reports per member, scaled to the group's output
+        // domain. Everything lands in the session through one ingestion
+        // path.
         let n_honest = population.honest.len();
-        let mut group_hists: Vec<GroupHistogram> = Vec::with_capacity(plan.len());
-        let mut emf_cfgs: Vec<EmfConfig> = Vec::with_capacity(plan.len());
-        for g in 0..plan.len() {
-            let eps_t = plan.budgets[g];
-            let k_t = plan.reports_per_user[g];
-            let mech = (self.mech_factory)(eps_t);
-            let emf_cfg =
-                EmfConfig::capped(plan.reports_in_group(g), eps_t.get(), cfg.max_d_out);
-            let (olo, ohi) = mech.output_range();
-            let grid = Grid::new(olo, ohi, emf_cfg.d_out);
-            let mut report_buf = vec![0.0f64; k_t];
-            let mut counts = vec![0.0; emf_cfg.d_out];
-            let mut sum = 0.0;
-            let mut n_reports = 0usize;
+        for g in 0..session.group_count() {
+            let assign = session.client_assignment(g)?;
+            let mech = (self.mech_factory)(assign.eps_t);
+            let mut report_buf = vec![0.0f64; assign.k_t];
             let mut byz_members = 0usize;
-            for &user in &plan.assignment[g] {
+            for i in 0..session.plan().assignment[g].len() {
+                let user = session.plan().assignment[g][i];
                 if user < n_honest {
                     // One accountant charge covers the user's k_t reports at
                     // ε_t each; ε_t = ε/2^t and k_t = 2^t, so the product is
                     // exactly ε with no accumulation error.
-                    accountant
-                        .charge(user, eps_t.get() * k_t as f64)
-                        .expect("grouping never exceeds the budget");
-                    let v = population.honest[user];
-                    mech.perturb_into(v, &mut report_buf[..k_t], rng);
-                    for &r in &report_buf[..k_t] {
-                        counts[grid.bucket_of(r)] += 1.0;
-                        sum += r;
-                        n_reports += 1;
-                    }
+                    accountant.charge(user, assign.total_spend())?;
+                    assign.perturb_into(&mech, population.honest[user], &mut report_buf, rng);
+                    session.ingest_batch(g, &report_buf)?;
                 } else {
                     byz_members += 1;
                 }
             }
-            // The coalition matches the honest report volume: k_t poison
-            // reports per member, scaled to the group's output domain.
-            for r in attack.reports(byz_members * k_t, &mech, rng) {
-                counts[grid.bucket_of(r)] += 1.0;
-                sum += r;
-                n_reports += 1;
-            }
-            group_hists.push(GroupHistogram { counts, sum_reports: sum, n_reports });
-            emf_cfgs.push(emf_cfg);
+            let mut poison = vec![0.0f64; byz_members * assign.k_t];
+            let n_poison = attack.reports_into(&mut poison, &mech, rng);
+            session.ingest_batch(g, &poison[..n_poison])?;
         }
         debug_assert!(accountant.all_depleted() || population.byzantine > 0);
 
-        // Stage 3: probing on the most private group (Theorem 3: smallest ε
-        // probes Byzantine features best). The probe reads the group's
-        // streamed histogram directly.
-        let probe_g = plan.probe_group();
-        let probe_mech = (self.mech_factory)(plan.budgets[probe_g]);
-        let probe_cfg = &emf_cfgs[probe_g];
-        let probe = probe_side(
-            &probe_mech,
-            &group_hists[probe_g].counts,
-            probe_cfg.d_in,
-            cfg.o_prime,
-            &probe_cfg.em,
-        );
-        let side = probe.side;
-        let gamma = probe.chosen().poison_mass();
-
-        // Stage 4: intra-group estimation (Eq. 13), fanned out over the
-        // independent groups. The probe group's base EMF fit is exactly the
-        // probe's chosen-side run (same cached matrix, counts and stopping
-        // rule), so it is handed down instead of being recomputed.
-        let group_inputs: Vec<usize> = (0..plan.len()).collect();
-        let estimates: Vec<Vec<GroupEstimate>> = parallel_map(group_inputs, |g| {
-            let eps_t = plan.budgets[g];
-            let mech = (self.mech_factory)(eps_t);
-            let probed_base = (g == probe_g).then(|| probe.chosen());
-            estimate_group_means_hist(
-                &mech,
-                &group_hists[g],
-                side,
-                cfg.o_prime,
-                gamma,
-                schemes,
-                &emf_cfgs[g],
-                probed_base,
-                &mut EmWorkspace::new(),
-            )
-        });
-
-        // Stage 5: inter-group aggregation (Algorithm 5), per scheme.
-        let mech0 = (self.mech_factory)(Epsilon::of(cfg.eps));
-        let (ilo, ihi) = mech0.input_range();
-        let worst_vars: Vec<f64> = plan
-            .budgets
-            .iter()
-            .map(|&eps_t| (self.mech_factory)(eps_t).worst_case_variance())
-            .collect();
-
-        (0..schemes.len())
-            .map(|s| {
-                let mut means = Vec::with_capacity(plan.len());
-                let mut n_hats = Vec::with_capacity(plan.len());
-                let mut groups = Vec::with_capacity(plan.len());
-                for (g, per_scheme) in estimates.iter().enumerate() {
-                    let est = &per_scheme[s];
-                    let eps_t = plan.budgets[g];
-                    let n_hat = (est.n_reports as f64 - est.m_hat) * eps_t.get() / cfg.eps;
-                    means.push(est.mean);
-                    n_hats.push(n_hat);
-                    groups.push(GroupReport {
-                        eps_t: eps_t.get(),
-                        n_reports: est.n_reports,
-                        mean_t: est.mean,
-                        m_hat: est.m_hat,
-                        n_hat,
-                        weight: 0.0, // filled below
-                    });
-                }
-                let agg = aggregate(&means, &n_hats, &worst_vars, cfg.weighting);
-                for (g, w) in groups.iter_mut().zip(&agg.weights) {
-                    g.weight = *w;
-                }
-                let mean =
-                    if cfg.clamp_to_input { agg.mean.clamp(ilo, ihi) } else { agg.mean };
-                DapOutput { mean, side, gamma, min_variance: agg.min_variance, groups }
-            })
-            .collect()
+        // Stages 3–5: probe, per-group estimation, aggregation.
+        session.finalize(schemes)
     }
 }
 
@@ -300,7 +319,7 @@ mod tests {
     fn pm_dap(eps: f64, scheme: Scheme) -> Dap<impl Fn(Epsilon) -> PiecewiseMechanism> {
         let mut cfg = DapConfig::paper_default(eps, scheme);
         cfg.max_d_out = 64; // keep debug-mode tests fast
-        Dap::new(cfg, PiecewiseMechanism::new)
+        Dap::new(cfg, PiecewiseMechanism::new).expect("valid config")
     }
 
     fn honest_values(n: usize, seed: u64) -> Vec<f64> {
@@ -327,7 +346,7 @@ mod tests {
         let ostrich_err = (smean(&ostrich_reports) - truth).abs();
 
         let dap = pm_dap(0.5, Scheme::EmfStar);
-        let out = dap.run(&pop, &attack, &mut rng);
+        let out = dap.run(&pop, &attack, &mut rng).expect("valid run");
         let dap_err = (out.mean - truth).abs();
         assert!(
             dap_err < ostrich_err,
@@ -342,7 +361,7 @@ mod tests {
         let pop = Population::with_gamma(honest_values(6_000, 3), 0.1);
         let dap = pm_dap(0.5, Scheme::Emf);
         let mut rng = seeded(4);
-        let out = dap.run(&pop, &UniformAttack::of_upper(0.5, 1.0), &mut rng);
+        let out = dap.run(&pop, &UniformAttack::of_upper(0.5, 1.0), &mut rng).unwrap();
         // ε = 1/2, ε₀ = 1/16 → h = 4 groups with doubling report volume.
         assert_eq!(out.groups.len(), 4);
         assert!((out.groups[0].eps_t - 0.5).abs() < 1e-12);
@@ -360,7 +379,7 @@ mod tests {
         let pop = Population::with_gamma(honest, 0.0);
         let dap = pm_dap(1.0, Scheme::CemfStar);
         let mut rng = seeded(6);
-        let out = dap.run(&pop, &NoAttack, &mut rng);
+        let out = dap.run(&pop, &NoAttack, &mut rng).unwrap();
         assert!((out.mean - truth).abs() < 0.08, "estimate {} vs {}", out.mean, truth);
     }
 
@@ -368,8 +387,8 @@ mod tests {
     fn output_is_deterministic_under_fixed_seed() {
         let pop = Population::with_gamma(honest_values(4_000, 7), 0.2);
         let dap = pm_dap(0.25, Scheme::EmfStar);
-        let a = dap.run(&pop, &UniformAttack::of_upper(0.75, 1.0), &mut seeded(8));
-        let b = dap.run(&pop, &UniformAttack::of_upper(0.75, 1.0), &mut seeded(8));
+        let a = dap.run(&pop, &UniformAttack::of_upper(0.75, 1.0), &mut seeded(8)).unwrap();
+        let b = dap.run(&pop, &UniformAttack::of_upper(0.75, 1.0), &mut seeded(8)).unwrap();
         assert_eq!(a.mean, b.mean);
         assert_eq!(a.gamma, b.gamma);
     }
@@ -379,15 +398,47 @@ mod tests {
         let pop = Population::with_gamma(vec![1.0; 2_000], 0.3);
         let dap = pm_dap(0.25, Scheme::Emf);
         let mut rng = seeded(9);
-        let out = dap.run(&pop, &UniformAttack::of_upper(0.9, 1.0), &mut rng);
+        let out = dap.run(&pop, &UniformAttack::of_upper(0.9, 1.0), &mut rng).unwrap();
         assert!((-1.0..=1.0).contains(&out.mean));
     }
 
     #[test]
-    #[should_panic(expected = "empty population")]
     fn rejects_empty_population() {
         let pop = Population { honest: vec![], byzantine: 0 };
         let dap = pm_dap(0.25, Scheme::Emf);
-        dap.run(&pop, &NoAttack, &mut seeded(0));
+        let err = dap.run(&pop, &NoAttack, &mut seeded(0)).unwrap_err();
+        assert!(matches!(err, DapError::EmptyPopulation));
+    }
+
+    #[test]
+    fn rejects_invalid_budgets_at_construction() {
+        let cfg = DapConfig { eps: 0.01, ..DapConfig::paper_default(0.01, Scheme::Emf) };
+        let err = Dap::new(cfg, PiecewiseMechanism::new).err().expect("ε < ε₀ must fail");
+        assert!(matches!(err, DapError::InvalidBudget { .. }));
+    }
+
+    #[test]
+    fn builder_validates() {
+        let cfg = DapConfig::builder()
+            .eps(0.5)
+            .eps0(0.125)
+            .scheme(Scheme::CemfStar)
+            .max_d_out(64)
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.scheme, Scheme::CemfStar);
+        assert_eq!(cfg.max_d_out, 64);
+        assert!(matches!(
+            DapConfig::builder().eps(f64::NAN).build(),
+            Err(DapError::InvalidBudget { .. })
+        ));
+        assert!(matches!(
+            DapConfig::builder().max_d_out(1).build(),
+            Err(DapError::InvalidConfig { field: "max_d_out", .. })
+        ));
+        assert!(matches!(
+            DapConfig::builder().o_prime(f64::INFINITY).build(),
+            Err(DapError::InvalidConfig { field: "o_prime", .. })
+        ));
     }
 }

@@ -1,0 +1,543 @@
+//! The aggregator half of the protocol: a streaming ingestion session.
+//!
+//! [`DapSession`] is the server-side state machine of §V, Fig. 3: it owns a
+//! [`GroupPlan`] and one streamed [`GroupHistogram`] per group, accepts
+//! reports incrementally ([`DapSession::ingest`] /
+//! [`DapSession::ingest_batch`]) from clients it never trusts — out-of-range
+//! and over-quota reports are rejected as [`DapError`]s — and runs the
+//! collector's pipeline (probe → per-group estimation → Algorithm-5
+//! aggregation) on demand in [`DapSession::finalize`]. Sessions fed by
+//! independent threads or processes combine with [`DapSession::merge`].
+//!
+//! The [`crate::Dap`] and [`crate::sw::SwDap`] simulations are thin drivers
+//! over this type plus the [`crate::client`] module; real deployments feed
+//! the same API from a network or a stream instead.
+
+use crate::aggregation::aggregate;
+use crate::client::ClientAssignment;
+use crate::error::DapError;
+use crate::grouping::GroupPlan;
+use crate::parallel::parallel_map;
+use crate::protocol::{DapConfig, DapOutput, GroupReport};
+use crate::scheme::{estimate_group_means_hist, GroupHistogram, Scheme};
+use crate::sw::{probe_side_bands, sw_group_means_hist};
+use dap_attack::Side;
+use dap_emf::{probe_side, EmfConfig};
+use dap_estimation::{EmWorkspace, Grid};
+use dap_ldp::{Epsilon, NumericMechanism};
+
+/// Slack applied to the output-domain membership check: perturbed values may
+/// stray from the closed domain by floating error (the same tolerance the
+/// attack layer grants itself when resolving poison ranges).
+const DOMAIN_TOL: f64 = 1e-9;
+
+/// How [`DapSession::finalize`] probes the poisoned side and reads each
+/// group's mean off the reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimationMode {
+    /// For unbiased mechanisms (PM, Duchi): Algorithm-3 side probe around
+    /// the pivot `O'`, group means by the Eq. 13 report-sum correction.
+    ReportSum,
+    /// For biased mechanisms whose poison spec lives in the inflation bands
+    /// beyond the input domain (SW): likelihood probe over the two bands,
+    /// group means read off the reconstructed input histogram.
+    HistogramBands,
+}
+
+/// Per-group aggregator state: the mechanism in force, the report grid, the
+/// EMF sizing, and the streamed histogram.
+#[derive(Debug, Clone)]
+struct GroupState {
+    grid: Grid,
+    emf_cfg: EmfConfig,
+    hist: GroupHistogram,
+    /// Solicited report volume `|G_t|·k_t`; submissions beyond it are
+    /// rejected.
+    quota: usize,
+}
+
+/// A streaming DAP aggregation session (see the module docs).
+///
+/// Generic over the LDP mechanism so per-group estimation stays monomorphic;
+/// `M` must be `Sync` because [`DapSession::finalize`] fans the independent
+/// group estimations out over [`crate::parallel_map`].
+#[derive(Debug, Clone)]
+pub struct DapSession<M> {
+    config: DapConfig,
+    plan: GroupPlan,
+    mechs: Vec<M>,
+    groups: Vec<GroupState>,
+}
+
+impl<M: NumericMechanism> DapSession<M> {
+    /// Opens a session for a validated `config` and a grouping `plan`,
+    /// building one mechanism per group budget with `mech_factory`.
+    ///
+    /// The EMF sizing per group depends only on the solicited report volume
+    /// `|G_t|·k_t` — known from the plan up front — so the session never
+    /// needs the raw report vectors.
+    pub fn new<F>(config: DapConfig, plan: GroupPlan, mech_factory: F) -> Result<Self, DapError>
+    where
+        F: Fn(Epsilon) -> M,
+    {
+        config.validate()?;
+        if plan.len() != GroupPlan::group_count(config.eps, config.eps0)
+            || plan.budgets[0].get().to_bits() != config.eps.to_bits()
+        {
+            return Err(DapError::SessionMismatch { what: "config budgets and group plan" });
+        }
+        let mut mechs = Vec::with_capacity(plan.len());
+        let mut groups = Vec::with_capacity(plan.len());
+        for g in 0..plan.len() {
+            let eps_t = plan.budgets[g];
+            let mech = mech_factory(eps_t);
+            let quota = plan.reports_in_group(g);
+            let emf_cfg = EmfConfig::capped(quota, eps_t.get(), config.max_d_out);
+            let (olo, ohi) = mech.output_range();
+            let grid = Grid::new(olo, ohi, emf_cfg.d_out);
+            let hist = GroupHistogram {
+                counts: vec![0.0; emf_cfg.d_out],
+                sum_reports: 0.0,
+                n_reports: 0,
+            };
+            mechs.push(mech);
+            groups.push(GroupState { grid, emf_cfg, hist, quota });
+        }
+        Ok(DapSession { config, plan, mechs, groups })
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &DapConfig {
+        &self.config
+    }
+
+    /// The grouping plan the session was opened with.
+    pub fn plan(&self) -> &GroupPlan {
+        &self.plan
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The grouping instruction for clients of group `g` — what a real
+    /// deployment would send to each assigned user.
+    pub fn client_assignment(&self, g: usize) -> Result<ClientAssignment, DapError> {
+        if g >= self.plan.len() {
+            return Err(DapError::UnknownGroup { group: g, groups: self.plan.len() });
+        }
+        Ok(self.plan.client_assignment(g))
+    }
+
+    /// The streamed histogram of group `g` (all zeros before any ingest).
+    pub fn histogram(&self, g: usize) -> &GroupHistogram {
+        &self.groups[g].hist
+    }
+
+    /// Solicited report volume of group `g` (`|G_t|·k_t`).
+    pub fn quota(&self, g: usize) -> usize {
+        self.groups[g].quota
+    }
+
+    /// Reports accepted into group `g` so far.
+    pub fn ingested(&self, g: usize) -> usize {
+        self.groups[g].hist.n_reports
+    }
+
+    fn check_group(&self, group: usize) -> Result<(), DapError> {
+        if group >= self.groups.len() {
+            return Err(DapError::UnknownGroup { group, groups: self.groups.len() });
+        }
+        Ok(())
+    }
+
+    fn check_range(&self, group: usize, report: f64) -> Result<(), DapError> {
+        let grid = &self.groups[group].grid;
+        let (lo, hi) = (grid.lo(), grid.hi());
+        // NaN fails both comparisons and is rejected here too.
+        if report >= lo - DOMAIN_TOL && report <= hi + DOMAIN_TOL {
+            Ok(())
+        } else {
+            Err(DapError::ReportOutOfRange { group, report, lo, hi })
+        }
+    }
+
+    /// Accepts one report into `group`.
+    ///
+    /// Rejects unknown groups, reports outside the group mechanism's output
+    /// domain (Definition 2 confines even Byzantine reports to `[DL, DR]`)
+    /// and submissions beyond the group's solicited volume. On error the
+    /// session state is unchanged.
+    pub fn ingest(&mut self, group: usize, report: f64) -> Result<(), DapError> {
+        self.ingest_batch(group, &[report])
+    }
+
+    /// Accepts a batch of reports into `group`, atomically: the whole batch
+    /// is validated against the output domain and the remaining quota before
+    /// any report is accumulated, so a rejected batch leaves no trace.
+    pub fn ingest_batch(&mut self, group: usize, reports: &[f64]) -> Result<(), DapError> {
+        self.check_group(group)?;
+        for &r in reports {
+            self.check_range(group, r)?;
+        }
+        let state = &mut self.groups[group];
+        if state.hist.n_reports + reports.len() > state.quota {
+            return Err(DapError::QuotaExceeded {
+                group,
+                quota: state.quota,
+                ingested: state.hist.n_reports,
+                attempted: reports.len(),
+            });
+        }
+        for &r in reports {
+            state.hist.counts[state.grid.bucket_of(r)] += 1.0;
+            state.hist.sum_reports += r;
+            state.hist.n_reports += 1;
+        }
+        Ok(())
+    }
+
+    /// Combines sessions that accumulated shards of the same deployment —
+    /// many threads or processes ingesting independently, merged before one
+    /// [`DapSession::finalize`].
+    ///
+    /// All parts must have been opened with the same config and group plan.
+    /// Per-bucket counts are integer-valued, so merging is exact for any
+    /// sharding; the running report *sums* combine shard-wise, which is
+    /// bit-identical to single-session ingestion exactly when each group's
+    /// reports stayed on one shard (the natural group-sharded split — see
+    /// `examples/streaming_aggregator.rs`) and correct to float rounding
+    /// otherwise.
+    pub fn merge(parts: impl IntoIterator<Item = DapSession<M>>) -> Result<Self, DapError> {
+        let mut parts = parts.into_iter();
+        let mut base = parts
+            .next()
+            .ok_or(DapError::SessionMismatch { what: "zero sessions (nothing to merge)" })?;
+        for part in parts {
+            if part.config != base.config {
+                return Err(DapError::SessionMismatch { what: "configs" });
+            }
+            if part.plan != base.plan {
+                return Err(DapError::SessionMismatch { what: "group plans" });
+            }
+            // Equal configs and plans imply equal EMF sizing, but the report
+            // grids also depend on each shard's mechanism factory — merging
+            // histograms bucketed over different output domains would be
+            // silently wrong.
+            if part.groups.iter().zip(&base.groups).any(|(p, b)| p.grid != b.grid) {
+                return Err(DapError::SessionMismatch { what: "mechanism output grids" });
+            }
+            for (g, (bs, ps)) in base.groups.iter_mut().zip(&part.groups).enumerate() {
+                if bs.hist.n_reports + ps.hist.n_reports > bs.quota {
+                    return Err(DapError::QuotaExceeded {
+                        group: g,
+                        quota: bs.quota,
+                        ingested: bs.hist.n_reports,
+                        attempted: ps.hist.n_reports,
+                    });
+                }
+                for (b, p) in bs.hist.counts.iter_mut().zip(&ps.hist.counts) {
+                    *b += p;
+                }
+                bs.hist.sum_reports += ps.hist.sum_reports;
+                bs.hist.n_reports += ps.hist.n_reports;
+            }
+        }
+        Ok(base)
+    }
+}
+
+impl<M: NumericMechanism + Sync> DapSession<M> {
+    /// Runs the collector pipeline on the ingested state: side/γ̂ probe on
+    /// the most private group, per-group estimation under each scheme
+    /// (fanned out over [`crate::parallel_map`]; bit-identical for any
+    /// thread count), and Algorithm-5 aggregation. Outputs come back in
+    /// `schemes` order; the session is left untouched, so more reports can
+    /// be ingested and `finalize` called again.
+    pub fn finalize(&self, schemes: &[Scheme]) -> Result<Vec<DapOutput>, DapError> {
+        if schemes.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(match self.config.mode {
+            EstimationMode::ReportSum => self.finalize_report_sum(schemes),
+            EstimationMode::HistogramBands => self.finalize_bands(schemes),
+        })
+    }
+
+    /// Probe + Eq. 13 estimation + aggregation for unbiased mechanisms —
+    /// stages 3–5 of the PM protocol, verbatim.
+    fn finalize_report_sum(&self, schemes: &[Scheme]) -> Vec<DapOutput> {
+        let cfg = &self.config;
+        let plan = &self.plan;
+
+        // Stage 3: probing on the most private group (Theorem 3: smallest ε
+        // probes Byzantine features best), reading the streamed histogram.
+        let probe_g = plan.probe_group();
+        let probe_cfg = &self.groups[probe_g].emf_cfg;
+        let probe = probe_side(
+            &self.mechs[probe_g],
+            &self.groups[probe_g].hist.counts,
+            probe_cfg.d_in,
+            cfg.o_prime,
+            &probe_cfg.em,
+        );
+        let side = probe.side;
+        let gamma = probe.chosen().poison_mass();
+
+        // Stage 4: intra-group estimation (Eq. 13), fanned out over the
+        // independent groups. The probe group's base EMF fit is exactly the
+        // probe's chosen-side run (same cached matrix, counts and stopping
+        // rule), so it is handed down instead of being recomputed.
+        let group_inputs: Vec<usize> = (0..plan.len()).collect();
+        let estimates = parallel_map(group_inputs, |g| {
+            let probed_base = (g == probe_g).then(|| probe.chosen());
+            estimate_group_means_hist(
+                &self.mechs[g],
+                &self.groups[g].hist,
+                side,
+                cfg.o_prime,
+                gamma,
+                schemes,
+                &self.groups[g].emf_cfg,
+                probed_base,
+                &mut EmWorkspace::new(),
+            )
+        });
+
+        // Stage 5: inter-group aggregation (Algorithm 5), per scheme.
+        let per_group: Vec<Vec<(f64, f64, usize)>> = estimates
+            .iter()
+            .map(|per_scheme| {
+                per_scheme.iter().map(|e| (e.mean, e.m_hat, e.n_reports)).collect()
+            })
+            .collect();
+        self.aggregate_outputs(schemes.len(), side, gamma, &per_group)
+    }
+
+    /// Band probe + histogram-mean estimation + aggregation for biased
+    /// mechanisms (SW) — the §V-D pipeline.
+    fn finalize_bands(&self, schemes: &[Scheme]) -> Vec<DapOutput> {
+        let plan = &self.plan;
+
+        // Probe the two inflation bands on the most private group; the
+        // estimation pivot is the input-domain end on the poisoned side.
+        let probe_g = plan.probe_group();
+        let (side, gamma) = probe_side_bands(
+            &self.mechs[probe_g],
+            &self.groups[probe_g].hist.counts,
+            &self.groups[probe_g].emf_cfg,
+        );
+        let (ilo, ihi) = self.mechs[0].input_range();
+        let o_prime_out = match side {
+            Side::Right => ihi,
+            Side::Left => ilo,
+        };
+
+        // Per-group estimation from the reconstructed input histograms; the
+        // poison share converts to a report count for the shared stage 5.
+        let estimates = parallel_map((0..plan.len()).collect(), |g| {
+            sw_group_means_hist(
+                &self.mechs[g],
+                &self.groups[g].hist,
+                side,
+                o_prime_out,
+                gamma,
+                schemes,
+                &self.groups[g].emf_cfg,
+            )
+        });
+        let per_group: Vec<Vec<(f64, f64, usize)>> = estimates
+            .iter()
+            .enumerate()
+            .map(|(g, per_scheme)| {
+                let n_reports = self.groups[g].hist.n_reports;
+                per_scheme
+                    .iter()
+                    .map(|&(mean_t, gamma_t)| (mean_t, n_reports as f64 * gamma_t, n_reports))
+                    .collect()
+            })
+            .collect();
+        self.aggregate_outputs(schemes.len(), side, gamma, &per_group)
+    }
+
+    /// Stage 5, shared by both modes: combines the per-group, per-scheme
+    /// `(M_t, m̂_t, N_t)` triples with Algorithm 5's variance-optimal
+    /// weights into one [`DapOutput`] per scheme.
+    fn aggregate_outputs(
+        &self,
+        n_schemes: usize,
+        side: Side,
+        gamma: f64,
+        per_group: &[Vec<(f64, f64, usize)>],
+    ) -> Vec<DapOutput> {
+        let cfg = &self.config;
+        let plan = &self.plan;
+        let (ilo, ihi) = self.mechs[0].input_range();
+        let worst_vars: Vec<f64> =
+            self.mechs.iter().map(|m| m.worst_case_variance()).collect();
+        (0..n_schemes)
+            .map(|s| {
+                let mut means = Vec::with_capacity(plan.len());
+                let mut n_hats = Vec::with_capacity(plan.len());
+                let mut groups = Vec::with_capacity(plan.len());
+                for (g, per_scheme) in per_group.iter().enumerate() {
+                    let (mean_t, m_hat, n_reports) = per_scheme[s];
+                    let eps_t = plan.budgets[g];
+                    let n_hat = (n_reports as f64 - m_hat) * eps_t.get() / cfg.eps;
+                    means.push(mean_t);
+                    n_hats.push(n_hat);
+                    groups.push(GroupReport {
+                        eps_t: eps_t.get(),
+                        n_reports,
+                        mean_t,
+                        m_hat,
+                        n_hat,
+                        weight: 0.0, // filled below
+                    });
+                }
+                let agg = aggregate(&means, &n_hats, &worst_vars, cfg.weighting);
+                for (g, w) in groups.iter_mut().zip(&agg.weights) {
+                    g.weight = *w;
+                }
+                let mean =
+                    if cfg.clamp_to_input { agg.mean.clamp(ilo, ihi) } else { agg.mean };
+                DapOutput { mean, side, gamma, min_variance: agg.min_variance, groups }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::Population;
+    use dap_attack::{Attack, UniformAttack};
+    use dap_estimation::rng::seeded;
+    use dap_ldp::PiecewiseMechanism;
+
+    fn session(eps: f64, n_users: usize, seed: u64) -> DapSession<PiecewiseMechanism> {
+        let cfg = DapConfig { max_d_out: 32, ..DapConfig::paper_default(eps, Scheme::Emf) };
+        let plan = GroupPlan::build(n_users, cfg.eps, cfg.eps0, &mut seeded(seed));
+        DapSession::new(cfg, plan, PiecewiseMechanism::new).expect("valid session")
+    }
+
+    #[test]
+    fn ingest_accumulates_into_the_histogram() {
+        let mut s = session(0.25, 400, 1);
+        s.ingest(0, 0.5).unwrap();
+        s.ingest(0, -0.5).unwrap();
+        assert_eq!(s.ingested(0), 2);
+        assert_eq!(s.histogram(0).sum_reports, 0.0);
+        assert_eq!(s.histogram(0).counts.iter().sum::<f64>(), 2.0);
+    }
+
+    #[test]
+    fn out_of_range_reports_are_rejected_without_trace() {
+        let mut s = session(0.25, 400, 2);
+        let err = s.ingest(0, 1e6).unwrap_err();
+        assert!(matches!(err, DapError::ReportOutOfRange { group: 0, .. }));
+        let err = s.ingest_batch(1, &[0.0, f64::NAN]).unwrap_err();
+        assert!(matches!(err, DapError::ReportOutOfRange { group: 1, .. }));
+        assert_eq!(s.ingested(0) + s.ingested(1), 0);
+    }
+
+    #[test]
+    fn unknown_group_and_quota_violations_are_rejected() {
+        let mut s = session(0.25, 40, 3);
+        let groups = s.group_count();
+        assert!(matches!(
+            s.ingest(groups, 0.0),
+            Err(DapError::UnknownGroup { .. })
+        ));
+        let quota = s.quota(0);
+        let fill = vec![0.0; quota];
+        s.ingest_batch(0, &fill).unwrap();
+        let err = s.ingest(0, 0.0).unwrap_err();
+        assert!(matches!(err, DapError::QuotaExceeded { group: 0, .. }));
+        // The rejected batch left nothing behind.
+        assert_eq!(s.ingested(0), quota);
+    }
+
+    #[test]
+    fn client_assignments_mirror_the_plan() {
+        let s = session(0.25, 400, 4);
+        for g in 0..s.group_count() {
+            let a = s.client_assignment(g).unwrap();
+            assert_eq!(a.group, g);
+            assert!((a.total_spend() - 0.25).abs() < 1e-12);
+        }
+        assert!(matches!(
+            s.client_assignment(99),
+            Err(DapError::UnknownGroup { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_plans_refuse_to_merge() {
+        let a = session(0.25, 400, 5);
+        let b = session(0.25, 400, 6); // different shuffle → different plan
+        let err = DapSession::merge([a, b]).unwrap_err();
+        assert!(matches!(err, DapError::SessionMismatch { .. }));
+        assert!(matches!(
+            DapSession::<PiecewiseMechanism>::merge([]).unwrap_err(),
+            DapError::SessionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn mismatched_mechanism_grids_refuse_to_merge() {
+        // Same config and plan, but one shard's factory ignores its assigned
+        // budget — its output domains (hence report grids) differ, and
+        // merging the bucket counts would be silently wrong.
+        let cfg = DapConfig { max_d_out: 32, ..DapConfig::paper_default(0.25, Scheme::Emf) };
+        let plan = GroupPlan::build(400, cfg.eps, cfg.eps0, &mut seeded(7));
+        let a = DapSession::new(cfg, plan.clone(), PiecewiseMechanism::new).unwrap();
+        let b = DapSession::new(cfg, plan, |_| {
+            PiecewiseMechanism::new(dap_ldp::Epsilon::of(2.0))
+        })
+        .unwrap();
+        let err = DapSession::merge([a, b]).unwrap_err();
+        assert!(matches!(
+            err,
+            DapError::SessionMismatch { what: "mechanism output grids" }
+        ));
+    }
+
+    #[test]
+    fn finalize_runs_on_streamed_state() {
+        // A small end-to-end smoke: honest reports + poison through the
+        // session API recover a sane mean (the bit-exact equivalence with
+        // the one-shot driver lives in tests/session_equivalence.rs).
+        let n = 1_200;
+        let pop = Population::with_gamma(vec![0.2; n], 0.2);
+        let cfg = DapConfig { max_d_out: 32, ..DapConfig::paper_default(0.25, Scheme::Emf) };
+        let mut rng = seeded(7);
+        let plan = GroupPlan::build(pop.total(), cfg.eps, cfg.eps0, &mut rng);
+        let mut s = DapSession::new(cfg, plan, PiecewiseMechanism::new).unwrap();
+        let attack = UniformAttack::of_upper(0.5, 1.0);
+        for g in 0..s.group_count() {
+            let assign = s.client_assignment(g).unwrap();
+            let mech = PiecewiseMechanism::new(assign.eps_t);
+            let mut byz = 0usize;
+            for i in 0..s.plan().assignment[g].len() {
+                let user = s.plan().assignment[g][i];
+                if user < pop.honest.len() {
+                    let reports = assign.perturb(&mech, pop.honest[user], &mut rng);
+                    s.ingest_batch(g, &reports).unwrap();
+                } else {
+                    byz += 1;
+                }
+            }
+            let poison = attack.reports(byz * assign.k_t, &mech, &mut rng);
+            s.ingest_batch(g, &poison).unwrap();
+        }
+        let outs = s.finalize(&[Scheme::Emf, Scheme::EmfStar]).unwrap();
+        assert_eq!(outs.len(), 2);
+        for out in &outs {
+            assert!((out.mean - 0.2).abs() < 0.4, "mean {}", out.mean);
+            assert_eq!(out.groups.len(), s.group_count());
+        }
+        assert!(s.finalize(&[]).unwrap().is_empty());
+    }
+}

@@ -7,12 +7,19 @@
 //! mass exactly as in the PM pipeline. `O'` is bootstrapped the way the
 //! paper prescribes: EMS on the reports after removing the most extreme 50%
 //! on the hypothesized poisoned side.
+//!
+//! [`SwDap`] is a thin driver over the same client/aggregator split as
+//! [`crate::Dap`]: both wire their populations through the
+//! [`crate::client`] module into one [`crate::DapSession`] ingestion path;
+//! only the session's [`crate::EstimationMode`] differs
+//! ([`crate::EstimationMode::HistogramBands`] here).
 
-use crate::aggregation::{aggregate, Weighting};
-use crate::grouping::GroupPlan;
-use crate::parallel::parallel_map;
+use crate::aggregation::Weighting;
+use crate::error::DapError;
 use crate::population::Population;
-use crate::scheme::Scheme;
+use crate::protocol::{Dap, DapConfig};
+use crate::scheme::{GroupHistogram, Scheme};
+use crate::session::EstimationMode;
 use dap_attack::{Attack, Side};
 use dap_emf::{cemf_star, cemf_star_threshold, emf, EmfConfig};
 use dap_estimation::em::{self, EmOutcome, EmWorkspace, MStep};
@@ -49,7 +56,7 @@ pub fn sw_o_prime(
 
 /// Estimates one SW group's honest mean from the reconstructed histogram.
 pub fn sw_group_mean(
-    mech: &SquareWave,
+    mech: &dyn NumericMechanism,
     reports: &[f64],
     side: Side,
     o_prime_out: f64,
@@ -62,12 +69,10 @@ pub fn sw_group_mean(
         .expect("one scheme in, one estimate out")
 }
 
-/// [`sw_group_mean`] for several schemes over the same reports, sharing the
-/// report histogram, the cached transform matrix, and the base EMF fit
-/// (mirrors [`crate::scheme::estimate_group_means`]). Returns
-/// `(mean, γ_group)` pairs in `schemes` order.
+/// [`sw_group_mean`] for several schemes over the same reports — buckets
+/// them and delegates to [`sw_group_means_hist`].
 pub fn sw_group_means(
-    mech: &SquareWave,
+    mech: &dyn NumericMechanism,
     reports: &[f64],
     side: Side,
     o_prime_out: f64,
@@ -75,25 +80,45 @@ pub fn sw_group_means(
     schemes: &[Scheme],
     config: &EmfConfig,
 ) -> Vec<(f64, f64)> {
-    if reports.is_empty() {
-        return vec![(0.5, 0.0); schemes.len()];
+    let hist = GroupHistogram::from_reports(mech, reports, config.d_out);
+    sw_group_means_hist(mech, &hist, side, o_prime_out, gamma_global, schemes, config)
+}
+
+/// Histogram-mean estimation for several schemes over a pre-bucketed
+/// [`GroupHistogram`], sharing the cached transform matrix and the base EMF
+/// fit across schemes (mirrors [`crate::scheme::estimate_group_means_hist`];
+/// this is [`crate::DapSession`]'s band-mode estimation path). Returns
+/// `(mean, γ_group)` pairs in `schemes` order.
+pub fn sw_group_means_hist(
+    mech: &dyn NumericMechanism,
+    hist: &GroupHistogram,
+    side: Side,
+    o_prime_out: f64,
+    gamma_global: f64,
+    schemes: &[Scheme],
+    config: &EmfConfig,
+) -> Vec<(f64, f64)> {
+    if hist.n_reports == 0 {
+        // Degenerate empty group: the input-domain midpoint, no poison.
+        let (ilo, ihi) = mech.input_range();
+        return vec![((ilo + ihi) / 2.0, 0.0); schemes.len()];
     }
+    assert_eq!(hist.counts.len(), config.d_out, "histogram resolution mismatch");
+    let counts = &hist.counts;
     let region = match side {
         Side::Right => PoisonRegion::RightOf(o_prime_out),
         Side::Left => PoisonRegion::LeftOf(o_prime_out),
     };
     let matrix = cached_for_numeric(mech, config.d_in, config.d_out, &region);
-    let (olo, ohi) = mech.output_range();
-    let counts = Grid::new(olo, ohi, config.d_out).counts(reports);
     let mut ws = EmWorkspace::new();
 
     let needs_base = schemes.iter().any(|s| matches!(s, Scheme::Emf | Scheme::CemfStar));
     let base: Option<EmOutcome> = needs_base
-        .then(|| em::solve_in(&matrix, &counts, MStep::Free, &config.em, &mut ws));
+        .then(|| em::solve_in(&matrix, counts, MStep::Free, &config.em, &mut ws));
     let star: Option<EmOutcome> = schemes.contains(&Scheme::EmfStar).then(|| {
         em::solve_in(
             &matrix,
-            &counts,
+            counts,
             MStep::Constrained { gamma: gamma_global },
             &config.em,
             &mut ws,
@@ -102,7 +127,7 @@ pub fn sw_group_means(
     let cemf: Option<EmOutcome> = schemes.contains(&Scheme::CemfStar).then(|| {
         let b = base.as_ref().expect("base computed for CEMF*");
         let thr = cemf_star_threshold(gamma_global, matrix.poison_buckets().len());
-        cemf_star(&matrix, &counts, gamma_global, thr, b, &config.em)
+        cemf_star(&matrix, counts, gamma_global, thr, b, &config.em)
     });
 
     schemes
@@ -119,8 +144,41 @@ pub fn sw_group_means(
         .collect()
 }
 
+/// Algorithm-3 analogue for biased mechanisms: compares the left inflation
+/// band (left of the input minimum) against the right one (right of the
+/// input maximum) as poison hypotheses — for SW, `[-b, 0)` vs `(1, 1+b]`.
+///
+/// The comparison uses the converged *log-likelihood* rather than `Var(x̂)`:
+/// PM's variance criterion relies on Theorem 3's uniform-convergence, which
+/// does not carry over to SW (for skewed honest data the wrong-side
+/// hypothesis absorbs the honest spill and artificially flattens `x̂`). The
+/// two band hypotheses have identical parameter counts, so the likelihood
+/// comparison is fair; a concentrated injection can only be matched by the
+/// poison block on its own side.
+pub(crate) fn probe_side_bands(
+    mech: &dyn NumericMechanism,
+    counts: &[f64],
+    config: &EmfConfig,
+) -> (Side, f64) {
+    let em = EmOptions { tol: config.em.tol.min(1e-3), max_iters: config.em.max_iters.max(500) };
+    let (ilo, ihi) = mech.input_range();
+    let left_m =
+        cached_for_numeric(mech, config.d_in, counts.len(), &PoisonRegion::LeftOf(ilo));
+    let right_m =
+        cached_for_numeric(mech, config.d_in, counts.len(), &PoisonRegion::RightOf(ihi));
+    let left = emf(&left_m, counts, &em);
+    let right = emf(&right_m, counts, &em);
+    if left.log_likelihood > right.log_likelihood {
+        let gamma = left.poison_mass();
+        (Side::Left, gamma)
+    } else {
+        let gamma = right.poison_mass();
+        (Side::Right, gamma)
+    }
+}
+
 /// Configuration of the SW-based DAP deployment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwDapConfig {
     /// Global per-user budget ε.
     pub eps: f64,
@@ -145,6 +203,21 @@ impl SwDapConfig {
             max_d_out: 128,
         }
     }
+
+    /// The equivalent session configuration: band-mode estimation, estimate
+    /// clamped to the `[0, 1]` input domain.
+    pub fn session_config(&self) -> DapConfig {
+        DapConfig {
+            eps: self.eps,
+            eps0: self.eps0,
+            scheme: self.scheme,
+            weighting: self.weighting,
+            o_prime: 0.0, // band mode pivots at the input-domain ends
+            max_d_out: self.max_d_out,
+            clamp_to_input: true,
+            mode: EstimationMode::HistogramBands,
+        }
+    }
 }
 
 /// Result of an SW-DAP run.
@@ -165,143 +238,46 @@ pub struct SwDap {
 }
 
 impl SwDap {
-    /// Builds the protocol.
-    pub fn new(config: SwDapConfig) -> Self {
-        assert!(config.eps >= config.eps0 && config.eps0 > 0.0, "need ε ≥ ε₀ > 0");
-        SwDap { config }
+    /// Builds the protocol, rejecting invalid budgets as [`DapError`]s.
+    pub fn new(config: SwDapConfig) -> Result<Self, DapError> {
+        config.session_config().validate()?;
+        Ok(SwDap { config })
     }
 
     /// Runs grouping → perturbation → probing → histogram estimation →
     /// aggregation on a `[0, 1]`-valued population.
-    pub fn run(
+    pub fn run<R: RngCore>(
         &self,
         population: &Population,
         attack: &dyn Attack,
-        rng: &mut dyn RngCore,
-    ) -> SwDapOutput {
-        self.run_schemes(population, attack, &[self.config.scheme], rng)
+        rng: &mut R,
+    ) -> Result<SwDapOutput, DapError> {
+        Ok(self
+            .run_schemes(population, attack, &[self.config.scheme], rng)?
             .pop()
-            .expect("one scheme in, one output out")
+            .expect("one scheme in, one output out"))
     }
 
     /// Runs the protocol once and reads the result off under several
     /// schemes — the SW analogue of [`crate::Dap::run_schemes`]:
     /// grouping, perturbation, probing and the base EMF fits are shared;
     /// `config.scheme` is ignored. Outputs come back in `schemes` order.
-    pub fn run_schemes(
+    ///
+    /// Simulation and ingestion are literally [`crate::Dap`] over
+    /// [`SquareWave`]; only the session's estimation mode differs.
+    pub fn run_schemes<R: RngCore>(
         &self,
         population: &Population,
         attack: &dyn Attack,
         schemes: &[Scheme],
-        rng: &mut dyn RngCore,
-    ) -> Vec<SwDapOutput> {
-        let cfg = &self.config;
-        let n_total = population.total();
-        assert!(n_total > 0, "empty population");
-        let plan = GroupPlan::build(n_total, cfg.eps, cfg.eps0, rng);
-        let n_honest = population.honest.len();
-
-        let mut group_reports: Vec<Vec<f64>> = Vec::with_capacity(plan.len());
-        for g in 0..plan.len() {
-            let mech = SquareWave::new(plan.budgets[g]);
-            let k_t = plan.reports_per_user[g];
-            let mut reports = Vec::with_capacity(plan.reports_in_group(g));
-            let mut byz = 0usize;
-            for &user in &plan.assignment[g] {
-                if user < n_honest {
-                    let v = population.honest[user];
-                    for _ in 0..k_t {
-                        reports.push(mech.perturb(v, rng));
-                    }
-                } else {
-                    byz += 1;
-                }
-            }
-            reports.extend(attack.reports(byz * k_t, &mech, rng));
-            group_reports.push(reports);
-        }
-
-        // Probe side + γ̂ on the most private group. Unlike PM, SW's output
-        // domain is asymmetric around any in-domain pivot, which biases the
-        // Var(x̂) comparison of Algorithm 3 (the larger hypothesis region
-        // absorbs more mass regardless of the attack). The SW poison spec of
-        // the paper lives in the *inflation bands* beyond the input domain
-        // (`[1+b/2, 1+b]`), so the probe hypotheses here are the two
-        // symmetric bands `[-b, 0)` and `(1, 1+b]`.
-        let probe_g = plan.probe_group();
-        let probe_eps = plan.budgets[probe_g];
-        let probe_mech = SquareWave::new(probe_eps);
-        let probe_cfg =
-            EmfConfig::capped(group_reports[probe_g].len(), probe_eps.get(), cfg.max_d_out);
-        let (olo, ohi) = probe_mech.output_range();
-        let counts = Grid::new(olo, ohi, probe_cfg.d_out).counts(&group_reports[probe_g]);
-        let probe = probe_side_bands(&probe_mech, &counts, &probe_cfg);
-        let side = probe.0;
-        let gamma = probe.1;
-        // Estimation pivots: poison block on the chosen inflation band.
-        let o_prime = match side {
-            Side::Right => 1.0,
-            Side::Left => 0.0,
-        };
-
-        // Per-group estimation fans out over the independent groups; each
-        // estimate is a deterministic function of its reports, so results
-        // are thread-count independent.
-        let estimates: Vec<Vec<(f64, f64)>> = parallel_map((0..plan.len()).collect(), |g| {
-            let reports = &group_reports[g];
-            let eps_t = plan.budgets[g];
-            let mech = SquareWave::new(eps_t);
-            let emf_cfg = EmfConfig::capped(reports.len(), eps_t.get(), cfg.max_d_out);
-            sw_group_means(&mech, reports, side, o_prime, gamma, schemes, &emf_cfg)
-        });
-
-        let worst_vars: Vec<f64> = plan
-            .budgets
-            .iter()
-            .map(|&eps_t| SquareWave::new(eps_t).worst_case_variance())
-            .collect();
-        (0..schemes.len())
-            .map(|s| {
-                let mut means = Vec::with_capacity(plan.len());
-                let mut n_hats = Vec::with_capacity(plan.len());
-                for (g, per_scheme) in estimates.iter().enumerate() {
-                    let (mean_t, gamma_t) = per_scheme[s];
-                    let eps_t = plan.budgets[g];
-                    let nt = group_reports[g].len() as f64;
-                    means.push(mean_t);
-                    n_hats.push((nt - nt * gamma_t) * eps_t.get() / cfg.eps);
-                }
-                let agg = aggregate(&means, &n_hats, &worst_vars, cfg.weighting);
-                SwDapOutput { mean: agg.mean.clamp(0.0, 1.0), side, gamma }
-            })
-            .collect()
-    }
-}
-
-/// Algorithm-3 analogue for SW: compares the left inflation band `[-b, 0)`
-/// against the right one `(1, 1+b]` as poison hypotheses.
-///
-/// The comparison uses the converged *log-likelihood* rather than `Var(x̂)`:
-/// PM's variance criterion relies on Theorem 3's uniform-convergence, which
-/// does not carry over to SW (for skewed honest data the wrong-side
-/// hypothesis absorbs the honest spill and artificially flattens `x̂`). The
-/// two band hypotheses have identical parameter counts, so the likelihood
-/// comparison is fair; a concentrated injection can only be matched by the
-/// poison block on its own side.
-fn probe_side_bands(mech: &SquareWave, counts: &[f64], config: &EmfConfig) -> (Side, f64) {
-    let em = EmOptions { tol: config.em.tol.min(1e-3), max_iters: config.em.max_iters.max(500) };
-    let left_m =
-        cached_for_numeric(mech, config.d_in, counts.len(), &PoisonRegion::LeftOf(0.0));
-    let right_m =
-        cached_for_numeric(mech, config.d_in, counts.len(), &PoisonRegion::RightOf(1.0));
-    let left = emf(&left_m, counts, &em);
-    let right = emf(&right_m, counts, &em);
-    if left.log_likelihood > right.log_likelihood {
-        let gamma = left.poison_mass();
-        (Side::Left, gamma)
-    } else {
-        let gamma = right.poison_mass();
-        (Side::Right, gamma)
+        rng: &mut R,
+    ) -> Result<Vec<SwDapOutput>, DapError> {
+        let driver = Dap::new(self.config.session_config(), SquareWave::new)?;
+        let outs = driver.run_schemes(population, attack, schemes, rng)?;
+        Ok(outs
+            .into_iter()
+            .map(|o| SwDapOutput { mean: o.mean, side: o.side, gamma: o.gamma })
+            .collect())
     }
 }
 
@@ -328,9 +304,9 @@ mod tests {
     fn sw_dap_recovers_beta_mean_under_attack() {
         let pop = beta_population(12_000, 0.25, 2.0, 5.0, 1);
         let truth = smean(&pop.honest);
-        let dap = SwDap::new(SwDapConfig { max_d_out: 64, ..SwDapConfig::paper_default(1.0, Scheme::EmfStar) });
+        let dap = SwDap::new(SwDapConfig { max_d_out: 64, ..SwDapConfig::paper_default(1.0, Scheme::EmfStar) }).unwrap();
         let mut rng = seeded(2);
-        let out = dap.run(&pop, &sw_attack(), &mut rng);
+        let out = dap.run(&pop, &sw_attack(), &mut rng).unwrap();
         assert_eq!(out.side, Side::Right);
         assert!((out.mean - truth).abs() < 0.1, "estimate {} vs truth {}", out.mean, truth);
         assert!(out.gamma > 0.1, "gamma {}", out.gamma);
@@ -352,8 +328,8 @@ mod tests {
         reports.extend(sw_attack().reports(pop.byzantine, &mech, &mut rng));
         let ostrich_err = (smean(&reports) - truth).abs();
 
-        let dap = SwDap::new(SwDapConfig { max_d_out: 64, ..SwDapConfig::paper_default(1.0, Scheme::CemfStar) });
-        let out = dap.run(&pop, &sw_attack(), &mut rng);
+        let dap = SwDap::new(SwDapConfig { max_d_out: 64, ..SwDapConfig::paper_default(1.0, Scheme::CemfStar) }).unwrap();
+        let out = dap.run(&pop, &sw_attack(), &mut rng).unwrap();
         assert!(
             (out.mean - truth).abs() < ostrich_err,
             "SW-DAP {} vs Ostrich err {} (truth {})",
@@ -372,9 +348,10 @@ mod tests {
         let dap = SwDap::new(SwDapConfig {
             max_d_out: 64,
             ..SwDapConfig::paper_default(1.0, Scheme::EmfStar)
-        });
+        })
+        .unwrap();
         let mut rng = seeded(8);
-        let out = dap.run(&pop, &attack, &mut rng);
+        let out = dap.run(&pop, &attack, &mut rng).unwrap();
         assert_eq!(out.side, Side::Left);
         assert!((out.mean - truth).abs() < 0.15, "estimate {} truth {}", out.mean, truth);
     }
@@ -392,5 +369,11 @@ mod tests {
         let o_prime = sw_o_prime(&mech, &reports, Side::Right, &cfg);
         assert!(o_prime <= truth + 0.05, "O' {} vs truth {}", o_prime, truth);
         assert!((0.0..=1.0).contains(&o_prime));
+    }
+
+    #[test]
+    fn sw_dap_rejects_bad_budgets() {
+        let cfg = SwDapConfig { eps: 0.01, ..SwDapConfig::paper_default(0.01, Scheme::Emf) };
+        assert!(matches!(SwDap::new(cfg), Err(DapError::InvalidBudget { .. })));
     }
 }

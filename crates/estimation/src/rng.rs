@@ -6,11 +6,56 @@
 //! ones.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// A seeded standard RNG.
 pub fn seeded(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
+}
+
+/// Words per [`BufferedRng`] refill (one virtual dispatch per block).
+const BUFFER_WORDS: usize = 512;
+
+/// A block-buffering adapter over a `dyn` RNG.
+///
+/// Rejection samplers (truncated normal, gamma) draw a *variable* number of
+/// words per sample, so they cannot pre-batch their input the way a
+/// fixed-rate consumer can. `BufferedRng` closes the `dyn` boundary from
+/// the other side: it pulls a 512-word block from the underlying
+/// generator with a single virtual `fill_bytes` call and serves `next_u64`
+/// monomorphically from the buffer, so a sampler that is generic over its
+/// RNG inlines every draw.
+///
+/// The served word *sequence* is exactly the underlying generator's
+/// sequence; the only stream difference is that unused words of the final
+/// block are discarded when the adapter is dropped.
+pub struct BufferedRng<'a> {
+    inner: &'a mut dyn RngCore,
+    buf: [u8; 8 * BUFFER_WORDS],
+    /// Next unread byte offset; starts exhausted so the first draw refills.
+    pos: usize,
+}
+
+impl<'a> BufferedRng<'a> {
+    /// Wraps a `dyn` RNG in a block buffer.
+    pub fn new(inner: &'a mut dyn RngCore) -> Self {
+        BufferedRng { inner, buf: [0u8; 8 * BUFFER_WORDS], pos: 8 * BUFFER_WORDS }
+    }
+}
+
+impl RngCore for BufferedRng<'_> {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        if self.pos == self.buf.len() {
+            self.inner.fill_bytes(&mut self.buf);
+            self.pos = 0;
+        }
+        let word = u64::from_le_bytes(
+            self.buf[self.pos..self.pos + 8].try_into().expect("8-byte slice"),
+        );
+        self.pos += 8;
+        word
+    }
 }
 
 /// Derives an independent RNG for a named sub-stream of `seed`.
@@ -54,5 +99,15 @@ mod tests {
         let a: u64 = derive(99, 7).gen();
         let b: u64 = derive(99, 7).gen();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn buffered_rng_preserves_the_word_sequence() {
+        let mut direct = seeded(42);
+        let expect: Vec<u64> = (0..2 * super::BUFFER_WORDS + 3).map(|_| direct.gen()).collect();
+        let mut inner = seeded(42);
+        let mut buffered = BufferedRng::new(&mut inner);
+        let got: Vec<u64> = expect.iter().map(|_| buffered.next_u64()).collect();
+        assert_eq!(got, expect);
     }
 }

@@ -85,7 +85,13 @@ pub fn beta<R: RngCore + ?Sized>(alpha: f64, beta_p: f64, rng: &mut R) -> f64 {
 ///
 /// # Panics
 /// If `lo >= hi` or `sigma` is invalid.
-pub fn truncated_normal(mu: f64, sigma: f64, lo: f64, hi: f64, rng: &mut dyn RngCore) -> f64 {
+pub fn truncated_normal<R: RngCore + ?Sized>(
+    mu: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+    rng: &mut R,
+) -> f64 {
     assert!(lo < hi, "empty truncation window [{lo}, {hi}]");
     for _ in 0..64 {
         let x = normal(mu, sigma, rng);

@@ -30,8 +30,9 @@ fn main() {
     let ostrich = Ostrich.estimate_mean(&reports, &mut rng);
 
     // The Differential Aggregation Protocol.
-    let dap = Dap::new(DapConfig::paper_default(eps, Scheme::CemfStar), PiecewiseMechanism::new);
-    let output = dap.run(&population, &attack, &mut rng);
+    let dap = Dap::new(DapConfig::paper_default(eps, Scheme::CemfStar), PiecewiseMechanism::new)
+        .expect("valid config");
+    let output = dap.run(&population, &attack, &mut rng).expect("valid run");
 
     println!("true honest mean      : {truth:+.4}");
     println!("Ostrich (no defense)  : {ostrich:+.4}  (error {:+.4})", ostrich - truth);

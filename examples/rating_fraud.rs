@@ -70,8 +70,9 @@ fn main() {
     }
 
     for scheme in Scheme::ALL {
-        let dap = Dap::new(DapConfig::paper_default(eps, scheme), PiecewiseMechanism::new);
-        let output = dap.run(&population, &attack, &mut rng);
+        let dap = Dap::new(DapConfig::paper_default(eps, scheme), PiecewiseMechanism::new)
+            .expect("valid config");
+        let output = dap.run(&population, &attack, &mut rng).expect("valid run");
         println!(
             "{:<22} {:>8.3} {:>+10.3}",
             scheme.label(),

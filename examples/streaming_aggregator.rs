@@ -1,0 +1,117 @@
+//! The client/aggregator split driven directly: per-user client
+//! perturbation, sharded streaming ingestion on worker threads, an exact
+//! `DapSession::merge`, and one `finalize` — the deployment shape the
+//! `Dap::run` simulation wraps.
+//!
+//! Run with `cargo run --release --example streaming_aggregator`.
+
+use differential_aggregation::prelude::*;
+use std::sync::mpsc;
+
+fn main() {
+    let mut rng = estimation::rng::seeded(7);
+    let eps = 1.0;
+
+    // 30 000 honest users hold Beta(2,5)-shaped values; a 20% coalition
+    // injects into the top half of each group's PM output domain.
+    let honest: Vec<f64> = (0..30_000)
+        .map(|_| estimation::sampling::beta(2.0, 5.0, &mut rng) * 2.0 - 1.0)
+        .collect();
+    let truth = estimation::stats::mean(&honest);
+    let population = Population::with_gamma(honest, 0.20);
+    let attack = UniformAttack::of_upper(0.5, 1.0);
+
+    // The aggregator fixes the deployment and the grouping plan. In a real
+    // service the plan's `client_assignment(g)` would be pushed to each
+    // user; here the simulation plays every client itself.
+    let config = DapConfig::builder()
+        .eps(eps)
+        .scheme(Scheme::EmfStar)
+        .max_d_out(128)
+        .build()
+        .expect("valid config");
+    let plan = GroupPlan::build(population.total(), config.eps, config.eps0, &mut rng);
+    let n_honest = population.honest.len();
+
+    // Clients perturb locally, group by group; each group's report batch is
+    // routed to one of three shard workers (group-sharded ingestion keeps
+    // the merge bit-exact — see `DapSession::merge`).
+    const SHARDS: usize = 3;
+    let mut group_batches: Vec<(usize, Vec<f64>)> = Vec::new();
+    for g in 0..plan.len() {
+        let assign = plan.client_assignment(g);
+        let mech = PiecewiseMechanism::new(assign.eps_t);
+        let mut batch = Vec::new();
+        let mut buf = vec![0.0f64; assign.k_t];
+        let mut byz_members = 0usize;
+        for &user in &plan.assignment[g] {
+            if user < n_honest {
+                // One user's k_t reports, perturbed on "their device".
+                assign.perturb_into(&mech, population.honest[user], &mut buf, &mut rng);
+                batch.extend_from_slice(&buf);
+            } else {
+                byz_members += 1;
+            }
+        }
+        let mut poison = vec![0.0f64; byz_members * assign.k_t];
+        let n = attack.reports_into(&mut poison, &mech, &mut rng);
+        batch.extend_from_slice(&poison[..n]);
+        group_batches.push((g, batch));
+    }
+
+    // Three shard sessions accumulate independently on worker threads; the
+    // out-of-range/over-quota gate runs on each shard as reports arrive.
+    let shards: Vec<DapSession<PiecewiseMechanism>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut senders = Vec::new();
+        for _ in 0..SHARDS {
+            let (tx, rx) = mpsc::channel::<(usize, Vec<f64>)>();
+            let cfg = config;
+            let plan = plan.clone();
+            senders.push(tx);
+            handles.push(scope.spawn(move || {
+                let mut session =
+                    DapSession::new(cfg, plan, PiecewiseMechanism::new).expect("valid session");
+                for (g, batch) in rx {
+                    session.ingest_batch(g, &batch).expect("well-formed reports");
+                }
+                session
+            }));
+        }
+        for (g, batch) in group_batches {
+            senders[g % SHARDS].send((g, batch)).expect("worker alive");
+        }
+        drop(senders);
+        handles.into_iter().map(|h| h.join().expect("worker finished")).collect()
+    });
+
+    // Merge the shards and run probe → estimation → aggregation once.
+    let merged = DapSession::merge(shards).expect("compatible shards");
+    for g in 0..merged.group_count() {
+        println!(
+            "group {g}: eps_t = {:<7} quota = {:>6}  ingested = {:>6}",
+            format!("{}", merged.plan().budgets[g]),
+            merged.quota(g),
+            merged.ingested(g),
+        );
+    }
+    let outputs = merged.finalize(&Scheme::ALL).expect("finalizable session");
+
+    println!("\ntrue honest mean: {truth:+.4}  (probed side: {:?})", outputs[0].side);
+    println!("{:<12} {:>9} {:>9}", "scheme", "estimate", "error");
+    for (scheme, out) in Scheme::ALL.iter().zip(&outputs) {
+        println!("{:<12} {:>+9.4} {:>+9.4}", scheme.label(), out.mean, out.mean - truth);
+    }
+
+    // The session pipeline is exactly the one-shot simulation: same seeds,
+    // same bits.
+    let reference = Dap::new(config, PiecewiseMechanism::new)
+        .expect("valid config")
+        .run_schemes(&population, &attack, &Scheme::ALL, &mut estimation::rng::seeded(7))
+        .expect("valid run");
+    // (The reference consumes its own RNG from the seed, including the
+    // population draws above, so compare only qualitatively here.)
+    let gap = (reference[1].mean - outputs[1].mean).abs();
+    println!("\none-shot driver (fresh stream) EMF* estimate: {:+.4}", reference[1].mean);
+    assert!(gap < 0.2, "streaming and one-shot estimates far apart: {gap}");
+}

@@ -34,8 +34,9 @@ fn main() {
             UniformAttack::of_upper(0.5, 1.0),
         );
         let dap =
-            Dap::new(DapConfig::paper_default(eps, Scheme::EmfStar), PiecewiseMechanism::new);
-        let out = dap.run(&population, &attack, &mut rng);
+            Dap::new(DapConfig::paper_default(eps, Scheme::EmfStar), PiecewiseMechanism::new)
+                .expect("valid config");
+        let out = dap.run(&population, &attack, &mut rng).expect("valid run");
         let mse = (out.mean - truth) * (out.mean - truth);
         let c = PiecewiseMechanism::new(Epsilon::of(eps)).c();
         let bound = attack.utility_loss_bound(

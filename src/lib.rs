@@ -33,10 +33,20 @@
 //! let dap = Dap::new(
 //!     DapConfig { max_d_out: 64, ..DapConfig::paper_default(1.0, Scheme::EmfStar) },
 //!     PiecewiseMechanism::new,
-//! );
-//! let output = dap.run(&population, &attack, &mut rng);
+//! )
+//! .expect("valid config");
+//! let output = dap.run(&population, &attack, &mut rng).expect("valid run");
 //! assert!((output.mean - truth).abs() < 0.2);
 //! ```
+//!
+//! ## Client/aggregator split
+//!
+//! `Dap::run` is a thin simulation driver over the streaming service API:
+//! grouping yields per-user [`protocol::client::ClientAssignment`]s, clients
+//! perturb locally, and a [`protocol::DapSession`] ingests the reports
+//! incrementally (rejecting malformed input as [`protocol::DapError`]s),
+//! merges shards from independent workers, and finalizes. See
+//! `examples/streaming_aggregator.rs` for driving the split API directly.
 
 pub use dap_attack as attack;
 pub use dap_core as protocol;
@@ -62,6 +72,8 @@ pub mod prelude {
         Duchi, Epsilon, KRandomizedResponse, NumericMechanism, PiecewiseMechanism, SquareWave,
     };
     pub use crate::protocol::{
-        aggregate, Dap, DapConfig, DapOutput, Population, PrivacyAccountant, Scheme, Weighting,
+        aggregate, ClientAssignment, Dap, DapConfig, DapError, DapOutput, DapSession,
+        EstimationMode, GroupPlan, Population, PrivacyAccountant, Scheme, SwDap, SwDapConfig,
+        Weighting,
     };
 }

@@ -23,13 +23,11 @@ fn evading_coalition_breaks_baseline_but_not_dap() {
     // poison the ε_β batch.
     let mut cfg = BaselineConfig::with_eps(eps);
     cfg.max_d_out = 64;
-    let baseline = BaselineProtocol::new(cfg, PiecewiseMechanism::new);
-    let evaded = baseline.run_with_evading_attacker(
-        &population,
-        &attack,
-        0.0,
-        &mut estimation::rng::seeded(32),
-    );
+    let baseline =
+        BaselineProtocol::new(cfg, PiecewiseMechanism::new).expect("valid config");
+    let evaded = baseline
+        .run_with_evading_attacker(&population, &attack, 0.0, &mut estimation::rng::seeded(32))
+        .expect("valid run");
     let baseline_err = (evaded.mean - truth).abs();
 
     // DAP vs the same coalition. Under DAP the attacker cannot target a
@@ -37,8 +35,9 @@ fn evading_coalition_breaks_baseline_but_not_dap() {
     // simply attacking every group, which is the standard model.
     let mut dcfg = DapConfig::paper_default(eps, Scheme::EmfStar);
     dcfg.max_d_out = 64;
-    let dap = Dap::new(dcfg, PiecewiseMechanism::new);
-    let out = dap.run(&population, &attack, &mut estimation::rng::seeded(32));
+    let dap = Dap::new(dcfg, PiecewiseMechanism::new).expect("valid config");
+    let out =
+        dap.run(&population, &attack, &mut estimation::rng::seeded(32)).expect("valid run");
     let dap_err = (out.mean - truth).abs();
 
     // The evading coalition hides from the baseline probe...
@@ -57,8 +56,10 @@ fn baseline_still_works_against_naive_attackers() {
     let attack = UniformAttack::of_upper(0.5, 1.0);
     let mut cfg = BaselineConfig::with_eps(1.0);
     cfg.max_d_out = 64;
-    let baseline = BaselineProtocol::new(cfg, PiecewiseMechanism::new);
-    let out = baseline.run(&population, &attack, &mut estimation::rng::seeded(34));
+    let baseline =
+        BaselineProtocol::new(cfg, PiecewiseMechanism::new).expect("valid config");
+    let out =
+        baseline.run(&population, &attack, &mut estimation::rng::seeded(34)).expect("valid run");
     assert!((out.mean - truth).abs() < 0.15, "estimate {} truth {}", out.mean, truth);
     assert!((out.gamma - 0.25).abs() < 0.1, "gamma {}", out.gamma);
 }

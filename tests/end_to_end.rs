@@ -9,7 +9,7 @@ fn small_dap(
 ) -> Dap<impl Fn(Epsilon) -> PiecewiseMechanism> {
     let mut cfg = DapConfig::paper_default(eps, scheme);
     cfg.max_d_out = 64; // debug-mode speed
-    Dap::new(cfg, PiecewiseMechanism::new)
+    Dap::new(cfg, PiecewiseMechanism::new).expect("valid config")
 }
 
 /// DAP (any scheme) beats Ostrich on every dataset under the default
@@ -34,7 +34,7 @@ fn dap_beats_ostrich_on_all_datasets() {
         let ostrich_err = (Ostrich.estimate_mean(&reports, &mut rng) - truth).abs();
 
         let dap = small_dap(eps, Scheme::EmfStar);
-        let out = dap.run(&population, &attack, &mut rng);
+        let out = dap.run(&population, &attack, &mut rng).expect("valid run");
         let dap_err = (out.mean - truth).abs();
         assert!(
             dap_err < ostrich_err,
@@ -55,7 +55,7 @@ fn left_side_attacks_are_probed_and_corrected() {
         UniformAttack::new(Anchor::OfLower(1.0), Anchor::OfLower(0.5)); // [-C, -C/2]
 
     let dap = small_dap(0.5, Scheme::EmfStar);
-    let out = dap.run(&population, &attack, &mut rng);
+    let out = dap.run(&population, &attack, &mut rng).expect("valid run");
     assert_eq!(out.side, Side::Left);
     assert!((out.mean - truth).abs() < 0.25, "estimate {} truth {}", out.mean, truth);
 }
@@ -72,7 +72,7 @@ fn no_attack_regression() {
     let truth = estimation::stats::mean(&honest);
     let population = Population::with_gamma(honest, 0.0);
     for scheme in [Scheme::EmfStar, Scheme::CemfStar] {
-        let out = small_dap(1.0, scheme).run(&population, &NoAttack, &mut rng);
+        let out = small_dap(1.0, scheme).run(&population, &NoAttack, &mut rng).expect("valid run");
         assert!(
             (out.mean - truth).abs() < 0.12,
             "{}: estimate {} vs truth {}",
@@ -82,7 +82,8 @@ fn no_attack_regression() {
         );
         assert!(out.gamma < 0.2, "{}: phantom gamma {}", scheme.label(), out.gamma);
     }
-    let out = small_dap(1.0, Scheme::Emf).run(&population, &NoAttack, &mut rng);
+    let out =
+        small_dap(1.0, Scheme::Emf).run(&population, &NoAttack, &mut rng).expect("valid run");
     assert!(
         (out.mean - truth).abs() < 0.5,
         "DAP_EMF unattacked estimate diverged: {} vs {}",
@@ -100,7 +101,8 @@ fn dap_survives_heavy_coalitions() {
     let truth = estimation::stats::mean(&honest);
     let population = Population::with_gamma(honest, 0.4);
     let attack = UniformAttack::of_upper(0.5, 1.0);
-    let out = small_dap(1.0, Scheme::CemfStar).run(&population, &attack, &mut rng);
+    let out =
+        small_dap(1.0, Scheme::CemfStar).run(&population, &attack, &mut rng).expect("valid run");
     assert!((out.mean - truth).abs() < 0.3, "estimate {} truth {}", out.mean, truth);
     assert!(out.gamma > 0.2, "gamma {}", out.gamma);
 }
@@ -113,7 +115,7 @@ fn pipeline_is_deterministic() {
         let honest = Dataset::Retirement.generate_signed(6_000, &mut rng);
         let population = Population::with_gamma(honest, 0.2);
         let attack = UniformAttack::of_upper(0.75, 1.0);
-        small_dap(0.5, Scheme::EmfStar).run(&population, &attack, &mut rng).mean
+        small_dap(0.5, Scheme::EmfStar).run(&population, &attack, &mut rng).expect("valid run").mean
     };
     assert_eq!(run(), run());
 }
@@ -162,7 +164,8 @@ fn single_batch_defenses_run_on_poisoned_reports() {
     // The detector runs and stays sane, but brings no decisive improvement —
     // exactly the motivation for collective filtering.
     assert!(iforest_err.is_finite());
-    let dap_out = small_dap(1.0, Scheme::EmfStar).run(&sparse, &tail_attack, &mut rng);
+    let dap_out =
+        small_dap(1.0, Scheme::EmfStar).run(&sparse, &tail_attack, &mut rng).expect("valid run");
     let dap_err = (dap_out.mean - truth).abs();
     assert!(
         dap_err < ostrich_err && dap_err < iforest_err,

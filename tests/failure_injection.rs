@@ -11,10 +11,22 @@ fn majority_coalitions_are_rejected() {
 }
 
 #[test]
-#[should_panic(expected = "need ε ≥ ε₀")]
 fn dap_rejects_eps_below_eps0() {
     let cfg = DapConfig { eps: 0.01, ..DapConfig::paper_default(0.01, Scheme::Emf) };
-    let _ = Dap::new(cfg, PiecewiseMechanism::new);
+    let err = Dap::new(cfg, PiecewiseMechanism::new).err().expect("ε < ε₀ must be rejected");
+    assert!(matches!(err, DapError::InvalidBudget { .. }), "unexpected error {err}");
+}
+
+/// An empty population is a typed error, not a panic.
+#[test]
+fn dap_rejects_empty_population() {
+    let population = Population { honest: vec![], byzantine: 0 };
+    let cfg = DapConfig { max_d_out: 16, ..DapConfig::paper_default(0.25, Scheme::Emf) };
+    let err = Dap::new(cfg, PiecewiseMechanism::new)
+        .expect("valid config")
+        .run(&population, &NoAttack, &mut estimation::rng::seeded(80))
+        .unwrap_err();
+    assert!(matches!(err, DapError::EmptyPopulation), "unexpected error {err}");
 }
 
 #[test]
@@ -32,7 +44,10 @@ fn silent_coalition_degrades_gracefully() {
     let truth = estimation::stats::mean(&honest);
     let population = Population { honest, byzantine: 2_000 };
     let cfg = DapConfig { max_d_out: 64, ..DapConfig::paper_default(1.0, Scheme::EmfStar) };
-    let out = Dap::new(cfg, PiecewiseMechanism::new).run(&population, &NoAttack, &mut rng);
+    let out = Dap::new(cfg, PiecewiseMechanism::new)
+        .expect("valid config")
+        .run(&population, &NoAttack, &mut rng)
+        .expect("valid run");
     assert!((out.mean - truth).abs() < 0.12, "estimate {} truth {}", out.mean, truth);
 }
 
@@ -44,7 +59,9 @@ fn constant_population_is_estimated() {
     let population = Population::with_gamma(vec![0.5; 10_000], 0.2);
     let cfg = DapConfig { max_d_out: 64, ..DapConfig::paper_default(1.0, Scheme::CemfStar) };
     let out = Dap::new(cfg, PiecewiseMechanism::new)
-        .run(&population, &UniformAttack::of_upper(0.75, 1.0), &mut rng);
+        .expect("valid config")
+        .run(&population, &UniformAttack::of_upper(0.75, 1.0), &mut rng)
+        .expect("valid run");
     assert!((out.mean - 0.5).abs() < 0.15, "estimate {}", out.mean);
 }
 
@@ -56,7 +73,9 @@ fn edge_pinned_population_is_estimated() {
     let population = Population::with_gamma(vec![-1.0; 10_000], 0.25);
     let cfg = DapConfig { max_d_out: 64, ..DapConfig::paper_default(0.5, Scheme::EmfStar) };
     let out = Dap::new(cfg, PiecewiseMechanism::new)
-        .run(&population, &UniformAttack::of_upper(0.5, 1.0), &mut rng);
+        .expect("valid config")
+        .run(&population, &UniformAttack::of_upper(0.5, 1.0), &mut rng)
+        .expect("valid run");
     assert!((-1.0..=1.0).contains(&out.mean));
     assert!(out.mean < -0.5, "estimate {} should stay near -1", out.mean);
 }
@@ -68,7 +87,9 @@ fn tiny_population_runs() {
     let population = Population { honest: vec![0.3, -0.2, 0.1], byzantine: 1 };
     let cfg = DapConfig { max_d_out: 16, ..DapConfig::paper_default(0.25, Scheme::Emf) };
     let out = Dap::new(cfg, PiecewiseMechanism::new)
-        .run(&population, &UniformAttack::of_upper(0.5, 1.0), &mut rng);
+        .expect("valid config")
+        .run(&population, &UniformAttack::of_upper(0.5, 1.0), &mut rng)
+        .expect("valid run");
     assert!(out.mean.is_finite());
 }
 

@@ -8,7 +8,7 @@ use differential_aggregation::prelude::*;
 fn duchi_dap(eps: f64, scheme: Scheme) -> Dap<impl Fn(Epsilon) -> Duchi> {
     let mut cfg = DapConfig::paper_default(eps, scheme);
     cfg.max_d_out = 64;
-    Dap::new(cfg, Duchi::new)
+    Dap::new(cfg, Duchi::new).expect("valid config")
 }
 
 /// Duchi's bounded two-atom domain shrinks the attack surface: even Ostrich
@@ -22,7 +22,8 @@ fn dap_runs_on_duchi_reports() {
     let population = Population::with_gamma(honest, 0.25);
     // The strongest Duchi attack: all reports at the +t atom.
     let attack = PointAttack { value: Anchor::OfUpper(1.0) };
-    let out = duchi_dap(1.0, Scheme::EmfStar).run(&population, &attack, &mut rng);
+    let out =
+        duchi_dap(1.0, Scheme::EmfStar).run(&population, &attack, &mut rng).expect("valid run");
     assert!((-1.0..=1.0).contains(&out.mean));
     // The probe must not be *worse* than Ostrich on the same reports.
     let mech = Duchi::new(Epsilon::of(1.0));
@@ -106,8 +107,8 @@ fn single_group_dap_is_valid() {
         max_d_out: 64,
         ..DapConfig::paper_default(0.0625, Scheme::EmfStar)
     };
-    let dap = Dap::new(cfg, PiecewiseMechanism::new);
-    let out = dap.run(&population, &UniformAttack::of_upper(0.5, 1.0), &mut rng);
+    let dap = Dap::new(cfg, PiecewiseMechanism::new).expect("valid config");
+    let out = dap.run(&population, &UniformAttack::of_upper(0.5, 1.0), &mut rng).expect("valid run");
     assert_eq!(out.groups.len(), 1);
     assert_eq!(out.groups[0].weight, 1.0);
     assert!((out.mean - truth).abs() < 0.3, "estimate {} truth {}", out.mean, truth);
@@ -126,8 +127,9 @@ fn weighting_rules_all_work_end_to_end() {
             max_d_out: 64,
             ..DapConfig::paper_default(1.0, Scheme::CemfStar)
         };
-        let dap = Dap::new(cfg, PiecewiseMechanism::new);
-        let out = dap.run(&population, &UniformAttack::of_upper(0.5, 1.0), &mut rng);
+        let dap = Dap::new(cfg, PiecewiseMechanism::new).expect("valid config");
+        let out =
+            dap.run(&population, &UniformAttack::of_upper(0.5, 1.0), &mut rng).expect("valid run");
         assert!(
             (out.mean - truth).abs() < 0.25,
             "{weighting:?}: estimate {} truth {}",
