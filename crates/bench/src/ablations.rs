@@ -7,150 +7,202 @@
 //! * `ablation-mechanism` — PM-DAP vs Duchi-DAP under the same coalition
 //!   (§V-D's mechanism-generality claim).
 
-use crate::common::{build_population, dap_config, mse_over_trials, sci, stream_id, ExpOptions, PoiRange};
-use dap_core::baseline::{BaselineConfig, BaselineProtocol};
-use dap_core::{Dap, Scheme, Weighting};
+use crate::cell::{AttackSpec, Cell, CellKind, ExperimentId, MechKind, SchemeSet};
+use crate::common::{sci, ExpOptions, PoiRange};
+use crate::engine::{run_cells, ResultMap};
+use crate::{out, outln};
+use dap_core::{Scheme, Weighting};
 use dap_datasets::Dataset;
-use dap_ldp::{Duchi, PiecewiseMechanism};
 
 /// ε axis shared by the ablations.
 pub const EPS_AXIS: [f64; 4] = [0.25, 0.5, 1.0, 2.0];
 
-/// Weight-rule ablation (Taxi, Poi[C/2, C], γ = 0.25, DAP_EMF*).
-pub fn run_weights(opts: &ExpOptions) {
-    println!("== Ablation: inter-group weighting rule (Taxi, Poi[C/2,C], gamma = 0.25, DAP_EMF*) ==");
-    print!("{:<15}", "weighting");
+/// The weighting rules under comparison, with their row labels.
+pub const WEIGHTINGS: [(&str, Weighting); 3] = [
+    ("Algorithm5", Weighting::AlgorithmFive),
+    ("ProofOptimal", Weighting::ProofOptimal),
+    ("Uniform", Weighting::Uniform),
+];
+
+/// Budget-split α axis.
+pub const ALPHAS: [f64; 4] = [1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0];
+
+fn weights_cell(weighting: Weighting, eps: f64) -> Cell {
+    Cell::new(
+        ExperimentId::AblationWeights,
+        "",
+        CellKind::PmMse {
+            dataset: Dataset::Taxi,
+            gamma: 0.25,
+            eps,
+            attack: AttackSpec::Poi(PoiRange::TopHalf),
+            schemes: SchemeSet::One(Scheme::EmfStar),
+            defenses: false,
+            weighting,
+            mechanism: MechKind::Pm,
+        },
+    )
+}
+
+/// Weight-rule ablation cells.
+pub fn weights_cells(_opts: &ExpOptions) -> Vec<Cell> {
+    WEIGHTINGS
+        .into_iter()
+        .flat_map(|(_, w)| EPS_AXIS.into_iter().map(move |eps| weights_cell(w, eps)))
+        .collect()
+}
+
+/// Weight-rule ablation table (Taxi, Poi[C/2, C], γ = 0.25, DAP_EMF*).
+pub fn weights_render(_opts: &ExpOptions, r: &ResultMap) -> String {
+    let mut s = String::new();
+    outln!(s, "== Ablation: inter-group weighting rule (Taxi, Poi[C/2,C], gamma = 0.25, DAP_EMF*) ==");
+    out!(s, "{:<15}", "weighting");
     for eps in EPS_AXIS {
-        print!(" {:>10}", format!("eps={eps}"));
+        out!(s, " {:>10}", format!("eps={eps}"));
     }
-    println!();
-    for (wi, (label, weighting)) in [
-        ("Algorithm5", Weighting::AlgorithmFive),
-        ("ProofOptimal", Weighting::ProofOptimal),
-        ("Uniform", Weighting::Uniform),
-    ]
-    .into_iter()
-    .enumerate()
-    {
-        print!("{:<15}", label);
-        for (ei, eps) in EPS_AXIS.into_iter().enumerate() {
-            let mse = mse_over_trials(opts, stream_id(&[1100, wi, ei]), |rng| {
-                let (population, truth) = build_population(Dataset::Taxi, opts.n, 0.25, rng);
-                let cfg = dap_config(opts, eps, Scheme::EmfStar);
-                let cfg = dap_core::DapConfig { weighting, ..cfg };
-                let out = Dap::new(cfg, PiecewiseMechanism::new)
-                    .expect("valid config")
-                    .run(&population, &PoiRange::TopHalf.attack(), rng)
-                    .expect("valid run");
-                (out.mean, truth)
-            });
-            print!(" {:>10}", sci(mse));
+    outln!(s);
+    for (label, weighting) in WEIGHTINGS {
+        out!(s, "{:<15}", label);
+        for eps in EPS_AXIS {
+            out!(s, " {:>10}", sci(r.get(&weights_cell(weighting, eps))[0]));
         }
-        println!();
+        outln!(s);
     }
-    println!("\nnote: the paper's Algorithm 5 line 3 and its Theorem 6 proof derive different weights; this table measures the gap.\n");
+    outln!(s, "\nnote: the paper's Algorithm 5 line 3 and its Theorem 6 proof derive different weights; this table measures the gap.\n");
+    s
+}
+
+fn mechanism_cell(mechanism: MechKind, eps: f64) -> Cell {
+    Cell::new(
+        ExperimentId::AblationMechanism,
+        "",
+        CellKind::PmMse {
+            dataset: Dataset::Taxi,
+            gamma: 0.25,
+            eps,
+            attack: AttackSpec::PointTop,
+            schemes: SchemeSet::One(Scheme::EmfStar),
+            defenses: false,
+            weighting: Weighting::AlgorithmFive,
+            mechanism,
+        },
+    )
+}
+
+fn raw_mean_cell(mechanism: MechKind, eps: f64) -> Cell {
+    Cell::new(
+        ExperimentId::AblationMechanism,
+        "",
+        CellKind::RawMean {
+            dataset: Dataset::Taxi,
+            gamma: 0.25,
+            eps,
+            attack: AttackSpec::PointTop,
+            mechanism,
+        },
+    )
+}
+
+/// Mechanism-generality ablation cells.
+pub fn mechanism_cells(_opts: &ExpOptions) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for mech in [MechKind::Pm, MechKind::Duchi] {
+        for eps in EPS_AXIS {
+            cells.push(mechanism_cell(mech, eps));
+        }
+    }
+    for mech in [MechKind::Pm, MechKind::Duchi] {
+        for eps in EPS_AXIS {
+            cells.push(raw_mean_cell(mech, eps));
+        }
+    }
+    cells
 }
 
 /// Mechanism ablation: the same coalition and budget, PM vs Duchi as the
 /// underlying mechanism (Taxi, γ = 0.25, point attack at the domain top —
 /// the strongest attack both domains admit).
-pub fn run_mechanism(opts: &ExpOptions) {
-    println!("== Ablation: underlying mechanism (Taxi, gamma = 0.25, point attack at DR) ==");
-    print!("{:<22}", "pipeline");
+pub fn mechanism_render(_opts: &ExpOptions, r: &ResultMap) -> String {
+    let mut s = String::new();
+    outln!(s, "== Ablation: underlying mechanism (Taxi, gamma = 0.25, point attack at DR) ==");
+    out!(s, "{:<22}", "pipeline");
     for eps in EPS_AXIS {
-        print!(" {:>10}", format!("eps={eps}"));
+        out!(s, " {:>10}", format!("eps={eps}"));
     }
-    println!();
-    let attack = dap_attack::PointAttack { value: dap_attack::Anchor::OfUpper(1.0) };
-    for (mi, label) in ["PM + DAP_EMF*", "Duchi + DAP_EMF*"].into_iter().enumerate() {
-        print!("{:<22}", label);
-        for (ei, eps) in EPS_AXIS.into_iter().enumerate() {
-            let mse = mse_over_trials(opts, stream_id(&[1300, mi, ei]), |rng| {
-                let (population, truth) = build_population(Dataset::Taxi, opts.n, 0.25, rng);
-                let cfg = dap_config(opts, eps, Scheme::EmfStar);
-                let mean = if mi == 0 {
-                    Dap::new(cfg, PiecewiseMechanism::new)
-                        .expect("valid config")
-                        .run(&population, &attack, rng)
-                        .expect("valid run")
-                        .mean
-                } else {
-                    Dap::new(cfg, Duchi::new)
-                        .expect("valid config")
-                        .run(&population, &attack, rng)
-                        .expect("valid run")
-                        .mean
-                };
-                (mean, truth)
-            });
-            print!(" {:>10}", sci(mse));
+    outln!(s);
+    for (mech, label) in [(MechKind::Pm, "PM + DAP_EMF*"), (MechKind::Duchi, "Duchi + DAP_EMF*")] {
+        out!(s, "{:<22}", label);
+        for eps in EPS_AXIS {
+            out!(s, " {:>10}", sci(r.get(&mechanism_cell(mech, eps))[0]));
         }
-        println!();
+        outln!(s);
     }
     // Reference: undefended averages.
-    for (mi, label) in ["PM + Ostrich", "Duchi + Ostrich"].into_iter().enumerate() {
-        print!("{:<22}", label);
-        for (ei, eps) in EPS_AXIS.into_iter().enumerate() {
-            let mse = mse_over_trials(opts, stream_id(&[1310, mi, ei]), |rng| {
-                use dap_estimation::stats::mean;
-                use dap_ldp::NumericMechanism;
-                let (population, truth) = build_population(Dataset::Taxi, opts.n, 0.25, rng);
-                let reports: Vec<f64> = if mi == 0 {
-                    let mech = PiecewiseMechanism::new(dap_ldp::Epsilon::of(eps));
-                    let mut r: Vec<f64> =
-                        population.honest.iter().map(|&v| mech.perturb(v, rng)).collect();
-                    r.extend(dap_attack::Attack::reports(&attack, population.byzantine, &mech, rng));
-                    r
-                } else {
-                    let mech = Duchi::new(dap_ldp::Epsilon::of(eps));
-                    let mut r: Vec<f64> =
-                        population.honest.iter().map(|&v| mech.perturb(v, rng)).collect();
-                    r.extend(dap_attack::Attack::reports(&attack, population.byzantine, &mech, rng));
-                    r
-                };
-                (mean(&reports), truth)
-            });
-            print!(" {:>10}", sci(mse));
+    for (mech, label) in [(MechKind::Pm, "PM + Ostrich"), (MechKind::Duchi, "Duchi + Ostrich")] {
+        out!(s, "{:<22}", label);
+        for eps in EPS_AXIS {
+            out!(s, " {:>10}", sci(r.get(&raw_mean_cell(mech, eps))[0]));
         }
-        println!();
+        outln!(s);
     }
-    println!("\nexpected shape: Duchi's bounded two-atom domain shrinks the undefended bias; DAP narrows the gap on PM.\n");
+    outln!(s, "\nexpected shape: Duchi's bounded two-atom domain shrinks the undefended bias; DAP narrows the gap on PM.\n");
+    s
+}
+
+fn split_cell(probing: bool, alpha: f64) -> Cell {
+    Cell::new(
+        ExperimentId::AblationSplit,
+        "",
+        CellKind::BaselineSplit { dataset: Dataset::Taxi, gamma: 0.25, eps: 1.0, alpha, probing },
+    )
+}
+
+/// Budget-split ablation cells.
+pub fn split_cells(_opts: &ExpOptions) -> Vec<Cell> {
+    [false, true]
+        .into_iter()
+        .flat_map(|probing| ALPHAS.into_iter().map(move |alpha| split_cell(probing, alpha)))
+        .collect()
 }
 
 /// Budget-split ablation for the §IV baseline protocol (Taxi, γ = 0.25,
 /// ε = 1, Poi[C/2, C]).
-pub fn run_split(opts: &ExpOptions) {
-    println!("== Ablation: baseline protocol budget split (Taxi, gamma = 0.25, eps = 1) ==");
-    const ALPHAS: [f64; 4] = [1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0];
-    print!("{:<22}", "attacker");
+pub fn split_render(_opts: &ExpOptions, r: &ResultMap) -> String {
+    let mut s = String::new();
+    outln!(s, "== Ablation: baseline protocol budget split (Taxi, gamma = 0.25, eps = 1) ==");
+    out!(s, "{:<22}", "attacker");
     for alpha in ALPHAS {
-        print!(" {:>12}", format!("a={alpha}"));
+        out!(s, " {:>12}", format!("a={alpha}"));
     }
-    println!();
-    for (mode_i, mode) in ["naive", "probing-aware"].into_iter().enumerate() {
-        print!("{:<22}", mode);
-        for (ai, alpha) in ALPHAS.into_iter().enumerate() {
-            let mse = mse_over_trials(opts, stream_id(&[1200, mode_i, ai]), |rng| {
-                let (population, truth) = build_population(Dataset::Taxi, opts.n, 0.25, rng);
-                let cfg = BaselineConfig {
-                    alpha,
-                    max_d_out: opts.max_d_out,
-                    ..BaselineConfig::with_eps(1.0)
-                };
-                let proto =
-                    BaselineProtocol::new(cfg, PiecewiseMechanism::new).expect("valid config");
-                let attack = PoiRange::TopHalf.attack();
-                let out = if mode == "naive" {
-                    proto.run(&population, &attack, rng)
-                } else {
-                    proto.run_with_evading_attacker(&population, &attack, 0.0, rng)
-                }
-                .expect("valid run");
-                (out.mean, truth)
-            });
-            print!(" {:>12}", sci(mse));
+    outln!(s);
+    for (probing, label) in [(false, "naive"), (true, "probing-aware")] {
+        out!(s, "{:<22}", label);
+        for alpha in ALPHAS {
+            out!(s, " {:>12}", sci(r.get(&split_cell(probing, alpha))[0]));
         }
-        println!();
+        outln!(s);
     }
-    println!("\nexpected shape: naive rows flat-ish; probing-aware rows much worse everywhere — no split fixes the baseline's flaw (hence DAP).\n");
+    outln!(s, "\nexpected shape: naive rows flat-ish; probing-aware rows much worse everywhere — no split fixes the baseline's flaw (hence DAP).\n");
+    s
+}
+
+/// Enumerate → execute → print (one per ablation id).
+pub fn run_weights(opts: &ExpOptions) {
+    let cells = weights_cells(opts);
+    let results = run_cells(opts, &cells);
+    print!("{}", weights_render(opts, &ResultMap::from_results(&results)));
+}
+
+/// See [`run_weights`].
+pub fn run_split(opts: &ExpOptions) {
+    let cells = split_cells(opts);
+    let results = run_cells(opts, &cells);
+    print!("{}", split_render(opts, &ResultMap::from_results(&results)));
+}
+
+/// See [`run_weights`].
+pub fn run_mechanism(opts: &ExpOptions) {
+    let cells = mechanism_cells(opts);
+    let results = run_cells(opts, &cells);
+    print!("{}", mechanism_render(opts, &ResultMap::from_results(&results)));
 }

@@ -2,64 +2,127 @@
 //!
 //! ```text
 //! cargo run --release -p dap-bench --bin experiments -- <id> [flags]
+//! cargo run --release -p dap-bench --bin experiments -- merge <shard.json>... [--out merged.json]
 //!
 //! ids:    fig4 table1 fig5 fig6 fig7 fig8 fig9 fig10
-//!         ablation-weights ablation-split all
+//!         ablation-weights ablation-split ablation-mechanism all
 //! flags:  --n <users>          population per trial   (default 20000)
 //!         --trials <t>         trials per cell        (default 3)
 //!         --seed <s>           master seed            (default 42)
 //!         --max-dout <d>       EMF bucket cap         (default 128)
 //!         --paper-scale        n = 1e6, max-dout = 512
+//!         --out <path>         write results JSON (see crate::results)
+//!         --shard <i>/<n>      run partition i of n of the cell list and
+//!                              write its shard JSON to --out (required);
+//!                              `merge` reassembles shards, renders the
+//!                              tables and is bit-identical to an
+//!                              unsharded run
 //!         --bench-json <path>  run the experiment --bench-repeats times and
 //!                              write median wall-clock JSON (perf tracking)
 //!         --bench-repeats <r>  timed repeats for --bench-json (default 3)
 //! ```
 
+use dap_bench::cell::{Cell, ExperimentId};
 use dap_bench::common::{write_bench_json, ExpOptions};
-use dap_bench::{ablations, fig10, fig4, fig5, fig6, fig7, fig8, fig9, table1};
+use dap_bench::engine::{run_cells_subset, ResultMap};
+use dap_bench::results::{ResultSet, ShardInfo};
+use dap_datasets::PopulationCache;
+use std::ops::Range;
 use std::time::Instant;
+
+/// Flags the binary owns; `ExpOptions::parse_allowing` skips exactly these.
+const BINARY_FLAGS: [&str; 4] = ["--bench-json", "--bench-repeats", "--out", "--shard"];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let id = args.first().map(String::as_str).unwrap_or("help");
-    let opts = match ExpOptions::parse(&args) {
+    let id = args.first().map(String::as_str).unwrap_or("help").to_string();
+
+    if id == "help" || id == "--help" {
+        println!("usage: experiments <id> [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale] [--out PATH] [--shard I/N] [--bench-json PATH] [--bench-repeats R]");
+        println!("       experiments merge <shard.json>... [--out PATH]");
+        println!("ids: fig4 table1 fig5 fig6 fig7 fig8 fig9 fig10 ablation-weights ablation-split ablation-mechanism all");
+        return;
+    }
+    if id == "merge" {
+        merge_cmd(&args[1..]);
+        return;
+    }
+
+    let opts = match ExpOptions::parse_allowing(&args, &BINARY_FLAGS) {
         Ok(opts) => opts,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(2);
-        }
+        Err(msg) => fail(&msg),
     };
-    let bench_json = match flag_value(&args, "--bench-json") {
-        Ok(v) => v,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(2);
-        }
-    };
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|msg| fail(&msg));
+    let shard = parse_shard(&args).unwrap_or_else(|msg| fail(&msg));
+    let bench_json = flag_value(&args, "--bench-json").unwrap_or_else(|msg| fail(&msg));
     let bench_repeats: usize = match flag_value(&args, "--bench-repeats") {
         Ok(Some(v)) => match v.parse() {
             Ok(r) if r > 0 => r,
-            _ => {
-                eprintln!("error: invalid value '{v}' for flag --bench-repeats");
-                std::process::exit(2);
-            }
+            _ => fail(&format!("invalid value '{v}' for flag --bench-repeats")),
         },
         Ok(None) => 3,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(2);
-        }
+        Err(msg) => fail(&msg),
     };
-    // Timing JSON only makes sense for a single experiment; reject the
-    // aggregate id before hours of work, not after.
-    if bench_json.is_some() && (id == "all" || id == "help" || id == "--help") {
-        eprintln!("error: --bench-json requires a single experiment id (got '{id}')");
-        std::process::exit(2);
+    // Timing JSON only makes sense for a complete single experiment;
+    // reject the aggregate id before hours of work, not after.
+    if bench_json.is_some() && (id == "all" || shard.is_some()) {
+        fail(&format!("--bench-json requires a single unsharded experiment id (got '{id}')"));
     }
 
-    if id == "help" || id == "--help" {
-        println!("usage: experiments <id> [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale] [--bench-json PATH] [--bench-repeats R]");
-        println!("ids: fig4 table1 fig5 fig6 fig7 fig8 fig9 fig10 ablation-weights ablation-split ablation-mechanism all");
+    let ids: Vec<ExperimentId> = if id == "all" {
+        ExperimentId::ALL.to_vec()
+    } else {
+        match ExperimentId::from_name(&id) {
+            Some(e) => vec![e],
+            None => fail(&format!("unknown experiment id '{id}'; run `experiments help`")),
+        }
+    };
+
+    // Enumerate the full (concatenated) cell list once; indices in shard
+    // files and result sets refer to this enumeration.
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut segments: Vec<(ExperimentId, Range<usize>)> = Vec::new();
+    for e in &ids {
+        let start = cells.len();
+        cells.extend(e.cells(&opts));
+        segments.push((*e, start..cells.len()));
+    }
+
+    if let Some((shard_index, shard_count)) = shard {
+        // Shard mode: run a deterministic partition, write its JSON, no
+        // tables (partial results cannot render full tables).
+        let Some(path) = out_path else {
+            fail("--shard requires --out <path> for the shard JSON");
+        };
+        let start = Instant::now();
+        let indices: Vec<usize> =
+            (0..cells.len()).filter(|i| i % shard_count == shard_index).collect();
+        let results = run_cells_subset(&opts, &cells, &indices);
+        let set = ResultSet::build(
+            &id,
+            &opts,
+            Some(ShardInfo { index: shard_index, count: shard_count, cells_total: cells.len() }),
+            &cells,
+            &results,
+        );
+        if let Err(e) = std::fs::write(&path, set.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[shard {}/{}: {} of {} cells in {:.1?} -> {}]",
+            shard_index,
+            shard_count,
+            indices.len(),
+            cells.len(),
+            start.elapsed(),
+            path
+        );
         return;
     }
 
@@ -68,51 +131,166 @@ fn main() {
         opts.n, opts.trials, opts.seed, opts.max_d_out
     );
     let start = Instant::now();
-    let mut ran = false;
     let mut timed_ms: Vec<f64> = Vec::new();
-    let mut run = |name: &str, f: &dyn Fn(&ExpOptions)| {
-        if id == name || id == "all" {
-            let timing = bench_json.is_some() && id == name;
-            let repeats = if timing { bench_repeats } else { 1 };
-            for rep in 0..repeats {
-                let t = Instant::now();
-                f(&opts);
-                let ms = t.elapsed().as_secs_f64() * 1e3;
-                if timing {
-                    timed_ms.push(ms);
-                    eprintln!("[{name} repeat {} of {repeats}: {ms:.1} ms]", rep + 1);
-                } else {
-                    eprintln!("[{name} done in {:.1?}]", t.elapsed());
-                }
+    let mut all_results = Vec::new();
+    for (e, range) in &segments {
+        let name = e.name();
+        let timing = bench_json.is_some();
+        let repeats = if timing { bench_repeats } else { 1 };
+        let indices: Vec<usize> = range.clone().collect();
+        for rep in 0..repeats {
+            if timing {
+                // Timed repeats measure the cold path the baseline was
+                // captured on: population generation included.
+                PopulationCache::global().clear();
             }
-            ran = true;
+            let t = Instant::now();
+            let results = run_cells_subset(&opts, &cells, &indices);
+            print!("{}", e.render(&opts, &ResultMap::from_results(&results)));
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            if timing {
+                timed_ms.push(ms);
+                eprintln!("[{name} repeat {} of {repeats}: {ms:.1} ms]", rep + 1);
+            } else {
+                eprintln!("[{name} done in {:.1?}]", t.elapsed());
+            }
+            if rep + 1 == repeats {
+                all_results.extend(results);
+            }
         }
-    };
+    }
 
-    run("fig4", &fig4::run);
-    run("table1", &table1::run);
-    run("fig5", &fig5::run);
-    run("fig6", &fig6::run);
-    run("fig7", &fig7::run);
-    run("fig8", &fig8::run);
-    run("fig9", &fig9::run);
-    run("fig10", &fig10::run);
-    run("ablation-weights", &ablations::run_weights);
-    run("ablation-split", &ablations::run_split);
-    run("ablation-mechanism", &ablations::run_mechanism);
-
-    if !ran {
-        eprintln!("unknown experiment id '{id}'; run `experiments help`");
-        std::process::exit(2);
+    if id == "all" {
+        // The paper-scale win the population cache buys must be observable
+        // without a profiler: strictly fewer generations (misses) than
+        // consumers (hits + misses) proves cross-cell reuse.
+        let stats = PopulationCache::global().stats();
+        eprintln!(
+            "[population cache: {} hits, {} misses, {} evictions — {} generations served {} requests]",
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.misses,
+            stats.hits + stats.misses
+        );
+    }
+    if let Some(path) = out_path {
+        let set = ResultSet::build(&id, &opts, None, &cells, &all_results);
+        if let Err(e) = std::fs::write(&path, set.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[wrote {path}]");
     }
     if let Some(path) = bench_json {
-        if let Err(e) = write_bench_json(&path, id, &opts, &timed_ms) {
+        if let Err(e) = write_bench_json(&path, &id, &opts, &timed_ms) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         }
         eprintln!("[wrote {path}]");
     }
     eprintln!("[total {:.1?}]", start.elapsed());
+}
+
+/// `experiments merge <shard.json>... [--out merged.json]`: reassembles a
+/// sharded run, verifies option/coordinate compatibility against a fresh
+/// enumeration, renders the tables exactly as an unsharded run would, and
+/// optionally writes the combined JSON.
+fn merge_cmd(args: &[String]) {
+    let out_path = flag_value(args, "--out").unwrap_or_else(|msg| fail(&msg));
+    let paths: Vec<&String> = {
+        // Everything that isn't --out and isn't --out's value is a shard
+        // file path.
+        let mut paths = Vec::new();
+        let mut skip = false;
+        for (i, a) in args.iter().enumerate() {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a == "--out" {
+                skip = true;
+                continue;
+            }
+            if a.starts_with("--") {
+                fail(&format!("unknown flag {a} for merge"));
+            }
+            paths.push(&args[i]);
+        }
+        paths
+    };
+    if paths.is_empty() {
+        fail("merge needs at least one shard JSON path");
+    }
+
+    let mut shards = Vec::new();
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => fail(&format!("cannot read {path}: {e}")),
+        };
+        match ResultSet::from_json(&text) {
+            Ok(set) => shards.push(set),
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+    }
+    let merged = match ResultSet::merge(shards) {
+        Ok(m) => m,
+        Err(e) => fail(&format!("merge failed: {e}")),
+    };
+
+    // Re-enumerate and verify the file's coordinates against this build.
+    let opts = merged.options;
+    let ids: Vec<ExperimentId> = if merged.experiment == "all" {
+        ExperimentId::ALL.to_vec()
+    } else {
+        match ExperimentId::from_name(&merged.experiment) {
+            Some(e) => vec![e],
+            None => fail(&format!("unknown experiment '{}' in shard files", merged.experiment)),
+        }
+    };
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut segments: Vec<(ExperimentId, Range<usize>)> = Vec::new();
+    for e in &ids {
+        let start = cells.len();
+        cells.extend(e.cells(&opts));
+        segments.push((*e, start..cells.len()));
+    }
+    if let Err(e) = merged.verify_against(&cells) {
+        fail(&format!("merge failed: {e}"));
+    }
+
+    println!(
+        "# options: n = {}, trials = {}, seed = {}, max_d_out = {}\n",
+        opts.n, opts.trials, opts.seed, opts.max_d_out
+    );
+    let map = merged.result_map();
+    for (e, _) in &segments {
+        print!("{}", e.render(&opts, &map));
+    }
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, merged.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[wrote {path}]");
+    }
+    eprintln!("[merged {} shards, {} cells]", paths.len(), merged.cells.len());
+}
+
+/// `--shard i/n` → `(i, n)`.
+fn parse_shard(args: &[String]) -> Result<Option<(usize, usize)>, String> {
+    let Some(v) = flag_value(args, "--shard")? else {
+        return Ok(None);
+    };
+    let parse = |spec: &str| -> Option<(usize, usize)> {
+        let (i, n) = spec.split_once('/')?;
+        let (i, n) = (i.parse().ok()?, n.parse().ok()?);
+        (n >= 1 && i < n).then_some((i, n))
+    };
+    parse(&v)
+        .map(Some)
+        .ok_or_else(|| format!("invalid value '{v}' for flag --shard (expected i/n with i < n)"))
 }
 
 /// Value of `flag` in `args`: `Ok(None)` when absent, an error when the

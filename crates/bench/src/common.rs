@@ -20,7 +20,7 @@ use std::io::Write;
 use std::sync::Arc;
 
 /// Global experiment options parsed from the command line.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExpOptions {
     /// Total population size N per trial.
     pub n: usize,
@@ -41,11 +41,20 @@ impl Default for ExpOptions {
 
 impl ExpOptions {
     /// Parses `--n`, `--trials`, `--seed`, `--max-dout`, `--paper-scale`
-    /// from an argument list. Unknown flags are ignored (the binary owns
-    /// them), but a recognized flag whose value is missing or fails to
-    /// parse is an error naming the flag — `--n 20k` must not silently run
-    /// the default N.
+    /// from an argument list. An **unknown** `--flag` is an error — a typo
+    /// like `--trails 10` must not silently run the default — and a
+    /// recognized flag whose value is missing or fails to parse is an
+    /// error naming the flag (`--n 20k` must not silently run the default
+    /// N). Non-flag tokens (the experiment id, file paths) are skipped.
     pub fn parse(args: &[String]) -> Result<Self, String> {
+        Self::parse_allowing(args, &[])
+    }
+
+    /// [`ExpOptions::parse`] with an allowlist of additional flags owned
+    /// by the caller (the `experiments` binary passes its own — e.g.
+    /// `--shard`, `--out` — here; their values never start with `--`, so
+    /// they are skipped as non-flag tokens).
+    pub fn parse_allowing(args: &[String], allowed: &[&str]) -> Result<Self, String> {
         fn grab<T: std::str::FromStr>(
             flag: &str,
             value: Option<&String>,
@@ -67,7 +76,12 @@ impl ExpOptions {
                     opts.n = 1_000_000;
                     opts.max_d_out = 512;
                 }
-                _ => {}
+                flag if flag.starts_with("--") && !allowed.contains(&flag) => {
+                    return Err(format!(
+                        "unknown flag {flag}; run `experiments help` for the flag list"
+                    ));
+                }
+                _ => {} // positional token (experiment id, shard file, …)
             }
         }
         Ok(opts)
@@ -199,7 +213,7 @@ pub fn build_population<R: RngCore + ?Sized>(
 ///
 /// Concrete (not `dyn`) so the protocol's RNG-generic hot paths
 /// monomorphize all the way down to inlined draws.
-fn trial_rng(opts: &ExpOptions, stream: u64, t: usize) -> StdRng {
+pub fn trial_rng(opts: &ExpOptions, stream: u64, t: usize) -> StdRng {
     derive(opts.seed, stream.wrapping_mul(1_000_003).wrapping_add(t as u64))
 }
 
@@ -328,9 +342,9 @@ mod tests {
     use dap_estimation::rng::seeded;
 
     #[test]
-    fn parse_reads_flags_and_ignores_junk() {
+    fn parse_reads_flags_and_skips_positionals() {
         let args: Vec<String> =
-            ["--n", "5000", "--bogus", "--trials", "7", "--seed", "9", "--max-dout", "32"]
+            ["fig7", "--n", "5000", "--trials", "7", "--seed", "9", "--max-dout", "32"]
                 .iter()
                 .map(|s| s.to_string())
                 .collect();
@@ -339,6 +353,21 @@ mod tests {
         assert_eq!(opts.trials, 7);
         assert_eq!(opts.seed, 9);
         assert_eq!(opts.max_d_out, 32);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags_unless_allowlisted() {
+        let args: Vec<String> =
+            ["--trails", "10"].iter().map(|s| s.to_string()).collect();
+        let err = ExpOptions::parse(&args).expect_err("typo'd flag must not run defaults");
+        assert!(err.contains("--trails"), "unhelpful error: {err}");
+
+        let args: Vec<String> =
+            ["--shard", "0/2", "--n", "5000"].iter().map(|s| s.to_string()).collect();
+        assert!(ExpOptions::parse(&args).is_err(), "--shard is the binary's, not ours");
+        let opts =
+            ExpOptions::parse_allowing(&args, &["--shard"]).expect("allowlisted flag");
+        assert_eq!(opts.n, 5000);
     }
 
     #[test]

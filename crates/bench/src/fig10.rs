@@ -1,57 +1,86 @@
 //! Fig. 10: robustness to evasion — MSE vs the evasive fraction `a`
 //! (ε = 1/2, γ = 0.25, decoys at −C/2, true poison on [C/2, C]).
+//!
+//! One cell per (dataset, a): all three schemes read one shared protocol
+//! execution. The Eq. 20 bound row is a closed form rendered without a
+//! cell.
 
-use crate::common::{build_population, dap_config, mse_over_trials, sci, stream_id, ExpOptions};
-use dap_attack::{Anchor, EvasionAttack, UniformAttack};
-use dap_core::{Dap, Scheme};
+use crate::cell::{AttackSpec, Cell, CellKind, ExperimentId, MechKind, SchemeSet};
+use crate::common::{sci, ExpOptions};
+use crate::engine::{run_cells, ResultMap};
+use crate::{out, outln};
+use dap_core::{Scheme, Weighting};
 use dap_datasets::Dataset;
 use dap_ldp::{Epsilon, PiecewiseMechanism};
 
 /// The evasive-fraction axis.
 pub const A_AXIS: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
 
-/// Runs the four dataset panels plus the Eq. 20 bound row.
-pub fn run(opts: &ExpOptions) {
-    let eps = 0.5;
-    let gamma = 0.25;
+/// Fixed budget and coalition proportion.
+pub const EPS: f64 = 0.5;
+pub const GAMMA: f64 = 0.25;
+
+fn cell(dataset: Dataset, a: f64) -> Cell {
+    Cell::new(
+        ExperimentId::Fig10,
+        dataset.label(),
+        CellKind::PmMse {
+            dataset,
+            gamma: GAMMA,
+            eps: EPS,
+            attack: AttackSpec::Evasion { a },
+            schemes: SchemeSet::All,
+            defenses: false,
+            weighting: Weighting::AlgorithmFive,
+            mechanism: MechKind::Pm,
+        },
+    )
+}
+
+/// One cell per dataset × evasive fraction.
+pub fn cells(_opts: &ExpOptions) -> Vec<Cell> {
+    Dataset::ALL
+        .into_iter()
+        .flat_map(|ds| A_AXIS.into_iter().map(move |a| cell(ds, a)))
+        .collect()
+}
+
+/// Renders the four dataset panels plus the Eq. 20 bound row.
+pub fn render(opts: &ExpOptions, r: &ResultMap) -> String {
+    let mut s = String::new();
     for (di, ds) in Dataset::ALL.into_iter().enumerate() {
-        println!("== Fig. 10({}): MSE vs evasive fraction a ({}, eps = 1/2, gamma = 0.25) ==",
+        outln!(s, "== Fig. 10({}): MSE vs evasive fraction a ({}, eps = 1/2, gamma = 0.25) ==",
             char::from(b'a' + di as u8), ds.label());
-        print!("{:<12}", "scheme");
+        out!(s, "{:<12}", "scheme");
         for a in A_AXIS {
-            print!(" {:>10}", format!("a={a}"));
+            out!(s, " {:>10}", format!("a={a}"));
         }
-        println!();
+        outln!(s);
         for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
-            print!("{:<12}", scheme.label());
-            for (ai, a) in A_AXIS.into_iter().enumerate() {
-                let mse = mse_over_trials(opts, stream_id(&[1000, di, si, ai]), |rng| {
-                    let (population, truth) = build_population(ds, opts.n, gamma, rng);
-                    let attack = EvasionAttack::new(
-                        a,
-                        Anchor::OfLower(0.5),
-                        UniformAttack::of_upper(0.5, 1.0),
-                    );
-                    let out = Dap::new(dap_config(opts, eps, scheme), PiecewiseMechanism::new)
-                        .expect("valid config")
-                        .run(&population, &attack, rng)
-                        .expect("valid run");
-                    (out.mean, truth)
-                });
-                print!(" {:>10}", sci(mse));
+            out!(s, "{:<12}", scheme.label());
+            for a in A_AXIS {
+                out!(s, " {:>10}", sci(r.get(&cell(ds, a))[si]));
             }
-            println!();
+            outln!(s);
         }
         // Eq. 20: the attacker's guaranteed utility loss from the decoys.
-        let c = PiecewiseMechanism::new(Epsilon::of(eps)).c();
-        let m = (opts.n as f64 * gamma).round();
+        let c = PiecewiseMechanism::new(Epsilon::of(EPS)).c();
+        let m = (opts.n as f64 * GAMMA).round();
         let n = opts.n as f64 - m;
-        print!("{:<12}", "Eq.20 bound");
+        out!(s, "{:<12}", "Eq.20 bound");
         for a in A_AXIS {
             let loss = m * a * (c - 0.0) / (m + n);
-            print!(" {:>10}", sci(loss * loss));
+            out!(s, " {:>10}", sci(loss * loss));
         }
-        println!("\n");
+        outln!(s, "\n");
     }
-    println!("expected shape: MSE low for small a, spikes when the side probe flips (a around 0.2-0.3), then falls again.\n");
+    outln!(s, "expected shape: MSE low for small a, spikes when the side probe flips (a around 0.2-0.3), then falls again.\n");
+    s
+}
+
+/// Enumerate → execute → print.
+pub fn run(opts: &ExpOptions) {
+    let cells = cells(opts);
+    let results = run_cells(opts, &cells);
+    print!("{}", render(opts, &ResultMap::from_results(&results)));
 }

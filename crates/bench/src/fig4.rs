@@ -1,22 +1,34 @@
 //! Fig. 4: normalized frequency histograms and true means of the four
 //! evaluation datasets.
 
+use crate::cell::{Cell, CellKind, ExperimentId};
 use crate::common::ExpOptions;
+use crate::engine::{run_cells, ResultMap};
+use crate::outln;
 use dap_datasets::Dataset;
-use dap_estimation::rng::derive;
-use dap_estimation::stats::mean;
-use dap_estimation::Grid;
 
-/// Prints a 20-bucket sparkline histogram and the true mean per dataset.
-pub fn run(opts: &ExpOptions) {
-    println!("== Fig. 4: dataset histograms (normalized to [-1, 1]) ==");
-    println!("paper means: Beta(2,5) -0.3994*, Beta(5,2) +0.4136*, Taxi +0.1190, Retirement -0.6240");
-    println!("(* the paper normalizes Beta by sample min/max; we use the theoretical [0,1])\n");
-    let grid = Grid::new(-1.0, 1.0, 20);
-    for (i, ds) in Dataset::ALL.into_iter().enumerate() {
-        let mut rng = derive(opts.seed, 400 + i as u64);
-        let values = ds.generate_signed(opts.n, &mut rng);
-        let freqs = grid.frequencies(&values);
+/// Sparkline resolution.
+pub const BUCKETS: usize = 20;
+
+fn cell(dataset: Dataset) -> Cell {
+    Cell::new(ExperimentId::Fig4, "", CellKind::DatasetHist { dataset, buckets: BUCKETS })
+}
+
+/// One cell per dataset.
+pub fn cells(_opts: &ExpOptions) -> Vec<Cell> {
+    Dataset::ALL.into_iter().map(cell).collect()
+}
+
+/// Renders the sparkline histograms + true means.
+pub fn render(_opts: &ExpOptions, r: &ResultMap) -> String {
+    let mut s = String::new();
+    outln!(s, "== Fig. 4: dataset histograms (normalized to [-1, 1]) ==");
+    outln!(s, "paper means: Beta(2,5) -0.3994*, Beta(5,2) +0.4136*, Taxi +0.1190, Retirement -0.6240");
+    outln!(s, "(* the paper normalizes Beta by sample min/max; we use the theoretical [0,1])");
+    outln!(s);
+    for ds in Dataset::ALL {
+        let values = r.get(&cell(ds));
+        let (mean, freqs) = (values[0], &values[1..]);
         let peak = freqs.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
         let bars: String = freqs
             .iter()
@@ -25,7 +37,15 @@ pub fn run(opts: &ExpOptions) {
                 LEVELS[((f / peak) * 8.0).round() as usize]
             })
             .collect();
-        println!("{:<12} O = {:+.4}  |{bars}|", ds.label(), mean(&values));
+        outln!(s, "{:<12} O = {:+.4}  |{bars}|", ds.label(), mean);
     }
-    println!();
+    outln!(s);
+    s
+}
+
+/// Enumerate → execute → print.
+pub fn run(opts: &ExpOptions) {
+    let cells = cells(opts);
+    let results = run_cells(opts, &cells);
+    print!("{}", render(opts, &ResultMap::from_results(&results)));
 }

@@ -5,105 +5,132 @@
 //! (c) the false-positive rate (γ = 0) across the four datasets;
 //! (d) `γ̂` under an input manipulation attack (γ = 0.25) across datasets.
 
-use crate::common::{simulate_batch, stream_id, ExpOptions, PoiRange};
-use dap_attack::InputManipulationAttack;
+use crate::cell::{AttackSpec, Cell, CellKind, ExperimentId};
+use crate::common::{ExpOptions, PoiRange};
+use crate::engine::{run_cells, ResultMap};
+use crate::{out, outln};
 use dap_datasets::Dataset;
-use dap_emf::{ByzantineFeatures, EmfConfig};
-use dap_estimation::rng::derive;
 
 /// The Fig. 5 budget axis.
 pub const EPSILONS: [f64; 6] = [1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 1.0, 2.0];
 
-fn gamma_hat(
-    dataset: Dataset,
-    gamma: f64,
-    eps: f64,
-    attack: &dyn dap_attack::Attack,
-    opts: &ExpOptions,
-    stream: u64,
-) -> f64 {
-    let mut acc = 0.0;
-    for t in 0..opts.trials {
-        let mut rng = derive(opts.seed, stream.wrapping_mul(7919).wrapping_add(t as u64));
-        let (reports, _) = simulate_batch(dataset, opts.n, gamma, eps, attack, &mut rng);
-        let cfg = EmfConfig::capped(reports.len(), eps, opts.max_d_out);
-        let mech = dap_ldp::PiecewiseMechanism::new(dap_ldp::Epsilon::of(eps));
-        let features = ByzantineFeatures::probe(&mech, &reports, 0.0, &cfg);
-        acc += features.gamma;
-    }
-    acc / opts.trials as f64
+/// Panels (a)(b) gammas.
+pub const AB_GAMMAS: [(&str, f64); 2] = [("a", 0.1), ("b", 0.4)];
+
+fn ab_cell(panel: &'static str, gamma: f64, range: PoiRange, eps: f64) -> Cell {
+    Cell::new(
+        ExperimentId::Fig5,
+        panel,
+        CellKind::GammaHat {
+            dataset: Dataset::Taxi,
+            gamma,
+            eps,
+            attack: AttackSpec::Poi(range),
+            abs_err: true,
+        },
+    )
 }
 
-/// Runs all four panels.
-pub fn run(opts: &ExpOptions) {
-    for (panel, gamma) in [("a", 0.1), ("b", 0.4)] {
-        println!("== Fig. 5({panel}): |gamma_hat - gamma| vs eps (Taxi, gamma = {gamma}) ==");
-        print!("{:<10}", "Poi");
-        for eps in EPSILONS {
-            print!(" {:>9}", format!("{eps:.4}"));
-        }
-        println!();
-        for (ri, range) in PoiRange::ALL.into_iter().enumerate() {
-            print!("{:<10}", range.label());
-            for (ei, eps) in EPSILONS.into_iter().enumerate() {
-                let g = gamma_hat(
-                    Dataset::Taxi,
-                    gamma,
-                    eps,
-                    &range.attack(),
-                    opts,
-                    stream_id(&[500, ri, ei, gamma.to_bits() as usize]),
-                );
-                print!(" {:>9.4}", (g - gamma).abs());
+fn c_cell(dataset: Dataset, eps: f64) -> Cell {
+    Cell::new(
+        ExperimentId::Fig5,
+        "c",
+        CellKind::GammaHat { dataset, gamma: 0.0, eps, attack: AttackSpec::None, abs_err: false },
+    )
+}
+
+fn d_cell(dataset: Dataset, eps: f64) -> Cell {
+    Cell::new(
+        ExperimentId::Fig5,
+        "d",
+        CellKind::GammaHat {
+            dataset,
+            gamma: 0.25,
+            eps,
+            attack: AttackSpec::Ima { g: 1.0 },
+            abs_err: false,
+        },
+    )
+}
+
+/// All four panels' cells.
+pub fn cells(_opts: &ExpOptions) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (panel, gamma) in AB_GAMMAS {
+        for range in PoiRange::ALL {
+            for eps in EPSILONS {
+                cells.push(ab_cell(panel, gamma, range, eps));
             }
-            println!();
         }
-        println!("expected shape: error shrinks as eps -> 0 (Theorem 3).\n");
+    }
+    for ds in Dataset::ALL {
+        for eps in EPSILONS {
+            cells.push(c_cell(ds, eps));
+        }
+    }
+    for ds in Dataset::ALL {
+        for eps in EPSILONS {
+            cells.push(d_cell(ds, eps));
+        }
+    }
+    cells
+}
+
+/// Renders all four panels.
+pub fn render(_opts: &ExpOptions, r: &ResultMap) -> String {
+    let mut s = String::new();
+    for (panel, gamma) in AB_GAMMAS {
+        outln!(s, "== Fig. 5({panel}): |gamma_hat - gamma| vs eps (Taxi, gamma = {gamma}) ==");
+        out!(s, "{:<10}", "Poi");
+        for eps in EPSILONS {
+            out!(s, " {:>9}", format!("{eps:.4}"));
+        }
+        outln!(s);
+        for range in PoiRange::ALL {
+            out!(s, "{:<10}", range.label());
+            for eps in EPSILONS {
+                out!(s, " {:>9.4}", r.get(&ab_cell(panel, gamma, range, eps))[0]);
+            }
+            outln!(s);
+        }
+        outln!(s, "expected shape: error shrinks as eps -> 0 (Theorem 3).\n");
     }
 
-    println!("== Fig. 5(c): false-positive rate (gamma = 0) ==");
-    print!("{:<12}", "dataset");
+    outln!(s, "== Fig. 5(c): false-positive rate (gamma = 0) ==");
+    out!(s, "{:<12}", "dataset");
     for eps in EPSILONS {
-        print!(" {:>9}", format!("{eps:.4}"));
+        out!(s, " {:>9}", format!("{eps:.4}"));
     }
-    println!();
-    for (di, ds) in Dataset::ALL.into_iter().enumerate() {
-        print!("{:<12}", ds.label());
-        for (ei, eps) in EPSILONS.into_iter().enumerate() {
-            let g = gamma_hat(
-                ds,
-                0.0,
-                eps,
-                &dap_attack::NoAttack,
-                opts,
-                stream_id(&[510, di, ei]),
-            );
-            print!(" {:>9.4}", g);
+    outln!(s);
+    for ds in Dataset::ALL {
+        out!(s, "{:<12}", ds.label());
+        for eps in EPSILONS {
+            out!(s, " {:>9.4}", r.get(&c_cell(ds, eps))[0]);
         }
-        println!();
+        outln!(s);
     }
-    println!("expected shape: small (paper: 0.02-0.04 at eps = 1/16).\n");
+    outln!(s, "expected shape: small (paper: 0.02-0.04 at eps = 1/16).\n");
 
-    println!("== Fig. 5(d): gamma_hat under IMA (g = 1, gamma = 0.25) ==");
-    print!("{:<12}", "dataset");
+    outln!(s, "== Fig. 5(d): gamma_hat under IMA (g = 1, gamma = 0.25) ==");
+    out!(s, "{:<12}", "dataset");
     for eps in EPSILONS {
-        print!(" {:>9}", format!("{eps:.4}"));
+        out!(s, " {:>9}", format!("{eps:.4}"));
     }
-    println!();
-    for (di, ds) in Dataset::ALL.into_iter().enumerate() {
-        print!("{:<12}", ds.label());
-        for (ei, eps) in EPSILONS.into_iter().enumerate() {
-            let g = gamma_hat(
-                ds,
-                0.25,
-                eps,
-                &InputManipulationAttack { g: 1.0 },
-                opts,
-                stream_id(&[520, di, ei]),
-            );
-            print!(" {:>9.4}", g);
+    outln!(s);
+    for ds in Dataset::ALL {
+        out!(s, "{:<12}", ds.label());
+        for eps in EPSILONS {
+            out!(s, " {:>9.4}", r.get(&d_cell(ds, eps))[0]);
         }
-        println!();
+        outln!(s);
     }
-    println!("expected shape: gamma_hat stays far below 0.25 — the IMA hides from EMF (paper: 0.03-0.04).\n");
+    outln!(s, "expected shape: gamma_hat stays far below 0.25 — the IMA hides from EMF (paper: 0.03-0.04).\n");
+    s
+}
+
+/// Enumerate → execute → print.
+pub fn run(opts: &ExpOptions) {
+    let cells = cells(opts);
+    let results = run_cells(opts, &cells);
+    print!("{}", render(opts, &ResultMap::from_results(&results)));
 }

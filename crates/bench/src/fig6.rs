@@ -3,108 +3,92 @@
 //! ε ∈ {1/4, 1/2, 1, 3/2, 2} for DAP_EMF / DAP_EMF* / DAP_CEMF* /
 //! Ostrich / Trimming.
 //!
-//! Each panel column shares one protocol execution across the three DAP
-//! schemes and one batch across the two defenses (common random numbers).
+//! Each panel column is **one cell**: the three DAP schemes share one
+//! protocol execution and the two defenses share one batch drawn from the
+//! same cached population (common random numbers across all five rows).
 
-use crate::common::{
-    build_population, dap_config, mse_over_trials, mses_over_trials, sci, simulate_batch,
-    stream_id, ExpOptions, PoiRange,
-};
-use dap_attack::Side;
-use dap_core::{Dap, Scheme};
+use crate::cell::{AttackSpec, Cell, CellKind, ExperimentId, MechKind, SchemeSet};
+use crate::common::{sci, ExpOptions, PoiRange};
+use crate::engine::{run_cells, ResultMap};
+use crate::{out, outln};
+use dap_core::{Scheme, Weighting};
 use dap_datasets::Dataset;
-use dap_defenses::{MeanDefense, Ostrich, Trimming};
-use dap_ldp::PiecewiseMechanism;
 
 /// The Fig. 6 budget axis.
 pub const EPSILONS: [f64; 5] = [0.25, 0.5, 1.0, 1.5, 2.0];
 
-/// MSE of one DAP scheme on a (dataset, range, eps) cell.
-pub fn dap_mse(
-    dataset: Dataset,
-    range: PoiRange,
-    gamma: f64,
-    eps: f64,
-    scheme: Scheme,
-    opts: &ExpOptions,
-    stream: u64,
-) -> f64 {
-    mse_over_trials(opts, stream, |rng| {
-        let (population, truth) = build_population(dataset, opts.n, gamma, rng);
-        let dap = Dap::new(dap_config(opts, eps, scheme), PiecewiseMechanism::new)
-            .expect("valid config");
-        let out = dap.run(&population, &range.attack(), rng).expect("valid run");
-        (out.mean, truth)
-    })
+/// Coalition proportion of every panel.
+pub const GAMMA: f64 = 0.25;
+
+fn cell(dataset: Dataset, range: PoiRange, eps: f64) -> Cell {
+    Cell::new(
+        ExperimentId::Fig6,
+        format!("{}|{}", dataset.label(), range.label()),
+        CellKind::PmMse {
+            dataset,
+            gamma: GAMMA,
+            eps,
+            attack: AttackSpec::Poi(range),
+            schemes: SchemeSet::All,
+            defenses: true,
+            weighting: Weighting::AlgorithmFive,
+            mechanism: MechKind::Pm,
+        },
+    )
 }
 
-/// Prints one panel (a dataset × range cell across the ε axis).
-pub fn panel(dataset: Dataset, range: PoiRange, opts: &ExpOptions, base_stream: u64) {
-    println!("-- {} , Poi{} (gamma = 0.25) --", dataset.label(), range.label());
-    print!("{:<12}", "scheme");
+/// All 16 panels × 5 budgets.
+pub fn cells(_opts: &ExpOptions) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for dataset in Dataset::ALL {
+        for range in PoiRange::ALL {
+            for eps in EPSILONS {
+                cells.push(cell(dataset, range, eps));
+            }
+        }
+    }
+    cells
+}
+
+/// Renders one panel (a dataset × range cell across the ε axis).
+fn render_panel(dataset: Dataset, range: PoiRange, r: &ResultMap, s: &mut String) {
+    outln!(s, "-- {} , Poi{} (gamma = {GAMMA}) --", dataset.label(), range.label());
+    out!(s, "{:<12}", "scheme");
     for eps in EPSILONS {
-        print!(" {:>10}", format!("eps={eps}"));
+        out!(s, " {:>10}", format!("eps={eps}"));
     }
-    println!();
-    let scheme_columns: Vec<Vec<f64>> = EPSILONS
-        .into_iter()
-        .enumerate()
-        .map(|(ei, eps)| {
-            mses_over_trials(
-                opts,
-                base_stream + stream_id(&[1, ei]) % 1000,
-                Scheme::ALL.len(),
-                |rng| {
-                    let (population, truth) = build_population(dataset, opts.n, 0.25, rng);
-                    let dap =
-                        Dap::new(dap_config(opts, eps, Scheme::Emf), PiecewiseMechanism::new)
-                            .expect("valid config");
-                    let outs = dap
-                        .run_schemes(&population, &range.attack(), &Scheme::ALL, rng)
-                        .expect("valid run");
-                    (outs.into_iter().map(|o| o.mean).collect(), truth)
-                },
-            )
-        })
+    outln!(s);
+    let labels: Vec<&str> = Scheme::ALL
+        .iter()
+        .map(|sch| sch.label())
+        .chain(["Ostrich", "Trimming"])
         .collect();
-    for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
-        print!("{:<12}", scheme.label());
-        for col in &scheme_columns {
-            print!(" {:>10}", sci(col[si]));
+    for (row, label) in labels.into_iter().enumerate() {
+        out!(s, "{:<12}", label);
+        for eps in EPSILONS {
+            out!(s, " {:>10}", sci(r.get(&cell(dataset, range, eps))[row]));
         }
-        println!();
+        outln!(s);
     }
-
-    let trimming = Trimming::paper_default(Side::Right);
-    let defenses: [&dyn MeanDefense; 2] = [&Ostrich, &trimming];
-    let defense_columns: Vec<Vec<f64>> = EPSILONS
-        .into_iter()
-        .enumerate()
-        .map(|(ei, eps)| {
-            mses_over_trials(opts, base_stream + stream_id(&[90, ei]) % 1000, 2, |rng| {
-                let (reports, truth) =
-                    simulate_batch(dataset, opts.n, 0.25, eps, &range.attack(), rng);
-                (defenses.iter().map(|d| d.estimate_mean(&reports, rng)).collect(), truth)
-            })
-        })
-        .collect();
-    for (di, defense) in defenses.into_iter().enumerate() {
-        print!("{:<12}", defense.label().split('(').next().expect("label"));
-        for col in &defense_columns {
-            print!(" {:>10}", sci(col[di]));
-        }
-        println!();
-    }
-    println!();
+    outln!(s);
 }
 
-/// Runs all 16 panels.
-pub fn run(opts: &ExpOptions) {
-    println!("== Fig. 6: MSE of mean estimation vs eps ==\n");
-    for (di, dataset) in Dataset::ALL.into_iter().enumerate() {
-        for (ri, range) in PoiRange::ALL.into_iter().enumerate() {
-            panel(dataset, range, opts, stream_id(&[600, di, ri]));
+/// Renders all 16 panels.
+pub fn render(_opts: &ExpOptions, r: &ResultMap) -> String {
+    let mut s = String::new();
+    outln!(s, "== Fig. 6: MSE of mean estimation vs eps ==\n");
+    for dataset in Dataset::ALL {
+        for range in PoiRange::ALL {
+            render_panel(dataset, range, r, &mut s);
         }
     }
-    println!("expected shape: DAP family below Ostrich/Trimming except when poison hugs O at large eps (panels j, k, n).\n");
+    outln!(s, "expected shape: DAP family below Ostrich/Trimming except when poison hugs O at large eps (panels j, k, n).\n");
+    s
+}
+
+/// Enumerate → execute → print.
+pub fn run(opts: &ExpOptions) {
+    let cells = cells(opts);
+    let results = run_cells(opts, &cells);
+    print!("{}", render(opts, &ResultMap::from_results(&results)));
 }

@@ -1,83 +1,67 @@
 //! Fig. 7: robustness on Taxi at ε = 1 — (a)(b) MSE vs the Byzantine
 //! proportion γ; (c)(d) MSE vs the poison-value distribution.
 //!
-//! This driver is the perf-tracked hot path (`BENCH_fig7.json`): every cell
-//! column evaluates all three DAP schemes on **one shared protocol
-//! execution** (`Dap::run_schemes` — common random numbers) and both
-//! single-batch defenses on one shared simulated batch, instead of
-//! re-simulating per row.
+//! This driver is the perf-tracked hot path (`BENCH_fig7.json`): every
+//! column is one cell whose three DAP schemes read **one shared protocol
+//! execution** and whose two single-batch defenses read one shared
+//! full-budget batch. The per-trial Taxi populations come from the
+//! process-wide population cache, so every column at one γ (across panels,
+//! ranges and poison shapes) shares them — common random numbers over the
+//! honest data as well as across estimators.
 
-use crate::common::{
-    build_population, dap_config, mses_over_trials_indexed, perturb_all, sci, stream_id,
-    ExpOptions, PoiRange,
-};
-use dap_core::Population;
-use dap_estimation::rng::derive;
-use dap_attack::{Anchor, Attack, BetaShapedAttack, GaussianAttack, Side, UniformAttack};
-use dap_core::{Dap, Scheme};
+use crate::cell::{AttackSpec, Cell, CellKind, ExperimentId, MechKind, PoiShape, SchemeSet};
+use crate::common::{sci, ExpOptions, PoiRange};
+use crate::engine::{run_cells, ResultMap};
+use crate::{out, outln};
+use dap_core::{Scheme, Weighting};
 use dap_datasets::Dataset;
-use dap_defenses::{MeanDefense, Ostrich, Trimming};
-use dap_ldp::{Epsilon, PiecewiseMechanism};
 
 /// The γ axis of panels (a)(b).
 pub const GAMMAS: [f64; 4] = [0.05, 0.10, 0.30, 0.40];
 
-fn attack_for(range: PoiRange, shape: &str) -> Box<dyn Attack> {
-    let (a, b) = range.fractions();
-    let lo = if a == 0.0 { Anchor::Abs(0.0) } else { Anchor::OfUpper(a) };
-    let hi = Anchor::OfUpper(b);
-    match shape {
-        "Uniform" => Box::new(UniformAttack::new(lo, hi)),
-        "Gaussian" => Box::new(GaussianAttack::new(lo, hi)),
-        "Beta(1,6)" => Box::new(BetaShapedAttack::new(1.0, 6.0, lo, hi)),
-        "Beta(6,1)" => Box::new(BetaShapedAttack::new(6.0, 1.0, lo, hi)),
-        other => unreachable!("unknown shape {other}"),
+/// Panels (a)(b): poison range per panel.
+pub const AB_PANELS: [(&str, PoiRange); 2] =
+    [("a", PoiRange::LowerHalf), ("b", PoiRange::TopHalf)];
+
+/// Panels (c)(d): poison range per panel.
+pub const CD_PANELS: [(&str, PoiRange); 2] =
+    [("c", PoiRange::LowerHalf), ("d", PoiRange::TopHalf)];
+
+fn column_kind(gamma: f64, attack: AttackSpec) -> CellKind {
+    CellKind::PmMse {
+        dataset: Dataset::Taxi,
+        gamma,
+        eps: 1.0,
+        attack,
+        schemes: SchemeSet::All,
+        defenses: true,
+        weighting: Weighting::AlgorithmFive,
+        mechanism: MechKind::Pm,
     }
 }
 
-/// Pre-generates the per-trial Taxi populations for one γ; every column at
-/// this γ (across panels, ranges and poison shapes) shares them — common
-/// random numbers over the honest data as well as across estimators.
-fn taxi_populations(opts: &ExpOptions, gamma: f64) -> Vec<(Population, f64)> {
-    (0..opts.trials)
-        .map(|t| {
-            let mut rng =
-                derive(opts.seed, stream_id(&[740, (gamma * 100.0).round() as usize, t]));
-            build_population(Dataset::Taxi, opts.n, gamma, &mut rng)
-        })
-        .collect()
+fn ab_cell(panel: &'static str, range: PoiRange, gamma: f64) -> Cell {
+    Cell::new(ExperimentId::Fig7, panel, column_kind(gamma, AttackSpec::Poi(range)))
 }
 
-/// All five compared estimators of one column, sharing one population per
-/// trial: the three DAP schemes read one shared protocol execution, and the
-/// two single-batch defenses read one shared full-budget batch drawn from
-/// the same honest values. Returns MSEs in row order (schemes then
-/// defenses).
-fn column_mses(
-    opts: &ExpOptions,
-    pops: &[(Population, f64)],
-    attack: &dyn Attack,
-    stream: u64,
-) -> Vec<f64> {
-    let eps = 1.0;
-    let trimming = Trimming::paper_default(Side::Right);
-    mses_over_trials_indexed(opts, stream, Scheme::ALL.len() + 2, |t, rng| {
-        let (population, truth) = &pops[t];
-        // `scheme` in the config is ignored by `run_schemes`.
-        let dap = Dap::new(dap_config(opts, eps, Scheme::Emf), PiecewiseMechanism::new)
-            .expect("valid config");
-        let outs = dap.run_schemes(population, attack, &Scheme::ALL, rng).expect("valid run");
-        let mut estimates: Vec<f64> = outs.into_iter().map(|o| o.mean).collect();
+fn cd_cell(panel: &'static str, range: PoiRange, shape: PoiShape) -> Cell {
+    Cell::new(ExperimentId::Fig7, panel, column_kind(0.25, AttackSpec::Shaped(shape, range)))
+}
 
-        // The defenses see a plain single-batch collection at full budget
-        // over the same honest values.
-        let mech = PiecewiseMechanism::new(Epsilon::of(eps));
-        let mut reports = perturb_all(&mech, &population.honest, rng);
-        reports.extend(attack.reports(population.byzantine, &mech, rng));
-        estimates.push(Ostrich.estimate_mean(&reports, rng));
-        estimates.push(trimming.estimate_mean(&reports, rng));
-        (estimates, *truth)
-    })
+/// All four panels' cells (16 columns).
+pub fn cells(_opts: &ExpOptions) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (panel, range) in AB_PANELS {
+        for gamma in GAMMAS {
+            cells.push(ab_cell(panel, range, gamma));
+        }
+    }
+    for (panel, range) in CD_PANELS {
+        for shape in PoiShape::ALL {
+            cells.push(cd_cell(panel, range, shape));
+        }
+    }
+    cells
 }
 
 fn row_labels() -> Vec<String> {
@@ -88,68 +72,52 @@ fn row_labels() -> Vec<String> {
     labels
 }
 
-/// Prints a (row = estimator) × (column = condition) MSE table.
-fn print_table(headers: &[String], columns: &[Vec<f64>]) {
-    print!("{:<12}", "scheme");
+/// Renders a (row = estimator) × (column = condition) MSE table.
+fn render_table(headers: &[String], columns: &[&[f64]], s: &mut String) {
+    out!(s, "{:<12}", "scheme");
     for h in headers {
-        print!(" {:>10}", h);
+        out!(s, " {:>10}", h);
     }
-    println!();
+    outln!(s);
     for (ri, label) in row_labels().iter().enumerate() {
-        print!("{label:<12}");
+        out!(s, "{label:<12}");
         for col in columns {
-            print!(" {:>10}", sci(col[ri]));
+            out!(s, " {:>10}", sci(col[ri]));
         }
-        println!();
+        outln!(s);
     }
-    println!();
+    outln!(s);
 }
 
-/// Runs all four panels.
-pub fn run(opts: &ExpOptions) {
-    let gamma_pops: Vec<Vec<(Population, f64)>> =
-        GAMMAS.iter().map(|&g| taxi_populations(opts, g)).collect();
-    for (panel, range) in [("a", PoiRange::LowerHalf), ("b", PoiRange::TopHalf)] {
-        println!("== Fig. 7({panel}): MSE vs gamma (Taxi, eps = 1, Poi{}) ==", range.label());
+/// Renders all four panels.
+pub fn render(_opts: &ExpOptions, r: &ResultMap) -> String {
+    let mut s = String::new();
+    for (panel, range) in AB_PANELS {
+        outln!(s, "== Fig. 7({panel}): MSE vs gamma (Taxi, eps = 1, Poi{}) ==", range.label());
         let headers: Vec<String> =
             GAMMAS.iter().map(|g| format!("{:.0}%", g * 100.0)).collect();
-        let columns: Vec<Vec<f64>> = GAMMAS
-            .iter()
-            .enumerate()
-            .map(|(gi, _)| {
-                column_mses(
-                    opts,
-                    &gamma_pops[gi],
-                    &range.attack(),
-                    stream_id(&[700, gi, range as usize]),
-                )
-            })
-            .collect();
-        print_table(&headers, &columns);
+        let columns: Vec<&[f64]> =
+            GAMMAS.iter().map(|&g| r.get(&ab_cell(panel, range, g))).collect();
+        render_table(&headers, &columns, &mut s);
     }
-
-    const SHAPES: [&str; 4] = ["Uniform", "Gaussian", "Beta(1,6)", "Beta(6,1)"];
-    let quarter_pops = taxi_populations(opts, 0.25);
-    for (panel, range) in [("c", PoiRange::LowerHalf), ("d", PoiRange::TopHalf)] {
-        println!(
+    for (panel, range) in CD_PANELS {
+        outln!(
+            s,
             "== Fig. 7({panel}): MSE vs poison distribution (Taxi, eps = 1, gamma = 0.25, Poi{}) ==",
             range.label()
         );
-        let headers: Vec<String> = SHAPES.iter().map(|s| s.to_string()).collect();
-        let columns: Vec<Vec<f64>> = SHAPES
-            .iter()
-            .enumerate()
-            .map(|(shi, shape)| {
-                let attack = attack_for(range, shape);
-                column_mses(
-                    opts,
-                    &quarter_pops,
-                    attack.as_ref(),
-                    stream_id(&[720, shi, range as usize]),
-                )
-            })
-            .collect();
-        print_table(&headers, &columns);
+        let headers: Vec<String> = PoiShape::ALL.iter().map(|p| p.label().to_string()).collect();
+        let columns: Vec<&[f64]> =
+            PoiShape::ALL.iter().map(|&p| r.get(&cd_cell(panel, range, p))).collect();
+        render_table(&headers, &columns, &mut s);
     }
-    println!("expected shape: DAP schemes lowest across gamma and poison shapes (Fig. 7).\n");
+    outln!(s, "expected shape: DAP schemes lowest across gamma and poison shapes (Fig. 7).\n");
+    s
+}
+
+/// Enumerate → execute → print.
+pub fn run(opts: &ExpOptions) {
+    let cells = cells(opts);
+    let results = run_cells(opts, &cells);
+    print!("{}", render(opts, &ResultMap::from_results(&results)));
 }

@@ -2,223 +2,133 @@
 //! (Wasserstein distance), (b) `|γ̂ − γ|` for SW, (c)(d) MSE of SW-based
 //! mean estimation.
 //!
-//! All rows of a column share simulated data (common random numbers): the
-//! EMF-family reconstructions reuse one batch and one base EMF fit, and the
-//! SW-DAP schemes share one protocol execution via
-//! [`SwDap::run_schemes`].
+//! All rows of a scheme cell share simulated data (common random numbers):
+//! the EMF-family reconstructions reuse one batch and one base EMF fit, and
+//! the SW-DAP schemes share one protocol execution.
 
-use crate::common::{
-    emf_setup, means_over_trials, mses_over_trials, sci, stream_id, ExpOptions,
-};
-use dap_attack::{Anchor, Attack, UniformAttack};
-use dap_core::sw::{SwDap, SwDapConfig};
-use dap_core::{Population, Scheme};
+use crate::cell::{Cell, CellKind, ExperimentId};
+use crate::common::{sci, ExpOptions};
+use crate::engine::{run_cells, ResultMap};
+use crate::{out, outln};
+use dap_core::Scheme;
 use dap_datasets::Dataset;
-use dap_emf::{cemf_star, cemf_star_threshold, emf, emf_star};
-use dap_estimation::stats::{mean, wasserstein_1};
-use dap_estimation::{ems, Grid, PoisonRegion};
-use dap_ldp::{Epsilon, NumericMechanism, SquareWave};
-use rand::RngCore;
 
 /// Budget axes.
 pub const EPS_SMALL: [f64; 6] = [1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 1.0, 2.0];
 pub const EPS_LARGE: [f64; 5] = [0.25, 0.5, 1.0, 1.5, 2.0];
 
-/// The paper's SW attack: poison uniform on `[1 + b/2, 1 + b]`.
-pub fn sw_attack() -> UniformAttack {
-    UniformAttack::new(Anchor::AboveInputMax(0.5), Anchor::AboveInputMax(1.0))
+/// Panels (c)(d): dataset per panel.
+pub const CD_PANELS: [(&str, Dataset); 2] = [("c", Dataset::Beta25), ("d", Dataset::Beta52)];
+
+fn a_cell(eps: f64) -> Cell {
+    Cell::new(
+        ExperimentId::Fig8,
+        "a",
+        CellKind::SwWasserstein { dataset: Dataset::Beta25, gamma: 0.25, eps },
+    )
 }
 
-/// Simulates one SW batch. Returns `(reports, honest_values)`.
-fn simulate_sw(
-    dataset: Dataset,
-    n: usize,
-    gamma: f64,
-    eps: f64,
-    rng: &mut dyn RngCore,
-) -> (Vec<f64>, Vec<f64>) {
-    let m = (n as f64 * gamma).round() as usize;
-    let honest = dataset.generate_unit(n - m, rng);
-    let mech = SquareWave::new(Epsilon::of(eps));
-    let mut reports: Vec<f64> = honest.iter().map(|&v| mech.perturb(v, rng)).collect();
-    reports.extend(sw_attack().reports(m, &mech, rng));
-    (reports, honest)
+fn b_cell(dataset: Dataset, eps: f64) -> Cell {
+    Cell::new(ExperimentId::Fig8, "b", CellKind::SwGammaErr { dataset, gamma: 0.25, eps })
 }
 
-/// Panel (a): Wasserstein distance of the reconstructed honest distribution,
-/// Beta(2,5), γ = 0.25. All four estimators read one shared batch per trial;
-/// the EMF-family rows share one base EMF fit.
-fn panel_a(opts: &ExpOptions) {
-    println!("== Fig. 8(a): Wasserstein distance of distribution estimation (Beta(2,5), SW, gamma = 0.25) ==");
-    let labels = ["EMF", "EMF*", "CEMF*", "Ostrich"];
-    let columns: Vec<Vec<f64>> = EPS_SMALL
-        .into_iter()
-        .enumerate()
-        .map(|(ei, eps)| {
-            means_over_trials(opts, stream_id(&[800, ei]), labels.len(), |rng| {
-                let (reports, honest) = simulate_sw(Dataset::Beta25, opts.n, 0.25, eps, rng);
-                let mech = SquareWave::new(Epsilon::of(eps));
-                let (cfg, counts, matrix) = emf_setup(
-                    &mech,
-                    &reports,
-                    eps,
-                    opts.max_d_out,
-                    &PoisonRegion::RightOf(1.0),
-                );
-                let truth_hist = Grid::new(0.0, 1.0, cfg.d_in).frequencies(&honest);
-                let spacing = 1.0 / cfg.d_in as f64;
-                let normalized = |hist: &[f64]| -> Vec<f64> {
-                    let total: f64 = hist.iter().sum();
-                    hist.iter().map(|&v| if total > 0.0 { v / total } else { v }).collect()
-                };
+fn scheme_cell(panel: &'static str, dataset: Dataset, eps: f64) -> Cell {
+    Cell::new(ExperimentId::Fig8, panel, CellKind::SwMse { dataset, gamma: 0.25, eps })
+}
 
-                let base = emf(&matrix, &counts, &cfg.em);
-                let gamma = base.poison_mass();
-                let star = emf_star(&matrix, &counts, gamma, &cfg.em);
-                let thr = cemf_star_threshold(gamma, matrix.poison_buckets().len());
-                let cemf = cemf_star(&matrix, &counts, gamma, thr, &base, &cfg.em);
-                // Same histogram, poison-free matrix: only the matrix
-                // differs for the Ostrich/EMS row.
-                let ems_matrix = dap_estimation::cached_for_numeric(
-                    &mech,
-                    cfg.d_in,
-                    cfg.d_out,
-                    &PoisonRegion::None,
-                );
-                let ostrich = ems::solve(&ems_matrix, &counts, &cfg.em).histogram;
+fn defense_cell(panel: &'static str, dataset: Dataset, eps: f64) -> Cell {
+    Cell::new(ExperimentId::Fig8, panel, CellKind::SwDefense { dataset, gamma: 0.25, eps })
+}
 
-                let dists = vec![
-                    wasserstein_1(&normalized(&base.normal), &truth_hist, spacing),
-                    wasserstein_1(&normalized(&star.normal), &truth_hist, spacing),
-                    wasserstein_1(&normalized(&cemf.normal), &truth_hist, spacing),
-                    wasserstein_1(&ostrich, &truth_hist, spacing),
-                ];
-                dists
-            })
-        })
-        .collect();
-
-    print!("{:<10}", "scheme");
+/// All panels' cells.
+pub fn cells(_opts: &ExpOptions) -> Vec<Cell> {
+    let mut cells = Vec::new();
     for eps in EPS_SMALL {
-        print!(" {:>10}", format!("{eps:.4}"));
+        cells.push(a_cell(eps));
     }
-    println!();
-    for (li, label) in labels.into_iter().enumerate() {
-        print!("{:<10}", label);
-        for col in &columns {
-            print!(" {:>10.4}", col[li]);
+    for ds in [Dataset::Beta25, Dataset::Beta52] {
+        for eps in EPS_SMALL {
+            cells.push(b_cell(ds, eps));
         }
-        println!();
     }
-    println!("expected shape: EMF family at least ~10% below Ostrich.\n");
-}
-
-/// Panel (b): `|γ̂ − γ|` for SW across budgets and the two Beta datasets.
-fn panel_b(opts: &ExpOptions) {
-    println!("== Fig. 8(b): |gamma_hat - gamma| for SW (gamma = 0.25, Poi[1+b/2, 1+b]) ==");
-    print!("{:<12}", "dataset");
-    for eps in EPS_SMALL {
-        print!(" {:>10}", format!("{eps:.4}"));
-    }
-    println!();
-    for (di, ds) in [Dataset::Beta25, Dataset::Beta52].into_iter().enumerate() {
-        print!("{:<12}", ds.label());
-        for (ei, eps) in EPS_SMALL.into_iter().enumerate() {
-            let err = means_over_trials(opts, stream_id(&[810, di, ei]), 1, |rng| {
-                let (reports, _) = simulate_sw(ds, opts.n, 0.25, eps, rng);
-                let mech = SquareWave::new(Epsilon::of(eps));
-                let (cfg, counts, matrix) = emf_setup(
-                    &mech,
-                    &reports,
-                    eps,
-                    opts.max_d_out,
-                    &PoisonRegion::RightOf(1.0),
-                );
-                vec![(emf(&matrix, &counts, &cfg.em).poison_mass() - 0.25).abs()]
-            });
-            print!(" {:>10.4}", err[0]);
-        }
-        println!();
-    }
-    println!("expected shape: error shrinks as eps -> 0.\n");
-}
-
-/// Panels (c)(d): MSE of SW mean estimation. The three SW-DAP rows of a
-/// column share one protocol execution; Ostrich and Trimming share one
-/// batch.
-fn panel_cd(opts: &ExpOptions) {
-    for (pi, (panel, ds)) in [("c", Dataset::Beta25), ("d", Dataset::Beta52)].into_iter().enumerate() {
-        println!("== Fig. 8({panel}): SW MSE ({}, gamma = 0.25, Poi[1+b/2, 1+b]) ==", ds.label());
-        let scheme_columns: Vec<Vec<f64>> = EPS_LARGE
-            .into_iter()
-            .enumerate()
-            .map(|(ei, eps)| {
-                mses_over_trials(
-                    opts,
-                    stream_id(&[820, ei, pi]),
-                    Scheme::ALL.len(),
-                    |rng| {
-                        let m_count = (opts.n as f64 * 0.25).round() as usize;
-                        let honest = ds.generate_unit(opts.n - m_count, rng);
-                        let truth = mean(&honest);
-                        let population = Population { honest, byzantine: m_count };
-                        let cfg = SwDapConfig {
-                            max_d_out: opts.max_d_out,
-                            ..SwDapConfig::paper_default(eps, Scheme::Emf)
-                        };
-                        let outs =
-                            SwDap::new(cfg)
-                            .expect("valid config")
-                            .run_schemes(&population, &sw_attack(), &Scheme::ALL, rng)
-                            .expect("valid run");
-                        (outs.into_iter().map(|o| o.mean).collect(), truth)
-                    },
-                )
-            })
-            .collect();
-        let defense_columns: Vec<Vec<f64>> = EPS_LARGE
-            .into_iter()
-            .enumerate()
-            .map(|(ei, eps)| {
-                mses_over_trials(opts, stream_id(&[830, ei, pi]), 2, |rng| {
-                    let (reports, honest) = simulate_sw(ds, opts.n, 0.25, eps, rng);
-                    let truth = mean(&honest);
-                    let ostrich = mean(&reports);
-                    let mut sorted = reports;
-                    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-                    sorted.truncate(sorted.len() / 2);
-                    (vec![ostrich, mean(&sorted)], truth)
-                })
-            })
-            .collect();
-
-        print!("{:<10}", "scheme");
+    for (panel, ds) in CD_PANELS {
         for eps in EPS_LARGE {
-            print!(" {:>10}", format!("eps={eps}"));
+            cells.push(scheme_cell(panel, ds, eps));
         }
-        println!();
+        for eps in EPS_LARGE {
+            cells.push(defense_cell(panel, ds, eps));
+        }
+    }
+    cells
+}
+
+/// Renders all panels.
+pub fn render(_opts: &ExpOptions, r: &ResultMap) -> String {
+    let mut s = String::new();
+
+    // Panel (a).
+    outln!(s, "== Fig. 8(a): Wasserstein distance of distribution estimation (Beta(2,5), SW, gamma = 0.25) ==");
+    out!(s, "{:<10}", "scheme");
+    for eps in EPS_SMALL {
+        out!(s, " {:>10}", format!("{eps:.4}"));
+    }
+    outln!(s);
+    for (li, label) in ["EMF", "EMF*", "CEMF*", "Ostrich"].into_iter().enumerate() {
+        out!(s, "{:<10}", label);
+        for eps in EPS_SMALL {
+            out!(s, " {:>10.4}", r.get(&a_cell(eps))[li]);
+        }
+        outln!(s);
+    }
+    outln!(s, "expected shape: EMF family at least ~10% below Ostrich.\n");
+
+    // Panel (b).
+    outln!(s, "== Fig. 8(b): |gamma_hat - gamma| for SW (gamma = 0.25, Poi[1+b/2, 1+b]) ==");
+    out!(s, "{:<12}", "dataset");
+    for eps in EPS_SMALL {
+        out!(s, " {:>10}", format!("{eps:.4}"));
+    }
+    outln!(s);
+    for ds in [Dataset::Beta25, Dataset::Beta52] {
+        out!(s, "{:<12}", ds.label());
+        for eps in EPS_SMALL {
+            out!(s, " {:>10.4}", r.get(&b_cell(ds, eps))[0]);
+        }
+        outln!(s);
+    }
+    outln!(s, "expected shape: error shrinks as eps -> 0.\n");
+
+    // Panels (c)(d).
+    for (panel, ds) in CD_PANELS {
+        outln!(s, "== Fig. 8({panel}): SW MSE ({}, gamma = 0.25, Poi[1+b/2, 1+b]) ==", ds.label());
+        out!(s, "{:<10}", "scheme");
+        for eps in EPS_LARGE {
+            out!(s, " {:>10}", format!("eps={eps}"));
+        }
+        outln!(s);
         for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
-            print!("{:<10}", format!("SW_{}", scheme.label().trim_start_matches("DAP_")));
-            for col in &scheme_columns {
-                print!(" {:>10}", sci(col[si]));
+            out!(s, "{:<10}", format!("SW_{}", scheme.label().trim_start_matches("DAP_")));
+            for eps in EPS_LARGE {
+                out!(s, " {:>10}", sci(r.get(&scheme_cell(panel, ds, eps))[si]));
             }
-            println!();
+            outln!(s);
         }
         for (di, label) in ["Ostrich", "Trimming"].into_iter().enumerate() {
-            print!("{:<10}", label);
-            for col in &defense_columns {
-                print!(" {:>10}", sci(col[di]));
+            out!(s, "{:<10}", label);
+            for eps in EPS_LARGE {
+                out!(s, " {:>10}", sci(r.get(&defense_cell(panel, ds, eps))[di]));
             }
-            println!();
+            outln!(s);
         }
-        println!();
+        outln!(s);
     }
-    println!("expected shape: SW_EMF family lowest in most cells; Ostrich competitive on Beta(5,2) (paper's own caveat).\n");
+    outln!(s, "expected shape: SW_EMF family lowest in most cells; Ostrich competitive on Beta(5,2) (paper's own caveat).\n");
+    s
 }
 
-/// Runs all panels.
+/// Enumerate → execute → print.
 pub fn run(opts: &ExpOptions) {
-    panel_a(opts);
-    panel_b(opts);
-    panel_cd(opts);
+    let cells = cells(opts);
+    let results = run_cells(opts, &cells);
+    print!("{}", render(opts, &ResultMap::from_results(&results)));
 }

@@ -2,21 +2,12 @@
 //! (b) IMA — EMF-based integration vs k-means alone, (c)(d) categorical
 //! frequency estimation on COVID-19.
 
-use crate::common::{
-    build_population, dap_config, mse_over_trials, mses_over_trials, sci, simulate_batch,
-    stream_id, ExpOptions, PoiRange,
-};
-use dap_attack::InputManipulationAttack;
-use dap_core::categorical::{
-    categorical_dap, ostrich_frequencies, simulate_reports, CategoricalDapConfig,
-};
-use dap_core::ima::emf_based_ima_mean;
-use dap_core::{Dap, Scheme};
-use dap_datasets::{covid_frequencies, sample_covid, Dataset, COVID_GROUPS};
-use dap_defenses::{KMeansDefense, MeanDefense};
-use dap_emf::EmfConfig;
-use dap_estimation::rng::derive;
-use dap_ldp::{Epsilon, KRandomizedResponse, PiecewiseMechanism};
+use crate::cell::{AttackSpec, Cell, CellKind, CatPoison, ExperimentId, MechKind, SchemeSet};
+use crate::common::{sci, ExpOptions, PoiRange};
+use crate::engine::{run_cells, ResultMap};
+use crate::{out, outln};
+use dap_core::{Scheme, Weighting};
+use dap_datasets::Dataset;
 
 /// β axis of the k-means comparisons.
 pub const BETAS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
@@ -25,183 +16,227 @@ pub const EPS_AXIS: [f64; 5] = [0.25, 0.5, 1.0, 1.5, 2.0];
 /// Subset count for the k-means defense (the paper uses 10⁶; the crossover
 /// behaviour is stable from ~10⁴, and the harness default keeps runs quick).
 pub const SUBSETS: usize = 2_000;
+/// IMA targets of panel (b), in the paper's row order.
+pub const IMA_GS: [f64; 3] = [-1.0, 1.0, 0.0];
+/// Panels (c)(d) poison sets.
+pub const CD_PANELS: [(&str, CatPoison); 2] = [("c", CatPoison::Single), ("d", CatPoison::Triple)];
 
-/// Panel (a): DAP vs k-means under the BBA (Taxi, Poi[C/2, C], γ = 0.25).
-fn panel_a(opts: &ExpOptions) {
-    println!("== Fig. 9(a): vs k-means defense (Taxi, Poi[C/2,C], gamma = 0.25) ==");
-    print!("{:<18}", "scheme");
+fn a_scheme_cell(eps: f64) -> Cell {
+    Cell::new(
+        ExperimentId::Fig9,
+        "a",
+        CellKind::PmMse {
+            dataset: Dataset::Taxi,
+            gamma: 0.25,
+            eps,
+            attack: AttackSpec::Poi(PoiRange::TopHalf),
+            schemes: SchemeSet::All,
+            defenses: false,
+            weighting: Weighting::AlgorithmFive,
+            mechanism: MechKind::Pm,
+        },
+    )
+}
+
+fn a_kmeans_cell(beta: f64, eps: f64) -> Cell {
+    Cell::new(
+        ExperimentId::Fig9,
+        "a",
+        CellKind::KMeans {
+            dataset: Dataset::Taxi,
+            gamma: 0.25,
+            eps,
+            attack: AttackSpec::Poi(PoiRange::TopHalf),
+            beta,
+            subsets: SUBSETS,
+        },
+    )
+}
+
+fn b_emf_cell(g: f64) -> Cell {
+    Cell::new(
+        ExperimentId::Fig9,
+        "b",
+        CellKind::ImaEmf { dataset: Dataset::Taxi, gamma: 0.25, eps: 1.0, g },
+    )
+}
+
+fn b_kmeans_cell(g: f64, beta: f64) -> Cell {
+    Cell::new(
+        ExperimentId::Fig9,
+        "b",
+        CellKind::KMeans {
+            dataset: Dataset::Taxi,
+            gamma: 0.25,
+            eps: 1.0,
+            attack: AttackSpec::Ima { g },
+            beta,
+            subsets: SUBSETS,
+        },
+    )
+}
+
+fn cd_dap_cell(panel: &'static str, poison: CatPoison, scheme: Scheme, eps: f64) -> Cell {
+    Cell::new(ExperimentId::Fig9, panel, CellKind::CatDap { scheme, gamma: 0.25, eps, poison })
+}
+
+fn cd_ostrich_cell(panel: &'static str, poison: CatPoison, eps: f64) -> Cell {
+    Cell::new(ExperimentId::Fig9, panel, CellKind::CatOstrich { gamma: 0.25, eps, poison })
+}
+
+/// All panels' cells.
+pub fn cells(_opts: &ExpOptions) -> Vec<Cell> {
+    let mut cells = Vec::new();
     for eps in EPS_AXIS {
-        print!(" {:>10}", format!("eps={eps}"));
+        cells.push(a_scheme_cell(eps));
     }
-    println!();
-    // One shared protocol execution per (eps, trial) covers all three rows.
-    let scheme_columns: Vec<Vec<f64>> = EPS_AXIS
-        .into_iter()
-        .enumerate()
-        .map(|(ei, eps)| {
-            mses_over_trials(opts, stream_id(&[900, ei]), Scheme::ALL.len(), |rng| {
-                let (population, truth) = build_population(Dataset::Taxi, opts.n, 0.25, rng);
-                let dap = Dap::new(dap_config(opts, eps, Scheme::Emf), PiecewiseMechanism::new)
-                    .expect("valid config");
-                let outs = dap
-                    .run_schemes(&population, &PoiRange::TopHalf.attack(), &Scheme::ALL, rng)
-                    .expect("valid run");
-                (outs.into_iter().map(|o| o.mean).collect(), truth)
-            })
-        })
-        .collect();
-    for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
-        print!("{:<18}", scheme.label());
-        for col in &scheme_columns {
-            print!(" {:>10}", sci(col[si]));
-        }
-        println!();
-    }
-    for (bi, beta) in BETAS.into_iter().enumerate() {
-        print!("{:<18}", format!("K-means(b={beta})"));
-        let defense = KMeansDefense::new(beta, SUBSETS);
-        for (ei, eps) in EPS_AXIS.into_iter().enumerate() {
-            let mse = mse_over_trials(opts, stream_id(&[910, bi, ei]), |rng| {
-                let (reports, truth) = simulate_batch(
-                    Dataset::Taxi,
-                    opts.n,
-                    0.25,
-                    eps,
-                    &PoiRange::TopHalf.attack(),
-                    rng,
-                );
-                (defense.estimate_mean(&reports, rng), truth)
-            });
-            print!(" {:>10}", sci(mse));
-        }
-        println!();
-    }
-    println!("expected shape: DAP_EMF*/CEMF* orders of magnitude below every k-means row.\n");
-}
-
-/// Panel (b): IMA — EMF-based integration vs k-means alone (Taxi, γ = 0.25,
-/// ε = 1).
-fn panel_b(opts: &ExpOptions) {
-    println!("== Fig. 9(b): IMA defense (Taxi, gamma = 0.25, eps = 1) ==");
-    print!("{:<18}", "scheme");
     for beta in BETAS {
-        print!(" {:>10}", format!("beta={beta}"));
-    }
-    println!();
-    let eps = 1.0;
-    for (gi, g) in [-1.0, 1.0, 0.0].into_iter().enumerate() {
-        let attack = InputManipulationAttack { g };
-        // EMF-based is β-independent; print it as a constant row.
-        let emf_mse = mse_over_trials(opts, stream_id(&[920, gi]), |rng| {
-            let (reports, truth) =
-                simulate_batch(Dataset::Taxi, opts.n, 0.25, eps, &attack, rng);
-            let cfg = EmfConfig::capped(reports.len(), eps, opts.max_d_out);
-            let mech = PiecewiseMechanism::new(Epsilon::of(eps));
-            let out = emf_based_ima_mean(&mech, &reports, &cfg);
-            (out.mean, truth)
-        });
-        print!("{:<18}", format!("EMF-based(g={g})"));
-        for _ in BETAS {
-            print!(" {:>10}", sci(emf_mse));
-        }
-        println!();
-
-        print!("{:<18}", format!("K-means(g={g})"));
-        for (bi, beta) in BETAS.into_iter().enumerate() {
-            let defense = KMeansDefense::new(beta, SUBSETS);
-            let mse = mse_over_trials(opts, stream_id(&[930, gi, bi]), |rng| {
-                let (reports, truth) =
-                    simulate_batch(Dataset::Taxi, opts.n, 0.25, eps, &attack, rng);
-                (defense.estimate_mean(&reports, rng), truth)
-            });
-            print!(" {:>10}", sci(mse));
-        }
-        println!();
-    }
-    println!("expected shape: EMF-based below k-means for each g (paper: ~28-30% improvement).\n");
-}
-
-/// Panels (c)(d): categorical frequency estimation on COVID-19.
-fn panel_cd(opts: &ExpOptions) {
-    for (panel, poison) in [("c", vec![10usize]), ("d", vec![10, 11, 12])] {
-        println!(
-            "== Fig. 9({panel}): COVID-19 frequency MSE (poison on {poison:?}, gamma = 0.25) =="
-        );
-        print!("{:<12}", "scheme");
         for eps in EPS_AXIS {
-            print!(" {:>10}", format!("eps={eps}"));
+            cells.push(a_kmeans_cell(beta, eps));
         }
-        println!();
-        let truth = covid_frequencies();
-        let freq_mse = |est: &[f64]| -> f64 {
-            est.iter().zip(truth.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
-                / COVID_GROUPS as f64
-        };
-        for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
-            print!("{:<12}", scheme.label());
-            for (ei, eps) in EPS_AXIS.into_iter().enumerate() {
-                let mut acc = 0.0;
-                for t in 0..opts.trials {
-                    let mut rng = derive(opts.seed, stream_id(&[940, si, ei, t, poison.len()]));
-                    let m = (opts.n as f64 * 0.25).round() as usize;
-                    let honest = sample_covid(opts.n - m, &mut rng);
-                    let cfg = CategoricalDapConfig::paper_default(eps, scheme);
-                    let out =
-                        categorical_dap(&honest, m, &poison, COVID_GROUPS, &cfg, &mut rng);
-                    acc += freq_mse(&out.frequencies);
-                }
-                print!(" {:>10}", sci(acc / opts.trials as f64));
-            }
-            println!();
-        }
-        print!("{:<12}", "Ostrich");
-        for (ei, eps) in EPS_AXIS.into_iter().enumerate() {
-            let mut acc = 0.0;
-            for t in 0..opts.trials {
-                let mut rng = derive(opts.seed, stream_id(&[950, ei, t, poison.len()]));
-                let mech =
-                    KRandomizedResponse::new(Epsilon::of(eps), COVID_GROUPS).expect("k >= 2");
-                let m = (opts.n as f64 * 0.25).round() as usize;
-                let honest = sample_covid(opts.n - m, &mut rng);
-                let counts = simulate_reports(&mech, &honest, m, &poison, &mut rng);
-                acc += freq_mse(&ostrich_frequencies(&mech, &counts));
-            }
-            print!(" {:>10}", sci(acc / opts.trials as f64));
-        }
-        println!("\nexpected shape: Ostrich flat around 1e-1..1e-2; DAP schemes far below and improving with eps.\n");
     }
+    for g in IMA_GS {
+        cells.push(b_emf_cell(g));
+        for beta in BETAS {
+            cells.push(b_kmeans_cell(g, beta));
+        }
+    }
+    for (panel, poison) in CD_PANELS {
+        for scheme in Scheme::ALL {
+            for eps in EPS_AXIS {
+                cells.push(cd_dap_cell(panel, poison, scheme, eps));
+            }
+        }
+        for eps in EPS_AXIS {
+            cells.push(cd_ostrich_cell(panel, poison, eps));
+        }
+    }
+    cells
 }
 
-/// Runs all panels.
+/// Renders all panels.
+pub fn render(_opts: &ExpOptions, r: &ResultMap) -> String {
+    let mut s = String::new();
+
+    // Panel (a).
+    outln!(s, "== Fig. 9(a): vs k-means defense (Taxi, Poi[C/2,C], gamma = 0.25) ==");
+    out!(s, "{:<18}", "scheme");
+    for eps in EPS_AXIS {
+        out!(s, " {:>10}", format!("eps={eps}"));
+    }
+    outln!(s);
+    for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
+        out!(s, "{:<18}", scheme.label());
+        for eps in EPS_AXIS {
+            out!(s, " {:>10}", sci(r.get(&a_scheme_cell(eps))[si]));
+        }
+        outln!(s);
+    }
+    for beta in BETAS {
+        out!(s, "{:<18}", format!("K-means(b={beta})"));
+        for eps in EPS_AXIS {
+            out!(s, " {:>10}", sci(r.get(&a_kmeans_cell(beta, eps))[0]));
+        }
+        outln!(s);
+    }
+    outln!(s, "expected shape: DAP_EMF*/CEMF* orders of magnitude below every k-means row.\n");
+
+    // Panel (b).
+    outln!(s, "== Fig. 9(b): IMA defense (Taxi, gamma = 0.25, eps = 1) ==");
+    out!(s, "{:<18}", "scheme");
+    for beta in BETAS {
+        out!(s, " {:>10}", format!("beta={beta}"));
+    }
+    outln!(s);
+    for g in IMA_GS {
+        // EMF-based is β-independent; print it as a constant row.
+        let emf_mse = r.get(&b_emf_cell(g))[0];
+        out!(s, "{:<18}", format!("EMF-based(g={g})"));
+        for _ in BETAS {
+            out!(s, " {:>10}", sci(emf_mse));
+        }
+        outln!(s);
+        out!(s, "{:<18}", format!("K-means(g={g})"));
+        for beta in BETAS {
+            out!(s, " {:>10}", sci(r.get(&b_kmeans_cell(g, beta))[0]));
+        }
+        outln!(s);
+    }
+    outln!(s, "expected shape: EMF-based below k-means for each g (paper: ~28-30% improvement).\n");
+
+    // Panels (c)(d).
+    for (panel, poison) in CD_PANELS {
+        outln!(
+            s,
+            "== Fig. 9({panel}): COVID-19 frequency MSE (poison on {:?}, gamma = 0.25) ==",
+            poison.groups()
+        );
+        out!(s, "{:<12}", "scheme");
+        for eps in EPS_AXIS {
+            out!(s, " {:>10}", format!("eps={eps}"));
+        }
+        outln!(s);
+        for scheme in Scheme::ALL {
+            out!(s, "{:<12}", scheme.label());
+            for eps in EPS_AXIS {
+                out!(s, " {:>10}", sci(r.get(&cd_dap_cell(panel, poison, scheme, eps))[0]));
+            }
+            outln!(s);
+        }
+        out!(s, "{:<12}", "Ostrich");
+        for eps in EPS_AXIS {
+            out!(s, " {:>10}", sci(r.get(&cd_ostrich_cell(panel, poison, eps))[0]));
+        }
+        outln!(s, "\nexpected shape: Ostrich flat around 1e-1..1e-2; DAP schemes far below and improving with eps.\n");
+    }
+    s
+}
+
+/// Enumerate → execute → print.
 pub fn run(opts: &ExpOptions) {
-    panel_a(opts);
-    panel_b(opts);
-    panel_cd(opts);
+    let cells = cells(opts);
+    let results = run_cells(opts, &cells);
+    print!("{}", render(opts, &ResultMap::from_results(&results)));
 }
 
-/// Sanity used by integration tests: one cheap cell of panel (a).
+/// Sanity used by integration tests: one cheap DAP cell of panel (a) next
+/// to one k-means cell, both through the engine.
 pub fn smoke_cell(opts: &ExpOptions) -> (f64, f64) {
-    let dap = crate::fig6::dap_mse(
-        Dataset::Taxi,
-        PoiRange::TopHalf,
-        0.25,
-        1.0,
-        Scheme::EmfStar,
-        opts,
-        1,
-    );
-    let kmeans = mse_over_trials(opts, 2, |rng| {
-        let (reports, truth) =
-            simulate_batch(Dataset::Taxi, opts.n, 0.25, 1.0, &PoiRange::TopHalf.attack(), rng);
-        (KMeansDefense::new(0.5, 200).estimate_mean(&reports, rng), truth)
-    });
-    (dap, kmeans)
+    let cells = vec![
+        Cell::new(
+            ExperimentId::Fig9,
+            "smoke",
+            CellKind::PmMse {
+                dataset: Dataset::Taxi,
+                gamma: 0.25,
+                eps: 1.0,
+                attack: AttackSpec::Poi(PoiRange::TopHalf),
+                schemes: SchemeSet::One(Scheme::EmfStar),
+                defenses: false,
+                weighting: Weighting::AlgorithmFive,
+                mechanism: MechKind::Pm,
+            },
+        ),
+        Cell::new(
+            ExperimentId::Fig9,
+            "smoke",
+            CellKind::KMeans {
+                dataset: Dataset::Taxi,
+                gamma: 0.25,
+                eps: 1.0,
+                attack: AttackSpec::Poi(PoiRange::TopHalf),
+                beta: 0.5,
+                subsets: 200,
+            },
+        ),
+    ];
+    let results = run_cells(opts, &cells);
+    (results[0].values[0], results[1].values[0])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dap_estimation::stats::mean;
 
     #[test]
     fn dap_beats_kmeans_on_the_fig9a_cell() {
@@ -214,17 +249,26 @@ mod tests {
     fn ima_mean_is_used_in_panel_b() {
         // Smoke: the EMF-based defense improves on the raw mean for g = 1.
         let opts = ExpOptions { n: 8_000, trials: 1, seed: 6, max_d_out: 64 };
-        let attack = InputManipulationAttack { g: 1.0 };
-        let emf_mse = mse_over_trials(&opts, 3, |rng| {
-            let (reports, truth) = simulate_batch(Dataset::Taxi, opts.n, 0.25, 1.0, &attack, rng);
-            let cfg = EmfConfig::capped(reports.len(), 1.0, opts.max_d_out);
-            let mech = PiecewiseMechanism::new(Epsilon::of(1.0));
-            (emf_based_ima_mean(&mech, &reports, &cfg).mean, truth)
-        });
-        let raw_mse = mse_over_trials(&opts, 3, |rng| {
-            let (reports, truth) = simulate_batch(Dataset::Taxi, opts.n, 0.25, 1.0, &attack, rng);
-            (mean(&reports), truth)
-        });
+        let cells = vec![
+            Cell::new(
+                ExperimentId::Fig9,
+                "smoke-ima",
+                CellKind::ImaEmf { dataset: Dataset::Taxi, gamma: 0.25, eps: 1.0, g: 1.0 },
+            ),
+            Cell::new(
+                ExperimentId::Fig9,
+                "smoke-ima",
+                CellKind::RawMean {
+                    dataset: Dataset::Taxi,
+                    gamma: 0.25,
+                    eps: 1.0,
+                    attack: AttackSpec::Ima { g: 1.0 },
+                    mechanism: MechKind::Pm,
+                },
+            ),
+        ];
+        let results = run_cells(&opts, &cells);
+        let (emf_mse, raw_mse) = (results[0].values[0], results[1].values[0]);
         assert!(emf_mse < raw_mse, "EMF-based {emf_mse:.2e} !< raw {raw_mse:.2e}");
     }
 }

@@ -2,12 +2,28 @@
 //! evaluation (§VI), plus ablations for the design decisions DESIGN.md
 //! calls out.
 //!
-//! Each module corresponds to one paper artifact and prints the same
-//! rows/series the paper reports. The binary `experiments` dispatches on a
-//! subcommand; see `experiments help`.
+//! The harness is a declarative cell engine in four layers:
+//!
+//! * **spec** ([`cell`]) — each experiment module enumerates typed
+//!   [`cell::Cell`] coordinates; RNG streams derive from the coordinate,
+//!   never from execution order;
+//! * **engine** ([`engine`]) — one shared runner executes any cell list
+//!   over [`dap_core::parallel_map`] with a process-wide population cache,
+//!   emitting typed [`engine::CellResult`] records;
+//! * **render/IO** (per-module `render` + [`results`]) — results become
+//!   the paper's stdout tables and a stable machine-readable JSON schema;
+//! * **shard** — `experiments <id> --shard i/n` runs a deterministic
+//!   partition of the cell list; `experiments merge` reassembles, and the
+//!   result is bit-identical to a single-process run.
+//!
+//! Each experiment module corresponds to one paper artifact and prints the
+//! same rows/series the paper reports. The binary `experiments` dispatches
+//! on a subcommand; see `experiments help`.
 
 pub mod ablations;
+pub mod cell;
 pub mod common;
+pub mod engine;
 pub mod fig10;
 pub mod fig4;
 pub mod fig5;
@@ -15,4 +31,28 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod results;
 pub mod table1;
+
+/// Appends a formatted line to a `String` render buffer (renderers build
+/// their stdout tables as strings so merge and golden tests can compare
+/// them byte for byte).
+#[macro_export]
+macro_rules! outln {
+    ($buf:expr) => {
+        $buf.push('\n')
+    };
+    ($buf:expr, $($arg:tt)*) => {{
+        use std::fmt::Write as _;
+        let _ = writeln!($buf, $($arg)*);
+    }};
+}
+
+/// [`outln!`] without the trailing newline.
+#[macro_export]
+macro_rules! out {
+    ($buf:expr, $($arg:tt)*) => {{
+        use std::fmt::Write as _;
+        let _ = write!($buf, $($arg)*);
+    }};
+}

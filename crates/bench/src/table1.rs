@@ -3,47 +3,56 @@
 //! budgets. The right side (the true poisoned side) must always have the
 //! smaller variance — that is what validates Algorithm 3.
 
-use crate::common::{simulate_batch, ExpOptions, PoiRange};
+use crate::cell::{Cell, CellKind, ExperimentId};
+use crate::common::{ExpOptions, PoiRange};
+use crate::engine::{run_cells, ResultMap};
+use crate::{out, outln};
 use dap_datasets::Dataset;
-use dap_emf::{probe_side, EmfConfig};
-use dap_estimation::rng::derive;
-use dap_estimation::Grid;
-use dap_ldp::{Epsilon, NumericMechanism, PiecewiseMechanism};
 
 /// The paper's Table I budget columns.
 pub const EPSILONS: [f64; 5] = [2.0, 0.5, 0.25, 0.125, 0.0625];
 
-/// Runs the table; γ = 0.25, right-side uniform attacks.
-pub fn run(opts: &ExpOptions) {
-    println!("== Table I: Var(x̂) under L/R hypotheses (Taxi, gamma = 0.25) ==");
-    print!("{:<10} {:<5}", "Poi", "Side");
-    for eps in EPSILONS {
-        print!(" {:>10}", format!("eps={eps}"));
-    }
-    println!();
+fn cell(range: PoiRange, eps: f64) -> Cell {
+    Cell::new(
+        ExperimentId::Table1,
+        "",
+        CellKind::ProbeVariance { dataset: Dataset::Taxi, range, gamma: 0.25, eps },
+    )
+}
 
-    for (ri, range) in PoiRange::ALL.into_iter().enumerate() {
-        let mut rows = [Vec::new(), Vec::new()]; // L, R
-        for (ei, eps) in EPSILONS.into_iter().enumerate() {
-            let mut rng = derive(opts.seed, 100 + (ri * 10 + ei) as u64);
-            let attack = range.attack();
-            let (reports, _) =
-                simulate_batch(Dataset::Taxi, opts.n, 0.25, eps, &attack, &mut rng);
-            let mech = PiecewiseMechanism::new(Epsilon::of(eps));
-            let cfg = EmfConfig::capped(reports.len(), eps, opts.max_d_out);
-            let (olo, ohi) = mech.output_range();
-            let counts = Grid::new(olo, ohi, cfg.d_out).counts(&reports);
-            let probe = probe_side(&mech, &counts, cfg.d_in, 0.0, &cfg.em);
-            rows[0].push(probe.var_left);
-            rows[1].push(probe.var_right);
-        }
-        for (side, row) in ["L", "R"].iter().zip(&rows) {
-            print!("{:<10} {:<5}", range.label(), side);
-            for v in row {
-                print!(" {:>10.1e}", v);
+/// One cell per (range, ε); each yields `[Var(x̂|L), Var(x̂|R)]`.
+pub fn cells(_opts: &ExpOptions) -> Vec<Cell> {
+    PoiRange::ALL
+        .into_iter()
+        .flat_map(|range| EPSILONS.into_iter().map(move |eps| cell(range, eps)))
+        .collect()
+}
+
+/// Renders the table; γ = 0.25, right-side uniform attacks.
+pub fn render(_opts: &ExpOptions, r: &ResultMap) -> String {
+    let mut s = String::new();
+    outln!(s, "== Table I: Var(x̂) under L/R hypotheses (Taxi, gamma = 0.25) ==");
+    out!(s, "{:<10} {:<5}", "Poi", "Side");
+    for eps in EPSILONS {
+        out!(s, " {:>10}", format!("eps={eps}"));
+    }
+    outln!(s);
+    for range in PoiRange::ALL {
+        for (side, pick) in [("L", 0usize), ("R", 1usize)] {
+            out!(s, "{:<10} {:<5}", range.label(), side);
+            for eps in EPSILONS {
+                out!(s, " {:>10.1e}", r.get(&cell(range, eps))[pick]);
             }
-            println!();
+            outln!(s);
         }
     }
-    println!("\nexpected shape: every R entry below its L counterpart.\n");
+    outln!(s, "\nexpected shape: every R entry below its L counterpart.\n");
+    s
+}
+
+/// Enumerate → execute → print.
+pub fn run(opts: &ExpOptions) {
+    let cells = cells(opts);
+    let results = run_cells(opts, &cells);
+    print!("{}", render(opts, &ResultMap::from_results(&results)));
 }

@@ -1,0 +1,118 @@
+//! Smoke coverage over the declarative cell enumeration for the drivers
+//! that previously had none (fig4, fig5, fig10, table1): pinned cell
+//! counts, finite and sane cell results, and renderers that consume every
+//! cell.
+
+use dap_bench::cell::ExperimentId;
+use dap_bench::common::ExpOptions;
+use dap_bench::engine::{run_cells, ResultMap};
+use dap_datasets::PopulationCache;
+use std::collections::HashSet;
+
+fn tiny() -> ExpOptions {
+    ExpOptions { n: 1_200, trials: 1, seed: 9, max_d_out: 16 }
+}
+
+#[test]
+fn fig4_cells_produce_normalized_histograms() {
+    let opts = tiny();
+    let cells = ExperimentId::Fig4.cells(&opts);
+    assert_eq!(cells.len(), 4, "one cell per dataset");
+    let results = run_cells(&opts, &cells);
+    for r in &results {
+        assert_eq!(r.values.len(), 21, "mean + 20 buckets");
+        let (mean, freqs) = (r.values[0], &r.values[1..]);
+        assert!((-1.0..=1.0).contains(&mean), "mean {mean} outside the signed domain");
+        let total: f64 = freqs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "frequencies sum to {total}");
+        assert!(freqs.iter().all(|f| f.is_finite() && *f >= 0.0));
+    }
+    let rendered = ExperimentId::Fig4.render(&opts, &ResultMap::from_results(&results));
+    assert!(rendered.contains("== Fig. 4"), "render lost its header:\n{rendered}");
+}
+
+#[test]
+fn fig5_cells_estimate_gamma_within_bounds() {
+    let opts = tiny();
+    let cells = ExperimentId::Fig5.cells(&opts);
+    // Panels a, b: 2 γ × 4 ranges × 6 ε; panels c, d: 4 datasets × 6 ε each.
+    assert_eq!(cells.len(), 2 * 4 * 6 + 4 * 6 + 4 * 6);
+    let results = run_cells(&opts, &cells);
+    for r in &results {
+        assert_eq!(r.values.len(), 1);
+        let v = r.values[0];
+        // γ̂ and |γ̂ − γ| both live in [0, 1].
+        assert!((0.0..=1.0).contains(&v), "gamma statistic {v} out of range");
+    }
+    let rendered = ExperimentId::Fig5.render(&opts, &ResultMap::from_results(&results));
+    for header in ["Fig. 5(a)", "Fig. 5(b)", "Fig. 5(c)", "Fig. 5(d)"] {
+        assert!(rendered.contains(header), "missing {header}");
+    }
+}
+
+#[test]
+fn fig10_cells_yield_finite_mses_for_all_schemes() {
+    let opts = tiny();
+    let cells = ExperimentId::Fig10.cells(&opts);
+    assert_eq!(cells.len(), 4 * 6, "datasets × evasive fractions");
+    let results = run_cells(&opts, &cells);
+    for r in &results {
+        assert_eq!(r.values.len(), 3, "one MSE per DAP scheme");
+        for v in &r.values {
+            assert!(v.is_finite() && *v >= 0.0, "MSE {v} not finite/non-negative");
+        }
+    }
+    let rendered = ExperimentId::Fig10.render(&opts, &ResultMap::from_results(&results));
+    assert!(rendered.contains("Eq.20 bound"), "bound row must render");
+}
+
+#[test]
+fn table1_cells_yield_positive_variances() {
+    let opts = tiny();
+    let cells = ExperimentId::Table1.cells(&opts);
+    assert_eq!(cells.len(), 4 * 5, "ranges × budgets");
+    let results = run_cells(&opts, &cells);
+    for r in &results {
+        assert_eq!(r.values.len(), 2, "[Var|L, Var|R]");
+        for v in &r.values {
+            assert!(v.is_finite() && *v > 0.0, "variance {v} not positive");
+        }
+    }
+    let rendered = ExperimentId::Table1.render(&opts, &ResultMap::from_results(&results));
+    assert!(rendered.contains("== Table I"), "render lost its header");
+}
+
+#[test]
+fn cell_streams_are_unique_across_experiments() {
+    let opts = tiny();
+    let mut streams = HashSet::new();
+    let mut total = 0usize;
+    for e in ExperimentId::ALL {
+        for cell in e.cells(&opts) {
+            assert!(streams.insert(cell.stream()), "stream collision at {cell:?}");
+            total += 1;
+        }
+    }
+    assert!(total > 300, "the full enumeration shrank suspiciously ({total} cells)");
+}
+
+#[test]
+fn population_cache_reuses_populations_across_cells() {
+    // 24 fig10 cells at one trial consume only 4 distinct populations
+    // (one per dataset at γ = 0.25) — the cache must serve the other 20+
+    // requests from memory. A distinct seed keeps this run's keys disjoint
+    // from other tests'; concurrent tests can only *increase* the hit
+    // delta, never decrease it.
+    let opts = ExpOptions { n: 900, trials: 1, seed: 20_260_727, max_d_out: 16 };
+    let cells = ExperimentId::Fig10.cells(&opts);
+    let before = PopulationCache::global().stats();
+    let _ = run_cells(&opts, &cells);
+    let after = PopulationCache::global().stats();
+    assert!(
+        after.hits - before.hits >= 20,
+        "expected ≥20 cache hits, got {} (misses {} -> {})",
+        after.hits - before.hits,
+        before.misses,
+        after.misses
+    );
+}

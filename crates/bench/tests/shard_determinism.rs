@@ -1,0 +1,132 @@
+//! Golden guarantees of the shard layer: `--shard 0/2` + `--shard 1/2` +
+//! `merge` equals the unsharded run **bit for bit** (f64 bit patterns and
+//! rendered stdout), including an uneven 3-way split; shard JSONs
+//! round-trip exactly; merge rejects incompatible inputs.
+
+use dap_bench::cell::ExperimentId;
+use dap_bench::common::ExpOptions;
+use dap_bench::engine::{run_cells, run_cells_subset, CellResult};
+use dap_bench::results::{ResultSet, ShardInfo};
+
+fn opts() -> ExpOptions {
+    ExpOptions { n: 1_000, trials: 2, seed: 7, max_d_out: 16 }
+}
+
+fn value_bits(results: &[CellResult]) -> Vec<(usize, Vec<u64>)> {
+    results
+        .iter()
+        .map(|r| (r.index, r.values.iter().map(|v| v.to_bits()).collect()))
+        .collect()
+}
+
+/// Runs `experiment` unsharded and as an `n_shards`-way partition through
+/// the full JSON round trip, and asserts bit-identical values *and*
+/// byte-identical rendered tables.
+fn assert_shards_match_full(experiment: ExperimentId, n_shards: usize) {
+    let opts = opts();
+    let cells = experiment.cells(&opts);
+    let full = run_cells(&opts, &cells);
+    let full_set = ResultSet::build(experiment.name(), &opts, None, &cells, &full);
+    full_set.verify_against(&cells).expect("full set verifies");
+
+    let mut shard_sets = Vec::new();
+    for s in 0..n_shards {
+        let indices: Vec<usize> = (0..cells.len()).filter(|i| i % n_shards == s).collect();
+        let results = run_cells_subset(&opts, &cells, &indices);
+        let set = ResultSet::build(
+            experiment.name(),
+            &opts,
+            Some(ShardInfo { index: s, count: n_shards, cells_total: cells.len() }),
+            &cells,
+            &results,
+        );
+        // Through the serialized form, exactly as the binary does it.
+        let reparsed = ResultSet::from_json(&set.to_json()).expect("shard JSON parses");
+        assert_eq!(reparsed, set, "shard JSON round trip drifted");
+        shard_sets.push(reparsed);
+    }
+
+    let merged = ResultSet::merge(shard_sets).expect("compatible shards");
+    merged.verify_against(&cells).expect("merged set verifies");
+
+    let full_bits = value_bits(&full);
+    let merged_bits: Vec<(usize, Vec<u64>)> = merged
+        .cells
+        .iter()
+        .map(|c| (c.index, c.values.iter().map(|v| v.to_bits()).collect()))
+        .collect();
+    assert_eq!(
+        full_bits,
+        merged_bits,
+        "{}: {n_shards}-way sharded values diverged from the unsharded run",
+        experiment.name()
+    );
+
+    let full_render = experiment.render(&opts, &full_set.result_map());
+    let merged_render = experiment.render(&opts, &merged.result_map());
+    assert_eq!(
+        full_render,
+        merged_render,
+        "{}: rendered tables diverged",
+        experiment.name()
+    );
+}
+
+#[test]
+fn table1_two_way_shards_are_bit_identical() {
+    assert_shards_match_full(ExperimentId::Table1, 2);
+}
+
+#[test]
+fn table1_uneven_three_way_shards_are_bit_identical() {
+    // 20 cells over 3 shards → 7/7/6: the uneven split must still cover
+    // exactly.
+    assert_shards_match_full(ExperimentId::Table1, 3);
+}
+
+#[test]
+fn fig10_protocol_cells_shard_bit_identically() {
+    // A trials-folded protocol experiment (full DAP runs, MSE fold), not
+    // just the single-rep probe table.
+    assert_shards_match_full(ExperimentId::Fig10, 2);
+}
+
+#[test]
+fn merge_rejects_mismatched_options_and_partitions() {
+    let opts = opts();
+    let cells = ExperimentId::Table1.cells(&opts);
+    let build_shard = |s: usize, n: usize, o: &ExpOptions| {
+        let indices: Vec<usize> = (0..cells.len()).filter(|i| i % n == s).collect();
+        let results = run_cells_subset(o, &cells, &indices);
+        ResultSet::build(
+            "table1",
+            o,
+            Some(ShardInfo { index: s, count: n, cells_total: cells.len() }),
+            &cells,
+            &results,
+        )
+    };
+    let s0 = build_shard(0, 2, &opts);
+    let s1 = build_shard(1, 2, &opts);
+
+    // Seed mismatch is named in the error.
+    let mut other_seed = s1.clone();
+    other_seed.options.seed = 8;
+    let err = ResultSet::merge(vec![s0.clone(), other_seed]).expect_err("seed mismatch");
+    assert!(err.contains("seed"), "unhelpful error: {err}");
+
+    // Same shard twice: overlap.
+    let err = ResultSet::merge(vec![s0.clone(), s0.clone()]).expect_err("overlap");
+    assert!(err.contains("twice") || err.contains("incomplete"), "unhelpful error: {err}");
+
+    // Missing shard: incomplete, with indices listed.
+    let err = ResultSet::merge(vec![s0.clone()]).expect_err("incomplete");
+    assert!(err.contains("incomplete"), "unhelpful error: {err}");
+
+    // A set from different *options* also fails verify_against through the
+    // coordinate digest: same streams but the checker compares counts.
+    let mut wrong_total = s1.clone();
+    wrong_total.shard = Some(ShardInfo { index: 1, count: 2, cells_total: 19 });
+    let err = ResultSet::merge(vec![s0, wrong_total]).expect_err("partition mismatch");
+    assert!(err.contains("partition"), "unhelpful error: {err}");
+}

@@ -262,8 +262,23 @@ where
         schemes: &[Scheme],
         rng: &mut R,
     ) -> Result<Vec<DapOutput>, DapError> {
+        self.run_schemes_on(&population.honest, population.byzantine, attack, schemes, rng)
+    }
+
+    /// [`Dap::run_schemes`] over a borrowed honest-value slice plus a
+    /// coalition size, for callers that share one sampled population across
+    /// many runs (the experiment engine's population cache) and must not
+    /// clone it into a [`Population`] per run.
+    pub fn run_schemes_on<R: RngCore>(
+        &self,
+        honest: &[f64],
+        byzantine: usize,
+        attack: &dyn Attack,
+        schemes: &[Scheme],
+        rng: &mut R,
+    ) -> Result<Vec<DapOutput>, DapError> {
         let cfg = &self.config;
-        let n_total = population.total();
+        let n_total = honest.len() + byzantine;
         if n_total == 0 {
             return Err(DapError::EmptyPopulation);
         }
@@ -278,7 +293,7 @@ where
         // k_t poison reports per member, scaled to the group's output
         // domain. Everything lands in the session through one ingestion
         // path.
-        let n_honest = population.honest.len();
+        let n_honest = honest.len();
         for g in 0..session.group_count() {
             let assign = session.client_assignment(g)?;
             let mech = (self.mech_factory)(assign.eps_t);
@@ -291,7 +306,7 @@ where
                     // ε_t each; ε_t = ε/2^t and k_t = 2^t, so the product is
                     // exactly ε with no accumulation error.
                     accountant.charge(user, assign.total_spend())?;
-                    assign.perturb_into(&mech, population.honest[user], &mut report_buf, rng);
+                    assign.perturb_into(&mech, honest[user], &mut report_buf, rng);
                     session.ingest_batch(g, &report_buf)?;
                 } else {
                     byz_members += 1;
@@ -301,7 +316,7 @@ where
             let n_poison = attack.reports_into(&mut poison, &mech, rng);
             session.ingest_batch(g, &poison[..n_poison])?;
         }
-        debug_assert!(accountant.all_depleted() || population.byzantine > 0);
+        debug_assert!(accountant.all_depleted() || byzantine > 0);
 
         // Stages 3–5: probe, per-group estimation, aggregation.
         session.finalize(schemes)

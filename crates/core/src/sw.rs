@@ -272,8 +272,21 @@ impl SwDap {
         schemes: &[Scheme],
         rng: &mut R,
     ) -> Result<Vec<SwDapOutput>, DapError> {
+        self.run_schemes_on(&population.honest, population.byzantine, attack, schemes, rng)
+    }
+
+    /// [`SwDap::run_schemes`] over a borrowed honest-value slice — the SW
+    /// analogue of [`crate::Dap::run_schemes_on`], for cached populations.
+    pub fn run_schemes_on<R: RngCore>(
+        &self,
+        honest: &[f64],
+        byzantine: usize,
+        attack: &dyn Attack,
+        schemes: &[Scheme],
+        rng: &mut R,
+    ) -> Result<Vec<SwDapOutput>, DapError> {
         let driver = Dap::new(self.config.session_config(), SquareWave::new)?;
-        let outs = driver.run_schemes(population, attack, schemes, rng)?;
+        let outs = driver.run_schemes_on(honest, byzantine, attack, schemes, rng)?;
         Ok(outs
             .into_iter()
             .map(|o| SwDapOutput { mean: o.mean, side: o.side, gamma: o.gamma })

@@ -15,8 +15,10 @@
 //! All numerical datasets can be emitted raw, normalized to `[-1, 1]` (the
 //! PM domain) or to `[0, 1]` (the SW domain).
 
+pub mod cache;
 pub mod covid;
 pub mod numeric;
 
+pub use cache::{CacheStats, Domain, PopulationCache, SampledPopulation};
 pub use covid::{covid_frequencies, sample_covid, COVID_GROUPS};
 pub use numeric::Dataset;
