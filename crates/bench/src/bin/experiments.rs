@@ -1,8 +1,12 @@
-//! Experiment driver: regenerates every table and figure of the paper.
+//! Experiment driver: regenerates every table and figure of the paper,
+//! and serves/drives the `dap-wire/v1` network stack.
 //!
 //! ```text
 //! cargo run --release -p dap-bench --bin experiments -- <id> [flags]
 //! cargo run --release -p dap-bench --bin experiments -- merge <shard.json>... [--out merged.json]
+//! cargo run --release -p dap-bench --bin experiments -- serve --addr H:P --mech pm|sw --eps E --users N [...]
+//! cargo run --release -p dap-bench --bin experiments -- submit --addrs H:P,... | --local [...]
+//! cargo run --release -p dap-bench --bin experiments -- dispatch <id> --addrs H:P,... [flags]
 //!
 //! ids:    fig4 table1 fig5 fig6 fig7 fig8 fig9 fig10
 //!         ablation-weights ablation-split ablation-mechanism all
@@ -20,13 +24,45 @@
 //!         --bench-json <path>  run the experiment --bench-repeats times and
 //!                              write median wall-clock JSON (perf tracking)
 //!         --bench-repeats <r>  timed repeats for --bench-json (default 3)
+//!
+//! serve:  runs one aggregation daemon (blocks until a shutdown frame):
+//!         --addr <host:port>   listen address (required)
+//!         --mech pm|sw         deployment mechanism    (default pm)
+//!         --eps <e>            per-user budget ε       (default 1)
+//!         --eps0 <e>           minimum group budget    (default 1/16)
+//!         --users <n>          deployment user count   (required)
+//!         --plan-seed <s>      shared plan seed        (default 7)
+//!         --max-dout <d>       EMF bucket cap          (default 64)
+//!
+//! submit: streams a simulated population to daemons (disjoint group
+//!         ownership), pulls serialized parts, merges + finalizes at the
+//!         coordinator — bit-identical to `--local` (the in-process
+//!         `Dap::run_schemes` reference, printed in the same format):
+//!         --addrs <a,b,...>    daemon addresses (or --local)
+//!         --dataset <name>    honest-value dataset    (default taxi)
+//!         --gamma <g>          coalition share         (default 0.2)
+//!         --data-seed <s>      honest-value seed       (default 1)
+//!         --schemes all|<lbl>  schemes to finalize     (default all)
+//!         --expect-rejection   after streaming, send one extra report and
+//!                              require the typed over-quota WireError
+//!         --shutdown           stop the daemons afterwards
+//!         (plus the serve deployment flags above)
+//!
+//! dispatch: runs shard i/n of <id> on daemon i over the wire, merges and
+//!         renders exactly like a local run (`--n/--trials/--seed/
+//!         --max-dout/--paper-scale/--out` as above, plus --addrs)
 //! ```
 
 use dap_bench::cell::{Cell, ExperimentId};
 use dap_bench::common::{write_bench_json, ExpOptions};
 use dap_bench::engine::{run_cells_subset, ResultMap};
 use dap_bench::results::{ResultSet, ShardInfo};
+use dap_bench::serve::{
+    parse_dataset, render_outputs, ServeSpec, SubmitOptions, SubmitSpec, WireMech,
+};
+use dap_core::Scheme;
 use dap_datasets::PopulationCache;
+use std::net::TcpListener;
 use std::ops::Range;
 use std::time::Instant;
 
@@ -45,11 +81,31 @@ fn main() {
     if id == "help" || id == "--help" {
         println!("usage: experiments <id> [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale] [--out PATH] [--shard I/N] [--bench-json PATH] [--bench-repeats R]");
         println!("       experiments merge <shard.json>... [--out PATH]");
+        println!("       experiments serve --addr H:P [--mech pm|sw] [--eps E] [--eps0 E0] --users N [--plan-seed S] [--max-dout D]");
+        println!("       experiments submit (--addrs H:P,... | --local) [deployment flags] [--dataset D] [--gamma G] [--data-seed S] [--schemes all|LBL,..] [--expect-rejection] [--shutdown]");
+        println!("       experiments dispatch <id> --addrs H:P,... [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale] [--out PATH]");
+        println!("       experiments shutdown --addrs H:P,...");
         println!("ids: fig4 table1 fig5 fig6 fig7 fig8 fig9 fig10 ablation-weights ablation-split ablation-mechanism all");
         return;
     }
     if id == "merge" {
         merge_cmd(&args[1..]);
+        return;
+    }
+    if id == "serve" {
+        serve_cmd(&args[1..]);
+        return;
+    }
+    if id == "submit" {
+        submit_cmd(&args[1..]);
+        return;
+    }
+    if id == "dispatch" {
+        dispatch_cmd(&args[1..]);
+        return;
+    }
+    if id == "shutdown" {
+        shutdown_cmd(&args[1..]);
         return;
     }
 
@@ -276,6 +332,232 @@ fn merge_cmd(args: &[String]) {
         eprintln!("[wrote {path}]");
     }
     eprintln!("[merged {} shards, {} cells]", paths.len(), merged.cells.len());
+}
+
+/// Rejects unknown `--flags` for the hand-parsed subcommands (same
+/// no-silent-ignore rule as `ExpOptions::parse`): `valued` flags consume
+/// the next token, `boolean` flags stand alone.
+fn check_flags(args: &[String], valued: &[&str], boolean: &[&str]) {
+    let mut skip = false;
+    for arg in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if arg.starts_with("--") {
+            if valued.contains(&arg.as_str()) {
+                skip = true;
+            } else if !boolean.contains(&arg.as_str()) {
+                fail(&format!("unknown flag {arg}; run `experiments help` for the flag list"));
+            }
+        }
+    }
+}
+
+/// Value of `flag` parsed as `T`, or `default` when absent.
+fn flag_parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        Ok(Some(v)) => v
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("invalid value '{v}' for flag {flag}"))),
+        Ok(None) => default,
+        Err(msg) => fail(&msg),
+    }
+}
+
+/// The deployment flags shared by `serve` and `submit`.
+const DEPLOY_FLAGS: [&str; 6] = ["--mech", "--eps", "--eps0", "--users", "--plan-seed", "--max-dout"];
+
+fn parse_serve_spec(args: &[String]) -> ServeSpec {
+    let mech = match flag_value(args, "--mech") {
+        Ok(Some(name)) => WireMech::from_name(&name)
+            .unwrap_or_else(|| fail(&format!("unknown mechanism '{name}' (use pm or sw)"))),
+        Ok(None) => WireMech::Pm,
+        Err(msg) => fail(&msg),
+    };
+    let users = match flag_value(args, "--users") {
+        Ok(Some(v)) => v
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("invalid value '{v}' for flag --users"))),
+        Ok(None) => fail("--users is required (the deployment's total user count)"),
+        Err(msg) => fail(&msg),
+    };
+    ServeSpec {
+        mech,
+        eps: flag_parse(args, "--eps", 1.0),
+        eps0: flag_parse(args, "--eps0", 1.0 / 16.0),
+        users,
+        seed: flag_parse(args, "--plan-seed", 7),
+        max_d_out: flag_parse(args, "--max-dout", 64),
+    }
+}
+
+/// `experiments serve`: one aggregation daemon over `dap-wire/v1`,
+/// blocking until a client sends `shutdown`.
+fn serve_cmd(args: &[String]) {
+    check_flags(args, &["--addr"].iter().chain(&DEPLOY_FLAGS).copied().collect::<Vec<_>>(), &[]);
+    let addr = match flag_value(args, "--addr") {
+        Ok(Some(a)) => a,
+        Ok(None) => fail("--addr <host:port> is required"),
+        Err(msg) => fail(&msg),
+    };
+    let spec = parse_serve_spec(args);
+    let digest = spec.state_digest().unwrap_or_else(|msg| fail(&msg));
+    let listener = TcpListener::bind(&addr)
+        .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
+    eprintln!(
+        "[dapd listening on {} — mech {}, eps {}, {} users, digest {:#018x}]",
+        listener.local_addr().map(|a| a.to_string()).unwrap_or(addr),
+        spec.mech.name(),
+        spec.eps,
+        spec.users,
+        digest,
+    );
+    if let Err(msg) = spec.serve(listener) {
+        fail(&msg);
+    }
+    eprintln!("[dapd stopped]");
+}
+
+fn parse_schemes(args: &[String]) -> Vec<Scheme> {
+    match flag_value(args, "--schemes") {
+        Ok(None) => Scheme::ALL.to_vec(),
+        Ok(Some(spec)) if spec == "all" => Scheme::ALL.to_vec(),
+        Ok(Some(spec)) => spec
+            .split(',')
+            .map(|label| {
+                Scheme::from_label(label)
+                    .unwrap_or_else(|| fail(&format!("unknown scheme '{label}'")))
+            })
+            .collect(),
+        Err(msg) => fail(&msg),
+    }
+}
+
+/// `experiments submit`: the coordinator — streams a simulated population
+/// to the daemons (or runs the in-process reference under `--local`) and
+/// prints the finalized outputs with their exact bit patterns.
+fn submit_cmd(args: &[String]) {
+    let valued: Vec<&str> = ["--addrs", "--dataset", "--gamma", "--data-seed", "--schemes"]
+        .iter()
+        .chain(&DEPLOY_FLAGS)
+        .copied()
+        .collect();
+    check_flags(args, &valued, &["--local", "--expect-rejection", "--shutdown"]);
+    let serve = parse_serve_spec(args);
+    let dataset = match flag_value(args, "--dataset") {
+        Ok(Some(name)) => parse_dataset(&name)
+            .unwrap_or_else(|| fail(&format!("unknown dataset '{name}'"))),
+        Ok(None) => dap_datasets::Dataset::Taxi,
+        Err(msg) => fail(&msg),
+    };
+    let spec = SubmitSpec {
+        serve,
+        dataset,
+        gamma: flag_parse(args, "--gamma", 0.2),
+        data_seed: flag_parse(args, "--data-seed", 1),
+    };
+    let schemes = parse_schemes(args);
+    let local = args.iter().any(|a| a == "--local");
+
+    // The header (and everything on stdout) is identical between a served
+    // run and the `--local` reference — CI byte-diffs the two.
+    println!(
+        "# dap-wire submit: mech {}, eps {}, eps0 {}, users {}, plan-seed {}, max-dout {}, dataset {}, gamma {}, data-seed {}",
+        spec.serve.mech.name(),
+        spec.serve.eps,
+        spec.serve.eps0,
+        spec.serve.users,
+        spec.serve.seed,
+        spec.serve.max_d_out,
+        spec.dataset.label(),
+        spec.gamma,
+        spec.data_seed,
+    );
+    let outputs = if local {
+        spec.run_local(&schemes).unwrap_or_else(|msg| fail(&msg))
+    } else {
+        let addrs: Vec<String> = match flag_value(args, "--addrs") {
+            Ok(Some(list)) => list.split(',').map(str::to_string).collect(),
+            Ok(None) => fail("submit needs --addrs <a,b,...> or --local"),
+            Err(msg) => fail(&msg),
+        };
+        let opts = SubmitOptions {
+            probe_rejection: args.iter().any(|a| a == "--expect-rejection"),
+            shutdown: args.iter().any(|a| a == "--shutdown"),
+        };
+        let outcome = spec.submit(&addrs, &schemes, opts).unwrap_or_else(|msg| fail(&msg));
+        if let Some(rejection) = outcome.rejection {
+            eprintln!("[rejection probe: {rejection}]");
+        }
+        outcome.outputs
+    };
+    print!("{}", render_outputs(&schemes, &outputs));
+}
+
+/// `experiments dispatch <id> --addrs a,b,...`: runs shard `i/n` of the
+/// experiment on daemon `i` over the wire, merges, verifies and renders
+/// exactly like a local run.
+fn dispatch_cmd(args: &[String]) {
+    let opts = match ExpOptions::parse_allowing(args, &["--addrs", "--out"]) {
+        Ok(opts) => opts,
+        Err(msg) => fail(&msg),
+    };
+    let id = match args.first() {
+        Some(id) if !id.starts_with("--") => id.clone(),
+        _ => fail("dispatch needs an experiment id first, e.g. `dispatch fig7 --addrs ...`"),
+    };
+    let addrs: Vec<String> = match flag_value(args, "--addrs") {
+        Ok(Some(list)) => list.split(',').map(str::to_string).collect(),
+        Ok(None) => fail("dispatch needs --addrs <a,b,...>"),
+        Err(msg) => fail(&msg),
+    };
+    let out_path = flag_value(args, "--out").unwrap_or_else(|msg| fail(&msg));
+
+    let start = Instant::now();
+    let merged = match dap_bench::serve::dispatch(&id, &opts, &addrs) {
+        Ok(m) => m,
+        Err(msg) => fail(&format!("dispatch failed: {msg}")),
+    };
+    println!(
+        "# options: n = {}, trials = {}, seed = {}, max_d_out = {}\n",
+        opts.n, opts.trials, opts.seed, opts.max_d_out
+    );
+    let map = merged.result_map();
+    let ids = dap_bench::serve::experiment_ids(&id).expect("verified by dispatch");
+    for e in &ids {
+        print!("{}", e.render(&opts, &map));
+    }
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, merged.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[wrote {path}]");
+    }
+    eprintln!(
+        "[dispatched {} shards over the wire, {} cells in {:.1?}]",
+        addrs.len(),
+        merged.cells.len(),
+        start.elapsed()
+    );
+}
+
+/// `experiments shutdown --addrs a,b,...`: stops running daemons.
+fn shutdown_cmd(args: &[String]) {
+    check_flags(args, &["--addrs"], &[]);
+    let addrs: Vec<String> = match flag_value(args, "--addrs") {
+        Ok(Some(list)) => list.split(',').map(str::to_string).collect(),
+        Ok(None) => fail("shutdown needs --addrs <a,b,...>"),
+        Err(msg) => fail(&msg),
+    };
+    for addr in &addrs {
+        let mut client =
+            dap_core::net::WireClient::connect_retry(addr, 20, std::time::Duration::from_millis(100))
+                .unwrap_or_else(|e| fail(&format!("cannot reach daemon {addr}: {e}")));
+        client.shutdown().unwrap_or_else(|e| fail(&format!("{addr}: {e}")));
+        eprintln!("[stopped {addr}]");
+    }
 }
 
 /// `--shard i/n` → `(i, n)`.

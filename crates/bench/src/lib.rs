@@ -32,6 +32,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod results;
+pub mod serve;
 pub mod table1;
 
 /// Appends a formatted line to a `String` render buffer (renderers build

@@ -30,19 +30,22 @@
 //! tests pin *sharded run + merge == unsharded run* bit for bit.
 //!
 //! The workspace has no serde (offline container), so this module carries
-//! its own emitter and a minimal strict JSON parser.
+//! its own emitter and a minimal strict JSON parser. The exact-number
+//! codec (hex f64 bit patterns, shortest-roundtrip decimals, string
+//! quoting) is **shared** with the `dap-wire/v1` network protocol — both
+//! re-export [`dap_core::codec`], so the two serialization layers cannot
+//! drift.
 
 use crate::cell::Cell;
 use crate::common::ExpOptions;
 use crate::engine::{CellResult, ResultMap};
+pub use dap_core::codec;
+use dap_core::codec::{decimal, parse_hex_u64, quote, MAX_EXACT_JSON_INT};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Schema identifier embedded in every file.
 pub const SCHEMA: &str = "dap-results/v1";
-
-/// Largest integer an f64-backed JSON number represents exactly (2⁵³).
-const MAX_EXACT_JSON_INT: u64 = 1 << 53;
 
 /// Shard coordinate of a partial run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,11 +153,11 @@ impl ResultSet {
             })?;
             if cell.stream() != rec.stream {
                 return Err(format!(
-                    "cell coordinate mismatch at index {}: file stream {:#x}, enumerated {:#x} \
+                    "coordinate digest mismatch at index {}: file stream {}, enumerated {} \
                      (different options or an incompatible build)",
                     rec.index,
-                    rec.stream,
-                    cell.stream()
+                    codec::hex_u64(rec.stream),
+                    codec::hex_u64(cell.stream())
                 ));
             }
         }
@@ -273,14 +276,14 @@ impl ResultSet {
             let variants: Vec<String> = rec.variants.iter().map(|v| quote(v)).collect();
             let values: Vec<String> = rec.values.iter().map(|v| decimal(*v)).collect();
             let bits: Vec<String> =
-                rec.values.iter().map(|v| format!("\"{:#018x}\"", v.to_bits())).collect();
+                rec.values.iter().map(|v| format!("\"{}\"", codec::f64_to_hex(*v))).collect();
             let _ = write!(
                 s,
-                "    {{ \"index\": {}, \"stream\": \"{:#018x}\", \"experiment\": {}, \
+                "    {{ \"index\": {}, \"stream\": \"{}\", \"experiment\": {}, \
                  \"panel\": {},\n      \"coords\": {{ {} }},\n      \"variants\": [{}],\n      \
                  \"values\": [{}],\n      \"bits\": [{}] }}",
                 rec.index,
-                rec.stream,
+                codec::hex_u64(rec.stream),
                 quote(&rec.experiment),
                 quote(&rec.panel),
                 coords.join(", "),
@@ -372,41 +375,6 @@ impl ResultSet {
         }
         Ok(ResultSet { experiment, options, shard, cells })
     }
-}
-
-/// Shortest-roundtrip decimal, with non-finite values mapped to `null`
-/// (the `bits` array stays authoritative either way).
-fn decimal(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn quote(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn parse_hex_u64(s: &str) -> Result<u64, String> {
-    let digits = s.strip_prefix("0x").ok_or_else(|| format!("expected 0x-hex, got '{s}'"))?;
-    u64::from_str_radix(digits, 16).map_err(|e| format!("bad hex '{s}': {e}"))
 }
 
 /// A deliberately small, strict JSON reader — just enough for the schema

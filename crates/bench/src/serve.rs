@@ -1,0 +1,557 @@
+//! The serving stack behind `experiments serve / submit / dispatch`: named
+//! deployments over `dap-wire/v1` ([`dap_core::net`]).
+//!
+//! Three roles, all std-only TCP:
+//!
+//! * **Daemon** ([`ServeSpec::serve`]) — owns one [`DapSession`] built
+//!   from a named deployment (mechanism, ε, user count, plan seed) and
+//!   answers the full wire surface. All parties rebuild the identical
+//!   grouping plan from the shared plan seed, so the hello digest
+//!   handshake catches any disagreement up front. Bench daemons also
+//!   execute `run-shard` frames, which is what makes a distributed
+//!   `experiments all` possible.
+//! * **Coordinator** ([`SubmitSpec::submit`]) — simulates the population
+//!   client-side exactly as [`Dap::run_schemes`] does (same RNG stream,
+//!   same per-group order), but streams each group's reports to the daemon
+//!   that owns it (group `g` → daemon `g mod n`), pulls the serialized
+//!   parts back, merges and finalizes locally. Because every group lives
+//!   wholly on one daemon and the wire carries exact f64 bit patterns, the
+//!   result is **bit-identical** to the in-process run
+//!   ([`SubmitSpec::run_local`]) — pinned by `crates/bench/tests/serve.rs`
+//!   and CI's `serve-smoke` job.
+//! * **Shard driver** ([`dispatch`]) — sends shard `i/n` of an experiment
+//!   to daemon `i`, concurrently, and merges the returned `dap-results/v1`
+//!   documents with the same verification as the file-based
+//!   `experiments merge`.
+
+use crate::cell::{Cell, ExperimentId};
+use crate::common::ExpOptions;
+use crate::engine::run_cells_subset;
+use crate::results::{codec, ResultSet, ShardInfo};
+use crate::outln;
+use dap_attack::{Anchor, Attack, UniformAttack};
+use dap_core::net::{serve_session, Frame, ShardRequest, WireClient, WireError};
+use dap_core::{
+    Dap, DapConfig, DapError, DapOutput, DapSession, GroupPlan, Scheme, SwDapConfig,
+};
+use dap_datasets::Dataset;
+use dap_estimation::rng::seeded;
+use dap_ldp::{Epsilon, NumericMechanism, PiecewiseMechanism, SquareWave};
+use std::net::TcpListener;
+use std::time::Duration;
+
+/// How many reports the coordinator accumulates before flushing one
+/// `ingest-batch` frame (order within a group is preserved, which is all
+/// exactness needs).
+const STREAM_CHUNK: usize = 8192;
+
+/// The LDP mechanism of a served deployment (what `--mech` names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMech {
+    /// Piecewise Mechanism, report-sum estimation (the paper's default).
+    Pm,
+    /// Square Wave, histogram-band estimation (§V-D).
+    Sw,
+}
+
+impl WireMech {
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireMech::Pm => "pm",
+            WireMech::Sw => "sw",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<WireMech> {
+        match name {
+            "pm" => Some(WireMech::Pm),
+            "sw" => Some(WireMech::Sw),
+            _ => None,
+        }
+    }
+}
+
+/// A named deployment: everything daemon and coordinator must agree on to
+/// build compatible sessions. The agreement is *verified*, not assumed —
+/// [`DapSession::state_digest`] covers the derived config, plan and grids,
+/// and the wire handshake compares digests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeSpec {
+    /// The deployment's mechanism.
+    pub mech: WireMech,
+    /// Global per-user budget ε.
+    pub eps: f64,
+    /// Minimum group budget ε₀.
+    pub eps0: f64,
+    /// Total user count (honest + coalition) — fixes the plan's quotas.
+    pub users: usize,
+    /// Plan seed: every party rebuilds the identical [`GroupPlan`] from
+    /// it (and the coordinator continues the same stream into
+    /// perturbation, mirroring [`Dap::run_schemes`]).
+    pub seed: u64,
+    /// EMF bucket cap.
+    pub max_d_out: usize,
+}
+
+impl ServeSpec {
+    /// The session configuration this deployment derives.
+    pub fn session_config(&self) -> DapConfig {
+        match self.mech {
+            WireMech::Pm => DapConfig {
+                eps0: self.eps0,
+                max_d_out: self.max_d_out,
+                ..DapConfig::paper_default(self.eps, Scheme::Emf)
+            },
+            WireMech::Sw => SwDapConfig {
+                eps0: self.eps0,
+                max_d_out: self.max_d_out,
+                ..SwDapConfig::paper_default(self.eps, Scheme::Emf)
+            }
+            .session_config(),
+        }
+    }
+
+    /// The grouping plan, rebuilt deterministically from the plan seed.
+    pub fn plan(&self) -> GroupPlan {
+        GroupPlan::build(self.users, self.eps, self.eps0, &mut seeded(self.seed))
+    }
+
+    fn pm_session(&self) -> Result<DapSession<PiecewiseMechanism>, DapError> {
+        DapSession::new(self.session_config(), self.plan(), PiecewiseMechanism::new)
+    }
+
+    fn sw_session(&self) -> Result<DapSession<SquareWave>, DapError> {
+        DapSession::new(self.session_config(), self.plan(), SquareWave::new)
+    }
+
+    /// The deployment's compatibility digest (what `hello` exchanges).
+    pub fn state_digest(&self) -> Result<u64, String> {
+        match self.mech {
+            WireMech::Pm => self.pm_session().map(|s| s.state_digest()),
+            WireMech::Sw => self.sw_session().map(|s| s.state_digest()),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    /// Serves this deployment on `listener` until a client sends
+    /// `shutdown`. Session frames hit the owned [`DapSession`]
+    /// (Definition 2 enforced at the door via the typed rejections);
+    /// `run-shard` frames execute experiment shards in-process.
+    pub fn serve(&self, listener: TcpListener) -> Result<(), String> {
+        let extra = |frame: &Frame| match frame {
+            Frame::RunShard { request } => Some(run_shard_frame(request)),
+            _ => None,
+        };
+        match self.mech {
+            WireMech::Pm => {
+                let session = self.pm_session().map_err(|e| e.to_string())?;
+                serve_session(listener, session, extra).map_err(|e| e.to_string())?;
+            }
+            WireMech::Sw => {
+                let session = self.sw_session().map_err(|e| e.to_string())?;
+                serve_session(listener, session, extra).map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A coordinator run: the deployment plus the simulated population it
+/// streams (dataset, coalition share, data seed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubmitSpec {
+    /// The deployment (must match the daemons').
+    pub serve: ServeSpec,
+    /// Honest-value dataset.
+    pub dataset: Dataset,
+    /// Coalition proportion γ.
+    pub gamma: f64,
+    /// Seed of the honest-value draw (independent of the plan seed).
+    pub data_seed: u64,
+}
+
+/// Knobs of one [`SubmitSpec::submit`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// After streaming the full population, send one extra in-range report
+    /// and require the typed over-quota rejection — the observable
+    /// wire-level Definition-2 check CI asserts.
+    pub probe_rejection: bool,
+    /// Send `shutdown` to every daemon after pulling its part.
+    pub shutdown: bool,
+}
+
+/// What a coordinator run produced.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// Finalized outputs, in scheme order.
+    pub outputs: Vec<DapOutput>,
+    /// The typed rejection observed by the probe (when requested).
+    pub rejection: Option<WireError>,
+}
+
+impl SubmitSpec {
+    fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.gamma) {
+            return Err(format!("gamma must be in [0, 1], got {}", self.gamma));
+        }
+        if self.serve.users == 0 {
+            return Err("need at least one user".into());
+        }
+        Ok(())
+    }
+
+    /// The honest values and coalition size this spec simulates.
+    fn population(&self) -> (Vec<f64>, usize) {
+        let m = (self.serve.users as f64 * self.gamma).round() as usize;
+        let mut rng = seeded(self.data_seed);
+        let honest = match self.serve.mech {
+            WireMech::Pm => self.dataset.generate_signed(self.serve.users - m, &mut rng),
+            WireMech::Sw => self.dataset.generate_unit(self.serve.users - m, &mut rng),
+        };
+        (honest, m)
+    }
+
+    /// The paper's canonical upper-half poison for the deployment's
+    /// mechanism (top of the output domain for PM, the upper inflation
+    /// band for SW).
+    fn attack(&self) -> Box<dyn Attack> {
+        match self.serve.mech {
+            WireMech::Pm => Box::new(UniformAttack::of_upper(0.5, 1.0)),
+            WireMech::Sw => Box::new(UniformAttack::new(
+                Anchor::AboveInputMax(0.5),
+                Anchor::AboveInputMax(1.0),
+            )),
+        }
+    }
+
+    /// The in-process reference: literally [`Dap::run_schemes_on`] over the
+    /// same population, attack and RNG stream — what the served run is
+    /// pinned bit-identical to.
+    pub fn run_local(&self, schemes: &[Scheme]) -> Result<Vec<DapOutput>, String> {
+        self.validate()?;
+        let (honest, byzantine) = self.population();
+        let attack = self.attack();
+        let mut rng = seeded(self.serve.seed);
+        let cfg = self.serve.session_config();
+        match self.serve.mech {
+            WireMech::Pm => Dap::new(cfg, PiecewiseMechanism::new).and_then(|dap| {
+                dap.run_schemes_on(&honest, byzantine, attack.as_ref(), schemes, &mut rng)
+            }),
+            WireMech::Sw => Dap::new(cfg, SquareWave::new).and_then(|dap| {
+                dap.run_schemes_on(&honest, byzantine, attack.as_ref(), schemes, &mut rng)
+            }),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    /// Streams the population to the daemons at `addrs` (group `g` owned
+    /// by daemon `g mod n`), pulls the serialized parts, merges and
+    /// finalizes at the coordinator. Bit-identical to
+    /// [`SubmitSpec::run_local`] — see the module docs for why.
+    pub fn submit(
+        &self,
+        addrs: &[String],
+        schemes: &[Scheme],
+        opts: SubmitOptions,
+    ) -> Result<SubmitOutcome, String> {
+        self.validate()?;
+        if addrs.is_empty() {
+            return Err("need at least one daemon address".into());
+        }
+        match self.serve.mech {
+            WireMech::Pm => self.submit_with(PiecewiseMechanism::new, addrs, schemes, opts),
+            WireMech::Sw => self.submit_with(SquareWave::new, addrs, schemes, opts),
+        }
+    }
+
+    fn submit_with<M, F>(
+        &self,
+        factory: F,
+        addrs: &[String],
+        schemes: &[Scheme],
+        opts: SubmitOptions,
+    ) -> Result<SubmitOutcome, String>
+    where
+        M: NumericMechanism + Sync,
+        F: Fn(Epsilon) -> M,
+    {
+        let (honest, _) = self.population();
+        let attack = self.attack();
+        let cfg = self.serve.session_config();
+
+        // Mirror `Dap::run_schemes_on` exactly: one RNG stream drives plan
+        // construction and then perturbation in group order.
+        let mut rng = seeded(self.serve.seed);
+        let plan = GroupPlan::build(self.serve.users, cfg.eps, cfg.eps0, &mut rng);
+        let mut session = DapSession::new(cfg, plan, &factory).map_err(|e| e.to_string())?;
+        let digest = session.state_digest();
+
+        let mut clients = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let mut client = WireClient::connect_retry(addr, 100, Duration::from_millis(100))
+                .map_err(|e| format!("cannot reach daemon {addr}: {e}"))?;
+            client.hello(digest).map_err(|e| format!("handshake with {addr} failed: {e}"))?;
+            clients.push(client);
+        }
+
+        let n_honest = honest.len();
+        for g in 0..session.group_count() {
+            let owner = g % clients.len();
+            let assign = session.client_assignment(g).map_err(|e| e.to_string())?;
+            let mech = factory(assign.eps_t);
+            let mut buf = vec![0.0f64; assign.k_t];
+            let mut chunk: Vec<f64> = Vec::with_capacity(STREAM_CHUNK + assign.k_t);
+            let mut byz_members = 0usize;
+            for i in 0..session.plan().assignment[g].len() {
+                let user = session.plan().assignment[g][i];
+                if user < n_honest {
+                    assign.perturb_into(&mech, honest[user], &mut buf, &mut rng);
+                    chunk.extend_from_slice(&buf);
+                    if chunk.len() >= STREAM_CHUNK {
+                        clients[owner].ingest_batch(g, &chunk).map_err(|e| e.to_string())?;
+                        chunk.clear();
+                    }
+                } else {
+                    byz_members += 1;
+                }
+            }
+            let mut poison = vec![0.0f64; byz_members * assign.k_t];
+            let n_poison = attack.reports_into(&mut poison, &mech, &mut rng);
+            chunk.extend_from_slice(&poison[..n_poison]);
+            if !chunk.is_empty() {
+                clients[owner].ingest_batch(g, &chunk).map_err(|e| e.to_string())?;
+            }
+        }
+
+        // Every group is now exactly at quota; one more in-range report
+        // must bounce with the typed over-quota rejection.
+        let rejection = if opts.probe_rejection {
+            match clients[0].ingest(0, 0.0) {
+                Err(e @ WireError::Rejected(DapError::QuotaExceeded { .. })) => Some(e),
+                Err(other) => {
+                    return Err(format!("rejection probe hit an unexpected error: {other}"))
+                }
+                Ok(()) => {
+                    return Err(
+                        "rejection probe was accepted — quota enforcement is broken".into()
+                    )
+                }
+            }
+        } else {
+            None
+        };
+
+        for client in &mut clients {
+            let part = client.pull_part().map_err(|e| e.to_string())?;
+            session.merge_part(&part).map_err(|e| e.to_string())?;
+            if opts.shutdown {
+                client.shutdown().map_err(|e| e.to_string())?;
+            }
+        }
+        let outputs = session.finalize(schemes).map_err(|e| e.to_string())?;
+        Ok(SubmitOutcome { outputs, rejection })
+    }
+}
+
+/// Stable text rendering of finalized outputs: human-readable decimals
+/// plus the authoritative bit patterns, so CI can byte-diff a served run
+/// against a local one.
+pub fn render_outputs(schemes: &[Scheme], outputs: &[DapOutput]) -> String {
+    assert_eq!(schemes.len(), outputs.len(), "one output per scheme");
+    let mut s = String::new();
+    outln!(
+        s,
+        "{:<10} {:>12} {:>6} {:>9}  {:<18} {:<18}",
+        "scheme",
+        "mean",
+        "side",
+        "gamma",
+        "mean-bits",
+        "gamma-bits"
+    );
+    for (scheme, out) in schemes.iter().zip(outputs) {
+        outln!(
+            s,
+            "{:<10} {:>12.6} {:>6} {:>9.4}  {:<18} {:<18}",
+            scheme.label(),
+            out.mean,
+            format!("{:?}", out.side),
+            out.gamma,
+            codec::f64_to_hex(out.mean),
+            codec::f64_to_hex(out.gamma)
+        );
+    }
+    s
+}
+
+/// Experiment ids behind a CLI selector (`"all"` or one id).
+pub fn experiment_ids(selector: &str) -> Option<Vec<ExperimentId>> {
+    if selector == "all" {
+        Some(ExperimentId::ALL.to_vec())
+    } else {
+        ExperimentId::from_name(selector).map(|e| vec![e])
+    }
+}
+
+/// The full concatenated cell enumeration for an id list (shard indices
+/// refer to this).
+pub fn enumerate_cells(ids: &[ExperimentId], opts: &ExpOptions) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for e in ids {
+        cells.extend(e.cells(opts));
+    }
+    cells
+}
+
+/// Executes one shard request in-process, returning the shard's
+/// `dap-results/v1` JSON — the daemon-side half of [`dispatch`], identical
+/// in effect to `experiments <id> --shard i/n --out -`.
+pub fn run_shard(req: &ShardRequest) -> Result<String, String> {
+    let ids = experiment_ids(&req.experiment)
+        .ok_or_else(|| format!("unknown experiment '{}'", req.experiment))?;
+    if req.count == 0 || req.index >= req.count {
+        return Err(format!("invalid shard {}/{}", req.index, req.count));
+    }
+    let opts = ExpOptions {
+        n: req.n,
+        trials: req.trials,
+        seed: req.seed,
+        max_d_out: req.max_d_out,
+    };
+    let cells = enumerate_cells(&ids, &opts);
+    let indices: Vec<usize> =
+        (0..cells.len()).filter(|i| i % req.count == req.index).collect();
+    let results = run_cells_subset(&opts, &cells, &indices);
+    let set = ResultSet::build(
+        &req.experiment,
+        &opts,
+        Some(ShardInfo { index: req.index, count: req.count, cells_total: cells.len() }),
+        &cells,
+        &results,
+    );
+    Ok(set.to_json())
+}
+
+fn run_shard_frame(req: &ShardRequest) -> Frame {
+    match run_shard(req) {
+        Ok(json) => Frame::ShardResult { json },
+        Err(message) => Frame::Error(WireError::Failed { message }),
+    }
+}
+
+/// Drives a sharded experiment across remote daemons: shard `i` of
+/// `addrs.len()` goes to daemon `i`, shards run concurrently, and the
+/// merged set passes the same option/coordinate verification as the
+/// file-based `experiments merge` — so the result is bit-identical to a
+/// local unsharded run.
+pub fn dispatch(
+    experiment: &str,
+    opts: &ExpOptions,
+    addrs: &[String],
+) -> Result<ResultSet, String> {
+    if addrs.is_empty() {
+        return Err("need at least one daemon address".into());
+    }
+    let shards: Vec<Result<ResultSet, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                let experiment = experiment.to_string();
+                let opts = *opts;
+                let count = addrs.len();
+                scope.spawn(move || -> Result<ResultSet, String> {
+                    let mut client =
+                        WireClient::connect_retry(addr, 100, Duration::from_millis(100))
+                            .map_err(|e| format!("cannot reach daemon {addr}: {e}"))?;
+                    let json = client
+                        .run_shard(&ShardRequest {
+                            experiment,
+                            n: opts.n,
+                            trials: opts.trials,
+                            seed: opts.seed,
+                            max_d_out: opts.max_d_out,
+                            index: i,
+                            count,
+                        })
+                        .map_err(|e| format!("{addr}: {e}"))?;
+                    ResultSet::from_json(&json).map_err(|e| format!("{addr}: {e}"))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("dispatch worker")).collect()
+    });
+    let shards: Vec<ResultSet> = shards.into_iter().collect::<Result<_, _>>()?;
+    let merged = ResultSet::merge(shards)?;
+    let ids = experiment_ids(&merged.experiment)
+        .ok_or_else(|| format!("unknown experiment '{}' in shard replies", merged.experiment))?;
+    merged.verify_against(&enumerate_cells(&ids, &merged.options))?;
+    Ok(merged)
+}
+
+/// Parses a `--dataset` name: the paper label (`Taxi`), case-insensitive,
+/// with punctuation optional (`beta25` for `Beta(2,5)`).
+pub fn parse_dataset(name: &str) -> Option<Dataset> {
+    let wanted = name.to_ascii_lowercase();
+    Dataset::ALL.into_iter().find(|d| {
+        let label = d.label().to_ascii_lowercase();
+        label == wanted || label.replace(['(', ')', ','], "") == wanted
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_names_parse_flexibly() {
+        assert_eq!(parse_dataset("taxi"), Some(Dataset::Taxi));
+        assert_eq!(parse_dataset("Taxi"), Some(Dataset::Taxi));
+        assert_eq!(parse_dataset("Beta(2,5)"), Some(Dataset::Beta25));
+        assert_eq!(parse_dataset("beta25"), Some(Dataset::Beta25));
+        assert_eq!(parse_dataset("retirement"), Some(Dataset::Retirement));
+        assert_eq!(parse_dataset("laundromat"), None);
+    }
+
+    #[test]
+    fn experiment_selectors_resolve() {
+        assert_eq!(experiment_ids("fig7"), Some(vec![ExperimentId::Fig7]));
+        assert_eq!(experiment_ids("all").map(|v| v.len()), Some(ExperimentId::ALL.len()));
+        assert_eq!(experiment_ids("fig99"), None);
+    }
+
+    #[test]
+    fn run_shard_rejects_bad_requests() {
+        let req = |experiment: &str, index, count| ShardRequest {
+            experiment: experiment.into(),
+            n: 100,
+            trials: 1,
+            seed: 1,
+            max_d_out: 8,
+            index,
+            count,
+        };
+        assert!(run_shard(&req("fig99", 0, 1)).unwrap_err().contains("unknown experiment"));
+        assert!(run_shard(&req("fig7", 2, 2)).unwrap_err().contains("invalid shard"));
+    }
+
+    #[test]
+    fn spec_digests_agree_between_parties_and_differ_between_deployments() {
+        let spec = ServeSpec {
+            mech: WireMech::Pm,
+            eps: 0.25,
+            eps0: 1.0 / 16.0,
+            users: 200,
+            seed: 5,
+            max_d_out: 16,
+        };
+        assert_eq!(spec.state_digest().unwrap(), spec.state_digest().unwrap());
+        let other_seed = ServeSpec { seed: 6, ..spec };
+        assert_ne!(spec.state_digest().unwrap(), other_seed.state_digest().unwrap());
+        let sw = ServeSpec { mech: WireMech::Sw, ..spec };
+        assert_ne!(spec.state_digest().unwrap(), sw.state_digest().unwrap());
+    }
+}

@@ -1,9 +1,9 @@
-//! Smoke coverage over the declarative cell enumeration for the drivers
-//! that previously had none (fig4, fig5, fig10, table1): pinned cell
+//! Smoke coverage over the declarative cell enumeration: pinned cell
 //! counts, finite and sane cell results, and renderers that consume every
-//! cell.
+//! cell — for all eleven experiments (fig4/fig5/fig10/table1 landed with
+//! the engine; fig6–fig9 and the ablations here).
 
-use dap_bench::cell::ExperimentId;
+use dap_bench::cell::{CellKind, ExperimentId};
 use dap_bench::common::ExpOptions;
 use dap_bench::engine::{run_cells, ResultMap};
 use dap_datasets::PopulationCache;
@@ -11,6 +11,12 @@ use std::collections::HashSet;
 
 fn tiny() -> ExpOptions {
     ExpOptions { n: 1_200, trials: 1, seed: 9, max_d_out: 16 }
+}
+
+/// Even smaller populations for the protocol-heavy enumerations (fig6 runs
+/// 80 full DAP executions).
+fn minute() -> ExpOptions {
+    ExpOptions { n: 600, trials: 1, seed: 9, max_d_out: 16 }
 }
 
 #[test]
@@ -80,6 +86,113 @@ fn table1_cells_yield_positive_variances() {
     }
     let rendered = ExperimentId::Table1.render(&opts, &ResultMap::from_results(&results));
     assert!(rendered.contains("== Table I"), "render lost its header");
+}
+
+#[test]
+fn fig6_cells_yield_finite_mses_for_schemes_and_defenses() {
+    let opts = minute();
+    let cells = ExperimentId::Fig6.cells(&opts);
+    assert_eq!(cells.len(), 4 * 4 * 5, "datasets × poison ranges × budgets");
+    let results = run_cells(&opts, &cells);
+    for r in &results {
+        assert_eq!(r.values.len(), 5, "3 schemes + Ostrich + Trimming");
+        for v in &r.values {
+            assert!(v.is_finite() && *v >= 0.0, "MSE {v} not finite/non-negative");
+        }
+    }
+    let rendered = ExperimentId::Fig6.render(&opts, &ResultMap::from_results(&results));
+    assert!(rendered.contains("== Fig. 6"), "render lost its header:\n{rendered}");
+    assert!(rendered.contains("Poi[C/2,C]"), "panel captions must render");
+}
+
+#[test]
+fn fig7_cells_yield_finite_mses_across_gamma_and_shape_axes() {
+    let opts = tiny();
+    let cells = ExperimentId::Fig7.cells(&opts);
+    assert_eq!(cells.len(), 2 * 4 + 2 * 4, "γ panels + shape panels");
+    let results = run_cells(&opts, &cells);
+    for r in &results {
+        assert_eq!(r.values.len(), 5, "3 schemes + Ostrich + Trimming");
+        for v in &r.values {
+            assert!(v.is_finite() && *v >= 0.0, "MSE {v} not finite/non-negative");
+        }
+    }
+    let rendered = ExperimentId::Fig7.render(&opts, &ResultMap::from_results(&results));
+    for header in ["Fig. 7(a)", "Fig. 7(b)", "Fig. 7(c)", "Fig. 7(d)"] {
+        assert!(rendered.contains(header), "missing {header}");
+    }
+}
+
+#[test]
+fn fig8_cells_cover_all_four_sw_panels() {
+    let opts = tiny();
+    let cells = ExperimentId::Fig8.cells(&opts);
+    // (a) 6 budgets; (b) 2 datasets × 6; (c)(d) 2 datasets × (5 scheme
+    // columns + 5 defense columns).
+    assert_eq!(cells.len(), 6 + 2 * 6 + 2 * (5 + 5));
+    let results = run_cells(&opts, &cells);
+    for (cell, r) in cells.iter().zip(&results) {
+        let expected = match &cell.kind {
+            CellKind::SwWasserstein { .. } => 4,
+            CellKind::SwGammaErr { .. } => 1,
+            CellKind::SwMse { .. } => 3,
+            CellKind::SwDefense { .. } => 2,
+            other => panic!("unexpected fig8 cell kind {other:?}"),
+        };
+        assert_eq!(r.values.len(), expected);
+        for v in &r.values {
+            assert!(v.is_finite() && *v >= 0.0, "statistic {v} not finite/non-negative");
+        }
+    }
+    let rendered = ExperimentId::Fig8.render(&opts, &ResultMap::from_results(&results));
+    for header in ["Fig. 8(a)", "Fig. 8(b)", "Fig. 8(c)", "Fig. 8(d)"] {
+        assert!(rendered.contains(header), "missing {header}");
+    }
+}
+
+#[test]
+fn fig9_cells_cover_kmeans_ima_and_categorical_panels() {
+    let opts = minute();
+    let cells = ExperimentId::Fig9.cells(&opts);
+    // (a) 5 budgets × (1 scheme row-set + 5 β k-means rows); (b) 3 IMA
+    // targets × (EMF + 5 β); (c)(d) per poison set: 3 schemes × 5 budgets
+    // + 5 Ostrich columns.
+    assert_eq!(cells.len(), 5 + 5 * 5 + 3 * (1 + 5) + 2 * (3 * 5 + 5));
+    let results = run_cells(&opts, &cells);
+    for r in &results {
+        for v in &r.values {
+            assert!(v.is_finite() && *v >= 0.0, "MSE {v} not finite/non-negative");
+        }
+    }
+    let rendered = ExperimentId::Fig9.render(&opts, &ResultMap::from_results(&results));
+    for header in ["Fig. 9(a)", "Fig. 9(b)", "Fig. 9(c)", "Fig. 9(d)"] {
+        assert!(rendered.contains(header), "missing {header}");
+    }
+}
+
+#[test]
+fn ablation_cells_have_pinned_counts_and_sane_values() {
+    let opts = minute();
+    for (id, expected, header) in [
+        (ExperimentId::AblationWeights, 3 * 4, "weighting rule"),
+        (ExperimentId::AblationSplit, 2 * 4, "budget split"),
+        (ExperimentId::AblationMechanism, 2 * 4 + 2 * 4, "underlying mechanism"),
+    ] {
+        let cells = id.cells(&opts);
+        assert_eq!(cells.len(), expected, "{}", id.name());
+        let results = run_cells(&opts, &cells);
+        for r in &results {
+            assert_eq!(r.values.len(), 1, "{}: single-estimator cells", id.name());
+            assert!(
+                r.values[0].is_finite() && r.values[0] >= 0.0,
+                "{}: MSE {} not finite/non-negative",
+                id.name(),
+                r.values[0]
+            );
+        }
+        let rendered = id.render(&opts, &ResultMap::from_results(&results));
+        assert!(rendered.contains(header), "{}: missing '{header}':\n{rendered}", id.name());
+    }
 }
 
 #[test]

@@ -1,0 +1,250 @@
+//! Golden loopback equivalence for the serving stack: a coordinator
+//! streaming to real TCP daemons must finalize **bit-identically** to the
+//! single-process `Dap::run_schemes` / `SwDap::run_schemes` reference —
+//! for PM and SW, ε ∈ {1/4, 1/2, 1}, all schemes, and several worker
+//! counts — and the remote shard driver (`dispatch`) must reproduce a
+//! local cell run exactly. The same properties are exercised
+//! end-to-end (separate processes, byte-diffed stdout) by CI's
+//! `serve-smoke` job.
+
+use dap_bench::cell::ExperimentId;
+use dap_bench::common::ExpOptions;
+use dap_bench::engine::run_cells;
+use dap_bench::results::ResultSet;
+use dap_bench::serve::{
+    dispatch, ServeSpec, SubmitOptions, SubmitSpec, WireMech,
+};
+use dap_core::net::WireClient;
+use dap_core::{DapError, DapOutput, Scheme, SwDap, SwDapConfig, WireError};
+use dap_datasets::Dataset;
+use dap_estimation::rng::seeded;
+use std::net::TcpListener;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn spawn_daemons(spec: &ServeSpec, count: usize) -> (Vec<String>, Vec<JoinHandle<()>>) {
+    (0..count)
+        .map(|_| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let addr = listener.local_addr().expect("local addr").to_string();
+            let spec = *spec;
+            let handle =
+                std::thread::spawn(move || spec.serve(listener).expect("daemon serves"));
+            (addr, handle)
+        })
+        .unzip()
+}
+
+fn shutdown_all(addrs: &[String], handles: Vec<JoinHandle<()>>) {
+    for addr in addrs {
+        let mut c = WireClient::connect_retry(addr, 50, Duration::from_millis(20))
+            .expect("daemon reachable");
+        c.shutdown().expect("shutdown accepted");
+    }
+    for handle in handles {
+        handle.join().expect("daemon thread");
+    }
+}
+
+/// Bitwise comparison of output vectors — stricter than `PartialEq`
+/// (distinguishes -0.0 from 0.0, compares NaN bit patterns).
+fn assert_outputs_bit_identical(a: &[DapOutput], b: &[DapOutput], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: output count");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.mean.to_bits(), y.mean.to_bits(), "{context}: mean of output {i}");
+        assert_eq!(x.side, y.side, "{context}: side of output {i}");
+        assert_eq!(x.gamma.to_bits(), y.gamma.to_bits(), "{context}: gamma of output {i}");
+        assert_eq!(
+            x.min_variance.to_bits(),
+            y.min_variance.to_bits(),
+            "{context}: min_variance of output {i}"
+        );
+        assert_eq!(x.groups.len(), y.groups.len(), "{context}: groups of output {i}");
+        for (g, (gx, gy)) in x.groups.iter().zip(&y.groups).enumerate() {
+            assert_eq!(gx.n_reports, gy.n_reports, "{context}: output {i} group {g}");
+            for (fx, fy) in [
+                (gx.eps_t, gy.eps_t),
+                (gx.mean_t, gy.mean_t),
+                (gx.m_hat, gy.m_hat),
+                (gx.n_hat, gy.n_hat),
+                (gx.weight, gy.weight),
+            ] {
+                assert_eq!(fx.to_bits(), fy.to_bits(), "{context}: output {i} group {g}");
+            }
+        }
+    }
+}
+
+#[test]
+fn coordinator_over_tcp_matches_in_process_run_bit_for_bit() {
+    for (mech, dataset) in [(WireMech::Pm, Dataset::Taxi), (WireMech::Sw, Dataset::Beta25)] {
+        for (e, eps) in [0.25, 0.5, 1.0].into_iter().enumerate() {
+            let spec = SubmitSpec {
+                serve: ServeSpec {
+                    mech,
+                    eps,
+                    eps0: 1.0 / 16.0,
+                    users: 900,
+                    seed: 40 + e as u64,
+                    max_d_out: 24,
+                },
+                dataset,
+                gamma: 0.2,
+                data_seed: 5,
+            };
+            let local = spec.run_local(&Scheme::ALL).expect("local reference");
+
+            // Several worker counts, including a single daemon and more
+            // daemons than some groups have peers.
+            let worker_counts: &[usize] = if eps == 0.5 { &[2] } else { &[1, 3] };
+            for &workers in worker_counts {
+                let (addrs, handles) = spawn_daemons(&spec.serve, workers);
+                let outcome = spec
+                    .submit(&addrs, &Scheme::ALL, SubmitOptions::default())
+                    .expect("served run");
+                assert_outputs_bit_identical(
+                    &outcome.outputs,
+                    &local,
+                    &format!("{mech:?} eps={eps} workers={workers}"),
+                );
+                shutdown_all(&addrs, handles);
+            }
+        }
+    }
+}
+
+#[test]
+fn sw_submit_matches_the_swdap_driver_bitwise() {
+    // `run_local` drives `Dap<SquareWave>` in band mode; `SwDap` is the
+    // public driver for the same deployment. Pin the serving stack to the
+    // *public* reference too, not just to the internal one.
+    let spec = SubmitSpec {
+        serve: ServeSpec {
+            mech: WireMech::Sw,
+            eps: 0.5,
+            eps0: 1.0 / 16.0,
+            users: 900,
+            seed: 77,
+            max_d_out: 24,
+        },
+        dataset: Dataset::Beta25,
+        gamma: 0.2,
+        data_seed: 5,
+    };
+    let local = spec.run_local(&Scheme::ALL).expect("local reference");
+
+    let m = (900.0f64 * 0.2).round() as usize;
+    let honest = Dataset::Beta25.generate_unit(900 - m, &mut seeded(5));
+    let sw = SwDap::new(SwDapConfig {
+        max_d_out: 24,
+        ..SwDapConfig::paper_default(0.5, Scheme::Emf)
+    })
+    .expect("valid config");
+    let attack = dap_attack::UniformAttack::new(
+        dap_attack::Anchor::AboveInputMax(0.5),
+        dap_attack::Anchor::AboveInputMax(1.0),
+    );
+    let reference = sw
+        .run_schemes_on(&honest, m, &attack, &Scheme::ALL, &mut seeded(77))
+        .expect("SwDap reference");
+    for (a, b) in local.iter().zip(&reference) {
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        assert_eq!(a.gamma.to_bits(), b.gamma.to_bits());
+        assert_eq!(a.side, b.side);
+    }
+}
+
+#[test]
+fn over_quota_probe_returns_the_typed_wire_rejection() {
+    let spec = SubmitSpec {
+        serve: ServeSpec {
+            mech: WireMech::Pm,
+            eps: 0.25,
+            eps0: 1.0 / 16.0,
+            users: 300,
+            seed: 9,
+            max_d_out: 16,
+        },
+        dataset: Dataset::Taxi,
+        gamma: 0.1,
+        data_seed: 2,
+    };
+    let (addrs, handles) = spawn_daemons(&spec.serve, 2);
+    let outcome = spec
+        .submit(
+            &addrs,
+            &[Scheme::EmfStar],
+            SubmitOptions { probe_rejection: true, shutdown: true },
+        )
+        .expect("served run with probe");
+    match outcome.rejection {
+        Some(WireError::Rejected(DapError::QuotaExceeded { group: 0, attempted: 1, .. })) => {}
+        other => panic!("expected typed over-quota rejection, got {other:?}"),
+    }
+    for handle in handles {
+        handle.join().expect("daemon thread");
+    }
+}
+
+#[test]
+fn mismatched_deployments_fail_the_handshake() {
+    let daemon_spec = ServeSpec {
+        mech: WireMech::Pm,
+        eps: 0.25,
+        eps0: 1.0 / 16.0,
+        users: 300,
+        seed: 9,
+        max_d_out: 16,
+    };
+    let (addrs, handles) = spawn_daemons(&daemon_spec, 1);
+    // The coordinator believes the deployment has one more user — its plan
+    // (and digest) differ, and the handshake must say so before any report
+    // flows.
+    let spec = SubmitSpec {
+        serve: ServeSpec { users: 301, ..daemon_spec },
+        dataset: Dataset::Taxi,
+        gamma: 0.1,
+        data_seed: 2,
+    };
+    let err = spec
+        .submit(&addrs, &[Scheme::Emf], SubmitOptions::default())
+        .expect_err("digest mismatch");
+    assert!(err.contains("digest mismatch"), "unhelpful error: {err}");
+    shutdown_all(&addrs, handles);
+}
+
+#[test]
+fn remote_shard_dispatch_matches_local_cells_bit_for_bit() {
+    let spec = ServeSpec {
+        mech: WireMech::Pm,
+        eps: 0.25,
+        eps0: 1.0 / 16.0,
+        users: 120,
+        seed: 3,
+        max_d_out: 16,
+    };
+    let (addrs, handles) = spawn_daemons(&spec, 2);
+
+    let opts = ExpOptions { n: 1_200, trials: 1, seed: 13, max_d_out: 16 };
+    let merged = dispatch("table1", &opts, &addrs).expect("wire dispatch");
+
+    let cells = ExperimentId::Table1.cells(&opts);
+    let results = run_cells(&opts, &cells);
+    let local = ResultSet::build("table1", &opts, None, &cells, &results);
+
+    assert_eq!(merged.experiment, local.experiment);
+    assert_eq!(merged.cells.len(), local.cells.len());
+    for (a, b) in merged.cells.iter().zip(&local.cells) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.stream, b.stream);
+        let abits: Vec<u64> = a.values.iter().map(|v| v.to_bits()).collect();
+        let bbits: Vec<u64> = b.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(abits, bbits, "cell {} diverged over the wire", a.index);
+    }
+    // The rendered tables are identical too.
+    assert_eq!(
+        ExperimentId::Table1.render(&opts, &merged.result_map()),
+        ExperimentId::Table1.render(&opts, &local.result_map()),
+    );
+    shutdown_all(&addrs, handles);
+}

@@ -127,6 +127,14 @@ fn merge_rejects_mismatched_options_and_partitions() {
     // coordinate digest: same streams but the checker compares counts.
     let mut wrong_total = s1.clone();
     wrong_total.shard = Some(ShardInfo { index: 1, count: 2, cells_total: 19 });
-    let err = ResultSet::merge(vec![s0, wrong_total]).expect_err("partition mismatch");
+    let err = ResultSet::merge(vec![s0.clone(), wrong_total]).expect_err("partition mismatch");
     assert!(err.contains("partition"), "unhelpful error: {err}");
+
+    // A record whose stream disagrees with the re-enumerated cell at its
+    // index names the coordinate digest — the shard-set diagnosis the
+    // `experiments merge` CLI surfaces.
+    let mut forged = ResultSet::merge(vec![s0, s1]).expect("compatible shards");
+    forged.cells[0].stream ^= 1;
+    let err = forged.verify_against(&cells).expect_err("stream forgery");
+    assert!(err.contains("coordinate digest"), "unhelpful error: {err}");
 }

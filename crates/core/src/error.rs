@@ -73,6 +73,35 @@ pub enum DapError {
     Budget(BudgetError),
 }
 
+impl DapError {
+    /// Every `what` a [`DapError::SessionMismatch`] can carry, in one
+    /// place: the session-construction checks, the field-by-field merge
+    /// comparisons ([`crate::DapConfig::diff_field`],
+    /// [`crate::GroupPlan::diff_field`]) and the serialized-part checks.
+    /// The wire layer ([`crate::net`]) round-trips a mismatch by index
+    /// into this table, which is what keeps the variant's `&'static str`
+    /// intact across a network hop.
+    pub const MISMATCH_FIELDS: [&'static str; 17] = [
+        "zero sessions (nothing to merge)",
+        "config budgets and group plan",
+        "config eps",
+        "config eps0",
+        "config scheme",
+        "config weighting",
+        "config o_prime",
+        "config max_d_out",
+        "config clamp_to_input",
+        "config estimation mode",
+        "plan budgets",
+        "plan reports-per-user",
+        "plan user assignment",
+        "mechanism output grids",
+        "state digest",
+        "part group count",
+        "part histogram resolution",
+    ];
+}
+
 impl fmt::Display for DapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -75,6 +75,23 @@ impl GroupPlan {
         self.budgets.len()
     }
 
+    /// Names the first component on which two plans differ, or `None` when
+    /// they are equal — the plan-side analogue of
+    /// [`crate::DapConfig::diff_field`], consumed by
+    /// [`crate::DapSession::merge`] rejections.
+    pub fn diff_field(&self, other: &GroupPlan) -> Option<&'static str> {
+        if self.budgets != other.budgets {
+            return Some("plan budgets");
+        }
+        if self.reports_per_user != other.reports_per_user {
+            return Some("plan reports-per-user");
+        }
+        if self.assignment != other.assignment {
+            return Some("plan user assignment");
+        }
+        None
+    }
+
     /// True when the plan has no groups (only possible for 0 users… never).
     pub fn is_empty(&self) -> bool {
         self.budgets.is_empty()
@@ -172,5 +189,31 @@ mod tests {
     #[should_panic(expected = "need ε ≥ ε₀")]
     fn rejects_eps_below_eps0() {
         GroupPlan::group_count(0.01, 0.0625);
+    }
+
+    #[test]
+    fn every_plan_diff_field_is_wire_encodable() {
+        use crate::error::DapError;
+        let base = GroupPlan::build(100, 1.0, 0.25, &mut seeded(1));
+        assert_eq!(base.diff_field(&base), None);
+
+        let mut budgets = base.clone();
+        budgets.budgets[0] = Epsilon::of(2.0);
+        let mut reports = base.clone();
+        reports.reports_per_user[0] += 1;
+        let mut assignment = base.clone();
+        assignment.assignment[0].reverse();
+        for (plan, expected) in [
+            (budgets, "plan budgets"),
+            (reports, "plan reports-per-user"),
+            (assignment, "plan user assignment"),
+        ] {
+            let field = plan.diff_field(&base).expect("one component differs");
+            assert_eq!(field, expected);
+            assert!(
+                DapError::MISMATCH_FIELDS.contains(&field),
+                "'{field}' missing from DapError::MISMATCH_FIELDS"
+            );
+        }
     }
 }

@@ -35,6 +35,10 @@
 //!   into [`DapOutput`]s.
 //! * [`protocol`] / [`sw`] — the *simulations*: thin drivers wiring a
 //!   [`Population`] and an attack through the client API into a session.
+//! * [`net`] — the transport: `dap-wire/v1`, a std-only length-prefixed
+//!   TCP frame protocol serving a session ([`net::serve_session`] /
+//!   [`net::WireClient`]) with exact f64 bit patterns (shared [`codec`])
+//!   and typed [`DapError`] rejections across the wire.
 //!
 //! The [`baseline`] module implements the §IV two-budget protocol (and its
 //! security flaw against probing-aware attackers, which motivates DAP), the
@@ -47,9 +51,11 @@ pub mod aggregation;
 pub mod baseline;
 pub mod categorical;
 pub mod client;
+pub mod codec;
 pub mod error;
 pub mod grouping;
 pub mod ima;
+pub mod net;
 pub mod parallel;
 pub mod population;
 pub mod protocol;
@@ -67,5 +73,6 @@ pub use parallel::parallel_map;
 pub use population::Population;
 pub use protocol::{Dap, DapConfig, DapConfigBuilder, DapOutput, GroupReport};
 pub use scheme::{GroupHistogram, Scheme};
-pub use session::{DapSession, EstimationMode};
+pub use net::{WireClient, WireError};
+pub use session::{DapSession, EstimationMode, PartGroup, SessionPart};
 pub use sw::{SwDap, SwDapConfig, SwDapOutput};

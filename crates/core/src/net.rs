@@ -1,0 +1,1149 @@
+//! `dap-wire/v1`: a std-only wire protocol serving [`DapSession`] over TCP.
+//!
+//! The session API is transport-agnostic; this module is the transport. A
+//! daemon wraps one session in [`serve_session`] (a thread-per-connection
+//! accept loop over `std::net::TcpListener` — the workspace has no async
+//! runtime, by design); clients drive it through [`WireClient`]. The frame
+//! set mirrors the session API one-to-one:
+//!
+//! | frame | direction | reply | meaning |
+//! |---|---|---|---|
+//! | `hello` | → | `hello-ok` | version + [`DapSession::state_digest`] handshake |
+//! | `ingest` | → | `ok` | one report into one group |
+//! | `ingest-batch` | → | `ok` | an atomic report batch into one group |
+//! | `pull` | → | `part` | the serialized per-group state ([`SessionPart`]) |
+//! | `merge` | → | `ok` | absorb a serialized part ([`DapSession::merge_part`]) |
+//! | `finalize` | → | `outputs` | run the collector pipeline for a scheme list |
+//! | `run-shard` | → | `shard-result` | execute an experiment shard (bench daemons) |
+//! | `shutdown` | → | `ok` | stop the daemon after this reply |
+//! | `error` | ← | — | typed [`WireError`] reply to any frame |
+//!
+//! Every frame is length-prefixed (4-byte big-endian length, then a UTF-8
+//! body whose first token is the frame tag). All f64 values — reports,
+//! histogram state, outputs — travel as IEEE-754 bit patterns through the
+//! shared [`crate::codec`], the same encoding the `dap-results/v1` JSON
+//! schema uses, so a value crosses the wire **exactly**: the golden
+//! loopback suites pin a coordinator-over-TCP run bit-identical to a
+//! single-process one.
+//!
+//! Rejections stay typed across the hop: a [`DapError`] raised by the
+//! session (out-of-range report, over-quota traffic, unknown group,
+//! incompatible merge) comes back as [`WireError::Rejected`] carrying the
+//! same variant with the same fields.
+
+use crate::codec::{self, f64_to_hex, hex_u64};
+use crate::error::DapError;
+use crate::protocol::{DapOutput, GroupReport};
+use crate::scheme::Scheme;
+use crate::session::{DapSession, PartGroup, SessionPart};
+use dap_attack::Side;
+use dap_ldp::NumericMechanism;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The protocol version exchanged in the `hello` handshake.
+pub const WIRE_VERSION: &str = "dap-wire/v1";
+
+/// Upper bound on one frame body — a guard against garbage lengths, not a
+/// protocol limit (the largest legitimate frame, a 1M-report batch, is
+/// ~20 MB of hex tokens).
+const MAX_FRAME: usize = 64 << 20;
+
+/// A typed error crossing the wire (or raised by the transport itself).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The peer's session rejected the operation; the original
+    /// [`DapError`] round-trips with its fields intact.
+    Rejected(DapError),
+    /// The peer speaks a different `dap-wire` version.
+    VersionMismatch {
+        /// Version offered by the client.
+        client: String,
+        /// Version the server speaks.
+        server: String,
+    },
+    /// Client and server sessions were built from different deployments
+    /// (config, plan or mechanism grids differ).
+    DigestMismatch {
+        /// The client session's [`DapSession::state_digest`].
+        client: u64,
+        /// The server session's digest.
+        server: u64,
+    },
+    /// The peer does not handle this frame (e.g. `run-shard` sent to a
+    /// plain session daemon).
+    Unsupported {
+        /// The offending frame tag.
+        what: String,
+    },
+    /// A frame failed to parse (or exceeded the size guard).
+    BadFrame {
+        /// What went wrong.
+        reason: String,
+    },
+    /// The peer failed in a way that has no structured encoding.
+    Failed {
+        /// The peer's error message.
+        message: String,
+    },
+    /// A transport-level I/O failure (connect, read, write).
+    Io {
+        /// The underlying error, stringified.
+        message: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Rejected(e) => write!(f, "rejected by peer: {e}"),
+            WireError::VersionMismatch { client, server } => {
+                write!(f, "wire version mismatch: client {client}, server {server}")
+            }
+            WireError::DigestMismatch { client, server } => write!(
+                f,
+                "session digest mismatch: client {}, server {} (different config, plan or mechanisms)",
+                hex_u64(*client),
+                hex_u64(*server)
+            ),
+            WireError::Unsupported { what } => write!(f, "peer does not support frame '{what}'"),
+            WireError::BadFrame { reason } => write!(f, "malformed frame: {reason}"),
+            WireError::Failed { message } => write!(f, "peer failed: {message}"),
+            WireError::Io { message } => write!(f, "wire i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Rejected(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io { message: e.to_string() }
+    }
+}
+
+impl From<DapError> for WireError {
+    fn from(e: DapError) -> Self {
+        WireError::Rejected(e)
+    }
+}
+
+/// One `dap-wire/v1` frame (see the module docs for the table).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client greeting: protocol version + session digest.
+    Hello {
+        /// The client's [`WIRE_VERSION`].
+        version: String,
+        /// The client session's [`DapSession::state_digest`].
+        digest: u64,
+    },
+    /// Handshake accepted.
+    HelloOk {
+        /// The server session's digest (equal to the client's).
+        digest: u64,
+        /// Number of groups in the served plan.
+        groups: usize,
+    },
+    /// One report into one group.
+    Ingest {
+        /// Target group.
+        group: usize,
+        /// The perturbed report.
+        report: f64,
+    },
+    /// An atomic batch of reports into one group.
+    IngestBatch {
+        /// Target group.
+        group: usize,
+        /// The reports, in ingestion order (order is part of the exactness
+        /// contract — running sums accumulate in it).
+        reports: Vec<f64>,
+    },
+    /// Generic success reply.
+    Ok,
+    /// Ask the server for its serialized session state.
+    Pull,
+    /// The server's serialized state.
+    Part {
+        /// The exported state.
+        part: SessionPart,
+    },
+    /// Push a serialized part into the server's session.
+    Merge {
+        /// The part to absorb.
+        part: SessionPart,
+    },
+    /// Run the collector pipeline server-side.
+    Finalize {
+        /// Schemes to read the result off under, in reply order.
+        schemes: Vec<Scheme>,
+    },
+    /// Finalized outputs, in request scheme order.
+    Outputs {
+        /// One output per requested scheme.
+        outputs: Vec<DapOutput>,
+    },
+    /// Execute one experiment shard (handled by bench daemons; a plain
+    /// session server answers `error unsupported`).
+    RunShard {
+        /// The shard coordinate.
+        request: ShardRequest,
+    },
+    /// A shard's `dap-results/v1` JSON document.
+    ShardResult {
+        /// The JSON text, verbatim.
+        json: String,
+    },
+    /// Stop the server after replying `ok`.
+    Shutdown,
+    /// Typed failure reply.
+    Error(WireError),
+}
+
+/// Coordinates of one remote experiment shard (`experiments <id> --shard
+/// i/n` driven over the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRequest {
+    /// Experiment id (`"fig7"`, `"all"`, …).
+    pub experiment: String,
+    /// Population size per trial.
+    pub n: usize,
+    /// Trials per cell.
+    pub trials: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// EMF bucket cap.
+    pub max_d_out: usize,
+    /// Shard index (`0 ≤ index < count`).
+    pub index: usize,
+    /// Shard count.
+    pub count: usize,
+}
+
+impl Frame {
+    /// The frame's wire tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::HelloOk { .. } => "hello-ok",
+            Frame::Ingest { .. } => "ingest",
+            Frame::IngestBatch { .. } => "ingest-batch",
+            Frame::Ok => "ok",
+            Frame::Pull => "pull",
+            Frame::Part { .. } => "part",
+            Frame::Merge { .. } => "merge",
+            Frame::Finalize { .. } => "finalize",
+            Frame::Outputs { .. } => "outputs",
+            Frame::RunShard { .. } => "run-shard",
+            Frame::ShardResult { .. } => "shard-result",
+            Frame::Shutdown => "shutdown",
+            Frame::Error(_) => "error",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+fn push_part(s: &mut String, part: &SessionPart) {
+    use std::fmt::Write as _;
+    s.push(' ');
+    codec::push_hex_u64(s, part.digest);
+    let _ = write!(s, " {}", part.groups.len());
+    for g in &part.groups {
+        let _ = write!(s, "\ngroup {} ", g.n_reports);
+        codec::push_hex_f64(s, g.sum_reports);
+        let _ = write!(s, " {}", g.counts.len());
+        for &c in &g.counts {
+            s.push(' ');
+            codec::push_hex_f64(s, c);
+        }
+    }
+}
+
+fn push_outputs(s: &mut String, outputs: &[DapOutput]) {
+    use std::fmt::Write as _;
+    let _ = write!(s, " {}", outputs.len());
+    for out in outputs {
+        let side = match out.side {
+            Side::Left => "L",
+            Side::Right => "R",
+        };
+        s.push_str("\noutput ");
+        codec::push_hex_f64(s, out.mean);
+        let _ = write!(s, " {side} ");
+        codec::push_hex_f64(s, out.gamma);
+        s.push(' ');
+        codec::push_hex_f64(s, out.min_variance);
+        let _ = write!(s, " {}", out.groups.len());
+        for g in &out.groups {
+            s.push_str("\ng ");
+            codec::push_hex_f64(s, g.eps_t);
+            let _ = write!(s, " {} ", g.n_reports);
+            for (i, v) in [g.mean_t, g.m_hat, g.n_hat, g.weight].into_iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                codec::push_hex_f64(s, v);
+            }
+        }
+    }
+}
+
+/// Serializes a frame body (without the length prefix). Exposed for tests;
+/// use [`write_frame`] to put frames on a stream.
+pub fn encode_frame(frame: &Frame) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    match frame {
+        Frame::Hello { version, digest } => {
+            let _ = write!(s, "hello {version} {}", hex_u64(*digest));
+        }
+        Frame::HelloOk { digest, groups } => {
+            let _ = write!(s, "hello-ok {} {groups}", hex_u64(*digest));
+        }
+        Frame::Ingest { group, report } => {
+            let _ = write!(s, "ingest {group} {}", f64_to_hex(*report));
+        }
+        Frame::IngestBatch { group, reports } => {
+            let _ = writeln!(s, "ingest-batch {group} {}", reports.len());
+            for (i, r) in reports.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                codec::push_hex_f64(&mut s, *r);
+            }
+        }
+        Frame::Ok => s.push_str("ok"),
+        Frame::Pull => s.push_str("pull"),
+        Frame::Part { part } => {
+            s.push_str("part");
+            push_part(&mut s, part);
+        }
+        Frame::Merge { part } => {
+            s.push_str("merge");
+            push_part(&mut s, part);
+        }
+        Frame::Finalize { schemes } => {
+            let _ = write!(s, "finalize {}", schemes.len());
+            for scheme in schemes {
+                let _ = write!(s, " {}", scheme.label());
+            }
+        }
+        Frame::Outputs { outputs } => {
+            s.push_str("outputs");
+            push_outputs(&mut s, outputs);
+        }
+        Frame::RunShard { request } => {
+            let _ = write!(
+                s,
+                "run-shard {} {} {} {} {} {} {}",
+                request.experiment,
+                request.n,
+                request.trials,
+                request.seed,
+                request.max_d_out,
+                request.index,
+                request.count
+            );
+        }
+        Frame::ShardResult { json } => {
+            s.push_str("shard-result\n");
+            s.push_str(json);
+        }
+        Frame::Shutdown => s.push_str("shutdown"),
+        Frame::Error(e) => encode_error(&mut s, e),
+    }
+    s
+}
+
+fn encode_error(s: &mut String, e: &WireError) {
+    use std::fmt::Write as _;
+    match e {
+        WireError::Rejected(d) => match d {
+            DapError::ReportOutOfRange { group, report, lo, hi } => {
+                let _ = write!(
+                    s,
+                    "error rejected range {group} {} {} {}",
+                    f64_to_hex(*report),
+                    f64_to_hex(*lo),
+                    f64_to_hex(*hi)
+                );
+            }
+            DapError::QuotaExceeded { group, quota, ingested, attempted } => {
+                let _ = write!(s, "error rejected quota {group} {quota} {ingested} {attempted}");
+            }
+            DapError::UnknownGroup { group, groups } => {
+                let _ = write!(s, "error rejected group {group} {groups}");
+            }
+            DapError::SessionMismatch { what } => {
+                match DapError::MISMATCH_FIELDS.iter().position(|f| f == what) {
+                    Some(idx) => {
+                        let _ = write!(s, "error rejected mismatch {idx}");
+                    }
+                    None => {
+                        let _ = write!(s, "error failed\n{d}");
+                    }
+                }
+            }
+            // The remaining variants cannot be raised by ingest/merge/
+            // finalize on a live session; ship them as their message.
+            other => {
+                let _ = write!(s, "error failed\n{other}");
+            }
+        },
+        WireError::VersionMismatch { client, server } => {
+            let _ = write!(s, "error version {client} {server}");
+        }
+        WireError::DigestMismatch { client, server } => {
+            let _ = write!(s, "error digest {} {}", hex_u64(*client), hex_u64(*server));
+        }
+        WireError::Unsupported { what } => {
+            let _ = write!(s, "error unsupported\n{what}");
+        }
+        WireError::BadFrame { reason } => {
+            let _ = write!(s, "error bad-frame\n{reason}");
+        }
+        WireError::Failed { message } => {
+            let _ = write!(s, "error failed\n{message}");
+        }
+        WireError::Io { message } => {
+            let _ = write!(s, "error io\n{message}");
+        }
+    }
+}
+
+/// Whitespace tokenizer with typed accessors; every parse failure is a
+/// [`WireError::BadFrame`] naming the missing piece.
+struct Tokens<'a> {
+    it: std::str::SplitWhitespace<'a>,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(body: &'a str) -> Tokens<'a> {
+        Tokens { it: body.split_whitespace() }
+    }
+
+    fn bad(what: &str) -> WireError {
+        WireError::BadFrame { reason: format!("missing or malformed {what}") }
+    }
+
+    fn next(&mut self, what: &str) -> Result<&'a str, WireError> {
+        self.it.next().ok_or_else(|| Self::bad(what))
+    }
+
+    fn usize(&mut self, what: &str) -> Result<usize, WireError> {
+        self.next(what)?.parse().map_err(|_| Self::bad(what))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        self.next(what)?.parse().map_err(|_| Self::bad(what))
+    }
+
+    fn hex_u64(&mut self, what: &str) -> Result<u64, WireError> {
+        codec::parse_hex_u64(self.next(what)?)
+            .map_err(|reason| WireError::BadFrame { reason })
+    }
+
+    fn hex_f64(&mut self, what: &str) -> Result<f64, WireError> {
+        codec::parse_hex_f64(self.next(what)?)
+            .map_err(|reason| WireError::BadFrame { reason })
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), WireError> {
+        if self.next(word)? == word {
+            Ok(())
+        } else {
+            Err(Self::bad(word))
+        }
+    }
+
+    fn done(self) -> Result<(), WireError> {
+        let mut it = self.it;
+        match it.next() {
+            None => Ok(()),
+            Some(extra) => Err(WireError::BadFrame {
+                reason: format!("trailing token '{extra}'"),
+            }),
+        }
+    }
+}
+
+fn parse_part(t: &mut Tokens) -> Result<SessionPart, WireError> {
+    let digest = t.hex_u64("part digest")?;
+    let n_groups = t.usize("part group count")?;
+    let mut groups = Vec::with_capacity(n_groups);
+    for _ in 0..n_groups {
+        t.literal("group")?;
+        let n_reports = t.usize("group report count")?;
+        let sum_reports = t.hex_f64("group report sum")?;
+        let n_buckets = t.usize("group bucket count")?;
+        let mut counts = Vec::with_capacity(n_buckets);
+        for _ in 0..n_buckets {
+            counts.push(t.hex_f64("bucket count")?);
+        }
+        groups.push(PartGroup { counts, sum_reports, n_reports });
+    }
+    Ok(SessionPart { digest, groups })
+}
+
+fn parse_outputs(t: &mut Tokens) -> Result<Vec<DapOutput>, WireError> {
+    let n = t.usize("output count")?;
+    let mut outputs = Vec::with_capacity(n);
+    for _ in 0..n {
+        t.literal("output")?;
+        let mean = t.hex_f64("output mean")?;
+        let side = match t.next("output side")? {
+            "L" => Side::Left,
+            "R" => Side::Right,
+            other => {
+                return Err(WireError::BadFrame { reason: format!("unknown side '{other}'") })
+            }
+        };
+        let gamma = t.hex_f64("output gamma")?;
+        let min_variance = t.hex_f64("output min_variance")?;
+        let n_groups = t.usize("output group count")?;
+        let mut groups = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            t.literal("g")?;
+            groups.push(GroupReport {
+                eps_t: t.hex_f64("group eps_t")?,
+                n_reports: t.usize("group n_reports")?,
+                mean_t: t.hex_f64("group mean_t")?,
+                m_hat: t.hex_f64("group m_hat")?,
+                n_hat: t.hex_f64("group n_hat")?,
+                weight: t.hex_f64("group weight")?,
+            });
+        }
+        outputs.push(DapOutput { mean, side, gamma, min_variance, groups });
+    }
+    Ok(outputs)
+}
+
+fn parse_error(body: &str) -> Result<WireError, WireError> {
+    // Frames whose payload is free text carry it after the first line.
+    let (header, rest) = match body.split_once('\n') {
+        Some((h, r)) => (h, r),
+        None => (body, ""),
+    };
+    let mut t = Tokens::new(header);
+    t.literal("error")?;
+    let err = match t.next("error kind")? {
+        "rejected" => WireError::Rejected(match t.next("rejection kind")? {
+            "range" => DapError::ReportOutOfRange {
+                group: t.usize("group")?,
+                report: t.hex_f64("report")?,
+                lo: t.hex_f64("lo")?,
+                hi: t.hex_f64("hi")?,
+            },
+            "quota" => DapError::QuotaExceeded {
+                group: t.usize("group")?,
+                quota: t.usize("quota")?,
+                ingested: t.usize("ingested")?,
+                attempted: t.usize("attempted")?,
+            },
+            "group" => DapError::UnknownGroup {
+                group: t.usize("group")?,
+                groups: t.usize("groups")?,
+            },
+            "mismatch" => {
+                let idx = t.usize("mismatch field index")?;
+                let what = DapError::MISMATCH_FIELDS.get(idx).copied().ok_or_else(|| {
+                    WireError::BadFrame { reason: format!("unknown mismatch field #{idx}") }
+                })?;
+                DapError::SessionMismatch { what }
+            }
+            other => {
+                return Err(WireError::BadFrame {
+                    reason: format!("unknown rejection kind '{other}'"),
+                })
+            }
+        }),
+        "version" => WireError::VersionMismatch {
+            client: t.next("client version")?.to_string(),
+            server: t.next("server version")?.to_string(),
+        },
+        "digest" => WireError::DigestMismatch {
+            client: t.hex_u64("client digest")?,
+            server: t.hex_u64("server digest")?,
+        },
+        "unsupported" => WireError::Unsupported { what: rest.to_string() },
+        "bad-frame" => WireError::BadFrame { reason: rest.to_string() },
+        "failed" => WireError::Failed { message: rest.to_string() },
+        "io" => WireError::Io { message: rest.to_string() },
+        other => {
+            return Err(WireError::BadFrame { reason: format!("unknown error kind '{other}'") })
+        }
+    };
+    t.done()?;
+    Ok(err)
+}
+
+/// Parses a frame body (the inverse of [`encode_frame`]).
+pub fn decode_frame(body: &str) -> Result<Frame, WireError> {
+    let tag = body.split_whitespace().next().unwrap_or("");
+    match tag {
+        "error" => return parse_error(body).map(Frame::Error),
+        "shard-result" => {
+            let json = body
+                .split_once('\n')
+                .map(|(_, rest)| rest)
+                .unwrap_or("")
+                .to_string();
+            return Ok(Frame::ShardResult { json });
+        }
+        _ => {}
+    }
+    let mut t = Tokens::new(body);
+    let tag = t.next("frame tag")?;
+    let frame = match tag {
+        "hello" => Frame::Hello {
+            version: t.next("version")?.to_string(),
+            digest: t.hex_u64("digest")?,
+        },
+        "hello-ok" => Frame::HelloOk {
+            digest: t.hex_u64("digest")?,
+            groups: t.usize("groups")?,
+        },
+        "ingest" => Frame::Ingest {
+            group: t.usize("group")?,
+            report: t.hex_f64("report")?,
+        },
+        "ingest-batch" => {
+            let group = t.usize("group")?;
+            let count = t.usize("report count")?;
+            let mut reports = Vec::with_capacity(count);
+            for _ in 0..count {
+                reports.push(t.hex_f64("report")?);
+            }
+            Frame::IngestBatch { group, reports }
+        }
+        "ok" => Frame::Ok,
+        "pull" => Frame::Pull,
+        "part" => Frame::Part { part: parse_part(&mut t)? },
+        "merge" => Frame::Merge { part: parse_part(&mut t)? },
+        "finalize" => {
+            let count = t.usize("scheme count")?;
+            let mut schemes = Vec::with_capacity(count);
+            for _ in 0..count {
+                let label = t.next("scheme label")?;
+                schemes.push(Scheme::from_label(label).ok_or_else(|| WireError::BadFrame {
+                    reason: format!("unknown scheme '{label}'"),
+                })?);
+            }
+            Frame::Finalize { schemes }
+        }
+        "outputs" => Frame::Outputs { outputs: parse_outputs(&mut t)? },
+        "run-shard" => Frame::RunShard {
+            request: ShardRequest {
+                experiment: t.next("experiment")?.to_string(),
+                n: t.usize("n")?,
+                trials: t.usize("trials")?,
+                seed: t.u64("seed")?,
+                max_d_out: t.usize("max_d_out")?,
+                index: t.usize("shard index")?,
+                count: t.usize("shard count")?,
+            },
+        },
+        "shutdown" => Frame::Shutdown,
+        other => {
+            return Err(WireError::BadFrame { reason: format!("unknown frame tag '{other}'") })
+        }
+    };
+    t.done()?;
+    Ok(frame)
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    let body = encode_frame(frame);
+    if body.len() > MAX_FRAME {
+        return Err(WireError::BadFrame {
+            reason: format!("frame of {} bytes exceeds the {MAX_FRAME}-byte cap", body.len()),
+        });
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame. An I/O failure (including EOF) is
+/// [`WireError::Io`]; anything the peer sent that fails to parse is
+/// [`WireError::BadFrame`].
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::BadFrame {
+            reason: format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        });
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let text = std::str::from_utf8(&body)
+        .map_err(|_| WireError::BadFrame { reason: "frame body is not UTF-8".into() })?;
+    decode_frame(text)
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// A typed client over one TCP connection to a `dap-wire/v1` daemon.
+///
+/// Each method is one request/reply exchange; an `error` reply surfaces as
+/// the typed [`WireError`] (ingestion rejections as
+/// [`WireError::Rejected`] with the original [`DapError`]).
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+}
+
+impl WireClient {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(WireClient { stream })
+    }
+
+    /// [`WireClient::connect`] retrying for daemons that are still binding
+    /// (e.g. just spawned by a test or a CI script).
+    pub fn connect_retry(
+        addr: &str,
+        attempts: usize,
+        delay: Duration,
+    ) -> std::io::Result<WireClient> {
+        let mut last = None;
+        for _ in 0..attempts.max(1) {
+            match WireClient::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// One request/reply exchange; `error` replies become `Err`.
+    pub fn call(&mut self, frame: &Frame) -> Result<Frame, WireError> {
+        write_frame(&mut self.stream, frame)?;
+        match read_frame(&mut self.stream)? {
+            Frame::Error(e) => Err(e),
+            f => Ok(f),
+        }
+    }
+
+    fn unexpected(wanted: &str, got: &Frame) -> WireError {
+        WireError::BadFrame { reason: format!("expected {wanted} reply, got '{}'", got.tag()) }
+    }
+
+    /// Version + digest handshake; returns the server's group count.
+    pub fn hello(&mut self, digest: u64) -> Result<usize, WireError> {
+        match self.call(&Frame::Hello { version: WIRE_VERSION.to_string(), digest })? {
+            Frame::HelloOk { groups, .. } => Ok(groups),
+            f => Err(Self::unexpected("hello-ok", &f)),
+        }
+    }
+
+    /// Streams one report into `group`.
+    pub fn ingest(&mut self, group: usize, report: f64) -> Result<(), WireError> {
+        match self.call(&Frame::Ingest { group, report })? {
+            Frame::Ok => Ok(()),
+            f => Err(Self::unexpected("ok", &f)),
+        }
+    }
+
+    /// Streams an atomic batch into `group`.
+    pub fn ingest_batch(&mut self, group: usize, reports: &[f64]) -> Result<(), WireError> {
+        match self.call(&Frame::IngestBatch { group, reports: reports.to_vec() })? {
+            Frame::Ok => Ok(()),
+            f => Err(Self::unexpected("ok", &f)),
+        }
+    }
+
+    /// Pulls the server session's serialized state.
+    pub fn pull_part(&mut self) -> Result<SessionPart, WireError> {
+        match self.call(&Frame::Pull)? {
+            Frame::Part { part } => Ok(part),
+            f => Err(Self::unexpected("part", &f)),
+        }
+    }
+
+    /// Pushes a serialized part into the server's session.
+    pub fn merge_part(&mut self, part: &SessionPart) -> Result<(), WireError> {
+        match self.call(&Frame::Merge { part: part.clone() })? {
+            Frame::Ok => Ok(()),
+            f => Err(Self::unexpected("ok", &f)),
+        }
+    }
+
+    /// Runs the collector pipeline server-side.
+    pub fn finalize(&mut self, schemes: &[Scheme]) -> Result<Vec<DapOutput>, WireError> {
+        match self.call(&Frame::Finalize { schemes: schemes.to_vec() })? {
+            Frame::Outputs { outputs } => Ok(outputs),
+            f => Err(Self::unexpected("outputs", &f)),
+        }
+    }
+
+    /// Runs one experiment shard on a bench daemon, returning its
+    /// `dap-results/v1` JSON.
+    pub fn run_shard(&mut self, request: &ShardRequest) -> Result<String, WireError> {
+        match self.call(&Frame::RunShard { request: request.clone() })? {
+            Frame::ShardResult { json } => Ok(json),
+            f => Err(Self::unexpected("shard-result", &f)),
+        }
+    }
+
+    /// Asks the server to stop (it replies `ok` first).
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        match self.call(&Frame::Shutdown)? {
+            Frame::Ok => Ok(()),
+            f => Err(Self::unexpected("ok", &f)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+struct ServerState<M> {
+    session: Mutex<DapSession<M>>,
+    digest: u64,
+    groups: usize,
+    stop: AtomicBool,
+    addr: std::net::SocketAddr,
+    /// Clones of every accepted connection, so a shutdown can unblock
+    /// handler threads parked in `read_frame` on *other* clients (scoped
+    /// threads are joined before `serve_session` returns — a lingering
+    /// idle client must not wedge the daemon).
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl<M: NumericMechanism + Sync> ServerState<M> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, DapSession<M>> {
+        // A poisoned lock means a handler panicked mid-operation; the
+        // session state is still a valid (if partial) accumulation.
+        self.session.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn dispatch<X>(&self, frame: Frame, extra: &X) -> Frame
+    where
+        X: Fn(&Frame) -> Option<Frame> + Sync,
+    {
+        match frame {
+            Frame::Hello { version, digest } => {
+                if version != WIRE_VERSION {
+                    Frame::Error(WireError::VersionMismatch {
+                        client: version,
+                        server: WIRE_VERSION.to_string(),
+                    })
+                } else if digest != self.digest {
+                    Frame::Error(WireError::DigestMismatch {
+                        client: digest,
+                        server: self.digest,
+                    })
+                } else {
+                    Frame::HelloOk { digest: self.digest, groups: self.groups }
+                }
+            }
+            Frame::Ingest { group, report } => match self.lock().ingest(group, report) {
+                Ok(()) => Frame::Ok,
+                Err(e) => Frame::Error(e.into()),
+            },
+            Frame::IngestBatch { group, reports } => {
+                match self.lock().ingest_batch(group, &reports) {
+                    Ok(()) => Frame::Ok,
+                    Err(e) => Frame::Error(e.into()),
+                }
+            }
+            Frame::Pull => Frame::Part { part: self.lock().export_part() },
+            Frame::Merge { part } => match self.lock().merge_part(&part) {
+                Ok(()) => Frame::Ok,
+                Err(e) => Frame::Error(e.into()),
+            },
+            Frame::Finalize { schemes } => match self.lock().finalize(&schemes) {
+                Ok(outputs) => Frame::Outputs { outputs },
+                Err(e) => Frame::Error(e.into()),
+            },
+            Frame::Shutdown => {
+                self.stop.store(true, Ordering::SeqCst);
+                Frame::Ok
+            }
+            other => extra(&other).unwrap_or_else(|| {
+                Frame::Error(WireError::Unsupported { what: other.tag().to_string() })
+            }),
+        }
+    }
+}
+
+fn handle_connection<M, X>(mut stream: TcpStream, state: &ServerState<M>, extra: &X)
+where
+    M: NumericMechanism + Sync,
+    X: Fn(&Frame) -> Option<Frame> + Sync,
+{
+    stream.set_nodelay(true).ok();
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            // EOF / disconnect: the client is done with this connection.
+            Err(WireError::Io { .. }) => return,
+            Err(e) => {
+                let _ = write_frame(&mut stream, &Frame::Error(e));
+                return;
+            }
+        };
+        let reply = state.dispatch(frame, extra);
+        if write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+        if state.stop.load(Ordering::SeqCst) {
+            state.release();
+            return;
+        }
+    }
+}
+
+impl<M> ServerState<M> {
+    /// Unblocks everything a shutdown must not wait on: half-closes every
+    /// accepted connection (handler threads parked in `read_frame` see
+    /// EOF and exit) and pokes the accept loop with a loopback connect.
+    fn release(&self) {
+        for conn in self.conns.lock().unwrap_or_else(|e| e.into_inner()).drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        // The bind address may be a wildcard (0.0.0.0 / ::), which some
+        // platforms refuse to connect to — wake via loopback on the same
+        // port instead. If even that fails there is nothing better to do
+        // (the listener stays parked until its next connection).
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+    }
+}
+
+/// Serves one [`DapSession`] on `listener` until a client sends
+/// `shutdown`, then returns the session (with everything it ingested).
+///
+/// Connections are handled on their own scoped threads and share the
+/// session behind a mutex, so many report sources can stream
+/// concurrently; Definition 2 is enforced at the door by the session's
+/// own typed rejections, which travel back as [`WireError::Rejected`].
+///
+/// `extra` handles frames the session layer does not (the bench daemon
+/// plugs experiment-shard execution in here); return `None` to let the
+/// server answer `error unsupported`. Pass `|_| None` for a plain
+/// aggregation daemon.
+pub fn serve_session<M, X>(
+    listener: TcpListener,
+    session: DapSession<M>,
+    extra: X,
+) -> std::io::Result<DapSession<M>>
+where
+    M: NumericMechanism + Send + Sync,
+    X: Fn(&Frame) -> Option<Frame> + Sync,
+{
+    let state = ServerState {
+        digest: session.state_digest(),
+        groups: session.group_count(),
+        session: Mutex::new(session),
+        stop: AtomicBool::new(false),
+        addr: listener.local_addr()?,
+        conns: Mutex::new(Vec::new()),
+    };
+    std::thread::scope(|scope| {
+        for conn in listener.incoming() {
+            if state.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            if let Ok(clone) = stream.try_clone() {
+                state.conns.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
+            }
+            let state = &state;
+            let extra = &extra;
+            scope.spawn(move || handle_connection(stream, state, extra));
+        }
+    });
+    Ok(state.session.into_inner().unwrap_or_else(|e| e.into_inner()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) -> Frame {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).expect("encodes");
+        let back = read_frame(&mut &buf[..]).expect("decodes");
+        assert_eq!(back, frame);
+        back
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        let part = SessionPart {
+            digest: 0xdead_beef_1234_5678,
+            groups: vec![
+                PartGroup { counts: vec![0.0, 2.0, 1.0], sum_reports: -1.25, n_reports: 3 },
+                PartGroup { counts: vec![], sum_reports: 0.0, n_reports: 0 },
+            ],
+        };
+        let output = DapOutput {
+            mean: (0.1f64 + 0.2).powi(3),
+            side: Side::Left,
+            gamma: 0.25,
+            min_variance: 1e-9,
+            groups: vec![GroupReport {
+                eps_t: 0.125,
+                n_reports: 640,
+                mean_t: -0.5,
+                m_hat: 12.5,
+                n_hat: 313.7,
+                weight: 0.25,
+            }],
+        };
+        for frame in [
+            Frame::Hello { version: WIRE_VERSION.to_string(), digest: 7 },
+            Frame::HelloOk { digest: 7, groups: 4 },
+            Frame::Ingest { group: 2, report: f64::NAN },
+            Frame::IngestBatch { group: 0, reports: vec![1.0, -0.0, 0.5] },
+            Frame::IngestBatch { group: 1, reports: vec![] },
+            Frame::Ok,
+            Frame::Pull,
+            Frame::Part { part: part.clone() },
+            Frame::Merge { part },
+            Frame::Finalize { schemes: Scheme::ALL.to_vec() },
+            Frame::Outputs { outputs: vec![output] },
+            Frame::RunShard {
+                request: ShardRequest {
+                    experiment: "fig7".into(),
+                    n: 2000,
+                    trials: 3,
+                    seed: 42,
+                    max_d_out: 128,
+                    index: 1,
+                    count: 3,
+                },
+            },
+            Frame::ShardResult { json: "{\n  \"schema\": \"dap-results/v1\"\n}\n".into() },
+            Frame::Shutdown,
+        ] {
+            // NaN reports break PartialEq; compare those by encoding.
+            if matches!(&frame, Frame::Ingest { report, .. } if report.is_nan()) {
+                let mut buf = Vec::new();
+                write_frame(&mut buf, &frame).expect("encodes");
+                let back = read_frame(&mut &buf[..]).expect("decodes");
+                match back {
+                    Frame::Ingest { group, report } => {
+                        assert_eq!(group, 2);
+                        assert_eq!(report.to_bits(), f64::NAN.to_bits());
+                    }
+                    other => panic!("wrong frame {other:?}"),
+                }
+            } else {
+                round_trip(frame);
+            }
+        }
+    }
+
+    #[test]
+    fn every_wire_error_round_trips_typed() {
+        for err in [
+            WireError::Rejected(DapError::ReportOutOfRange {
+                group: 3,
+                report: 9.75,
+                lo: -3.0,
+                hi: 3.0,
+            }),
+            WireError::Rejected(DapError::QuotaExceeded {
+                group: 1,
+                quota: 640,
+                ingested: 640,
+                attempted: 2,
+            }),
+            WireError::Rejected(DapError::UnknownGroup { group: 9, groups: 4 }),
+            WireError::Rejected(DapError::SessionMismatch { what: "state digest" }),
+            WireError::Rejected(DapError::SessionMismatch { what: "config eps" }),
+            WireError::VersionMismatch { client: "dap-wire/v0".into(), server: WIRE_VERSION.into() },
+            WireError::DigestMismatch { client: 1, server: 2 },
+            WireError::Unsupported { what: "run-shard".into() },
+            WireError::BadFrame { reason: "trailing token 'x'".into() },
+            WireError::Failed { message: "multi\nline message".into() },
+            WireError::Io { message: "connection reset".into() },
+        ] {
+            round_trip(Frame::Error(err));
+        }
+    }
+
+    #[test]
+    fn every_mismatch_field_round_trips_typed() {
+        // The whole table, not a sample: a `what` that fails to round-trip
+        // would silently downgrade the typed rejection to `Failed`.
+        for what in DapError::MISMATCH_FIELDS {
+            round_trip(Frame::Error(WireError::Rejected(DapError::SessionMismatch { what })));
+        }
+    }
+
+    #[test]
+    fn non_wire_dap_errors_degrade_to_failed() {
+        let mut buf = Vec::new();
+        let err = WireError::Rejected(DapError::EmptyPopulation);
+        write_frame(&mut buf, &Frame::Error(err)).expect("encodes");
+        match read_frame(&mut &buf[..]).expect("decodes") {
+            Frame::Error(WireError::Failed { message }) => {
+                assert!(message.contains("empty population"), "{message}");
+            }
+            other => panic!("expected failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors() {
+        assert!(matches!(
+            decode_frame("ingest 0"),
+            Err(WireError::BadFrame { .. })
+        ));
+        assert!(matches!(
+            decode_frame("ingest 0 0x3ff0000000000000 extra"),
+            Err(WireError::BadFrame { .. })
+        ));
+        assert!(matches!(
+            decode_frame("warp-core-breach"),
+            Err(WireError::BadFrame { .. })
+        ));
+        assert!(matches!(
+            decode_frame("finalize 1 DAP_WAT"),
+            Err(WireError::BadFrame { .. })
+        ));
+        // A truncated stream is an I/O error, not a parse error.
+        let bytes = 12u32.to_be_bytes();
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(WireError::Io { .. })
+        ));
+    }
+}

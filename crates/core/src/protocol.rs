@@ -68,6 +68,40 @@ impl DapConfig {
         }
     }
 
+    /// Names the first field on which two configs differ, or `None` when
+    /// they are equal — so merge rejections can say *which* knob diverged
+    /// (`"config eps"`, `"config scheme"`, …) instead of a blanket
+    /// "configs differ". The names are drawn from
+    /// [`DapError::MISMATCH_FIELDS`], which the wire layer uses to
+    /// round-trip the rejection.
+    pub fn diff_field(&self, other: &DapConfig) -> Option<&'static str> {
+        if self.eps != other.eps {
+            return Some("config eps");
+        }
+        if self.eps0 != other.eps0 {
+            return Some("config eps0");
+        }
+        if self.scheme != other.scheme {
+            return Some("config scheme");
+        }
+        if self.weighting != other.weighting {
+            return Some("config weighting");
+        }
+        if self.o_prime != other.o_prime {
+            return Some("config o_prime");
+        }
+        if self.max_d_out != other.max_d_out {
+            return Some("config max_d_out");
+        }
+        if self.clamp_to_input != other.clamp_to_input {
+            return Some("config clamp_to_input");
+        }
+        if self.mode != other.mode {
+            return Some("config estimation mode");
+        }
+        None
+    }
+
     /// A validating builder seeded with the paper defaults at ε = 1.
     pub fn builder() -> DapConfigBuilder {
         DapConfigBuilder { config: DapConfig::paper_default(1.0, Scheme::EmfStar) }
@@ -162,7 +196,7 @@ impl DapConfigBuilder {
 }
 
 /// Per-group diagnostics of a DAP run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupReport {
     /// The group's budget ε_t.
     pub eps_t: f64,
@@ -179,7 +213,7 @@ pub struct GroupReport {
 }
 
 /// Result of a DAP run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DapOutput {
     /// The aggregated mean estimate `M̃`.
     pub mean: f64,
@@ -430,6 +464,36 @@ mod tests {
         let cfg = DapConfig { eps: 0.01, ..DapConfig::paper_default(0.01, Scheme::Emf) };
         let err = Dap::new(cfg, PiecewiseMechanism::new).err().expect("ε < ε₀ must fail");
         assert!(matches!(err, DapError::InvalidBudget { .. }));
+    }
+
+    #[test]
+    fn every_config_diff_field_is_wire_encodable() {
+        // `diff_field` names feed `SessionMismatch`, which the wire layer
+        // encodes by index into `DapError::MISMATCH_FIELDS` — a name
+        // missing from the table silently downgrades the typed rejection.
+        // One variant per config field keeps the two lists in lockstep.
+        let base = DapConfig::paper_default(1.0, Scheme::Emf);
+        let variants = [
+            DapConfig { eps: 2.0, ..base },
+            DapConfig { eps0: 0.125, ..base },
+            DapConfig { scheme: Scheme::EmfStar, ..base },
+            DapConfig { weighting: Weighting::Uniform, ..base },
+            DapConfig { o_prime: 0.5, ..base },
+            DapConfig { max_d_out: 99, ..base },
+            DapConfig { clamp_to_input: false, ..base },
+            DapConfig { mode: EstimationMode::HistogramBands, ..base },
+        ];
+        assert_eq!(base.diff_field(&base), None);
+        let mut seen = std::collections::HashSet::new();
+        for other in variants {
+            let field = other.diff_field(&base).expect("exactly one field differs");
+            assert!(
+                DapError::MISMATCH_FIELDS.contains(&field),
+                "'{field}' missing from DapError::MISMATCH_FIELDS"
+            );
+            assert!(seen.insert(field), "'{field}' reused for two config fields");
+        }
+        assert_eq!(seen.len(), 8, "every config field must have its own name");
     }
 
     #[test]

@@ -30,6 +30,11 @@ impl Scheme {
             Scheme::CemfStar => "DAP_CEMF*",
         }
     }
+
+    /// Parses a [`Scheme::label`] back (the wire encoding of a scheme).
+    pub fn from_label(label: &str) -> Option<Scheme> {
+        Scheme::ALL.into_iter().find(|s| s.label() == label)
+    }
 }
 
 /// One group's corrected mean estimate.

@@ -15,6 +15,7 @@
 
 use crate::aggregation::aggregate;
 use crate::client::ClientAssignment;
+use crate::codec::Fnv;
 use crate::error::DapError;
 use crate::grouping::GroupPlan;
 use crate::parallel::parallel_map;
@@ -202,11 +203,13 @@ impl<M: NumericMechanism> DapSession<M> {
     /// many threads or processes ingesting independently, merged before one
     /// [`DapSession::finalize`].
     ///
-    /// All parts must have been opened with the same config and group plan.
-    /// Per-bucket counts are integer-valued, so merging is exact for any
-    /// sharding; the running report *sums* combine shard-wise, which is
-    /// bit-identical to single-session ingestion exactly when each group's
-    /// reports stayed on one shard (the natural group-sharded split — see
+    /// All parts must have been opened with the same config and group plan;
+    /// a rejection names the first field that differs
+    /// ([`DapConfig::diff_field`], [`GroupPlan::diff_field`]). Per-bucket
+    /// counts are integer-valued, so merging is exact for any sharding; the
+    /// running report *sums* combine shard-wise, which is bit-identical to
+    /// single-session ingestion exactly when each group's reports stayed on
+    /// one shard (the natural group-sharded split — see
     /// `examples/streaming_aggregator.rs`) and correct to float rounding
     /// otherwise.
     pub fn merge(parts: impl IntoIterator<Item = DapSession<M>>) -> Result<Self, DapError> {
@@ -215,11 +218,11 @@ impl<M: NumericMechanism> DapSession<M> {
             .next()
             .ok_or(DapError::SessionMismatch { what: "zero sessions (nothing to merge)" })?;
         for part in parts {
-            if part.config != base.config {
-                return Err(DapError::SessionMismatch { what: "configs" });
+            if let Some(field) = base.config.diff_field(&part.config) {
+                return Err(DapError::SessionMismatch { what: field });
             }
-            if part.plan != base.plan {
-                return Err(DapError::SessionMismatch { what: "group plans" });
+            if let Some(field) = base.plan.diff_field(&part.plan) {
+                return Err(DapError::SessionMismatch { what: field });
             }
             // Equal configs and plans imply equal EMF sizing, but the report
             // grids also depend on each shard's mechanism factory — merging
@@ -246,6 +249,125 @@ impl<M: NumericMechanism> DapSession<M> {
         }
         Ok(base)
     }
+
+    /// Digest of everything two sessions must agree on before their
+    /// streamed state may combine: the config, the full group plan, and
+    /// each group's report grid, histogram resolution and quota.
+    ///
+    /// FNV-1a over the exact field encodings (f64s by bit pattern), so the
+    /// digest is stable across processes and Rust versions — it is the
+    /// compatibility token of [`SessionPart`] and the `dap-wire/v1` hello
+    /// handshake ([`crate::net`]).
+    pub fn state_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.bytes(b"dap-session/v1");
+        let c = &self.config;
+        h.word(c.eps.to_bits());
+        h.word(c.eps0.to_bits());
+        h.word(c.scheme as u64);
+        h.word(c.weighting as u64);
+        h.word(c.o_prime.to_bits());
+        h.word(c.max_d_out as u64);
+        h.word(c.clamp_to_input as u64);
+        h.word(c.mode as u64);
+        h.word(self.plan.len() as u64);
+        for g in 0..self.plan.len() {
+            h.word(self.plan.budgets[g].get().to_bits());
+            h.word(self.plan.reports_per_user[g] as u64);
+            h.word(self.plan.assignment[g].len() as u64);
+            for &user in &self.plan.assignment[g] {
+                h.word(user as u64);
+            }
+            let state = &self.groups[g];
+            h.word(state.grid.lo().to_bits());
+            h.word(state.grid.hi().to_bits());
+            h.word(state.hist.counts.len() as u64);
+            h.word(state.quota as u64);
+        }
+        h.finish()
+    }
+
+    /// Detaches the streamed per-group state for transport: the serialize
+    /// half of shipping a session between processes. The counterpart
+    /// session (same config, plan and mechanisms — verified via the
+    /// embedded [`DapSession::state_digest`]) absorbs it with
+    /// [`DapSession::merge_part`]. `dap-wire/v1` ([`crate::net`]) carries
+    /// this type in its `part`/`merge` frames with exact f64 bit patterns.
+    pub fn export_part(&self) -> SessionPart {
+        SessionPart {
+            digest: self.state_digest(),
+            groups: self
+                .groups
+                .iter()
+                .map(|g| PartGroup {
+                    counts: g.hist.counts.clone(),
+                    sum_reports: g.hist.sum_reports,
+                    n_reports: g.hist.n_reports,
+                })
+                .collect(),
+        }
+    }
+
+    /// Absorbs a detached part into this session — the deserialize half of
+    /// [`DapSession::export_part`], with the same exactness contract as
+    /// [`DapSession::merge`]: counts combine exactly for any sharding, and
+    /// a group whose reports all lived in one part merges bit-identically
+    /// to having ingested them here.
+    ///
+    /// The part is validated atomically before any accumulation: a digest
+    /// mismatch, group-shape mismatch or quota violation leaves the
+    /// session untouched.
+    pub fn merge_part(&mut self, part: &SessionPart) -> Result<(), DapError> {
+        if part.digest != self.state_digest() {
+            return Err(DapError::SessionMismatch { what: "state digest" });
+        }
+        if part.groups.len() != self.groups.len() {
+            return Err(DapError::SessionMismatch { what: "part group count" });
+        }
+        for (g, (state, pg)) in self.groups.iter().zip(&part.groups).enumerate() {
+            if pg.counts.len() != state.hist.counts.len() {
+                return Err(DapError::SessionMismatch { what: "part histogram resolution" });
+            }
+            if state.hist.n_reports + pg.n_reports > state.quota {
+                return Err(DapError::QuotaExceeded {
+                    group: g,
+                    quota: state.quota,
+                    ingested: state.hist.n_reports,
+                    attempted: pg.n_reports,
+                });
+            }
+        }
+        for (state, pg) in self.groups.iter_mut().zip(&part.groups) {
+            for (b, p) in state.hist.counts.iter_mut().zip(&pg.counts) {
+                *b += p;
+            }
+            state.hist.sum_reports += pg.sum_reports;
+            state.hist.n_reports += pg.n_reports;
+        }
+        Ok(())
+    }
+}
+
+/// One group's streamed state inside a [`SessionPart`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartGroup {
+    /// Per-output-bucket report counts (length `d'`).
+    pub counts: Vec<f64>,
+    /// Running report sum `Σ v'`.
+    pub sum_reports: f64,
+    /// Reports accepted.
+    pub n_reports: usize,
+}
+
+/// A session's per-group ingestion state, detached from the session for
+/// transport between processes (see [`DapSession::export_part`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionPart {
+    /// [`DapSession::state_digest`] of the originating session; merging
+    /// verifies it against the receiver.
+    pub digest: u64,
+    /// Per-group state, in group order.
+    pub groups: Vec<PartGroup>,
 }
 
 impl<M: NumericMechanism + Sync> DapSession<M> {
@@ -478,11 +600,116 @@ mod tests {
         let a = session(0.25, 400, 5);
         let b = session(0.25, 400, 6); // different shuffle → different plan
         let err = DapSession::merge([a, b]).unwrap_err();
-        assert!(matches!(err, DapError::SessionMismatch { .. }));
+        assert!(matches!(
+            err,
+            DapError::SessionMismatch { what: "plan user assignment" }
+        ));
         assert!(matches!(
             DapSession::<PiecewiseMechanism>::merge([]).unwrap_err(),
             DapError::SessionMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn merge_rejections_name_the_mismatched_field() {
+        // Same plan, configs differing in exactly one field: the error must
+        // say which one, not a blanket "configs differ".
+        let cfg = DapConfig { max_d_out: 32, ..DapConfig::paper_default(0.25, Scheme::Emf) };
+        let plan = GroupPlan::build(400, cfg.eps, cfg.eps0, &mut seeded(11));
+        let a = DapSession::new(cfg, plan.clone(), PiecewiseMechanism::new).unwrap();
+        let scheme_differs = DapConfig { scheme: Scheme::EmfStar, ..cfg };
+        let b = DapSession::new(scheme_differs, plan.clone(), PiecewiseMechanism::new).unwrap();
+        assert!(matches!(
+            DapSession::merge([a.clone(), b]).unwrap_err(),
+            DapError::SessionMismatch { what: "config scheme" }
+        ));
+        let clamp_differs = DapConfig { clamp_to_input: false, ..cfg };
+        let c = DapSession::new(clamp_differs, plan, PiecewiseMechanism::new).unwrap();
+        let err = DapSession::merge([a, c]).unwrap_err();
+        assert!(matches!(
+            err,
+            DapError::SessionMismatch { what: "config clamp_to_input" }
+        ));
+        assert!(err.to_string().contains("clamp_to_input"), "{err}");
+    }
+
+    #[test]
+    fn exported_parts_merge_back_exactly() {
+        let mut a = session(0.25, 400, 21);
+        let mut b = session(0.25, 400, 21); // same seed → same plan
+        a.ingest_batch(0, &[0.25, -0.5, 0.125]).unwrap();
+        a.ingest(1, 0.75).unwrap();
+        b.merge_part(&a.export_part()).expect("compatible part");
+        for g in 0..a.group_count() {
+            assert_eq!(a.histogram(g).counts, b.histogram(g).counts, "group {g}");
+            assert_eq!(
+                a.histogram(g).sum_reports.to_bits(),
+                b.histogram(g).sum_reports.to_bits(),
+                "group {g}"
+            );
+            assert_eq!(a.ingested(g), b.ingested(g));
+        }
+    }
+
+    #[test]
+    fn merge_part_validates_before_mutating() {
+        let mut base = session(0.25, 400, 22);
+        // Incompatible origin (different plan) → digest mismatch.
+        let stranger = session(0.25, 400, 23);
+        assert!(matches!(
+            base.merge_part(&stranger.export_part()).unwrap_err(),
+            DapError::SessionMismatch { what: "state digest" }
+        ));
+        // Over-quota part → typed quota rejection, state untouched.
+        let mut donor = session(0.25, 400, 22);
+        let quota = donor.quota(0);
+        donor.ingest_batch(0, &vec![0.0; quota]).unwrap();
+        let part = donor.export_part();
+        base.merge_part(&part).expect("first fill fits");
+        let err = base.merge_part(&part).unwrap_err();
+        assert!(matches!(err, DapError::QuotaExceeded { group: 0, .. }));
+        assert_eq!(base.ingested(0), quota, "rejected part left a trace");
+    }
+
+    #[test]
+    fn session_mismatch_literals_are_wire_encodable() {
+        // Every `what` this module constructs directly (i.e. not via the
+        // diff_field helpers, which have their own lockstep tests) must be
+        // in the wire table, or the typed rejection degrades to `Failed`.
+        for what in [
+            "zero sessions (nothing to merge)",
+            "config budgets and group plan",
+            "mechanism output grids",
+            "state digest",
+            "part group count",
+            "part histogram resolution",
+        ] {
+            assert!(
+                DapError::MISMATCH_FIELDS.contains(&what),
+                "'{what}' missing from DapError::MISMATCH_FIELDS"
+            );
+        }
+    }
+
+    #[test]
+    fn state_digest_covers_config_plan_and_grids() {
+        let a = session(0.25, 400, 30);
+        assert_eq!(a.state_digest(), session(0.25, 400, 30).state_digest());
+        // A different plan shuffle, budget or resolution moves the digest.
+        assert_ne!(a.state_digest(), session(0.25, 400, 31).state_digest());
+        assert_ne!(a.state_digest(), session(0.5, 400, 30).state_digest());
+        let coarser = DapSession::new(
+            DapConfig { max_d_out: 16, ..DapConfig::paper_default(0.25, Scheme::Emf) },
+            GroupPlan::build(400, 0.25, 1.0 / 16.0, &mut seeded(30)),
+            PiecewiseMechanism::new,
+        )
+        .unwrap();
+        assert_ne!(a.state_digest(), coarser.state_digest());
+        // Ingestion does not move it — the digest is about compatibility,
+        // not content.
+        let mut b = session(0.25, 400, 30);
+        b.ingest(0, 0.5).unwrap();
+        assert_eq!(a.state_digest(), b.state_digest());
     }
 
     #[test]

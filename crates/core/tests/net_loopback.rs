@@ -1,0 +1,237 @@
+//! `dap-wire/v1` over real loopback TCP: the session API driven through
+//! [`WireClient`] against a [`serve_session`] daemon thread.
+//!
+//! Covers the full frame surface — handshake (version + digest), ingest,
+//! atomic batch rejection, pull/merge of serialized parts, remote
+//! finalize — and pins that every [`DapError`] rejection crosses the wire
+//! *typed*, with its fields intact. The bit-exact coordinator-vs-local
+//! equivalence suite lives in `crates/bench/tests/serve.rs`.
+
+use dap_core::net::{serve_session, Frame, WireClient, WireError, WIRE_VERSION};
+use dap_core::{DapConfig, DapError, DapSession, GroupPlan, Scheme};
+use dap_estimation::rng::seeded;
+use dap_ldp::PiecewiseMechanism;
+use std::net::TcpListener;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn session(eps: f64, users: usize, seed: u64) -> DapSession<PiecewiseMechanism> {
+    let cfg = DapConfig { max_d_out: 16, ..DapConfig::paper_default(eps, Scheme::Emf) };
+    let plan = GroupPlan::build(users, cfg.eps, cfg.eps0, &mut seeded(seed));
+    DapSession::new(cfg, plan, PiecewiseMechanism::new).expect("valid session")
+}
+
+/// Spawns a daemon for `session` on an OS-assigned loopback port.
+fn daemon(
+    session: DapSession<PiecewiseMechanism>,
+) -> (String, JoinHandle<DapSession<PiecewiseMechanism>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || {
+        serve_session(listener, session, |_| None).expect("serve")
+    });
+    (addr, handle)
+}
+
+fn connect(addr: &str) -> WireClient {
+    WireClient::connect_retry(addr, 50, Duration::from_millis(20)).expect("daemon reachable")
+}
+
+#[test]
+fn handshake_checks_version_and_digest() {
+    let local = session(0.25, 120, 1);
+    let digest = local.state_digest();
+    let (addr, handle) = daemon(local);
+
+    let mut c = connect(&addr);
+    // Wrong protocol version.
+    let err = c
+        .call(&Frame::Hello { version: "dap-wire/v0".into(), digest })
+        .expect_err("version mismatch");
+    assert_eq!(
+        err,
+        WireError::VersionMismatch { client: "dap-wire/v0".into(), server: WIRE_VERSION.into() }
+    );
+    // Wrong deployment digest — the server names both digests.
+    let err = c.hello(digest ^ 1).expect_err("digest mismatch");
+    assert_eq!(err, WireError::DigestMismatch { client: digest ^ 1, server: digest });
+    // Matching handshake reports the group count.
+    let groups = c.hello(digest).expect("handshake");
+    assert_eq!(groups, 3, "eps = 1/4, eps0 = 1/16 -> 3 groups");
+
+    c.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn rejections_cross_the_wire_typed() {
+    let local = session(0.25, 60, 2);
+    let quota0 = local.quota(0);
+    let (addr, handle) = daemon(local.clone());
+    let mut c = connect(&addr);
+    c.hello(local.state_digest()).expect("handshake");
+
+    // Out-of-range: Definition 2 enforced at the daemon's door, with the
+    // offending value and the domain bounds round-tripped exactly.
+    let err = c.ingest(0, 1e9).expect_err("out of range");
+    match err {
+        WireError::Rejected(DapError::ReportOutOfRange { group, report, lo, hi }) => {
+            assert_eq!(group, 0);
+            assert_eq!(report.to_bits(), 1e9f64.to_bits());
+            assert!(lo < hi);
+        }
+        other => panic!("expected typed out-of-range, got {other:?}"),
+    }
+
+    // Unknown group.
+    let err = c.ingest(99, 0.0).expect_err("unknown group");
+    assert_eq!(
+        err,
+        WireError::Rejected(DapError::UnknownGroup { group: 99, groups: 3 })
+    );
+
+    // Over-quota: a batch straddling the limit is rejected atomically…
+    c.ingest_batch(0, &vec![0.0; quota0 - 1]).expect("fits");
+    let err = c.ingest_batch(0, &[0.0, 0.0]).expect_err("straddles quota");
+    assert_eq!(
+        err,
+        WireError::Rejected(DapError::QuotaExceeded {
+            group: 0,
+            quota: quota0,
+            ingested: quota0 - 1,
+            attempted: 2,
+        })
+    );
+    // …leaving no trace: the last in-quota report still fits.
+    c.ingest(0, 0.5).expect("exactly at quota");
+    let err = c.ingest(0, 0.5).expect_err("now full");
+    assert!(matches!(
+        err,
+        WireError::Rejected(DapError::QuotaExceeded { group: 0, .. })
+    ));
+
+    // A part from an incompatible deployment is a typed merge rejection.
+    let stranger = session(0.25, 60, 3).export_part();
+    let err = c.merge_part(&stranger).expect_err("incompatible part");
+    assert_eq!(
+        err,
+        WireError::Rejected(DapError::SessionMismatch { what: "state digest" })
+    );
+
+    c.shutdown().expect("shutdown");
+    let served = handle.join().expect("daemon thread");
+    assert_eq!(served.ingested(0), quota0, "rejections left no trace");
+}
+
+#[test]
+fn pull_merge_and_remote_finalize_match_local_state() {
+    // A twin pair: reports streamed to the daemon must come back (via
+    // pull) exactly as if ingested locally, remote finalize must equal
+    // local finalize bit for bit, and a merge push must land server-side.
+    let mut local = session(0.25, 400, 4);
+    let (addr, handle) = daemon(local.clone());
+    let mut c = connect(&addr);
+    c.hello(local.state_digest()).expect("handshake");
+
+    let mut rng = seeded(9);
+    for g in 0..local.group_count() {
+        let assign = local.client_assignment(g).expect("known group");
+        let mech = PiecewiseMechanism::new(assign.eps_t);
+        let mut batch = vec![0.0; assign.k_t * 40];
+        for chunk in batch.chunks_exact_mut(assign.k_t) {
+            assign.perturb_into(&mech, 0.2, chunk, &mut rng);
+        }
+        local.ingest_batch(g, &batch).expect("local ingest");
+        c.ingest_batch(g, &batch).expect("remote ingest");
+    }
+
+    // Pulled state is bit-identical to the local twin's.
+    let part = c.pull_part().expect("pull");
+    assert_eq!(part, local.export_part(), "served state diverged from local twin");
+
+    // Remote finalize returns exactly what the local session computes.
+    let remote = c.finalize(&Scheme::ALL).expect("remote finalize");
+    let expected = local.finalize(&Scheme::ALL).expect("local finalize");
+    assert_eq!(remote, expected, "remote finalize diverged");
+
+    // Push a merge: an empty twin's part is a no-op, a second copy of the
+    // real part doubles the counts server-side.
+    let empty = session(0.25, 400, 4).export_part();
+    c.merge_part(&empty).expect("empty part merges");
+    let after = c.pull_part().expect("pull after merge");
+    assert_eq!(after, part, "empty merge must not change state");
+
+    c.shutdown().expect("shutdown");
+    let served = handle.join().expect("daemon thread");
+    assert_eq!(served.export_part(), local.export_part());
+}
+
+#[test]
+fn shutdown_returns_even_with_idle_connections_open() {
+    // A lingering client parked between requests must not wedge the
+    // daemon: shutdown half-closes every accepted connection, so the
+    // scoped handler threads unblock and `serve_session` returns.
+    let local = session(0.25, 120, 6);
+    let (addr, handle) = daemon(local.clone());
+    let mut idle = connect(&addr);
+    idle.hello(local.state_digest()).expect("handshake");
+
+    let mut closer = connect(&addr);
+    closer.shutdown().expect("shutdown accepted");
+    handle.join().expect("daemon returned despite the idle connection");
+
+    // The idle client's connection was released; its next call fails
+    // cleanly instead of blocking.
+    assert!(idle.ingest(0, 0.0).is_err());
+}
+
+#[test]
+fn concurrent_clients_share_one_daemon() {
+    // Group-sharded concurrent writers: each client owns one group, the
+    // daemon serializes ingestion behind its lock, and the result equals a
+    // single-writer session exactly (counts are exact for any sharding;
+    // each group's stream order is preserved because one client owns it).
+    let mut local = session(0.25, 300, 5);
+    let (addr, handle) = daemon(local.clone());
+
+    let digest = local.state_digest();
+    let groups = local.group_count();
+    let batches: Vec<(usize, Vec<f64>)> = {
+        let mut rng = seeded(31);
+        (0..groups)
+            .map(|g| {
+                let assign = local.client_assignment(g).expect("known group");
+                let mech = PiecewiseMechanism::new(assign.eps_t);
+                let mut batch = vec![0.0; assign.k_t * 30];
+                for chunk in batch.chunks_exact_mut(assign.k_t) {
+                    assign.perturb_into(&mech, -0.1, chunk, &mut rng);
+                }
+                (g, batch)
+            })
+            .collect()
+    };
+    for (g, batch) in &batches {
+        local.ingest_batch(*g, batch).expect("local ingest");
+    }
+
+    std::thread::scope(|scope| {
+        for (g, batch) in &batches {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let mut c = connect(&addr);
+                c.hello(digest).expect("handshake");
+                // Chunked, in order — order within a group is part of the
+                // exactness contract.
+                for chunk in batch.chunks(64) {
+                    c.ingest_batch(*g, chunk).expect("remote ingest");
+                }
+            });
+        }
+    });
+
+    let mut c = connect(&addr);
+    c.hello(digest).expect("handshake");
+    assert_eq!(c.pull_part().expect("pull"), local.export_part());
+    c.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+}

@@ -1,7 +1,9 @@
 //! The client/aggregator split driven directly: per-user client
 //! perturbation, sharded streaming ingestion on worker threads, an exact
 //! `DapSession::merge`, and one `finalize` — the deployment shape the
-//! `Dap::run` simulation wraps.
+//! `Dap::run` simulation wraps. The shards here are in-process mpsc
+//! workers; `examples/tcp_aggregator.rs` runs the same topology over real
+//! loopback TCP through the `dap-wire/v1` protocol.
 //!
 //! Run with `cargo run --release --example streaming_aggregator`.
 

@@ -47,6 +47,14 @@
 //! incrementally (rejecting malformed input as [`protocol::DapError`]s),
 //! merges shards from independent workers, and finalizes. See
 //! `examples/streaming_aggregator.rs` for driving the split API directly.
+//!
+//! The session is also served over TCP: [`protocol::net`] is the std-only
+//! `dap-wire/v1` frame protocol (daemon [`protocol::net::serve_session`],
+//! client [`protocol::net::WireClient`], serialized session state
+//! [`protocol::SessionPart`]), carrying every f64 as its exact bit
+//! pattern — a coordinator streaming to several daemons and merging their
+//! parts finalizes bit-identically to one in-process run. See
+//! `examples/tcp_aggregator.rs`.
 
 pub use dap_attack as attack;
 pub use dap_core as protocol;
