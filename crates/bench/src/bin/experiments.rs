@@ -21,6 +21,9 @@
 //!                              `merge` reassembles shards, renders the
 //!                              tables and is bit-identical to an
 //!                              unsharded run
+//!         --journal <dir>      (with --shard) append each finished cell
+//!                              to a write-ahead journal; a re-run resumes,
+//!                              skipping cells already recorded
 //!         --bench-json <path>  run the experiment --bench-repeats times and
 //!                              write median wall-clock JSON (perf tracking)
 //!         --bench-repeats <r>  timed repeats for --bench-json (default 3)
@@ -33,6 +36,12 @@
 //!         --users <n>          deployment user count   (required)
 //!         --plan-seed <s>      shared plan seed        (default 7)
 //!         --max-dout <d>       EMF bucket cap          (default 64)
+//!         --journal <dir>      write-ahead journal directory: every
+//!                              accepted ingest is durable before it is
+//!                              acknowledged, and a restarted daemon
+//!                              recovers the session bit-for-bit
+//!         --checkpoint-every <n>  compact the journal into a checkpoint
+//!                              once it holds n records (default 0 = never)
 //!
 //! submit: streams a simulated population to daemons (disjoint group
 //!         ownership), pulls serialized parts, merges + finalizes at the
@@ -46,6 +55,9 @@
 //!         --expect-rejection   after streaming, send one extra report and
 //!                              require the typed over-quota WireError
 //!         --shutdown           stop the daemons afterwards
+//!         --pull-only          skip the population stream: pull the parts
+//!                              the daemons already hold (recovered from
+//!                              their journals), merge and finalize
 //!         (plus the serve deployment flags above)
 //!
 //! dispatch: runs shard i/n of <id> on daemon i over the wire, merges and
@@ -67,7 +79,8 @@ use std::ops::Range;
 use std::time::Instant;
 
 /// Flags the binary owns; `ExpOptions::parse_allowing` skips exactly these.
-const BINARY_FLAGS: [&str; 4] = ["--bench-json", "--bench-repeats", "--out", "--shard"];
+const BINARY_FLAGS: [&str; 5] =
+    ["--bench-json", "--bench-repeats", "--out", "--shard", "--journal"];
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -79,10 +92,10 @@ fn main() {
     let id = args.first().map(String::as_str).unwrap_or("help").to_string();
 
     if id == "help" || id == "--help" {
-        println!("usage: experiments <id> [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale] [--out PATH] [--shard I/N] [--bench-json PATH] [--bench-repeats R]");
+        println!("usage: experiments <id> [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale] [--out PATH] [--shard I/N [--journal DIR]] [--bench-json PATH] [--bench-repeats R]");
         println!("       experiments merge <shard.json>... [--out PATH]");
-        println!("       experiments serve --addr H:P [--mech pm|sw] [--eps E] [--eps0 E0] --users N [--plan-seed S] [--max-dout D]");
-        println!("       experiments submit (--addrs H:P,... | --local) [deployment flags] [--dataset D] [--gamma G] [--data-seed S] [--schemes all|LBL,..] [--expect-rejection] [--shutdown]");
+        println!("       experiments serve --addr H:P [--mech pm|sw] [--eps E] [--eps0 E0] --users N [--plan-seed S] [--max-dout D] [--journal DIR [--checkpoint-every N]]");
+        println!("       experiments submit (--addrs H:P,... | --local) [deployment flags] [--dataset D] [--gamma G] [--data-seed S] [--schemes all|LBL,..] [--expect-rejection] [--shutdown] [--pull-only]");
         println!("       experiments dispatch <id> --addrs H:P,... [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale] [--out PATH]");
         println!("       experiments shutdown --addrs H:P,...");
         println!("ids: fig4 table1 fig5 fig6 fig7 fig8 fig9 fig10 ablation-weights ablation-split ablation-mechanism all");
@@ -115,6 +128,10 @@ fn main() {
     };
     let out_path = flag_value(&args, "--out").unwrap_or_else(|msg| fail(&msg));
     let shard = parse_shard(&args).unwrap_or_else(|msg| fail(&msg));
+    let journal_dir = flag_value(&args, "--journal").unwrap_or_else(|msg| fail(&msg));
+    if journal_dir.is_some() && shard.is_none() {
+        fail("--journal requires --shard (the resumable cell journal is a shard feature)");
+    }
     let bench_json = flag_value(&args, "--bench-json").unwrap_or_else(|msg| fail(&msg));
     let bench_repeats: usize = match flag_value(&args, "--bench-repeats") {
         Ok(Some(v)) => match v.parse() {
@@ -158,7 +175,22 @@ fn main() {
         let start = Instant::now();
         let indices: Vec<usize> =
             (0..cells.len()).filter(|i| i % shard_count == shard_index).collect();
-        let results = run_cells_subset(&opts, &cells, &indices);
+        let results = match &journal_dir {
+            Some(dir) => {
+                let man = dap_bench::journal::manifest(&id, &opts, shard_index, shard_count);
+                let (results, resumed) = dap_bench::journal::run_cells_journaled(
+                    std::path::Path::new(dir),
+                    &man,
+                    &opts,
+                    &cells,
+                    &indices,
+                )
+                .unwrap_or_else(|msg| fail(&msg));
+                eprintln!("[journal {dir}: {resumed} of {} cells resumed]", indices.len());
+                results
+            }
+            None => run_cells_subset(&opts, &cells, &indices),
+        };
         let set = ResultSet::build(
             &id,
             &opts,
@@ -395,12 +427,25 @@ fn parse_serve_spec(args: &[String]) -> ServeSpec {
 /// `experiments serve`: one aggregation daemon over `dap-wire/v1`,
 /// blocking until a client sends `shutdown`.
 fn serve_cmd(args: &[String]) {
-    check_flags(args, &["--addr"].iter().chain(&DEPLOY_FLAGS).copied().collect::<Vec<_>>(), &[]);
+    check_flags(
+        args,
+        &["--addr", "--journal", "--checkpoint-every"]
+            .iter()
+            .chain(&DEPLOY_FLAGS)
+            .copied()
+            .collect::<Vec<_>>(),
+        &[],
+    );
     let addr = match flag_value(args, "--addr") {
         Ok(Some(a)) => a,
         Ok(None) => fail("--addr <host:port> is required"),
         Err(msg) => fail(&msg),
     };
+    let journal_dir = flag_value(args, "--journal").unwrap_or_else(|msg| fail(&msg));
+    let checkpoint_every: usize = flag_parse(args, "--checkpoint-every", 0);
+    if journal_dir.is_none() && checkpoint_every != 0 {
+        fail("--checkpoint-every needs --journal <dir>");
+    }
     let spec = parse_serve_spec(args);
     let digest = spec.state_digest().unwrap_or_else(|msg| fail(&msg));
     let listener = TcpListener::bind(&addr)
@@ -413,7 +458,11 @@ fn serve_cmd(args: &[String]) {
         spec.users,
         digest,
     );
-    if let Err(msg) = spec.serve(listener) {
+    let served = match &journal_dir {
+        Some(dir) => spec.serve_durable(listener, std::path::Path::new(dir), checkpoint_every),
+        None => spec.serve(listener),
+    };
+    if let Err(msg) = served {
         fail(&msg);
     }
     eprintln!("[dapd stopped]");
@@ -443,7 +492,7 @@ fn submit_cmd(args: &[String]) {
         .chain(&DEPLOY_FLAGS)
         .copied()
         .collect();
-    check_flags(args, &valued, &["--local", "--expect-rejection", "--shutdown"]);
+    check_flags(args, &valued, &["--local", "--expect-rejection", "--shutdown", "--pull-only"]);
     let serve = parse_serve_spec(args);
     let dataset = match flag_value(args, "--dataset") {
         Ok(Some(name)) => parse_dataset(&name)
@@ -485,6 +534,7 @@ fn submit_cmd(args: &[String]) {
         let opts = SubmitOptions {
             probe_rejection: args.iter().any(|a| a == "--expect-rejection"),
             shutdown: args.iter().any(|a| a == "--shutdown"),
+            pull_only: args.iter().any(|a| a == "--pull-only"),
         };
         let outcome = spec.submit(&addrs, &schemes, opts).unwrap_or_else(|msg| fail(&msg));
         if let Some(rejection) = outcome.rejection {

@@ -1,0 +1,284 @@
+//! Resumable shard runs: a cell-result journal on top of
+//! [`dap_core::storage`].
+//!
+//! `experiments <id> --shard i/n --journal <dir>` appends every finished
+//! cell to a write-ahead journal keyed by the cell's coordinate stream
+//! digest ([`crate::cell::Cell::stream`]). A re-run over the same
+//! directory replays the journal, verifies each record still matches this
+//! build's enumeration (same guarantee `experiments merge` gives shard
+//! files), and executes **only the missing cells** — so a preempted
+//! multi-hour shard resumes where it died instead of starting over, and
+//! the final `dap-results/v1` JSON is byte-identical to an uninterrupted
+//! run.
+//!
+//! The journal reuses the exact framing of the session journal (length +
+//! FNV digest prefix per record, [`dap_core::storage::Journal`]); only the
+//! payloads differ:
+//!
+//! * record 0 — the run manifest (experiment, options, shard coordinate):
+//!   a journal from a different run refuses to resume;
+//! * every later record — one cell: `cell <index> <stream> <bits…>` with
+//!   the folded values as exact f64 bit patterns ([`codec::f64_to_hex`]).
+
+use crate::cell::Cell;
+use crate::common::ExpOptions;
+use crate::engine::{run_cells_subset, CellResult};
+use crate::results::codec;
+use dap_core::storage::{FileBackend, Journal};
+use std::path::Path;
+
+/// The manifest payload identifying one shard run. Everything that
+/// changes the cell enumeration or the values is in here; a mismatch on
+/// resume is an error, not a silent restart.
+pub fn manifest(experiment: &str, opts: &ExpOptions, index: usize, count: usize) -> String {
+    format!(
+        "dap-shard-journal/v1 {} n {} trials {} seed {} max-dout {} shard {}/{}",
+        experiment,
+        opts.n,
+        opts.trials,
+        codec::hex_u64(opts.seed),
+        opts.max_d_out,
+        index,
+        count
+    )
+}
+
+fn encode_cell(result: &CellResult) -> String {
+    let mut s = format!("cell {} {}", result.index, codec::hex_u64(result.stream));
+    for v in &result.values {
+        s.push(' ');
+        s.push_str(&codec::f64_to_hex(*v));
+    }
+    s
+}
+
+fn decode_cell(payload: &[u8], at: u64) -> Result<CellResult, String> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| format!("journal record at byte {at} is not UTF-8"))?;
+    let mut words = text.split(' ');
+    if words.next() != Some("cell") {
+        return Err(format!(
+            "journal record at byte {at} is not a cell record: '{}'",
+            text.chars().take(40).collect::<String>()
+        ));
+    }
+    let index: usize = words
+        .next()
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| format!("journal record at byte {at} has a bad cell index"))?;
+    let stream = codec::parse_hex_u64(
+        words.next().ok_or_else(|| format!("journal record at byte {at} has no stream"))?,
+    )
+    .map_err(|e| format!("journal record at byte {at}: {e}"))?;
+    let values: Vec<f64> = words
+        .map(|w| codec::parse_hex_u64(w).map(f64::from_bits))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("journal record at byte {at}: {e}"))?;
+    Ok(CellResult { index, stream, values })
+}
+
+/// A cell-result journal bound to one shard run.
+pub struct ShardJournal {
+    journal: Journal<FileBackend>,
+    done: Vec<CellResult>,
+}
+
+/// The checkpoint payload a damaged shard journal compacts into: the
+/// manifest line followed by one encoded cell per line (no cell payload
+/// contains a newline).
+fn encode_state(manifest: &str, done: &[CellResult]) -> String {
+    let mut s = manifest.to_string();
+    for r in done {
+        s.push('\n');
+        s.push_str(&encode_cell(r));
+    }
+    s
+}
+
+fn check_manifest(dir: &Path, found: &str, wanted: &str) -> Result<(), String> {
+    if found != wanted {
+        return Err(format!(
+            "shard journal at {} belongs to a different run:\n  journal:  {found}\n  \
+             this run: {wanted}",
+            dir.display()
+        ));
+    }
+    Ok(())
+}
+
+impl ShardJournal {
+    /// Opens (or creates) the journal at `dir` for the run `manifest`
+    /// describes, replaying previously completed cells. A journal written
+    /// by a different run (different manifest) is rejected; a torn final
+    /// record (crash mid-append — the cell was never marked done) is
+    /// dropped and the valid state folded into a checkpoint so appends
+    /// can resume.
+    pub fn open(dir: &Path, manifest: &str) -> Result<ShardJournal, String> {
+        let backend = FileBackend::open(dir).map_err(|e| e.to_string())?;
+        let (mut journal, state) = Journal::open(backend).map_err(|e| e.to_string())?;
+        if let Some(corruption) = &state.corruption {
+            return Err(format!("shard journal at {}: {corruption}", dir.display()));
+        }
+        let mut done = Vec::new();
+        let mut manifest_seen = false;
+        if let Some(payload) = &state.checkpoint {
+            let text = std::str::from_utf8(payload)
+                .map_err(|_| format!("shard checkpoint at {} is not UTF-8", dir.display()))?;
+            let mut lines = text.lines();
+            let first = lines
+                .next()
+                .ok_or_else(|| format!("shard checkpoint at {} is empty", dir.display()))?;
+            check_manifest(dir, first, manifest)?;
+            manifest_seen = true;
+            for line in lines {
+                done.push(decode_cell(line.as_bytes(), 0)?);
+            }
+        }
+        for (at, payload) in &state.replay {
+            if !manifest_seen {
+                check_manifest(dir, std::str::from_utf8(payload).unwrap_or("<binary>"), manifest)?;
+                manifest_seen = true;
+                continue;
+            }
+            done.push(decode_cell(payload, *at)?);
+        }
+        if state.damaged() {
+            journal.compact(encode_state(manifest, &done).as_bytes()).map_err(|e| e.to_string())?;
+        } else if !manifest_seen {
+            journal.append(manifest.as_bytes()).map_err(|e| e.to_string())?;
+        }
+        Ok(ShardJournal { journal, done })
+    }
+
+    /// Cells already completed by a previous run of this shard.
+    pub fn done(&self) -> &[CellResult] {
+        &self.done
+    }
+
+    /// Appends one finished cell. The record is durable (flushed) before
+    /// this returns — a crash immediately after never re-runs the cell.
+    pub fn record(&mut self, result: &CellResult) -> Result<(), String> {
+        self.journal.append(encode_cell(result).as_bytes()).map_err(|e| e.to_string())
+    }
+}
+
+/// Runs the cells at `indices` with journaled resumability: previously
+/// completed cells are taken from the journal at `dir` (after verifying
+/// their streams against this build's enumeration), the rest run one cell
+/// at a time with an append after each, and the returned results are in
+/// `indices` order — bit-identical to a plain
+/// [`run_cells_subset`] over the same indices.
+pub fn run_cells_journaled(
+    dir: &Path,
+    manifest_text: &str,
+    opts: &ExpOptions,
+    cells: &[Cell],
+    indices: &[usize],
+) -> Result<(Vec<CellResult>, usize), String> {
+    let mut journal = ShardJournal::open(dir, manifest_text)?;
+
+    // Verify and index the journaled results. A stream mismatch means the
+    // directory holds results for different coordinates (changed options
+    // or an incompatible build) — refuse, as merge would.
+    let mut by_index: std::collections::HashMap<usize, CellResult> = Default::default();
+    for r in journal.done() {
+        let cell = cells.get(r.index).ok_or_else(|| {
+            format!("journaled cell index {} out of range ({} cells)", r.index, cells.len())
+        })?;
+        if cell.stream() != r.stream {
+            return Err(format!(
+                "journaled cell {} has stream {}, this build enumerates {}",
+                r.index,
+                codec::hex_u64(r.stream),
+                codec::hex_u64(cell.stream())
+            ));
+        }
+        by_index.insert(r.index, r.clone());
+    }
+    let resumed = indices.iter().filter(|i| by_index.contains_key(i)).count();
+
+    let mut results = Vec::with_capacity(indices.len());
+    for &i in indices {
+        match by_index.get(&i) {
+            Some(r) => results.push(r.clone()),
+            None => {
+                let mut run = run_cells_subset(opts, cells, &[i]);
+                let r = run.pop().expect("one index in, one result out");
+                journal.record(&r)?;
+                results.push(r);
+            }
+        }
+    }
+    Ok((results, resumed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::ExperimentId;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("dap-shard-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_opts() -> ExpOptions {
+        ExpOptions { n: 200, trials: 1, seed: 9, max_d_out: 8 }
+    }
+
+    #[test]
+    fn cell_records_round_trip_exactly() {
+        let r = CellResult {
+            index: 7,
+            stream: 0xdead_beef_1234_5678,
+            values: vec![0.1 + 0.2, f64::INFINITY, -0.0],
+        };
+        let back = decode_cell(encode_cell(&r).as_bytes(), 0).expect("round trip");
+        assert_eq!(back.index, r.index);
+        assert_eq!(back.stream, r.stream);
+        let bits: Vec<u64> = back.values.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = r.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, want);
+        assert!(decode_cell(b"not a cell", 5).unwrap_err().contains("byte 5"));
+    }
+
+    #[test]
+    fn journaled_run_resumes_and_matches_a_plain_run() {
+        let dir = tmpdir("resume");
+        let opts = small_opts();
+        let cells = ExperimentId::Fig7.cells(&opts);
+        let indices: Vec<usize> = (0..cells.len()).collect();
+        let man = manifest("fig7", &opts, 0, 1);
+        let reference = run_cells_subset(&opts, &cells, &indices);
+
+        // First pass: only run a prefix (simulate preemption by asking for
+        // fewer indices).
+        let half = &indices[..indices.len() / 2];
+        let (first, resumed) =
+            run_cells_journaled(&dir, &man, &opts, &cells, half).expect("first pass");
+        assert_eq!(resumed, 0);
+        assert_eq!(first.len(), half.len());
+
+        // Second pass over the full list resumes the journaled prefix and
+        // is bit-identical to the uninterrupted reference.
+        let (full, resumed) =
+            run_cells_journaled(&dir, &man, &opts, &cells, &indices).expect("second pass");
+        assert_eq!(resumed, half.len());
+        assert_eq!(full.len(), reference.len());
+        for (a, b) in full.iter().zip(&reference) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.stream, b.stream);
+            let abits: Vec<u64> = a.values.iter().map(|v| v.to_bits()).collect();
+            let bbits: Vec<u64> = b.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(abits, bbits, "cell {} drifted across resume", a.index);
+        }
+
+        // A different run must not be able to consume this journal.
+        let other = manifest("fig7", &ExpOptions { seed: 10, ..opts }, 0, 1);
+        let err = run_cells_journaled(&dir, &other, &opts, &cells, &indices).unwrap_err();
+        assert!(err.contains("different run"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

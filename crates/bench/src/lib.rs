@@ -14,7 +14,10 @@
 //!   the paper's stdout tables and a stable machine-readable JSON schema;
 //! * **shard** — `experiments <id> --shard i/n` runs a deterministic
 //!   partition of the cell list; `experiments merge` reassembles, and the
-//!   result is bit-identical to a single-process run.
+//!   result is bit-identical to a single-process run. With
+//!   `--journal <dir>` the partition is also *resumable*: each finished
+//!   cell is appended to a write-ahead journal ([`journal`]) and a re-run
+//!   skips everything already recorded.
 //!
 //! Each experiment module corresponds to one paper artifact and prints the
 //! same rows/series the paper reports. The binary `experiments` dispatches
@@ -31,6 +34,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod journal;
 pub mod results;
 pub mod serve;
 pub mod table1;

@@ -31,6 +31,7 @@ use crate::results::{codec, ResultSet, ShardInfo};
 use crate::outln;
 use dap_attack::{Anchor, Attack, UniformAttack};
 use dap_core::net::{serve_session, Frame, ShardRequest, WireClient, WireError};
+use dap_core::storage::{DurableOptions, DurableSession, FileBackend, Recovery};
 use dap_core::{
     Dap, DapConfig, DapError, DapOutput, DapSession, GroupPlan, Scheme, SwDapConfig,
 };
@@ -38,6 +39,7 @@ use dap_datasets::Dataset;
 use dap_estimation::rng::seeded;
 use dap_ldp::{Epsilon, NumericMechanism, PiecewiseMechanism, SquareWave};
 use std::net::TcpListener;
+use std::path::Path;
 use std::time::Duration;
 
 /// How many reports the coordinator accumulates before flushing one
@@ -156,6 +158,63 @@ impl ServeSpec {
         }
         Ok(())
     }
+
+    /// [`ServeSpec::serve`] with write-ahead durability: the session is
+    /// wrapped in a [`DurableSession`] journaling to `dir`, so a daemon
+    /// killed mid-submit and restarted on the same directory resumes with
+    /// every acknowledged report intact (`experiments serve --journal`).
+    /// Recovery is summarized on stderr; a corrupt journal refuses to
+    /// serve with the typed [`DapError::Journal`] — silently dropping
+    /// acknowledged data is never the default.
+    pub fn serve_durable(
+        &self,
+        listener: TcpListener,
+        dir: &Path,
+        checkpoint_every: usize,
+    ) -> Result<(), String> {
+        let extra = |frame: &Frame| match frame {
+            Frame::RunShard { request } => Some(run_shard_frame(request)),
+            _ => None,
+        };
+        let opts = DurableOptions { checkpoint_every, ..DurableOptions::default() };
+        match self.mech {
+            WireMech::Pm => {
+                let session = self.pm_session().map_err(|e| e.to_string())?;
+                let backend = FileBackend::open(dir).map_err(|e| e.to_string())?;
+                let (durable, recovery) =
+                    DurableSession::open(session, backend, opts).map_err(|e| e.to_string())?;
+                log_recovery(dir, &recovery);
+                serve_session(listener, durable, extra).map_err(|e| e.to_string())?;
+            }
+            WireMech::Sw => {
+                let session = self.sw_session().map_err(|e| e.to_string())?;
+                let backend = FileBackend::open(dir).map_err(|e| e.to_string())?;
+                let (durable, recovery) =
+                    DurableSession::open(session, backend, opts).map_err(|e| e.to_string())?;
+                log_recovery(dir, &recovery);
+                serve_session(listener, durable, extra).map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn log_recovery(dir: &Path, recovery: &Recovery) {
+    eprintln!(
+        "[journal {}: checkpoint {}, {} records replayed{}{}]",
+        dir.display(),
+        if recovery.from_checkpoint { "restored" } else { "none" },
+        recovery.replayed,
+        recovery
+            .torn
+            .map(|at| format!(", torn tail dropped at byte {at}"))
+            .unwrap_or_default(),
+        recovery
+            .salvaged
+            .as_deref()
+            .map(|s| format!(", salvaged past: {s}"))
+            .unwrap_or_default(),
+    );
 }
 
 /// A coordinator run: the deployment plus the simulated population it
@@ -181,6 +240,12 @@ pub struct SubmitOptions {
     pub probe_rejection: bool,
     /// Send `shutdown` to every daemon after pulling its part.
     pub shutdown: bool,
+    /// Skip the population stream entirely: hello, pull the parts the
+    /// daemons already hold, merge, finalize. The coordinator move after
+    /// restarting a journaled daemon — the reports live in its recovered
+    /// session, so streaming them again would double-count (and bounce off
+    /// the quota). CI byte-diffs this path against an uninterrupted run.
+    pub pull_only: bool,
 }
 
 /// What a coordinator run produced.
@@ -278,8 +343,6 @@ impl SubmitSpec {
         M: NumericMechanism + Sync,
         F: Fn(Epsilon) -> M,
     {
-        let (honest, _) = self.population();
-        let attack = self.attack();
         let cfg = self.serve.session_config();
 
         // Mirror `Dap::run_schemes_on` exactly: one RNG stream drives plan
@@ -297,33 +360,8 @@ impl SubmitSpec {
             clients.push(client);
         }
 
-        let n_honest = honest.len();
-        for g in 0..session.group_count() {
-            let owner = g % clients.len();
-            let assign = session.client_assignment(g).map_err(|e| e.to_string())?;
-            let mech = factory(assign.eps_t);
-            let mut buf = vec![0.0f64; assign.k_t];
-            let mut chunk: Vec<f64> = Vec::with_capacity(STREAM_CHUNK + assign.k_t);
-            let mut byz_members = 0usize;
-            for i in 0..session.plan().assignment[g].len() {
-                let user = session.plan().assignment[g][i];
-                if user < n_honest {
-                    assign.perturb_into(&mech, honest[user], &mut buf, &mut rng);
-                    chunk.extend_from_slice(&buf);
-                    if chunk.len() >= STREAM_CHUNK {
-                        clients[owner].ingest_batch(g, &chunk).map_err(|e| e.to_string())?;
-                        chunk.clear();
-                    }
-                } else {
-                    byz_members += 1;
-                }
-            }
-            let mut poison = vec![0.0f64; byz_members * assign.k_t];
-            let n_poison = attack.reports_into(&mut poison, &mech, &mut rng);
-            chunk.extend_from_slice(&poison[..n_poison]);
-            if !chunk.is_empty() {
-                clients[owner].ingest_batch(g, &chunk).map_err(|e| e.to_string())?;
-            }
+        if !opts.pull_only {
+            self.stream_population(&factory, &session, &mut clients, &mut rng)?;
         }
 
         // Every group is now exactly at quota; one more in-range report
@@ -353,6 +391,54 @@ impl SubmitSpec {
         }
         let outputs = session.finalize(schemes).map_err(|e| e.to_string())?;
         Ok(SubmitOutcome { outputs, rejection })
+    }
+
+    /// The population stream of a full submit: simulates every user in
+    /// group order (the `Dap::run_schemes_on` RNG stream continues through
+    /// `rng`) and sends each group's reports to its owning daemon in
+    /// [`STREAM_CHUNK`] batches.
+    fn stream_population<M, F>(
+        &self,
+        factory: &F,
+        session: &DapSession<M>,
+        clients: &mut [WireClient],
+        rng: &mut rand::rngs::StdRng,
+    ) -> Result<(), String>
+    where
+        M: NumericMechanism + Sync,
+        F: Fn(Epsilon) -> M,
+    {
+        let (honest, _) = self.population();
+        let attack = self.attack();
+        let n_honest = honest.len();
+        for g in 0..session.group_count() {
+            let owner = g % clients.len();
+            let assign = session.client_assignment(g).map_err(|e| e.to_string())?;
+            let mech = factory(assign.eps_t);
+            let mut buf = vec![0.0f64; assign.k_t];
+            let mut chunk: Vec<f64> = Vec::with_capacity(STREAM_CHUNK + assign.k_t);
+            let mut byz_members = 0usize;
+            for i in 0..session.plan().assignment[g].len() {
+                let user = session.plan().assignment[g][i];
+                if user < n_honest {
+                    assign.perturb_into(&mech, honest[user], &mut buf, rng);
+                    chunk.extend_from_slice(&buf);
+                    if chunk.len() >= STREAM_CHUNK {
+                        clients[owner].ingest_batch(g, &chunk).map_err(|e| e.to_string())?;
+                        chunk.clear();
+                    }
+                } else {
+                    byz_members += 1;
+                }
+            }
+            let mut poison = vec![0.0f64; byz_members * assign.k_t];
+            let n_poison = attack.reports_into(&mut poison, &mech, rng);
+            chunk.extend_from_slice(&poison[..n_poison]);
+            if !chunk.is_empty() {
+                clients[owner].ingest_batch(g, &chunk).map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -174,7 +174,7 @@ fn over_quota_probe_returns_the_typed_wire_rejection() {
         .submit(
             &addrs,
             &[Scheme::EmfStar],
-            SubmitOptions { probe_rejection: true, shutdown: true },
+            SubmitOptions { probe_rejection: true, shutdown: true, ..Default::default() },
         )
         .expect("served run with probe");
     match outcome.rejection {
@@ -211,6 +211,60 @@ fn mismatched_deployments_fail_the_handshake() {
         .expect_err("digest mismatch");
     assert!(err.contains("digest mismatch"), "unhelpful error: {err}");
     shutdown_all(&addrs, handles);
+}
+
+#[test]
+fn journaled_daemons_resume_across_restart_and_finalize_identically() {
+    let dir = std::env::temp_dir()
+        .join(format!("dap-serve-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = SubmitSpec {
+        serve: ServeSpec {
+            mech: WireMech::Pm,
+            eps: 0.25,
+            eps0: 1.0 / 16.0,
+            users: 400,
+            seed: 11,
+            max_d_out: 16,
+        },
+        dataset: Dataset::Taxi,
+        gamma: 0.2,
+        data_seed: 3,
+    };
+    let local = spec.run_local(&Scheme::ALL).expect("local reference");
+
+    // Generation 1: a journaled daemon ingests the full population, then
+    // stops (the journal now holds every accepted record).
+    let serve_spec = spec.serve;
+    let spawn = |dir: std::path::PathBuf| {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let handle = std::thread::spawn(move || {
+            serve_spec.serve_durable(listener, &dir, 0).expect("durable daemon serves")
+        });
+        (addr, handle)
+    };
+    let (addr, handle) = spawn(dir.clone());
+    let first = spec
+        .submit(std::slice::from_ref(&addr), &Scheme::ALL, SubmitOptions::default())
+        .expect("journaled run");
+    assert_outputs_bit_identical(&first.outputs, &local, "journaled gen-1");
+    shutdown_all(std::slice::from_ref(&addr), vec![handle]);
+
+    // Generation 2: a fresh daemon on the same journal recovers the
+    // session; a pull-only submit (no re-streaming) finalizes
+    // bit-identically to the uninterrupted reference.
+    let (addr, handle) = spawn(dir.clone());
+    let second = spec
+        .submit(
+            std::slice::from_ref(&addr),
+            &Scheme::ALL,
+            SubmitOptions { pull_only: true, shutdown: true, ..Default::default() },
+        )
+        .expect("pull-only run after restart");
+    assert_outputs_bit_identical(&second.outputs, &local, "journaled gen-2 (recovered)");
+    handle.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -35,7 +35,7 @@ macro_rules! range_strategy {
     )*};
 }
 
-range_strategy!(f64, usize, u64, u32, i64, i32);
+range_strategy!(f64, usize, u64, u32, u16, u8, i64, i32);
 
 /// A strategy that always yields clones of one value (`Just` in real
 /// proptest).

@@ -67,6 +67,17 @@ pub enum DapError {
         /// What differed.
         what: &'static str,
     },
+    /// The durability layer ([`crate::storage`]) failed: a journal append
+    /// did not complete, a record or checkpoint is corrupt, or recovery
+    /// found state that does not belong to this deployment.
+    Journal {
+        /// Byte offset into the journal where the problem was detected
+        /// (0 when the failure is not positional, e.g. a backend I/O
+        /// error or a checkpoint that fails to apply).
+        at: u64,
+        /// What went wrong.
+        reason: String,
+    },
     /// An underlying LDP mechanism rejected its parameters.
     Ldp(LdpError),
     /// A simulated user would exceed their privacy budget.
@@ -128,6 +139,9 @@ impl fmt::Display for DapError {
             DapError::SessionMismatch { what } => {
                 write!(f, "sessions cannot be merged: {what} differ")
             }
+            DapError::Journal { at, reason } => {
+                write!(f, "journal error at byte {at}: {reason}")
+            }
             DapError::Ldp(e) => write!(f, "mechanism error: {e}"),
             DapError::Budget(e) => write!(f, "privacy budget violation: {e}"),
         }
@@ -169,6 +183,8 @@ mod tests {
         let e = DapError::QuotaExceeded { group: 0, quota: 10, ingested: 10, attempted: 1 };
         assert!(e.to_string().contains("quota"));
         assert_eq!(DapError::EmptyPopulation.to_string(), "empty population");
+        let e = DapError::Journal { at: 34, reason: "record digest mismatch".into() };
+        assert!(e.to_string().contains("journal") && e.to_string().contains("byte 34"), "{e}");
     }
 
     #[test]

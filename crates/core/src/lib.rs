@@ -39,6 +39,11 @@
 //!   TCP frame protocol serving a session ([`net::serve_session`] /
 //!   [`net::WireClient`]) with exact f64 bit patterns (shared [`codec`])
 //!   and typed [`DapError`] rejections across the wire.
+//! * [`storage`] — durability: a write-ahead journal behind a pluggable
+//!   [`StorageBackend`] (memory and append-only-file implementations),
+//!   [`SessionPart`] checkpoints that compact it, and
+//!   [`storage::DurableSession`] recovery that restores a killed daemon's
+//!   session bit-for-bit.
 //!
 //! The [`baseline`] module implements the §IV two-budget protocol (and its
 //! security flaw against probing-aware attackers, which motivates DAP), the
@@ -61,6 +66,7 @@ pub mod population;
 pub mod protocol;
 pub mod scheme;
 pub mod session;
+pub mod storage;
 pub mod sw;
 
 pub use accountant::{BudgetError, PrivacyAccountant};
@@ -73,6 +79,10 @@ pub use parallel::parallel_map;
 pub use population::Population;
 pub use protocol::{Dap, DapConfig, DapConfigBuilder, DapOutput, GroupReport};
 pub use scheme::{GroupHistogram, Scheme};
-pub use net::{WireClient, WireError};
+pub use net::{WireClient, WireError, WireSession};
 pub use session::{DapSession, EstimationMode, PartGroup, SessionPart};
+pub use storage::{
+    DurableOptions, DurableSession, FaultBackend, FileBackend, Journal, MemoryBackend,
+    Recovery, StorageBackend,
+};
 pub use sw::{SwDap, SwDapConfig, SwDapOutput};

@@ -825,8 +825,61 @@ impl WireClient {
 // Server
 // ---------------------------------------------------------------------------
 
-struct ServerState<M> {
-    session: Mutex<DapSession<M>>,
+/// The session operations [`serve_session`] dispatches frames to.
+///
+/// Implemented by [`DapSession`] (a plain in-memory daemon) and by
+/// [`crate::storage::DurableSession`] (a journaled one), so the same
+/// accept loop serves both — durability is a deployment choice, not a
+/// protocol change.
+pub trait WireSession {
+    /// The compatibility digest exchanged in the `hello` handshake.
+    fn state_digest(&self) -> u64;
+    /// Number of groups in the served plan.
+    fn group_count(&self) -> usize;
+    /// Handles an `ingest` frame.
+    fn ingest(&mut self, group: usize, report: f64) -> Result<(), DapError>;
+    /// Handles an `ingest-batch` frame.
+    fn ingest_batch(&mut self, group: usize, reports: &[f64]) -> Result<(), DapError>;
+    /// Handles a `pull` frame.
+    fn export_part(&self) -> SessionPart;
+    /// Handles a `merge` frame.
+    fn merge_part(&mut self, part: &SessionPart) -> Result<(), DapError>;
+    /// Handles a `finalize` frame.
+    fn finalize(&self, schemes: &[Scheme]) -> Result<Vec<DapOutput>, DapError>;
+}
+
+impl<M: NumericMechanism + Sync> WireSession for DapSession<M> {
+    fn state_digest(&self) -> u64 {
+        DapSession::state_digest(self)
+    }
+
+    fn group_count(&self) -> usize {
+        DapSession::group_count(self)
+    }
+
+    fn ingest(&mut self, group: usize, report: f64) -> Result<(), DapError> {
+        DapSession::ingest(self, group, report)
+    }
+
+    fn ingest_batch(&mut self, group: usize, reports: &[f64]) -> Result<(), DapError> {
+        DapSession::ingest_batch(self, group, reports)
+    }
+
+    fn export_part(&self) -> SessionPart {
+        DapSession::export_part(self)
+    }
+
+    fn merge_part(&mut self, part: &SessionPart) -> Result<(), DapError> {
+        DapSession::merge_part(self, part)
+    }
+
+    fn finalize(&self, schemes: &[Scheme]) -> Result<Vec<DapOutput>, DapError> {
+        DapSession::finalize(self, schemes)
+    }
+}
+
+struct ServerState<S> {
+    session: Mutex<S>,
     digest: u64,
     groups: usize,
     stop: AtomicBool,
@@ -838,8 +891,8 @@ struct ServerState<M> {
     conns: Mutex<Vec<TcpStream>>,
 }
 
-impl<M: NumericMechanism + Sync> ServerState<M> {
-    fn lock(&self) -> std::sync::MutexGuard<'_, DapSession<M>> {
+impl<S: WireSession> ServerState<S> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, S> {
         // A poisoned lock means a handler panicked mid-operation; the
         // session state is still a valid (if partial) accumulation.
         self.session.lock().unwrap_or_else(|e| e.into_inner())
@@ -895,9 +948,9 @@ impl<M: NumericMechanism + Sync> ServerState<M> {
     }
 }
 
-fn handle_connection<M, X>(mut stream: TcpStream, state: &ServerState<M>, extra: &X)
+fn handle_connection<S, X>(mut stream: TcpStream, state: &ServerState<S>, extra: &X)
 where
-    M: NumericMechanism + Sync,
+    S: WireSession,
     X: Fn(&Frame) -> Option<Frame> + Sync,
 {
     stream.set_nodelay(true).ok();
@@ -922,7 +975,7 @@ where
     }
 }
 
-impl<M> ServerState<M> {
+impl<S> ServerState<S> {
     /// Unblocks everything a shutdown must not wait on: half-closes every
     /// accepted connection (handler threads parked in `read_frame` see
     /// EOF and exit) and pokes the accept loop with a loopback connect.
@@ -945,8 +998,11 @@ impl<M> ServerState<M> {
     }
 }
 
-/// Serves one [`DapSession`] on `listener` until a client sends
+/// Serves one [`WireSession`] on `listener` until a client sends
 /// `shutdown`, then returns the session (with everything it ingested).
+/// Serve a [`DapSession`] for a plain in-memory daemon, or a
+/// [`crate::storage::DurableSession`] for one whose acknowledged ingests
+/// survive a kill (`experiments serve --journal`).
 ///
 /// Connections are handled on their own scoped threads and share the
 /// session behind a mutex, so many report sources can stream
@@ -957,13 +1013,9 @@ impl<M> ServerState<M> {
 /// plugs experiment-shard execution in here); return `None` to let the
 /// server answer `error unsupported`. Pass `|_| None` for a plain
 /// aggregation daemon.
-pub fn serve_session<M, X>(
-    listener: TcpListener,
-    session: DapSession<M>,
-    extra: X,
-) -> std::io::Result<DapSession<M>>
+pub fn serve_session<S, X>(listener: TcpListener, session: S, extra: X) -> std::io::Result<S>
 where
-    M: NumericMechanism + Send + Sync,
+    S: WireSession + Send,
     X: Fn(&Frame) -> Option<Frame> + Sync,
 {
     let state = ServerState {

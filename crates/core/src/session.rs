@@ -178,11 +178,27 @@ impl<M: NumericMechanism> DapSession<M> {
     /// is validated against the output domain and the remaining quota before
     /// any report is accumulated, so a rejected batch leaves no trace.
     pub fn ingest_batch(&mut self, group: usize, reports: &[f64]) -> Result<(), DapError> {
+        self.check_ingest_batch(group, reports)?;
+        let state = &mut self.groups[group];
+        for &r in reports {
+            state.hist.counts[state.grid.bucket_of(r)] += 1.0;
+            state.hist.sum_reports += r;
+            state.hist.n_reports += 1;
+        }
+        Ok(())
+    }
+
+    /// The validation half of [`DapSession::ingest_batch`], without the
+    /// accumulation: group index, output-domain membership of every report,
+    /// and the remaining quota. The write-ahead journal
+    /// ([`crate::storage::DurableSession`]) checks before appending so
+    /// rejected traffic never reaches the log.
+    pub fn check_ingest_batch(&self, group: usize, reports: &[f64]) -> Result<(), DapError> {
         self.check_group(group)?;
         for &r in reports {
             self.check_range(group, r)?;
         }
-        let state = &mut self.groups[group];
+        let state = &self.groups[group];
         if state.hist.n_reports + reports.len() > state.quota {
             return Err(DapError::QuotaExceeded {
                 group,
@@ -190,11 +206,6 @@ impl<M: NumericMechanism> DapSession<M> {
                 ingested: state.hist.n_reports,
                 attempted: reports.len(),
             });
-        }
-        for &r in reports {
-            state.hist.counts[state.grid.bucket_of(r)] += 1.0;
-            state.hist.sum_reports += r;
-            state.hist.n_reports += 1;
         }
         Ok(())
     }
@@ -318,6 +329,22 @@ impl<M: NumericMechanism> DapSession<M> {
     /// mismatch, group-shape mismatch or quota violation leaves the
     /// session untouched.
     pub fn merge_part(&mut self, part: &SessionPart) -> Result<(), DapError> {
+        self.check_part(part)?;
+        for (state, pg) in self.groups.iter_mut().zip(&part.groups) {
+            for (b, p) in state.hist.counts.iter_mut().zip(&pg.counts) {
+                *b += p;
+            }
+            state.hist.sum_reports += pg.sum_reports;
+            state.hist.n_reports += pg.n_reports;
+        }
+        Ok(())
+    }
+
+    /// The validation half of [`DapSession::merge_part`], without the
+    /// accumulation: digest, group shape and quota checks. Like
+    /// [`DapSession::check_ingest_batch`], this is what the write-ahead
+    /// journal runs before a `merge` record is appended.
+    pub fn check_part(&self, part: &SessionPart) -> Result<(), DapError> {
         if part.digest != self.state_digest() {
             return Err(DapError::SessionMismatch { what: "state digest" });
         }
@@ -337,14 +364,30 @@ impl<M: NumericMechanism> DapSession<M> {
                 });
             }
         }
-        for (state, pg) in self.groups.iter_mut().zip(&part.groups) {
-            for (b, p) in state.hist.counts.iter_mut().zip(&pg.counts) {
-                *b += p;
-            }
-            state.hist.sum_reports += pg.sum_reports;
-            state.hist.n_reports += pg.n_reports;
-        }
         Ok(())
+    }
+
+    /// Digest of the full session state: the [`DapSession::state_digest`]
+    /// compatibility fields **plus** every streamed histogram value
+    /// (bucket counts, running report sums and tallies, f64s by bit
+    /// pattern). Two sessions with equal content digests hold
+    /// bit-identical ingested state — the invariant the durability
+    /// layer's recovery proves ([`crate::storage::DurableSession`]):
+    /// a session restored from its journal reports the same content
+    /// digest as the pre-crash session.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.bytes(b"dap-session-content/v1");
+        h.word(self.state_digest());
+        for state in &self.groups {
+            h.word(state.hist.counts.len() as u64);
+            for &c in &state.hist.counts {
+                h.word(c.to_bits());
+            }
+            h.word(state.hist.sum_reports.to_bits());
+            h.word(state.hist.n_reports as u64);
+        }
+        h.finish()
     }
 }
 
@@ -710,6 +753,21 @@ mod tests {
         let mut b = session(0.25, 400, 30);
         b.ingest(0, 0.5).unwrap();
         assert_eq!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn content_digest_tracks_ingested_state() {
+        let a = session(0.25, 400, 30);
+        let mut b = session(0.25, 400, 30);
+        assert_eq!(a.content_digest(), b.content_digest(), "fresh twins agree");
+        // Unlike the compatibility digest, ingestion moves it …
+        b.ingest(0, 0.5).unwrap();
+        assert_ne!(a.content_digest(), b.content_digest());
+        assert_eq!(a.state_digest(), b.state_digest());
+        // … and replaying the same reports restores it exactly.
+        let mut c = session(0.25, 400, 30);
+        c.ingest(0, 0.5).unwrap();
+        assert_eq!(b.content_digest(), c.content_digest());
     }
 
     #[test]

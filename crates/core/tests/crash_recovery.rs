@@ -1,0 +1,233 @@
+//! Crash-at-every-record-boundary sweep over a 1k-report ingest.
+//!
+//! [`FaultBackend`] severs the journal byte stream at a configured
+//! offset: the append that crosses the cut lands only its prefix (a torn
+//! write) and every later backend mutation fails — a simulated crash at
+//! any chosen point. The sweep enumerates **every record boundary** of a
+//! reference run (plus mid-record offsets), drives the same ingest script
+//! against a cut backend until it trips, then recovers a fresh session
+//! from the surviving bytes and demands, for each cut:
+//!
+//! * recovery succeeds with no corruption verdict (a torn tail is a
+//!   crash artifact, not damage);
+//! * the recovered state is **bit-identical**
+//!   ([`DapSession::content_digest`]) to the crashed session's in-memory
+//!   state — exactly the acknowledged operations survive;
+//! * it equals an independent plain [`DapSession`] replayed to the same
+//!   accepted prefix — the journal neither loses nor invents operations.
+//!
+//! A second sweep runs with automatic checkpoints enabled so the cuts
+//! also land inside compaction windows (checkpoint write → truncate →
+//! new header).
+
+use dap_core::storage::{DurableOptions, DurableSession, FaultBackend, MemoryBackend};
+use dap_core::{DapConfig, DapSession, GroupPlan, Scheme, SessionPart};
+use dap_estimation::rng::seeded;
+use dap_ldp::PiecewiseMechanism;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+type Session = DapSession<PiecewiseMechanism>;
+type FaultDurable = DurableSession<PiecewiseMechanism, FaultBackend<MemoryBackend>>;
+
+const SEED: u64 = 21;
+
+fn session() -> Session {
+    // 1 600 users so the per-group report quotas (~n_g) hold a full
+    // 1k-report script plus the merge tallies on top.
+    let cfg =
+        DapConfig { max_d_out: 32, ..DapConfig::paper_default(0.25, Scheme::Emf) };
+    let plan = GroupPlan::build(1_600, cfg.eps, cfg.eps0, &mut seeded(SEED));
+    DapSession::new(cfg, plan, PiecewiseMechanism::new).expect("valid session")
+}
+
+/// One journaled mutation — the three record types the durability layer
+/// writes.
+enum Op {
+    Ingest(usize, f64),
+    Batch(usize, Vec<f64>),
+    Merge(SessionPart),
+}
+
+/// A deterministic mixed script carrying at least 1 000 reports: batches,
+/// single ingests, and merges of a growing donor session, spread across
+/// every group.
+fn script() -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut donor = session();
+    let probe = session();
+    let groups = probe.group_count();
+    let quotas: Vec<usize> = (0..groups).map(|g| probe.quota(g)).collect();
+    // Reports already scripted per group (merges count: donor tallies land
+    // against the same quotas). Picking groups quota-aware keeps the whole
+    // script acceptable, so every cut's prefix is too.
+    let mut load = vec![0usize; groups];
+    let mut donor_load = vec![0usize; groups];
+    // PM output domains at these budgets comfortably contain [-1, 1], so
+    // uniform reports there are valid for every group.
+    let report = |rng: &mut StdRng| rng.gen::<f64>() * 2.0 - 1.0;
+    let pick = |load: &[usize], quotas: &[usize], cost: usize, rng: &mut StdRng| {
+        let g = rng.gen_range(0..load.len());
+        if load[g] + cost <= quotas[g] {
+            return g;
+        }
+        (0..load.len())
+            .min_by_key(|&g| load[g])
+            .filter(|&g| load[g] + cost <= quotas[g])
+            .expect("deployment sized for the script")
+    };
+    let mut ops = Vec::new();
+    let mut reports = 0usize;
+    while reports < 1_000 {
+        let op = match ops.len() % 7 {
+            4 | 5 => {
+                let g = pick(&load, &quotas, 1, &mut rng);
+                load[g] += 1;
+                reports += 1;
+                Op::Ingest(g, report(&mut rng))
+            }
+            6 if (0..groups).all(|g| load[g] + donor_load[g] < quotas[g]) => {
+                let g = pick(&donor_load, &quotas, 1, &mut rng);
+                donor.ingest(g, report(&mut rng)).expect("donor ingest");
+                donor_load[g] += 1;
+                for g in 0..groups {
+                    load[g] += donor_load[g];
+                }
+                Op::Merge(donor.export_part())
+            }
+            _ => {
+                let g = pick(&load, &quotas, 16, &mut rng);
+                let batch: Vec<f64> = (0..16).map(|_| report(&mut rng)).collect();
+                load[g] += batch.len();
+                reports += batch.len();
+                Op::Batch(g, batch)
+            }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+fn drive_durable(durable: &mut FaultDurable, op: &Op) -> Result<(), dap_core::DapError> {
+    match op {
+        Op::Ingest(g, v) => durable.ingest(*g, *v),
+        Op::Batch(g, vs) => durable.ingest_batch(*g, vs),
+        Op::Merge(part) => durable.merge_part(part),
+    }
+}
+
+fn apply_reference(reference: &mut Session, op: &Op) {
+    match op {
+        Op::Ingest(g, v) => reference.ingest(*g, *v).expect("reference ingest"),
+        Op::Batch(g, vs) => reference.ingest_batch(*g, vs).expect("reference batch"),
+        Op::Merge(part) => reference.merge_part(part).expect("reference merge"),
+    }
+}
+
+/// Runs the uncut script once and returns the journal length after the
+/// header and after every operation — the record boundaries the sweep
+/// cuts at. (With checkpoints enabled the length resets at each
+/// compaction, so the set is deduplicated.)
+fn record_boundaries(ops: &[Op], opts: DurableOptions) -> Vec<u64> {
+    let backend = FaultBackend::cut_at(MemoryBackend::new(), u64::MAX);
+    let (mut durable, _) = DurableSession::open(session(), backend, opts).expect("open");
+    let mut cuts = vec![durable.journal().len_bytes()];
+    for op in ops {
+        drive_durable(&mut durable, op).expect("uncut run accepts the script");
+        cuts.push(durable.journal().len_bytes());
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts
+}
+
+/// The sweep: for each cut, crash the script there, recover from the
+/// surviving bytes, and compare against a reference replayed to the same
+/// accepted prefix.
+fn sweep(ops: &[Op], cuts: &[u64], opts: DurableOptions) {
+    for &cut in cuts {
+        let backend = FaultBackend::cut_at(MemoryBackend::new(), cut);
+        let (mut durable, _) =
+            DurableSession::open(session(), backend, opts).expect("fresh journaled session");
+        let mut reference = session();
+        let mut tripped_mid_script = false;
+        for op in ops {
+            match drive_durable(&mut durable, op) {
+                // Acknowledged: the record is journaled and applied.
+                Ok(()) => apply_reference(&mut reference, op),
+                // Crashed: the append died before the apply — the
+                // operation was never acknowledged and must not survive.
+                Err(_) => {
+                    tripped_mid_script = true;
+                    break;
+                }
+            }
+        }
+        let crashed = durable.session().content_digest();
+        assert_eq!(
+            crashed,
+            reference.content_digest(),
+            "cut {cut}: in-memory state drifted from the accepted prefix"
+        );
+
+        let (_, fault) = durable.into_parts();
+        assert_eq!(fault.tripped(), tripped_mid_script, "cut {cut}");
+        let survivor = fault.into_inner();
+        let (recovered, recovery) = DurableSession::open(session(), survivor, opts)
+            .unwrap_or_else(|e| panic!("cut {cut}: recovery failed: {e}"));
+        assert_eq!(
+            recovered.session().content_digest(),
+            crashed,
+            "cut {cut}: recovered state is not bit-identical to the crashed one \
+             (torn: {:?}, replayed: {}, from_checkpoint: {})",
+            recovery.torn,
+            recovery.replayed,
+            recovery.from_checkpoint
+        );
+        assert_eq!(
+            recovered.session().state_digest(),
+            reference.state_digest(),
+            "cut {cut}: deployment digest changed across recovery"
+        );
+    }
+}
+
+#[test]
+fn crash_at_every_record_boundary_recovers_the_acked_prefix_bit_for_bit() {
+    let ops = script();
+    let opts = DurableOptions::default();
+    let boundaries = record_boundaries(&ops, opts);
+    assert!(boundaries.len() > ops.len(), "every op journals at least one record");
+
+    // Every record boundary (a clean crash between appends), plus offsets
+    // inside each record (a torn append), plus one past the end (no crash
+    // at all — the journal closed cleanly).
+    let mut cuts = Vec::new();
+    for w in boundaries.windows(2) {
+        cuts.push(w[0]);
+        cuts.push(w[0] + 1);
+        cuts.push(w[0] + (w[1] - w[0]) / 2);
+    }
+    let last = *boundaries.last().expect("nonempty");
+    cuts.extend([last, last + 1_000]);
+    cuts.sort_unstable();
+    cuts.dedup();
+    sweep(&ops, &cuts, opts);
+}
+
+#[test]
+fn crash_sweep_with_checkpoints_crossing_compaction_windows() {
+    let ops = script();
+    let opts = DurableOptions { checkpoint_every: 9, ..DurableOptions::default() };
+    let boundaries = record_boundaries(&ops, opts);
+    // Compaction truncates the journal, so distinct boundary offsets are
+    // far fewer than ops — the same cut now lands in several epochs.
+    assert!(boundaries.len() < ops.len(), "cadence-9 compaction reuses offsets");
+
+    let mut cuts: Vec<u64> = boundaries.iter().flat_map(|&b| [b, b + 3]).collect();
+    let last = *boundaries.last().expect("nonempty");
+    cuts.push(last + 1_000);
+    cuts.sort_unstable();
+    cuts.dedup();
+    sweep(&ops, &cuts, opts);
+}

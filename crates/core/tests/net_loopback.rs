@@ -8,10 +8,14 @@
 //! equivalence suite lives in `crates/bench/tests/serve.rs`.
 
 use dap_core::net::{serve_session, Frame, WireClient, WireError, WIRE_VERSION};
+use dap_core::storage::{DurableOptions, DurableSession, FileBackend};
 use dap_core::{DapConfig, DapError, DapSession, GroupPlan, Scheme};
 use dap_estimation::rng::seeded;
 use dap_ldp::PiecewiseMechanism;
+use std::io::{BufRead, BufReader};
 use std::net::TcpListener;
+use std::path::Path;
+use std::process::{Child, ChildStdout, Command, Stdio};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -183,6 +187,128 @@ fn shutdown_returns_even_with_idle_connections_open() {
     // The idle client's connection was released; its next call fails
     // cleanly instead of blocking.
     assert!(idle.ingest(0, 0.0).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Kill/restart durability (process-level)
+// ---------------------------------------------------------------------------
+
+/// The deployment both halves of the kill/restart test agree on.
+fn durable_deployment() -> DapSession<PiecewiseMechanism> {
+    session(0.25, 400, 44)
+}
+
+const CHILD_DIR_VAR: &str = "DAP_DURABLE_JOURNAL_DIR";
+
+/// Re-exec helper, not a test of its own: [`kill_dash_nine_mid_submit_loses_no_acked_report`]
+/// spawns this test binary again filtered down to this function, which
+/// runs a journaled daemon on the directory named by `DAP_DURABLE_JOURNAL_DIR`
+/// and prints its bound address. The parent then SIGKILLs it — a real
+/// process death, not a dropped thread.
+#[test]
+#[ignore = "re-exec helper; spawned as a child process by the kill/restart test"]
+fn durable_daemon_child() {
+    let Some(dir) = std::env::var_os(CHILD_DIR_VAR) else { return };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    println!("DAP_ADDR {}", listener.local_addr().expect("local addr"));
+    use std::io::Write as _;
+    std::io::stdout().flush().expect("flush addr line");
+    let backend = FileBackend::open(Path::new(&dir)).expect("open journal dir");
+    let (durable, _) =
+        DurableSession::open(durable_deployment(), backend, DurableOptions::default())
+            .expect("recover journaled session");
+    serve_session(listener, durable, |_| None).expect("serve");
+}
+
+/// Spawns a journaled daemon as a separate OS process and reads back the
+/// address it bound. The stdout handle stays attached so the harness can
+/// keep writing to it for the daemon's whole life.
+fn spawn_durable_daemon(dir: &Path) -> (Child, BufReader<ChildStdout>, String) {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = Command::new(exe)
+        .args(["--exact", "durable_daemon_child", "--ignored", "--nocapture"])
+        .env(CHILD_DIR_VAR, dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn child daemon");
+    let mut lines = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        if lines.read_line(&mut line).expect("child stdout") == 0 {
+            panic!("child daemon exited before printing its address");
+        }
+        // The harness prints `test durable_daemon_child ... ` (no newline)
+        // before the test body runs, so the marker is mid-line.
+        if let Some(at) = line.find("DAP_ADDR ") {
+            break line[at + "DAP_ADDR ".len()..].trim_end().to_string();
+        }
+    };
+    (child, lines, addr)
+}
+
+#[test]
+fn kill_dash_nine_mid_submit_loses_no_acked_report() {
+    // A journaled daemon is SIGKILLed halfway through a submission — a
+    // process death, so nothing in memory survives. A restarted daemon on
+    // the same journal directory must hold exactly the acknowledged
+    // prefix, and finishing the submission against it must finalize
+    // bit-identically to a never-interrupted local run.
+    let dir = std::env::temp_dir().join(format!("dap-kill-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut local = durable_deployment();
+    let digest = local.state_digest();
+
+    // Six deterministic batches, round-robin across the three groups
+    // (each group takes 120 of its ~134-report quota).
+    let mut rng = seeded(91);
+    let batches: Vec<(usize, Vec<f64>)> = (0..6)
+        .map(|i| {
+            let g = i % local.group_count();
+            let batch: Vec<f64> =
+                (0..60).map(|_| rand::Rng::gen::<f64>(&mut rng) * 2.0 - 1.0).collect();
+            (g, batch)
+        })
+        .collect();
+
+    // Generation 1: stream half the batches, then kill -9 between two
+    // acknowledged calls. An ack means the record hit the journal before
+    // the reply, so the half-submitted state is durable.
+    let (mut child, _stdout, addr) = spawn_durable_daemon(&dir);
+    let mut c = connect(&addr);
+    c.hello(digest).expect("handshake");
+    for (g, batch) in &batches[..3] {
+        c.ingest_batch(*g, batch).expect("acked ingest");
+        local.ingest_batch(*g, batch).expect("local twin");
+    }
+    child.kill().expect("SIGKILL the daemon");
+    child.wait().expect("reap the daemon");
+
+    // Generation 2: a fresh process on the same journal. Its recovered
+    // state must be bit-identical to the local twin at the kill point…
+    let (mut child, _stdout, addr) = spawn_durable_daemon(&dir);
+    let mut c = connect(&addr);
+    c.hello(digest).expect("handshake with the restarted daemon");
+    assert_eq!(
+        c.pull_part().expect("pull recovered state"),
+        local.export_part(),
+        "restart dropped or invented acknowledged reports"
+    );
+
+    // …and finishing the submission must match an uninterrupted run.
+    for (g, batch) in &batches[3..] {
+        c.ingest_batch(*g, batch).expect("acked ingest after restart");
+        local.ingest_batch(*g, batch).expect("local twin");
+    }
+    let remote = c.finalize(&Scheme::ALL).expect("remote finalize");
+    let expected = local.finalize(&Scheme::ALL).expect("local finalize");
+    assert_eq!(remote, expected, "kill/restart changed the finalized outputs");
+
+    c.shutdown().expect("shutdown");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "restarted daemon exited uncleanly: {status}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

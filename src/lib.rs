@@ -55,6 +55,14 @@
 //! pattern — a coordinator streaming to several daemons and merging their
 //! parts finalizes bit-identically to one in-process run. See
 //! `examples/tcp_aggregator.rs`.
+//!
+//! Sessions survive crashes: [`protocol::storage`] wraps any session in
+//! write-ahead durability ([`protocol::storage::DurableSession`] over a
+//! pluggable [`protocol::storage::StorageBackend`]) — every accepted
+//! ingest/merge is journaled before it is acknowledged, periodic
+//! checkpoints compact the journal, and a daemon restarted on the same
+//! journal directory recovers its acknowledged state bit-for-bit. See
+//! `examples/durable_aggregator.rs`.
 
 pub use dap_attack as attack;
 pub use dap_core as protocol;
