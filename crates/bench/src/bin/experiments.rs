@@ -39,7 +39,12 @@
 //!         --journal <dir>      write-ahead journal directory: every
 //!                              accepted ingest is durable before it is
 //!                              acknowledged, and a restarted daemon
-//!                              recovers the session bit-for-bit
+//!                              recovers the session bit-for-bit.
+//!                              Durability covers a killed *process* by
+//!                              default; add --journal-sync to survive
+//!                              OS crashes and power loss too
+//!         --journal-sync       fsync the journal per accepted record
+//!                              (power-failure durability, slower acks)
 //!         --checkpoint-every <n>  compact the journal into a checkpoint
 //!                              once it holds n records (default 0 = never)
 //!
@@ -94,7 +99,7 @@ fn main() {
     if id == "help" || id == "--help" {
         println!("usage: experiments <id> [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale] [--out PATH] [--shard I/N [--journal DIR]] [--bench-json PATH] [--bench-repeats R]");
         println!("       experiments merge <shard.json>... [--out PATH]");
-        println!("       experiments serve --addr H:P [--mech pm|sw] [--eps E] [--eps0 E0] --users N [--plan-seed S] [--max-dout D] [--journal DIR [--checkpoint-every N]]");
+        println!("       experiments serve --addr H:P [--mech pm|sw] [--eps E] [--eps0 E0] --users N [--plan-seed S] [--max-dout D] [--journal DIR [--journal-sync] [--checkpoint-every N]]");
         println!("       experiments submit (--addrs H:P,... | --local) [deployment flags] [--dataset D] [--gamma G] [--data-seed S] [--schemes all|LBL,..] [--expect-rejection] [--shutdown] [--pull-only]");
         println!("       experiments dispatch <id> --addrs H:P,... [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale] [--out PATH]");
         println!("       experiments shutdown --addrs H:P,...");
@@ -434,7 +439,7 @@ fn serve_cmd(args: &[String]) {
             .chain(&DEPLOY_FLAGS)
             .copied()
             .collect::<Vec<_>>(),
-        &[],
+        &["--journal-sync"],
     );
     let addr = match flag_value(args, "--addr") {
         Ok(Some(a)) => a,
@@ -443,8 +448,12 @@ fn serve_cmd(args: &[String]) {
     };
     let journal_dir = flag_value(args, "--journal").unwrap_or_else(|msg| fail(&msg));
     let checkpoint_every: usize = flag_parse(args, "--checkpoint-every", 0);
+    let journal_sync = args.iter().any(|a| a == "--journal-sync");
     if journal_dir.is_none() && checkpoint_every != 0 {
         fail("--checkpoint-every needs --journal <dir>");
+    }
+    if journal_dir.is_none() && journal_sync {
+        fail("--journal-sync needs --journal <dir>");
     }
     let spec = parse_serve_spec(args);
     let digest = spec.state_digest().unwrap_or_else(|msg| fail(&msg));
@@ -459,7 +468,9 @@ fn serve_cmd(args: &[String]) {
         digest,
     );
     let served = match &journal_dir {
-        Some(dir) => spec.serve_durable(listener, std::path::Path::new(dir), checkpoint_every),
+        Some(dir) => {
+            spec.serve_durable(listener, std::path::Path::new(dir), checkpoint_every, journal_sync)
+        }
         None => spec.serve(listener),
     };
     if let Err(msg) = served {

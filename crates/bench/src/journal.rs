@@ -164,10 +164,14 @@ impl ShardJournal {
 
 /// Runs the cells at `indices` with journaled resumability: previously
 /// completed cells are taken from the journal at `dir` (after verifying
-/// their streams against this build's enumeration), the rest run one cell
-/// at a time with an append after each, and the returned results are in
-/// `indices` order — bit-identical to a plain
-/// [`run_cells_subset`] over the same indices.
+/// their streams against this build's enumeration), the rest run in
+/// parallel chunks sized to the thread pool — each chunk fans its
+/// `(cell, rep)` tasks across every core exactly like the plain path,
+/// and every finished chunk is journaled before the next starts, so a
+/// preemption re-runs at most one chunk instead of the whole tail. The
+/// returned results are in `indices` order — bit-identical to a plain
+/// [`run_cells_subset`] over the same indices (chunking cannot change a
+/// value: every cell derives its RNG streams from its coordinate alone).
 pub fn run_cells_journaled(
     dir: &Path,
     manifest_text: &str,
@@ -197,18 +201,23 @@ pub fn run_cells_journaled(
     }
     let resumed = indices.iter().filter(|i| by_index.contains_key(i)).count();
 
-    let mut results = Vec::with_capacity(indices.len());
-    for &i in indices {
-        match by_index.get(&i) {
-            Some(r) => results.push(r.clone()),
-            None => {
-                let mut run = run_cells_subset(opts, cells, &[i]);
-                let r = run.pop().expect("one index in, one result out");
-                journal.record(&r)?;
-                results.push(r);
-            }
+    // Chunks of one cell per thread keep the cross-cell parallelism of
+    // the plain path while bounding the crash re-work window to a single
+    // chunk (each cell is journaled, in order, as its chunk completes).
+    let missing: Vec<usize> =
+        indices.iter().copied().filter(|i| !by_index.contains_key(i)).collect();
+    let chunk = dap_core::parallel::effective_threads().max(1);
+    for batch in missing.chunks(chunk) {
+        for r in run_cells_subset(opts, cells, batch) {
+            journal.record(&r)?;
+            by_index.insert(r.index, r);
         }
     }
+
+    let results = indices
+        .iter()
+        .map(|i| by_index.get(i).expect("every index ran or resumed").clone())
+        .collect();
     Ok((results, resumed))
 }
 

@@ -166,31 +166,39 @@ impl ServeSpec {
     /// Recovery is summarized on stderr; a corrupt journal refuses to
     /// serve with the typed [`DapError::Journal`] — silently dropping
     /// acknowledged data is never the default.
+    ///
+    /// `sync` selects the durability model: `false` survives a killed
+    /// process (flushed writes live in the kernel), `true` adds an
+    /// `fsync` per accepted record so acknowledged ingests also survive
+    /// an OS crash or power loss (`--journal-sync`).
     pub fn serve_durable(
         &self,
         listener: TcpListener,
         dir: &Path,
         checkpoint_every: usize,
+        sync: bool,
     ) -> Result<(), String> {
         let extra = |frame: &Frame| match frame {
             Frame::RunShard { request } => Some(run_shard_frame(request)),
             _ => None,
         };
+        let open_backend = || {
+            if sync { FileBackend::open_sync(dir) } else { FileBackend::open(dir) }
+                .map_err(|e| e.to_string())
+        };
         let opts = DurableOptions { checkpoint_every, ..DurableOptions::default() };
         match self.mech {
             WireMech::Pm => {
                 let session = self.pm_session().map_err(|e| e.to_string())?;
-                let backend = FileBackend::open(dir).map_err(|e| e.to_string())?;
                 let (durable, recovery) =
-                    DurableSession::open(session, backend, opts).map_err(|e| e.to_string())?;
+                    DurableSession::open(session, open_backend()?, opts).map_err(|e| e.to_string())?;
                 log_recovery(dir, &recovery);
                 serve_session(listener, durable, extra).map_err(|e| e.to_string())?;
             }
             WireMech::Sw => {
                 let session = self.sw_session().map_err(|e| e.to_string())?;
-                let backend = FileBackend::open(dir).map_err(|e| e.to_string())?;
                 let (durable, recovery) =
-                    DurableSession::open(session, backend, opts).map_err(|e| e.to_string())?;
+                    DurableSession::open(session, open_backend()?, opts).map_err(|e| e.to_string())?;
                 log_recovery(dir, &recovery);
                 serve_session(listener, durable, extra).map_err(|e| e.to_string())?;
             }

@@ -240,7 +240,7 @@ fn journaled_daemons_resume_across_restart_and_finalize_identically() {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
         let addr = listener.local_addr().expect("local addr").to_string();
         let handle = std::thread::spawn(move || {
-            serve_spec.serve_durable(listener, &dir, 0).expect("durable daemon serves")
+            serve_spec.serve_durable(listener, &dir, 0, false).expect("durable daemon serves")
         });
         (addr, handle)
     };

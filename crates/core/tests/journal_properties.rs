@@ -15,7 +15,9 @@
 //!   [`DapError::Journal`] corruption at the record's offset, a
 //!   length-prefix flip is at worst misread as a torn tail (the one
 //!   documented ambiguity), and in every case the records before the
-//!   damage survive intact.
+//!   damage survive intact. Damaging the *header line* is corruption
+//!   too, and must never truncate the acknowledged records behind it —
+//!   the bytes stay exactly as found for the typed refusal.
 
 use dap_core::net::{decode_frame, encode_frame, Frame};
 use dap_core::storage::{Journal, MemoryBackend};
@@ -188,6 +190,41 @@ proptest! {
         prop_assert_eq!(state.replay.len(), rec);
         for ((_, replayed), original) in state.replay.iter().zip(&payloads) {
             prop_assert_eq!(replayed, original);
+        }
+    }
+
+    /// Flipping any byte of the *header line* never destroys acknowledged
+    /// records: an unreadable header is typed corruption with every
+    /// journal byte left exactly as found (truncating would turn a
+    /// refusal into silent data loss), and a flip that happens to leave
+    /// the header parseable (an epoch digit) still replays every record.
+    #[test]
+    fn header_damage_never_truncates_acknowledged_bytes(seed in 0u64..1_000_000, count in 1usize..10, where_ in 0.0f64..1.0, mask in 1u8..=255) {
+        let payloads = random_payloads(seed, count);
+        let (mut bytes, boundaries) = journal_bytes(&payloads);
+        let header = boundaries[0] as usize;
+        let at = (header as f64 * where_) as usize % header;
+        bytes[at] ^= mask;
+
+        let backend = MemoryBackend::with_journal(bytes.clone());
+        let (journal, state) = Journal::open(backend).expect("damage never hard-fails the open");
+        match &state.corruption {
+            Some(DapError::Journal { at: reported, .. }) => {
+                prop_assert_eq!(*reported, 0, "header corruption anchors at byte 0");
+                prop_assert!(state.replay.is_empty(), "records past the damage are unscanned");
+                prop_assert_eq!(
+                    journal.into_backend().journal_bytes(),
+                    bytes.as_slice(),
+                    "acknowledged bytes must be left exactly as found"
+                );
+            }
+            Some(other) => prop_assert!(false, "corruption must be typed Journal, got {other:?}"),
+            None => {
+                // The flip left a parseable header (e.g. a different
+                // epoch digit): with no checkpoint, every record replays
+                // — no acknowledged state is lost on this path either.
+                prop_assert_eq!(state.replay.len(), payloads.len());
+            }
         }
     }
 }
