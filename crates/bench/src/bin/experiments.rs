@@ -6,6 +6,7 @@
 //! cargo run --release -p dap-bench --bin experiments -- merge <shard.json>... [--out merged.json]
 //! cargo run --release -p dap-bench --bin experiments -- serve --addr H:P --mech pm|sw --eps E --users N [...]
 //! cargo run --release -p dap-bench --bin experiments -- submit --addrs H:P,... | --local [...]
+//! cargo run --release -p dap-bench --bin experiments -- chaos --users N [--daemons D] [--kill-restart] [...]
 //! cargo run --release -p dap-bench --bin experiments -- dispatch <id> --addrs H:P,... [flags]
 //!
 //! ids:    fig4 table1 fig5 fig6 fig7 fig8 fig9 fig10
@@ -47,6 +48,9 @@
 //!                              (power-failure durability, slower acks)
 //!         --checkpoint-every <n>  compact the journal into a checkpoint
 //!                              once it holds n records (default 0 = never)
+//!         --idle-timeout <ms>  close a connection whose next frame does
+//!                              not arrive in time with a typed timeout
+//!                              farewell (default 0 = wait forever)
 //!
 //! submit: streams a simulated population to daemons (disjoint group
 //!         ownership), pulls serialized parts, merges + finalizes at the
@@ -63,7 +67,33 @@
 //!         --pull-only          skip the population stream: pull the parts
 //!                              the daemons already hold (recovered from
 //!                              their journals), merge and finalize
-//!         (plus the serve deployment flags above)
+//!         --timeout-ms <ms>    connect/read/write deadlines on every wire
+//!                              op (default 0 = wait forever); expiry is
+//!                              the typed, retryable WireError::Timeout
+//!         --retry-attempts <n> tries per wire op before a daemon is
+//!                              declared dead and its groups reroute to a
+//!                              survivor (default 5)
+//!         --retry-budget <n>   total retries across the deployment
+//!                              (default 256)
+//!         --retry-base-ms <ms> first backoff; doubles per attempt, capped,
+//!                              with deterministic seeded jitter
+//!         --retry-seed <s>     jitter seed (default 0xdab5eed)
+//!         (plus the serve deployment flags above; per-daemon retry/
+//!         failover summaries are printed to stderr)
+//!
+//! chaos:  spawns N journaled daemon processes behind seeded
+//!         fault-injection proxies (drop/delay/stall/reset per connection),
+//!         submits through them — with --kill-restart each daemon is
+//!         SIGKILLed mid-run and restarted on its journal — and requires
+//!         the finalized outputs to be bit-identical to the in-process
+//!         reference; stdout matches `submit --local` byte for byte:
+//!         --daemons <n>        fleet size               (default 2)
+//!         --chaos-seed <s>     fault-schedule seed      (default 7)
+//!         --faults <n>         faulted connections per proxy before the
+//!                              schedule runs clean      (default 6)
+//!         --kill-restart       SIGKILL + journal-restart every daemon
+//!         (plus the submit population/deployment/retry flags;
+//!         --timeout-ms defaults to 500 and must be nonzero here)
 //!
 //! dispatch: runs shard i/n of <id> on daemon i over the wire, merges and
 //!         renders exactly like a local run (`--n/--trials/--seed/
@@ -74,14 +104,16 @@ use dap_bench::cell::{Cell, ExperimentId};
 use dap_bench::common::{write_bench_json, ExpOptions};
 use dap_bench::engine::{run_cells_subset, ResultMap};
 use dap_bench::results::{ResultSet, ShardInfo};
+use dap_bench::chaos::{run_chaos, ChaosSpec};
 use dap_bench::serve::{
-    parse_dataset, render_outputs, ServeSpec, SubmitOptions, SubmitSpec, WireMech,
+    parse_dataset, render_outputs, submit_header, ServeSpec, SubmitOptions, SubmitSpec, WireMech,
 };
+use dap_core::net::{Deadlines, RetryPolicy, ServeOptions};
 use dap_core::Scheme;
 use dap_datasets::PopulationCache;
 use std::net::TcpListener;
 use std::ops::Range;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Flags the binary owns; `ExpOptions::parse_allowing` skips exactly these.
 const BINARY_FLAGS: [&str; 5] =
@@ -99,8 +131,9 @@ fn main() {
     if id == "help" || id == "--help" {
         println!("usage: experiments <id> [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale] [--out PATH] [--shard I/N [--journal DIR]] [--bench-json PATH] [--bench-repeats R]");
         println!("       experiments merge <shard.json>... [--out PATH]");
-        println!("       experiments serve --addr H:P [--mech pm|sw] [--eps E] [--eps0 E0] --users N [--plan-seed S] [--max-dout D] [--journal DIR [--journal-sync] [--checkpoint-every N]]");
-        println!("       experiments submit (--addrs H:P,... | --local) [deployment flags] [--dataset D] [--gamma G] [--data-seed S] [--schemes all|LBL,..] [--expect-rejection] [--shutdown] [--pull-only]");
+        println!("       experiments serve --addr H:P [--mech pm|sw] [--eps E] [--eps0 E0] --users N [--plan-seed S] [--max-dout D] [--idle-timeout MS] [--journal DIR [--journal-sync] [--checkpoint-every N]]");
+        println!("       experiments submit (--addrs H:P,... | --local) [deployment flags] [--dataset D] [--gamma G] [--data-seed S] [--schemes all|LBL,..] [--timeout-ms MS] [--retry-attempts N] [--retry-budget N] [--retry-base-ms MS] [--retry-seed S] [--expect-rejection] [--shutdown] [--pull-only]");
+        println!("       experiments chaos [deployment/population flags] [--daemons N] [--chaos-seed S] [--faults N] [--kill-restart] [retry flags]");
         println!("       experiments dispatch <id> --addrs H:P,... [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale] [--out PATH]");
         println!("       experiments shutdown --addrs H:P,...");
         println!("ids: fig4 table1 fig5 fig6 fig7 fig8 fig9 fig10 ablation-weights ablation-split ablation-mechanism all");
@@ -116,6 +149,10 @@ fn main() {
     }
     if id == "submit" {
         submit_cmd(&args[1..]);
+        return;
+    }
+    if id == "chaos" {
+        chaos_cmd(&args[1..]);
         return;
     }
     if id == "dispatch" {
@@ -405,6 +442,48 @@ fn flag_parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
 /// The deployment flags shared by `serve` and `submit`.
 const DEPLOY_FLAGS: [&str; 6] = ["--mech", "--eps", "--eps0", "--users", "--plan-seed", "--max-dout"];
 
+/// The coordinator fault-tolerance flags shared by `submit` and `chaos`.
+const RETRY_FLAGS: [&str; 5] =
+    ["--retry-attempts", "--retry-budget", "--retry-base-ms", "--retry-seed", "--timeout-ms"];
+
+/// `--retry-*` flags → a [`RetryPolicy`] (defaults from the policy itself).
+fn parse_retry(args: &[String]) -> RetryPolicy {
+    let d = RetryPolicy::default();
+    RetryPolicy {
+        attempts: flag_parse(args, "--retry-attempts", d.attempts),
+        budget: flag_parse(args, "--retry-budget", d.budget),
+        base: Duration::from_millis(flag_parse(args, "--retry-base-ms", d.base.as_millis() as u64)),
+        seed: flag_parse(args, "--retry-seed", d.seed),
+        cap: d.cap,
+    }
+}
+
+/// `--timeout-ms <ms>` → uniform connect/read/write deadlines. `0` means
+/// wait forever (the pre-hardening behavior); `default_ms` applies when
+/// the flag is absent.
+fn parse_deadlines(args: &[String], default_ms: u64) -> Deadlines {
+    match flag_parse(args, "--timeout-ms", default_ms) {
+        0 => Deadlines::default(),
+        ms => Deadlines::all(Duration::from_millis(ms)),
+    }
+}
+
+/// The population flags shared by `submit` and `chaos`.
+fn parse_submit_spec(args: &[String]) -> SubmitSpec {
+    let dataset = match flag_value(args, "--dataset") {
+        Ok(Some(name)) => parse_dataset(&name)
+            .unwrap_or_else(|| fail(&format!("unknown dataset '{name}'"))),
+        Ok(None) => dap_datasets::Dataset::Taxi,
+        Err(msg) => fail(&msg),
+    };
+    SubmitSpec {
+        serve: parse_serve_spec(args),
+        dataset,
+        gamma: flag_parse(args, "--gamma", 0.2),
+        data_seed: flag_parse(args, "--data-seed", 1),
+    }
+}
+
 fn parse_serve_spec(args: &[String]) -> ServeSpec {
     let mech = match flag_value(args, "--mech") {
         Ok(Some(name)) => WireMech::from_name(&name)
@@ -434,7 +513,7 @@ fn parse_serve_spec(args: &[String]) -> ServeSpec {
 fn serve_cmd(args: &[String]) {
     check_flags(
         args,
-        &["--addr", "--journal", "--checkpoint-every"]
+        &["--addr", "--journal", "--checkpoint-every", "--idle-timeout"]
             .iter()
             .chain(&DEPLOY_FLAGS)
             .copied()
@@ -455,6 +534,10 @@ fn serve_cmd(args: &[String]) {
     if journal_dir.is_none() && journal_sync {
         fail("--journal-sync needs --journal <dir>");
     }
+    let idle_ms: u64 = flag_parse(args, "--idle-timeout", 0);
+    let options = ServeOptions {
+        idle_timeout: (idle_ms != 0).then(|| Duration::from_millis(idle_ms)),
+    };
     let spec = parse_serve_spec(args);
     let digest = spec.state_digest().unwrap_or_else(|msg| fail(&msg));
     let listener = TcpListener::bind(&addr)
@@ -468,10 +551,14 @@ fn serve_cmd(args: &[String]) {
         digest,
     );
     let served = match &journal_dir {
-        Some(dir) => {
-            spec.serve_durable(listener, std::path::Path::new(dir), checkpoint_every, journal_sync)
-        }
-        None => spec.serve(listener),
+        Some(dir) => spec.serve_durable_with(
+            listener,
+            std::path::Path::new(dir),
+            checkpoint_every,
+            journal_sync,
+            options,
+        ),
+        None => spec.serve_with(listener, options),
     };
     if let Err(msg) = served {
         fail(&msg);
@@ -501,39 +588,17 @@ fn submit_cmd(args: &[String]) {
     let valued: Vec<&str> = ["--addrs", "--dataset", "--gamma", "--data-seed", "--schemes"]
         .iter()
         .chain(&DEPLOY_FLAGS)
+        .chain(&RETRY_FLAGS)
         .copied()
         .collect();
     check_flags(args, &valued, &["--local", "--expect-rejection", "--shutdown", "--pull-only"]);
-    let serve = parse_serve_spec(args);
-    let dataset = match flag_value(args, "--dataset") {
-        Ok(Some(name)) => parse_dataset(&name)
-            .unwrap_or_else(|| fail(&format!("unknown dataset '{name}'"))),
-        Ok(None) => dap_datasets::Dataset::Taxi,
-        Err(msg) => fail(&msg),
-    };
-    let spec = SubmitSpec {
-        serve,
-        dataset,
-        gamma: flag_parse(args, "--gamma", 0.2),
-        data_seed: flag_parse(args, "--data-seed", 1),
-    };
+    let spec = parse_submit_spec(args);
     let schemes = parse_schemes(args);
     let local = args.iter().any(|a| a == "--local");
 
     // The header (and everything on stdout) is identical between a served
     // run and the `--local` reference — CI byte-diffs the two.
-    println!(
-        "# dap-wire submit: mech {}, eps {}, eps0 {}, users {}, plan-seed {}, max-dout {}, dataset {}, gamma {}, data-seed {}",
-        spec.serve.mech.name(),
-        spec.serve.eps,
-        spec.serve.eps0,
-        spec.serve.users,
-        spec.serve.seed,
-        spec.serve.max_d_out,
-        spec.dataset.label(),
-        spec.gamma,
-        spec.data_seed,
-    );
+    println!("{}", submit_header(&spec));
     let outputs = if local {
         spec.run_local(&schemes).unwrap_or_else(|msg| fail(&msg))
     } else {
@@ -546,14 +611,61 @@ fn submit_cmd(args: &[String]) {
             probe_rejection: args.iter().any(|a| a == "--expect-rejection"),
             shutdown: args.iter().any(|a| a == "--shutdown"),
             pull_only: args.iter().any(|a| a == "--pull-only"),
+            retry: parse_retry(args),
+            deadlines: parse_deadlines(args, 0),
         };
         let outcome = spec.submit(&addrs, &schemes, opts).unwrap_or_else(|msg| fail(&msg));
+        for daemon in &outcome.daemons {
+            eprintln!("[{}]", daemon.render());
+        }
         if let Some(rejection) = outcome.rejection {
             eprintln!("[rejection probe: {rejection}]");
         }
         outcome.outputs
     };
     print!("{}", render_outputs(&schemes, &outputs));
+}
+
+/// `experiments chaos`: spawns a journaled daemon fleet behind seeded
+/// fault-injection proxies, submits through them — optionally SIGKILLing
+/// and restarting every daemon on its journal mid-run — and requires the
+/// finalized outputs to be bit-identical to the in-process reference.
+/// stdout is byte-identical to `submit --local`; the fault/retry evidence
+/// goes to stderr.
+fn chaos_cmd(args: &[String]) {
+    let valued: Vec<&str> =
+        ["--dataset", "--gamma", "--data-seed", "--schemes", "--daemons", "--chaos-seed", "--faults"]
+            .iter()
+            .chain(&DEPLOY_FLAGS)
+            .chain(&RETRY_FLAGS)
+            .copied()
+            .collect();
+    check_flags(args, &valued, &["--kill-restart"]);
+    let spec = ChaosSpec {
+        submit: parse_submit_spec(args),
+        daemons: flag_parse(args, "--daemons", 2),
+        seed: flag_parse(args, "--chaos-seed", 7),
+        faults: flag_parse(args, "--faults", 6),
+        kill_restart: args.iter().any(|a| a == "--kill-restart"),
+        retry: parse_retry(args),
+        // A chaos run must bound its reads: stall faults would otherwise
+        // park the coordinator forever, so 0 is not accepted here.
+        deadlines: parse_deadlines(args, 500),
+    };
+    if spec.deadlines.read.is_none() {
+        fail("chaos needs a nonzero --timeout-ms (stall faults never send bytes)");
+    }
+    let schemes = parse_schemes(args);
+    println!("{}", submit_header(&spec.submit));
+    let report = run_chaos(&spec, &schemes).unwrap_or_else(|msg| fail(&msg));
+    for daemon in &report.daemons {
+        eprintln!("[{}]", daemon.render());
+    }
+    for (i, (connections, faults)) in report.proxies.iter().enumerate() {
+        eprintln!("[proxy {i}: {connections} connections, {faults} faults injected]");
+    }
+    eprintln!("[chaos: finalized outputs bit-identical to the clean local reference]");
+    print!("{}", render_outputs(&schemes, &report.outputs));
 }
 
 /// `experiments dispatch <id> --addrs a,b,...`: runs shard `i/n` of the

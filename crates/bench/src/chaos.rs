@@ -1,0 +1,262 @@
+//! `experiments chaos`: a self-contained fault-injection drill for the
+//! `dap-wire/v1` serving stack.
+//!
+//! The drill spawns real journaled daemon *processes* (re-executing the
+//! current binary's `serve` subcommand), interposes a deterministic
+//! [`ChaosProxy`] in front of each, and drives a full coordinator submit
+//! through the proxies — optionally SIGKILLing and restarting each daemon
+//! mid-run. The acceptance check is the protocol's exactness claim: the
+//! finalized outputs must be **bit-identical** to [`SubmitSpec::run_local`]
+//! no matter which connects were dropped, which batches stalled, which
+//! acks were lost to a reset, or which daemons died — anything else is a
+//! typed, named failure, never silent divergence.
+//!
+//! Why this holds: every report chunk is precomputed before any I/O (the
+//! RNG stream is spent once), chunks travel as sequenced batches a
+//! journaled daemon dedups on replay, and a daemon that exhausts the retry
+//! budget has its groups re-streamed in full to a survivor while its own
+//! part is discarded — so the merged state always holds every report
+//! exactly once, in the same per-group order as the local reference.
+
+use crate::serve::{DaemonSummary, ServeSpec, SubmitOptions, SubmitSpec};
+use dap_core::net::{Deadlines, RetryPolicy, WireClient};
+use dap_core::{ChaosProxy, ChaosSchedule, DapOutput, Scheme};
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One chaos drill: the deployment to submit, how many daemons to spawn,
+/// and the fault program to run them through.
+#[derive(Debug, Clone)]
+pub struct ChaosSpec {
+    /// The coordinator run (deployment + population) under test.
+    pub submit: SubmitSpec,
+    /// Daemon processes to spawn (each gets its own journal and proxy).
+    pub daemons: usize,
+    /// Seed of the per-proxy fault schedules (proxy `i` uses `seed + i`).
+    pub seed: u64,
+    /// Length of each proxy's fault schedule; connections past it are
+    /// clean, which is what guarantees the run converges.
+    pub faults: usize,
+    /// SIGKILL each daemon once mid-submit and restart it on its journal.
+    pub kill_restart: bool,
+    /// Retry policy for the coordinator (the budget must outlast the
+    /// schedule for the exactness assertion to be reachable).
+    pub retry: RetryPolicy,
+    /// Socket deadlines — chaos runs must bound reads, or a stalled
+    /// connection parks the coordinator forever.
+    pub deadlines: Deadlines,
+}
+
+/// What a chaos drill observed (the outputs are already verified
+/// bit-identical to the local reference before this is returned).
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Finalized outputs, in scheme order — bit-identical to
+    /// [`SubmitSpec::run_local`].
+    pub outputs: Vec<DapOutput>,
+    /// Per-daemon retry/failover summary from the coordinator.
+    pub daemons: Vec<DaemonSummary>,
+    /// Per-proxy `(connections accepted, faults injected)`.
+    pub proxies: Vec<(usize, usize)>,
+}
+
+/// A spawned daemon process and the address it announced.
+struct DaemonProc {
+    child: Child,
+    addr: String,
+}
+
+impl DaemonProc {
+    /// Re-executes the current binary as `serve --journal <dir> --addr
+    /// 127.0.0.1:0 ...`, forwards its stderr with a `[daemon i]` prefix,
+    /// and returns once the `[dapd listening on ...]` line names the port.
+    fn spawn(serve: &ServeSpec, dir: &Path, index: usize) -> Result<DaemonProc, String> {
+        let exe = std::env::current_exe()
+            .map_err(|e| format!("cannot locate the experiments binary: {e}"))?;
+        let mut child = Command::new(&exe)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--journal",
+                &dir.display().to_string(),
+                "--mech",
+                serve.mech.name(),
+                "--eps",
+                &serve.eps.to_string(),
+                "--eps0",
+                &serve.eps0.to_string(),
+                "--users",
+                &serve.users.to_string(),
+                "--plan-seed",
+                &serve.seed.to_string(),
+                "--max-dout",
+                &serve.max_d_out.to_string(),
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("cannot spawn daemon {index}: {e}"))?;
+        let mut reader = BufReader::new(child.stderr.take().expect("piped stderr"));
+        let mut line = String::new();
+        let addr = loop {
+            line.clear();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("daemon {index} stderr: {e}"))?;
+            if n == 0 {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(format!(
+                    "daemon {index} exited before announcing its address \
+                     (is the current binary the experiments driver?)"
+                ));
+            }
+            eprintln!("[daemon {index}] {}", line.trim_end());
+            if let Some(rest) = line.trim_start().strip_prefix("[dapd listening on ") {
+                match rest.split_whitespace().next() {
+                    Some(addr) if !addr.is_empty() => break addr.to_string(),
+                    _ => {
+                        let _ = child.kill();
+                        return Err(format!("daemon {index} announced a blank address"));
+                    }
+                }
+            }
+        };
+        // Keep draining so the daemon never blocks on a full stderr pipe
+        // (recovery summaries and the stop line land here too).
+        std::thread::spawn(move || {
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => eprintln!("[daemon {index}] {}", line.trim_end()),
+                }
+            }
+        });
+        Ok(DaemonProc { child, addr })
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs one chaos drill end to end. Returns the verified report, or a
+/// typed, named error — a divergence from the local reference is reported
+/// with both renderings, never swallowed.
+pub fn run_chaos(spec: &ChaosSpec, schemes: &[Scheme]) -> Result<ChaosReport, String> {
+    if spec.daemons == 0 {
+        return Err("chaos needs at least one daemon".into());
+    }
+    let reference = spec.submit.run_local(schemes)?;
+
+    let base: PathBuf =
+        std::env::temp_dir().join(format!("dap-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Spawn the fleet: daemon i journals to its own directory and is only
+    // reachable through proxy i's fault schedule.
+    let mut procs = Vec::with_capacity(spec.daemons);
+    let mut proxies = Vec::with_capacity(spec.daemons);
+    for i in 0..spec.daemons {
+        let dir = base.join(format!("daemon-{i}"));
+        let proc = DaemonProc::spawn(&spec.submit.serve, &dir, i)?;
+        let schedule = ChaosSchedule::seeded(spec.seed.wrapping_add(i as u64), spec.faults);
+        let proxy = ChaosProxy::start(&proc.addr, schedule)
+            .map_err(|e| format!("cannot start proxy {i}: {e}"))?;
+        eprintln!(
+            "[chaos: daemon {i} at {} behind proxy {} ({} scheduled faults)]",
+            proc.addr,
+            proxy.addr(),
+            spec.faults
+        );
+        procs.push(proc);
+        proxies.push(proxy);
+    }
+    let proxy_addrs: Vec<String> = proxies.iter().map(|p| p.addr()).collect();
+    let procs = Mutex::new(procs);
+
+    // Submit through the proxies while watchdog threads (optionally)
+    // SIGKILL and restart each daemon on its journal — a real process
+    // death, nothing in daemon memory survives it.
+    let opts = SubmitOptions {
+        retry: spec.retry,
+        deadlines: spec.deadlines,
+        ..SubmitOptions::default()
+    };
+    let outcome = std::thread::scope(|scope| {
+        let mut watchdogs = Vec::new();
+        if spec.kill_restart {
+            for i in 0..spec.daemons {
+                let procs = &procs;
+                let proxies = &proxies;
+                let serve = spec.submit.serve;
+                let dir = base.join(format!("daemon-{i}"));
+                watchdogs.push(scope.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(200 + 350 * i as u64));
+                    {
+                        let mut procs = lock(procs);
+                        let _ = procs[i].child.kill();
+                        let _ = procs[i].child.wait();
+                    }
+                    eprintln!("[chaos: daemon {i} SIGKILLed; restarting on its journal]");
+                    match DaemonProc::spawn(&serve, &dir, i) {
+                        Ok(fresh) => {
+                            proxies[i].set_upstream(&fresh.addr);
+                            eprintln!("[chaos: daemon {i} restarted at {}]", fresh.addr);
+                            lock(procs)[i] = fresh;
+                        }
+                        Err(e) => eprintln!("[chaos: daemon {i} failed to restart: {e}]"),
+                    }
+                }));
+            }
+        }
+        let outcome = spec.submit.submit(&proxy_addrs, schemes, opts);
+        for w in watchdogs {
+            let _ = w.join();
+        }
+        outcome
+    });
+
+    // Tear the fleet down before judging the outcome, so a failed drill
+    // leaves no stray daemons behind.
+    let proxy_stats: Vec<(usize, usize)> =
+        proxies.iter().map(|p| (p.connections(), p.faults_injected())).collect();
+    for (i, proc) in lock(&procs).iter_mut().enumerate() {
+        let stopped = WireClient::connect_retry(&proc.addr, 5, Duration::from_millis(50))
+            .ok()
+            .and_then(|mut c| c.shutdown().ok())
+            .is_some();
+        if !stopped {
+            let _ = proc.child.kill();
+        }
+        let _ = proc.child.wait();
+        if !stopped {
+            eprintln!("[chaos: daemon {i} did not answer shutdown; killed]");
+        }
+    }
+    for proxy in &mut proxies {
+        proxy.stop();
+    }
+    let _ = std::fs::remove_dir_all(&base);
+
+    let outcome = outcome?;
+    let faulted = crate::serve::render_outputs(schemes, &outcome.outputs);
+    let clean = crate::serve::render_outputs(schemes, &reference);
+    if faulted != clean {
+        return Err(format!(
+            "CHAOS DIVERGENCE: the faulted run finalized differently from the \
+             clean local reference.\n--- faulted ---\n{faulted}--- clean ---\n{clean}"
+        ));
+    }
+    Ok(ChaosReport {
+        outputs: outcome.outputs,
+        daemons: outcome.daemons,
+        proxies: proxy_stats,
+    })
+}

@@ -25,6 +25,7 @@
 
 pub mod ablations;
 pub mod cell;
+pub mod chaos;
 pub mod common;
 pub mod engine;
 pub mod fig10;

@@ -30,7 +30,11 @@ use crate::engine::run_cells_subset;
 use crate::results::{codec, ResultSet, ShardInfo};
 use crate::outln;
 use dap_attack::{Anchor, Attack, UniformAttack};
-use dap_core::net::{serve_session, Frame, ShardRequest, WireClient, WireError};
+use dap_core::codec::Fnv;
+use dap_core::net::{
+    serve_session_with, Deadlines, Frame, RetryPolicy, ServeOptions, ShardRequest, WireClient,
+    WireError,
+};
 use dap_core::storage::{DurableOptions, DurableSession, FileBackend, Recovery};
 use dap_core::{
     Dap, DapConfig, DapError, DapOutput, DapSession, GroupPlan, Scheme, SwDapConfig,
@@ -142,6 +146,13 @@ impl ServeSpec {
     /// (Definition 2 enforced at the door via the typed rejections);
     /// `run-shard` frames execute experiment shards in-process.
     pub fn serve(&self, listener: TcpListener) -> Result<(), String> {
+        self.serve_with(listener, ServeOptions::default())
+    }
+
+    /// [`ServeSpec::serve`] with serving knobs — an idle-connection
+    /// timeout reclaims parked connections instead of holding them
+    /// forever (`experiments serve --idle-timeout`).
+    pub fn serve_with(&self, listener: TcpListener, options: ServeOptions) -> Result<(), String> {
         let extra = |frame: &Frame| match frame {
             Frame::RunShard { request } => Some(run_shard_frame(request)),
             _ => None,
@@ -149,11 +160,11 @@ impl ServeSpec {
         match self.mech {
             WireMech::Pm => {
                 let session = self.pm_session().map_err(|e| e.to_string())?;
-                serve_session(listener, session, extra).map_err(|e| e.to_string())?;
+                serve_session_with(listener, session, extra, options).map_err(|e| e.to_string())?;
             }
             WireMech::Sw => {
                 let session = self.sw_session().map_err(|e| e.to_string())?;
-                serve_session(listener, session, extra).map_err(|e| e.to_string())?;
+                serve_session_with(listener, session, extra, options).map_err(|e| e.to_string())?;
             }
         }
         Ok(())
@@ -178,6 +189,18 @@ impl ServeSpec {
         checkpoint_every: usize,
         sync: bool,
     ) -> Result<(), String> {
+        self.serve_durable_with(listener, dir, checkpoint_every, sync, ServeOptions::default())
+    }
+
+    /// [`ServeSpec::serve_durable`] with serving knobs (idle timeout).
+    pub fn serve_durable_with(
+        &self,
+        listener: TcpListener,
+        dir: &Path,
+        checkpoint_every: usize,
+        sync: bool,
+        options: ServeOptions,
+    ) -> Result<(), String> {
         let extra = |frame: &Frame| match frame {
             Frame::RunShard { request } => Some(run_shard_frame(request)),
             _ => None,
@@ -193,14 +216,14 @@ impl ServeSpec {
                 let (durable, recovery) =
                     DurableSession::open(session, open_backend()?, opts).map_err(|e| e.to_string())?;
                 log_recovery(dir, &recovery);
-                serve_session(listener, durable, extra).map_err(|e| e.to_string())?;
+                serve_session_with(listener, durable, extra, options).map_err(|e| e.to_string())?;
             }
             WireMech::Sw => {
                 let session = self.sw_session().map_err(|e| e.to_string())?;
                 let (durable, recovery) =
                     DurableSession::open(session, open_backend()?, opts).map_err(|e| e.to_string())?;
                 log_recovery(dir, &recovery);
-                serve_session(listener, durable, extra).map_err(|e| e.to_string())?;
+                serve_session_with(listener, durable, extra, options).map_err(|e| e.to_string())?;
             }
         }
         Ok(())
@@ -254,6 +277,59 @@ pub struct SubmitOptions {
     /// session, so streaming them again would double-count (and bounce off
     /// the quota). CI byte-diffs this path against an uninterrupted run.
     pub pull_only: bool,
+    /// Retry/backoff policy shared by every wire operation of the run.
+    /// The budget is deployment-wide; a daemon that exhausts it is
+    /// declared dead and its groups fail over.
+    pub retry: RetryPolicy,
+    /// Socket deadlines for every connection the coordinator opens.
+    /// `None` bounds (the default) wait forever — chaos runs always set
+    /// them, because a stalled connection is otherwise unrecoverable.
+    pub deadlines: Deadlines,
+}
+
+/// Per-daemon observability of one [`SubmitSpec::submit`] run: what was
+/// retried, what was dedup'd by the replay guard, and how the run
+/// degraded if the daemon died.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonSummary {
+    /// The daemon's address.
+    pub addr: String,
+    /// Groups whose reports this daemon ultimately owned (after any
+    /// failover), in group order.
+    pub groups: Vec<usize>,
+    /// Wire operations that were retried after a retryable error.
+    pub retries: usize,
+    /// Connections re-established after a drop.
+    pub reconnects: usize,
+    /// Retryable errors that were specifically deadline expiries.
+    pub timeouts: usize,
+    /// Sequenced batches the daemon (or the reconnect handshake) reported
+    /// as already applied — lost acks absorbed by the replay guard.
+    pub duplicates: usize,
+    /// The daemon died after streaming completed, and its groups were
+    /// rebuilt into the coordinator's session from the local precomputed
+    /// reports instead of a pulled part.
+    pub rebuilt_locally: bool,
+    /// The typed error that exhausted the daemon's retries, if it died.
+    pub dead: Option<String>,
+}
+
+impl DaemonSummary {
+    /// One-line stderr rendering (`experiments submit` prints one per
+    /// daemon).
+    pub fn render(&self) -> String {
+        format!(
+            "daemon {}: groups {:?}, {} retries ({} timeouts), {} reconnects, {} dup-acks{}{}",
+            self.addr,
+            self.groups,
+            self.retries,
+            self.timeouts,
+            self.reconnects,
+            self.duplicates,
+            if self.rebuilt_locally { ", part rebuilt locally" } else { "" },
+            self.dead.as_deref().map(|e| format!(", DEAD: {e}")).unwrap_or_default(),
+        )
+    }
 }
 
 /// What a coordinator run produced.
@@ -263,6 +339,165 @@ pub struct SubmitOutcome {
     pub outputs: Vec<DapOutput>,
     /// The typed rejection observed by the probe (when requested).
     pub rejection: Option<WireError>,
+    /// Per-daemon retry/failover summary, in `addrs` order.
+    pub daemons: Vec<DaemonSummary>,
+}
+
+/// How a per-daemon wire operation ultimately failed.
+enum OpError {
+    /// Retries exhausted (attempts or deployment budget) on retryable
+    /// errors — the daemon is considered dead; the run may degrade.
+    Dead(String),
+    /// A deterministic typed rejection (digest mismatch, quota, replay
+    /// violation, …) — retrying cannot help and the run must fail.
+    Fatal(String),
+}
+
+/// Shared retry state of one submit run: the handshake digest, the
+/// policy, and the deployment-wide retry budget it draws down.
+struct RetryCtx {
+    digest: u64,
+    policy: RetryPolicy,
+    deadlines: Deadlines,
+    budget: usize,
+}
+
+/// Coordinator-side state for one daemon connection.
+struct Daemon {
+    summary: DaemonSummary,
+    client: Option<WireClient>,
+    /// This coordinator's channel id on the daemon (deterministic per
+    /// deployment + daemon index).
+    channel: u64,
+    /// Next sequence number to assign on the channel (sequences start at 1).
+    next_seq: u64,
+    /// Highest sequence known applied (from acks and reconnect handshakes).
+    acked: u64,
+    /// Whether a connection ever succeeded (distinguishes a reconnect
+    /// from the initial connect in the summary).
+    connected_once: bool,
+}
+
+impl Daemon {
+    fn new(addr: &str, channel: u64) -> Daemon {
+        Daemon {
+            summary: DaemonSummary { addr: addr.to_string(), ..DaemonSummary::default() },
+            client: None,
+            channel,
+            next_seq: 1,
+            acked: 0,
+            connected_once: false,
+        }
+    }
+
+    fn is_dead(&self) -> bool {
+        self.summary.dead.is_some()
+    }
+
+    /// Runs `op` against a connected, handshaken client, retrying per the
+    /// policy. A lost connection is re-established and re-handshaken on
+    /// the daemon's channel first, so `op` always observes the freshest
+    /// acknowledged sequence in `self.acked`.
+    fn retrying<T>(
+        &mut self,
+        ctx: &mut RetryCtx,
+        mut op: impl FnMut(&mut WireClient, u64) -> Result<T, WireError>,
+    ) -> Result<T, OpError> {
+        let mut attempt = 0usize;
+        loop {
+            attempt += 1;
+            let step = (|| -> Result<T, WireError> {
+                if self.client.is_none() {
+                    // The very first connect tolerates a daemon that is
+                    // still binding (spawned moments ago); reconnects use
+                    // the configured connect deadline only.
+                    let mut c = if self.connected_once {
+                        WireClient::connect_with(&self.summary.addr, &ctx.deadlines)?
+                    } else {
+                        WireClient::connect_retry_with(
+                            &self.summary.addr,
+                            100,
+                            Duration::from_millis(100),
+                            &ctx.deadlines,
+                        )?
+                    };
+                    let (_, last) = c.hello_channel(ctx.digest, self.channel)?;
+                    if self.connected_once {
+                        self.summary.reconnects += 1;
+                    }
+                    self.connected_once = true;
+                    self.acked = self.acked.max(last);
+                    self.client = Some(c);
+                }
+                op(self.client.as_mut().expect("connected"), self.acked)
+            })();
+            match step {
+                Ok(v) => return Ok(v),
+                Err(e) if RetryPolicy::retryable(&e) => {
+                    if matches!(e, WireError::Timeout { .. }) {
+                        self.summary.timeouts += 1;
+                    }
+                    self.client = None;
+                    if attempt >= ctx.policy.attempts || ctx.budget == 0 {
+                        return Err(OpError::Dead(e.to_string()));
+                    }
+                    ctx.budget -= 1;
+                    self.summary.retries += 1;
+                    std::thread::sleep(ctx.policy.backoff(attempt, self.channel));
+                }
+                Err(e) => {
+                    return Err(OpError::Fatal(format!("daemon {}: {e}", self.summary.addr)))
+                }
+            }
+        }
+    }
+
+    /// Sends one sequenced batch, absorbing every retry ambiguity: a
+    /// reconnect handshake (or a typed duplicate rejection) showing the
+    /// sequence already applied counts it as delivered exactly once.
+    fn send_chunk(
+        &mut self,
+        ctx: &mut RetryCtx,
+        group: usize,
+        chunk: &[f64],
+    ) -> Result<(), OpError> {
+        let seq = self.next_seq;
+        let channel = self.channel;
+        let mut dedup = false;
+        let sent = self.retrying(ctx, |client, acked| {
+            if acked >= seq {
+                // The batch landed but its ack was lost with the
+                // connection; the resume handshake proves it applied.
+                dedup = true;
+                return Ok(());
+            }
+            match client.ingest_batch_seq(channel, seq, group, chunk) {
+                Err(WireError::Rejected(DapError::DuplicateSequence { .. })) => {
+                    dedup = true;
+                    Ok(())
+                }
+                r => r,
+            }
+        });
+        if dedup {
+            self.summary.duplicates += 1;
+        }
+        sent?;
+        self.next_seq = seq + 1;
+        self.acked = self.acked.max(seq);
+        Ok(())
+    }
+}
+
+/// The coordinator's channel id on daemon `index`: deterministic per
+/// deployment (plan seed, data seed) so retry schedules and journals are
+/// reproducible, and distinct per daemon.
+fn channel_id(spec: &SubmitSpec, index: usize) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(&spec.serve.seed.to_be_bytes());
+    h.bytes(&spec.data_seed.to_be_bytes());
+    h.bytes(&(index as u64).to_be_bytes());
+    h.finish()
 }
 
 impl SubmitSpec {
@@ -359,23 +594,104 @@ impl SubmitSpec {
         let plan = GroupPlan::build(self.serve.users, cfg.eps, cfg.eps0, &mut rng);
         let mut session = DapSession::new(cfg, plan, &factory).map_err(|e| e.to_string())?;
         let digest = session.state_digest();
+        let groups = session.group_count();
 
-        let mut clients = Vec::with_capacity(addrs.len());
-        for addr in addrs {
-            let mut client = WireClient::connect_retry(addr, 100, Duration::from_millis(100))
-                .map_err(|e| format!("cannot reach daemon {addr}: {e}"))?;
-            client.hello(digest).map_err(|e| format!("handshake with {addr} failed: {e}"))?;
-            clients.push(client);
+        // Simulate the whole population up front (same RNG stream, same
+        // group order) into per-group chunk lists. Streaming then becomes
+        // pure I/O: a chunk can be retried, and a whole group can fail
+        // over to another daemon, without touching the RNG — which is
+        // what keeps a faulted run bit-identical to a clean one.
+        let group_chunks: Vec<Vec<Vec<f64>>> = if opts.pull_only {
+            vec![Vec::new(); groups]
+        } else {
+            self.build_chunks(&factory, &session, &mut rng)?
+        };
+
+        let mut ctx = RetryCtx {
+            digest,
+            policy: opts.retry,
+            deadlines: opts.deadlines,
+            budget: opts.retry.budget,
+        };
+        let mut daemons: Vec<Daemon> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| Daemon::new(addr, channel_id(self, i)))
+            .collect();
+
+        // Handshake every daemon. A daemon that cannot be reached within
+        // the retry budget is dead from the start: fatal for pull-only
+        // runs (its session holds data nothing else has), a failover for
+        // streaming runs.
+        for d in &mut daemons {
+            match d.retrying(&mut ctx, |_, _| Ok(())) {
+                Ok(()) => {}
+                Err(OpError::Fatal(e)) => return Err(e),
+                Err(OpError::Dead(e)) => {
+                    if opts.pull_only {
+                        return Err(format!(
+                            "daemon {} is unreachable ({e}) and pull-only has no local \
+                             reports to reroute",
+                            d.summary.addr
+                        ));
+                    }
+                    d.summary.dead = Some(e);
+                }
+            }
         }
 
+        // Group `g` starts on daemon `g mod n` (the historical layout);
+        // failover reassigns every group of a dead daemon to the next
+        // live one and re-streams them from the precomputed chunks.
+        let mut owner: Vec<usize> = (0..groups).map(|g| g % daemons.len()).collect();
         if !opts.pull_only {
-            self.stream_population(&factory, &session, &mut clients, &mut rng)?;
+            let mut done = vec![false; groups];
+            while let Some(g) = (0..groups).find(|&g| !done[g]) {
+                let d = owner[g];
+                if daemons[d].is_dead() {
+                    let target = next_live(&daemons, d)
+                        .ok_or_else(|| all_dead_error(&daemons))?;
+                    for (gg, o) in owner.iter_mut().enumerate() {
+                        if *o == d {
+                            *o = target;
+                            done[gg] = false;
+                        }
+                    }
+                    continue;
+                }
+                let mut died = false;
+                for chunk in &group_chunks[g] {
+                    match daemons[d].send_chunk(&mut ctx, g, chunk) {
+                        Ok(()) => {}
+                        Err(OpError::Fatal(e)) => return Err(e),
+                        Err(OpError::Dead(e)) => {
+                            daemons[d].summary.dead = Some(e);
+                            died = true;
+                            break;
+                        }
+                    }
+                }
+                if !died {
+                    done[g] = true;
+                }
+                // A death re-enters the loop: the dead daemon's groups
+                // (this one and any already completed on it) reassign and
+                // re-stream in full — its part is never pulled, so the
+                // merged state still holds every report exactly once.
+            }
         }
 
         // Every group is now exactly at quota; one more in-range report
-        // must bounce with the typed over-quota rejection.
+        // must bounce with the typed over-quota rejection. The probe
+        // targets whichever daemon owns group 0 after failover.
         let rejection = if opts.probe_rejection {
-            match clients[0].ingest(0, 0.0) {
+            let d = &mut daemons[owner[0]];
+            d.retrying(&mut ctx, |_, _| Ok(())).map_err(|e| match e {
+                OpError::Dead(e) | OpError::Fatal(e) => {
+                    format!("rejection probe could not connect: {e}")
+                }
+            })?;
+            match d.client.as_mut().expect("connected").ingest(0, 0.0) {
                 Err(e @ WireError::Rejected(DapError::QuotaExceeded { .. })) => Some(e),
                 Err(other) => {
                     return Err(format!("rejection probe hit an unexpected error: {other}"))
@@ -390,28 +706,68 @@ impl SubmitSpec {
             None
         };
 
-        for client in &mut clients {
-            let part = client.pull_part().map_err(|e| e.to_string())?;
-            session.merge_part(&part).map_err(|e| e.to_string())?;
-            if opts.shutdown {
-                client.shutdown().map_err(|e| e.to_string())?;
+        // Pull phase: merge every live daemon's part (dead daemons' groups
+        // already live elsewhere). A daemon that dies *during* the pull is
+        // past re-streaming — its groups are rebuilt into the
+        // coordinator's session from the local precomputed chunks, which
+        // is the same reports in the same order, hence still exact.
+        for (i, daemon) in daemons.iter_mut().enumerate() {
+            if daemon.is_dead() {
+                continue;
+            }
+            match daemon.retrying(&mut ctx, |c, _| c.pull_part()) {
+                Ok(part) => {
+                    session.merge_part(&part).map_err(|e| e.to_string())?;
+                    if opts.shutdown {
+                        if let Some(c) = daemon.client.as_mut() {
+                            c.shutdown().map_err(|e| e.to_string())?;
+                        }
+                    }
+                }
+                Err(OpError::Fatal(e)) => return Err(e),
+                Err(OpError::Dead(e)) => {
+                    if opts.pull_only {
+                        return Err(format!(
+                            "daemon {} died before its part was pulled ({e}) and \
+                             pull-only has no local reports to rebuild from",
+                            daemon.summary.addr
+                        ));
+                    }
+                    daemon.summary.dead = Some(e);
+                    daemon.summary.rebuilt_locally = true;
+                    for (g, chunks) in group_chunks.iter().enumerate() {
+                        if owner[g] != i {
+                            continue;
+                        }
+                        for chunk in chunks {
+                            session.ingest_batch(g, chunk).map_err(|e| e.to_string())?;
+                        }
+                    }
+                }
             }
         }
+
+        for (g, &o) in owner.iter().enumerate() {
+            daemons[o].summary.groups.push(g);
+        }
         let outputs = session.finalize(schemes).map_err(|e| e.to_string())?;
-        Ok(SubmitOutcome { outputs, rejection })
+        Ok(SubmitOutcome {
+            outputs,
+            rejection,
+            daemons: daemons.into_iter().map(|d| d.summary).collect(),
+        })
     }
 
-    /// The population stream of a full submit: simulates every user in
-    /// group order (the `Dap::run_schemes_on` RNG stream continues through
-    /// `rng`) and sends each group's reports to its owning daemon in
-    /// [`STREAM_CHUNK`] batches.
-    fn stream_population<M, F>(
+    /// Simulates the population into per-group [`STREAM_CHUNK`]-sized
+    /// report chunks, consuming `rng` exactly as the old inline stream
+    /// (and [`Dap::run_schemes_on`]) did: per group, honest members in
+    /// assignment order, then the group's poison block.
+    fn build_chunks<M, F>(
         &self,
         factory: &F,
         session: &DapSession<M>,
-        clients: &mut [WireClient],
         rng: &mut rand::rngs::StdRng,
-    ) -> Result<(), String>
+    ) -> Result<Vec<Vec<Vec<f64>>>, String>
     where
         M: NumericMechanism + Sync,
         F: Fn(Epsilon) -> M,
@@ -419,11 +775,12 @@ impl SubmitSpec {
         let (honest, _) = self.population();
         let attack = self.attack();
         let n_honest = honest.len();
+        let mut all = Vec::with_capacity(session.group_count());
         for g in 0..session.group_count() {
-            let owner = g % clients.len();
             let assign = session.client_assignment(g).map_err(|e| e.to_string())?;
             let mech = factory(assign.eps_t);
             let mut buf = vec![0.0f64; assign.k_t];
+            let mut chunks: Vec<Vec<f64>> = Vec::new();
             let mut chunk: Vec<f64> = Vec::with_capacity(STREAM_CHUNK + assign.k_t);
             let mut byz_members = 0usize;
             for i in 0..session.plan().assignment[g].len() {
@@ -432,8 +789,7 @@ impl SubmitSpec {
                     assign.perturb_into(&mech, honest[user], &mut buf, rng);
                     chunk.extend_from_slice(&buf);
                     if chunk.len() >= STREAM_CHUNK {
-                        clients[owner].ingest_batch(g, &chunk).map_err(|e| e.to_string())?;
-                        chunk.clear();
+                        chunks.push(std::mem::take(&mut chunk));
                     }
                 } else {
                     byz_members += 1;
@@ -443,11 +799,45 @@ impl SubmitSpec {
             let n_poison = attack.reports_into(&mut poison, &mech, rng);
             chunk.extend_from_slice(&poison[..n_poison]);
             if !chunk.is_empty() {
-                clients[owner].ingest_batch(g, &chunk).map_err(|e| e.to_string())?;
+                chunks.push(chunk);
             }
+            all.push(chunks);
         }
-        Ok(())
+        Ok(all)
     }
+}
+
+/// The next live daemon after `from` (wrapping), if any survive.
+fn next_live(daemons: &[Daemon], from: usize) -> Option<usize> {
+    (1..=daemons.len())
+        .map(|k| (from + k) % daemons.len())
+        .find(|&i| !daemons[i].is_dead())
+}
+
+fn all_dead_error(daemons: &[Daemon]) -> String {
+    let mut lines = vec!["every daemon is dead; retry budget exhausted:".to_string()];
+    for d in daemons {
+        lines.push(format!("  {}", d.summary.render()));
+    }
+    lines.join("\n")
+}
+
+/// The `# dap-wire submit:` stdout header — identical between a served
+/// run, a chaos run and the `--local` reference, so CI can byte-diff any
+/// pair of them.
+pub fn submit_header(spec: &SubmitSpec) -> String {
+    format!(
+        "# dap-wire submit: mech {}, eps {}, eps0 {}, users {}, plan-seed {}, max-dout {}, dataset {}, gamma {}, data-seed {}",
+        spec.serve.mech.name(),
+        spec.serve.eps,
+        spec.serve.eps0,
+        spec.serve.users,
+        spec.serve.seed,
+        spec.serve.max_d_out,
+        spec.dataset.label(),
+        spec.gamma,
+        spec.data_seed,
+    )
 }
 
 /// Stable text rendering of finalized outputs: human-readable decimals
@@ -536,11 +926,44 @@ fn run_shard_frame(req: &ShardRequest) -> Frame {
     }
 }
 
+/// One shard attempt against one daemon — the retriable unit of
+/// [`dispatch`]. A shard is pure computation (no session state), so
+/// re-running it on another daemon after a failure is always safe.
+fn try_shard(
+    addr: &str,
+    experiment: &str,
+    opts: &ExpOptions,
+    index: usize,
+    count: usize,
+    connect_attempts: usize,
+) -> Result<ResultSet, String> {
+    let mut client =
+        WireClient::connect_retry(addr, connect_attempts, Duration::from_millis(100))
+            .map_err(|e| format!("cannot reach daemon: {e}"))?;
+    let json = client
+        .run_shard(&ShardRequest {
+            experiment: experiment.to_string(),
+            n: opts.n,
+            trials: opts.trials,
+            seed: opts.seed,
+            max_d_out: opts.max_d_out,
+            index,
+            count,
+        })
+        .map_err(|e| e.to_string())?;
+    ResultSet::from_json(&json)
+}
+
 /// Drives a sharded experiment across remote daemons: shard `i` of
 /// `addrs.len()` goes to daemon `i`, shards run concurrently, and the
 /// merged set passes the same option/coordinate verification as the
 /// file-based `experiments merge` — so the result is bit-identical to a
 /// local unsharded run.
+///
+/// A shard whose daemon fails (dead connection, mid-shard reset) is
+/// re-dispatched to the other daemons in order — shards are pure compute,
+/// so the failover changes nothing about the merged result. Only a shard
+/// that fails on *every* daemon fails the dispatch.
 pub fn dispatch(
     experiment: &str,
     opts: &ExpOptions,
@@ -550,29 +973,33 @@ pub fn dispatch(
         return Err("need at least one daemon address".into());
     }
     let shards: Vec<Result<ResultSet, String>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = addrs
-            .iter()
-            .enumerate()
-            .map(|(i, addr)| {
+        let handles: Vec<_> = (0..addrs.len())
+            .map(|i| {
                 let experiment = experiment.to_string();
                 let opts = *opts;
                 let count = addrs.len();
                 scope.spawn(move || -> Result<ResultSet, String> {
-                    let mut client =
-                        WireClient::connect_retry(addr, 100, Duration::from_millis(100))
-                            .map_err(|e| format!("cannot reach daemon {addr}: {e}"))?;
-                    let json = client
-                        .run_shard(&ShardRequest {
-                            experiment,
-                            n: opts.n,
-                            trials: opts.trials,
-                            seed: opts.seed,
-                            max_d_out: opts.max_d_out,
-                            index: i,
-                            count,
-                        })
-                        .map_err(|e| format!("{addr}: {e}"))?;
-                    ResultSet::from_json(&json).map_err(|e| format!("{addr}: {e}"))
+                    let mut errors = Vec::new();
+                    for k in 0..count {
+                        let addr = &addrs[(i + k) % count];
+                        // The assigned daemon gets startup grace; failover
+                        // attempts fail fast so a dead daemon does not
+                        // stall the whole dispatch.
+                        let attempts = if k == 0 { 100 } else { 3 };
+                        match try_shard(addr, &experiment, &opts, i, count, attempts) {
+                            Ok(set) => {
+                                if k > 0 {
+                                    eprintln!(
+                                        "[dispatch: shard {i} rerouted to {addr} after: {}]",
+                                        errors.join("; ")
+                                    );
+                                }
+                                return Ok(set);
+                            }
+                            Err(e) => errors.push(format!("{addr}: {e}")),
+                        }
+                    }
+                    Err(format!("shard {i} failed on every daemon: {}", errors.join("; ")))
                 })
             })
             .collect();

@@ -1,0 +1,304 @@
+//! Chaos sweep for the self-healing serving stack: a coordinator driven
+//! through deterministic fault-injection proxies ([`ChaosProxy`]) must
+//! finalize **bit-identically** to the in-process reference — dropped
+//! connects, mid-batch stalls, resets, daemon death-and-restart — or fail
+//! with a typed, named error. The one outcome that must be impossible is
+//! silent divergence. The same property is exercised across real process
+//! boundaries by `experiments chaos` and CI's `chaos-smoke` job.
+
+use dap_bench::serve::{render_outputs, ServeSpec, SubmitOptions, SubmitSpec, WireMech};
+use dap_core::net::{Deadlines, RetryPolicy, WireClient};
+use dap_core::{ChaosProxy, ChaosSchedule, Fault, Scheme};
+use dap_datasets::Dataset;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn spec() -> SubmitSpec {
+    SubmitSpec {
+        serve: ServeSpec {
+            mech: WireMech::Pm,
+            eps: 0.25,
+            eps0: 1.0 / 16.0,
+            users: 400,
+            seed: 11,
+            max_d_out: 16,
+        },
+        dataset: Dataset::Taxi,
+        gamma: 0.2,
+        data_seed: 3,
+    }
+}
+
+/// Retry/deadline options every chaos run uses: bounded reads (stalls
+/// must become typed timeouts), quick backoff (tests, not production),
+/// and enough attempts to outlast any schedule below.
+fn chaos_options() -> SubmitOptions {
+    SubmitOptions {
+        retry: RetryPolicy {
+            attempts: 6,
+            base: Duration::from_millis(10),
+            ..RetryPolicy::default()
+        },
+        deadlines: Deadlines::all(Duration::from_millis(500)),
+        ..SubmitOptions::default()
+    }
+}
+
+fn spawn_daemon(serve: &ServeSpec) -> (String, JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let serve = *serve;
+    let handle = std::thread::spawn(move || serve.serve(listener).expect("daemon serves"));
+    (addr, handle)
+}
+
+fn shutdown_daemon(addr: &str, handle: JoinHandle<()>) {
+    let mut c =
+        WireClient::connect_retry(addr, 50, Duration::from_millis(20)).expect("daemon reachable");
+    c.shutdown().expect("shutdown accepted");
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn seeded_fault_sweeps_finalize_bit_identical() {
+    let spec = spec();
+    let local = render_outputs(&Scheme::ALL, &spec.run_local(&Scheme::ALL).expect("reference"));
+
+    let mut faults_seen = 0usize;
+    for chaos_seed in [1u64, 2, 3] {
+        let mut daemons = Vec::new();
+        let mut proxies = Vec::new();
+        for i in 0..2u64 {
+            let (addr, handle) = spawn_daemon(&spec.serve);
+            let proxy = ChaosProxy::start(
+                addr.clone(),
+                ChaosSchedule::seeded(chaos_seed * 1000 + i, 6),
+            )
+            .expect("proxy starts");
+            daemons.push((addr, handle));
+            proxies.push(proxy);
+        }
+        let proxy_addrs: Vec<String> = proxies.iter().map(|p| p.addr()).collect();
+
+        let outcome = spec
+            .submit(&proxy_addrs, &Scheme::ALL, chaos_options())
+            .unwrap_or_else(|e| panic!("chaos seed {chaos_seed} failed: {e}"));
+        assert_eq!(
+            render_outputs(&Scheme::ALL, &outcome.outputs),
+            local,
+            "chaos seed {chaos_seed} diverged from the clean reference"
+        );
+        faults_seen += proxies.iter().map(|p| p.faults_injected()).sum::<usize>();
+        for (addr, handle) in daemons {
+            shutdown_daemon(&addr, handle);
+        }
+    }
+    assert!(faults_seen > 0, "the sweep injected no faults — it tested nothing");
+}
+
+#[test]
+fn directed_connect_and_midstream_faults_each_recover() {
+    let spec = spec();
+    let local = render_outputs(&Scheme::ALL, &spec.run_local(&Scheme::ALL).expect("reference"));
+
+    // (name, schedule, must_force_a_retry): a delay under the read
+    // deadline injects latency, not an error, so it proves convergence
+    // but not retry accounting.
+    let cases: [(&str, Vec<Fault>, bool); 5] = [
+        ("drop@connect", vec![Fault::DropAtConnect], true),
+        ("delay@connect", vec![Fault::DelayMs(80)], false),
+        ("stall@mid-batch", vec![Fault::StallAfter(400)], true),
+        ("reset@mid-batch", vec![Fault::ResetAfter(900)], true),
+        (
+            "compound",
+            vec![Fault::DropAtConnect, Fault::StallAfter(300), Fault::ResetAfter(600)],
+            true,
+        ),
+    ];
+    for (name, schedule, must_retry) in cases {
+        let (addr, handle) = spawn_daemon(&spec.serve);
+        let proxy =
+            ChaosProxy::start(addr.clone(), ChaosSchedule::of(schedule)).expect("proxy starts");
+
+        let outcome = spec
+            .submit(&[proxy.addr()], &Scheme::ALL, chaos_options())
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        assert_eq!(
+            render_outputs(&Scheme::ALL, &outcome.outputs),
+            local,
+            "{name} diverged from the clean reference"
+        );
+        let summary = &outcome.daemons[0];
+        assert!(summary.dead.is_none(), "{name}: daemon wrongly declared dead");
+        if must_retry {
+            assert!(
+                summary.retries > 0,
+                "{name}: the fault left no retry evidence in the summary"
+            );
+        }
+        shutdown_daemon(&addr, handle);
+    }
+}
+
+#[test]
+fn reset_during_the_pull_phase_recovers() {
+    let spec = spec();
+    let local = render_outputs(&Scheme::ALL, &spec.run_local(&Scheme::ALL).expect("reference"));
+
+    // Populate the daemon over a clean direct connection, keeping it
+    // alive: the daemon now holds the full session state.
+    let (addr, handle) = spawn_daemon(&spec.serve);
+    let first = spec
+        .submit(std::slice::from_ref(&addr), &Scheme::ALL, SubmitOptions::default())
+        .expect("clean populate");
+    assert_eq!(render_outputs(&Scheme::ALL, &first.outputs), local);
+
+    // A pull-only run through a proxy that hard-resets the connection a
+    // few bytes into the `pull` request (the handshake is ~67 bytes): the
+    // coordinator must reconnect and pull the part intact.
+    let proxy = ChaosProxy::start(addr.clone(), ChaosSchedule::of(vec![Fault::ResetAfter(70)]))
+        .expect("proxy starts");
+    let outcome = spec
+        .submit(
+            &[proxy.addr()],
+            &Scheme::ALL,
+            SubmitOptions { pull_only: true, ..chaos_options() },
+        )
+        .expect("pull-only through the reset");
+    assert_eq!(
+        render_outputs(&Scheme::ALL, &outcome.outputs),
+        local,
+        "pull-phase reset diverged from the clean reference"
+    );
+    assert!(outcome.daemons[0].dead.is_none());
+    shutdown_daemon(&addr, handle);
+}
+
+#[test]
+fn daemon_restarted_on_its_journal_midstream_finalizes_identically() {
+    let spec = spec();
+    let local = render_outputs(&Scheme::ALL, &spec.run_local(&Scheme::ALL).expect("reference"));
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("dap-chaos-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let serve = spec.serve;
+    let spawn_durable = |dir: PathBuf| {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let handle = std::thread::spawn(move || {
+            serve.serve_durable(listener, &dir, 0, false).expect("durable daemon serves")
+        });
+        (addr, handle)
+    };
+    let (addr, handle) = spawn_durable(dir.clone());
+    let proxy = ChaosProxy::start(addr.clone(), ChaosSchedule::clean()).expect("proxy starts");
+
+    // Mid-submit, a watchdog stops the daemon (its journal survives),
+    // brings up a fresh one on the same journal at a new address, and
+    // re-points the proxy — the coordinator must ride through on
+    // reconnect + sequenced resume.
+    let watchdog = {
+        let direct = addr.clone();
+        let proxy = &proxy;
+        let dir = dir.clone();
+        std::thread::scope(|scope| {
+            let wd = scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(100));
+                let mut c = WireClient::connect_retry(&direct, 20, Duration::from_millis(10))
+                    .expect("daemon reachable for the kill");
+                c.shutdown().expect("shutdown accepted");
+                let (fresh_addr, fresh_handle) = spawn_durable(dir);
+                proxy.set_upstream(&fresh_addr);
+                (fresh_addr, fresh_handle)
+            });
+
+            let opts = SubmitOptions {
+                retry: RetryPolicy {
+                    attempts: 10,
+                    base: Duration::from_millis(20),
+                    ..RetryPolicy::default()
+                },
+                deadlines: Deadlines::all(Duration::from_millis(500)),
+                ..SubmitOptions::default()
+            };
+            let outcome = spec
+                .submit(&[proxy.addr()], &Scheme::ALL, opts)
+                .expect("submit across the restart");
+            assert_eq!(
+                render_outputs(&Scheme::ALL, &outcome.outputs),
+                local,
+                "restart-on-journal diverged from the clean reference"
+            );
+            wd.join().expect("watchdog")
+        })
+    };
+    handle.join().expect("first daemon thread");
+    let (fresh_addr, fresh_handle) = watchdog;
+    shutdown_daemon(&fresh_addr, fresh_handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unreachable_daemon_reroutes_its_groups_to_a_survivor() {
+    let spec = spec();
+    let local = render_outputs(&Scheme::ALL, &spec.run_local(&Scheme::ALL).expect("reference"));
+
+    let (alive_addr, alive_handle) = spawn_daemon(&spec.serve);
+    let (dead_addr, dead_handle) = spawn_daemon(&spec.serve);
+    // The second daemon is healthy but unreachable: its proxy drops every
+    // connection at accept, so each attempt fails fast and typed.
+    let alive_proxy =
+        ChaosProxy::start(alive_addr.clone(), ChaosSchedule::clean()).expect("proxy starts");
+    let dead_proxy =
+        ChaosProxy::start(dead_addr.clone(), ChaosSchedule::of(vec![Fault::DropAtConnect; 64]))
+            .expect("proxy starts");
+
+    let opts = SubmitOptions {
+        retry: RetryPolicy { attempts: 3, base: Duration::from_millis(5), ..RetryPolicy::default() },
+        deadlines: Deadlines::all(Duration::from_millis(500)),
+        ..SubmitOptions::default()
+    };
+    let outcome = spec
+        .submit(&[alive_proxy.addr(), dead_proxy.addr()], &Scheme::ALL, opts)
+        .expect("failover submit");
+    assert_eq!(
+        render_outputs(&Scheme::ALL, &outcome.outputs),
+        local,
+        "failover diverged from the clean reference"
+    );
+    let (survivor, dead) = (&outcome.daemons[0], &outcome.daemons[1]);
+    assert!(dead.dead.is_some(), "the unreachable daemon must be declared dead");
+    assert!(dead.groups.is_empty(), "a dead daemon must own no groups at finalize");
+    assert!(!survivor.groups.is_empty(), "the survivor must own the rerouted groups");
+    assert!(dead.render().contains("DEAD"), "the summary must name the death: {}", dead.render());
+
+    shutdown_daemon(&alive_addr, alive_handle);
+    shutdown_daemon(&dead_addr, dead_handle);
+}
+
+#[test]
+fn every_daemon_dead_is_a_typed_failure_not_divergence() {
+    let spec = spec();
+    // One daemon, never reachable through its proxy, and no survivor to
+    // reroute to: the submit must fail with an error naming the daemon
+    // and its retry history — not hang, not return partial outputs.
+    let (addr, handle) = spawn_daemon(&spec.serve);
+    let proxy = ChaosProxy::start(addr.clone(), ChaosSchedule::of(vec![Fault::DropAtConnect; 64]))
+        .expect("proxy starts");
+    let proxy_addr = proxy.addr();
+
+    let opts = SubmitOptions {
+        retry: RetryPolicy { attempts: 2, base: Duration::from_millis(5), ..RetryPolicy::default() },
+        deadlines: Deadlines::all(Duration::from_millis(500)),
+        ..SubmitOptions::default()
+    };
+    let err =
+        spec.submit(std::slice::from_ref(&proxy_addr), &Scheme::ALL, opts).expect_err("must fail");
+    assert!(err.contains(&proxy_addr), "the error must name the dead daemon: {err}");
+    assert!(err.contains("DEAD"), "the error must carry the daemon summary: {err}");
+
+    shutdown_daemon(&addr, handle);
+}

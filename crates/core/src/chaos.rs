@@ -1,0 +1,449 @@
+//! Deterministic fault injection for the `dap-wire/v1` serving stack.
+//!
+//! [`ChaosProxy`] is an in-process TCP proxy that forwards client bytes to
+//! an upstream daemon while injecting one [`Fault`] per connection,
+//! chosen by a seeded [`ChaosSchedule`]. The schedule is a *finite* fault
+//! list indexed by connection order: connection `k` suffers `faults[k]`,
+//! and every connection past the end of the list is clean — so a
+//! coordinator with enough retry budget always converges, and the same
+//! seed replays the same failure story byte for byte.
+//!
+//! The proxy's upstream is swappable at runtime
+//! ([`ChaosProxy::set_upstream`]): a chaos driver kills a journaled
+//! daemon, restarts it on a fresh port, re-points the proxy, and the
+//! coordinator's reconnect logic never learns the address changed — the
+//! same topology as a load balancer in front of a respawning pod.
+//!
+//! This lives in `dap_core` (not the bench crate) because the faults it
+//! models are properties of the *protocol*: the chaos suites assert that
+//! any schedule either finalizes bit-identically to a clean run or fails
+//! with a typed, named error — never silent divergence.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long relay loops block before re-checking the stop flag — bounds
+/// both shutdown latency and the granularity of [`Fault::DelayMs`].
+const POLL: Duration = Duration::from_millis(20);
+
+/// One connection's worth of injected failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward everything faithfully.
+    None,
+    /// Close the client connection immediately, before any byte flows —
+    /// the client sees a reset/EOF on its first read (and a coordinator's
+    /// `hello` fails).
+    DropAtConnect,
+    /// Hold the connection for this many milliseconds before relaying —
+    /// models a congested hop; the client's connect succeeds but its first
+    /// reply is late (tripping tight read deadlines).
+    DelayMs(u64),
+    /// Forward this many client bytes upstream, then silently blackhole
+    /// the rest while keeping the connection open — the classic
+    /// mid-stream stall. Only a read deadline gets the client out.
+    StallAfter(usize),
+    /// Forward this many client bytes upstream, then hard-close both
+    /// sides — the client's pending read fails with an I/O error.
+    ResetAfter(usize),
+}
+
+/// A deterministic, seeded fault schedule: `faults[k]` applies to the
+/// `k`-th accepted connection, connections past the end are clean.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    /// Faults by connection index.
+    pub faults: Vec<Fault>,
+}
+
+impl ChaosSchedule {
+    /// No faults at all (a transparent proxy).
+    pub fn clean() -> ChaosSchedule {
+        ChaosSchedule { faults: Vec::new() }
+    }
+
+    /// The given faults, then clean forever.
+    pub fn of(faults: impl Into<Vec<Fault>>) -> ChaosSchedule {
+        ChaosSchedule { faults: faults.into() }
+    }
+
+    /// A pseudo-random schedule of `len` faults derived from `seed` —
+    /// roughly half the connections are clean, the rest draw uniformly
+    /// from the four fault kinds with moderate parameters. Same seed,
+    /// same schedule, on every platform.
+    pub fn seeded(seed: u64, len: usize) -> ChaosSchedule {
+        let mut x = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            // xorshift64*: deterministic, allocation-free, good enough to
+            // scatter fault kinds (this is a schedule, not statistics).
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let faults = (0..len)
+            .map(|_| {
+                let r = next();
+                match r % 8 {
+                    0 => Fault::DropAtConnect,
+                    1 => Fault::DelayMs(10 + (r >> 8) % 90),
+                    2 => Fault::StallAfter(((r >> 8) % 4096) as usize),
+                    3 => Fault::ResetAfter(((r >> 8) % 4096) as usize),
+                    _ => Fault::None,
+                }
+            })
+            .collect();
+        ChaosSchedule { faults }
+    }
+
+    /// The fault for connection `index`.
+    pub fn fault_for(&self, index: usize) -> Fault {
+        self.faults.get(index).copied().unwrap_or(Fault::None)
+    }
+}
+
+struct Inner {
+    upstream: Mutex<String>,
+    schedule: ChaosSchedule,
+    stop: AtomicBool,
+    connections: AtomicUsize,
+    faults_injected: AtomicUsize,
+}
+
+/// A seeded fault-injecting TCP proxy (see the module docs).
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds a proxy on an OS-assigned loopback port, forwarding to
+    /// `upstream` under `schedule`.
+    pub fn start(upstream: impl Into<String>, schedule: ChaosSchedule) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            upstream: Mutex::new(upstream.into()),
+            schedule,
+            stop: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            faults_injected: AtomicUsize::new(0),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_inner.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(client) = conn else { continue };
+                let index = accept_inner.connections.fetch_add(1, Ordering::SeqCst);
+                let fault = accept_inner.schedule.fault_for(index);
+                let inner = Arc::clone(&accept_inner);
+                // Detached on purpose: relay threads poll the stop flag
+                // every POLL and exit on their own; joining them here
+                // would serialize shutdown behind the slowest stall.
+                std::thread::spawn(move || relay(client, fault, inner));
+            }
+        });
+        Ok(ChaosProxy { addr, inner, accept: Some(accept) })
+    }
+
+    /// The proxy's listen address — what the coordinator dials.
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Re-points the proxy at a new upstream (a restarted daemon's fresh
+    /// port). Only connections accepted after the call use it.
+    pub fn set_upstream(&self, upstream: impl Into<String>) {
+        *self.inner.upstream.lock().unwrap_or_else(|e| e.into_inner()) = upstream.into();
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> usize {
+        self.inner.connections.load(Ordering::SeqCst)
+    }
+
+    /// Connections that had a non-[`Fault::None`] fault injected.
+    pub fn faults_injected(&self) -> usize {
+        self.inner.faults_injected.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting and tears down the relay threads (they notice the
+    /// flag within one poll interval).
+    pub fn stop(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connect.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Copies `from` into `to` until EOF, error or the stop flag. With a
+/// `limit`, at most that many bytes are forwarded; at the boundary the
+/// connection either stalls (further bytes silently discarded, sockets
+/// left open) or resets (both sockets hard-closed), per `stall_at_limit`.
+/// Short read timeouts keep the loop responsive to `stop`.
+fn pump(
+    from: &mut TcpStream,
+    to: &mut TcpStream,
+    mut limit: Option<usize>,
+    stall_at_limit: bool,
+    inner: &Inner,
+) {
+    from.set_read_timeout(Some(POLL)).ok();
+    let mut buf = [0u8; 8192];
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        };
+        match limit {
+            // Stalled: keep draining and discarding so the peer never
+            // blocks on a full send buffer — the silence is the fault.
+            Some(0) if stall_at_limit => continue,
+            Some(remaining) if n >= remaining => {
+                // The fault boundary falls inside this read.
+                if to.write_all(&buf[..remaining]).is_err() {
+                    return;
+                }
+                if stall_at_limit {
+                    limit = Some(0);
+                    continue;
+                }
+                // Reset: hard-close both directions mid-stream.
+                let _ = from.shutdown(Shutdown::Both);
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+            Some(remaining) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    return;
+                }
+                limit = Some(remaining - n);
+            }
+            None => {
+                if to.write_all(&buf[..n]).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn relay(client: TcpStream, fault: Fault, inner: Arc<Inner>) {
+    if fault != Fault::None {
+        inner.faults_injected.fetch_add(1, Ordering::SeqCst);
+    }
+    match fault {
+        Fault::DropAtConnect => {
+            let _ = client.shutdown(Shutdown::Both);
+            return;
+        }
+        Fault::DelayMs(ms) => {
+            let deadline = Duration::from_millis(ms);
+            let mut waited = Duration::ZERO;
+            while waited < deadline && !inner.stop.load(Ordering::SeqCst) {
+                let step = POLL.min(deadline - waited);
+                std::thread::sleep(step);
+                waited += step;
+            }
+        }
+        _ => {}
+    }
+    let upstream_addr =
+        inner.upstream.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let Ok(upstream) = TcpStream::connect(&upstream_addr) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    client.set_nodelay(true).ok();
+    upstream.set_nodelay(true).ok();
+
+    let (limit, stall) = match fault {
+        Fault::StallAfter(n) => (Some(n), true),
+        Fault::ResetAfter(n) => (Some(n), false),
+        _ => (None, false),
+    };
+
+    // Upstream → client replies on a sibling thread; both directions exit
+    // when either socket closes or the proxy stops.
+    let (mut up_read, mut client_write) = match (upstream.try_clone(), client.try_clone()) {
+        (Ok(u), Ok(c)) => (u, c),
+        _ => return,
+    };
+    let reply_inner = Arc::clone(&inner);
+    let reply = std::thread::spawn(move || {
+        pump(&mut up_read, &mut client_write, None, false, &reply_inner);
+    });
+
+    let (mut client_read, mut up_write) = (client, upstream);
+    pump(&mut client_read, &mut up_write, limit, stall, &inner);
+    // Closing our halves unblocks the sibling.
+    let _ = client_read.shutdown(Shutdown::Both);
+    let _ = up_write.shutdown(Shutdown::Both);
+    let _ = reply.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> (String, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let handle = std::thread::spawn(move || {
+            // Echo until the first connection that sends "quit".
+            for conn in listener.incoming() {
+                let Ok(mut stream) = conn else { continue };
+                let mut buf = [0u8; 1024];
+                let mut quit = false;
+                while let Ok(n) = stream.read(&mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                    if &buf[..n] == b"quit" {
+                        quit = true;
+                        break;
+                    }
+                    if stream.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+                if quit {
+                    break;
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    fn roundtrip(addr: &str, payload: &[u8]) -> std::io::Result<Vec<u8>> {
+        let mut s = TcpStream::connect(addr)?;
+        s.set_read_timeout(Some(Duration::from_millis(500)))?;
+        s.write_all(payload)?;
+        let mut got = vec![0u8; payload.len()];
+        s.read_exact(&mut got)?;
+        Ok(got)
+    }
+
+    #[test]
+    fn clean_connections_relay_bytes_exactly() {
+        let (addr, server) = echo_server();
+        let mut proxy = ChaosProxy::start(addr.clone(), ChaosSchedule::clean()).expect("proxy");
+        let got = roundtrip(&proxy.addr(), b"hello through the proxy").expect("echo");
+        assert_eq!(&got, b"hello through the proxy");
+        assert_eq!(proxy.connections(), 1);
+        assert_eq!(proxy.faults_injected(), 0);
+        proxy.stop();
+        let _ = TcpStream::connect(&addr).map(|mut s| s.write_all(b"quit"));
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn faults_fire_per_schedule_then_go_clean() {
+        let (addr, server) = echo_server();
+        let schedule = ChaosSchedule::of([Fault::DropAtConnect, Fault::ResetAfter(2)]);
+        let mut proxy = ChaosProxy::start(addr.clone(), schedule).expect("proxy");
+
+        // Connection 0: dropped at connect — the roundtrip fails.
+        assert!(roundtrip(&proxy.addr(), b"doomed").is_err());
+        // Connection 1: reset after 2 bytes — fails too.
+        assert!(roundtrip(&proxy.addr(), b"also doomed").is_err());
+        // Connection 2: past the schedule, clean.
+        let got = roundtrip(&proxy.addr(), b"survivor").expect("clean tail");
+        assert_eq!(&got, b"survivor");
+        assert_eq!(proxy.faults_injected(), 2);
+
+        proxy.stop();
+        let _ = TcpStream::connect(&addr).map(|mut s| s.write_all(b"quit"));
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn stalled_connections_time_out_but_stay_open() {
+        let (addr, server) = echo_server();
+        let schedule = ChaosSchedule::of([Fault::StallAfter(4)]);
+        let mut proxy = ChaosProxy::start(addr.clone(), schedule).expect("proxy");
+        let mut s = TcpStream::connect(proxy.addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_millis(200))).expect("deadline");
+        s.write_all(b"0123456789").expect("write");
+        // Only 4 bytes ever come back; the read blocks and times out.
+        let mut got = [0u8; 10];
+        let err = s.read_exact(&mut got).expect_err("stalled");
+        assert!(
+            matches!(err.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut),
+            "{err:?}"
+        );
+        proxy.stop();
+        let _ = TcpStream::connect(&addr).map(|mut s| s.write_all(b"quit"));
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn seeded_schedules_are_reproducible() {
+        let a = ChaosSchedule::seeded(42, 32);
+        let b = ChaosSchedule::seeded(42, 32);
+        assert_eq!(a, b);
+        assert_ne!(a, ChaosSchedule::seeded(43, 32));
+        // The clean tail is implicit: everything past the list is None.
+        assert_eq!(a.fault_for(32), Fault::None);
+        assert_eq!(a.fault_for(1 << 20), Fault::None);
+        // Roughly half the scheduled connections carry a fault.
+        let faulted = a.faults.iter().filter(|f| **f != Fault::None).count();
+        assert!(faulted > 4 && faulted < 28, "{faulted} of 32 faulted");
+    }
+
+    #[test]
+    fn upstream_can_be_swapped_mid_flight() {
+        let (addr_a, server_a) = echo_server();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr_b = listener.local_addr().expect("addr").to_string();
+        // Server B answers everything with 'B's.
+        let server_b = std::thread::spawn(move || {
+            let Ok((mut stream, _)) = listener.accept() else { return };
+            let mut buf = [0u8; 1024];
+            while let Ok(n) = stream.read(&mut buf) {
+                if n == 0 {
+                    break;
+                }
+                if stream.write_all(&vec![b'B'; n]).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let mut proxy = ChaosProxy::start(addr_a.clone(), ChaosSchedule::clean()).expect("proxy");
+        assert_eq!(roundtrip(&proxy.addr(), b"echo").expect("via a"), b"echo");
+        proxy.set_upstream(addr_b);
+        assert_eq!(roundtrip(&proxy.addr(), b"echo").expect("via b"), b"BBBB");
+
+        proxy.stop();
+        let _ = TcpStream::connect(&addr_a).map(|mut s| s.write_all(b"quit"));
+        server_a.join().expect("server a");
+        server_b.join().expect("server b");
+    }
+}

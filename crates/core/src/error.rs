@@ -62,6 +62,28 @@ pub enum DapError {
         /// Size of the rejected submission.
         attempted: usize,
     },
+    /// A sequence-numbered batch re-sent a sequence the session already
+    /// applied — the retry was dedup'd, and the sender may treat the
+    /// original submission as acknowledged.
+    DuplicateSequence {
+        /// The coordinator channel the batch arrived on.
+        channel: u64,
+        /// The re-sent sequence number.
+        seq: u64,
+        /// The highest sequence the session has applied for the channel.
+        last: u64,
+    },
+    /// A sequence-numbered batch skipped ahead — an earlier batch on the
+    /// channel was never applied, so accepting this one would silently
+    /// lose reports.
+    SequenceGap {
+        /// The coordinator channel the batch arrived on.
+        channel: u64,
+        /// The out-of-order sequence number.
+        seq: u64,
+        /// The sequence the session expected next.
+        expected: u64,
+    },
     /// Sharded sessions being merged disagree on config or group plan.
     SessionMismatch {
         /// What differed.
@@ -136,6 +158,19 @@ impl fmt::Display for DapError {
                      attempted > {quota} solicited"
                 )
             }
+            DapError::DuplicateSequence { channel, seq, last } => {
+                write!(
+                    f,
+                    "duplicate sequence {seq} on channel {channel:#018x}: \
+                     already applied through {last}"
+                )
+            }
+            DapError::SequenceGap { channel, seq, expected } => {
+                write!(
+                    f,
+                    "sequence gap on channel {channel:#018x}: got {seq}, expected {expected}"
+                )
+            }
             DapError::SessionMismatch { what } => {
                 write!(f, "sessions cannot be merged: {what} differ")
             }
@@ -185,6 +220,11 @@ mod tests {
         assert_eq!(DapError::EmptyPopulation.to_string(), "empty population");
         let e = DapError::Journal { at: 34, reason: "record digest mismatch".into() };
         assert!(e.to_string().contains("journal") && e.to_string().contains("byte 34"), "{e}");
+        let e = DapError::DuplicateSequence { channel: 0xabcd, seq: 4, last: 7 };
+        assert!(e.to_string().contains("duplicate sequence 4"), "{e}");
+        assert!(e.to_string().contains("through 7"), "{e}");
+        let e = DapError::SequenceGap { channel: 0xabcd, seq: 9, expected: 5 };
+        assert!(e.to_string().contains("got 9, expected 5"), "{e}");
     }
 
     #[test]

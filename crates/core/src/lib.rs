@@ -44,6 +44,10 @@
 //!   [`SessionPart`] checkpoints that compact it, and
 //!   [`storage::DurableSession`] recovery that restores a killed daemon's
 //!   session bit-for-bit.
+//! * [`chaos`] — fault injection: [`ChaosProxy`], a deterministic seeded
+//!   TCP proxy that drops, delays, stalls and resets connections per a
+//!   [`ChaosSchedule`], so the retry/replay machinery's exactness claims
+//!   are tested against real socket failures, not mocks.
 //!
 //! The [`baseline`] module implements the §IV two-budget protocol (and its
 //! security flaw against probing-aware attackers, which motivates DAP), the
@@ -55,6 +59,7 @@ pub mod accountant;
 pub mod aggregation;
 pub mod baseline;
 pub mod categorical;
+pub mod chaos;
 pub mod client;
 pub mod codec;
 pub mod error;
@@ -79,7 +84,10 @@ pub use parallel::parallel_map;
 pub use population::Population;
 pub use protocol::{Dap, DapConfig, DapConfigBuilder, DapOutput, GroupReport};
 pub use scheme::{GroupHistogram, Scheme};
-pub use net::{WireClient, WireError, WireSession};
+pub use chaos::{ChaosProxy, ChaosSchedule, Fault};
+pub use net::{
+    Deadlines, RetryPolicy, ServeOptions, WireClient, WireError, WireSession,
+};
 pub use session::{DapSession, EstimationMode, PartGroup, SessionPart};
 pub use storage::{
     DurableOptions, DurableSession, FaultBackend, FileBackend, Journal, MemoryBackend,

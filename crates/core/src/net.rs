@@ -8,9 +8,11 @@
 //!
 //! | frame | direction | reply | meaning |
 //! |---|---|---|---|
-//! | `hello` | → | `hello-ok` | version + [`DapSession::state_digest`] handshake |
+//! | `hello` | → | `hello-ok` | version + [`DapSession::state_digest`] handshake (optionally announcing a channel; the reply then carries the channel's last acked sequence) |
 //! | `ingest` | → | `ok` | one report into one group |
 //! | `ingest-batch` | → | `ok` | an atomic report batch into one group |
+//! | `seq-batch` | → | `ok` | a sequence-numbered batch — retries dedup'd by the session's replay guard |
+//! | `status` | → | `status-ok` | lightweight liveness probe (digest, groups, reports ingested) |
 //! | `pull` | → | `part` | the serialized per-group state ([`SessionPart`]) |
 //! | `merge` | → | `ok` | absorb a serialized part ([`DapSession::merge_part`]) |
 //! | `finalize` | → | `outputs` | run the collector pipeline for a scheme list |
@@ -90,6 +92,15 @@ pub enum WireError {
         /// The peer's error message.
         message: String,
     },
+    /// A deadline expired: a connect, read or write did not complete
+    /// within its configured [`Deadlines`] bound, or the server closed an
+    /// idle connection ([`ServeOptions::idle_timeout`]). Distinguished
+    /// from [`WireError::Io`] so callers can tell a stalled peer from a
+    /// dead one; both are retryable under a [`RetryPolicy`].
+    Timeout {
+        /// What timed out.
+        what: String,
+    },
     /// A transport-level I/O failure (connect, read, write).
     Io {
         /// The underlying error, stringified.
@@ -113,6 +124,7 @@ impl fmt::Display for WireError {
             WireError::Unsupported { what } => write!(f, "peer does not support frame '{what}'"),
             WireError::BadFrame { reason } => write!(f, "malformed frame: {reason}"),
             WireError::Failed { message } => write!(f, "peer failed: {message}"),
+            WireError::Timeout { what } => write!(f, "wire timeout: {what}"),
             WireError::Io { message } => write!(f, "wire i/o error: {message}"),
         }
     }
@@ -129,7 +141,15 @@ impl std::error::Error for WireError {
 
 impl From<std::io::Error> for WireError {
     fn from(e: std::io::Error) -> Self {
-        WireError::Io { message: e.to_string() }
+        // A socket with a read/write deadline reports expiry as `TimedOut`
+        // (most platforms) or `WouldBlock` (BSD-style timeouts); both mean
+        // "the peer stalled", not "the peer is gone".
+        match e.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                WireError::Timeout { what: e.to_string() }
+            }
+            _ => WireError::Io { message: e.to_string() },
+        }
     }
 }
 
@@ -148,6 +168,12 @@ pub enum Frame {
         version: String,
         /// The client session's [`DapSession::state_digest`].
         digest: u64,
+        /// Coordinator channel announced for sequenced ingestion; the
+        /// reply then reports the channel's last acknowledged sequence so
+        /// a reconnecting coordinator can resume without double-applying.
+        /// Absent for plain (unsequenced) clients — the encoding omits it,
+        /// keeping pre-sequencing frames byte-identical.
+        channel: Option<u64>,
     },
     /// Handshake accepted.
     HelloOk {
@@ -155,6 +181,10 @@ pub enum Frame {
         digest: u64,
         /// Number of groups in the served plan.
         groups: usize,
+        /// Last acknowledged sequence on the hello's announced channel
+        /// (0 when the channel has never delivered a batch); absent when
+        /// the hello announced no channel.
+        last_seq: Option<u64>,
     },
     /// One report into one group.
     Ingest {
@@ -170,6 +200,32 @@ pub enum Frame {
         /// The reports, in ingestion order (order is part of the exactness
         /// contract — running sums accumulate in it).
         reports: Vec<f64>,
+    },
+    /// A sequence-numbered atomic batch: applied only when `seq` is the
+    /// next sequence on `channel`, so a retry of a batch whose ack was
+    /// lost is rejected typed ([`DapError::DuplicateSequence`]) instead of
+    /// double-counted.
+    IngestBatchSeq {
+        /// Coordinator channel the sequence belongs to.
+        channel: u64,
+        /// Batch sequence, starting at 1 per channel.
+        seq: u64,
+        /// Target group.
+        group: usize,
+        /// The reports, in ingestion order.
+        reports: Vec<f64>,
+    },
+    /// Liveness probe: answered from connection-local state (no session
+    /// mutation), cheap enough to poll a daemon that is busy recovering.
+    Status,
+    /// Reply to `status`.
+    StatusOk {
+        /// The server session's digest.
+        digest: u64,
+        /// Number of groups in the served plan.
+        groups: usize,
+        /// Total reports accepted across all groups.
+        ingested: usize,
     },
     /// Generic success reply.
     Ok,
@@ -240,6 +296,9 @@ impl Frame {
             Frame::HelloOk { .. } => "hello-ok",
             Frame::Ingest { .. } => "ingest",
             Frame::IngestBatch { .. } => "ingest-batch",
+            Frame::IngestBatchSeq { .. } => "seq-batch",
+            Frame::Status => "status",
+            Frame::StatusOk { .. } => "status-ok",
             Frame::Ok => "ok",
             Frame::Pull => "pull",
             Frame::Part { .. } => "part",
@@ -270,6 +329,18 @@ fn push_part(s: &mut String, part: &SessionPart) {
         for &c in &g.counts {
             s.push(' ');
             codec::push_hex_f64(s, c);
+        }
+    }
+    // The replay-guard table rides along only when non-empty, so part
+    // frames from sessions that never saw sequenced ingestion stay
+    // byte-identical to the pre-sequencing encoding (and old peers still
+    // parse them).
+    if !part.channels.is_empty() {
+        let _ = write!(s, "\nseqs {}", part.channels.len());
+        for &(channel, seq) in &part.channels {
+            s.push(' ');
+            codec::push_hex_u64(s, channel);
+            let _ = write!(s, " {seq}");
         }
     }
 }
@@ -309,11 +380,17 @@ pub fn encode_frame(frame: &Frame) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
     match frame {
-        Frame::Hello { version, digest } => {
+        Frame::Hello { version, digest, channel } => {
             let _ = write!(s, "hello {version} {}", hex_u64(*digest));
+            if let Some(channel) = channel {
+                let _ = write!(s, " channel {}", hex_u64(*channel));
+            }
         }
-        Frame::HelloOk { digest, groups } => {
+        Frame::HelloOk { digest, groups, last_seq } => {
             let _ = write!(s, "hello-ok {} {groups}", hex_u64(*digest));
+            if let Some(last_seq) = last_seq {
+                let _ = write!(s, " seq {last_seq}");
+            }
         }
         Frame::Ingest { group, report } => {
             let _ = write!(s, "ingest {group} {}", f64_to_hex(*report));
@@ -326,6 +403,24 @@ pub fn encode_frame(frame: &Frame) -> String {
                 }
                 codec::push_hex_f64(&mut s, *r);
             }
+        }
+        Frame::IngestBatchSeq { channel, seq, group, reports } => {
+            let _ = writeln!(
+                s,
+                "seq-batch {} {seq} {group} {}",
+                hex_u64(*channel),
+                reports.len()
+            );
+            for (i, r) in reports.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                codec::push_hex_f64(&mut s, *r);
+            }
+        }
+        Frame::Status => s.push_str("status"),
+        Frame::StatusOk { digest, groups, ingested } => {
+            let _ = write!(s, "status-ok {} {groups} {ingested}", hex_u64(*digest));
         }
         Frame::Ok => s.push_str("ok"),
         Frame::Pull => s.push_str("pull"),
@@ -389,6 +484,17 @@ fn encode_error(s: &mut String, e: &WireError) {
             DapError::UnknownGroup { group, groups } => {
                 let _ = write!(s, "error rejected group {group} {groups}");
             }
+            DapError::DuplicateSequence { channel, seq, last } => {
+                let _ =
+                    write!(s, "error rejected dup-seq {} {seq} {last}", hex_u64(*channel));
+            }
+            DapError::SequenceGap { channel, seq, expected } => {
+                let _ = write!(
+                    s,
+                    "error rejected seq-gap {} {seq} {expected}",
+                    hex_u64(*channel)
+                );
+            }
             DapError::SessionMismatch { what } => {
                 match DapError::MISMATCH_FIELDS.iter().position(|f| f == what) {
                     Some(idx) => {
@@ -419,6 +525,9 @@ fn encode_error(s: &mut String, e: &WireError) {
         }
         WireError::Failed { message } => {
             let _ = write!(s, "error failed\n{message}");
+        }
+        WireError::Timeout { what } => {
+            let _ = write!(s, "error timeout\n{what}");
         }
         WireError::Io { message } => {
             let _ = write!(s, "error io\n{message}");
@@ -463,6 +572,13 @@ impl<'a> Tokens<'a> {
             .map_err(|reason| WireError::BadFrame { reason })
     }
 
+    /// The next token without consuming it — how optional trailing
+    /// sections (a hello's `channel`, a part's `seqs` table) are detected
+    /// before [`Tokens::done`] enforces "no trailing garbage".
+    fn peek(&self) -> Option<&'a str> {
+        self.it.clone().next()
+    }
+
     fn literal(&mut self, word: &str) -> Result<(), WireError> {
         if self.next(word)? == word {
             Ok(())
@@ -497,7 +613,18 @@ fn parse_part(t: &mut Tokens) -> Result<SessionPart, WireError> {
         }
         groups.push(PartGroup { counts, sum_reports, n_reports });
     }
-    Ok(SessionPart { digest, groups })
+    let mut channels = Vec::new();
+    if t.peek() == Some("seqs") {
+        t.literal("seqs")?;
+        let n = t.usize("channel count")?;
+        channels.reserve(n);
+        for _ in 0..n {
+            let channel = t.hex_u64("channel id")?;
+            let seq = t.u64("channel seq")?;
+            channels.push((channel, seq));
+        }
+    }
+    Ok(SessionPart { digest, groups, channels })
 }
 
 fn parse_outputs(t: &mut Tokens) -> Result<Vec<DapOutput>, WireError> {
@@ -559,6 +686,16 @@ fn parse_error(body: &str) -> Result<WireError, WireError> {
                 group: t.usize("group")?,
                 groups: t.usize("groups")?,
             },
+            "dup-seq" => DapError::DuplicateSequence {
+                channel: t.hex_u64("channel")?,
+                seq: t.u64("seq")?,
+                last: t.u64("last")?,
+            },
+            "seq-gap" => DapError::SequenceGap {
+                channel: t.hex_u64("channel")?,
+                seq: t.u64("seq")?,
+                expected: t.u64("expected")?,
+            },
             "mismatch" => {
                 let idx = t.usize("mismatch field index")?;
                 let what = DapError::MISMATCH_FIELDS.get(idx).copied().ok_or_else(|| {
@@ -583,6 +720,7 @@ fn parse_error(body: &str) -> Result<WireError, WireError> {
         "unsupported" => WireError::Unsupported { what: rest.to_string() },
         "bad-frame" => WireError::BadFrame { reason: rest.to_string() },
         "failed" => WireError::Failed { message: rest.to_string() },
+        "timeout" => WireError::Timeout { what: rest.to_string() },
         "io" => WireError::Io { message: rest.to_string() },
         other => {
             return Err(WireError::BadFrame { reason: format!("unknown error kind '{other}'") })
@@ -610,14 +748,28 @@ pub fn decode_frame(body: &str) -> Result<Frame, WireError> {
     let mut t = Tokens::new(body);
     let tag = t.next("frame tag")?;
     let frame = match tag {
-        "hello" => Frame::Hello {
-            version: t.next("version")?.to_string(),
-            digest: t.hex_u64("digest")?,
-        },
-        "hello-ok" => Frame::HelloOk {
-            digest: t.hex_u64("digest")?,
-            groups: t.usize("groups")?,
-        },
+        "hello" => {
+            let version = t.next("version")?.to_string();
+            let digest = t.hex_u64("digest")?;
+            let channel = if t.peek() == Some("channel") {
+                t.literal("channel")?;
+                Some(t.hex_u64("channel id")?)
+            } else {
+                None
+            };
+            Frame::Hello { version, digest, channel }
+        }
+        "hello-ok" => {
+            let digest = t.hex_u64("digest")?;
+            let groups = t.usize("groups")?;
+            let last_seq = if t.peek() == Some("seq") {
+                t.literal("seq")?;
+                Some(t.u64("last seq")?)
+            } else {
+                None
+            };
+            Frame::HelloOk { digest, groups, last_seq }
+        }
         "ingest" => Frame::Ingest {
             group: t.usize("group")?,
             report: t.hex_f64("report")?,
@@ -631,6 +783,23 @@ pub fn decode_frame(body: &str) -> Result<Frame, WireError> {
             }
             Frame::IngestBatch { group, reports }
         }
+        "seq-batch" => {
+            let channel = t.hex_u64("channel")?;
+            let seq = t.u64("seq")?;
+            let group = t.usize("group")?;
+            let count = t.usize("report count")?;
+            let mut reports = Vec::with_capacity(count);
+            for _ in 0..count {
+                reports.push(t.hex_f64("report")?);
+            }
+            Frame::IngestBatchSeq { channel, seq, group, reports }
+        }
+        "status" => Frame::Status,
+        "status-ok" => Frame::StatusOk {
+            digest: t.hex_u64("digest")?,
+            groups: t.usize("groups")?,
+            ingested: t.usize("ingested")?,
+        },
         "ok" => Frame::Ok,
         "pull" => Frame::Pull,
         "part" => Frame::Part { part: parse_part(&mut t)? },
@@ -701,6 +870,96 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
 }
 
 // ---------------------------------------------------------------------------
+// Deadlines and retries
+// ---------------------------------------------------------------------------
+
+/// Per-operation deadlines for a [`WireClient`] connection. `None` means
+/// "wait forever" (the pre-hardening behavior, and the default).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Deadlines {
+    /// Bound on establishing the TCP connection.
+    pub connect: Option<Duration>,
+    /// Bound on each blocking read (per syscall, not per frame).
+    pub read: Option<Duration>,
+    /// Bound on each blocking write.
+    pub write: Option<Duration>,
+}
+
+impl Deadlines {
+    /// The same bound for connect, read and write.
+    pub fn all(d: Duration) -> Deadlines {
+        Deadlines { connect: Some(d), read: Some(d), write: Some(d) }
+    }
+}
+
+/// Capped exponential backoff with deterministic, seeded jitter and a
+/// per-deployment retry budget.
+///
+/// `attempts` bounds the tries for one operation; `budget` bounds the
+/// *total* retries a coordinator spends across the whole deployment (the
+/// caller decrements it — see `dap_bench`'s submit path), so a flapping
+/// daemon cannot consume unbounded wall clock. Jitter is a pure function
+/// of `(seed, salt, attempt)`, keeping every retry schedule reproducible:
+/// two runs of the same deployment back off identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Tries per operation (1 = no retries).
+    pub attempts: usize,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound any single backoff is clamped to.
+    pub cap: Duration,
+    /// Total retries allowed across the deployment.
+    pub budget: usize,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            budget: 256,
+            seed: 0xdab_5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pause before retry number `attempt` (1-based) of the operation
+    /// identified by `salt`: `base · 2^(attempt-1)`, clamped to `cap`,
+    /// scaled by a deterministic jitter fraction in `[0.5, 1.0)`.
+    pub fn backoff(&self, attempt: usize, salt: u64) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16) as u32;
+        let exp = self
+            .base
+            .checked_mul(1u32 << shift)
+            .unwrap_or(self.cap)
+            .min(self.cap);
+        // xorshift64* over the (seed, salt, attempt) coordinate — no
+        // process-global RNG state, so the schedule replays exactly.
+        let mut x = self.seed
+            ^ salt.rotate_left(17)
+            ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x = x.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let frac = 0.5 + ((x >> 11) as f64 / (1u64 << 53) as f64) / 2.0;
+        exp.mul_f64(frac)
+    }
+
+    /// Whether an error is worth retrying: transport failures and
+    /// deadline expiries are; typed protocol rejections (quota, digest
+    /// mismatch, replay violations, …) are deterministic and are not.
+    pub fn retryable(e: &WireError) -> bool {
+        matches!(e, WireError::Io { .. } | WireError::Timeout { .. })
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Client
 // ---------------------------------------------------------------------------
 
@@ -722,6 +981,44 @@ impl WireClient {
         Ok(WireClient { stream })
     }
 
+    /// Connects with [`Deadlines`]: the connect itself is bounded by
+    /// `deadlines.connect`, and every subsequent read/write on the
+    /// connection by `deadlines.read` / `deadlines.write` (surfacing as
+    /// [`WireError::Timeout`] through the frame layer when exceeded).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        deadlines: &Deadlines,
+    ) -> std::io::Result<WireClient> {
+        let stream = match deadlines.connect {
+            None => TcpStream::connect(addr)?,
+            Some(bound) => {
+                let mut last = None;
+                let mut stream = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, bound) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                stream.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            "address resolved to nothing",
+                        )
+                    })
+                })?
+            }
+        };
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(deadlines.read)?;
+        stream.set_write_timeout(deadlines.write)?;
+        Ok(WireClient { stream })
+    }
+
     /// [`WireClient::connect`] retrying for daemons that are still binding
     /// (e.g. just spawned by a test or a CI script).
     pub fn connect_retry(
@@ -729,9 +1026,20 @@ impl WireClient {
         attempts: usize,
         delay: Duration,
     ) -> std::io::Result<WireClient> {
+        WireClient::connect_retry_with(addr, attempts, delay, &Deadlines::default())
+    }
+
+    /// [`WireClient::connect_retry`] with [`Deadlines`] applied to the
+    /// connection once it establishes.
+    pub fn connect_retry_with(
+        addr: &str,
+        attempts: usize,
+        delay: Duration,
+        deadlines: &Deadlines,
+    ) -> std::io::Result<WireClient> {
         let mut last = None;
         for _ in 0..attempts.max(1) {
-            match WireClient::connect(addr) {
+            match WireClient::connect_with(addr, deadlines) {
                 Ok(c) => return Ok(c),
                 Err(e) => {
                     last = Some(e);
@@ -757,8 +1065,25 @@ impl WireClient {
 
     /// Version + digest handshake; returns the server's group count.
     pub fn hello(&mut self, digest: u64) -> Result<usize, WireError> {
-        match self.call(&Frame::Hello { version: WIRE_VERSION.to_string(), digest })? {
+        let hello =
+            Frame::Hello { version: WIRE_VERSION.to_string(), digest, channel: None };
+        match self.call(&hello)? {
             Frame::HelloOk { groups, .. } => Ok(groups),
+            f => Err(Self::unexpected("hello-ok", &f)),
+        }
+    }
+
+    /// [`WireClient::hello`] announcing a coordinator channel; returns the
+    /// group count and the channel's last acknowledged batch sequence (0
+    /// when the channel is new) — the resume point after a reconnect.
+    pub fn hello_channel(&mut self, digest: u64, channel: u64) -> Result<(usize, u64), WireError> {
+        let hello = Frame::Hello {
+            version: WIRE_VERSION.to_string(),
+            digest,
+            channel: Some(channel),
+        };
+        match self.call(&hello)? {
+            Frame::HelloOk { groups, last_seq, .. } => Ok((groups, last_seq.unwrap_or(0))),
             f => Err(Self::unexpected("hello-ok", &f)),
         }
     }
@@ -776,6 +1101,34 @@ impl WireClient {
         match self.call(&Frame::IngestBatch { group, reports: reports.to_vec() })? {
             Frame::Ok => Ok(()),
             f => Err(Self::unexpected("ok", &f)),
+        }
+    }
+
+    /// Streams a sequence-numbered batch into `group`. A
+    /// [`DapError::DuplicateSequence`] rejection means the batch was
+    /// already applied (the previous ack was lost) and may be treated as
+    /// success by a resuming coordinator.
+    pub fn ingest_batch_seq(
+        &mut self,
+        channel: u64,
+        seq: u64,
+        group: usize,
+        reports: &[f64],
+    ) -> Result<(), WireError> {
+        let frame =
+            Frame::IngestBatchSeq { channel, seq, group, reports: reports.to_vec() };
+        match self.call(&frame)? {
+            Frame::Ok => Ok(()),
+            f => Err(Self::unexpected("ok", &f)),
+        }
+    }
+
+    /// Liveness probe; returns the server's `(digest, groups, total
+    /// reports ingested)`.
+    pub fn status(&mut self) -> Result<(u64, usize, usize), WireError> {
+        match self.call(&Frame::Status)? {
+            Frame::StatusOk { digest, groups, ingested } => Ok((digest, groups, ingested)),
+            f => Err(Self::unexpected("status-ok", &f)),
         }
     }
 
@@ -840,6 +1193,19 @@ pub trait WireSession {
     fn ingest(&mut self, group: usize, report: f64) -> Result<(), DapError>;
     /// Handles an `ingest-batch` frame.
     fn ingest_batch(&mut self, group: usize, reports: &[f64]) -> Result<(), DapError>;
+    /// Handles a `seq-batch` frame (sequenced, replay-guarded ingestion).
+    fn ingest_batch_seq(
+        &mut self,
+        channel: u64,
+        seq: u64,
+        group: usize,
+        reports: &[f64],
+    ) -> Result<(), DapError>;
+    /// The last acknowledged sequence on `channel` (the hello resume
+    /// point); `None` when the channel never delivered a batch.
+    fn last_seq(&self, channel: u64) -> Option<u64>;
+    /// Total reports accepted across all groups (the `status` reply).
+    fn ingested_total(&self) -> usize;
     /// Handles a `pull` frame.
     fn export_part(&self) -> SessionPart;
     /// Handles a `merge` frame.
@@ -863,6 +1229,24 @@ impl<M: NumericMechanism + Sync> WireSession for DapSession<M> {
 
     fn ingest_batch(&mut self, group: usize, reports: &[f64]) -> Result<(), DapError> {
         DapSession::ingest_batch(self, group, reports)
+    }
+
+    fn ingest_batch_seq(
+        &mut self,
+        channel: u64,
+        seq: u64,
+        group: usize,
+        reports: &[f64],
+    ) -> Result<(), DapError> {
+        DapSession::ingest_batch_seq(self, channel, seq, group, reports)
+    }
+
+    fn last_seq(&self, channel: u64) -> Option<u64> {
+        DapSession::last_seq(self, channel)
+    }
+
+    fn ingested_total(&self) -> usize {
+        (0..DapSession::group_count(self)).map(|g| self.ingested(g)).sum()
     }
 
     fn export_part(&self) -> SessionPart {
@@ -903,7 +1287,7 @@ impl<S: WireSession> ServerState<S> {
         X: Fn(&Frame) -> Option<Frame> + Sync,
     {
         match frame {
-            Frame::Hello { version, digest } => {
+            Frame::Hello { version, digest, channel } => {
                 if version != WIRE_VERSION {
                     Frame::Error(WireError::VersionMismatch {
                         client: version,
@@ -915,7 +1299,11 @@ impl<S: WireSession> ServerState<S> {
                         server: self.digest,
                     })
                 } else {
-                    Frame::HelloOk { digest: self.digest, groups: self.groups }
+                    // An announced channel gets its resume point back: the
+                    // last sequence this session applied for it (0 if new).
+                    let last_seq =
+                        channel.map(|c| self.lock().last_seq(c).unwrap_or(0));
+                    Frame::HelloOk { digest: self.digest, groups: self.groups, last_seq }
                 }
             }
             Frame::Ingest { group, report } => match self.lock().ingest(group, report) {
@@ -927,6 +1315,16 @@ impl<S: WireSession> ServerState<S> {
                     Ok(()) => Frame::Ok,
                     Err(e) => Frame::Error(e.into()),
                 }
+            }
+            Frame::IngestBatchSeq { channel, seq, group, reports } => {
+                match self.lock().ingest_batch_seq(channel, seq, group, &reports) {
+                    Ok(()) => Frame::Ok,
+                    Err(e) => Frame::Error(e.into()),
+                }
+            }
+            Frame::Status => {
+                let ingested = self.lock().ingested_total();
+                Frame::StatusOk { digest: self.digest, groups: self.groups, ingested }
             }
             Frame::Pull => Frame::Part { part: self.lock().export_part() },
             Frame::Merge { part } => match self.lock().merge_part(&part) {
@@ -959,6 +1357,18 @@ where
             Ok(f) => f,
             // EOF / disconnect: the client is done with this connection.
             Err(WireError::Io { .. }) => return,
+            // Idle past the server's deadline: close with a typed error so
+            // a live-but-slow client learns why, instead of pinning a
+            // handler thread forever.
+            Err(WireError::Timeout { .. }) => {
+                let _ = write_frame(
+                    &mut stream,
+                    &Frame::Error(WireError::Timeout {
+                        what: "idle connection closed by server".into(),
+                    }),
+                );
+                return;
+            }
             Err(e) => {
                 let _ = write_frame(&mut stream, &Frame::Error(e));
                 return;
@@ -1018,6 +1428,30 @@ where
     S: WireSession + Send,
     X: Fn(&Frame) -> Option<Frame> + Sync,
 {
+    serve_session_with(listener, session, extra, ServeOptions::default())
+}
+
+/// Server-side knobs for [`serve_session_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Close a connection whose next frame does not arrive within this
+    /// bound, with a typed [`WireError::Timeout`] farewell — leaked client
+    /// sockets can no longer pin handler threads forever. `None` (the
+    /// default) waits indefinitely, the pre-hardening behavior.
+    pub idle_timeout: Option<Duration>,
+}
+
+/// [`serve_session`] with [`ServeOptions`] (idle-connection timeouts).
+pub fn serve_session_with<S, X>(
+    listener: TcpListener,
+    session: S,
+    extra: X,
+    options: ServeOptions,
+) -> std::io::Result<S>
+where
+    S: WireSession + Send,
+    X: Fn(&Frame) -> Option<Frame> + Sync,
+{
     let state = ServerState {
         digest: session.state_digest(),
         groups: session.group_count(),
@@ -1032,6 +1466,7 @@ where
                 break;
             }
             let Ok(stream) = conn else { continue };
+            stream.set_read_timeout(options.idle_timeout).ok();
             if let Ok(clone) = stream.try_clone() {
                 state.conns.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
             }
@@ -1063,6 +1498,11 @@ mod tests {
                 PartGroup { counts: vec![0.0, 2.0, 1.0], sum_reports: -1.25, n_reports: 3 },
                 PartGroup { counts: vec![], sum_reports: 0.0, n_reports: 0 },
             ],
+            channels: vec![],
+        };
+        let seq_part = SessionPart {
+            channels: vec![(0xc0ffee, 12), (u64::MAX, 1)],
+            ..part.clone()
         };
         let output = DapOutput {
             mean: (0.1f64 + 0.2).powi(3),
@@ -1079,15 +1519,32 @@ mod tests {
             }],
         };
         for frame in [
-            Frame::Hello { version: WIRE_VERSION.to_string(), digest: 7 },
-            Frame::HelloOk { digest: 7, groups: 4 },
+            Frame::Hello { version: WIRE_VERSION.to_string(), digest: 7, channel: None },
+            Frame::Hello {
+                version: WIRE_VERSION.to_string(),
+                digest: 7,
+                channel: Some(0xfeed_beef),
+            },
+            Frame::HelloOk { digest: 7, groups: 4, last_seq: None },
+            Frame::HelloOk { digest: 7, groups: 4, last_seq: Some(0) },
+            Frame::HelloOk { digest: 7, groups: 4, last_seq: Some(917) },
             Frame::Ingest { group: 2, report: f64::NAN },
             Frame::IngestBatch { group: 0, reports: vec![1.0, -0.0, 0.5] },
             Frame::IngestBatch { group: 1, reports: vec![] },
+            Frame::IngestBatchSeq {
+                channel: 0xfeed_beef,
+                seq: 3,
+                group: 1,
+                reports: vec![0.5, -0.25],
+            },
+            Frame::Status,
+            Frame::StatusOk { digest: 7, groups: 4, ingested: 123_456 },
             Frame::Ok,
             Frame::Pull,
             Frame::Part { part: part.clone() },
+            Frame::Part { part: seq_part.clone() },
             Frame::Merge { part },
+            Frame::Merge { part: seq_part },
             Frame::Finalize { schemes: Scheme::ALL.to_vec() },
             Frame::Outputs { outputs: vec![output] },
             Frame::RunShard {
@@ -1138,6 +1595,16 @@ mod tests {
                 attempted: 2,
             }),
             WireError::Rejected(DapError::UnknownGroup { group: 9, groups: 4 }),
+            WireError::Rejected(DapError::DuplicateSequence {
+                channel: 0xfeed_beef,
+                seq: 4,
+                last: 7,
+            }),
+            WireError::Rejected(DapError::SequenceGap {
+                channel: 0xfeed_beef,
+                seq: 9,
+                expected: 5,
+            }),
             WireError::Rejected(DapError::SessionMismatch { what: "state digest" }),
             WireError::Rejected(DapError::SessionMismatch { what: "config eps" }),
             WireError::VersionMismatch { client: "dap-wire/v0".into(), server: WIRE_VERSION.into() },
@@ -1145,10 +1612,78 @@ mod tests {
             WireError::Unsupported { what: "run-shard".into() },
             WireError::BadFrame { reason: "trailing token 'x'".into() },
             WireError::Failed { message: "multi\nline message".into() },
+            WireError::Timeout { what: "read deadline of 250ms expired".into() },
             WireError::Io { message: "connection reset".into() },
         ] {
             round_trip(Frame::Error(err));
         }
+    }
+
+    #[test]
+    fn pre_sequencing_encodings_still_parse() {
+        // A hello / hello-ok / part without the new optional sections must
+        // decode exactly as before — old journals and old peers depend on
+        // it (PR 6 journal payloads are frame texts).
+        assert_eq!(
+            decode_frame("hello dap-wire/v1 0x0000000000000007").unwrap(),
+            Frame::Hello { version: WIRE_VERSION.into(), digest: 7, channel: None }
+        );
+        assert_eq!(
+            decode_frame("hello-ok 0x0000000000000007 4").unwrap(),
+            Frame::HelloOk { digest: 7, groups: 4, last_seq: None }
+        );
+        let old_part = "part 0x0000000000000001 1\n\
+                        group 1 0x3fe0000000000000 2 0x3ff0000000000000 0x0000000000000000";
+        match decode_frame(old_part).unwrap() {
+            Frame::Part { part } => {
+                assert!(part.channels.is_empty());
+                assert_eq!(part.groups.len(), 1);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+        // And a channel-free part encodes without a seqs section.
+        let part = SessionPart { digest: 1, groups: vec![], channels: vec![] };
+        assert!(!encode_frame(&Frame::Part { part }).contains("seqs"));
+    }
+
+    #[test]
+    fn timeouts_are_typed_not_io() {
+        use std::io::{Error, ErrorKind};
+        let e: WireError = Error::new(ErrorKind::TimedOut, "read timed out").into();
+        assert!(matches!(e, WireError::Timeout { .. }), "{e:?}");
+        let e: WireError = Error::new(ErrorKind::WouldBlock, "would block").into();
+        assert!(matches!(e, WireError::Timeout { .. }), "{e:?}");
+        let e: WireError = Error::new(ErrorKind::ConnectionRefused, "refused").into();
+        assert!(matches!(e, WireError::Io { .. }), "{e:?}");
+        assert!(RetryPolicy::retryable(&WireError::Timeout { what: "t".into() }));
+        assert!(RetryPolicy::retryable(&WireError::Io { message: "m".into() }));
+        assert!(!RetryPolicy::retryable(&WireError::Rejected(
+            DapError::DuplicateSequence { channel: 1, seq: 1, last: 1 }
+        )));
+        assert!(!RetryPolicy::retryable(&WireError::DigestMismatch { client: 1, server: 2 }));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy::default();
+        for attempt in 1..=40 {
+            for salt in [0u64, 7, u64::MAX] {
+                let d = policy.backoff(attempt, salt);
+                assert_eq!(d, policy.backoff(attempt, salt), "deterministic");
+                assert!(d <= policy.cap, "attempt {attempt}: {d:?} above cap");
+                // Jitter keeps at least half the nominal (capped) backoff.
+                let nominal = policy
+                    .base
+                    .checked_mul(1u32 << (attempt - 1).min(16))
+                    .unwrap_or(policy.cap)
+                    .min(policy.cap);
+                assert!(d >= nominal / 2, "attempt {attempt}: {d:?} under half backoff");
+            }
+        }
+        // Different salts (operations) de-synchronize their schedules.
+        assert_ne!(policy.backoff(3, 1), policy.backoff(3, 2));
+        // The exponent climbs before the cap bites.
+        assert!(policy.backoff(4, 9) > policy.backoff(1, 9));
     }
 
     #[test]

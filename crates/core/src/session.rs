@@ -26,6 +26,7 @@ use dap_attack::Side;
 use dap_emf::{probe_side, EmfConfig};
 use dap_estimation::{EmWorkspace, Grid};
 use dap_ldp::{Epsilon, NumericMechanism};
+use std::collections::BTreeMap;
 
 /// Slack applied to the output-domain membership check: perturbed values may
 /// stray from the closed domain by floating error (the same tolerance the
@@ -68,6 +69,11 @@ pub struct DapSession<M> {
     plan: GroupPlan,
     mechs: Vec<M>,
     groups: Vec<GroupState>,
+    /// Replay guard: per coordinator channel, the highest batch sequence
+    /// applied. Sequenced ingestion ([`DapSession::ingest_batch_seq`])
+    /// accepts only the next sequence, so a retried batch whose ack was
+    /// lost is rejected typed instead of double-counted.
+    channels: BTreeMap<u64, u64>,
 }
 
 impl<M: NumericMechanism> DapSession<M> {
@@ -104,7 +110,7 @@ impl<M: NumericMechanism> DapSession<M> {
             mechs.push(mech);
             groups.push(GroupState { grid, emf_cfg, hist, quota });
         }
-        Ok(DapSession { config, plan, mechs, groups })
+        Ok(DapSession { config, plan, mechs, groups, channels: BTreeMap::new() })
     }
 
     /// The session's configuration.
@@ -210,6 +216,60 @@ impl<M: NumericMechanism> DapSession<M> {
         Ok(())
     }
 
+    /// The highest batch sequence applied on coordinator `channel`, or
+    /// `None` if the channel has never delivered a sequenced batch. This
+    /// is what the `dap-wire/v1` hello handshake returns so a reconnecting
+    /// coordinator can resume without re-applying acknowledged batches.
+    pub fn last_seq(&self, channel: u64) -> Option<u64> {
+        self.channels.get(&channel).copied()
+    }
+
+    /// Every channel's replay-guard state, in channel order.
+    pub fn channel_seqs(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.channels.iter().map(|(&c, &s)| (c, s))
+    }
+
+    /// [`DapSession::ingest_batch`] with an idempotency guard: the batch is
+    /// applied only when `seq` is exactly the next sequence on `channel`
+    /// (starting at 1). A sequence at or below the high-water mark is a
+    /// retry of an already-applied batch and is rejected with
+    /// [`DapError::DuplicateSequence`] — the sender treats that as an ack —
+    /// while a sequence that skips ahead is rejected with
+    /// [`DapError::SequenceGap`]. On any error the session is unchanged.
+    pub fn ingest_batch_seq(
+        &mut self,
+        channel: u64,
+        seq: u64,
+        group: usize,
+        reports: &[f64],
+    ) -> Result<(), DapError> {
+        self.check_ingest_batch_seq(channel, seq, group, reports)?;
+        self.ingest_batch(group, reports)?;
+        self.channels.insert(channel, seq);
+        Ok(())
+    }
+
+    /// The validation half of [`DapSession::ingest_batch_seq`]: the replay
+    /// guard first (duplicates must be rejected before any content check so
+    /// a retried batch races nothing), then the plain
+    /// [`DapSession::check_ingest_batch`] checks.
+    pub fn check_ingest_batch_seq(
+        &self,
+        channel: u64,
+        seq: u64,
+        group: usize,
+        reports: &[f64],
+    ) -> Result<(), DapError> {
+        let last = self.channels.get(&channel).copied().unwrap_or(0);
+        if seq <= last {
+            return Err(DapError::DuplicateSequence { channel, seq, last });
+        }
+        if seq != last + 1 {
+            return Err(DapError::SequenceGap { channel, seq, expected: last + 1 });
+        }
+        self.check_ingest_batch(group, reports)
+    }
+
     /// Combines sessions that accumulated shards of the same deployment —
     /// many threads or processes ingesting independently, merged before one
     /// [`DapSession::finalize`].
@@ -256,6 +316,12 @@ impl<M: NumericMechanism> DapSession<M> {
                 }
                 bs.hist.sum_reports += ps.hist.sum_reports;
                 bs.hist.n_reports += ps.hist.n_reports;
+            }
+            // Replay-guard high-water marks are monotone per channel, so the
+            // combined session's guard is the per-channel maximum.
+            for (channel, seq) in part.channels {
+                let entry = base.channels.entry(channel).or_insert(0);
+                *entry = (*entry).max(seq);
             }
         }
         Ok(base)
@@ -316,6 +382,7 @@ impl<M: NumericMechanism> DapSession<M> {
                     n_reports: g.hist.n_reports,
                 })
                 .collect(),
+            channels: self.channels.iter().map(|(&c, &s)| (c, s)).collect(),
         }
     }
 
@@ -336,6 +403,10 @@ impl<M: NumericMechanism> DapSession<M> {
             }
             state.hist.sum_reports += pg.sum_reports;
             state.hist.n_reports += pg.n_reports;
+        }
+        for &(channel, seq) in &part.channels {
+            let entry = self.channels.entry(channel).or_insert(0);
+            *entry = (*entry).max(seq);
         }
         Ok(())
     }
@@ -411,6 +482,13 @@ pub struct SessionPart {
     pub digest: u64,
     /// Per-group state, in group order.
     pub groups: Vec<PartGroup>,
+    /// The originating session's replay-guard high-water marks, `(channel,
+    /// last applied seq)` in channel order — carried so that a checkpoint
+    /// (which is a part frame) restores dedup state across a restart, and
+    /// merged by per-channel maximum. Empty for sessions that never saw
+    /// sequenced ingestion; an empty table is omitted from the wire
+    /// encoding, keeping pre-sequencing part frames byte-identical.
+    pub channels: Vec<(u64, u64)>,
 }
 
 impl<M: NumericMechanism + Sync> DapSession<M> {
@@ -787,6 +865,86 @@ mod tests {
             err,
             DapError::SessionMismatch { what: "mechanism output grids" }
         ));
+    }
+
+    #[test]
+    fn sequenced_ingest_dedups_retries_and_rejects_gaps() {
+        let mut s = session(0.25, 400, 40);
+        let ch = 0xc0ffee;
+        assert_eq!(s.last_seq(ch), None);
+        s.ingest_batch_seq(ch, 1, 0, &[0.5, -0.25]).unwrap();
+        s.ingest_batch_seq(ch, 2, 1, &[0.125]).unwrap();
+        assert_eq!(s.last_seq(ch), Some(2));
+        let digest = s.content_digest();
+
+        // A retry of an applied batch is rejected typed and leaves no trace.
+        let err = s.ingest_batch_seq(ch, 2, 1, &[0.125]).unwrap_err();
+        assert!(
+            matches!(err, DapError::DuplicateSequence { channel, seq: 2, last: 2 } if channel == ch),
+            "{err}"
+        );
+        assert_eq!(s.content_digest(), digest, "duplicate left a trace");
+
+        // Skipping ahead is a gap, not silently accepted.
+        let err = s.ingest_batch_seq(ch, 4, 0, &[0.0]).unwrap_err();
+        assert!(
+            matches!(err, DapError::SequenceGap { seq: 4, expected: 3, .. }),
+            "{err}"
+        );
+        assert_eq!(s.last_seq(ch), Some(2));
+
+        // A *rejected* batch (bad content) does not advance the guard, so
+        // the corrected retry of the same sequence succeeds.
+        let err = s.ingest_batch_seq(ch, 3, 0, &[f64::NAN]).unwrap_err();
+        assert!(matches!(err, DapError::ReportOutOfRange { .. }));
+        assert_eq!(s.last_seq(ch), Some(2));
+        s.ingest_batch_seq(ch, 3, 0, &[0.25]).unwrap();
+
+        // Channels are independent.
+        s.ingest_batch_seq(0xbeef, 1, 0, &[0.0]).unwrap();
+        assert_eq!(s.last_seq(ch), Some(3));
+        assert_eq!(s.last_seq(0xbeef), Some(1));
+    }
+
+    #[test]
+    fn parts_carry_the_replay_guard_across_export_and_merge() {
+        let mut a = session(0.25, 400, 41);
+        a.ingest_batch_seq(7, 1, 0, &[0.5]).unwrap();
+        a.ingest_batch_seq(7, 2, 0, &[0.25]).unwrap();
+        a.ingest_batch_seq(9, 1, 1, &[0.0]).unwrap();
+        let part = a.export_part();
+        assert_eq!(part.channels, vec![(7, 2), (9, 1)]);
+
+        // A fresh twin restored from the part refuses the same retries.
+        let mut b = session(0.25, 400, 41);
+        b.merge_part(&part).unwrap();
+        assert_eq!(b.last_seq(7), Some(2));
+        let err = b.ingest_batch_seq(7, 2, 0, &[0.25]).unwrap_err();
+        assert!(matches!(err, DapError::DuplicateSequence { seq: 2, last: 2, .. }));
+        b.ingest_batch_seq(7, 3, 0, &[0.125]).unwrap();
+
+        // Merging parts combines guards by per-channel maximum.
+        let mut c = session(0.25, 400, 41);
+        c.merge_part(&b.export_part()).unwrap(); // channel 7 through seq 3
+        c.merge_part(&part).unwrap(); // channel 7 through seq 2 — stale, kept at 3
+        assert_eq!(c.last_seq(7), Some(3));
+        assert_eq!(c.last_seq(9), Some(1)); // max(1, 1), not a sum
+    }
+
+    #[test]
+    fn content_digest_ignores_the_replay_guard() {
+        // The guard is transport bookkeeping, not ingested content: a
+        // session fed the same reports without sequencing holds identical
+        // content (the chaos exactness property compares a faulted,
+        // retried run against a clean unsequenced reference).
+        let mut a = session(0.25, 400, 42);
+        let mut b = session(0.25, 400, 42);
+        a.ingest_batch_seq(3, 1, 0, &[0.5, -0.5]).unwrap();
+        a.ingest_batch_seq(3, 2, 1, &[0.25]).unwrap();
+        b.ingest_batch(0, &[0.5, -0.5]).unwrap();
+        b.ingest_batch(1, &[0.25]).unwrap();
+        assert_eq!(a.content_digest(), b.content_digest());
+        assert_ne!(a.export_part().channels, b.export_part().channels);
     }
 
     #[test]

@@ -827,6 +827,33 @@ impl<M: NumericMechanism, B: StorageBackend> DurableSession<M, B> {
         self.maybe_checkpoint()
     }
 
+    /// Write-ahead [`DapSession::ingest_batch_seq`].
+    ///
+    /// The replay guard runs in the *validate* step, so a duplicate or
+    /// out-of-order batch is rejected typed without ever touching the
+    /// journal — retried traffic costs no storage, and replaying the
+    /// journal can never trip over its own dedup state.
+    pub fn ingest_batch_seq(
+        &mut self,
+        channel: u64,
+        seq: u64,
+        group: usize,
+        reports: &[f64],
+    ) -> Result<(), DapError> {
+        self.session.check_ingest_batch_seq(channel, seq, group, reports)?;
+        self.journal.append(
+            encode_frame(&Frame::IngestBatchSeq {
+                channel,
+                seq,
+                group,
+                reports: reports.to_vec(),
+            })
+            .as_bytes(),
+        )?;
+        self.session.ingest_batch_seq(channel, seq, group, reports)?;
+        self.maybe_checkpoint()
+    }
+
     /// Write-ahead [`DapSession::merge_part`].
     pub fn merge_part(&mut self, part: &SessionPart) -> Result<(), DapError> {
         self.session.check_part(part)?;
@@ -893,6 +920,9 @@ fn apply_record<M: NumericMechanism>(
     match frame {
         Frame::Ingest { group, report } => session.ingest(group, report),
         Frame::IngestBatch { group, reports } => session.ingest_batch(group, &reports),
+        Frame::IngestBatchSeq { channel, seq, group, reports } => {
+            session.ingest_batch_seq(channel, seq, group, &reports)
+        }
         Frame::Merge { part } => session.merge_part(&part),
         other => Err(journal_err(
             0,
@@ -920,6 +950,24 @@ where
 
     fn ingest_batch(&mut self, group: usize, reports: &[f64]) -> Result<(), DapError> {
         DurableSession::ingest_batch(self, group, reports)
+    }
+
+    fn ingest_batch_seq(
+        &mut self,
+        channel: u64,
+        seq: u64,
+        group: usize,
+        reports: &[f64],
+    ) -> Result<(), DapError> {
+        DurableSession::ingest_batch_seq(self, channel, seq, group, reports)
+    }
+
+    fn last_seq(&self, channel: u64) -> Option<u64> {
+        self.session.last_seq(channel)
+    }
+
+    fn ingested_total(&self) -> usize {
+        (0..self.session.group_count()).map(|g| self.session.ingested(g)).sum()
     }
 
     fn export_part(&self) -> SessionPart {
@@ -1250,6 +1298,56 @@ mod tests {
         assert!(recovery.from_checkpoint);
         assert!(recovery.replayed < 10);
         assert_eq!(recovered.session().content_digest(), reference.content_digest());
+    }
+
+    #[test]
+    fn sequenced_ingest_recovers_the_replay_guard() {
+        let (mut durable, _) =
+            DurableSession::open(session(21), MemoryBackend::new(), DurableOptions::default())
+                .unwrap();
+        durable.ingest_batch_seq(0xfeed, 1, 0, &[0.5, -0.25]).unwrap();
+        durable.ingest_batch_seq(0xfeed, 2, 1, &[0.125]).unwrap();
+        durable.ingest_batch_seq(0xbeef, 1, 0, &[0.0625]).unwrap();
+        // A retry is refused typed and never journaled.
+        let err = durable.ingest_batch_seq(0xfeed, 2, 1, &[0.125]).unwrap_err();
+        assert!(matches!(err, DapError::DuplicateSequence { seq: 2, last: 2, .. }), "{err}");
+        assert_eq!(durable.journal().records(), 3, "the duplicate cost no storage");
+        let reference = durable.session().content_digest();
+
+        // Crash (drop) and recover: the guard comes back with the data.
+        let (_, backend) = durable.into_parts();
+        let (mut recovered, recovery) =
+            DurableSession::open(session(21), backend, DurableOptions::default()).unwrap();
+        assert_eq!(recovery.replayed, 3);
+        assert_eq!(recovered.session().content_digest(), reference);
+        assert_eq!(recovered.session().last_seq(0xfeed), Some(2));
+        assert_eq!(recovered.session().last_seq(0xbeef), Some(1));
+        // The recovered session still refuses the retry...
+        let err = recovered.ingest_batch_seq(0xfeed, 2, 1, &[0.125]).unwrap_err();
+        assert!(matches!(err, DapError::DuplicateSequence { .. }), "{err}");
+        // ...and still accepts the next sequence.
+        recovered.ingest_batch_seq(0xfeed, 3, 1, &[0.25]).unwrap();
+    }
+
+    #[test]
+    fn checkpoints_carry_the_replay_guard() {
+        // checkpoint_every = 1: every batch compacts, so recovery comes
+        // entirely from the checkpoint part — which must carry channels.
+        const CH: u64 = 0x5e9;
+        let opts = DurableOptions { checkpoint_every: 1, salvage: false };
+        let (mut durable, _) =
+            DurableSession::open(session(22), MemoryBackend::new(), opts).unwrap();
+        durable.ingest_batch_seq(CH, 1, 0, &[0.5]).unwrap();
+        durable.ingest_batch_seq(CH, 2, 0, &[-0.5]).unwrap();
+        assert_eq!(durable.journal().records(), 0, "everything compacted");
+        let (_, backend) = durable.into_parts();
+        let (mut recovered, recovery) =
+            DurableSession::open(session(22), backend, opts).unwrap();
+        assert!(recovery.from_checkpoint);
+        assert_eq!(recovery.replayed, 0);
+        assert_eq!(recovered.session().last_seq(CH), Some(2));
+        let err = recovered.ingest_batch_seq(CH, 1, 0, &[0.5]).unwrap_err();
+        assert!(matches!(err, DapError::DuplicateSequence { .. }), "{err}");
     }
 
     #[test]

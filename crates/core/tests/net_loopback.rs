@@ -7,7 +7,10 @@
 //! *typed*, with its fields intact. The bit-exact coordinator-vs-local
 //! equivalence suite lives in `crates/bench/tests/serve.rs`.
 
-use dap_core::net::{serve_session, Frame, WireClient, WireError, WIRE_VERSION};
+use dap_core::net::{
+    serve_session, serve_session_with, Deadlines, Frame, ServeOptions, WireClient, WireError,
+    WIRE_VERSION,
+};
 use dap_core::storage::{DurableOptions, DurableSession, FileBackend};
 use dap_core::{DapConfig, DapError, DapSession, GroupPlan, Scheme};
 use dap_estimation::rng::seeded;
@@ -50,7 +53,7 @@ fn handshake_checks_version_and_digest() {
     let mut c = connect(&addr);
     // Wrong protocol version.
     let err = c
-        .call(&Frame::Hello { version: "dap-wire/v0".into(), digest })
+        .call(&Frame::Hello { version: "dap-wire/v0".into(), digest, channel: None })
         .expect_err("version mismatch");
     assert_eq!(
         err,
@@ -187,6 +190,98 @@ fn shutdown_returns_even_with_idle_connections_open() {
     // The idle client's connection was released; its next call fails
     // cleanly instead of blocking.
     assert!(idle.ingest(0, 0.0).is_err());
+}
+
+#[test]
+fn idle_connections_are_timed_out_but_the_daemon_keeps_serving() {
+    // An idle-timeout daemon reclaims a parked connection instead of
+    // holding it forever, and stays healthy for the next client.
+    let local = session(0.25, 120, 7);
+    let digest = local.state_digest();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let options = ServeOptions { idle_timeout: Some(Duration::from_millis(100)) };
+    let handle = std::thread::spawn(move || {
+        serve_session_with(listener, local, |_| None, options).expect("serve")
+    });
+
+    let mut idle = connect(&addr);
+    idle.hello(digest).expect("handshake");
+    std::thread::sleep(Duration::from_millis(300));
+    // The server reclaimed the connection while we were parked: the next
+    // call fails with the typed farewell (if our write still got through)
+    // or a plain broken pipe — never a hang.
+    let err = idle.ingest(0, 0.0).expect_err("connection was reclaimed");
+    assert!(
+        matches!(err, WireError::Timeout { .. } | WireError::Io { .. }),
+        "expected a timeout or closed-connection error, got {err:?}"
+    );
+
+    // The daemon is still alive for fresh clients, and shuts down cleanly.
+    let mut c = connect(&addr);
+    c.hello(digest).expect("handshake after the idle reclaim");
+    c.ingest(0, 0.25).expect("daemon still ingests");
+    c.shutdown().expect("shutdown");
+    let served = handle.join().expect("daemon thread");
+    assert_eq!(served.ingested(0), 1);
+}
+
+#[test]
+fn status_probe_reports_liveness_without_a_handshake() {
+    let mut local = session(0.25, 120, 8);
+    local.ingest_batch(0, &[0.5, -0.5]).expect("local ingest");
+    let digest = local.state_digest();
+    let (addr, handle) = daemon(local);
+
+    // `status` needs no hello: it is the liveness probe a coordinator
+    // sends before deciding whether a daemon is worth retrying.
+    let mut c = WireClient::connect_with(&addr, &Deadlines::all(Duration::from_secs(5)))
+        .expect("connect with deadlines");
+    let (got_digest, groups, ingested) = c.status().expect("status");
+    assert_eq!(got_digest, digest);
+    assert_eq!(groups, 3);
+    assert_eq!(ingested, 2);
+
+    c.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn sequenced_resume_survives_a_reconnect_without_double_apply() {
+    let local = session(0.25, 200, 9);
+    let digest = local.state_digest();
+    let (addr, handle) = daemon(local);
+    const CH: u64 = 0xc0ffee;
+
+    // First connection: two acknowledged sequenced batches.
+    let mut c = connect(&addr);
+    let (_, last) = c.hello_channel(digest, CH).expect("handshake");
+    assert_eq!(last, 0, "fresh channel");
+    c.ingest_batch_seq(CH, 1, 0, &[0.5, -0.25]).expect("seq 1");
+    c.ingest_batch_seq(CH, 2, 1, &[0.125]).expect("seq 2");
+    drop(c); // connection lost without a goodbye
+
+    // Reconnect: the handshake reports how far the channel got, the
+    // uncertain batch retried anyway is refused typed (= acknowledged),
+    // and the next sequence is accepted.
+    let mut c = connect(&addr);
+    let (_, last) = c.hello_channel(digest, CH).expect("resume handshake");
+    assert_eq!(last, 2, "server remembers the acknowledged prefix");
+    let err = c.ingest_batch_seq(CH, 2, 1, &[0.125]).expect_err("duplicate");
+    assert_eq!(
+        err,
+        WireError::Rejected(DapError::DuplicateSequence { channel: CH, seq: 2, last: 2 })
+    );
+    let err = c.ingest_batch_seq(CH, 4, 1, &[0.25]).expect_err("gap");
+    assert_eq!(
+        err,
+        WireError::Rejected(DapError::SequenceGap { channel: CH, seq: 4, expected: 3 })
+    );
+    c.ingest_batch_seq(CH, 3, 1, &[0.25]).expect("seq 3");
+
+    c.shutdown().expect("shutdown");
+    let served = handle.join().expect("daemon thread");
+    assert_eq!(served.ingested(0) + served.ingested(1), 4, "no report lost or doubled");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,247 @@
+//! Property suite for the idempotent-replay contract
+//! ([`DapSession`]'s per-channel sequence guard + the durable journal).
+//!
+//! The contract under test is the one the self-healing coordinator leans
+//! on: **any** interleaving of retries, duplicate deliveries, premature
+//! (gapped) deliveries, and mid-stream crash/recoveries of a journaled
+//! session finalizes with a `content_digest` bit-identical to the no-fault
+//! run — and every double-apply is refused with the typed
+//! [`DapError::DuplicateSequence`], never silently absorbed. Three
+//! families:
+//!
+//! * **faulted delivery** — random duplicate/gap injections plus random
+//!   crash+reopen points leave the digest equal to the clean run's, and
+//!   (when no checkpointing interferes) refused traffic costs no journal
+//!   storage;
+//! * **full-stream replay** — after a crash at any point, a sender that
+//!   naively replays the *entire* stream from sequence 1 lands every
+//!   report exactly once: the recovered guard refuses exactly the
+//!   already-applied prefix, typed, and accepts the rest;
+//! * **resume handshake** — `last_seq` is always the correct resume
+//!   point: everything at or below it is refused, `last_seq + 1` is
+//!   accepted, regardless of where the crash fell.
+
+use dap_core::storage::{DurableOptions, DurableSession, MemoryBackend};
+use dap_core::{DapConfig, DapError, DapSession, GroupPlan, Scheme};
+use dap_estimation::rng::seeded;
+use dap_ldp::PiecewiseMechanism;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The two client connections ("channels") the interleavings run over.
+const CHANNELS: [u64; 2] = [0xc0ffee, 0x0decaf];
+
+fn session(seed: u64) -> DapSession<PiecewiseMechanism> {
+    let cfg =
+        DapConfig { eps0: 1.0 / 16.0, max_d_out: 16, ..DapConfig::paper_default(0.25, Scheme::Emf) };
+    let plan = GroupPlan::build(200, cfg.eps, cfg.eps0, &mut seeded(seed));
+    DapSession::new(cfg, plan, PiecewiseMechanism::new).expect("valid session")
+}
+
+/// One sequenced batch as a client would send it.
+struct Batch {
+    channel: u64,
+    seq: u64,
+    group: usize,
+    reports: Vec<f64>,
+}
+
+/// A random stream of sequenced batches across [`CHANNELS`], with
+/// per-channel sequences assigned contiguously from 1 (the send order).
+/// Groups rotate deterministically so no group's quota is ever at risk.
+fn stream(seed: u64, count: usize) -> Vec<Batch> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let groups = session(seed).group_count();
+    let mut next = [1u64; CHANNELS.len()];
+    (0..count)
+        .map(|i| {
+            let ch = rng.gen_range(0..CHANNELS.len());
+            let seq = next[ch];
+            next[ch] += 1;
+            let n = rng.gen_range(1..4usize);
+            Batch {
+                channel: CHANNELS[ch],
+                seq,
+                group: i % groups,
+                // PM output domains at these budgets contain [-1, 1].
+                reports: (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect(),
+            }
+        })
+        .collect()
+}
+
+/// The no-fault reference: the same batches applied once each, in send
+/// order, to a plain in-memory session.
+fn clean_digest(seed: u64, stream: &[Batch]) -> u64 {
+    let mut clean = session(seed);
+    for b in stream {
+        clean.ingest_batch(b.group, &b.reports).expect("clean ingest");
+    }
+    clean.content_digest()
+}
+
+type Durable = DurableSession<PiecewiseMechanism, MemoryBackend>;
+
+/// Crash the durable session (drop it mid-stream) and recover a fresh one
+/// from the surviving backend bytes.
+fn crash_and_recover(durable: Durable, seed: u64, opts: DurableOptions) -> Durable {
+    let (_, backend) = durable.into_parts();
+    DurableSession::open(session(seed), backend, opts).expect("recovery").0
+}
+
+proptest! {
+    /// Random duplicates (retries whose ack was lost), premature future
+    /// sequences (a lost predecessor), and crash+reopen points — in any
+    /// combination — finalize bit-identical to the clean run. Every
+    /// duplicate is refused typed; refused traffic never reaches the
+    /// journal.
+    #[test]
+    fn faulted_delivery_finalizes_bit_identical(
+        seed in 0u64..1_000_000,
+        count in 1usize..12,
+        dup_mask in 0u64..u64::MAX,
+        gap_mask in 0u64..u64::MAX,
+        crash_mask in 0u64..u64::MAX,
+        checkpoint_every in 0usize..3,
+    ) {
+        let plan = stream(seed, count);
+        let reference = clean_digest(seed, &plan);
+        let opts = DurableOptions { checkpoint_every, salvage: false };
+        let mut durable: Durable =
+            DurableSession::open(session(seed), MemoryBackend::new(), opts).unwrap().0;
+
+        let mut accepted = 0usize;
+        for (i, b) in plan.iter().enumerate() {
+            // A stale retransmission of the channel's previous batch
+            // (the classic lost-ack retry) must be refused typed.
+            if dup_mask >> (i % 64) & 1 == 1 {
+                if let Some(prev) = plan[..i].iter().rev().find(|p| p.channel == b.channel) {
+                    let err = durable
+                        .ingest_batch_seq(prev.channel, prev.seq, prev.group, &prev.reports)
+                        .unwrap_err();
+                    prop_assert!(matches!(err, DapError::DuplicateSequence { .. }), "{err}");
+                }
+            }
+            // A batch from the future (its predecessor was lost in
+            // flight) is refused as a typed gap and applies nothing.
+            if gap_mask >> (i % 64) & 1 == 1 {
+                let err = durable
+                    .ingest_batch_seq(b.channel, b.seq + 1, b.group, &b.reports)
+                    .unwrap_err();
+                prop_assert!(
+                    matches!(err, DapError::SequenceGap { seq, expected, .. }
+                        if seq == b.seq + 1 && expected == b.seq),
+                    "{err}"
+                );
+            }
+            // The in-order delivery itself.
+            durable.ingest_batch_seq(b.channel, b.seq, b.group, &b.reports).unwrap();
+            accepted += 1;
+            // An immediate duplicate of what was just applied (the ack
+            // raced the retry) — refused with the exact coordinates.
+            if dup_mask >> ((i + 17) % 64) & 1 == 1 {
+                let err = durable
+                    .ingest_batch_seq(b.channel, b.seq, b.group, &b.reports)
+                    .unwrap_err();
+                prop_assert!(
+                    matches!(err, DapError::DuplicateSequence { channel, seq, last }
+                        if channel == b.channel && seq == b.seq && last == b.seq),
+                    "{err}"
+                );
+            }
+            // A crash (process death) between any two batches: recovery
+            // restores both the data and the replay guard.
+            if crash_mask >> (i % 64) & 1 == 1 {
+                let before = durable.session().content_digest();
+                durable = crash_and_recover(durable, seed, opts);
+                prop_assert_eq!(durable.session().content_digest(), before);
+            }
+        }
+
+        prop_assert_eq!(durable.session().content_digest(), reference);
+        if checkpoint_every == 0 {
+            prop_assert_eq!(
+                durable.journal().records(),
+                accepted,
+                "refused traffic must cost no journal storage"
+            );
+        }
+    }
+
+    /// After a crash at any point in the stream, replaying the ENTIRE
+    /// stream from sequence 1 is safe: the recovered guard refuses
+    /// exactly the already-applied prefix (typed, per channel) and
+    /// accepts the tail — landing every report exactly once.
+    #[test]
+    fn full_stream_replay_after_a_crash_lands_each_report_once(
+        seed in 0u64..1_000_000,
+        count in 1usize..12,
+        crash_at in 0.0f64..1.0,
+        checkpoint_every in 0usize..3,
+    ) {
+        let plan = stream(seed, count);
+        let reference = clean_digest(seed, &plan);
+        let opts = DurableOptions { checkpoint_every, salvage: false };
+        let mut durable: Durable =
+            DurableSession::open(session(seed), MemoryBackend::new(), opts).unwrap().0;
+
+        // Deliver a prefix, then die.
+        let delivered = (count as f64 * crash_at) as usize;
+        for b in &plan[..delivered] {
+            durable.ingest_batch_seq(b.channel, b.seq, b.group, &b.reports).unwrap();
+        }
+        let mut durable = crash_and_recover(durable, seed, opts);
+
+        // The sender lost its cursor: it replays everything from the top.
+        for b in &plan {
+            let acked = durable.session().last_seq(b.channel).unwrap_or(0);
+            match durable.ingest_batch_seq(b.channel, b.seq, b.group, &b.reports) {
+                Ok(()) => prop_assert_eq!(b.seq, acked + 1, "only the next sequence applies"),
+                Err(DapError::DuplicateSequence { channel, seq, last }) => {
+                    prop_assert!(seq <= acked, "only the applied prefix is refused");
+                    prop_assert_eq!(channel, b.channel);
+                    prop_assert_eq!(seq, b.seq);
+                    prop_assert_eq!(last, acked);
+                }
+                Err(other) => prop_assert!(false, "unexpected rejection: {other}"),
+            }
+        }
+        prop_assert_eq!(durable.session().content_digest(), reference);
+    }
+
+    /// `last_seq` is always the correct resume point after recovery:
+    /// everything at or below it is refused, `last_seq + 1` is accepted —
+    /// the invariant the `hello-ok ... seq n` handshake hands to
+    /// reconnecting senders.
+    #[test]
+    fn last_seq_is_the_resume_point(
+        seed in 0u64..1_000_000,
+        count in 2usize..12,
+        crash_at in 0.0f64..1.0,
+    ) {
+        let plan = stream(seed, count);
+        let opts = DurableOptions::default();
+        let mut durable: Durable =
+            DurableSession::open(session(seed), MemoryBackend::new(), opts).unwrap().0;
+        let delivered = 1 + (count.saturating_sub(1) as f64 * crash_at) as usize;
+        for b in &plan[..delivered] {
+            durable.ingest_batch_seq(b.channel, b.seq, b.group, &b.reports).unwrap();
+        }
+        let mut durable = crash_and_recover(durable, seed, opts);
+
+        for &channel in &CHANNELS {
+            let Some(acked) = durable.session().last_seq(channel) else { continue };
+            // Every acknowledged sequence is refused on retry...
+            for seq in 1..=acked {
+                let err = durable.ingest_batch_seq(channel, seq, 0, &[0.5]).unwrap_err();
+                prop_assert!(
+                    matches!(err, DapError::DuplicateSequence { last, .. } if last == acked),
+                    "{err}"
+                );
+            }
+            // ...and the handshake's resume point is accepted.
+            durable.ingest_batch_seq(channel, acked + 1, 0, &[0.5]).unwrap();
+        }
+    }
+}
