@@ -51,6 +51,15 @@
 //!         --idle-timeout <ms>  close a connection whose next frame does
 //!                              not arrive in time with a typed timeout
 //!                              farewell (default 0 = wait forever)
+//!         --secagg <i>/<k>     serve share i of a k-server secret-shared
+//!                              deployment: the session runs in masked
+//!                              mode, accepts only share-batch frames, and
+//!                              neither memory nor journal ever holds a
+//!                              plaintext report
+//!         --auth-token <hex,...>  only clients whose hello carries one of
+//!                              these tokens may speak; every other frame
+//!                              is refused with the typed unauthorized
+//!                              error (connection stays open)
 //!
 //! submit: streams a simulated population to daemons (disjoint group
 //!         ownership), pulls serialized parts, merges + finalizes at the
@@ -78,6 +87,14 @@
 //!         --retry-base-ms <ms> first backoff; doubles per attempt, capped,
 //!                              with deterministic seeded jitter
 //!         --retry-seed <s>     jitter seed (default 0xdab5eed)
+//!         --secagg <k>         secret-shared submit: deal each chunk's
+//!                              bucket-count contribution as k additive
+//!                              shares, one per daemon (--addrs must list
+//!                              exactly k); pulls the k masked parts and
+//!                              reconstructs — still bit-identical to
+//!                              --local, and no daemon ever saw a report
+//!         --secagg-seed <hex>  the dealer's mask seed (default 0xda5eed11)
+//!         --auth-token <hex>   present this token in every hello
 //!         (plus the serve deployment flags above; per-daemon retry/
 //!         failover summaries are printed to stderr)
 //!
@@ -92,6 +109,14 @@
 //!         --faults <n>         faulted connections per proxy before the
 //!                              schedule runs clean      (default 6)
 //!         --kill-restart       SIGKILL + journal-restart every daemon
+//!         --secagg             run the fleet as the secret-shared tier
+//!                              (daemon i serves share i of --daemons) and
+//!                              drive the masked dealer path through the
+//!                              same faults — the bit-identity assertion
+//!                              is unchanged
+//!         --secagg-seed <hex>  dealer mask seed      (default 0xda5eed11)
+//!         --auth-token <hex>   start daemons with this allowlist token
+//!                              and present it from the coordinator
 //!         (plus the submit population/deployment/retry flags;
 //!         --timeout-ms defaults to 500 and must be nonzero here)
 //!
@@ -131,11 +156,11 @@ fn main() {
     if id == "help" || id == "--help" {
         println!("usage: experiments <id> [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale] [--out PATH] [--shard I/N [--journal DIR]] [--bench-json PATH] [--bench-repeats R]");
         println!("       experiments merge <shard.json>... [--out PATH]");
-        println!("       experiments serve --addr H:P [--mech pm|sw] [--eps E] [--eps0 E0] --users N [--plan-seed S] [--max-dout D] [--idle-timeout MS] [--journal DIR [--journal-sync] [--checkpoint-every N]]");
-        println!("       experiments submit (--addrs H:P,... | --local) [deployment flags] [--dataset D] [--gamma G] [--data-seed S] [--schemes all|LBL,..] [--timeout-ms MS] [--retry-attempts N] [--retry-budget N] [--retry-base-ms MS] [--retry-seed S] [--expect-rejection] [--shutdown] [--pull-only]");
-        println!("       experiments chaos [deployment/population flags] [--daemons N] [--chaos-seed S] [--faults N] [--kill-restart] [retry flags]");
+        println!("       experiments serve --addr H:P [--mech pm|sw] [--eps E] [--eps0 E0] --users N [--plan-seed S] [--max-dout D] [--idle-timeout MS] [--secagg I/K] [--auth-token HEX,..] [--journal DIR [--journal-sync] [--checkpoint-every N]]");
+        println!("       experiments submit (--addrs H:P,... | --local) [deployment flags] [--dataset D] [--gamma G] [--data-seed S] [--schemes all|LBL,..] [--timeout-ms MS] [--retry-attempts N] [--retry-budget N] [--retry-base-ms MS] [--retry-seed S] [--secagg K] [--secagg-seed HEX] [--auth-token HEX] [--expect-rejection] [--shutdown] [--pull-only]");
+        println!("       experiments chaos [deployment/population flags] [--daemons N] [--chaos-seed S] [--faults N] [--kill-restart] [--secagg] [--secagg-seed HEX] [--auth-token HEX] [retry flags]");
         println!("       experiments dispatch <id> --addrs H:P,... [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale] [--out PATH]");
-        println!("       experiments shutdown --addrs H:P,...");
+        println!("       experiments shutdown --addrs H:P,... [--auth-token HEX]");
         println!("ids: fig4 table1 fig5 fig6 fig7 fig8 fig9 fig10 ablation-weights ablation-split ablation-mechanism all");
         return;
     }
@@ -468,6 +493,31 @@ fn parse_deadlines(args: &[String], default_ms: u64) -> Deadlines {
     }
 }
 
+/// A token/seed value: hex with an optional `0x` prefix.
+fn parse_hex_u64(flag: &str, v: &str) -> u64 {
+    let digits = v.strip_prefix("0x").unwrap_or(v);
+    u64::from_str_radix(digits, 16)
+        .unwrap_or_else(|_| fail(&format!("invalid hex value '{v}' for flag {flag}")))
+}
+
+/// `--auth-token <hex>` → the single token a client presents.
+fn parse_auth_token(args: &[String]) -> Option<u64> {
+    match flag_value(args, "--auth-token") {
+        Ok(Some(v)) => Some(parse_hex_u64("--auth-token", &v)),
+        Ok(None) => None,
+        Err(msg) => fail(&msg),
+    }
+}
+
+/// `--secagg-seed <hex>` → the dealer's mask seed.
+fn parse_secagg_seed(args: &[String]) -> u64 {
+    match flag_value(args, "--secagg-seed") {
+        Ok(Some(v)) => parse_hex_u64("--secagg-seed", &v),
+        Ok(None) => 0xda5e_ed11,
+        Err(msg) => fail(&msg),
+    }
+}
+
 /// The population flags shared by `submit` and `chaos`.
 fn parse_submit_spec(args: &[String]) -> SubmitSpec {
     let dataset = match flag_value(args, "--dataset") {
@@ -505,6 +555,7 @@ fn parse_serve_spec(args: &[String]) -> ServeSpec {
         users,
         seed: flag_parse(args, "--plan-seed", 7),
         max_d_out: flag_parse(args, "--max-dout", 64),
+        secagg: None,
     }
 }
 
@@ -513,7 +564,7 @@ fn parse_serve_spec(args: &[String]) -> ServeSpec {
 fn serve_cmd(args: &[String]) {
     check_flags(
         args,
-        &["--addr", "--journal", "--checkpoint-every", "--idle-timeout"]
+        &["--addr", "--journal", "--checkpoint-every", "--idle-timeout", "--secagg", "--auth-token"]
             .iter()
             .chain(&DEPLOY_FLAGS)
             .copied()
@@ -535,10 +586,33 @@ fn serve_cmd(args: &[String]) {
         fail("--journal-sync needs --journal <dir>");
     }
     let idle_ms: u64 = flag_parse(args, "--idle-timeout", 0);
+    // `--auth-token a,b,...`: the daemon-side allowlist.
+    let auth_tokens: Vec<u64> = match flag_value(args, "--auth-token") {
+        Ok(Some(list)) => {
+            list.split(',').map(|t| parse_hex_u64("--auth-token", t)).collect()
+        }
+        Ok(None) => Vec::new(),
+        Err(msg) => fail(&msg),
+    };
     let options = ServeOptions {
         idle_timeout: (idle_ms != 0).then(|| Duration::from_millis(idle_ms)),
+        auth_tokens,
     };
-    let spec = parse_serve_spec(args);
+    let mut spec = parse_serve_spec(args);
+    // `--secagg i/k`: this daemon serves share i of a k-server tier.
+    spec.secagg = match flag_value(args, "--secagg") {
+        Ok(Some(v)) => {
+            let parse = |spec: &str| -> Option<dap_core::SecaggRole> {
+                let (i, k) = spec.split_once('/')?;
+                dap_core::SecaggRole::new(k.parse().ok()?, i.parse().ok()?).ok()
+            };
+            Some(parse(&v).unwrap_or_else(|| {
+                fail(&format!("invalid value '{v}' for flag --secagg (expected i/k, i < k, k ≥ 2)"))
+            }))
+        }
+        Ok(None) => None,
+        Err(msg) => fail(&msg),
+    };
     let digest = spec.state_digest().unwrap_or_else(|msg| fail(&msg));
     let listener = TcpListener::bind(&addr)
         .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
@@ -585,16 +659,35 @@ fn parse_schemes(args: &[String]) -> Vec<Scheme> {
 /// to the daemons (or runs the in-process reference under `--local`) and
 /// prints the finalized outputs with their exact bit patterns.
 fn submit_cmd(args: &[String]) {
-    let valued: Vec<&str> = ["--addrs", "--dataset", "--gamma", "--data-seed", "--schemes"]
-        .iter()
-        .chain(&DEPLOY_FLAGS)
-        .chain(&RETRY_FLAGS)
-        .copied()
-        .collect();
+    let valued: Vec<&str> = [
+        "--addrs",
+        "--dataset",
+        "--gamma",
+        "--data-seed",
+        "--schemes",
+        "--secagg",
+        "--secagg-seed",
+        "--auth-token",
+    ]
+    .iter()
+    .chain(&DEPLOY_FLAGS)
+    .chain(&RETRY_FLAGS)
+    .copied()
+    .collect();
     check_flags(args, &valued, &["--local", "--expect-rejection", "--shutdown", "--pull-only"]);
     let spec = parse_submit_spec(args);
     let schemes = parse_schemes(args);
     let local = args.iter().any(|a| a == "--local");
+    let secagg: Option<usize> = match flag_value(args, "--secagg") {
+        Ok(Some(v)) => Some(v.parse().unwrap_or_else(|_| {
+            fail(&format!("invalid value '{v}' for flag --secagg (expected the share count k)"))
+        })),
+        Ok(None) => None,
+        Err(msg) => fail(&msg),
+    };
+    if local && secagg.is_some() {
+        fail("--secagg needs --addrs: the --local reference is the plaintext in-process run");
+    }
 
     // The header (and everything on stdout) is identical between a served
     // run and the `--local` reference — CI byte-diffs the two.
@@ -613,6 +706,9 @@ fn submit_cmd(args: &[String]) {
             pull_only: args.iter().any(|a| a == "--pull-only"),
             retry: parse_retry(args),
             deadlines: parse_deadlines(args, 0),
+            secagg,
+            secagg_seed: parse_secagg_seed(args),
+            auth_token: parse_auth_token(args),
         };
         let outcome = spec.submit(&addrs, &schemes, opts).unwrap_or_else(|msg| fail(&msg));
         for daemon in &outcome.daemons {
@@ -633,14 +729,23 @@ fn submit_cmd(args: &[String]) {
 /// stdout is byte-identical to `submit --local`; the fault/retry evidence
 /// goes to stderr.
 fn chaos_cmd(args: &[String]) {
-    let valued: Vec<&str> =
-        ["--dataset", "--gamma", "--data-seed", "--schemes", "--daemons", "--chaos-seed", "--faults"]
-            .iter()
-            .chain(&DEPLOY_FLAGS)
-            .chain(&RETRY_FLAGS)
-            .copied()
-            .collect();
-    check_flags(args, &valued, &["--kill-restart"]);
+    let valued: Vec<&str> = [
+        "--dataset",
+        "--gamma",
+        "--data-seed",
+        "--schemes",
+        "--daemons",
+        "--chaos-seed",
+        "--faults",
+        "--secagg-seed",
+        "--auth-token",
+    ]
+    .iter()
+    .chain(&DEPLOY_FLAGS)
+    .chain(&RETRY_FLAGS)
+    .copied()
+    .collect();
+    check_flags(args, &valued, &["--kill-restart", "--secagg"]);
     let spec = ChaosSpec {
         submit: parse_submit_spec(args),
         daemons: flag_parse(args, "--daemons", 2),
@@ -651,6 +756,9 @@ fn chaos_cmd(args: &[String]) {
         // A chaos run must bound its reads: stall faults would otherwise
         // park the coordinator forever, so 0 is not accepted here.
         deadlines: parse_deadlines(args, 500),
+        secagg: args.iter().any(|a| a == "--secagg"),
+        secagg_seed: parse_secagg_seed(args),
+        auth_token: parse_auth_token(args),
     };
     if spec.deadlines.read.is_none() {
         fail("chaos needs a nonzero --timeout-ms (stall faults never send bytes)");
@@ -718,16 +826,24 @@ fn dispatch_cmd(args: &[String]) {
 
 /// `experiments shutdown --addrs a,b,...`: stops running daemons.
 fn shutdown_cmd(args: &[String]) {
-    check_flags(args, &["--addrs"], &[]);
+    check_flags(args, &["--addrs", "--auth-token"], &[]);
     let addrs: Vec<String> = match flag_value(args, "--addrs") {
         Ok(Some(list)) => list.split(',').map(str::to_string).collect(),
         Ok(None) => fail("shutdown needs --addrs <a,b,...>"),
         Err(msg) => fail(&msg),
     };
+    let auth_token = parse_auth_token(args);
     for addr in &addrs {
         let mut client =
             dap_core::net::WireClient::connect_retry(addr, 20, std::time::Duration::from_millis(100))
                 .unwrap_or_else(|e| fail(&format!("cannot reach daemon {addr}: {e}")));
+        if auth_token.is_some() {
+            // An allowlisted daemon authenticates connections on their
+            // hello; the digest-mismatch reply (we don't know the
+            // deployment here) is irrelevant — the token is what counts.
+            client.set_auth(auth_token);
+            let _ = client.hello(0);
+        }
         client.shutdown().unwrap_or_else(|e| fail(&format!("{addr}: {e}")));
         eprintln!("[stopped {addr}]");
     }

@@ -20,7 +20,7 @@
 
 use crate::serve::{DaemonSummary, ServeSpec, SubmitOptions, SubmitSpec};
 use dap_core::net::{Deadlines, RetryPolicy, WireClient};
-use dap_core::{ChaosProxy, ChaosSchedule, DapOutput, Scheme};
+use dap_core::{ChaosProxy, ChaosSchedule, DapOutput, Scheme, SecaggRole};
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -48,6 +48,17 @@ pub struct ChaosSpec {
     /// Socket deadlines — chaos runs must bound reads, or a stalled
     /// connection parks the coordinator forever.
     pub deadlines: Deadlines,
+    /// Run the fleet as the secret-shared tier: daemon `i` serves share
+    /// `i` of `daemons`, the coordinator deals masked share batches, and
+    /// the bit-identity assertion runs against the same plaintext local
+    /// reference — proving the masked path changes nothing but trust.
+    pub secagg: bool,
+    /// Mask seed of the dealer's splitter (secagg drills only).
+    pub secagg_seed: u64,
+    /// Auth token: daemons start with it as their allowlist and the
+    /// coordinator presents it on every hello — drilling the
+    /// authenticated path under faults.
+    pub auth_token: Option<u64>,
 }
 
 /// What a chaos drill observed (the outputs are already verified
@@ -73,29 +84,45 @@ impl DaemonProc {
     /// Re-executes the current binary as `serve --journal <dir> --addr
     /// 127.0.0.1:0 ...`, forwards its stderr with a `[daemon i]` prefix,
     /// and returns once the `[dapd listening on ...]` line names the port.
-    fn spawn(serve: &ServeSpec, dir: &Path, index: usize) -> Result<DaemonProc, String> {
+    fn spawn(
+        serve: &ServeSpec,
+        dir: &Path,
+        index: usize,
+        auth_token: Option<u64>,
+    ) -> Result<DaemonProc, String> {
         let exe = std::env::current_exe()
             .map_err(|e| format!("cannot locate the experiments binary: {e}"))?;
+        let mut args: Vec<String> = [
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--journal",
+            &dir.display().to_string(),
+            "--mech",
+            serve.mech.name(),
+            "--eps",
+            &serve.eps.to_string(),
+            "--eps0",
+            &serve.eps0.to_string(),
+            "--users",
+            &serve.users.to_string(),
+            "--plan-seed",
+            &serve.seed.to_string(),
+            "--max-dout",
+            &serve.max_d_out.to_string(),
+        ]
+        .map(String::from)
+        .to_vec();
+        if let Some(role) = serve.secagg {
+            args.push("--secagg".into());
+            args.push(format!("{}/{}", role.index, role.k));
+        }
+        if let Some(token) = auth_token {
+            args.push("--auth-token".into());
+            args.push(format!("{token:#x}"));
+        }
         let mut child = Command::new(&exe)
-            .args([
-                "serve",
-                "--addr",
-                "127.0.0.1:0",
-                "--journal",
-                &dir.display().to_string(),
-                "--mech",
-                serve.mech.name(),
-                "--eps",
-                &serve.eps.to_string(),
-                "--eps0",
-                &serve.eps0.to_string(),
-                "--users",
-                &serve.users.to_string(),
-                "--plan-seed",
-                &serve.seed.to_string(),
-                "--max-dout",
-                &serve.max_d_out.to_string(),
-            ])
+            .args(&args)
             .stdout(Stdio::null())
             .stderr(Stdio::piped())
             .spawn()
@@ -153,7 +180,18 @@ pub fn run_chaos(spec: &ChaosSpec, schemes: &[Scheme]) -> Result<ChaosReport, St
     if spec.daemons == 0 {
         return Err("chaos needs at least one daemon".into());
     }
+    if spec.secagg && spec.daemons < 2 {
+        return Err("a secagg drill needs at least 2 daemons (one per share)".into());
+    }
     let reference = spec.submit.run_local(schemes)?;
+    // Daemon `i` of a secagg drill serves share `i`; plaintext drills run
+    // the identical spec on every daemon.
+    let daemon_spec = |i: usize| ServeSpec {
+        secagg: spec
+            .secagg
+            .then_some(SecaggRole { k: spec.daemons, index: i }),
+        ..spec.submit.serve
+    };
 
     let base: PathBuf =
         std::env::temp_dir().join(format!("dap-chaos-{}", std::process::id()));
@@ -165,7 +203,7 @@ pub fn run_chaos(spec: &ChaosSpec, schemes: &[Scheme]) -> Result<ChaosReport, St
     let mut proxies = Vec::with_capacity(spec.daemons);
     for i in 0..spec.daemons {
         let dir = base.join(format!("daemon-{i}"));
-        let proc = DaemonProc::spawn(&spec.submit.serve, &dir, i)?;
+        let proc = DaemonProc::spawn(&daemon_spec(i), &dir, i, spec.auth_token)?;
         let schedule = ChaosSchedule::seeded(spec.seed.wrapping_add(i as u64), spec.faults);
         let proxy = ChaosProxy::start(&proc.addr, schedule)
             .map_err(|e| format!("cannot start proxy {i}: {e}"))?;
@@ -187,6 +225,9 @@ pub fn run_chaos(spec: &ChaosSpec, schemes: &[Scheme]) -> Result<ChaosReport, St
     let opts = SubmitOptions {
         retry: spec.retry,
         deadlines: spec.deadlines,
+        secagg: spec.secagg.then_some(spec.daemons),
+        secagg_seed: spec.secagg_seed,
+        auth_token: spec.auth_token,
         ..SubmitOptions::default()
     };
     let outcome = std::thread::scope(|scope| {
@@ -195,7 +236,8 @@ pub fn run_chaos(spec: &ChaosSpec, schemes: &[Scheme]) -> Result<ChaosReport, St
             for i in 0..spec.daemons {
                 let procs = &procs;
                 let proxies = &proxies;
-                let serve = spec.submit.serve;
+                let serve = daemon_spec(i);
+                let auth_token = spec.auth_token;
                 let dir = base.join(format!("daemon-{i}"));
                 watchdogs.push(scope.spawn(move || {
                     std::thread::sleep(Duration::from_millis(200 + 350 * i as u64));
@@ -205,7 +247,7 @@ pub fn run_chaos(spec: &ChaosSpec, schemes: &[Scheme]) -> Result<ChaosReport, St
                         let _ = procs[i].child.wait();
                     }
                     eprintln!("[chaos: daemon {i} SIGKILLed; restarting on its journal]");
-                    match DaemonProc::spawn(&serve, &dir, i) {
+                    match DaemonProc::spawn(&serve, &dir, i, auth_token) {
                         Ok(fresh) => {
                             proxies[i].set_upstream(&fresh.addr);
                             eprintln!("[chaos: daemon {i} restarted at {}]", fresh.addr);
@@ -227,10 +269,17 @@ pub fn run_chaos(spec: &ChaosSpec, schemes: &[Scheme]) -> Result<ChaosReport, St
     // leaves no stray daemons behind.
     let proxy_stats: Vec<(usize, usize)> =
         proxies.iter().map(|p| (p.connections(), p.faults_injected())).collect();
+    let digest = spec.submit.serve.state_digest().unwrap_or(0);
     for (i, proc) in lock(&procs).iter_mut().enumerate() {
         let stopped = WireClient::connect_retry(&proc.addr, 5, Duration::from_millis(50))
             .ok()
-            .and_then(|mut c| c.shutdown().ok())
+            .and_then(|mut c| {
+                // An authenticated hello first: shutdown is refused on an
+                // unauthenticated connection when an allowlist is set.
+                c.set_auth(spec.auth_token);
+                let _ = c.hello(digest);
+                c.shutdown().ok()
+            })
             .is_some();
         if !stopped {
             let _ = proc.child.kill();

@@ -32,12 +32,14 @@ use crate::outln;
 use dap_attack::{Anchor, Attack, UniformAttack};
 use dap_core::codec::Fnv;
 use dap_core::net::{
-    serve_session_with, Deadlines, Frame, RetryPolicy, ServeOptions, ShardRequest, WireClient,
-    WireError,
+    serve_session_with, Deadlines, Frame, RetryPolicy, ServeOptions, ShardRequest,
+    StatusCounters, WireClient, WireError,
 };
+use dap_core::secagg::reconstruct;
 use dap_core::storage::{DurableOptions, DurableSession, FileBackend, Recovery};
 use dap_core::{
-    Dap, DapConfig, DapError, DapOutput, DapSession, GroupPlan, Scheme, SwDapConfig,
+    Dap, DapConfig, DapError, DapOutput, DapSession, GroupPlan, MaskedGroup, MaskedPart,
+    PartGroup, Scheme, SecaggRole, SessionPart, ShareSplitter, SwDapConfig,
 };
 use dap_datasets::Dataset;
 use dap_estimation::rng::seeded;
@@ -99,6 +101,11 @@ pub struct ServeSpec {
     pub seed: u64,
     /// EMF bucket cap.
     pub max_d_out: usize,
+    /// `Some(role)` runs the daemon as one of `role.k` share servers in
+    /// the secret-shared tier (`serve --secagg i/k`): the session is built
+    /// in masked mode, accepts only `share-batch` frames, and its journal
+    /// holds only masked words. `None` is the single-aggregator tier.
+    pub secagg: Option<SecaggRole>,
 }
 
 impl ServeSpec {
@@ -125,11 +132,24 @@ impl ServeSpec {
     }
 
     fn pm_session(&self) -> Result<DapSession<PiecewiseMechanism>, DapError> {
-        DapSession::new(self.session_config(), self.plan(), PiecewiseMechanism::new)
+        match self.secagg {
+            Some(role) => DapSession::new_masked(
+                self.session_config(),
+                self.plan(),
+                PiecewiseMechanism::new,
+                role,
+            ),
+            None => DapSession::new(self.session_config(), self.plan(), PiecewiseMechanism::new),
+        }
     }
 
     fn sw_session(&self) -> Result<DapSession<SquareWave>, DapError> {
-        DapSession::new(self.session_config(), self.plan(), SquareWave::new)
+        match self.secagg {
+            Some(role) => {
+                DapSession::new_masked(self.session_config(), self.plan(), SquareWave::new, role)
+            }
+            None => DapSession::new(self.session_config(), self.plan(), SquareWave::new),
+        }
     }
 
     /// The deployment's compatibility digest (what `hello` exchanges).
@@ -285,6 +305,18 @@ pub struct SubmitOptions {
     /// `None` bounds (the default) wait forever — chaos runs always set
     /// them, because a stalled connection is otherwise unrecoverable.
     pub deadlines: Deadlines,
+    /// `Some(k)` runs the secret-shared tier (`submit --secagg k`): the
+    /// coordinator acts as the dealer, splitting every report chunk's
+    /// bucket-count contribution into `k` additive shares, one per daemon
+    /// (so `addrs.len()` must equal `k`). No daemon ever receives a
+    /// plaintext report; the finalized outputs are still bit-identical to
+    /// [`SubmitSpec::run_local`].
+    pub secagg: Option<usize>,
+    /// Mask seed of the dealer's [`ShareSplitter`] (secagg runs only).
+    pub secagg_seed: u64,
+    /// Authentication token presented in every `hello` (`--auth-token`);
+    /// required when the daemons were started with an allowlist.
+    pub auth_token: Option<u64>,
 }
 
 /// Per-daemon observability of one [`SubmitSpec::submit`] run: what was
@@ -308,10 +340,14 @@ pub struct DaemonSummary {
     pub duplicates: usize,
     /// The daemon died after streaming completed, and its groups were
     /// rebuilt into the coordinator's session from the local precomputed
-    /// reports instead of a pulled part.
+    /// reports instead of a pulled part (secagg runs: its full intended
+    /// share was re-derived from the mask seed instead of pulled).
     pub rebuilt_locally: bool,
     /// The typed error that exhausted the daemon's retries, if it died.
     pub dead: Option<String>,
+    /// The daemon's observability counters (`status` frame), captured
+    /// after its part was pulled. `None` if the daemon died first.
+    pub counters: Option<StatusCounters>,
 }
 
 impl DaemonSummary {
@@ -319,7 +355,7 @@ impl DaemonSummary {
     /// daemon).
     pub fn render(&self) -> String {
         format!(
-            "daemon {}: groups {:?}, {} retries ({} timeouts), {} reconnects, {} dup-acks{}{}",
+            "daemon {}: groups {:?}, {} retries ({} timeouts), {} reconnects, {} dup-acks{}{}{}",
             self.addr,
             self.groups,
             self.retries,
@@ -328,6 +364,18 @@ impl DaemonSummary {
             self.duplicates,
             if self.rebuilt_locally { ", part rebuilt locally" } else { "" },
             self.dead.as_deref().map(|e| format!(", DEAD: {e}")).unwrap_or_default(),
+            self.counters
+                .map(|c| {
+                    format!(
+                        ", status{}: {} channels, {} share-batches, {} journaled, {} checkpoints",
+                        if c.masked { "[masked]" } else { "" },
+                        c.channels,
+                        c.shares,
+                        c.journal_records,
+                        c.checkpoints,
+                    )
+                })
+                .unwrap_or_default(),
         )
     }
 }
@@ -360,6 +408,12 @@ struct RetryCtx {
     policy: RetryPolicy,
     deadlines: Deadlines,
     budget: usize,
+    /// Auth token presented on every handshake (and reconnect).
+    auth: Option<u64>,
+    /// The dealer's seed commitment — `Some` switches every handshake to
+    /// the masked variant, which announces (and re-announces, after a
+    /// daemon restart) the commitment.
+    commit: Option<u64>,
 }
 
 /// Coordinator-side state for one daemon connection.
@@ -376,10 +430,14 @@ struct Daemon {
     /// Whether a connection ever succeeded (distinguishes a reconnect
     /// from the initial connect in the summary).
     connected_once: bool,
+    /// The `(k, index)` share role this daemon must advertise in its
+    /// masked hello — a wrong or missing role is a deployment error, not
+    /// something retries can fix. `None` for plaintext runs.
+    expect_secagg: Option<(usize, usize)>,
 }
 
 impl Daemon {
-    fn new(addr: &str, channel: u64) -> Daemon {
+    fn new(addr: &str, channel: u64, expect_secagg: Option<(usize, usize)>) -> Daemon {
         Daemon {
             summary: DaemonSummary { addr: addr.to_string(), ..DaemonSummary::default() },
             client: None,
@@ -387,6 +445,7 @@ impl Daemon {
             next_seq: 1,
             acked: 0,
             connected_once: false,
+            expect_secagg,
         }
     }
 
@@ -421,7 +480,24 @@ impl Daemon {
                             &ctx.deadlines,
                         )?
                     };
-                    let (_, last) = c.hello_channel(ctx.digest, self.channel)?;
+                    c.set_auth(ctx.auth);
+                    let last = match ctx.commit {
+                        Some(commit) => {
+                            let (_, last, secagg) =
+                                c.hello_masked(ctx.digest, Some(self.channel), commit)?;
+                            if secagg != self.expect_secagg {
+                                return Err(WireError::Failed {
+                                    message: format!(
+                                        "daemon advertises secagg role {secagg:?}, dealer \
+                                         expects {:?}",
+                                        self.expect_secagg
+                                    ),
+                                });
+                            }
+                            last
+                        }
+                        None => c.hello_channel(ctx.digest, self.channel)?.1,
+                    };
                     if self.connected_once {
                         self.summary.reconnects += 1;
                     }
@@ -486,6 +562,52 @@ impl Daemon {
         self.next_seq = seq + 1;
         self.acked = self.acked.max(seq);
         Ok(())
+    }
+
+    /// [`Daemon::send_chunk`] for the secret-shared tier: one sequenced
+    /// share batch (masked `u64` words, never reports) with the same
+    /// retry-ambiguity absorption — a reconnect handshake or a typed
+    /// duplicate rejection proves the share applied exactly once.
+    fn send_shares(
+        &mut self,
+        ctx: &mut RetryCtx,
+        group: usize,
+        share: &[u64],
+    ) -> Result<(), OpError> {
+        let seq = self.next_seq;
+        let channel = self.channel;
+        let mut dedup = false;
+        let sent = self.retrying(ctx, |client, acked| {
+            if acked >= seq {
+                dedup = true;
+                return Ok(());
+            }
+            match client.ingest_shares(channel, seq, group, share) {
+                Err(WireError::Rejected(DapError::DuplicateSequence { .. })) => {
+                    dedup = true;
+                    Ok(())
+                }
+                r => r,
+            }
+        });
+        if dedup {
+            self.summary.duplicates += 1;
+        }
+        sent?;
+        self.next_seq = seq + 1;
+        self.acked = self.acked.max(seq);
+        Ok(())
+    }
+
+    /// Best-effort capture of the daemon's observability counters into
+    /// its summary (run after the pull; a daemon that cannot answer keeps
+    /// `counters: None`).
+    fn capture_counters(&mut self) {
+        if let Some(c) = self.client.as_mut() {
+            if let Ok((_, _, _, counters)) = c.status_counters() {
+                self.summary.counters = counters;
+            }
+        }
     }
 }
 
@@ -569,6 +691,30 @@ impl SubmitSpec {
         if addrs.is_empty() {
             return Err("need at least one daemon address".into());
         }
+        if let Some(k) = opts.secagg {
+            if k < 2 {
+                return Err(format!("--secagg needs at least 2 share servers, got {k}"));
+            }
+            if addrs.len() != k {
+                return Err(format!(
+                    "--secagg {k} needs exactly {k} daemon addresses (one per share), got {}",
+                    addrs.len()
+                ));
+            }
+            if opts.pull_only {
+                return Err(
+                    "--pull-only cannot be combined with --secagg: the dealer's local \
+                     chunks are required to finalize (report sums are not secret-shared)"
+                        .into(),
+                );
+            }
+            return match self.serve.mech {
+                WireMech::Pm => {
+                    self.submit_masked_with(PiecewiseMechanism::new, addrs, schemes, opts, k)
+                }
+                WireMech::Sw => self.submit_masked_with(SquareWave::new, addrs, schemes, opts, k),
+            };
+        }
         match self.serve.mech {
             WireMech::Pm => self.submit_with(PiecewiseMechanism::new, addrs, schemes, opts),
             WireMech::Sw => self.submit_with(SquareWave::new, addrs, schemes, opts),
@@ -612,11 +758,13 @@ impl SubmitSpec {
             policy: opts.retry,
             deadlines: opts.deadlines,
             budget: opts.retry.budget,
+            auth: opts.auth_token,
+            commit: None,
         };
         let mut daemons: Vec<Daemon> = addrs
             .iter()
             .enumerate()
-            .map(|(i, addr)| Daemon::new(addr, channel_id(self, i)))
+            .map(|(i, addr)| Daemon::new(addr, channel_id(self, i), None))
             .collect();
 
         // Handshake every daemon. A daemon that cannot be reached within
@@ -718,6 +866,7 @@ impl SubmitSpec {
             match daemon.retrying(&mut ctx, |c, _| c.pull_part()) {
                 Ok(part) => {
                     session.merge_part(&part).map_err(|e| e.to_string())?;
+                    daemon.capture_counters();
                     if opts.shutdown {
                         if let Some(c) = daemon.client.as_mut() {
                             c.shutdown().map_err(|e| e.to_string())?;
@@ -749,6 +898,240 @@ impl SubmitSpec {
 
         for (g, &o) in owner.iter().enumerate() {
             daemons[o].summary.groups.push(g);
+        }
+        let outputs = session.finalize(schemes).map_err(|e| e.to_string())?;
+        Ok(SubmitOutcome {
+            outputs,
+            rejection,
+            daemons: daemons.into_iter().map(|d| d.summary).collect(),
+        })
+    }
+
+    /// The secret-shared coordinator: acts as the dealer of the
+    /// [`dap_core::secagg`] tier. Every report chunk is reduced to its
+    /// per-group bucket-count contribution, split into `k` additive
+    /// shares, and fanned out — daemon `j` receives share `j` of *every*
+    /// chunk and nothing else, so no daemon (nor its journal) ever holds
+    /// a plaintext report. The pull phase collects the `k` masked parts,
+    /// wrapping-sums them (the masks cancel exactly), and merges the
+    /// reconstructed integer histogram — together with the report sums
+    /// replayed locally from the dealer's retained chunks, in the same
+    /// per-report order — into a fresh plain session. Finalization is
+    /// therefore **bit-identical** to [`SubmitSpec::run_local`].
+    ///
+    /// A daemon that dies is handled by seed reveal: its full intended
+    /// share is re-derived from the mask seed ([`ShareSplitter::share_for`])
+    /// and combined with the surviving quorum's parts, so one (or more)
+    /// lost share servers degrade the run without changing a single
+    /// output bit.
+    fn submit_masked_with<M, F>(
+        &self,
+        factory: F,
+        addrs: &[String],
+        schemes: &[Scheme],
+        opts: SubmitOptions,
+        k: usize,
+    ) -> Result<SubmitOutcome, String>
+    where
+        M: NumericMechanism + Sync,
+        F: Fn(Epsilon) -> M,
+    {
+        let cfg = self.serve.session_config();
+        let mut rng = seeded(self.serve.seed);
+        let plan = GroupPlan::build(self.serve.users, cfg.eps, cfg.eps0, &mut rng);
+        let mut session = DapSession::new(cfg, plan, &factory).map_err(|e| e.to_string())?;
+        let digest = session.state_digest();
+        let groups = session.group_count();
+        let group_chunks = self.build_chunks(&factory, &session, &mut rng)?;
+
+        // Reduce every chunk to its integer bucket-count contribution —
+        // the only thing that leaves the dealer, and only ever masked.
+        let mut contributions: Vec<Vec<Vec<u64>>> = Vec::with_capacity(groups);
+        for (g, chunks) in group_chunks.iter().enumerate() {
+            let resolution = session.histogram(g).counts.len();
+            let mut per_chunk = Vec::with_capacity(chunks.len());
+            for chunk in chunks {
+                let mut counts = vec![0u64; resolution];
+                for &r in chunk {
+                    counts[session.bucket_of(g, r).map_err(|e| e.to_string())?] += 1;
+                }
+                per_chunk.push(counts);
+            }
+            contributions.push(per_chunk);
+        }
+
+        let splitter = ShareSplitter::new(k, opts.secagg_seed).map_err(|e| e.to_string())?;
+        let commitment = splitter.commitment().digest();
+
+        let mut ctx = RetryCtx {
+            digest,
+            policy: opts.retry,
+            deadlines: opts.deadlines,
+            budget: opts.retry.budget,
+            auth: opts.auth_token,
+            commit: Some(commitment),
+        };
+        let mut daemons: Vec<Daemon> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| Daemon::new(addr, channel_id(self, i), Some((k, i))))
+            .collect();
+
+        // Handshake: verifies the deployment digest, announces the seed
+        // commitment and checks each daemon serves the share index the
+        // dealer will address it with. A dead daemon is tolerated — its
+        // share is re-derived at pull time.
+        for d in &mut daemons {
+            match d.retrying(&mut ctx, |_, _| Ok(())) {
+                Ok(()) => {}
+                Err(OpError::Fatal(e)) => return Err(e),
+                Err(OpError::Dead(e)) => d.summary.dead = Some(e),
+            }
+        }
+
+        // Stream shares in deterministic group-major chunk order. Unlike
+        // the plaintext tier there is no group failover: share `j` is
+        // meaningful only to daemon `j`, so a dead daemon is simply
+        // skipped (its partial state is never pulled; seed reveal
+        // replaces it wholesale).
+        for (g, chunks) in contributions.iter().enumerate() {
+            for (c, counts) in chunks.iter().enumerate() {
+                let shares = splitter.split(g as u64, c as u64, counts);
+                for (j, share) in shares.iter().enumerate() {
+                    if daemons[j].is_dead() {
+                        continue;
+                    }
+                    match daemons[j].send_shares(&mut ctx, g, share) {
+                        Ok(()) => {}
+                        Err(OpError::Fatal(e)) => return Err(e),
+                        Err(OpError::Dead(e)) => daemons[j].summary.dead = Some(e),
+                    }
+                }
+            }
+        }
+        if daemons.iter().all(|d| d.is_dead()) {
+            return Err(all_dead_error(&daemons));
+        }
+
+        // The masked analogue of the quota probe: a share server must
+        // refuse a *plaintext* report with the typed mode rejection —
+        // the wire-observable "no daemon accepts a report" check.
+        let rejection = if opts.probe_rejection {
+            let d = daemons
+                .iter_mut()
+                .find(|d| !d.is_dead())
+                .expect("at least one live daemon (checked above)");
+            d.retrying(&mut ctx, |_, _| Ok(())).map_err(|e| match e {
+                OpError::Dead(e) | OpError::Fatal(e) => {
+                    format!("rejection probe could not connect: {e}")
+                }
+            })?;
+            match d.client.as_mut().expect("connected").ingest(0, 0.0) {
+                Err(e @ WireError::Rejected(DapError::ModeMismatch { masked: true })) => Some(e),
+                Err(other) => {
+                    return Err(format!("rejection probe hit an unexpected error: {other}"))
+                }
+                Ok(()) => {
+                    return Err(
+                        "rejection probe was accepted — a share server took a plaintext \
+                         report"
+                            .into(),
+                    )
+                }
+            }
+        } else {
+            None
+        };
+
+        // Pull the masked parts. A daemon lost here (or earlier) has its
+        // full intended share re-derived from the mask seed: summing over
+        // every retained contribution reproduces exactly what the daemon
+        // would have accumulated, masks included.
+        let mut parts: Vec<MaskedPart> = Vec::with_capacity(k);
+        for daemon in daemons.iter_mut() {
+            if daemon.is_dead() {
+                continue;
+            }
+            match daemon.retrying(&mut ctx, |c, _| c.pull_masked()) {
+                Ok(part) => {
+                    daemon.capture_counters();
+                    if opts.shutdown {
+                        if let Some(c) = daemon.client.as_mut() {
+                            c.shutdown().map_err(|e| e.to_string())?;
+                        }
+                    }
+                    parts.push(part);
+                }
+                Err(OpError::Fatal(e)) => return Err(e),
+                Err(OpError::Dead(e)) => {
+                    daemon.summary.dead = Some(e);
+                }
+            }
+        }
+        if parts.is_empty() {
+            return Err(all_dead_error(&daemons));
+        }
+        for (j, daemon) in daemons.iter_mut().enumerate() {
+            if !daemon.is_dead() {
+                continue;
+            }
+            daemon.summary.rebuilt_locally = true;
+            let mut masked: Vec<MaskedGroup> = (0..groups)
+                .map(|g| MaskedGroup { counts: vec![0u64; session.histogram(g).counts.len()] })
+                .collect();
+            for (g, chunks) in contributions.iter().enumerate() {
+                for (c, counts) in chunks.iter().enumerate() {
+                    let share = splitter.share_for(j, g as u64, c as u64, counts);
+                    for (t, &w) in masked[g].counts.iter_mut().zip(&share) {
+                        *t = t.wrapping_add(w);
+                    }
+                }
+            }
+            parts.push(MaskedPart {
+                digest,
+                k,
+                index: j,
+                commitment,
+                groups: masked,
+                channels: Vec::new(),
+            });
+        }
+
+        // Wrapping-sum the complete share group: the masks cancel and the
+        // true integer histograms emerge. The report tally must agree
+        // with what the dealer streamed — a mismatch means a share was
+        // lost or double-applied, and is a named failure, never silent.
+        let totals = reconstruct(&parts).map_err(|e| e.to_string())?;
+        let mut part_groups = Vec::with_capacity(groups);
+        for (g, counts) in totals.iter().enumerate() {
+            let mut sum_reports = 0.0f64;
+            let mut n_reports = 0usize;
+            for chunk in &group_chunks[g] {
+                for &r in chunk {
+                    sum_reports += r;
+                    n_reports += 1;
+                }
+            }
+            let reconstructed: u64 = counts.iter().sum();
+            if reconstructed != n_reports as u64 {
+                return Err(format!(
+                    "secagg reconstruction mismatch in group {g}: {reconstructed} \
+                     reconstructed reports vs {n_reports} streamed"
+                ));
+            }
+            part_groups.push(PartGroup {
+                counts: counts.iter().map(|&c| c as f64).collect(),
+                sum_reports,
+                n_reports,
+            });
+        }
+        session
+            .merge_part(&SessionPart { digest, groups: part_groups, channels: Vec::new() })
+            .map_err(|e| e.to_string())?;
+
+        // Every daemon held a share of every group.
+        for daemon in daemons.iter_mut() {
+            daemon.summary.groups = (0..groups).collect();
         }
         let outputs = session.finalize(schemes).map_err(|e| e.to_string())?;
         Ok(SubmitOutcome {
@@ -1068,11 +1451,20 @@ mod tests {
             users: 200,
             seed: 5,
             max_d_out: 16,
+            secagg: None,
         };
         assert_eq!(spec.state_digest().unwrap(), spec.state_digest().unwrap());
         let other_seed = ServeSpec { seed: 6, ..spec };
         assert_ne!(spec.state_digest().unwrap(), other_seed.state_digest().unwrap());
         let sw = ServeSpec { mech: WireMech::Sw, ..spec };
         assert_ne!(spec.state_digest().unwrap(), sw.state_digest().unwrap());
+        // The masked twin of a deployment shares its hello digest — what
+        // lets the dealer handshake share servers with the same digest it
+        // uses locally.
+        let masked = ServeSpec {
+            secagg: Some(dap_core::SecaggRole { k: 3, index: 1 }),
+            ..spec
+        };
+        assert_eq!(spec.state_digest().unwrap(), masked.state_digest().unwrap());
     }
 }

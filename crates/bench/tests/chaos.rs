@@ -24,6 +24,7 @@ fn spec() -> SubmitSpec {
             users: 400,
             seed: 11,
             max_d_out: 16,
+            secagg: None,
         },
         dataset: Dataset::Taxi,
         gamma: 0.2,
@@ -301,4 +302,83 @@ fn every_daemon_dead_is_a_typed_failure_not_divergence() {
     assert!(err.contains("DEAD"), "the error must carry the daemon summary: {err}");
 
     shutdown_daemon(&addr, handle);
+}
+
+#[test]
+fn secagg_fleet_survives_faults_and_a_journaled_restart() {
+    // The masked tier under fire: both share servers are journaled, sit
+    // behind seeded fault proxies, and share server 0 is stopped and
+    // restarted on its journal mid-submit. The reconnect handshake must
+    // re-announce the dealer's seed commitment, the replay guard must
+    // dedup re-sent share batches, and the finalized outputs must still
+    // be bit-identical to the plaintext local reference.
+    use dap_core::SecaggRole;
+    let spec = spec();
+    let local = render_outputs(&Scheme::ALL, &spec.run_local(&Scheme::ALL).expect("reference"));
+    let base: PathBuf =
+        std::env::temp_dir().join(format!("dap-chaos-secagg-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    const K: usize = 2;
+    let serve = spec.serve;
+    let spawn_durable = |i: usize| {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let serve = ServeSpec { secagg: Some(SecaggRole { k: K, index: i }), ..serve };
+        let dir = base.join(format!("daemon-{i}"));
+        let handle = std::thread::spawn(move || {
+            serve.serve_durable(listener, &dir, 0, false).expect("durable masked daemon")
+        });
+        (addr, handle)
+    };
+
+    let (addr0, handle0) = spawn_durable(0);
+    let (addr1, handle1) = spawn_durable(1);
+    let proxy0 = ChaosProxy::start(addr0.clone(), ChaosSchedule::seeded(41, 4))
+        .expect("proxy starts");
+    let proxy1 = ChaosProxy::start(addr1.clone(), ChaosSchedule::seeded(42, 4))
+        .expect("proxy starts");
+
+    let restarted = std::thread::scope(|scope| {
+        let wd = {
+            let direct = addr0.clone();
+            let proxy0 = &proxy0;
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(100));
+                let mut c = WireClient::connect_retry(&direct, 20, Duration::from_millis(10))
+                    .expect("share server reachable for the stop");
+                c.shutdown().expect("shutdown accepted");
+                let (fresh_addr, fresh_handle) = spawn_durable(0);
+                proxy0.set_upstream(&fresh_addr);
+                (fresh_addr, fresh_handle)
+            })
+        };
+        let opts = SubmitOptions {
+            secagg: Some(K),
+            retry: RetryPolicy {
+                attempts: 10,
+                base: Duration::from_millis(20),
+                ..RetryPolicy::default()
+            },
+            deadlines: Deadlines::all(Duration::from_millis(500)),
+            ..SubmitOptions::default()
+        };
+        let outcome = spec
+            .submit(&[proxy0.addr(), proxy1.addr()], &Scheme::ALL, opts)
+            .expect("masked submit across faults and the restart");
+        assert_eq!(
+            render_outputs(&Scheme::ALL, &outcome.outputs),
+            local,
+            "masked chaos run diverged from the plaintext reference"
+        );
+        for summary in &outcome.daemons {
+            assert!(summary.dead.is_none(), "no share server should die: {}", summary.render());
+        }
+        wd.join().expect("watchdog")
+    });
+    handle0.join().expect("first share server thread");
+    let (fresh_addr, fresh_handle) = restarted;
+    shutdown_daemon(&fresh_addr, fresh_handle);
+    shutdown_daemon(&addr1, handle1);
+    let _ = std::fs::remove_dir_all(&base);
 }

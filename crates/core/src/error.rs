@@ -89,6 +89,16 @@ pub enum DapError {
         /// What differed.
         what: &'static str,
     },
+    /// A plaintext operation reached a masked (secret-shared) session, or
+    /// a masked-share operation reached a plaintext session. The two modes
+    /// hold incompatible per-group state, so the frame is refused instead
+    /// of being misapplied — in particular a plaintext report can never be
+    /// accumulated (or journaled) by a share server.
+    ModeMismatch {
+        /// Whether the *session* is in masked mode (`true`: a plaintext
+        /// frame was refused; `false`: a masked frame was refused).
+        masked: bool,
+    },
     /// The durability layer ([`crate::storage`]) failed: a journal append
     /// did not complete, a record or checkpoint is corrupt, or recovery
     /// found state that does not belong to this deployment.
@@ -114,7 +124,7 @@ impl DapError {
     /// The wire layer ([`crate::net`]) round-trips a mismatch by index
     /// into this table, which is what keeps the variant's `&'static str`
     /// intact across a network hop.
-    pub const MISMATCH_FIELDS: [&'static str; 17] = [
+    pub const MISMATCH_FIELDS: [&'static str; 20] = [
         "zero sessions (nothing to merge)",
         "config budgets and group plan",
         "config eps",
@@ -132,6 +142,9 @@ impl DapError {
         "state digest",
         "part group count",
         "part histogram resolution",
+        "share resolution",
+        "secagg topology",
+        "seed commitment",
     ];
 }
 
@@ -173,6 +186,13 @@ impl fmt::Display for DapError {
             }
             DapError::SessionMismatch { what } => {
                 write!(f, "sessions cannot be merged: {what} differ")
+            }
+            DapError::ModeMismatch { masked } => {
+                if *masked {
+                    write!(f, "session is in masked (secret-shared) mode: plaintext frame refused")
+                } else {
+                    write!(f, "session is in plaintext mode: masked-share frame refused")
+                }
             }
             DapError::Journal { at, reason } => {
                 write!(f, "journal error at byte {at}: {reason}")
@@ -225,6 +245,10 @@ mod tests {
         assert!(e.to_string().contains("through 7"), "{e}");
         let e = DapError::SequenceGap { channel: 0xabcd, seq: 9, expected: 5 };
         assert!(e.to_string().contains("got 9, expected 5"), "{e}");
+        let e = DapError::ModeMismatch { masked: true };
+        assert!(e.to_string().contains("masked"), "{e}");
+        let e = DapError::ModeMismatch { masked: false };
+        assert!(e.to_string().contains("plaintext"), "{e}");
     }
 
     #[test]

@@ -44,6 +44,11 @@
 //!   [`SessionPart`] checkpoints that compact it, and
 //!   [`storage::DurableSession`] recovery that restores a killed daemon's
 //!   session bit-for-bit.
+//! * [`secagg`] — the multi-aggregator trust tier: additive `u64` secret
+//!   sharing of the integer report histograms ([`ShareSplitter`] /
+//!   [`MaskedPart`]) so a session can run in masked mode where no single
+//!   daemon — nor its journal — ever holds a plaintext report, yet the
+//!   reconstructed aggregate finalizes bit-identically.
 //! * [`chaos`] — fault injection: [`ChaosProxy`], a deterministic seeded
 //!   TCP proxy that drops, delays, stalls and resets connections per a
 //!   [`ChaosSchedule`], so the retry/replay machinery's exactness claims
@@ -70,6 +75,7 @@ pub mod parallel;
 pub mod population;
 pub mod protocol;
 pub mod scheme;
+pub mod secagg;
 pub mod session;
 pub mod storage;
 pub mod sw;
@@ -88,6 +94,7 @@ pub use chaos::{ChaosProxy, ChaosSchedule, Fault};
 pub use net::{
     Deadlines, RetryPolicy, ServeOptions, WireClient, WireError, WireSession,
 };
+pub use secagg::{MaskedGroup, MaskedPart, SecaggRole, SeedCommitment, ShareSplitter};
 pub use session::{DapSession, EstimationMode, PartGroup, SessionPart};
 pub use storage::{
     DurableOptions, DurableSession, FaultBackend, FileBackend, Journal, MemoryBackend,

@@ -12,8 +12,10 @@
 //! | `ingest` | → | `ok` | one report into one group |
 //! | `ingest-batch` | → | `ok` | an atomic report batch into one group |
 //! | `seq-batch` | → | `ok` | a sequence-numbered batch — retries dedup'd by the session's replay guard |
-//! | `status` | → | `status-ok` | lightweight liveness probe (digest, groups, reports ingested) |
+//! | `share-batch` | → | `ok` | a sequence-numbered batch of masked `u64` histogram shares ([`DapSession::ingest_shares`]) |
+//! | `status` | → | `status-ok` | lightweight liveness probe (digest, groups, reports ingested, observability counters) |
 //! | `pull` | → | `part` | the serialized per-group state ([`SessionPart`]) |
+//! | `masked-pull` | → | `masked-part` | a masked session's share state ([`crate::secagg::MaskedPart`]) |
 //! | `merge` | → | `ok` | absorb a serialized part ([`DapSession::merge_part`]) |
 //! | `finalize` | → | `outputs` | run the collector pipeline for a scheme list |
 //! | `run-shard` | → | `shard-result` | execute an experiment shard (bench daemons) |
@@ -32,11 +34,18 @@
 //! session (out-of-range report, over-quota traffic, unknown group,
 //! incompatible merge) comes back as [`WireError::Rejected`] carrying the
 //! same variant with the same fields.
+//!
+//! A daemon started with auth tokens ([`ServeOptions::auth_tokens`])
+//! answers every frame on a connection with [`WireError::Unauthorized`]
+//! until a `hello` carrying a recognized token succeeds — authentication
+//! is connection-scoped and precedes all session dispatch, so an
+//! unauthenticated peer cannot even probe `status`.
 
 use crate::codec::{self, f64_to_hex, hex_u64};
 use crate::error::DapError;
 use crate::protocol::{DapOutput, GroupReport};
 use crate::scheme::Scheme;
+use crate::secagg::{MaskedGroup, MaskedPart, SecaggRole};
 use crate::session::{DapSession, PartGroup, SessionPart};
 use dap_attack::Side;
 use dap_ldp::NumericMechanism;
@@ -82,6 +91,14 @@ pub enum WireError {
         /// The offending frame tag.
         what: String,
     },
+    /// The server requires an auth token and this connection has not
+    /// presented a recognized one in a `hello` yet. Deterministic (a
+    /// retry with the same credentials fails the same way), so not
+    /// retryable under a [`RetryPolicy`].
+    Unauthorized {
+        /// Why the frame was refused.
+        what: String,
+    },
     /// A frame failed to parse (or exceeded the size guard).
     BadFrame {
         /// What went wrong.
@@ -122,6 +139,7 @@ impl fmt::Display for WireError {
                 hex_u64(*server)
             ),
             WireError::Unsupported { what } => write!(f, "peer does not support frame '{what}'"),
+            WireError::Unauthorized { what } => write!(f, "unauthorized: {what}"),
             WireError::BadFrame { reason } => write!(f, "malformed frame: {reason}"),
             WireError::Failed { message } => write!(f, "peer failed: {message}"),
             WireError::Timeout { what } => write!(f, "wire timeout: {what}"),
@@ -174,6 +192,14 @@ pub enum Frame {
         /// Absent for plain (unsequenced) clients — the encoding omits it,
         /// keeping pre-sequencing frames byte-identical.
         channel: Option<u64>,
+        /// Auth token presented to a server requiring one
+        /// ([`ServeOptions::auth_tokens`]); omitted from the encoding when
+        /// absent, keeping pre-auth hellos byte-identical.
+        auth: Option<u64>,
+        /// The dealer's [`crate::secagg::SeedCommitment`] digest, announced
+        /// when opening a masked submit so every share server binds to one
+        /// mask seed; omitted for plaintext clients.
+        commit: Option<u64>,
     },
     /// Handshake accepted.
     HelloOk {
@@ -185,6 +211,10 @@ pub enum Frame {
         /// (0 when the channel has never delivered a batch); absent when
         /// the hello announced no channel.
         last_seq: Option<u64>,
+        /// The share-group topology `(k, index)` a masked daemon serves
+        /// ([`crate::secagg::SecaggRole`]); absent for plaintext daemons,
+        /// keeping their hello-ok byte-identical.
+        secagg: Option<(usize, usize)>,
     },
     /// One report into one group.
     Ingest {
@@ -218,6 +248,28 @@ pub enum Frame {
     /// Liveness probe: answered from connection-local state (no session
     /// mutation), cheap enough to poll a daemon that is busy recovering.
     Status,
+    /// A sequence-numbered batch of masked histogram shares into one
+    /// group (the secret-shared counterpart of `seq-batch`): `counts` is
+    /// one `u64` word per bucket, accumulated with wrapping addition.
+    /// Rides the same per-channel replay guard as `seq-batch`, so retries
+    /// dedup and journal recovery resumes identically.
+    ShareBatch {
+        /// Coordinator channel the sequence belongs to.
+        channel: u64,
+        /// Batch sequence, starting at 1 per channel.
+        seq: u64,
+        /// Target group.
+        group: usize,
+        /// One masked share word per histogram bucket.
+        counts: Vec<u64>,
+    },
+    /// Ask a masked daemon for its accumulated share state.
+    MaskedPull,
+    /// Reply to `masked-pull`: the daemon's [`MaskedPart`].
+    MaskedPart {
+        /// The exported share state.
+        part: MaskedPart,
+    },
     /// Reply to `status`.
     StatusOk {
         /// The server session's digest.
@@ -226,6 +278,10 @@ pub enum Frame {
         groups: usize,
         /// Total reports accepted across all groups.
         ingested: usize,
+        /// Session/journal observability counters; absent when talking to
+        /// a pre-counters daemon (the encoding omits the section, keeping
+        /// old status-ok frames byte-identical).
+        counters: Option<StatusCounters>,
     },
     /// Generic success reply.
     Ok,
@@ -288,6 +344,23 @@ pub struct ShardRequest {
     pub count: usize,
 }
 
+/// Observability counters carried in a `status-ok` reply: enough to see,
+/// from one cheap probe, whether a daemon is masked or plain, how much
+/// replay-guard state it holds, and what its durability layer has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatusCounters {
+    /// Whether the served session is in masked (secret-shared) mode.
+    pub masked: bool,
+    /// Replay-guard channels the session has seen.
+    pub channels: u64,
+    /// Share batches accepted (0 for a plain session).
+    pub shares: u64,
+    /// Journal records appended since open (0 for an in-memory session).
+    pub journal_records: u64,
+    /// Checkpoints taken since open (0 for an in-memory session).
+    pub checkpoints: u64,
+}
+
 impl Frame {
     /// The frame's wire tag.
     pub fn tag(&self) -> &'static str {
@@ -297,6 +370,9 @@ impl Frame {
             Frame::Ingest { .. } => "ingest",
             Frame::IngestBatch { .. } => "ingest-batch",
             Frame::IngestBatchSeq { .. } => "seq-batch",
+            Frame::ShareBatch { .. } => "share-batch",
+            Frame::MaskedPull => "masked-pull",
+            Frame::MaskedPart { .. } => "masked-part",
             Frame::Status => "status",
             Frame::StatusOk { .. } => "status-ok",
             Frame::Ok => "ok",
@@ -345,6 +421,30 @@ fn push_part(s: &mut String, part: &SessionPart) {
     }
 }
 
+fn push_masked_part(s: &mut String, part: &MaskedPart) {
+    use std::fmt::Write as _;
+    s.push(' ');
+    codec::push_hex_u64(s, part.digest);
+    let _ = write!(s, " {} {} ", part.k, part.index);
+    codec::push_hex_u64(s, part.commitment);
+    let _ = write!(s, " {}", part.groups.len());
+    for g in &part.groups {
+        let _ = write!(s, "\nmgroup {}", g.counts.len());
+        for &w in &g.counts {
+            s.push(' ');
+            codec::push_hex_u64(s, w);
+        }
+    }
+    if !part.channels.is_empty() {
+        let _ = write!(s, "\nseqs {}", part.channels.len());
+        for &(channel, seq) in &part.channels {
+            s.push(' ');
+            codec::push_hex_u64(s, channel);
+            let _ = write!(s, " {seq}");
+        }
+    }
+}
+
 fn push_outputs(s: &mut String, outputs: &[DapOutput]) {
     use std::fmt::Write as _;
     let _ = write!(s, " {}", outputs.len());
@@ -380,16 +480,27 @@ pub fn encode_frame(frame: &Frame) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
     match frame {
-        Frame::Hello { version, digest, channel } => {
+        Frame::Hello { version, digest, channel, auth, commit } => {
             let _ = write!(s, "hello {version} {}", hex_u64(*digest));
+            // Optional sections in canonical order (channel, auth, commit)
+            // so each combination has exactly one encoding.
             if let Some(channel) = channel {
                 let _ = write!(s, " channel {}", hex_u64(*channel));
             }
+            if let Some(auth) = auth {
+                let _ = write!(s, " auth {}", hex_u64(*auth));
+            }
+            if let Some(commit) = commit {
+                let _ = write!(s, " commit {}", hex_u64(*commit));
+            }
         }
-        Frame::HelloOk { digest, groups, last_seq } => {
+        Frame::HelloOk { digest, groups, last_seq, secagg } => {
             let _ = write!(s, "hello-ok {} {groups}", hex_u64(*digest));
             if let Some(last_seq) = last_seq {
                 let _ = write!(s, " seq {last_seq}");
+            }
+            if let Some((k, index)) = secagg {
+                let _ = write!(s, " secagg {k} {index}");
             }
         }
         Frame::Ingest { group, report } => {
@@ -418,9 +529,39 @@ pub fn encode_frame(frame: &Frame) -> String {
                 codec::push_hex_f64(&mut s, *r);
             }
         }
+        Frame::ShareBatch { channel, seq, group, counts } => {
+            let _ = writeln!(
+                s,
+                "share-batch {} {seq} {group} {}",
+                hex_u64(*channel),
+                counts.len()
+            );
+            for (i, &w) in counts.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                codec::push_hex_u64(&mut s, w);
+            }
+        }
+        Frame::MaskedPull => s.push_str("masked-pull"),
+        Frame::MaskedPart { part } => {
+            s.push_str("masked-part");
+            push_masked_part(&mut s, part);
+        }
         Frame::Status => s.push_str("status"),
-        Frame::StatusOk { digest, groups, ingested } => {
+        Frame::StatusOk { digest, groups, ingested, counters } => {
             let _ = write!(s, "status-ok {} {groups} {ingested}", hex_u64(*digest));
+            if let Some(c) = counters {
+                let _ = write!(
+                    s,
+                    " counters {} {} {} {} {}",
+                    u8::from(c.masked),
+                    c.channels,
+                    c.shares,
+                    c.journal_records,
+                    c.checkpoints
+                );
+            }
         }
         Frame::Ok => s.push_str("ok"),
         Frame::Pull => s.push_str("pull"),
@@ -495,6 +636,9 @@ fn encode_error(s: &mut String, e: &WireError) {
                     hex_u64(*channel)
                 );
             }
+            DapError::ModeMismatch { masked } => {
+                let _ = write!(s, "error rejected mode {}", u8::from(*masked));
+            }
             DapError::SessionMismatch { what } => {
                 match DapError::MISMATCH_FIELDS.iter().position(|f| f == what) {
                     Some(idx) => {
@@ -519,6 +663,9 @@ fn encode_error(s: &mut String, e: &WireError) {
         }
         WireError::Unsupported { what } => {
             let _ = write!(s, "error unsupported\n{what}");
+        }
+        WireError::Unauthorized { what } => {
+            let _ = write!(s, "error unauthorized\n{what}");
         }
         WireError::BadFrame { reason } => {
             let _ = write!(s, "error bad-frame\n{reason}");
@@ -627,6 +774,36 @@ fn parse_part(t: &mut Tokens) -> Result<SessionPart, WireError> {
     Ok(SessionPart { digest, groups, channels })
 }
 
+fn parse_masked_part(t: &mut Tokens) -> Result<MaskedPart, WireError> {
+    let digest = t.hex_u64("masked-part digest")?;
+    let k = t.usize("masked-part k")?;
+    let index = t.usize("masked-part index")?;
+    let commitment = t.hex_u64("masked-part commitment")?;
+    let n_groups = t.usize("masked-part group count")?;
+    let mut groups = Vec::with_capacity(n_groups);
+    for _ in 0..n_groups {
+        t.literal("mgroup")?;
+        let n_buckets = t.usize("masked group bucket count")?;
+        let mut counts = Vec::with_capacity(n_buckets);
+        for _ in 0..n_buckets {
+            counts.push(t.hex_u64("masked bucket word")?);
+        }
+        groups.push(MaskedGroup { counts });
+    }
+    let mut channels = Vec::new();
+    if t.peek() == Some("seqs") {
+        t.literal("seqs")?;
+        let n = t.usize("channel count")?;
+        channels.reserve(n);
+        for _ in 0..n {
+            let channel = t.hex_u64("channel id")?;
+            let seq = t.u64("channel seq")?;
+            channels.push((channel, seq));
+        }
+    }
+    Ok(MaskedPart { digest, k, index, commitment, groups, channels })
+}
+
 fn parse_outputs(t: &mut Tokens) -> Result<Vec<DapOutput>, WireError> {
     let n = t.usize("output count")?;
     let mut outputs = Vec::with_capacity(n);
@@ -696,6 +873,7 @@ fn parse_error(body: &str) -> Result<WireError, WireError> {
                 seq: t.u64("seq")?,
                 expected: t.u64("expected")?,
             },
+            "mode" => DapError::ModeMismatch { masked: t.u64("mode flag")? != 0 },
             "mismatch" => {
                 let idx = t.usize("mismatch field index")?;
                 let what = DapError::MISMATCH_FIELDS.get(idx).copied().ok_or_else(|| {
@@ -718,6 +896,7 @@ fn parse_error(body: &str) -> Result<WireError, WireError> {
             server: t.hex_u64("server digest")?,
         },
         "unsupported" => WireError::Unsupported { what: rest.to_string() },
+        "unauthorized" => WireError::Unauthorized { what: rest.to_string() },
         "bad-frame" => WireError::BadFrame { reason: rest.to_string() },
         "failed" => WireError::Failed { message: rest.to_string() },
         "timeout" => WireError::Timeout { what: rest.to_string() },
@@ -757,7 +936,19 @@ pub fn decode_frame(body: &str) -> Result<Frame, WireError> {
             } else {
                 None
             };
-            Frame::Hello { version, digest, channel }
+            let auth = if t.peek() == Some("auth") {
+                t.literal("auth")?;
+                Some(t.hex_u64("auth token")?)
+            } else {
+                None
+            };
+            let commit = if t.peek() == Some("commit") {
+                t.literal("commit")?;
+                Some(t.hex_u64("seed commitment")?)
+            } else {
+                None
+            };
+            Frame::Hello { version, digest, channel, auth, commit }
         }
         "hello-ok" => {
             let digest = t.hex_u64("digest")?;
@@ -768,7 +959,15 @@ pub fn decode_frame(body: &str) -> Result<Frame, WireError> {
             } else {
                 None
             };
-            Frame::HelloOk { digest, groups, last_seq }
+            let secagg = if t.peek() == Some("secagg") {
+                t.literal("secagg")?;
+                let k = t.usize("secagg k")?;
+                let index = t.usize("secagg index")?;
+                Some((k, index))
+            } else {
+                None
+            };
+            Frame::HelloOk { digest, groups, last_seq, secagg }
         }
         "ingest" => Frame::Ingest {
             group: t.usize("group")?,
@@ -794,12 +993,38 @@ pub fn decode_frame(body: &str) -> Result<Frame, WireError> {
             }
             Frame::IngestBatchSeq { channel, seq, group, reports }
         }
+        "share-batch" => {
+            let channel = t.hex_u64("channel")?;
+            let seq = t.u64("seq")?;
+            let group = t.usize("group")?;
+            let count = t.usize("share word count")?;
+            let mut counts = Vec::with_capacity(count);
+            for _ in 0..count {
+                counts.push(t.hex_u64("share word")?);
+            }
+            Frame::ShareBatch { channel, seq, group, counts }
+        }
+        "masked-pull" => Frame::MaskedPull,
+        "masked-part" => Frame::MaskedPart { part: parse_masked_part(&mut t)? },
         "status" => Frame::Status,
-        "status-ok" => Frame::StatusOk {
-            digest: t.hex_u64("digest")?,
-            groups: t.usize("groups")?,
-            ingested: t.usize("ingested")?,
-        },
+        "status-ok" => {
+            let digest = t.hex_u64("digest")?;
+            let groups = t.usize("groups")?;
+            let ingested = t.usize("ingested")?;
+            let counters = if t.peek() == Some("counters") {
+                t.literal("counters")?;
+                Some(StatusCounters {
+                    masked: t.u64("masked flag")? != 0,
+                    channels: t.u64("channel counter")?,
+                    shares: t.u64("share counter")?,
+                    journal_records: t.u64("journal record counter")?,
+                    checkpoints: t.u64("checkpoint counter")?,
+                })
+            } else {
+                None
+            };
+            Frame::StatusOk { digest, groups, ingested, counters }
+        }
         "ok" => Frame::Ok,
         "pull" => Frame::Pull,
         "part" => Frame::Part { part: parse_part(&mut t)? },
@@ -963,6 +1188,11 @@ impl RetryPolicy {
 // Client
 // ---------------------------------------------------------------------------
 
+/// Successful masked-handshake reply: the session's group count, the
+/// channel's last acknowledged sequence, and the daemon's share-group
+/// topology `(k, index)` — `None` when the daemon serves plaintext.
+pub type MaskedHelloOk = (usize, u64, Option<(usize, usize)>);
+
 /// A typed client over one TCP connection to a `dap-wire/v1` daemon.
 ///
 /// Each method is one request/reply exchange; an `error` reply surfaces as
@@ -971,6 +1201,9 @@ impl RetryPolicy {
 #[derive(Debug)]
 pub struct WireClient {
     stream: TcpStream,
+    /// Auth token presented in every `hello` ([`WireClient::set_auth`]);
+    /// `None` omits the section for servers that require no token.
+    auth: Option<u64>,
 }
 
 impl WireClient {
@@ -978,7 +1211,7 @@ impl WireClient {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<WireClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        Ok(WireClient { stream })
+        Ok(WireClient { stream, auth: None })
     }
 
     /// Connects with [`Deadlines`]: the connect itself is bounded by
@@ -1016,7 +1249,13 @@ impl WireClient {
         stream.set_nodelay(true).ok();
         stream.set_read_timeout(deadlines.read)?;
         stream.set_write_timeout(deadlines.write)?;
-        Ok(WireClient { stream })
+        Ok(WireClient { stream, auth: None })
+    }
+
+    /// Sets the auth token every subsequent `hello` on this connection
+    /// presents (for daemons started with [`ServeOptions::auth_tokens`]).
+    pub fn set_auth(&mut self, token: Option<u64>) {
+        self.auth = token;
     }
 
     /// [`WireClient::connect`] retrying for daemons that are still binding
@@ -1065,8 +1304,13 @@ impl WireClient {
 
     /// Version + digest handshake; returns the server's group count.
     pub fn hello(&mut self, digest: u64) -> Result<usize, WireError> {
-        let hello =
-            Frame::Hello { version: WIRE_VERSION.to_string(), digest, channel: None };
+        let hello = Frame::Hello {
+            version: WIRE_VERSION.to_string(),
+            digest,
+            channel: None,
+            auth: self.auth,
+            commit: None,
+        };
         match self.call(&hello)? {
             Frame::HelloOk { groups, .. } => Ok(groups),
             f => Err(Self::unexpected("hello-ok", &f)),
@@ -1081,9 +1325,37 @@ impl WireClient {
             version: WIRE_VERSION.to_string(),
             digest,
             channel: Some(channel),
+            auth: self.auth,
+            commit: None,
         };
         match self.call(&hello)? {
             Frame::HelloOk { groups, last_seq, .. } => Ok((groups, last_seq.unwrap_or(0))),
+            f => Err(Self::unexpected("hello-ok", &f)),
+        }
+    }
+
+    /// Masked handshake: announces the dealer's seed commitment (and an
+    /// optional coordinator channel) and returns the group count, the
+    /// channel's last acknowledged sequence and the daemon's share-group
+    /// topology `(k, index)` — `None` means the daemon serves a plaintext
+    /// session and cannot accept shares.
+    pub fn hello_masked(
+        &mut self,
+        digest: u64,
+        channel: Option<u64>,
+        commit: u64,
+    ) -> Result<MaskedHelloOk, WireError> {
+        let hello = Frame::Hello {
+            version: WIRE_VERSION.to_string(),
+            digest,
+            channel,
+            auth: self.auth,
+            commit: Some(commit),
+        };
+        match self.call(&hello)? {
+            Frame::HelloOk { groups, last_seq, secagg, .. } => {
+                Ok((groups, last_seq.unwrap_or(0), secagg))
+            }
             f => Err(Self::unexpected("hello-ok", &f)),
         }
     }
@@ -1123,11 +1395,51 @@ impl WireClient {
         }
     }
 
+    /// Streams a sequence-numbered batch of masked share words into
+    /// `group`. The same replay-guard semantics as
+    /// [`WireClient::ingest_batch_seq`] apply: a
+    /// [`DapError::DuplicateSequence`] rejection means the batch was
+    /// already applied and may be treated as success.
+    pub fn ingest_shares(
+        &mut self,
+        channel: u64,
+        seq: u64,
+        group: usize,
+        counts: &[u64],
+    ) -> Result<(), WireError> {
+        let frame = Frame::ShareBatch { channel, seq, group, counts: counts.to_vec() };
+        match self.call(&frame)? {
+            Frame::Ok => Ok(()),
+            f => Err(Self::unexpected("ok", &f)),
+        }
+    }
+
+    /// Pulls a masked daemon's accumulated share state.
+    pub fn pull_masked(&mut self) -> Result<MaskedPart, WireError> {
+        match self.call(&Frame::MaskedPull)? {
+            Frame::MaskedPart { part } => Ok(part),
+            f => Err(Self::unexpected("masked-part", &f)),
+        }
+    }
+
     /// Liveness probe; returns the server's `(digest, groups, total
     /// reports ingested)`.
     pub fn status(&mut self) -> Result<(u64, usize, usize), WireError> {
         match self.call(&Frame::Status)? {
-            Frame::StatusOk { digest, groups, ingested } => Ok((digest, groups, ingested)),
+            Frame::StatusOk { digest, groups, ingested, .. } => Ok((digest, groups, ingested)),
+            f => Err(Self::unexpected("status-ok", &f)),
+        }
+    }
+
+    /// [`WireClient::status`] including the observability counters
+    /// (`None` when probing a pre-counters daemon).
+    pub fn status_counters(
+        &mut self,
+    ) -> Result<(u64, usize, usize, Option<StatusCounters>), WireError> {
+        match self.call(&Frame::Status)? {
+            Frame::StatusOk { digest, groups, ingested, counters } => {
+                Ok((digest, groups, ingested, counters))
+            }
             f => Err(Self::unexpected("status-ok", &f)),
         }
     }
@@ -1212,6 +1524,24 @@ pub trait WireSession {
     fn merge_part(&mut self, part: &SessionPart) -> Result<(), DapError>;
     /// Handles a `finalize` frame.
     fn finalize(&self, schemes: &[Scheme]) -> Result<Vec<DapOutput>, DapError>;
+    /// The share-group topology when the session is masked (`None` for a
+    /// plaintext session) — advertised in `hello-ok`.
+    fn secagg_role(&self) -> Option<SecaggRole>;
+    /// Adopts the dealer's seed commitment from a masked `hello`.
+    fn adopt_commitment(&mut self, commitment: u64) -> Result<(), DapError>;
+    /// Handles a `share-batch` frame (sequenced, replay-guarded masked
+    /// share ingestion).
+    fn ingest_shares(
+        &mut self,
+        channel: u64,
+        seq: u64,
+        group: usize,
+        counts: &[u64],
+    ) -> Result<(), DapError>;
+    /// Handles a `masked-pull` frame.
+    fn export_masked_part(&self) -> Result<MaskedPart, DapError>;
+    /// Observability counters for the `status` reply.
+    fn status_counters(&self) -> StatusCounters;
 }
 
 impl<M: NumericMechanism + Sync> WireSession for DapSession<M> {
@@ -1260,12 +1590,46 @@ impl<M: NumericMechanism + Sync> WireSession for DapSession<M> {
     fn finalize(&self, schemes: &[Scheme]) -> Result<Vec<DapOutput>, DapError> {
         DapSession::finalize(self, schemes)
     }
+
+    fn secagg_role(&self) -> Option<SecaggRole> {
+        DapSession::secagg_role(self)
+    }
+
+    fn adopt_commitment(&mut self, commitment: u64) -> Result<(), DapError> {
+        DapSession::adopt_commitment(self, commitment)
+    }
+
+    fn ingest_shares(
+        &mut self,
+        channel: u64,
+        seq: u64,
+        group: usize,
+        counts: &[u64],
+    ) -> Result<(), DapError> {
+        DapSession::ingest_shares(self, channel, seq, group, counts)
+    }
+
+    fn export_masked_part(&self) -> Result<MaskedPart, DapError> {
+        DapSession::export_masked_part(self)
+    }
+
+    fn status_counters(&self) -> StatusCounters {
+        StatusCounters {
+            masked: DapSession::secagg_role(self).is_some(),
+            channels: self.channel_count() as u64,
+            shares: self.shares_applied(),
+            journal_records: 0,
+            checkpoints: 0,
+        }
+    }
 }
 
 struct ServerState<S> {
     session: Mutex<S>,
     digest: u64,
     groups: usize,
+    /// Tokens accepted in a `hello` (empty: no authentication required).
+    auth_tokens: Vec<u64>,
     stop: AtomicBool,
     addr: std::net::SocketAddr,
     /// Clones of every accepted connection, so a shutdown can unblock
@@ -1287,7 +1651,7 @@ impl<S: WireSession> ServerState<S> {
         X: Fn(&Frame) -> Option<Frame> + Sync,
     {
         match frame {
-            Frame::Hello { version, digest, channel } => {
+            Frame::Hello { version, digest, channel, auth: _, commit } => {
                 if version != WIRE_VERSION {
                     Frame::Error(WireError::VersionMismatch {
                         client: version,
@@ -1299,11 +1663,25 @@ impl<S: WireSession> ServerState<S> {
                         server: self.digest,
                     })
                 } else {
+                    let mut session = self.lock();
+                    // A dealer's seed commitment binds this daemon's run
+                    // to one mask seed (idempotent; a conflicting dealer
+                    // is rejected typed).
+                    if let Some(commit) = commit {
+                        if let Err(e) = session.adopt_commitment(commit) {
+                            return Frame::Error(e.into());
+                        }
+                    }
                     // An announced channel gets its resume point back: the
                     // last sequence this session applied for it (0 if new).
-                    let last_seq =
-                        channel.map(|c| self.lock().last_seq(c).unwrap_or(0));
-                    Frame::HelloOk { digest: self.digest, groups: self.groups, last_seq }
+                    let last_seq = channel.map(|c| session.last_seq(c).unwrap_or(0));
+                    let secagg = session.secagg_role().map(|r| (r.k, r.index));
+                    Frame::HelloOk {
+                        digest: self.digest,
+                        groups: self.groups,
+                        last_seq,
+                        secagg,
+                    }
                 }
             }
             Frame::Ingest { group, report } => match self.lock().ingest(group, report) {
@@ -1322,11 +1700,33 @@ impl<S: WireSession> ServerState<S> {
                     Err(e) => Frame::Error(e.into()),
                 }
             }
-            Frame::Status => {
-                let ingested = self.lock().ingested_total();
-                Frame::StatusOk { digest: self.digest, groups: self.groups, ingested }
+            Frame::ShareBatch { channel, seq, group, counts } => {
+                match self.lock().ingest_shares(channel, seq, group, &counts) {
+                    Ok(()) => Frame::Ok,
+                    Err(e) => Frame::Error(e.into()),
+                }
             }
-            Frame::Pull => Frame::Part { part: self.lock().export_part() },
+            Frame::MaskedPull => match self.lock().export_masked_part() {
+                Ok(part) => Frame::MaskedPart { part },
+                Err(e) => Frame::Error(e.into()),
+            },
+            Frame::Status => {
+                let session = self.lock();
+                let ingested = session.ingested_total();
+                let counters = Some(session.status_counters());
+                Frame::StatusOk { digest: self.digest, groups: self.groups, ingested, counters }
+            }
+            Frame::Pull => {
+                let session = self.lock();
+                // A masked session has no plaintext part; answering `pull`
+                // with zeros would silently corrupt a plain coordinator's
+                // merge, so the mode mismatch is surfaced typed instead.
+                if session.secagg_role().is_some() {
+                    Frame::Error(DapError::ModeMismatch { masked: true }.into())
+                } else {
+                    Frame::Part { part: session.export_part() }
+                }
+            }
             Frame::Merge { part } => match self.lock().merge_part(&part) {
                 Ok(()) => Frame::Ok,
                 Err(e) => Frame::Error(e.into()),
@@ -1352,6 +1752,10 @@ where
     X: Fn(&Frame) -> Option<Frame> + Sync,
 {
     stream.set_nodelay(true).ok();
+    // Authentication is connection-scoped: with tokens configured, nothing
+    // reaches the session until a hello carrying a recognized token
+    // succeeds on *this* connection.
+    let mut authed = state.auth_tokens.is_empty();
     loop {
         let frame = match read_frame(&mut stream) {
             Ok(f) => f,
@@ -1374,6 +1778,31 @@ where
                 return;
             }
         };
+        if !authed {
+            let refusal = match &frame {
+                Frame::Hello { auth: Some(token), .. }
+                    if state.auth_tokens.contains(token) =>
+                {
+                    authed = true;
+                    None
+                }
+                Frame::Hello { auth: Some(_), .. } => Some("unrecognized auth token".into()),
+                Frame::Hello { auth: None, .. } => Some("auth token required".into()),
+                other => {
+                    Some(format!("frame '{}' before authenticated hello", other.tag()))
+                }
+            };
+            if let Some(what) = refusal {
+                // The connection stays open — the client may retry its
+                // hello — but the frame never reaches the session.
+                if write_frame(&mut stream, &Frame::Error(WireError::Unauthorized { what }))
+                    .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        }
         let reply = state.dispatch(frame, extra);
         if write_frame(&mut stream, &reply).is_err() {
             return;
@@ -1432,13 +1861,19 @@ where
 }
 
 /// Server-side knobs for [`serve_session_with`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServeOptions {
     /// Close a connection whose next frame does not arrive within this
     /// bound, with a typed [`WireError::Timeout`] farewell — leaked client
     /// sockets can no longer pin handler threads forever. `None` (the
     /// default) waits indefinitely, the pre-hardening behavior.
     pub idle_timeout: Option<Duration>,
+    /// Allowlist of auth tokens a `hello` may present. Empty (the
+    /// default): no authentication, the pre-auth behavior. Non-empty:
+    /// every frame on a connection is answered
+    /// [`WireError::Unauthorized`] until a hello carrying one of these
+    /// tokens succeeds.
+    pub auth_tokens: Vec<u64>,
 }
 
 /// [`serve_session`] with [`ServeOptions`] (idle-connection timeouts).
@@ -1455,6 +1890,7 @@ where
     let state = ServerState {
         digest: session.state_digest(),
         groups: session.group_count(),
+        auth_tokens: options.auth_tokens.clone(),
         session: Mutex::new(session),
         stop: AtomicBool::new(false),
         addr: listener.local_addr()?,
@@ -1518,16 +1954,50 @@ mod tests {
                 weight: 0.25,
             }],
         };
+        let masked_part = MaskedPart {
+            digest: 0xdead_beef_1234_5678,
+            k: 3,
+            index: 1,
+            commitment: 0xc0ffee,
+            groups: vec![
+                MaskedGroup { counts: vec![0, u64::MAX, 0x1234_5678_9abc_def0] },
+                MaskedGroup { counts: vec![] },
+            ],
+            channels: vec![(0xfeed, 3)],
+        };
         for frame in [
-            Frame::Hello { version: WIRE_VERSION.to_string(), digest: 7, channel: None },
+            Frame::Hello {
+                version: WIRE_VERSION.to_string(),
+                digest: 7,
+                channel: None,
+                auth: None,
+                commit: None,
+            },
             Frame::Hello {
                 version: WIRE_VERSION.to_string(),
                 digest: 7,
                 channel: Some(0xfeed_beef),
+                auth: None,
+                commit: None,
             },
-            Frame::HelloOk { digest: 7, groups: 4, last_seq: None },
-            Frame::HelloOk { digest: 7, groups: 4, last_seq: Some(0) },
-            Frame::HelloOk { digest: 7, groups: 4, last_seq: Some(917) },
+            Frame::Hello {
+                version: WIRE_VERSION.to_string(),
+                digest: 7,
+                channel: Some(0xfeed_beef),
+                auth: Some(0x5ec2e7),
+                commit: Some(0xabcd_ef01_2345_6789),
+            },
+            Frame::Hello {
+                version: WIRE_VERSION.to_string(),
+                digest: 7,
+                channel: None,
+                auth: Some(u64::MAX),
+                commit: None,
+            },
+            Frame::HelloOk { digest: 7, groups: 4, last_seq: None, secagg: None },
+            Frame::HelloOk { digest: 7, groups: 4, last_seq: Some(0), secagg: None },
+            Frame::HelloOk { digest: 7, groups: 4, last_seq: Some(917), secagg: Some((3, 2)) },
+            Frame::HelloOk { digest: 7, groups: 4, last_seq: None, secagg: Some((2, 0)) },
             Frame::Ingest { group: 2, report: f64::NAN },
             Frame::IngestBatch { group: 0, reports: vec![1.0, -0.0, 0.5] },
             Frame::IngestBatch { group: 1, reports: vec![] },
@@ -1537,8 +2007,29 @@ mod tests {
                 group: 1,
                 reports: vec![0.5, -0.25],
             },
+            Frame::ShareBatch {
+                channel: 0xfeed_beef,
+                seq: 7,
+                group: 2,
+                counts: vec![0, 1, u64::MAX],
+            },
+            Frame::ShareBatch { channel: 1, seq: 1, group: 0, counts: vec![] },
+            Frame::MaskedPull,
+            Frame::MaskedPart { part: masked_part },
             Frame::Status,
-            Frame::StatusOk { digest: 7, groups: 4, ingested: 123_456 },
+            Frame::StatusOk { digest: 7, groups: 4, ingested: 123_456, counters: None },
+            Frame::StatusOk {
+                digest: 7,
+                groups: 4,
+                ingested: 123_456,
+                counters: Some(StatusCounters {
+                    masked: true,
+                    channels: 3,
+                    shares: 99,
+                    journal_records: 1024,
+                    checkpoints: 2,
+                }),
+            },
             Frame::Ok,
             Frame::Pull,
             Frame::Part { part: part.clone() },
@@ -1607,6 +2098,9 @@ mod tests {
             }),
             WireError::Rejected(DapError::SessionMismatch { what: "state digest" }),
             WireError::Rejected(DapError::SessionMismatch { what: "config eps" }),
+            WireError::Rejected(DapError::ModeMismatch { masked: true }),
+            WireError::Rejected(DapError::ModeMismatch { masked: false }),
+            WireError::Unauthorized { what: "auth token required".into() },
             WireError::VersionMismatch { client: "dap-wire/v0".into(), server: WIRE_VERSION.into() },
             WireError::DigestMismatch { client: 1, server: 2 },
             WireError::Unsupported { what: "run-shard".into() },
@@ -1626,12 +2120,43 @@ mod tests {
         // it (PR 6 journal payloads are frame texts).
         assert_eq!(
             decode_frame("hello dap-wire/v1 0x0000000000000007").unwrap(),
-            Frame::Hello { version: WIRE_VERSION.into(), digest: 7, channel: None }
+            Frame::Hello {
+                version: WIRE_VERSION.into(),
+                digest: 7,
+                channel: None,
+                auth: None,
+                commit: None,
+            }
         );
         assert_eq!(
             decode_frame("hello-ok 0x0000000000000007 4").unwrap(),
-            Frame::HelloOk { digest: 7, groups: 4, last_seq: None }
+            Frame::HelloOk { digest: 7, groups: 4, last_seq: None, secagg: None }
         );
+        assert_eq!(
+            decode_frame("status-ok 0x0000000000000007 4 99").unwrap(),
+            Frame::StatusOk { digest: 7, groups: 4, ingested: 99, counters: None }
+        );
+        // A channel-only hello (the PR 7 encoding) still parses, and the
+        // new optional sections never appear unless set.
+        assert_eq!(
+            decode_frame("hello dap-wire/v1 0x0000000000000007 channel 0x00000000000000aa")
+                .unwrap(),
+            Frame::Hello {
+                version: WIRE_VERSION.into(),
+                digest: 7,
+                channel: Some(0xaa),
+                auth: None,
+                commit: None,
+            }
+        );
+        let plain_hello = Frame::Hello {
+            version: WIRE_VERSION.into(),
+            digest: 7,
+            channel: None,
+            auth: None,
+            commit: None,
+        };
+        assert_eq!(encode_frame(&plain_hello), "hello dap-wire/v1 0x0000000000000007");
         let old_part = "part 0x0000000000000001 1\n\
                         group 1 0x3fe0000000000000 2 0x3ff0000000000000 0x0000000000000000";
         match decode_frame(old_part).unwrap() {

@@ -1,0 +1,472 @@
+//! Secret-shared multi-aggregator tier: additive masking over `u64`.
+//!
+//! The single-aggregator deployment trusts every daemon that owns a group:
+//! the daemon sees that group's raw perturbed reports and its journal
+//! persists them. This module removes that trust. A dealer (the
+//! coordinator acting for the clients) converts each report chunk into a
+//! per-group **histogram contribution** — integer bucket counts — and
+//! splits it into `k` additive shares over `u64` wrapping arithmetic. Each
+//! of `k` share servers receives exactly one share per contribution, so:
+//!
+//! * a single daemon (or its stolen journal) holds uniformly masked words
+//!   that reveal nothing about any report or any group histogram;
+//! * any `k−1` daemons colluding still hold at least one unresolved
+//!   pairwise mask per word, so their combined view stays masked;
+//! * wrapping-summing all `k` shares cancels every mask **exactly** —
+//!   not approximately — because `u64` addition is associative and
+//!   commutative, and each mask is added once and subtracted once.
+//!
+//! Bucket counts are integers, so the reconstructed `u64` totals convert
+//! to the session's `f64` histogram counts without rounding (counts are
+//! far below 2⁵³), and `finalize` over the reconstructed state is
+//! **bit-identical** to the single-aggregator path — the existing golden
+//! byte-diff machinery keeps working verbatim.
+//!
+//! Masks are pure functions of `(mask seed, group, chunk, daemon pair)`
+//! via per-pair xorshift64* streams ([`ShareSplitter`]), so share
+//! generation is deterministic: a retried or re-split chunk produces the
+//! same bytes, and the dealer can re-derive any single daemon's full
+//! intended share from the seed — the dropout path. If a share server
+//! dies mid-stream, the coordinator reconstructs that server's total
+//! share locally (seed reveal) and combines it with the surviving
+//! quorum's [`MaskedPart`]s; the masks baked into the survivors' state
+//! cancel against the re-derived share and the true totals emerge.
+//!
+//! The dealer publishes a [`SeedCommitment`] binding the mask seed and
+//! topology; share servers echo it in their [`MaskedPart`]s so parts
+//! masked under different seeds (which would wrapping-sum to garbage)
+//! are refused typed instead of merged.
+
+use crate::codec::Fnv;
+use crate::error::DapError;
+
+/// A share server's place in a secret-sharing deployment: one of `k`
+/// daemons, holding share `index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecaggRole {
+    /// Total share servers (≥ 2).
+    pub k: usize,
+    /// This server's share index (`0 ≤ index < k`).
+    pub index: usize,
+}
+
+impl SecaggRole {
+    /// Validates `index < k` and `k ≥ 2` (one share server would hold the
+    /// plaintext, defeating the tier).
+    pub fn new(k: usize, index: usize) -> Result<SecaggRole, DapError> {
+        if k < 2 {
+            return Err(DapError::InvalidConfig {
+                field: "secagg k",
+                reason: format!("need at least 2 share servers, got {k}"),
+            });
+        }
+        if index >= k {
+            return Err(DapError::InvalidConfig {
+                field: "secagg index",
+                reason: format!("share index {index} out of range for k = {k}"),
+            });
+        }
+        Ok(SecaggRole { k, index })
+    }
+}
+
+/// The dealer's public commitment to its mask seed and topology.
+///
+/// Share servers cannot verify masks (they are blind to them by design),
+/// but they *can* carry the commitment the dealer announced at handshake
+/// and echo it in their [`MaskedPart`]s. [`reconstruct`] then refuses to
+/// combine parts masked under different seeds — without this, mixing
+/// parts from two submits would wrapping-sum to silent garbage. FNV is a
+/// structural stand-in for a cryptographic commitment, consistent with
+/// the digests the rest of the wire protocol pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedCommitment(u64);
+
+impl SeedCommitment {
+    /// Commits to `(mask_seed, k)`.
+    pub fn of(mask_seed: u64, k: usize) -> SeedCommitment {
+        let mut h = Fnv::new();
+        h.bytes(b"dap-secagg-commit/v1");
+        h.word(mask_seed);
+        h.word(k as u64);
+        SeedCommitment(h.finish())
+    }
+
+    /// The commitment digest (what travels on the wire; never 0 — see
+    /// [`SeedCommitment::of`]'s domain-separated hash).
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One pairwise mask stream: xorshift64* seeded from the FNV of the
+/// `(mask seed, group, chunk, pair)` coordinate. No process-global state,
+/// so every mask word is a pure function of its coordinate and replays
+/// exactly — the property the retry, failover and seed-reveal paths rely
+/// on.
+struct MaskStream(u64);
+
+impl MaskStream {
+    fn new(seed: u64) -> MaskStream {
+        // xorshift is stuck at zero; the golden-ratio constant is the
+        // conventional escape hatch.
+        MaskStream(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// The dealer half of the tier: splits per-(group, chunk) bucket-count
+/// contributions into `k` additive shares whose pairwise masks cancel
+/// exactly on a full wrapping sum.
+#[derive(Debug, Clone, Copy)]
+pub struct ShareSplitter {
+    k: usize,
+    mask_seed: u64,
+}
+
+impl ShareSplitter {
+    /// A splitter for `k ≥ 2` share servers under `mask_seed`.
+    pub fn new(k: usize, mask_seed: u64) -> Result<ShareSplitter, DapError> {
+        SecaggRole::new(k, 0)?;
+        Ok(ShareSplitter { k, mask_seed })
+    }
+
+    /// Number of shares per contribution.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The public [`SeedCommitment`] for this splitter.
+    pub fn commitment(&self) -> SeedCommitment {
+        SeedCommitment::of(self.mask_seed, self.k)
+    }
+
+    fn pair_stream(&self, group: u64, chunk: u64, a: usize, b: usize) -> MaskStream {
+        let mut h = Fnv::new();
+        h.bytes(b"dap-secagg-mask/v1");
+        h.word(self.mask_seed);
+        h.word(group);
+        h.word(chunk);
+        h.word(a as u64);
+        h.word(b as u64);
+        MaskStream::new(h.finish())
+    }
+
+    /// Splits one contribution (the bucket-count delta of chunk `chunk`
+    /// of group `group`) into `k` shares. Share 0 carries the data plus
+    /// masks; every other share is masks alone — which one carries data
+    /// is irrelevant to secrecy (each share is blinded by at least one
+    /// mask no strict subset can resolve) but matters for dropout
+    /// accounting: re-deriving *any* share needs the dealer's chunk data
+    /// only for share 0.
+    pub fn split(&self, group: u64, chunk: u64, counts: &[u64]) -> Vec<Vec<u64>> {
+        let mut shares = vec![vec![0u64; counts.len()]; self.k];
+        shares[0].copy_from_slice(counts);
+        for a in 0..self.k {
+            for b in (a + 1)..self.k {
+                let mut stream = self.pair_stream(group, chunk, a, b);
+                let masks: Vec<u64> = counts.iter().map(|_| stream.next()).collect();
+                for (s, &m) in shares[a].iter_mut().zip(&masks) {
+                    *s = s.wrapping_add(m);
+                }
+                for (s, &m) in shares[b].iter_mut().zip(&masks) {
+                    *s = s.wrapping_sub(m);
+                }
+            }
+        }
+        shares
+    }
+
+    /// Re-derives share `index` of a contribution without materializing
+    /// the other `k−1` — the seed-reveal path: when a share server is
+    /// lost, the dealer reconstructs its full intended share from the
+    /// retained chunks and combines it with the surviving quorum.
+    /// Identical to `split(...)[index]` (pinned by test).
+    pub fn share_for(&self, index: usize, group: u64, chunk: u64, counts: &[u64]) -> Vec<u64> {
+        let mut share = if index == 0 { counts.to_vec() } else { vec![0u64; counts.len()] };
+        for other in 0..self.k {
+            if other == index {
+                continue;
+            }
+            let (a, b) = (index.min(other), index.max(other));
+            let mut stream = self.pair_stream(group, chunk, a, b);
+            for s in share.iter_mut() {
+                let m = stream.next();
+                // The lower pair index adds the mask, the higher subtracts.
+                *s = if index == a { s.wrapping_add(m) } else { s.wrapping_sub(m) };
+            }
+        }
+        share
+    }
+}
+
+/// One group's masked state inside a [`MaskedPart`]: the wrapping sum of
+/// every share word this server accepted for the group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedGroup {
+    /// Per-bucket masked words (length = the group's histogram
+    /// resolution `d'`). Uniformly distributed to any observer without
+    /// all `k` parts; `n_reports` needs no separate field — it is the
+    /// bucket-count sum after reconstruction.
+    pub counts: Vec<u64>,
+}
+
+/// A share server's serialized masked state — the secret-shared analogue
+/// of [`crate::session::SessionPart`], carried by the `masked-part`
+/// frame and by masked journal checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedPart {
+    /// [`crate::DapSession::state_digest`] of the deployment (masked and
+    /// plain twins of one deployment share it).
+    pub digest: u64,
+    /// Share-group size the server was launched with.
+    pub k: usize,
+    /// The server's share index.
+    pub index: usize,
+    /// Echo of the dealer's [`SeedCommitment`] (0 when the server has
+    /// not yet been told one — such a part never passes
+    /// [`reconstruct`]).
+    pub commitment: u64,
+    /// Per-group masked state, in group order.
+    pub groups: Vec<MaskedGroup>,
+    /// Replay-guard high-water marks, exactly as in a plain part.
+    pub channels: Vec<(u64, u64)>,
+}
+
+/// Wrapping-sums one complete share group — exactly `k` parts, one per
+/// share index, same deployment digest and same seed commitment — into
+/// the true per-group bucket counts. Every pairwise mask appears once
+/// added and once subtracted across the `k` parts, so the sum is the
+/// unmasked contribution total, exactly.
+///
+/// Validation is typed and total: a missing or duplicated share index,
+/// mixed deployments, mixed seed commitments or mismatched group shapes
+/// are refused before any arithmetic.
+pub fn reconstruct(parts: &[MaskedPart]) -> Result<Vec<Vec<u64>>, DapError> {
+    let first = parts
+        .first()
+        .ok_or(DapError::SessionMismatch { what: "zero sessions (nothing to merge)" })?;
+    let k = first.k;
+    if parts.len() != k {
+        return Err(DapError::SessionMismatch { what: "secagg topology" });
+    }
+    let mut seen = vec![false; k];
+    for part in parts {
+        if part.k != k || part.index >= k || seen[part.index] {
+            return Err(DapError::SessionMismatch { what: "secagg topology" });
+        }
+        seen[part.index] = true;
+        if part.digest != first.digest {
+            return Err(DapError::SessionMismatch { what: "state digest" });
+        }
+        if part.commitment == 0 || part.commitment != first.commitment {
+            return Err(DapError::SessionMismatch { what: "seed commitment" });
+        }
+        if part.groups.len() != first.groups.len() {
+            return Err(DapError::SessionMismatch { what: "part group count" });
+        }
+        for (g, fg) in part.groups.iter().zip(&first.groups) {
+            if g.counts.len() != fg.counts.len() {
+                return Err(DapError::SessionMismatch { what: "part histogram resolution" });
+            }
+        }
+    }
+    let mut totals: Vec<Vec<u64>> =
+        first.groups.iter().map(|g| vec![0u64; g.counts.len()]).collect();
+    for part in parts {
+        for (total, group) in totals.iter_mut().zip(&part.groups) {
+            for (t, &c) in total.iter_mut().zip(&group.counts) {
+                *t = t.wrapping_add(c);
+            }
+        }
+    }
+    Ok(totals)
+}
+
+/// The masked half of a [`crate::DapSession`] in secret-sharing mode:
+/// per-group wrapping accumulators in place of plaintext histograms.
+#[derive(Debug, Clone)]
+pub(crate) struct MaskedState {
+    pub(crate) role: SecaggRole,
+    /// The dealer's seed commitment, adopted at handshake (or restored
+    /// from a checkpoint); `None` until a dealer announces one.
+    pub(crate) commitment: Option<u64>,
+    /// Per-group masked bucket words, wrapping-summed share by share.
+    pub(crate) groups: Vec<Vec<u64>>,
+    /// Share batches accepted (observability only — not part of the
+    /// content digest).
+    pub(crate) shares_applied: u64,
+}
+
+impl MaskedState {
+    pub(crate) fn new(role: SecaggRole, group_resolutions: &[usize]) -> MaskedState {
+        MaskedState {
+            role,
+            commitment: None,
+            groups: group_resolutions.iter().map(|&d| vec![0u64; d]).collect(),
+            shares_applied: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contribution(len: usize, seed: u64) -> Vec<u64> {
+        // Small integer counts, the realistic payload.
+        (0..len).map(|i| (seed.wrapping_mul(31).wrapping_add(i as u64)) % 7).collect()
+    }
+
+    #[test]
+    fn shares_wrapping_sum_back_to_the_contribution() {
+        for k in 2..=5 {
+            let splitter = ShareSplitter::new(k, 0xfeed).unwrap();
+            let data = contribution(16, 3);
+            let shares = splitter.split(9, 4, &data);
+            assert_eq!(shares.len(), k);
+            let mut total = vec![0u64; data.len()];
+            for share in &shares {
+                for (t, &s) in total.iter_mut().zip(share) {
+                    *t = t.wrapping_add(s);
+                }
+            }
+            assert_eq!(total, data, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn share_for_matches_split() {
+        let splitter = ShareSplitter::new(4, 0xdab).unwrap();
+        let data = contribution(9, 11);
+        let shares = splitter.split(2, 7, &data);
+        for (j, share) in shares.iter().enumerate() {
+            assert_eq!(&splitter.share_for(j, 2, 7, &data), share, "share {j}");
+        }
+    }
+
+    #[test]
+    fn masks_are_unique_per_chunk_and_group() {
+        // Reusing a mask across chunks would let one daemon difference two
+        // of its own shares and unmask the contribution delta — so the
+        // same data split under different (group, chunk) coordinates must
+        // produce different shares.
+        let splitter = ShareSplitter::new(3, 5).unwrap();
+        let data = contribution(8, 1);
+        let a = splitter.split(0, 0, &data);
+        let b = splitter.split(0, 1, &data);
+        let c = splitter.split(1, 0, &data);
+        assert_ne!(a, b, "chunk coordinate must move the masks");
+        assert_ne!(a, c, "group coordinate must move the masks");
+        // And deterministic: the same coordinate replays the same bytes.
+        assert_eq!(a, splitter.split(0, 0, &data));
+    }
+
+    #[test]
+    fn any_k_minus_one_shares_stay_masked() {
+        // Leave out each share in turn: the partial sum must depend on the
+        // mask seed (it is mask material, not data), while the full sum
+        // must not. This is the distinguishability boundary: k−1 shares
+        // look uniform; the kth resolves them.
+        let data = contribution(12, 2);
+        for k in 2..=5 {
+            let s1 = ShareSplitter::new(k, 1001).unwrap();
+            let s2 = ShareSplitter::new(k, 2002).unwrap();
+            for omit in 0..k {
+                let partial = |s: &ShareSplitter| {
+                    let shares = s.split(3, 8, &data);
+                    let mut total = vec![0u64; data.len()];
+                    for (j, share) in shares.iter().enumerate() {
+                        if j == omit {
+                            continue;
+                        }
+                        for (t, &w) in total.iter_mut().zip(share) {
+                            *t = t.wrapping_add(w);
+                        }
+                    }
+                    total
+                };
+                let p1 = partial(&s1);
+                assert_ne!(p1, partial(&s2), "k = {k}, omit {omit}: partial sum ignored the seed");
+                assert_ne!(p1, data, "k = {k}, omit {omit}: partial sum leaked the data");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_validates_then_cancels() {
+        let splitter = ShareSplitter::new(3, 77).unwrap();
+        let commitment = splitter.commitment().digest();
+        let data = [contribution(4, 1), contribution(6, 2)];
+        let mut parts: Vec<MaskedPart> = (0..3)
+            .map(|j| MaskedPart {
+                digest: 42,
+                k: 3,
+                index: j,
+                commitment,
+                groups: data
+                    .iter()
+                    .enumerate()
+                    .map(|(g, d)| MaskedGroup {
+                        counts: splitter.share_for(j, g as u64, 0, d),
+                    })
+                    .collect(),
+                channels: vec![],
+            })
+            .collect();
+        let totals = reconstruct(&parts).expect("complete share group");
+        assert_eq!(totals[0], data[0]);
+        assert_eq!(totals[1], data[1]);
+
+        // A duplicated index, a foreign digest and a foreign commitment
+        // are each refused typed.
+        let mut dup = parts.clone();
+        dup[2].index = 0;
+        assert!(matches!(
+            reconstruct(&dup).unwrap_err(),
+            DapError::SessionMismatch { what: "secagg topology" }
+        ));
+        let mut alien = parts.clone();
+        alien[1].digest = 43;
+        assert!(matches!(
+            reconstruct(&alien).unwrap_err(),
+            DapError::SessionMismatch { what: "state digest" }
+        ));
+        parts[1].commitment = SeedCommitment::of(78, 3).digest();
+        assert!(matches!(
+            reconstruct(&parts).unwrap_err(),
+            DapError::SessionMismatch { what: "seed commitment" }
+        ));
+        assert!(matches!(
+            reconstruct(&parts[..2]).unwrap_err(),
+            DapError::SessionMismatch { what: "secagg topology" }
+        ));
+        assert!(reconstruct(&[]).is_err());
+    }
+
+    #[test]
+    fn commitments_bind_seed_and_k() {
+        let c = SeedCommitment::of(7, 3);
+        assert_eq!(c, SeedCommitment::of(7, 3));
+        assert_ne!(c, SeedCommitment::of(8, 3));
+        assert_ne!(c, SeedCommitment::of(7, 4));
+        assert_ne!(c.digest(), 0, "0 is the 'never announced' sentinel");
+    }
+
+    #[test]
+    fn roles_and_splitters_validate_their_topology() {
+        assert!(SecaggRole::new(1, 0).is_err(), "k = 1 is the trusted-aggregator tier");
+        assert!(SecaggRole::new(3, 3).is_err());
+        assert!(SecaggRole::new(2, 1).is_ok());
+        assert!(ShareSplitter::new(1, 0).is_err());
+        assert!(ShareSplitter::new(2, 0).is_ok());
+    }
+}

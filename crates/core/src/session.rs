@@ -21,6 +21,7 @@ use crate::grouping::GroupPlan;
 use crate::parallel::parallel_map;
 use crate::protocol::{DapConfig, DapOutput, GroupReport};
 use crate::scheme::{estimate_group_means_hist, GroupHistogram, Scheme};
+use crate::secagg::{MaskedGroup, MaskedPart, MaskedState, SecaggRole};
 use crate::sw::{probe_side_bands, sw_group_means_hist};
 use dap_attack::Side;
 use dap_emf::{probe_side, EmfConfig};
@@ -74,6 +75,12 @@ pub struct DapSession<M> {
     /// accepts only the next sequence, so a retried batch whose ack was
     /// lost is rejected typed instead of double-counted.
     channels: BTreeMap<u64, u64>,
+    /// `Some` when the session is a secret-sharing share server
+    /// ([`DapSession::new_masked`]): per-group state is then a masked
+    /// `u64` accumulator and every plaintext operation is refused typed
+    /// ([`DapError::ModeMismatch`]) — this session must never see, hold
+    /// or journal an unmasked report or histogram.
+    masked: Option<MaskedState>,
 }
 
 impl<M: NumericMechanism> DapSession<M> {
@@ -110,7 +117,31 @@ impl<M: NumericMechanism> DapSession<M> {
             mechs.push(mech);
             groups.push(GroupState { grid, emf_cfg, hist, quota });
         }
-        Ok(DapSession { config, plan, mechs, groups, channels: BTreeMap::new() })
+        Ok(DapSession { config, plan, mechs, groups, channels: BTreeMap::new(), masked: None })
+    }
+
+    /// Opens a session in **masked mode**: a share server of the
+    /// secret-sharing tier ([`crate::secagg`]). The deployment shape
+    /// (config, plan, grids — hence [`DapSession::state_digest`]) is
+    /// identical to a plain twin's, so the hello handshake interoperates,
+    /// but per-group state is a masked `u64` accumulator fed by
+    /// [`DapSession::ingest_shares`]; plaintext ingestion, part export/
+    /// merge and finalize are refused with [`DapError::ModeMismatch`].
+    pub fn new_masked<F>(
+        config: DapConfig,
+        plan: GroupPlan,
+        mech_factory: F,
+        role: SecaggRole,
+    ) -> Result<Self, DapError>
+    where
+        F: Fn(Epsilon) -> M,
+    {
+        SecaggRole::new(role.k, role.index)?;
+        let mut session = DapSession::new(config, plan, mech_factory)?;
+        let resolutions: Vec<usize> =
+            session.groups.iter().map(|g| g.hist.counts.len()).collect();
+        session.masked = Some(MaskedState::new(role, &resolutions));
+        Ok(session)
     }
 
     /// The session's configuration.
@@ -147,9 +178,29 @@ impl<M: NumericMechanism> DapSession<M> {
         self.groups[g].quota
     }
 
+    /// The output-grid bucket a report of `group` falls into — how the
+    /// secret-sharing dealer converts a report chunk into the bucket-count
+    /// contribution it splits into shares. Same grid, same bucketing as
+    /// plaintext ingestion, so the reconstructed counts are bit-identical
+    /// to a plain session's.
+    pub fn bucket_of(&self, group: usize, report: f64) -> Result<usize, DapError> {
+        self.check_group(group)?;
+        self.check_range(group, report)?;
+        Ok(self.groups[group].grid.bucket_of(report))
+    }
+
     /// Reports accepted into group `g` so far.
     pub fn ingested(&self, g: usize) -> usize {
         self.groups[g].hist.n_reports
+    }
+
+    /// Refuses plaintext operations on a masked session — a share server
+    /// must never accumulate (or be asked to reveal) unmasked state.
+    fn check_plain(&self) -> Result<(), DapError> {
+        if self.masked.is_some() {
+            return Err(DapError::ModeMismatch { masked: true });
+        }
+        Ok(())
     }
 
     fn check_group(&self, group: usize) -> Result<(), DapError> {
@@ -200,6 +251,7 @@ impl<M: NumericMechanism> DapSession<M> {
     /// ([`crate::storage::DurableSession`]) checks before appending so
     /// rejected traffic never reaches the log.
     pub fn check_ingest_batch(&self, group: usize, reports: &[f64]) -> Result<(), DapError> {
+        self.check_plain()?;
         self.check_group(group)?;
         for &r in reports {
             self.check_range(group, r)?;
@@ -288,7 +340,9 @@ impl<M: NumericMechanism> DapSession<M> {
         let mut base = parts
             .next()
             .ok_or(DapError::SessionMismatch { what: "zero sessions (nothing to merge)" })?;
+        base.check_plain()?;
         for part in parts {
+            part.check_plain()?;
             if let Some(field) = base.config.diff_field(&part.config) {
                 return Err(DapError::SessionMismatch { what: field });
             }
@@ -416,6 +470,7 @@ impl<M: NumericMechanism> DapSession<M> {
     /// [`DapSession::check_ingest_batch`], this is what the write-ahead
     /// journal runs before a `merge` record is appended.
     pub fn check_part(&self, part: &SessionPart) -> Result<(), DapError> {
+        self.check_plain()?;
         if part.digest != self.state_digest() {
             return Err(DapError::SessionMismatch { what: "state digest" });
         }
@@ -458,7 +513,168 @@ impl<M: NumericMechanism> DapSession<M> {
             h.word(state.hist.sum_reports.to_bits());
             h.word(state.hist.n_reports as u64);
         }
+        // Masked state participates too (plain sessions hash nothing
+        // extra, keeping their digests unchanged): recovery of a masked
+        // share server proves the same restored-state invariant as a
+        // plain one.
+        if let Some(masked) = &self.masked {
+            h.bytes(b"masked");
+            h.word(masked.role.k as u64);
+            h.word(masked.role.index as u64);
+            for group in &masked.groups {
+                h.word(group.len() as u64);
+                for &w in group {
+                    h.word(w);
+                }
+            }
+        }
         h.finish()
+    }
+
+    // -----------------------------------------------------------------
+    // Masked mode (the secret-sharing tier — see `crate::secagg`)
+    // -----------------------------------------------------------------
+
+    /// The session's share-server role, or `None` for a plain session.
+    pub fn secagg_role(&self) -> Option<SecaggRole> {
+        self.masked.as_ref().map(|m| m.role)
+    }
+
+    /// Share batches accepted so far (0 for a plain session).
+    pub fn shares_applied(&self) -> u64 {
+        self.masked.as_ref().map_or(0, |m| m.shares_applied)
+    }
+
+    /// Number of replay-guard channels the session has seen.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    fn masked_state(&self) -> Result<&MaskedState, DapError> {
+        self.masked.as_ref().ok_or(DapError::ModeMismatch { masked: false })
+    }
+
+    /// Records the dealer's seed commitment (announced in the masked
+    /// hello). Idempotent for the same commitment; a *different* one is
+    /// refused — two dealers masking under different seeds must not feed
+    /// one accumulator, their shares would never cancel.
+    pub fn adopt_commitment(&mut self, commitment: u64) -> Result<(), DapError> {
+        self.masked_state()?;
+        let masked = self.masked.as_mut().expect("checked above");
+        match masked.commitment {
+            None => {
+                masked.commitment = Some(commitment);
+                Ok(())
+            }
+            Some(existing) if existing == commitment => Ok(()),
+            Some(_) => Err(DapError::SessionMismatch { what: "seed commitment" }),
+        }
+    }
+
+    /// The validation half of [`DapSession::ingest_shares`]: masked mode,
+    /// then the replay guard (duplicates before content, like the
+    /// plaintext sequenced path), then group index and share shape. No
+    /// quota check — the words are blinded, so quota is enforced by the
+    /// coordinator at reconstruction (where the true counts first exist).
+    pub fn check_ingest_shares(
+        &self,
+        channel: u64,
+        seq: u64,
+        group: usize,
+        counts: &[u64],
+    ) -> Result<(), DapError> {
+        self.masked_state()?;
+        let last = self.channels.get(&channel).copied().unwrap_or(0);
+        if seq <= last {
+            return Err(DapError::DuplicateSequence { channel, seq, last });
+        }
+        if seq != last + 1 {
+            return Err(DapError::SequenceGap { channel, seq, expected: last + 1 });
+        }
+        self.check_group(group)?;
+        if counts.len() != self.groups[group].hist.counts.len() {
+            return Err(DapError::SessionMismatch { what: "share resolution" });
+        }
+        Ok(())
+    }
+
+    /// Accepts one share batch — the masked counterpart of
+    /// [`DapSession::ingest_batch_seq`]: wrapping-adds the share words
+    /// into the group's masked accumulator under the same per-channel
+    /// replay guard (so retries dedup and chaos-path resume works
+    /// verbatim). On any error the session is unchanged.
+    pub fn ingest_shares(
+        &mut self,
+        channel: u64,
+        seq: u64,
+        group: usize,
+        counts: &[u64],
+    ) -> Result<(), DapError> {
+        self.check_ingest_shares(channel, seq, group, counts)?;
+        let masked = self.masked.as_mut().expect("checked by check_ingest_shares");
+        for (acc, &share) in masked.groups[group].iter_mut().zip(counts) {
+            *acc = acc.wrapping_add(share);
+        }
+        masked.shares_applied += 1;
+        self.channels.insert(channel, seq);
+        Ok(())
+    }
+
+    /// Serializes the masked state for transport — the share server's
+    /// answer to `masked-pull`, and the checkpoint payload of a masked
+    /// journaled daemon. Plain sessions refuse (there are no shares to
+    /// export, and exporting zeros would merge as silent garbage).
+    pub fn export_masked_part(&self) -> Result<MaskedPart, DapError> {
+        let masked = self.masked_state()?;
+        Ok(MaskedPart {
+            digest: self.state_digest(),
+            k: masked.role.k,
+            index: masked.role.index,
+            commitment: masked.commitment.unwrap_or(0),
+            groups: masked
+                .groups
+                .iter()
+                .map(|g| MaskedGroup { counts: g.clone() })
+                .collect(),
+            channels: self.channels.iter().map(|(&c, &s)| (c, s)).collect(),
+        })
+    }
+
+    /// Absorbs a masked part produced by the **same share server** (same
+    /// deployment, same role) — the checkpoint-restore half of masked
+    /// durability. This is *accumulation*, not reconstruction: masks do
+    /// not cancel here (that needs all `k` servers' parts —
+    /// [`crate::secagg::reconstruct`], a coordinator operation).
+    pub fn merge_masked_part(&mut self, part: &MaskedPart) -> Result<(), DapError> {
+        let masked = self.masked_state()?;
+        if part.digest != self.state_digest() {
+            return Err(DapError::SessionMismatch { what: "state digest" });
+        }
+        if part.k != masked.role.k || part.index != masked.role.index {
+            return Err(DapError::SessionMismatch { what: "secagg topology" });
+        }
+        if part.groups.len() != masked.groups.len() {
+            return Err(DapError::SessionMismatch { what: "part group count" });
+        }
+        for (pg, mg) in part.groups.iter().zip(&masked.groups) {
+            if pg.counts.len() != mg.len() {
+                return Err(DapError::SessionMismatch { what: "part histogram resolution" });
+            }
+        }
+        if part.commitment != 0 {
+            self.adopt_commitment(part.commitment)?;
+        }
+        let masked = self.masked.as_mut().expect("checked above");
+        for (acc, pg) in masked.groups.iter_mut().zip(&part.groups) {
+            for (a, &c) in acc.iter_mut().zip(&pg.counts) {
+                *a = a.wrapping_add(c);
+            }
+        }
+        for &(channel, seq) in &part.channels {
+            let entry = self.channels.entry(channel).or_insert(0);
+            *entry = (*entry).max(seq);
+        }
+        Ok(())
     }
 }
 
@@ -499,6 +715,7 @@ impl<M: NumericMechanism + Sync> DapSession<M> {
     /// `schemes` order; the session is left untouched, so more reports can
     /// be ingested and `finalize` called again.
     pub fn finalize(&self, schemes: &[Scheme]) -> Result<Vec<DapOutput>, DapError> {
+        self.check_plain()?;
         if schemes.is_empty() {
             return Ok(Vec::new());
         }
@@ -804,6 +1021,9 @@ mod tests {
             "state digest",
             "part group count",
             "part histogram resolution",
+            "share resolution",
+            "secagg topology",
+            "seed commitment",
         ] {
             assert!(
                 DapError::MISMATCH_FIELDS.contains(&what),
@@ -945,6 +1165,143 @@ mod tests {
         b.ingest_batch(1, &[0.25]).unwrap();
         assert_eq!(a.content_digest(), b.content_digest());
         assert_ne!(a.export_part().channels, b.export_part().channels);
+    }
+
+    fn masked_session(eps: f64, n_users: usize, seed: u64, k: usize, index: usize) -> DapSession<PiecewiseMechanism> {
+        let cfg = DapConfig { max_d_out: 32, ..DapConfig::paper_default(eps, Scheme::Emf) };
+        let plan = GroupPlan::build(n_users, cfg.eps, cfg.eps0, &mut seeded(seed));
+        DapSession::new_masked(cfg, plan, PiecewiseMechanism::new, SecaggRole { k, index })
+            .expect("valid masked session")
+    }
+
+    #[test]
+    fn masked_sessions_refuse_every_plaintext_operation() {
+        let mut s = masked_session(0.25, 400, 50, 3, 1);
+        assert_eq!(s.secagg_role(), Some(SecaggRole { k: 3, index: 1 }));
+        let masked = |r: Result<(), DapError>| {
+            assert!(matches!(r.unwrap_err(), DapError::ModeMismatch { masked: true }));
+        };
+        masked(s.ingest(0, 0.5));
+        masked(s.ingest_batch(0, &[0.5]));
+        masked(s.ingest_batch_seq(1, 1, 0, &[0.5]));
+        let part = session(0.25, 400, 50).export_part();
+        masked(s.merge_part(&part));
+        assert!(matches!(
+            s.finalize(&[Scheme::Emf]).unwrap_err(),
+            DapError::ModeMismatch { masked: true }
+        ));
+        let twin = masked_session(0.25, 400, 50, 3, 1);
+        assert!(matches!(
+            DapSession::merge([s, twin]).unwrap_err(),
+            DapError::ModeMismatch { masked: true }
+        ));
+        // And the inverse: masked operations on a plain session.
+        let mut plain = session(0.25, 400, 50);
+        assert!(matches!(
+            plain.ingest_shares(1, 1, 0, &[0u64; 4]).unwrap_err(),
+            DapError::ModeMismatch { masked: false }
+        ));
+        assert!(matches!(
+            plain.export_masked_part().unwrap_err(),
+            DapError::ModeMismatch { masked: false }
+        ));
+        assert!(matches!(
+            plain.adopt_commitment(7).unwrap_err(),
+            DapError::ModeMismatch { masked: false }
+        ));
+    }
+
+    #[test]
+    fn masked_and_plain_twins_share_the_deployment_digest() {
+        // The hello handshake must interoperate: a coordinator's plain
+        // session and a share server opened from the same deployment agree
+        // on the compatibility digest (content digests differ by mode).
+        let plain = session(0.25, 400, 51);
+        let masked = masked_session(0.25, 400, 51, 2, 0);
+        assert_eq!(plain.state_digest(), masked.state_digest());
+        assert_ne!(plain.content_digest(), masked.content_digest());
+    }
+
+    #[test]
+    fn ingest_shares_accumulates_under_the_replay_guard() {
+        let mut s = masked_session(0.25, 400, 52, 2, 0);
+        let d0 = s.histogram(0).counts.len();
+        let shares: Vec<u64> = (0..d0 as u64).collect();
+        s.ingest_shares(9, 1, 0, &shares).unwrap();
+        let digest = s.content_digest();
+        // A duplicate is rejected and leaves no trace (the failover dedup
+        // contract, identical to the plaintext sequenced path).
+        let err = s.ingest_shares(9, 1, 0, &shares).unwrap_err();
+        assert!(matches!(err, DapError::DuplicateSequence { seq: 1, last: 1, .. }));
+        assert_eq!(s.content_digest(), digest);
+        let err = s.ingest_shares(9, 3, 0, &shares).unwrap_err();
+        assert!(matches!(err, DapError::SequenceGap { seq: 3, expected: 2, .. }));
+        // Wrong share shape is a typed mismatch; wrapping accumulation is
+        // exact for the right one.
+        let err = s.ingest_shares(9, 2, 0, &[1u64]).unwrap_err();
+        assert!(matches!(err, DapError::SessionMismatch { what: "share resolution" }));
+        s.ingest_shares(9, 2, 0, &vec![u64::MAX; d0]).unwrap();
+        let part = s.export_masked_part().unwrap();
+        for (b, &w) in part.groups[0].counts.iter().enumerate() {
+            assert_eq!(w, (b as u64).wrapping_add(u64::MAX), "bucket {b}");
+        }
+        assert_eq!(s.shares_applied(), 2);
+        assert_eq!(s.last_seq(9), Some(2));
+    }
+
+    #[test]
+    fn masked_parts_restore_a_share_server_exactly() {
+        // Checkpoint-restore: a fresh twin that merges the exported part
+        // reports the same content digest — the durability invariant.
+        let mut a = masked_session(0.25, 400, 53, 3, 2);
+        let d0 = a.histogram(0).counts.len();
+        a.adopt_commitment(0xc0ffee).unwrap();
+        a.ingest_shares(5, 1, 0, &vec![17u64; d0]).unwrap();
+        let part = a.export_masked_part().unwrap();
+        assert_eq!(part.commitment, 0xc0ffee);
+
+        let mut b = masked_session(0.25, 400, 53, 3, 2);
+        b.merge_masked_part(&part).unwrap();
+        assert_eq!(a.content_digest(), b.content_digest());
+        assert_eq!(b.last_seq(5), Some(1), "replay guard restored");
+
+        // Wrong role or foreign deployment refuse typed, state untouched.
+        let mut other_role = masked_session(0.25, 400, 53, 3, 0);
+        assert!(matches!(
+            other_role.merge_masked_part(&part).unwrap_err(),
+            DapError::SessionMismatch { what: "secagg topology" }
+        ));
+        let mut stranger = masked_session(0.25, 400, 54, 3, 2);
+        assert!(matches!(
+            stranger.merge_masked_part(&part).unwrap_err(),
+            DapError::SessionMismatch { what: "state digest" }
+        ));
+        // A conflicting dealer commitment is refused too.
+        let mut c = masked_session(0.25, 400, 53, 3, 2);
+        c.adopt_commitment(0xdead).unwrap();
+        assert!(matches!(
+            c.merge_masked_part(&part).unwrap_err(),
+            DapError::SessionMismatch { what: "seed commitment" }
+        ));
+    }
+
+    #[test]
+    fn masked_state_holds_no_plaintext_histogram() {
+        // Feed a share server one share of a known contribution: its
+        // in-memory state must differ from the true counts (it is mask
+        // material), and the plaintext histograms must stay untouched
+        // zeros — the "single compromised daemon reveals nothing" claim,
+        // asserted on state rather than by inspection.
+        use crate::secagg::ShareSplitter;
+        let mut server = masked_session(0.25, 400, 55, 2, 1);
+        let d0 = server.histogram(0).counts.len();
+        let truth: Vec<u64> = (0..d0 as u64).map(|b| b % 5).collect();
+        let splitter = ShareSplitter::new(2, 0xfeed).unwrap();
+        server.ingest_shares(1, 1, 0, &splitter.share_for(1, 0, 0, &truth)).unwrap();
+        let part = server.export_masked_part().unwrap();
+        assert_ne!(part.groups[0].counts, truth, "a single share leaked the histogram");
+        assert!(server.histogram(0).counts.iter().all(|&c| c == 0.0));
+        assert_eq!(server.ingested(0), 0);
     }
 
     #[test]

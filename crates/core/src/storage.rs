@@ -47,9 +47,10 @@
 
 use crate::codec::{self, Fnv};
 use crate::error::DapError;
-use crate::net::{decode_frame, encode_frame, Frame, WireSession};
+use crate::net::{decode_frame, encode_frame, Frame, StatusCounters, WireSession};
 use crate::protocol::DapOutput;
 use crate::scheme::Scheme;
+use crate::secagg::{MaskedPart, SecaggRole};
 use crate::session::{DapSession, SessionPart};
 use dap_ldp::NumericMechanism;
 use std::fs::{File, OpenOptions};
@@ -760,6 +761,11 @@ pub struct DurableSession<M, B: StorageBackend> {
     session: DapSession<M>,
     journal: Journal<B>,
     checkpoint_every: usize,
+    /// Records appended since open (monotonic — compaction does not reset
+    /// it), surfaced in the `status` observability counters.
+    records_appended: u64,
+    /// Checkpoints taken since open, surfaced alongside.
+    checkpoints_taken: u64,
 }
 
 impl<M: NumericMechanism, B: StorageBackend> DurableSession<M, B> {
@@ -775,7 +781,9 @@ impl<M: NumericMechanism, B: StorageBackend> DurableSession<M, B> {
         backend: B,
         opts: DurableOptions,
     ) -> Result<(Self, Recovery), DapError> {
-        if (0..session.group_count()).any(|g| session.ingested(g) != 0) {
+        if (0..session.group_count()).any(|g| session.ingested(g) != 0)
+            || session.shares_applied() != 0
+        {
             return Err(journal_err(0, "recovery requires a fresh session"));
         }
         let mut session = session;
@@ -788,9 +796,7 @@ impl<M: NumericMechanism, B: StorageBackend> DurableSession<M, B> {
             recovery.salvaged = Some(corruption.to_string());
         }
         if let Some(payload) = &state.checkpoint {
-            let part = decode_part_payload(payload, 0, "checkpoint")?;
-            session
-                .merge_part(&part)
+            apply_checkpoint(&mut session, payload)
                 .map_err(|e| journal_err(0, format!("checkpoint does not apply: {e}")))?;
             recovery.from_checkpoint = true;
         }
@@ -799,8 +805,13 @@ impl<M: NumericMechanism, B: StorageBackend> DurableSession<M, B> {
                 .map_err(|e| journal_err(*off, format!("replay failed: {e}")))?;
             recovery.replayed += 1;
         }
-        let mut durable =
-            DurableSession { session, journal, checkpoint_every: opts.checkpoint_every };
+        let mut durable = DurableSession {
+            session,
+            journal,
+            checkpoint_every: opts.checkpoint_every,
+            records_appended: 0,
+            checkpoints_taken: 0,
+        };
         // Damaged tails (and salvaged corruption) must be cleared before
         // appends can resume; fold the recovered state into a checkpoint.
         if state.damaged() {
@@ -809,10 +820,16 @@ impl<M: NumericMechanism, B: StorageBackend> DurableSession<M, B> {
         Ok((durable, recovery))
     }
 
+    fn append_record(&mut self, frame: &Frame) -> Result<(), DapError> {
+        self.journal.append(encode_frame(frame).as_bytes())?;
+        self.records_appended += 1;
+        Ok(())
+    }
+
     /// Write-ahead [`DapSession::ingest`].
     pub fn ingest(&mut self, group: usize, report: f64) -> Result<(), DapError> {
         self.session.check_ingest_batch(group, &[report])?;
-        self.journal.append(encode_frame(&Frame::Ingest { group, report }).as_bytes())?;
+        self.append_record(&Frame::Ingest { group, report })?;
         self.session.ingest(group, report)?;
         self.maybe_checkpoint()
     }
@@ -820,9 +837,7 @@ impl<M: NumericMechanism, B: StorageBackend> DurableSession<M, B> {
     /// Write-ahead [`DapSession::ingest_batch`].
     pub fn ingest_batch(&mut self, group: usize, reports: &[f64]) -> Result<(), DapError> {
         self.session.check_ingest_batch(group, reports)?;
-        self.journal.append(
-            encode_frame(&Frame::IngestBatch { group, reports: reports.to_vec() }).as_bytes(),
-        )?;
+        self.append_record(&Frame::IngestBatch { group, reports: reports.to_vec() })?;
         self.session.ingest_batch(group, reports)?;
         self.maybe_checkpoint()
     }
@@ -841,32 +856,65 @@ impl<M: NumericMechanism, B: StorageBackend> DurableSession<M, B> {
         reports: &[f64],
     ) -> Result<(), DapError> {
         self.session.check_ingest_batch_seq(channel, seq, group, reports)?;
-        self.journal.append(
-            encode_frame(&Frame::IngestBatchSeq {
-                channel,
-                seq,
-                group,
-                reports: reports.to_vec(),
-            })
-            .as_bytes(),
-        )?;
+        self.append_record(&Frame::IngestBatchSeq {
+            channel,
+            seq,
+            group,
+            reports: reports.to_vec(),
+        })?;
         self.session.ingest_batch_seq(channel, seq, group, reports)?;
         self.maybe_checkpoint()
+    }
+
+    /// Write-ahead [`DapSession::ingest_shares`]: the journal record is
+    /// the `share-batch` frame itself, so a share server's log stores only
+    /// masked words — a stolen journal reveals no plaintext report, which
+    /// the secret-sharing tier's tests assert on the bytes.
+    pub fn ingest_shares(
+        &mut self,
+        channel: u64,
+        seq: u64,
+        group: usize,
+        counts: &[u64],
+    ) -> Result<(), DapError> {
+        self.session.check_ingest_shares(channel, seq, group, counts)?;
+        self.append_record(&Frame::ShareBatch {
+            channel,
+            seq,
+            group,
+            counts: counts.to_vec(),
+        })?;
+        self.session.ingest_shares(channel, seq, group, counts)?;
+        self.maybe_checkpoint()
+    }
+
+    /// [`DapSession::adopt_commitment`], not journaled: the commitment is
+    /// re-announced by every masked `hello` and echoed by checkpoints
+    /// ([`MaskedPart::commitment`]), so it needs no record of its own.
+    pub fn adopt_commitment(&mut self, commitment: u64) -> Result<(), DapError> {
+        self.session.adopt_commitment(commitment)
     }
 
     /// Write-ahead [`DapSession::merge_part`].
     pub fn merge_part(&mut self, part: &SessionPart) -> Result<(), DapError> {
         self.session.check_part(part)?;
-        self.journal
-            .append(encode_frame(&Frame::Merge { part: part.clone() }).as_bytes())?;
+        self.append_record(&Frame::Merge { part: part.clone() })?;
         self.session.merge_part(part)?;
         self.maybe_checkpoint()
     }
 
-    /// Compacts the journal into a [`SessionPart`] checkpoint now.
+    /// Compacts the journal into a checkpoint now: a `part` frame for a
+    /// plain session, a `masked-part` frame for a masked one (shares and
+    /// replay guard, never plaintext).
     pub fn checkpoint(&mut self) -> Result<(), DapError> {
-        let payload = encode_frame(&Frame::Part { part: self.session.export_part() });
-        self.journal.compact(payload.as_bytes())
+        let payload = if self.session.secagg_role().is_some() {
+            encode_frame(&Frame::MaskedPart { part: self.session.export_masked_part()? })
+        } else {
+            encode_frame(&Frame::Part { part: self.session.export_part() })
+        };
+        self.journal.compact(payload.as_bytes())?;
+        self.checkpoints_taken += 1;
+        Ok(())
     }
 
     fn maybe_checkpoint(&mut self) -> Result<(), DapError> {
@@ -887,6 +935,16 @@ impl<M: NumericMechanism, B: StorageBackend> DurableSession<M, B> {
         &self.journal
     }
 
+    /// Records appended since open (compaction does not reset this).
+    pub fn records_appended(&self) -> u64 {
+        self.records_appended
+    }
+
+    /// Checkpoints taken since open.
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken
+    }
+
     /// Tears the wrapper down into its parts (the backend keeps the
     /// journaled state; reopening it recovers the session).
     pub fn into_parts(self) -> (DapSession<M>, B) {
@@ -894,21 +952,31 @@ impl<M: NumericMechanism, B: StorageBackend> DurableSession<M, B> {
     }
 }
 
-fn decode_part_payload(payload: &[u8], at: u64, what: &str) -> Result<SessionPart, DapError> {
+/// Restores a checkpoint payload into a fresh session: a `part` frame
+/// merges as plaintext state, a `masked-part` frame as share state (the
+/// session's mode guards reject a payload of the wrong kind typed).
+fn apply_checkpoint<M: NumericMechanism>(
+    session: &mut DapSession<M>,
+    payload: &[u8],
+) -> Result<(), DapError> {
     let text = std::str::from_utf8(payload)
-        .map_err(|_| journal_err(at, format!("{what} payload is not UTF-8")))?;
+        .map_err(|_| journal_err(0, "checkpoint payload is not UTF-8"))?;
     match decode_frame(text) {
-        Ok(Frame::Part { part }) => Ok(part),
+        Ok(Frame::Part { part }) => session.merge_part(&part),
+        Ok(Frame::MaskedPart { part }) => session.merge_masked_part(&part),
         Ok(other) => Err(journal_err(
-            at,
-            format!("{what} payload holds a '{}' frame, expected 'part'", other.tag()),
+            0,
+            format!(
+                "checkpoint payload holds a '{}' frame, expected 'part' or 'masked-part'",
+                other.tag()
+            ),
         )),
-        Err(e) => Err(journal_err(at, format!("{what} payload is undecodable: {e}"))),
+        Err(e) => Err(journal_err(0, format!("checkpoint payload is undecodable: {e}"))),
     }
 }
 
 /// Replays one journaled record into a session — the read half of the
-/// write-ahead contract. Only the three mutating frames are legal.
+/// write-ahead contract. Only the mutating frames are legal.
 fn apply_record<M: NumericMechanism>(
     session: &mut DapSession<M>,
     payload: &[u8],
@@ -922,6 +990,9 @@ fn apply_record<M: NumericMechanism>(
         Frame::IngestBatch { group, reports } => session.ingest_batch(group, &reports),
         Frame::IngestBatchSeq { channel, seq, group, reports } => {
             session.ingest_batch_seq(channel, seq, group, &reports)
+        }
+        Frame::ShareBatch { channel, seq, group, counts } => {
+            session.ingest_shares(channel, seq, group, &counts)
         }
         Frame::Merge { part } => session.merge_part(&part),
         other => Err(journal_err(
@@ -980,6 +1051,38 @@ where
 
     fn finalize(&self, schemes: &[Scheme]) -> Result<Vec<DapOutput>, DapError> {
         self.session.finalize(schemes)
+    }
+
+    fn secagg_role(&self) -> Option<SecaggRole> {
+        self.session.secagg_role()
+    }
+
+    fn adopt_commitment(&mut self, commitment: u64) -> Result<(), DapError> {
+        DurableSession::adopt_commitment(self, commitment)
+    }
+
+    fn ingest_shares(
+        &mut self,
+        channel: u64,
+        seq: u64,
+        group: usize,
+        counts: &[u64],
+    ) -> Result<(), DapError> {
+        DurableSession::ingest_shares(self, channel, seq, group, counts)
+    }
+
+    fn export_masked_part(&self) -> Result<MaskedPart, DapError> {
+        self.session.export_masked_part()
+    }
+
+    fn status_counters(&self) -> StatusCounters {
+        StatusCounters {
+            masked: self.session.secagg_role().is_some(),
+            channels: self.session.channel_count() as u64,
+            shares: self.session.shares_applied(),
+            journal_records: self.records_appended,
+            checkpoints: self.checkpoints_taken,
+        }
     }
 }
 

@@ -53,7 +53,13 @@ fn handshake_checks_version_and_digest() {
     let mut c = connect(&addr);
     // Wrong protocol version.
     let err = c
-        .call(&Frame::Hello { version: "dap-wire/v0".into(), digest, channel: None })
+        .call(&Frame::Hello {
+            version: "dap-wire/v0".into(),
+            digest,
+            channel: None,
+            auth: None,
+            commit: None,
+        })
         .expect_err("version mismatch");
     assert_eq!(
         err,
@@ -200,7 +206,10 @@ fn idle_connections_are_timed_out_but_the_daemon_keeps_serving() {
     let digest = local.state_digest();
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr").to_string();
-    let options = ServeOptions { idle_timeout: Some(Duration::from_millis(100)) };
+    let options = ServeOptions {
+        idle_timeout: Some(Duration::from_millis(100)),
+        auth_tokens: Vec::new(),
+    };
     let handle = std::thread::spawn(move || {
         serve_session_with(listener, local, |_| None, options).expect("serve")
     });

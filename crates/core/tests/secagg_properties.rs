@@ -1,0 +1,339 @@
+//! Property suite for the secret-shared aggregation tier
+//! ([`dap_core::secagg`]).
+//!
+//! The contract under test is the one the multi-aggregator deployment
+//! leans on, over random share counts k ∈ {2..5}, random group shapes,
+//! and random chunk orders:
+//!
+//! * **exactness** — wrapping-summing all k shares of every contribution
+//!   reconstructs the true integer histogram bit-exactly (the pairwise
+//!   masks cancel), no matter how chunks are interleaved per daemon;
+//! * **seed reveal** — [`ShareSplitter::share_for`] re-derives exactly
+//!   the share `split` dealt, for every index, so a dead share server
+//!   can be replaced without changing a single bit;
+//! * **opacity** — any k−1 of the k shares wrapping-sum to the true
+//!   counts *plus* the missing share's masks, which are never all zero
+//!   for a non-trivial stream: a colluding k−1 subset learns a blinded
+//!   vector, not the histogram;
+//! * **typed refusals** — a short share group, a duplicate index, or a
+//!   mixed seed commitment is a named [`DapError`], never a silent
+//!   wrong answer;
+//! * **session equivalence** — k masked [`DapSession`]s fed shares over
+//!   the sequenced wire path reconstruct exactly the histogram of a
+//!   plain session fed the same reports in the same order.
+
+use dap_core::secagg::reconstruct;
+use dap_core::{
+    DapConfig, DapError, DapSession, GroupPlan, MaskedPart, Scheme, SecaggRole, ShareSplitter,
+};
+use dap_estimation::rng::seeded;
+use dap_ldp::PiecewiseMechanism;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random per-(group, chunk) contribution stream: `groups` groups with
+/// random bucket resolutions, each with a few chunks of small counts.
+fn contributions(seed: u64, groups: usize) -> Vec<Vec<Vec<u64>>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..groups)
+        .map(|_| {
+            let resolution = rng.gen_range(1..12usize);
+            let chunks = rng.gen_range(0..5usize);
+            (0..chunks)
+                .map(|_| (0..resolution).map(|_| rng.gen_range(0..50u64)).collect())
+                .collect()
+        })
+        .collect()
+}
+
+/// Deals `stream` with `splitter` and accumulates each daemon's masked
+/// state, visiting chunks in an order shuffled by `order_seed` — share
+/// application is commutative, and the suite proves it.
+fn deal(
+    splitter: &ShareSplitter,
+    stream: &[Vec<Vec<u64>>],
+    order_seed: u64,
+) -> Vec<MaskedPart> {
+    let k = splitter.k();
+    let mut accum: Vec<Vec<Vec<u64>>> = (0..k)
+        .map(|_| {
+            stream
+                .iter()
+                .map(|chunks| vec![0u64; chunks.first().map_or(1, Vec::len)])
+                .collect()
+        })
+        .collect();
+    let mut sites: Vec<(usize, usize)> = stream
+        .iter()
+        .enumerate()
+        .flat_map(|(g, chunks)| (0..chunks.len()).map(move |c| (g, c)))
+        .collect();
+    // Fisher–Yates with a per-daemon offset: every daemon sees its own
+    // chunk order.
+    let mut rng = StdRng::seed_from_u64(order_seed);
+    for (j, daemon) in accum.iter_mut().enumerate() {
+        for i in (1..sites.len()).rev() {
+            sites.swap(i, rng.gen_range(0..=i));
+        }
+        for &(g, c) in &sites {
+            let share = splitter.share_for(j, g as u64, c as u64, &stream[g][c]);
+            for (t, w) in daemon[g].iter_mut().zip(&share) {
+                *t = t.wrapping_add(*w);
+            }
+        }
+    }
+    let commitment = splitter.commitment().digest();
+    accum
+        .into_iter()
+        .enumerate()
+        .map(|(index, groups)| MaskedPart {
+            digest: 0xd1_6e57,
+            k,
+            index,
+            commitment,
+            groups: groups
+                .into_iter()
+                .map(|counts| dap_core::MaskedGroup { counts })
+                .collect(),
+            channels: Vec::new(),
+        })
+        .collect()
+}
+
+/// The true (unmasked) per-group totals of a contribution stream.
+fn totals(stream: &[Vec<Vec<u64>>]) -> Vec<Vec<u64>> {
+    stream
+        .iter()
+        .map(|chunks| {
+            let resolution = chunks.first().map_or(1, Vec::len);
+            let mut sum = vec![0u64; resolution];
+            for chunk in chunks {
+                for (t, &c) in sum.iter_mut().zip(chunk) {
+                    *t += c;
+                }
+            }
+            sum
+        })
+        .collect()
+}
+
+proptest! {
+    /// Masked merge is bit-identical to the unmasked sum for every k,
+    /// every random group shape, and independently shuffled per-daemon
+    /// chunk orders.
+    #[test]
+    fn masked_merge_reconstructs_the_exact_histogram(
+        seed in 0u64..1_000_000,
+        mask_seed in 0u64..u64::MAX,
+        k in 2usize..6,
+        groups in 1usize..5,
+        order_seed in 0u64..u64::MAX,
+    ) {
+        let stream = contributions(seed, groups);
+        let splitter = ShareSplitter::new(k, mask_seed).expect("valid k");
+        let parts = deal(&splitter, &stream, order_seed);
+        prop_assert_eq!(reconstruct(&parts).expect("complete group"), totals(&stream));
+    }
+
+    /// `share_for(j, ...)` re-derives exactly what `split` dealt to
+    /// daemon j — the seed-reveal path a dead share server is rebuilt
+    /// from.
+    #[test]
+    fn seed_reveal_rederives_every_dealt_share(
+        seed in 0u64..1_000_000,
+        mask_seed in 0u64..u64::MAX,
+        k in 2usize..6,
+    ) {
+        let stream = contributions(seed, 3);
+        let splitter = ShareSplitter::new(k, mask_seed).expect("valid k");
+        for (g, chunks) in stream.iter().enumerate() {
+            for (c, counts) in chunks.iter().enumerate() {
+                let dealt = splitter.split(g as u64, c as u64, counts);
+                prop_assert_eq!(dealt.len(), k);
+                for (j, share) in dealt.iter().enumerate() {
+                    prop_assert_eq!(
+                        share,
+                        &splitter.share_for(j, g as u64, c as u64, counts)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Any k−1 of the k shares miss the true histogram by exactly the
+    /// withheld share — and for a stream with at least one chunk the
+    /// withheld share carries live masks, so the colluding subset's sum
+    /// is blinded (it differs from the truth unless the masks cancel to
+    /// zero, which the dealt shares themselves rule out here).
+    #[test]
+    fn k_minus_one_shares_are_blinded_by_the_missing_mask(
+        seed in 0u64..1_000_000,
+        mask_seed in 1u64..u64::MAX,
+        k in 2usize..6,
+        withhold in 0usize..6,
+    ) {
+        let stream = contributions(seed, 3);
+        prop_assume!(stream.iter().any(|chunks| !chunks.is_empty()));
+        let withhold = withhold % k;
+        let splitter = ShareSplitter::new(k, mask_seed).expect("valid k");
+        let parts = deal(&splitter, &stream, seed);
+        let truth = totals(&stream);
+
+        // The colluding subset's wrapping sum, per group.
+        let colluding: Vec<Vec<u64>> = truth
+            .iter()
+            .enumerate()
+            .map(|(g, t)| {
+                let mut sum = vec![0u64; t.len()];
+                for part in parts.iter().filter(|p| p.index != withhold) {
+                    for (s, &w) in sum.iter_mut().zip(&part.groups[g].counts) {
+                        *s = s.wrapping_add(w);
+                    }
+                }
+                sum
+            })
+            .collect();
+        // Exactly the withheld part is missing: adding it back restores
+        // the truth bit-for-bit…
+        let restored: Vec<Vec<u64>> = colluding
+            .iter()
+            .enumerate()
+            .map(|(g, sum)| {
+                sum.iter()
+                    .zip(&parts[withhold].groups[g].counts)
+                    .map(|(&s, &w)| s.wrapping_add(w))
+                    .collect()
+            })
+            .collect();
+        prop_assert_eq!(&restored, &truth);
+        // …and without it the subset is off by the withheld share's
+        // accumulated masks, which are non-zero for this stream (they
+        // include at least one live pairwise mask word).
+        let missing_is_blank = colluding == truth;
+        let withheld_blank =
+            parts[withhold].groups.iter().all(|g| g.counts.iter().all(|&w| w == 0));
+        prop_assert_eq!(missing_is_blank, withheld_blank);
+    }
+
+    /// Reconstruction refuses malformed share groups typed: short groups,
+    /// duplicate indices, and mixed seed commitments are all named
+    /// [`DapError::SessionMismatch`] rejections, never a wrong sum.
+    #[test]
+    fn malformed_share_groups_are_refused_typed(
+        seed in 0u64..1_000_000,
+        mask_seed in 0u64..u64::MAX,
+        k in 2usize..6,
+    ) {
+        let stream = contributions(seed, 2);
+        let splitter = ShareSplitter::new(k, mask_seed).expect("valid k");
+        let parts = deal(&splitter, &stream, seed);
+
+        // Short group (k−1 parts).
+        let err = reconstruct(&parts[..k - 1]).expect_err("short group");
+        prop_assert!(matches!(err, DapError::SessionMismatch { .. }));
+        // Duplicate index.
+        let mut dup = parts.clone();
+        dup[0].index = dup[1].index;
+        let err = reconstruct(&dup).expect_err("duplicate index");
+        prop_assert!(matches!(err, DapError::SessionMismatch { .. }));
+        // Mixed seed commitment: shares masked under different seeds
+        // must never be combined.
+        let other = ShareSplitter::new(k, mask_seed ^ 0xdead_beef).expect("valid k");
+        let mut mixed = parts;
+        mixed[0].commitment = other.commitment().digest();
+        let err = reconstruct(&mixed).expect_err("mixed commitment");
+        prop_assert!(matches!(err, DapError::SessionMismatch { .. }));
+    }
+}
+
+/// A masked deployment of `k` [`DapSession`]s plus its plain twin.
+fn masked_fleet(
+    k: usize,
+    seed: u64,
+) -> (DapSession<PiecewiseMechanism>, Vec<DapSession<PiecewiseMechanism>>) {
+    let cfg = DapConfig {
+        eps0: 1.0 / 16.0,
+        max_d_out: 16,
+        ..DapConfig::paper_default(0.25, Scheme::Emf)
+    };
+    let plan = GroupPlan::build(200, cfg.eps, cfg.eps0, &mut seeded(seed));
+    let plain =
+        DapSession::new(cfg, plan.clone(), PiecewiseMechanism::new).expect("valid session");
+    let fleet = (0..k)
+        .map(|index| {
+            DapSession::new_masked(
+                cfg,
+                plan.clone(),
+                PiecewiseMechanism::new,
+                SecaggRole { k, index },
+            )
+            .expect("valid masked session")
+        })
+        .collect();
+    (plain, fleet)
+}
+
+proptest! {
+    /// End-to-end session equivalence: random report chunks streamed to a
+    /// plain session, and their bucket-count contributions dealt as
+    /// shares to k masked sessions over the sequenced path, reconstruct
+    /// the exact same histogram — and no masked session ever accepts a
+    /// plaintext report.
+    #[test]
+    fn masked_sessions_reconstruct_the_plain_histogram(
+        seed in 0u64..1_000_000,
+        mask_seed in 0u64..u64::MAX,
+        k in 2usize..5,
+        chunks in 1usize..6,
+    ) {
+        let (mut plain, mut fleet) = masked_fleet(k, seed);
+        let commitment = ShareSplitter::new(k, mask_seed)
+            .expect("valid k")
+            .commitment()
+            .digest();
+        for session in &mut fleet {
+            session.adopt_commitment(commitment).expect("fresh commitment");
+            // The mode guard: a plaintext report at a share server is the
+            // typed masked-mode rejection, and leaves no trace.
+            let err = session.ingest(0, 0.0).expect_err("masked mode refuses plaintext");
+            prop_assert!(matches!(err, DapError::ModeMismatch { masked: true }));
+        }
+        let splitter = ShareSplitter::new(k, mask_seed).expect("valid k");
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let groups = plain.group_count();
+        for c in 0..chunks {
+            let g = rng.gen_range(0..groups);
+            let reports: Vec<f64> =
+                (0..rng.gen_range(1..6usize)).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut counts = vec![0u64; plain.histogram(g).counts.len()];
+            for &r in &reports {
+                counts[plain.bucket_of(g, r).expect("in range")] += 1;
+            }
+            plain.ingest_batch(g, &reports).expect("plain ingest");
+            for (j, share) in splitter.split(g as u64, c as u64, &counts).iter().enumerate() {
+                fleet[j]
+                    .ingest_shares(0xc0ffee, c as u64 + 1, g, share)
+                    .expect("share ingest");
+                // The replay guard rides the same channel contract as the
+                // plaintext path: a duplicate is refused typed.
+                let err = fleet[j]
+                    .ingest_shares(0xc0ffee, c as u64 + 1, g, share)
+                    .expect_err("duplicate share batch");
+                prop_assert!(matches!(err, DapError::DuplicateSequence { .. }));
+            }
+        }
+
+        let parts: Vec<MaskedPart> = fleet
+            .iter()
+            .map(|s| s.export_masked_part().expect("masked export"))
+            .collect();
+        let reconstructed = reconstruct(&parts).expect("complete group");
+        for (g, counts) in reconstructed.iter().enumerate() {
+            let expected: Vec<u64> =
+                plain.histogram(g).counts.iter().map(|&c| c as u64).collect();
+            prop_assert_eq!(counts, &expected, "group {} diverged", g);
+        }
+    }
+}
