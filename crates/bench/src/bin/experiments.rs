@@ -60,6 +60,43 @@
 //!                              these tokens may speak; every other frame
 //!                              is refused with the typed unauthorized
 //!                              error (connection stays open)
+//!         --legacy             serve the pre-reactor thread-per-connection
+//!                              path (one lock + one journal fsync per
+//!                              frame) — kept as the storm baseline
+//!         --workers <n>        reactor apply workers          (default 2)
+//!         --queue-ops <n>      reactor apply-queue frame bound (default 256);
+//!                              a frame arriving at a full queue is shed
+//!                              with the typed, retryable throttle
+//!         --queue-bytes <n>    reactor apply-queue byte bound (default 8 MiB)
+//!         --max-conns <n>      open-connection cap            (default 1024);
+//!                              connections beyond it are told the throttle
+//!                              farewell at accept
+//!         --retry-after-ms <ms>  backoff hint carried in every throttle
+//!                              reply                          (default 20)
+//!
+//! storm:  synthetic client swarm against an in-process daemon fleet —
+//!         the reactor's load harness (stdout ends with the greppable
+//!         `lost 0, dup 0` exactly-once line):
+//!         --connections <m>    client connections      (default 32)
+//!         --reports <n>        reports per connection  (default 2000)
+//!         --batch <b>          reports per seq-batch   (default 16)
+//!         --window <w>         frames each client keeps in flight
+//!                              (Go-Back-N pipelining)  (default 16)
+//!         --daemons <d>        in-process daemons      (default 1)
+//!         --seed <s>           schedule seed           (default 42)
+//!         --legacy             run the thread-per-connection baseline
+//!                              instead of the reactor
+//!         --no-journal         skip the write-ahead journal (the default
+//!                              fleet journals + fsyncs, where the
+//!                              reactor's group commit earns its win)
+//!         --queue-ops/--workers/--retry-after-ms  reactor bounds (storm
+//!                              defaults: one worker, a 32-frame queue,
+//!                              1 ms retry hint; shrink --queue-ops to
+//!                              force backpressure sheds)
+//!         --trials <t>         bench-json trials per mode; the medians
+//!                              are recorded               (default 3)
+//!         --bench-json <path>  alternate legacy/reactor trials and write
+//!                              the median comparison (BENCH_serve.json)
 //!
 //! submit: streams a simulated population to daemons (disjoint group
 //!         ownership), pulls serialized parts, merges + finalizes at the
@@ -133,7 +170,8 @@ use dap_bench::chaos::{run_chaos, ChaosSpec};
 use dap_bench::serve::{
     parse_dataset, render_outputs, submit_header, ServeSpec, SubmitOptions, SubmitSpec, WireMech,
 };
-use dap_core::net::{Deadlines, RetryPolicy, ServeOptions};
+use dap_bench::storm::{run_storm, storm_header, write_storm_bench_json, StormSpec};
+use dap_core::net::{Deadlines, ReactorOptions, RetryPolicy, ServeOptions};
 use dap_core::Scheme;
 use dap_datasets::PopulationCache;
 use std::net::TcpListener;
@@ -156,7 +194,8 @@ fn main() {
     if id == "help" || id == "--help" {
         println!("usage: experiments <id> [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale] [--out PATH] [--shard I/N [--journal DIR]] [--bench-json PATH] [--bench-repeats R]");
         println!("       experiments merge <shard.json>... [--out PATH]");
-        println!("       experiments serve --addr H:P [--mech pm|sw] [--eps E] [--eps0 E0] --users N [--plan-seed S] [--max-dout D] [--idle-timeout MS] [--secagg I/K] [--auth-token HEX,..] [--journal DIR [--journal-sync] [--checkpoint-every N]]");
+        println!("       experiments serve --addr H:P [--mech pm|sw] [--eps E] [--eps0 E0] --users N [--plan-seed S] [--max-dout D] [--idle-timeout MS] [--legacy | --workers W --queue-ops Q --queue-bytes B --max-conns C --retry-after-ms MS] [--secagg I/K] [--auth-token HEX,..] [--journal DIR [--journal-sync] [--checkpoint-every N]]");
+        println!("       experiments storm [--connections M] [--reports N] [--batch B] [--window W] [--daemons D] [--seed S] [--legacy] [--no-journal] [--workers W] [--queue-ops Q] [--retry-after-ms MS] [--trials T] [--bench-json PATH]");
         println!("       experiments submit (--addrs H:P,... | --local) [deployment flags] [--dataset D] [--gamma G] [--data-seed S] [--schemes all|LBL,..] [--timeout-ms MS] [--retry-attempts N] [--retry-budget N] [--retry-base-ms MS] [--retry-seed S] [--secagg K] [--secagg-seed HEX] [--auth-token HEX] [--expect-rejection] [--shutdown] [--pull-only]");
         println!("       experiments chaos [deployment/population flags] [--daemons N] [--chaos-seed S] [--faults N] [--kill-restart] [--secagg] [--secagg-seed HEX] [--auth-token HEX] [retry flags]");
         println!("       experiments dispatch <id> --addrs H:P,... [--n N] [--trials T] [--seed S] [--max-dout D] [--paper-scale] [--out PATH]");
@@ -170,6 +209,10 @@ fn main() {
     }
     if id == "serve" {
         serve_cmd(&args[1..]);
+        return;
+    }
+    if id == "storm" {
+        storm_cmd(&args[1..]);
         return;
     }
     if id == "submit" {
@@ -518,6 +561,32 @@ fn parse_secagg_seed(args: &[String]) -> u64 {
     }
 }
 
+/// The ingestion-reactor tuning flags shared by `serve` and `storm`.
+const REACTOR_FLAGS: [&str; 5] =
+    ["--workers", "--queue-ops", "--queue-bytes", "--max-conns", "--retry-after-ms"];
+
+/// `--legacy` / reactor tuning flags → the [`ServeOptions::reactor`]
+/// field, starting from `base` (the stock defaults for `serve`, the
+/// deliberately starved bounds for `storm`).
+fn parse_reactor(args: &[String], base: ReactorOptions) -> Option<ReactorOptions> {
+    if args.iter().any(|a| a == "--legacy") {
+        for flag in REACTOR_FLAGS {
+            if args.iter().any(|a| a == flag) {
+                fail(&format!("{flag} tunes the reactor; it cannot be combined with --legacy"));
+            }
+        }
+        return None;
+    }
+    Some(ReactorOptions {
+        workers: flag_parse(args, "--workers", base.workers),
+        queue_ops: flag_parse(args, "--queue-ops", base.queue_ops),
+        queue_bytes: flag_parse(args, "--queue-bytes", base.queue_bytes),
+        max_connections: flag_parse(args, "--max-conns", base.max_connections),
+        retry_after_ms: flag_parse(args, "--retry-after-ms", base.retry_after_ms),
+        ..base
+    })
+}
+
 /// The population flags shared by `submit` and `chaos`.
 fn parse_submit_spec(args: &[String]) -> SubmitSpec {
     let dataset = match flag_value(args, "--dataset") {
@@ -567,9 +636,10 @@ fn serve_cmd(args: &[String]) {
         &["--addr", "--journal", "--checkpoint-every", "--idle-timeout", "--secagg", "--auth-token"]
             .iter()
             .chain(&DEPLOY_FLAGS)
+            .chain(&REACTOR_FLAGS)
             .copied()
             .collect::<Vec<_>>(),
-        &["--journal-sync"],
+        &["--journal-sync", "--legacy"],
     );
     let addr = match flag_value(args, "--addr") {
         Ok(Some(a)) => a,
@@ -597,6 +667,7 @@ fn serve_cmd(args: &[String]) {
     let options = ServeOptions {
         idle_timeout: (idle_ms != 0).then(|| Duration::from_millis(idle_ms)),
         auth_tokens,
+        reactor: parse_reactor(args, ReactorOptions::default()),
     };
     let mut spec = parse_serve_spec(args);
     // `--secagg i/k`: this daemon serves share i of a k-server tier.
@@ -638,6 +709,100 @@ fn serve_cmd(args: &[String]) {
         fail(&msg);
     }
     eprintln!("[dapd stopped]");
+}
+
+/// `experiments storm`: the reactor's load harness — a seeded client
+/// swarm against an in-process daemon fleet, with throttle-aware
+/// retry/reconnect, verified exactly-once against a replayed twin, and
+/// measured (reports/sec, p50/p99 ack latency). `--bench-json` runs the
+/// legacy baseline and the reactor back to back and writes the
+/// comparison file CI gates on.
+fn storm_cmd(args: &[String]) {
+    check_flags(
+        args,
+        &[
+            "--connections",
+            "--reports",
+            "--batch",
+            "--window",
+            "--daemons",
+            "--seed",
+            "--trials",
+            "--bench-json",
+        ]
+        .iter()
+        .chain(&REACTOR_FLAGS)
+        .copied()
+        .collect::<Vec<_>>(),
+        &["--legacy", "--no-journal"],
+    );
+    let spec = StormSpec {
+        connections: flag_parse(args, "--connections", 32),
+        reports: flag_parse(args, "--reports", 2000),
+        batch: flag_parse(args, "--batch", 16),
+        window: flag_parse(args, "--window", 16),
+        daemons: flag_parse(args, "--daemons", 1),
+        seed: flag_parse(args, "--seed", 42),
+        journal: !args.iter().any(|a| a == "--no-journal"),
+        reactor: parse_reactor(args, StormSpec::storm_reactor()),
+    };
+    let bench_json = flag_value(args, "--bench-json").unwrap_or_else(|msg| fail(&msg));
+
+    println!("{}", storm_header(&spec));
+    if let Some(path) = bench_json {
+        // The comparison: alternate legacy/reactor trials (decorrelating
+        // filesystem-journal drift) and report each mode's median-
+        // throughput run — single fsync-bound runs swing ±30% on shared
+        // CI metal.
+        let trials: usize = flag_parse(args, "--trials", 3).max(1);
+        let reactor_opts =
+            spec.reactor.clone().unwrap_or_else(StormSpec::storm_reactor);
+        let mut legacies = Vec::with_capacity(trials);
+        let mut reactors = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let legacy = run_storm(&StormSpec { reactor: None, ..spec.clone() })
+                .unwrap_or_else(|msg| fail(&msg));
+            println!("{}", legacy.render());
+            let reactor = run_storm(&StormSpec {
+                reactor: Some(reactor_opts.clone()),
+                ..spec.clone()
+            })
+            .unwrap_or_else(|msg| fail(&msg));
+            println!("{}", reactor.render());
+            if !legacy.exact() || !reactor.exact() {
+                fail(
+                    "storm lost, duplicated or diverged reports \
+                     (see the lost/dup lines above)",
+                );
+            }
+            legacies.push(legacy);
+            reactors.push(reactor);
+        }
+        let median = |mut runs: Vec<dap_bench::storm::StormStats>| {
+            runs.sort_by(|a, b| {
+                a.reports_per_sec.total_cmp(&b.reports_per_sec)
+            });
+            runs.swap_remove(runs.len() / 2)
+        };
+        let (legacy, reactor) = (median(legacies), median(reactors));
+        println!(
+            "storm: speedup {:.2}x (reactor {:.0} vs legacy {:.0} reports/sec, \
+             median of {trials})",
+            reactor.reports_per_sec / legacy.reports_per_sec,
+            reactor.reports_per_sec,
+            legacy.reports_per_sec,
+        );
+        if let Err(e) = write_storm_bench_json(&path, &spec, &reactor, &legacy) {
+            fail(&format!("failed to write {path}: {e}"));
+        }
+        eprintln!("[wrote {path}]");
+    } else {
+        let stats = run_storm(&spec).unwrap_or_else(|msg| fail(&msg));
+        println!("{}", stats.render());
+        if !stats.exact() {
+            fail("storm lost, duplicated or diverged reports (see the lost/dup line above)");
+        }
+    }
 }
 
 fn parse_schemes(args: &[String]) -> Vec<Scheme> {

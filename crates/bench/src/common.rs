@@ -314,9 +314,43 @@ pub fn stream_id(parts: &[usize]) -> u64 {
         })
 }
 
+/// The PR-over-PR baseline history for one bench file: every re-baseline
+/// appends the fresh median to the previous file's `trend_wall_ms` array
+/// (seeded from its bare `median_wall_ms` when the old schema carried no
+/// trend yet), so a drifting machine shows up as a drifting series rather
+/// than a silently moved goalpost.
+fn bench_trend(previous: &str, fresh_median: f64) -> Vec<String> {
+    let mut trend: Vec<String> = previous
+        .split("\"trend_wall_ms\": [")
+        .nth(1)
+        .and_then(|tail| tail.split(']').next())
+        .map(|list| {
+            list.split(',')
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    if trend.is_empty() {
+        if let Some(prev) = previous
+            .split("\"median_wall_ms\": ")
+            .nth(1)
+            .and_then(|tail| tail.split([',', '\n']).next())
+        {
+            let prev = prev.trim();
+            if !prev.is_empty() {
+                trend.push(prev.to_string());
+            }
+        }
+    }
+    trend.push(format!("{fresh_median:.1}"));
+    trend
+}
+
 /// Writes the perf-tracking JSON for one experiment run: the options it ran
 /// under and the wall-clock of each repeat, with the median the CI trend
-/// tracks. Hand-rolled JSON — the workspace has no serde.
+/// tracks (`bench_trend` carries the re-baseline history forward).
+/// Hand-rolled JSON — the workspace has no serde.
 pub fn write_bench_json(
     path: &str,
     experiment: &str,
@@ -328,9 +362,17 @@ pub fn write_bench_json(
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
     let median = sorted[sorted.len() / 2];
     let runs: Vec<String> = runs_ms.iter().map(|ms| format!("{ms:.1}")).collect();
+    let trend = bench_trend(&std::fs::read_to_string(path).unwrap_or_default(), median);
     let json = format!(
-        "{{\n  \"experiment\": \"{}\",\n  \"n\": {},\n  \"trials\": {},\n  \"seed\": {},\n  \"max_d_out\": {},\n  \"median_wall_ms\": {:.1},\n  \"runs_wall_ms\": [{}]\n}}\n",
-        experiment, opts.n, opts.trials, opts.seed, opts.max_d_out, median, runs.join(", "),
+        "{{\n  \"experiment\": \"{}\",\n  \"n\": {},\n  \"trials\": {},\n  \"seed\": {},\n  \"max_d_out\": {},\n  \"median_wall_ms\": {:.1},\n  \"runs_wall_ms\": [{}],\n  \"trend_wall_ms\": [{}]\n}}\n",
+        experiment,
+        opts.n,
+        opts.trials,
+        opts.seed,
+        opts.max_d_out,
+        median,
+        runs.join(", "),
+        trend.join(", "),
     );
     let mut file = std::fs::File::create(path)?;
     file.write_all(json.as_bytes())
@@ -458,11 +500,29 @@ mod tests {
         let opts = ExpOptions::default();
         let path = std::env::temp_dir().join("dap_bench_json_test.json");
         let path = path.to_str().expect("utf8 temp path");
+        std::fs::remove_file(path).ok();
         write_bench_json(path, "fig7", &opts, &[30.0, 10.0, 20.0]).expect("writable");
         let body = std::fs::read_to_string(path).expect("readable");
         assert!(body.contains("\"experiment\": \"fig7\""));
         assert!(body.contains("\"median_wall_ms\": 20.0"));
         assert!(body.contains("[30.0, 10.0, 20.0]"));
+        assert!(body.contains("\"trend_wall_ms\": [20.0]"));
+        // A re-baseline appends to the trend, never rewrites history.
+        write_bench_json(path, "fig7", &opts, &[25.0]).expect("writable");
+        let body = std::fs::read_to_string(path).expect("readable");
+        assert!(body.contains("\"trend_wall_ms\": [20.0, 25.0]"), "got: {body}");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bench_trend_seeds_from_a_pre_trend_baseline() {
+        // The seed-era schema carried only `median_wall_ms`; the first
+        // re-baseline promotes it to the trend's opening entry.
+        let old = "{\n  \"median_wall_ms\": 217.8,\n  \"runs_wall_ms\": [217.8]\n}\n";
+        assert_eq!(bench_trend(old, 252.3), vec!["217.8", "252.3"]);
+        // And with a trend present, the bare median is ignored.
+        let with = "{\n  \"median_wall_ms\": 252.3,\n  \"trend_wall_ms\": [217.8, 252.3]\n}\n";
+        assert_eq!(bench_trend(with, 240.0), vec!["217.8", "252.3", "240.0"]);
+        assert_eq!(bench_trend("", 10.0), vec!["10.0"]);
     }
 }

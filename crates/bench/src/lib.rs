@@ -38,6 +38,7 @@ pub mod fig9;
 pub mod journal;
 pub mod results;
 pub mod serve;
+pub mod storm;
 pub mod table1;
 
 /// Appends a formatted line to a `String` render buffer (renderers build

@@ -335,6 +335,10 @@ pub struct DaemonSummary {
     pub reconnects: usize,
     /// Retryable errors that were specifically deadline expiries.
     pub timeouts: usize,
+    /// Retryable errors that were backpressure sheds
+    /// ([`WireError::Throttled`]) — the daemon's apply queue was full and
+    /// the coordinator waited out the server's `retry_after_ms` hint.
+    pub throttles: usize,
     /// Sequenced batches the daemon (or the reconnect handshake) reported
     /// as already applied — lost acks absorbed by the replay guard.
     pub duplicates: usize,
@@ -355,11 +359,13 @@ impl DaemonSummary {
     /// daemon).
     pub fn render(&self) -> String {
         format!(
-            "daemon {}: groups {:?}, {} retries ({} timeouts), {} reconnects, {} dup-acks{}{}{}",
+            "daemon {}: groups {:?}, {} retries ({} timeouts, {} throttles), {} reconnects, \
+             {} dup-acks{}{}{}",
             self.addr,
             self.groups,
             self.retries,
             self.timeouts,
+            self.throttles,
             self.reconnects,
             self.duplicates,
             if self.rebuilt_locally { ", part rebuilt locally" } else { "" },
@@ -367,12 +373,25 @@ impl DaemonSummary {
             self.counters
                 .map(|c| {
                     format!(
-                        ", status{}: {} channels, {} share-batches, {} journaled, {} checkpoints",
+                        ", status{}: {} channels, {} share-batches, {} journaled, {} checkpoints{}",
                         if c.masked { "[masked]" } else { "" },
                         c.channels,
                         c.shares,
                         c.journal_records,
                         c.checkpoints,
+                        c.reactor
+                            .map(|r| {
+                                format!(
+                                    ", reactor: {} queued ({} bytes), {} active (peak {}), \
+                                     {} throttled",
+                                    r.queue_depth,
+                                    r.queued_bytes,
+                                    r.active_connections,
+                                    r.peak_connections,
+                                    r.throttled,
+                                )
+                            })
+                            .unwrap_or_default(),
                     )
                 })
                 .unwrap_or_default(),
@@ -513,13 +532,29 @@ impl Daemon {
                     if matches!(e, WireError::Timeout { .. }) {
                         self.summary.timeouts += 1;
                     }
-                    self.client = None;
+                    // A throttle shed the frame *before* it touched the
+                    // daemon — the connection itself is healthy, so keep
+                    // it and just wait. Transport failures drop the
+                    // connection and reconnect (re-handshaking the
+                    // channel) on the next attempt.
+                    let throttle_hint = match &e {
+                        WireError::Throttled { retry_after_ms } => {
+                            self.summary.throttles += 1;
+                            Some(Duration::from_millis(*retry_after_ms))
+                        }
+                        _ => {
+                            self.client = None;
+                            None
+                        }
+                    };
                     if attempt >= ctx.policy.attempts || ctx.budget == 0 {
                         return Err(OpError::Dead(e.to_string()));
                     }
                     ctx.budget -= 1;
                     self.summary.retries += 1;
-                    std::thread::sleep(ctx.policy.backoff(attempt, self.channel));
+                    // Back off at least as long as the server's hint.
+                    let pause = ctx.policy.backoff(attempt, self.channel);
+                    std::thread::sleep(throttle_hint.map_or(pause, |hint| pause.max(hint)));
                 }
                 Err(e) => {
                     return Err(OpError::Fatal(format!("daemon {}: {e}", self.summary.addr)))

@@ -347,7 +347,7 @@ fn spawn_masked_daemons(
                 ..*spec
             };
             let options =
-                ServeOptions { idle_timeout: None, auth_tokens: auth_tokens.clone() };
+                ServeOptions { idle_timeout: None, auth_tokens: auth_tokens.clone(), ..ServeOptions::default() };
             let handle = std::thread::spawn(move || {
                 spec.serve_with(listener, options).expect("masked daemon serves")
             });
@@ -496,7 +496,7 @@ fn auth_allowlist_gates_every_frame() {
         serve_spec
             .serve_with(
                 listener,
-                ServeOptions { idle_timeout: None, auth_tokens: vec![TOKEN] },
+                ServeOptions { idle_timeout: None, auth_tokens: vec![TOKEN], ..ServeOptions::default() },
             )
             .expect("daemon serves")
     });

@@ -1,10 +1,17 @@
 //! `dap-wire/v1`: a std-only wire protocol serving [`DapSession`] over TCP.
 //!
 //! The session API is transport-agnostic; this module is the transport. A
-//! daemon wraps one session in [`serve_session`] (a thread-per-connection
-//! accept loop over `std::net::TcpListener` — the workspace has no async
-//! runtime, by design); clients drive it through [`WireClient`]. The frame
-//! set mirrors the session API one-to-one:
+//! daemon wraps one session in [`serve_session`] — by default a
+//! bounded-worker *ingestion reactor*: each connection gets a handler
+//! thread that decodes frames, mutation frames cross a bounded apply
+//! queue to a small worker pool applying coalesced batches under one
+//! session-lock acquisition (one journal group commit for a durable
+//! session), and a full queue or connection table answers with a typed,
+//! retryable [`WireError::Throttled`] instead of blocking
+//! (backpressure). The accept loop runs over `std::net::TcpListener` —
+//! the workspace has no async runtime, by design. Clients drive the
+//! daemon through [`WireClient`]. The frame set mirrors the session API
+//! one-to-one:
 //!
 //! | frame | direction | reply | meaning |
 //! |---|---|---|---|
@@ -49,11 +56,12 @@ use crate::secagg::{MaskedGroup, MaskedPart, SecaggRole};
 use crate::session::{DapSession, PartGroup, SessionPart};
 use dap_attack::Side;
 use dap_ldp::NumericMechanism;
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
 use std::time::Duration;
 
 /// The protocol version exchanged in the `hello` handshake.
@@ -118,6 +126,15 @@ pub enum WireError {
         /// What timed out.
         what: String,
     },
+    /// Backpressure: the daemon's apply queue (or connection table) is
+    /// full and the frame was shed *before* touching the session — nothing
+    /// was applied, so resending the identical frame is always safe.
+    /// Retryable under a [`RetryPolicy`]; a well-behaved client waits at
+    /// least `retry_after_ms` (the server's hint) before the resend.
+    Throttled {
+        /// Server's backoff hint in milliseconds.
+        retry_after_ms: u64,
+    },
     /// A transport-level I/O failure (connect, read, write).
     Io {
         /// The underlying error, stringified.
@@ -143,6 +160,9 @@ impl fmt::Display for WireError {
             WireError::BadFrame { reason } => write!(f, "malformed frame: {reason}"),
             WireError::Failed { message } => write!(f, "peer failed: {message}"),
             WireError::Timeout { what } => write!(f, "wire timeout: {what}"),
+            WireError::Throttled { retry_after_ms } => {
+                write!(f, "throttled by peer: retry after {retry_after_ms} ms")
+            }
             WireError::Io { message } => write!(f, "wire i/o error: {message}"),
         }
     }
@@ -359,6 +379,30 @@ pub struct StatusCounters {
     pub journal_records: u64,
     /// Checkpoints taken since open (0 for an in-memory session).
     pub checkpoints: u64,
+    /// Ingestion-reactor counters; `None` when the daemon serves the
+    /// legacy thread-per-connection path (or predates the reactor — the
+    /// encoding omits the section, keeping old status-ok frames
+    /// byte-identical).
+    pub reactor: Option<ReactorCounters>,
+}
+
+/// Observability counters for the ingestion reactor, carried as an
+/// optional trailing section of the `status-ok` counters: enough to see,
+/// from one probe, whether a daemon is saturating (queue filling, clients
+/// being throttled) or idling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactorCounters {
+    /// Frames currently parked in the apply queue.
+    pub queue_depth: u64,
+    /// Bytes of frame payload currently parked in the apply queue.
+    pub queued_bytes: u64,
+    /// Connections currently open.
+    pub active_connections: u64,
+    /// High-water mark of concurrently open connections.
+    pub peak_connections: u64,
+    /// Frames (or connection attempts) shed with
+    /// [`WireError::Throttled`] since the daemon started.
+    pub throttled: u64,
 }
 
 impl Frame {
@@ -561,6 +605,19 @@ pub fn encode_frame(frame: &Frame) -> String {
                     c.journal_records,
                     c.checkpoints
                 );
+                // The reactor section rides along only when the daemon
+                // runs one, so legacy daemons keep the PR 8 encoding.
+                if let Some(r) = &c.reactor {
+                    let _ = write!(
+                        s,
+                        " reactor {} {} {} {} {}",
+                        r.queue_depth,
+                        r.queued_bytes,
+                        r.active_connections,
+                        r.peak_connections,
+                        r.throttled
+                    );
+                }
             }
         }
         Frame::Ok => s.push_str("ok"),
@@ -675,6 +732,9 @@ fn encode_error(s: &mut String, e: &WireError) {
         }
         WireError::Timeout { what } => {
             let _ = write!(s, "error timeout\n{what}");
+        }
+        WireError::Throttled { retry_after_ms } => {
+            let _ = write!(s, "error throttled {retry_after_ms}");
         }
         WireError::Io { message } => {
             let _ = write!(s, "error io\n{message}");
@@ -900,6 +960,7 @@ fn parse_error(body: &str) -> Result<WireError, WireError> {
         "bad-frame" => WireError::BadFrame { reason: rest.to_string() },
         "failed" => WireError::Failed { message: rest.to_string() },
         "timeout" => WireError::Timeout { what: rest.to_string() },
+        "throttled" => WireError::Throttled { retry_after_ms: t.u64("retry-after ms")? },
         "io" => WireError::Io { message: rest.to_string() },
         other => {
             return Err(WireError::BadFrame { reason: format!("unknown error kind '{other}'") })
@@ -1013,13 +1074,25 @@ pub fn decode_frame(body: &str) -> Result<Frame, WireError> {
             let ingested = t.usize("ingested")?;
             let counters = if t.peek() == Some("counters") {
                 t.literal("counters")?;
-                Some(StatusCounters {
+                let mut c = StatusCounters {
                     masked: t.u64("masked flag")? != 0,
                     channels: t.u64("channel counter")?,
                     shares: t.u64("share counter")?,
                     journal_records: t.u64("journal record counter")?,
                     checkpoints: t.u64("checkpoint counter")?,
-                })
+                    reactor: None,
+                };
+                if t.peek() == Some("reactor") {
+                    t.literal("reactor")?;
+                    c.reactor = Some(ReactorCounters {
+                        queue_depth: t.u64("queue depth")?,
+                        queued_bytes: t.u64("queued bytes")?,
+                        active_connections: t.u64("active connections")?,
+                        peak_connections: t.u64("peak connections")?,
+                        throttled: t.u64("throttle counter")?,
+                    });
+                }
+                Some(c)
             } else {
                 None
             };
@@ -1069,8 +1142,12 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
             reason: format!("frame of {} bytes exceeds the {MAX_FRAME}-byte cap", body.len()),
         });
     }
-    w.write_all(&(body.len() as u32).to_be_bytes())?;
-    w.write_all(body.as_bytes())?;
+    // One buffer, one write: a separate 4-byte prefix write would cost a
+    // second syscall per frame (and, with TCP_NODELAY, its own packet).
+    let mut wire = Vec::with_capacity(4 + body.len());
+    wire.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    wire.extend_from_slice(body.as_bytes());
+    w.write_all(&wire)?;
     w.flush()?;
     Ok(())
 }
@@ -1079,6 +1156,13 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
 /// [`WireError::Io`]; anything the peer sent that fails to parse is
 /// [`WireError::BadFrame`].
 pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    read_frame_sized(r).map(|(frame, _)| frame)
+}
+
+/// [`read_frame`] also reporting the frame's body length in bytes — the
+/// cost unit the reactor's [`ReactorOptions::queue_bytes`] bound accounts
+/// in, so backpressure tracks actual memory held, not frame counts.
+pub fn read_frame_sized(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
     let mut len_bytes = [0u8; 4];
     r.read_exact(&mut len_bytes)?;
     let len = u32::from_be_bytes(len_bytes) as usize;
@@ -1091,7 +1175,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
     r.read_exact(&mut body)?;
     let text = std::str::from_utf8(&body)
         .map_err(|_| WireError::BadFrame { reason: "frame body is not UTF-8".into() })?;
-    decode_frame(text)
+    decode_frame(text).map(|frame| (frame, len))
 }
 
 // ---------------------------------------------------------------------------
@@ -1176,11 +1260,16 @@ impl RetryPolicy {
         exp.mul_f64(frac)
     }
 
-    /// Whether an error is worth retrying: transport failures and
-    /// deadline expiries are; typed protocol rejections (quota, digest
-    /// mismatch, replay violations, …) are deterministic and are not.
+    /// Whether an error is worth retrying: transport failures, deadline
+    /// expiries and backpressure sheds ([`WireError::Throttled`] — the
+    /// frame never touched the session, so a resend is always safe) are;
+    /// typed protocol rejections (quota, digest mismatch, replay
+    /// violations, …) are deterministic and are not.
     pub fn retryable(e: &WireError) -> bool {
-        matches!(e, WireError::Io { .. } | WireError::Timeout { .. })
+        matches!(
+            e,
+            WireError::Io { .. } | WireError::Timeout { .. } | WireError::Throttled { .. }
+        )
     }
 }
 
@@ -1201,17 +1290,25 @@ pub type MaskedHelloOk = (usize, u64, Option<(usize, usize)>);
 #[derive(Debug)]
 pub struct WireClient {
     stream: TcpStream,
+    /// Buffered read half over a clone of `stream` (replies otherwise cost
+    /// two read syscalls each: length prefix, body).
+    reader: std::io::BufReader<TcpStream>,
     /// Auth token presented in every `hello` ([`WireClient::set_auth`]);
     /// `None` omits the section for servers that require no token.
     auth: Option<u64>,
 }
 
 impl WireClient {
+    fn over(stream: TcpStream) -> std::io::Result<WireClient> {
+        let reader = std::io::BufReader::with_capacity(8 * 1024, stream.try_clone()?);
+        Ok(WireClient { stream, reader, auth: None })
+    }
+
     /// Connects to a daemon.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<WireClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        Ok(WireClient { stream, auth: None })
+        WireClient::over(stream)
     }
 
     /// Connects with [`Deadlines`]: the connect itself is bounded by
@@ -1249,7 +1346,7 @@ impl WireClient {
         stream.set_nodelay(true).ok();
         stream.set_read_timeout(deadlines.read)?;
         stream.set_write_timeout(deadlines.write)?;
-        Ok(WireClient { stream, auth: None })
+        WireClient::over(stream)
     }
 
     /// Sets the auth token every subsequent `hello` on this connection
@@ -1291,8 +1388,23 @@ impl WireClient {
 
     /// One request/reply exchange; `error` replies become `Err`.
     pub fn call(&mut self, frame: &Frame) -> Result<Frame, WireError> {
-        write_frame(&mut self.stream, frame)?;
-        match read_frame(&mut self.stream)? {
+        self.send_frame(frame)?;
+        self.recv_reply()
+    }
+
+    /// Sends one frame without waiting for its reply — the transmit half
+    /// of a pipelined (windowed) exchange. The server still processes
+    /// strictly one frame per connection at a time and replies in order,
+    /// so pipelining overlaps scheduling without changing semantics;
+    /// collect each reply with [`WireClient::recv_reply`].
+    pub fn send_frame(&mut self, frame: &Frame) -> Result<(), WireError> {
+        write_frame(&mut self.stream, frame)
+    }
+
+    /// Receives the next in-order reply to a [`WireClient::send_frame`];
+    /// `error` replies become `Err` exactly as in [`WireClient::call`].
+    pub fn recv_reply(&mut self) -> Result<Frame, WireError> {
+        match read_frame(&mut self.reader)? {
             Frame::Error(e) => Err(e),
             f => Ok(f),
         }
@@ -1542,6 +1654,20 @@ pub trait WireSession {
     fn export_masked_part(&self) -> Result<MaskedPart, DapError>;
     /// Observability counters for the `status` reply.
     fn status_counters(&self) -> StatusCounters;
+    /// Enters group-commit mode: until [`WireSession::commit_acks`], the
+    /// session may buffer durability work (journal flush/fsync) across
+    /// ingest calls. The reactor brackets each coalesced batch with this
+    /// pair so one fsync covers many connections' frames. No-op for
+    /// sessions without a durability layer.
+    fn defer_acks(&mut self) {}
+    /// Leaves group-commit mode, forcing everything applied since
+    /// [`WireSession::defer_acks`] durable. **No frame applied inside the
+    /// bracket may be acknowledged before this returns `Ok`** — that is
+    /// the write-ahead contract ("acked implies recoverable") stated in
+    /// batch form.
+    fn commit_acks(&mut self) -> Result<(), DapError> {
+        Ok(())
+    }
 }
 
 impl<M: NumericMechanism + Sync> WireSession for DapSession<M> {
@@ -1620,6 +1746,7 @@ impl<M: NumericMechanism + Sync> WireSession for DapSession<M> {
             shares: self.shares_applied(),
             journal_records: 0,
             checkpoints: 0,
+            reactor: None,
         }
     }
 }
@@ -1637,6 +1764,232 @@ struct ServerState<S> {
     /// threads are joined before `serve_session` returns — a lingering
     /// idle client must not wedge the daemon).
     conns: Mutex<Vec<TcpStream>>,
+    /// The server's idle bound ([`ServeOptions::idle_timeout`]); under the
+    /// reactor it also caps how long a handler stays parked waiting for a
+    /// queued frame's ack, so a wedged apply queue cannot exempt its
+    /// connections from reaping.
+    idle_timeout: Option<Duration>,
+    /// The ingestion reactor; `None` serves the legacy lock-per-frame
+    /// path.
+    reactor: Option<Reactor>,
+}
+
+/// One decoded mutation frame parked in the apply queue, with the byte
+/// cost it holds against [`ReactorOptions::queue_bytes`] and the channel
+/// its handler waits on for the ack.
+struct QueuedOp {
+    frame: Frame,
+    cost: usize,
+    reply: mpsc::Sender<Frame>,
+}
+
+#[derive(Default)]
+struct QueueInner {
+    ops: VecDeque<QueuedOp>,
+    bytes: usize,
+    stopped: bool,
+}
+
+/// Outcome of offering a frame to the bounded apply queue.
+enum Push {
+    Queued,
+    Full,
+    Stopped,
+}
+
+/// The ingestion reactor: a bounded MPSC apply queue fed by every
+/// connection handler and drained in coalesced batches by a small worker
+/// pool ([`worker_loop`]), plus the connection/backpressure counters the
+/// `status` frame reports.
+struct Reactor {
+    opts: ReactorOptions,
+    queue: Mutex<QueueInner>,
+    ready: Condvar,
+    active: AtomicU64,
+    peak: AtomicU64,
+    throttled: AtomicU64,
+}
+
+impl Reactor {
+    fn new(opts: ReactorOptions) -> Reactor {
+        Reactor {
+            opts,
+            queue: Mutex::new(QueueInner::default()),
+            ready: Condvar::new(),
+            active: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+        }
+    }
+
+    fn try_push(&self, op: QueuedOp) -> Push {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.stopped {
+            return Push::Stopped;
+        }
+        // A frame larger than the whole byte budget is still admitted when
+        // the queue is empty — otherwise it could never be served at all.
+        let fits = q.ops.len() < self.opts.queue_ops.max(1)
+            && (q.ops.is_empty() || q.bytes + op.cost <= self.opts.queue_bytes);
+        if !fits {
+            return Push::Full;
+        }
+        q.bytes += op.cost;
+        q.ops.push_back(op);
+        self.ready.notify_one();
+        Push::Queued
+    }
+
+    /// Blocks until work is available, then drains up to
+    /// [`ReactorOptions::coalesce`] frames. `None` means the reactor is
+    /// stopped *and* drained — the worker should exit.
+    fn pop_batch(&self) -> Option<Vec<QueuedOp>> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !q.ops.is_empty() {
+                let take = q.ops.len().min(self.opts.coalesce.max(1));
+                let batch: Vec<QueuedOp> = q.ops.drain(..take).collect();
+                q.bytes -= batch.iter().map(|op| op.cost).sum::<usize>();
+                return Some(batch);
+            }
+            if q.stopped {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Marks the queue stopped and wakes every worker; queued frames are
+    /// still drained (their handlers are waiting on acks) before workers
+    /// exit.
+    fn stop(&self) {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).stopped = true;
+        self.ready.notify_all();
+    }
+
+    fn counters(&self) -> ReactorCounters {
+        let (queue_depth, queued_bytes) = {
+            let q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            (q.ops.len() as u64, q.bytes as u64)
+        };
+        ReactorCounters {
+            queue_depth,
+            queued_bytes,
+            active_connections: self.active.load(Ordering::Relaxed),
+            peak_connections: self.peak.load(Ordering::Relaxed),
+            throttled: self.throttled.load(Ordering::Relaxed),
+        }
+    }
+
+    fn track_connection(&self) -> ConnGuard<'_> {
+        let now = self.active.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        ConnGuard { reactor: self }
+    }
+}
+
+/// Decrements the active-connection count however the handler exits.
+struct ConnGuard<'a> {
+    reactor: &'a Reactor,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.reactor.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Whether a frame is session-mutating ingest traffic the reactor queues;
+/// everything else (handshakes, pulls, merges, finalize, shutdown) stays
+/// on the direct dispatch path.
+fn is_reactor_op(frame: &Frame) -> bool {
+    matches!(
+        frame,
+        Frame::Ingest { .. }
+            | Frame::IngestBatch { .. }
+            | Frame::IngestBatchSeq { .. }
+            | Frame::ShareBatch { .. }
+    )
+}
+
+/// Applies one mutation frame to the session, mapping the result to its
+/// wire reply. Shared by the legacy dispatch path and the reactor's
+/// workers so both apply identical semantics (validation, replay guard,
+/// typed rejections).
+fn apply_mutation<S: WireSession>(session: &mut S, frame: &Frame) -> Frame {
+    let applied = match frame {
+        Frame::Ingest { group, report } => session.ingest(*group, *report),
+        Frame::IngestBatch { group, reports } => session.ingest_batch(*group, reports),
+        Frame::IngestBatchSeq { channel, seq, group, reports } => {
+            session.ingest_batch_seq(*channel, *seq, *group, reports)
+        }
+        Frame::ShareBatch { channel, seq, group, counts } => {
+            session.ingest_shares(*channel, *seq, *group, counts)
+        }
+        other => {
+            return Frame::Error(WireError::Unsupported { what: other.tag().to_string() })
+        }
+    };
+    match applied {
+        Ok(()) => Frame::Ok,
+        Err(e) => Frame::Error(e.into()),
+    }
+}
+
+/// One apply worker: drains coalesced batches off the reactor queue and
+/// applies them under a *single* session-lock acquisition — and, for a
+/// durable session, a single group commit ([`WireSession::defer_acks`] /
+/// [`WireSession::commit_acks`]), so one journal fsync covers many
+/// connections' frames. Acks are sent only after the commit succeeds,
+/// preserving "acked implies recoverable" batch-wide; per-channel frame
+/// order is preserved because the protocol allows one outstanding frame
+/// per connection and the queue is FIFO.
+fn worker_loop<S: WireSession>(state: &ServerState<S>) {
+    let reactor = state.reactor.as_ref().expect("worker requires a reactor");
+    while let Some(batch) = reactor.pop_batch() {
+        if let Some(stall) = reactor.opts.apply_stall {
+            std::thread::sleep(stall);
+        }
+        let mut replies = Vec::with_capacity(batch.len());
+        {
+            let mut session = state.lock();
+            session.defer_acks();
+            for op in &batch {
+                replies.push(apply_mutation(&mut *session, &op.frame));
+            }
+            if let Err(e) = session.commit_acks() {
+                // The group commit failed: nothing in this batch is known
+                // durable, so no frame in it may be acknowledged as
+                // applied.
+                for reply in &mut replies {
+                    if matches!(reply, Frame::Ok) {
+                        *reply = Frame::Error(WireError::Rejected(e.clone()));
+                    }
+                }
+            }
+        }
+        for (op, reply) in batch.into_iter().zip(replies) {
+            // A handler that gave up (idle deadline hit, socket died) has
+            // dropped its receiver; the frame is applied either way and a
+            // retry on a fresh connection dedups via the replay guard.
+            let _ = op.reply.send(reply);
+        }
+    }
+}
+
+/// Waits for a queued frame's ack, bounded by the server's idle timeout
+/// (`None` waits indefinitely). `None` result: the bound expired.
+fn wait_ack(rx: &mpsc::Receiver<Frame>, idle: Option<Duration>) -> Option<Frame> {
+    let workers_gone =
+        || Frame::Error(WireError::Failed { message: "apply workers exited".into() });
+    match idle {
+        None => Some(rx.recv().unwrap_or_else(|_| workers_gone())),
+        Some(bound) => match rx.recv_timeout(bound) {
+            Ok(reply) => Some(reply),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(workers_gone()),
+        },
+    }
 }
 
 impl<S: WireSession> ServerState<S> {
@@ -1684,37 +2037,32 @@ impl<S: WireSession> ServerState<S> {
                     }
                 }
             }
-            Frame::Ingest { group, report } => match self.lock().ingest(group, report) {
-                Ok(()) => Frame::Ok,
-                Err(e) => Frame::Error(e.into()),
-            },
-            Frame::IngestBatch { group, reports } => {
-                match self.lock().ingest_batch(group, &reports) {
-                    Ok(()) => Frame::Ok,
-                    Err(e) => Frame::Error(e.into()),
-                }
-            }
-            Frame::IngestBatchSeq { channel, seq, group, reports } => {
-                match self.lock().ingest_batch_seq(channel, seq, group, &reports) {
-                    Ok(()) => Frame::Ok,
-                    Err(e) => Frame::Error(e.into()),
-                }
-            }
-            Frame::ShareBatch { channel, seq, group, counts } => {
-                match self.lock().ingest_shares(channel, seq, group, &counts) {
-                    Ok(()) => Frame::Ok,
-                    Err(e) => Frame::Error(e.into()),
-                }
-            }
+            // The legacy (reactor-less) path applies mutations inline,
+            // one lock acquisition per frame — the same `apply_mutation`
+            // the reactor's workers run, so both paths reject and ack
+            // identically.
+            frame @ (Frame::Ingest { .. }
+            | Frame::IngestBatch { .. }
+            | Frame::IngestBatchSeq { .. }
+            | Frame::ShareBatch { .. }) => apply_mutation(&mut *self.lock(), &frame),
             Frame::MaskedPull => match self.lock().export_masked_part() {
                 Ok(part) => Frame::MaskedPart { part },
                 Err(e) => Frame::Error(e.into()),
             },
             Frame::Status => {
-                let session = self.lock();
-                let ingested = session.ingested_total();
-                let counters = Some(session.status_counters());
-                Frame::StatusOk { digest: self.digest, groups: self.groups, ingested, counters }
+                let (ingested, mut counters) = {
+                    let session = self.lock();
+                    (session.ingested_total(), session.status_counters())
+                };
+                if let Some(reactor) = &self.reactor {
+                    counters.reactor = Some(reactor.counters());
+                }
+                Frame::StatusOk {
+                    digest: self.digest,
+                    groups: self.groups,
+                    ingested,
+                    counters: Some(counters),
+                }
             }
             Frame::Pull => {
                 let session = self.lock();
@@ -1752,13 +2100,26 @@ where
     X: Fn(&Frame) -> Option<Frame> + Sync,
 {
     stream.set_nodelay(true).ok();
+    let _conn = state.reactor.as_ref().map(|r| r.track_connection());
+    // Buffered read half (the write half stays on the raw stream): frame
+    // decode otherwise costs two read syscalls per frame (length prefix,
+    // body). The clone shares the socket, so the idle read timeout and a
+    // shutdown's half-close still apply.
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => std::io::BufReader::with_capacity(32 * 1024, clone),
+        Err(_) => return,
+    };
+    // One ack channel per connection, reused across frames: the protocol
+    // is request/reply, so at most one frame from this connection is ever
+    // parked in the apply queue.
+    let (ack_tx, ack_rx) = mpsc::channel();
     // Authentication is connection-scoped: with tokens configured, nothing
     // reaches the session until a hello carrying a recognized token
     // succeeds on *this* connection.
     let mut authed = state.auth_tokens.is_empty();
     loop {
-        let frame = match read_frame(&mut stream) {
-            Ok(f) => f,
+        let (frame, cost) = match read_frame_sized(&mut reader) {
+            Ok(pair) => pair,
             // EOF / disconnect: the client is done with this connection.
             Err(WireError::Io { .. }) => return,
             // Idle past the server's deadline: close with a typed error so
@@ -1803,7 +2164,41 @@ where
                 continue;
             }
         }
-        let reply = state.dispatch(frame, extra);
+        let reply = match &state.reactor {
+            Some(reactor) if is_reactor_op(&frame) => {
+                match reactor.try_push(QueuedOp { frame, cost, reply: ack_tx.clone() }) {
+                    Push::Queued => match wait_ack(&ack_rx, state.idle_timeout) {
+                        Some(reply) => reply,
+                        None => {
+                            // Parked past the idle bound behind a wedged
+                            // apply queue: reap with the same typed
+                            // farewell a silent client gets. The frame may
+                            // still apply later; a retry on a fresh
+                            // connection dedups via the replay guard.
+                            let _ = write_frame(
+                                &mut stream,
+                                &Frame::Error(WireError::Timeout {
+                                    what: "apply queue stalled past idle deadline; \
+                                           connection closed by server"
+                                        .into(),
+                                }),
+                            );
+                            return;
+                        }
+                    },
+                    Push::Full => {
+                        reactor.throttled.fetch_add(1, Ordering::Relaxed);
+                        Frame::Error(WireError::Throttled {
+                            retry_after_ms: reactor.opts.retry_after_ms,
+                        })
+                    }
+                    Push::Stopped => Frame::Error(WireError::Failed {
+                        message: "server is shutting down".into(),
+                    }),
+                }
+            }
+            _ => state.dispatch(frame, extra),
+        };
         if write_frame(&mut stream, &reply).is_err() {
             return;
         }
@@ -1843,10 +2238,13 @@ impl<S> ServerState<S> {
 /// [`crate::storage::DurableSession`] for one whose acknowledged ingests
 /// survive a kill (`experiments serve --journal`).
 ///
-/// Connections are handled on their own scoped threads and share the
-/// session behind a mutex, so many report sources can stream
-/// concurrently; Definition 2 is enforced at the door by the session's
-/// own typed rejections, which travel back as [`WireError::Rejected`].
+/// Connections are handled on their own scoped threads; under the
+/// default reactor their mutation frames funnel through a bounded apply
+/// queue to a worker pool (see [`ServeOptions::reactor`]), so many report
+/// sources stream concurrently while the session lock is taken once per
+/// coalesced batch instead of once per frame. Definition 2 is enforced at
+/// the door by the session's own typed rejections, which travel back as
+/// [`WireError::Rejected`].
 ///
 /// `extra` handles frames the session layer does not (the bench daemon
 /// plugs experiment-shard execution in here); return `None` to let the
@@ -1861,12 +2259,14 @@ where
 }
 
 /// Server-side knobs for [`serve_session_with`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeOptions {
     /// Close a connection whose next frame does not arrive within this
     /// bound, with a typed [`WireError::Timeout`] farewell — leaked client
-    /// sockets can no longer pin handler threads forever. `None` (the
-    /// default) waits indefinitely, the pre-hardening behavior.
+    /// sockets can no longer pin handler threads forever. Under the
+    /// reactor the same bound also reaps connections parked in the apply
+    /// queue. `None` (the default) waits indefinitely, the pre-hardening
+    /// behavior.
     pub idle_timeout: Option<Duration>,
     /// Allowlist of auth tokens a `hello` may present. Empty (the
     /// default): no authentication, the pre-auth behavior. Non-empty:
@@ -1874,6 +2274,71 @@ pub struct ServeOptions {
     /// [`WireError::Unauthorized`] until a hello carrying one of these
     /// tokens succeeds.
     pub auth_tokens: Vec<u64>,
+    /// Ingestion-reactor configuration. `Some` (the default) serves the
+    /// bounded-worker reactor: mutation frames cross a bounded apply
+    /// queue to a worker pool that applies coalesced batches under one
+    /// lock acquisition (one group commit for a durable session), with
+    /// [`WireError::Throttled`] backpressure when the queue or connection
+    /// table is full. `None` restores the thread-per-connection
+    /// lock-per-frame path (`experiments serve --legacy`), kept
+    /// selectable as the storm harness's baseline.
+    pub reactor: Option<ReactorOptions>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            idle_timeout: None,
+            auth_tokens: Vec::new(),
+            reactor: Some(ReactorOptions::default()),
+        }
+    }
+}
+
+/// Tuning for the ingestion reactor ([`ServeOptions::reactor`]). The
+/// defaults are sized for a small daemon fleet on one host; the storm
+/// harness (`experiments storm`) deliberately shrinks the bounds to force
+/// throttling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReactorOptions {
+    /// Apply workers draining the queue. The session lock still
+    /// serializes application, so per-channel ingest order (and
+    /// therefore recovery and finalize) is identical for any worker
+    /// count.
+    pub workers: usize,
+    /// Frame-count bound on the apply queue; a frame arriving at a full
+    /// queue is shed with [`WireError::Throttled`].
+    pub queue_ops: usize,
+    /// Byte bound on queued frame payloads (body bytes as read off the
+    /// wire), so memory held by parked frames stays bounded regardless of
+    /// frame size. A frame larger than the whole budget is still admitted
+    /// when the queue is empty.
+    pub queue_bytes: usize,
+    /// Open-connection cap; connections accepted beyond it are told
+    /// [`WireError::Throttled`] and closed without reading a frame.
+    pub max_connections: usize,
+    /// The backoff hint carried in every throttle reply.
+    pub retry_after_ms: u64,
+    /// Most frames one worker applies per session-lock acquisition (and,
+    /// for a durable session, per group commit / journal fsync).
+    pub coalesce: usize,
+    /// Fault injection for tests: sleep this long before applying each
+    /// batch, simulating a wedged durability layer under the queue.
+    pub apply_stall: Option<Duration>,
+}
+
+impl Default for ReactorOptions {
+    fn default() -> ReactorOptions {
+        ReactorOptions {
+            workers: 2,
+            queue_ops: 256,
+            queue_bytes: 8 << 20,
+            max_connections: 1024,
+            retry_after_ms: 20,
+            coalesce: 64,
+            apply_stall: None,
+        }
+    }
 }
 
 /// [`serve_session`] with [`ServeOptions`] (idle-connection timeouts).
@@ -1895,13 +2360,39 @@ where
         stop: AtomicBool::new(false),
         addr: listener.local_addr()?,
         conns: Mutex::new(Vec::new()),
+        idle_timeout: options.idle_timeout,
+        reactor: options.reactor.clone().map(Reactor::new),
     };
     std::thread::scope(|scope| {
+        if let Some(reactor) = &state.reactor {
+            for _ in 0..reactor.opts.workers.max(1) {
+                let state = &state;
+                scope.spawn(move || worker_loop(state));
+            }
+        }
         for conn in listener.incoming() {
             if state.stop.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(stream) = conn else { continue };
+            if let Some(reactor) = &state.reactor {
+                if reactor.active.load(Ordering::Relaxed)
+                    >= reactor.opts.max_connections.max(1) as u64
+                {
+                    // Over the connection cap: shed at the door with the
+                    // same retryable throttle a full queue answers, so the
+                    // client backs off and reconnects instead of failing.
+                    reactor.throttled.fetch_add(1, Ordering::Relaxed);
+                    let mut stream = stream;
+                    let _ = write_frame(
+                        &mut stream,
+                        &Frame::Error(WireError::Throttled {
+                            retry_after_ms: reactor.opts.retry_after_ms,
+                        }),
+                    );
+                    continue;
+                }
+            }
             stream.set_read_timeout(options.idle_timeout).ok();
             if let Ok(clone) = stream.try_clone() {
                 state.conns.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
@@ -1909,6 +2400,12 @@ where
             let state = &state;
             let extra = &extra;
             scope.spawn(move || handle_connection(stream, state, extra));
+        }
+        // The accept loop is done (shutdown): wake the workers so they
+        // drain the queue — every parked handler still gets its ack — and
+        // exit, letting the scope join.
+        if let Some(reactor) = &state.reactor {
+            reactor.stop();
         }
     });
     Ok(state.session.into_inner().unwrap_or_else(|e| e.into_inner()))
@@ -2028,6 +2525,26 @@ mod tests {
                     shares: 99,
                     journal_records: 1024,
                     checkpoints: 2,
+                    reactor: None,
+                }),
+            },
+            Frame::StatusOk {
+                digest: 7,
+                groups: 4,
+                ingested: 123_456,
+                counters: Some(StatusCounters {
+                    masked: false,
+                    channels: 12,
+                    shares: 0,
+                    journal_records: 64,
+                    checkpoints: 1,
+                    reactor: Some(ReactorCounters {
+                        queue_depth: 17,
+                        queued_bytes: 9000,
+                        active_connections: 31,
+                        peak_connections: 64,
+                        throttled: 1234,
+                    }),
                 }),
             },
             Frame::Ok,
@@ -2107,6 +2624,9 @@ mod tests {
             WireError::BadFrame { reason: "trailing token 'x'".into() },
             WireError::Failed { message: "multi\nline message".into() },
             WireError::Timeout { what: "read deadline of 250ms expired".into() },
+            WireError::Throttled { retry_after_ms: 0 },
+            WireError::Throttled { retry_after_ms: 20 },
+            WireError::Throttled { retry_after_ms: u64::MAX },
             WireError::Io { message: "connection reset".into() },
         ] {
             round_trip(Frame::Error(err));
@@ -2135,6 +2655,30 @@ mod tests {
         assert_eq!(
             decode_frame("status-ok 0x0000000000000007 4 99").unwrap(),
             Frame::StatusOk { digest: 7, groups: 4, ingested: 99, counters: None }
+        );
+        // A PR 8 (pre-reactor) counters section still parses, and a
+        // reactor-less daemon still emits it byte-identically.
+        let pr8_counters = StatusCounters {
+            masked: true,
+            channels: 3,
+            shares: 99,
+            journal_records: 1024,
+            checkpoints: 2,
+            reactor: None,
+        };
+        let pr8_status = Frame::StatusOk {
+            digest: 7,
+            groups: 4,
+            ingested: 99,
+            counters: Some(pr8_counters),
+        };
+        assert_eq!(
+            encode_frame(&pr8_status),
+            "status-ok 0x0000000000000007 4 99 counters 1 3 99 1024 2"
+        );
+        assert_eq!(
+            decode_frame("status-ok 0x0000000000000007 4 99 counters 1 3 99 1024 2").unwrap(),
+            pr8_status
         );
         // A channel-only hello (the PR 7 encoding) still parses, and the
         // new optional sections never appear unless set.
@@ -2182,6 +2726,10 @@ mod tests {
         assert!(matches!(e, WireError::Io { .. }), "{e:?}");
         assert!(RetryPolicy::retryable(&WireError::Timeout { what: "t".into() }));
         assert!(RetryPolicy::retryable(&WireError::Io { message: "m".into() }));
+        // Backpressure sheds are safe to resend by construction (the frame
+        // never touched the session), so they must be in the retryable set
+        // — a coordinator that aborted on throttle would lose the batch.
+        assert!(RetryPolicy::retryable(&WireError::Throttled { retry_after_ms: 20 }));
         assert!(!RetryPolicy::retryable(&WireError::Rejected(
             DapError::DuplicateSequence { channel: 1, seq: 1, last: 1 }
         )));

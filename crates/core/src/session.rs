@@ -234,14 +234,26 @@ impl<M: NumericMechanism> DapSession<M> {
     /// Accepts a batch of reports into `group`, atomically: the whole batch
     /// is validated against the output domain and the remaining quota before
     /// any report is accumulated, so a rejected batch leaves no trace.
+    ///
+    /// This is the ingestion hot path: the network reactor
+    /// ([`crate::net::ServeOptions::reactor`]) applies many connections'
+    /// batches back-to-back under one lock acquisition, so the loop body
+    /// is kept to two histogram writes per report. `sum_reports`
+    /// accumulates in batch order — report order within a group is part of
+    /// the exactness contract.
     pub fn ingest_batch(&mut self, group: usize, reports: &[f64]) -> Result<(), DapError> {
         self.check_ingest_batch(group, reports)?;
         let state = &mut self.groups[group];
+        // Split the borrows once: the grid is read-only while the
+        // histogram accumulates, and the report counter needs no per-item
+        // increment.
+        let grid = &state.grid;
+        let hist = &mut state.hist;
         for &r in reports {
-            state.hist.counts[state.grid.bucket_of(r)] += 1.0;
-            state.hist.sum_reports += r;
-            state.hist.n_reports += 1;
+            hist.counts[grid.bucket_of(r)] += 1.0;
+            hist.sum_reports += r;
         }
+        hist.n_reports += reports.len();
         Ok(())
     }
 

@@ -122,6 +122,22 @@ pub trait StorageBackend {
 
     /// The checkpoint slot, if one was ever written.
     fn load_checkpoint(&self) -> Result<Option<Vec<u8>>, DapError>;
+
+    /// Enters group-commit mode: until [`StorageBackend::commit_appends`],
+    /// the backend may *buffer* appends in process memory, suspending the
+    /// [`StorageBackend::append`] visibility contract for the bracket.
+    /// The caller must not acknowledge any operation appended inside the
+    /// bracket before `commit_appends` returns `Ok` — this is how the
+    /// ingestion reactor pays one flush/fsync for a whole coalesced batch
+    /// instead of one per record. Default: no-op (appends stay immediate).
+    fn defer_appends(&mut self) {}
+
+    /// Leaves group-commit mode, making every append since
+    /// [`StorageBackend::defer_appends`] as durable as an ordinary append
+    /// would have been. Default: no-op.
+    fn commit_appends(&mut self) -> Result<(), DapError> {
+        Ok(())
+    }
 }
 
 /// An in-memory [`StorageBackend`]: durability bounded by the process.
@@ -198,6 +214,11 @@ pub struct FileBackend {
     dir: PathBuf,
     journal: File,
     sync_appends: bool,
+    /// Group-commit mode ([`StorageBackend::defer_appends`]): appends
+    /// land in `pending` and reach the file (+ flush + optional fsync) in
+    /// one write at [`StorageBackend::commit_appends`].
+    deferred: bool,
+    pending: Vec<u8>,
 }
 
 impl FileBackend {
@@ -222,7 +243,7 @@ impl FileBackend {
             .append(true)
             .open(dir.join(JOURNAL_FILE))
             .map_err(|e| io_err("open journal file", &e))?;
-        Ok(FileBackend { dir, journal, sync_appends })
+        Ok(FileBackend { dir, journal, sync_appends, deferred: false, pending: Vec::new() })
     }
 
     /// The backend directory.
@@ -233,6 +254,10 @@ impl FileBackend {
 
 impl StorageBackend for FileBackend {
     fn append(&mut self, bytes: &[u8]) -> Result<(), DapError> {
+        if self.deferred {
+            self.pending.extend_from_slice(bytes);
+            return Ok(());
+        }
         self.journal.write_all(bytes).map_err(|e| io_err("journal append", &e))?;
         self.journal.flush().map_err(|e| io_err("journal flush", &e))?;
         if self.sync_appends {
@@ -251,10 +276,17 @@ impl StorageBackend for FileBackend {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(io_err("open journal for read", &e)),
         }
+        // Records buffered inside a group-commit bracket are part of the
+        // journal's logical contents even before they reach the file.
+        bytes.extend_from_slice(&self.pending);
         Ok(bytes)
     }
 
     fn truncate(&mut self) -> Result<(), DapError> {
+        // A truncation (compaction) supersedes anything still buffered:
+        // the checkpoint just written covers those records' effects, and
+        // flushing them afterwards would replay them twice.
+        self.pending.clear();
         self.journal.set_len(0).map_err(|e| io_err("truncate journal", &e))
     }
 
@@ -279,6 +311,24 @@ impl StorageBackend for FileBackend {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(io_err("open checkpoint", &e)),
         }
+    }
+
+    fn defer_appends(&mut self) {
+        self.deferred = true;
+    }
+
+    fn commit_appends(&mut self) -> Result<(), DapError> {
+        self.deferred = false;
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let pending = std::mem::take(&mut self.pending);
+        self.journal.write_all(&pending).map_err(|e| io_err("journal group append", &e))?;
+        self.journal.flush().map_err(|e| io_err("journal group flush", &e))?;
+        if self.sync_appends {
+            self.journal.sync_data().map_err(|e| io_err("journal group fsync", &e))?;
+        }
+        Ok(())
     }
 }
 
@@ -358,6 +408,16 @@ impl<B: StorageBackend> StorageBackend for FaultBackend<B> {
 
     fn load_checkpoint(&self) -> Result<Option<Vec<u8>>, DapError> {
         self.inner.load_checkpoint()
+    }
+
+    fn defer_appends(&mut self) {
+        // The cut counts bytes at this wrapper's `append`, so deferral
+        // below does not move the tear point.
+        self.inner.defer_appends();
+    }
+
+    fn commit_appends(&mut self) -> Result<(), DapError> {
+        self.inner.commit_appends()
     }
 }
 
@@ -710,6 +770,16 @@ impl<B: StorageBackend> Journal<B> {
         self.len
     }
 
+    /// [`StorageBackend::defer_appends`] on the wrapped backend.
+    pub fn defer_appends(&mut self) {
+        self.backend.defer_appends();
+    }
+
+    /// [`StorageBackend::commit_appends`] on the wrapped backend.
+    pub fn commit_appends(&mut self) -> Result<(), DapError> {
+        self.backend.commit_appends()
+    }
+
     /// The wrapped backend.
     pub fn into_backend(self) -> B {
         self.backend
@@ -945,6 +1015,21 @@ impl<M: NumericMechanism, B: StorageBackend> DurableSession<M, B> {
         self.checkpoints_taken
     }
 
+    /// Enters group-commit mode (see [`StorageBackend::defer_appends`]):
+    /// journal records buffer until [`DurableSession::commit_acks`], which
+    /// makes them durable in one flush/fsync. The ingestion reactor
+    /// brackets each coalesced batch with this pair and withholds every
+    /// ack until the commit succeeds, so "acked implies recoverable"
+    /// holds batch-wide.
+    pub fn defer_acks(&mut self) {
+        self.journal.defer_appends();
+    }
+
+    /// Leaves group-commit mode, forcing buffered records durable.
+    pub fn commit_acks(&mut self) -> Result<(), DapError> {
+        self.journal.commit_appends()
+    }
+
     /// Tears the wrapper down into its parts (the backend keeps the
     /// journaled state; reopening it recovers the session).
     pub fn into_parts(self) -> (DapSession<M>, B) {
@@ -1082,7 +1167,16 @@ where
             shares: self.session.shares_applied(),
             journal_records: self.records_appended,
             checkpoints: self.checkpoints_taken,
+            reactor: None,
         }
+    }
+
+    fn defer_acks(&mut self) {
+        DurableSession::defer_acks(self);
+    }
+
+    fn commit_acks(&mut self) -> Result<(), DapError> {
+        DurableSession::commit_acks(self)
     }
 }
 

@@ -208,7 +208,7 @@ fn idle_connections_are_timed_out_but_the_daemon_keeps_serving() {
     let addr = listener.local_addr().expect("local addr").to_string();
     let options = ServeOptions {
         idle_timeout: Some(Duration::from_millis(100)),
-        auth_tokens: Vec::new(),
+        ..ServeOptions::default()
     };
     let handle = std::thread::spawn(move || {
         serve_session_with(listener, local, |_| None, options).expect("serve")
