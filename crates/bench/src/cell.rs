@@ -191,6 +191,23 @@ impl AttackSpec {
         }
     }
 
+    /// A stable word encoding of the attack coordinate —
+    /// `[variant, param, param]` — used by the report cache both as part of
+    /// the entry key and to derive the poison-generation RNG stream.
+    /// Distinct specs map to distinct words; float parameters contribute
+    /// their exact bit patterns.
+    pub fn key_words(self) -> [u64; 3] {
+        match self {
+            AttackSpec::None => [0, 0, 0],
+            AttackSpec::Poi(range) => [1, range as u64, 0],
+            AttackSpec::Shaped(shape, range) => [2, shape as u64, range as u64],
+            AttackSpec::Ima { g } => [3, g.to_bits(), 0],
+            AttackSpec::Evasion { a } => [4, a.to_bits(), 0],
+            AttackSpec::PointTop => [5, 0, 0],
+            AttackSpec::SwTop => [6, 0, 0],
+        }
+    }
+
     /// Human/JSON label.
     pub fn label(self) -> String {
         match self {

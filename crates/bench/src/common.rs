@@ -314,6 +314,55 @@ pub fn stream_id(parts: &[usize]) -> u64 {
         })
 }
 
+/// Wall-clock (ms) of a fixed-iteration dense-reference EM solve at the
+/// fig7 working shape (`d_in = 16`, `d' = 128`, 40 pinned iterations),
+/// median of three runs.
+///
+/// This is the same-run calibration yardstick the fig7 perf gate divides
+/// by: the yardstick and the measured experiment run on the same machine
+/// moments apart, so container-speed drift cancels out of the
+/// `median / calib` ratio, while a real regression in the measured path
+/// (which the dense reference never takes — it ignores the analyzed band
+/// structure and the report cache alike) moves the ratio.
+pub fn calibrate_dense_solve_ms() -> f64 {
+    use dap_estimation::em::{self, EmOptions, MStep};
+    let mech = PiecewiseMechanism::with_epsilon(1.0).expect("ε=1 is valid");
+    let (d_in, d_out) = (16, 128);
+    let matrix = cached_for_numeric(&mech, d_in, d_out, &PoisonRegion::RightOf(0.0));
+    // Any strictly positive histogram exercises the full arithmetic;
+    // `tol = 0` pins the iteration count, so convergence luck cannot move
+    // the yardstick. The hump mimics a unimodal report histogram.
+    let counts: Vec<f64> = (0..d_out)
+        .map(|j| 1.0 + 150.0 * (-((j as f64 - 64.0) / 20.0).powi(2)).exp())
+        .collect();
+    let share = 1.0 / (d_in + matrix.poison_buckets().len()).max(1) as f64;
+    let x0 = vec![share; d_in];
+    let mut y0 = vec![0.0; d_out];
+    for &j in matrix.poison_buckets() {
+        y0[j] = share;
+    }
+    // 2000 pinned iterations put the yardstick around 5–10 ms on the CI
+    // container — long enough that timer granularity and scheduler noise
+    // are well under 1% of the reading, short enough to stay negligible
+    // next to the experiment it normalizes.
+    let opts = EmOptions { tol: 0.0, max_iters: 2000 };
+    let mut times = [0.0f64; 3];
+    for slot in &mut times {
+        let start = std::time::Instant::now();
+        std::hint::black_box(em::solve_dense_reference(
+            &matrix,
+            &counts,
+            MStep::Free,
+            &x0,
+            &y0,
+            &opts,
+        ));
+        *slot = start.elapsed().as_secs_f64() * 1e3;
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    times[1]
+}
+
 /// The PR-over-PR baseline history for one bench file: every re-baseline
 /// appends the fresh median to the previous file's `trend_wall_ms` array
 /// (seeded from its bare `median_wall_ms` when the old schema carried no
@@ -348,23 +397,27 @@ fn bench_trend(previous: &str, fresh_median: f64) -> Vec<String> {
 }
 
 /// Writes the perf-tracking JSON for one experiment run: the options it ran
-/// under and the wall-clock of each repeat, with the median the CI trend
-/// tracks (`bench_trend` carries the re-baseline history forward).
-/// Hand-rolled JSON — the workspace has no serde.
+/// under, the wall-clock of each repeat with the median the CI trend tracks
+/// (`bench_trend` carries the re-baseline history forward), and the
+/// same-run calibration yardstick with the `median / calib` ratio the perf
+/// gate compares across machines. Hand-rolled JSON — the workspace has no
+/// serde.
 pub fn write_bench_json(
     path: &str,
     experiment: &str,
     opts: &ExpOptions,
     runs_ms: &[f64],
+    calib_ms: f64,
 ) -> std::io::Result<()> {
     assert!(!runs_ms.is_empty(), "need at least one timed run");
+    assert!(calib_ms > 0.0, "calibration must be a positive wall-clock");
     let mut sorted = runs_ms.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
     let median = sorted[sorted.len() / 2];
     let runs: Vec<String> = runs_ms.iter().map(|ms| format!("{ms:.1}")).collect();
     let trend = bench_trend(&std::fs::read_to_string(path).unwrap_or_default(), median);
     let json = format!(
-        "{{\n  \"experiment\": \"{}\",\n  \"n\": {},\n  \"trials\": {},\n  \"seed\": {},\n  \"max_d_out\": {},\n  \"median_wall_ms\": {:.1},\n  \"runs_wall_ms\": [{}],\n  \"trend_wall_ms\": [{}]\n}}\n",
+        "{{\n  \"experiment\": \"{}\",\n  \"n\": {},\n  \"trials\": {},\n  \"seed\": {},\n  \"max_d_out\": {},\n  \"median_wall_ms\": {:.1},\n  \"runs_wall_ms\": [{}],\n  \"trend_wall_ms\": [{}],\n  \"calib_wall_ms\": {:.1},\n  \"median_over_calib\": {:.3}\n}}\n",
         experiment,
         opts.n,
         opts.trials,
@@ -373,6 +426,8 @@ pub fn write_bench_json(
         median,
         runs.join(", "),
         trend.join(", "),
+        calib_ms,
+        median / calib_ms,
     );
     let mut file = std::fs::File::create(path)?;
     file.write_all(json.as_bytes())
@@ -501,17 +556,26 @@ mod tests {
         let path = std::env::temp_dir().join("dap_bench_json_test.json");
         let path = path.to_str().expect("utf8 temp path");
         std::fs::remove_file(path).ok();
-        write_bench_json(path, "fig7", &opts, &[30.0, 10.0, 20.0]).expect("writable");
+        write_bench_json(path, "fig7", &opts, &[30.0, 10.0, 20.0], 8.0).expect("writable");
         let body = std::fs::read_to_string(path).expect("readable");
         assert!(body.contains("\"experiment\": \"fig7\""));
         assert!(body.contains("\"median_wall_ms\": 20.0"));
         assert!(body.contains("[30.0, 10.0, 20.0]"));
         assert!(body.contains("\"trend_wall_ms\": [20.0]"));
+        assert!(body.contains("\"calib_wall_ms\": 8.0"));
+        assert!(body.contains("\"median_over_calib\": 2.500"));
         // A re-baseline appends to the trend, never rewrites history.
-        write_bench_json(path, "fig7", &opts, &[25.0]).expect("writable");
+        write_bench_json(path, "fig7", &opts, &[25.0], 10.0).expect("writable");
         let body = std::fs::read_to_string(path).expect("readable");
         assert!(body.contains("\"trend_wall_ms\": [20.0, 25.0]"), "got: {body}");
+        assert!(body.contains("\"median_over_calib\": 2.500"), "got: {body}");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn calibration_yardstick_is_a_positive_wall_clock() {
+        let ms = calibrate_dense_solve_ms();
+        assert!(ms.is_finite() && ms > 0.0, "got {ms}");
     }
 
     #[test]

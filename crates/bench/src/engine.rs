@@ -14,7 +14,8 @@
 //! single-process run bit for bit.
 
 use crate::cell::{AttackSpec, Cell, CellKind, Fold, MechKind};
-use crate::common::{perturb_all, trial_rng, ExpOptions};
+use crate::common::{trial_rng, ExpOptions};
+use crate::report_cache::{ReportCache, ReportCoord, ReportMech};
 use dap_core::baseline::{BaselineConfig, BaselineProtocol};
 use dap_core::categorical::{
     categorical_dap, ostrich_frequencies, simulate_reports, CategoricalDapConfig,
@@ -29,7 +30,6 @@ use dap_emf::{cemf_star, cemf_star_threshold, emf, emf_star, probe_side, Byzanti
 use dap_estimation::stats::{mean, wasserstein_1};
 use dap_estimation::{ems, Grid, PoisonRegion};
 use dap_ldp::{Duchi, Epsilon, NumericMechanism, PiecewiseMechanism, SquareWave};
-use rand::rngs::StdRng;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -74,6 +74,14 @@ pub fn run_cells_subset(opts: &ExpOptions, cells: &[Cell], indices: &[usize]) ->
         results.push(CellResult { index: i, stream: cell.stream(), values: fold(cell, outs) });
     }
     results
+}
+
+/// One snapshot of both process-wide cache counter sets — the population
+/// cache (sampled values) and the report cache (perturbed reports) — so
+/// tests and the `experiments all` footer read the same numbers through
+/// one call.
+pub fn cache_stats() -> (dap_datasets::CacheStats, crate::report_cache::ReportCacheStats) {
+    (PopulationCache::global().stats(), ReportCache::global().stats())
 }
 
 /// Any coordinate collision (two cells hashing to one stream would share
@@ -143,59 +151,59 @@ fn population(
     PopulationCache::global().population(dataset, domain, opts.n, gamma, opts.seed, trial as u64)
 }
 
+/// The matching report-cache coordinate for a sampling coordinate.
+fn report_coord(
+    opts: &ExpOptions,
+    dataset: Dataset,
+    domain: Domain,
+    gamma: f64,
+    trial: usize,
+) -> ReportCoord {
+    ReportCoord { dataset, domain, n: opts.n, gamma, seed: opts.seed, trial: trial as u64 }
+}
+
+/// The report-cache mechanism tag for a cell's [`MechKind`].
+fn report_mech(mechanism: MechKind) -> ReportMech {
+    match mechanism {
+        MechKind::Pm => ReportMech::Pm,
+        MechKind::Duchi => ReportMech::Duchi,
+    }
+}
+
 /// Owned [`Population`] for the few protocol APIs without a borrowed-slice
 /// entry point (the §IV baseline).
 fn to_population(sp: &SampledPopulation) -> Population {
     Population { honest: sp.honest.clone(), byzantine: sp.byzantine }
 }
 
-/// A full-budget single-batch collection over cached honest values: every
-/// honest user perturbs once, the coalition appends `byzantine` reports.
-fn pm_batch(
-    sp: &SampledPopulation,
-    eps: f64,
-    attack: &dyn dap_attack::Attack,
-    rng: &mut StdRng,
-) -> Vec<f64> {
-    mech_batch(sp, eps, MechKind::Pm, attack, rng)
+/// A full-budget single-batch collection over cached *reports*: the honest
+/// half comes from the process-wide [`ReportCache`] (perturbed once per
+/// `(population, mechanism, ε)` coordinate) and the coalition's half from
+/// the same cache under the attack-extended key — both from key-derived
+/// streams, so the whole batch is a pure function of its coordinate.
+fn pm_batch(coord: &ReportCoord, eps: f64, spec: AttackSpec) -> Vec<f64> {
+    mech_batch(coord, eps, MechKind::Pm, spec)
 }
 
 /// [`pm_batch`] under a chosen mechanism — cells that carry a
 /// [`MechKind`] must batch with *that* mechanism, or their defense rows
 /// would silently compare across mechanisms.
-fn mech_batch(
-    sp: &SampledPopulation,
-    eps: f64,
-    mechanism: MechKind,
-    attack: &dyn dap_attack::Attack,
-    rng: &mut StdRng,
-) -> Vec<f64> {
-    match mechanism {
-        MechKind::Pm => {
-            let mech = PiecewiseMechanism::new(Epsilon::of(eps));
-            let mut reports = perturb_all(&mech, &sp.honest, rng);
-            reports.extend(attack.reports(sp.byzantine, &mech, rng));
-            reports
-        }
-        MechKind::Duchi => {
-            let mech = Duchi::new(Epsilon::of(eps));
-            let mut reports = perturb_all(&mech, &sp.honest, rng);
-            reports.extend(attack.reports(sp.byzantine, &mech, rng));
-            reports
-        }
-    }
+fn mech_batch(coord: &ReportCoord, eps: f64, mechanism: MechKind, spec: AttackSpec) -> Vec<f64> {
+    batch_of(coord, eps, report_mech(mechanism), spec)
 }
 
 /// SW analogue of [`pm_batch`].
-fn sw_batch(
-    sp: &SampledPopulation,
-    eps: f64,
-    attack: &dyn dap_attack::Attack,
-    rng: &mut StdRng,
-) -> Vec<f64> {
-    let mech = SquareWave::new(Epsilon::of(eps));
-    let mut reports = perturb_all(&mech, &sp.honest, rng);
-    reports.extend(attack.reports(sp.byzantine, &mech, rng));
+fn sw_batch(coord: &ReportCoord, eps: f64, spec: AttackSpec) -> Vec<f64> {
+    batch_of(coord, eps, ReportMech::Sw, spec)
+}
+
+fn batch_of(coord: &ReportCoord, eps: f64, mech: ReportMech, spec: AttackSpec) -> Vec<f64> {
+    let cache = ReportCache::global();
+    let honest = cache.flat_batch(coord, mech, eps);
+    let poison = cache.poison_flat(coord, mech, eps, spec);
+    let mut reports = Vec::with_capacity(honest.len() + poison.len());
+    reports.extend_from_slice(&honest);
+    reports.extend_from_slice(&poison);
     reports
 }
 
@@ -219,9 +227,8 @@ fn run_rep(opts: &ExpOptions, cell: &Cell, t: usize) -> RepOut {
         }
 
         CellKind::ProbeVariance { dataset, range, gamma, eps } => {
-            let sp = population(opts, *dataset, Domain::Signed, *gamma, t);
-            let attack = AttackSpec::Poi(*range).build();
-            let reports = pm_batch(&sp, *eps, attack.as_ref(), &mut rng);
+            let coord = report_coord(opts, *dataset, Domain::Signed, *gamma, t);
+            let reports = pm_batch(&coord, *eps, AttackSpec::Poi(*range));
             let mech = PiecewiseMechanism::new(Epsilon::of(*eps));
             let cfg = EmfConfig::capped(reports.len(), *eps, opts.max_d_out);
             let (olo, ohi) = mech.output_range();
@@ -231,9 +238,8 @@ fn run_rep(opts: &ExpOptions, cell: &Cell, t: usize) -> RepOut {
         }
 
         CellKind::GammaHat { dataset, gamma, eps, attack, .. } => {
-            let sp = population(opts, *dataset, Domain::Signed, *gamma, t);
-            let attack = attack.build();
-            let reports = pm_batch(&sp, *eps, attack.as_ref(), &mut rng);
+            let coord = report_coord(opts, *dataset, Domain::Signed, *gamma, t);
+            let reports = pm_batch(&coord, *eps, *attack);
             let cfg = EmfConfig::capped(reports.len(), *eps, opts.max_d_out);
             let mech = PiecewiseMechanism::new(Epsilon::of(*eps));
             let features = ByzantineFeatures::probe(&mech, &reports, 0.0, &cfg);
@@ -242,22 +248,29 @@ fn run_rep(opts: &ExpOptions, cell: &Cell, t: usize) -> RepOut {
 
         CellKind::PmMse { dataset, gamma, eps, attack, schemes, defenses, weighting, mechanism } => {
             let sp = population(opts, *dataset, Domain::Signed, *gamma, t);
-            let attack = attack.build();
-            // `scheme` in the config is ignored by `run_schemes_on`.
+            let coord = report_coord(opts, *dataset, Domain::Signed, *gamma, t);
+            // `scheme` in the config is ignored by the prepared replay.
             let cfg = DapConfig {
                 max_d_out: opts.max_d_out,
                 weighting: *weighting,
                 ..DapConfig::paper_default(*eps, Scheme::Emf)
             };
             let scheme_list = schemes.schemes();
+            // Stages 1–2 (plan + honest perturbation) and the coalition's
+            // batches both come from the report cache; the replay itself
+            // consumes no randomness.
+            let rc = ReportCache::global();
+            let prepared = rc.prepared(&coord, report_mech(*mechanism), *eps, cfg.eps0);
+            let poison =
+                rc.poison_grouped(&coord, report_mech(*mechanism), *eps, cfg.eps0, *attack);
             let outs = match mechanism {
                 MechKind::Pm => Dap::new(cfg, PiecewiseMechanism::new)
                     .expect("valid config")
-                    .run_schemes_on(&sp.honest, sp.byzantine, attack.as_ref(), &scheme_list, &mut rng)
+                    .run_schemes_prepared_with(&prepared, &poison, &scheme_list)
                     .expect("valid run"),
                 MechKind::Duchi => Dap::new(cfg, Duchi::new)
                     .expect("valid config")
-                    .run_schemes_on(&sp.honest, sp.byzantine, attack.as_ref(), &scheme_list, &mut rng)
+                    .run_schemes_prepared_with(&prepared, &poison, &scheme_list)
                     .expect("valid run"),
             };
             let mut estimates: Vec<f64> = outs.into_iter().map(|o| o.mean).collect();
@@ -266,7 +279,7 @@ fn run_rep(opts: &ExpOptions, cell: &Cell, t: usize) -> RepOut {
                 // budget over the same honest values (common random
                 // numbers across all rows of the cell) under the cell's
                 // mechanism.
-                let reports = mech_batch(&sp, *eps, *mechanism, attack.as_ref(), &mut rng);
+                let reports = mech_batch(&coord, *eps, *mechanism, *attack);
                 estimates.push(Ostrich.estimate_mean(&reports, &mut rng));
                 estimates.push(
                     Trimming::paper_default(dap_attack::Side::Right)
@@ -278,23 +291,23 @@ fn run_rep(opts: &ExpOptions, cell: &Cell, t: usize) -> RepOut {
 
         CellKind::RawMean { dataset, gamma, eps, attack, mechanism } => {
             let sp = population(opts, *dataset, Domain::Signed, *gamma, t);
-            let attack = attack.build();
-            let reports = mech_batch(&sp, *eps, *mechanism, attack.as_ref(), &mut rng);
+            let coord = report_coord(opts, *dataset, Domain::Signed, *gamma, t);
+            let reports = mech_batch(&coord, *eps, *mechanism, *attack);
             RepOut { estimates: vec![mean(&reports)], truth: sp.truth }
         }
 
         CellKind::KMeans { dataset, gamma, eps, attack, beta, subsets } => {
             let sp = population(opts, *dataset, Domain::Signed, *gamma, t);
-            let attack = attack.build();
-            let reports = pm_batch(&sp, *eps, attack.as_ref(), &mut rng);
+            let coord = report_coord(opts, *dataset, Domain::Signed, *gamma, t);
+            let reports = pm_batch(&coord, *eps, *attack);
             let defense = KMeansDefense::new(*beta, *subsets);
             RepOut { estimates: vec![defense.estimate_mean(&reports, &mut rng)], truth: sp.truth }
         }
 
         CellKind::ImaEmf { dataset, gamma, eps, g } => {
             let sp = population(opts, *dataset, Domain::Signed, *gamma, t);
-            let attack = AttackSpec::Ima { g: *g }.build();
-            let reports = pm_batch(&sp, *eps, attack.as_ref(), &mut rng);
+            let coord = report_coord(opts, *dataset, Domain::Signed, *gamma, t);
+            let reports = pm_batch(&coord, *eps, AttackSpec::Ima { g: *g });
             let cfg = EmfConfig::capped(reports.len(), *eps, opts.max_d_out);
             let mech = PiecewiseMechanism::new(Epsilon::of(*eps));
             let out = emf_based_ima_mean(&mech, &reports, &cfg);
@@ -303,8 +316,8 @@ fn run_rep(opts: &ExpOptions, cell: &Cell, t: usize) -> RepOut {
 
         CellKind::SwWasserstein { dataset, gamma, eps } => {
             let sp = population(opts, *dataset, Domain::Unit, *gamma, t);
-            let attack = AttackSpec::SwTop.build();
-            let reports = sw_batch(&sp, *eps, attack.as_ref(), &mut rng);
+            let coord = report_coord(opts, *dataset, Domain::Unit, *gamma, t);
+            let reports = sw_batch(&coord, *eps, AttackSpec::SwTop);
             let mech = SquareWave::new(Epsilon::of(*eps));
             let (cfg, counts, matrix) = crate::common::emf_setup(
                 &mech,
@@ -345,9 +358,8 @@ fn run_rep(opts: &ExpOptions, cell: &Cell, t: usize) -> RepOut {
         }
 
         CellKind::SwGammaErr { dataset, gamma, eps } => {
-            let sp = population(opts, *dataset, Domain::Unit, *gamma, t);
-            let attack = AttackSpec::SwTop.build();
-            let reports = sw_batch(&sp, *eps, attack.as_ref(), &mut rng);
+            let coord = report_coord(opts, *dataset, Domain::Unit, *gamma, t);
+            let reports = sw_batch(&coord, *eps, AttackSpec::SwTop);
             let mech = SquareWave::new(Epsilon::of(*eps));
             let (cfg, counts, matrix) = crate::common::emf_setup(
                 &mech,
@@ -362,22 +374,26 @@ fn run_rep(opts: &ExpOptions, cell: &Cell, t: usize) -> RepOut {
 
         CellKind::SwMse { dataset, gamma, eps } => {
             let sp = population(opts, *dataset, Domain::Unit, *gamma, t);
-            let attack = AttackSpec::SwTop.build();
+            let coord = report_coord(opts, *dataset, Domain::Unit, *gamma, t);
             let cfg = SwDapConfig {
                 max_d_out: opts.max_d_out,
                 ..SwDapConfig::paper_default(*eps, Scheme::Emf)
             };
+            let rc = ReportCache::global();
+            let prepared = rc.prepared(&coord, ReportMech::Sw, *eps, cfg.eps0);
+            let poison =
+                rc.poison_grouped(&coord, ReportMech::Sw, *eps, cfg.eps0, AttackSpec::SwTop);
             let outs = SwDap::new(cfg)
                 .expect("valid config")
-                .run_schemes_on(&sp.honest, sp.byzantine, attack.as_ref(), &Scheme::ALL, &mut rng)
+                .run_schemes_prepared_with(&prepared, &poison, &Scheme::ALL)
                 .expect("valid run");
             RepOut { estimates: outs.into_iter().map(|o| o.mean).collect(), truth: sp.truth }
         }
 
         CellKind::SwDefense { dataset, gamma, eps } => {
             let sp = population(opts, *dataset, Domain::Unit, *gamma, t);
-            let attack = AttackSpec::SwTop.build();
-            let reports = sw_batch(&sp, *eps, attack.as_ref(), &mut rng);
+            let coord = report_coord(opts, *dataset, Domain::Unit, *gamma, t);
+            let reports = sw_batch(&coord, *eps, AttackSpec::SwTop);
             // The SW attack poisons above the input max, so the canonical
             // right-side 50% trim applies unchanged.
             let estimates = vec![

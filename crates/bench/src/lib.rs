@@ -36,6 +36,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod journal;
+pub mod report_cache;
 pub mod results;
 pub mod serve;
 pub mod storm;

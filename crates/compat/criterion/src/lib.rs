@@ -211,6 +211,21 @@ impl Bencher {
     }
 }
 
+/// Substring filters from the command line, real-criterion style:
+/// `cargo bench --bench foo -- em_solve` runs only benchmarks whose label
+/// contains `em_solve`. Flag-like arguments (cargo's own `--bench` etc.)
+/// are ignored; no filters means run everything.
+fn matches_cli_filter(label: &str) -> bool {
+    let mut any = false;
+    for arg in std::env::args().skip(1).filter(|a| !a.starts_with('-')) {
+        if label.contains(arg.as_str()) {
+            return true;
+        }
+        any = true;
+    }
+    !any
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(
     label: &str,
     sample_size: usize,
@@ -218,6 +233,9 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut f: F,
 ) {
+    if !matches_cli_filter(label) {
+        return;
+    }
     let mut bencher = Bencher {
         iters_per_sample: 0,
         sample_size,

@@ -88,7 +88,7 @@ pub use error::DapError;
 pub use grouping::GroupPlan;
 pub use parallel::parallel_map;
 pub use population::Population;
-pub use protocol::{Dap, DapConfig, DapConfigBuilder, DapOutput, GroupReport};
+pub use protocol::{Dap, DapConfig, DapConfigBuilder, DapOutput, GroupReport, PreparedReports};
 pub use scheme::{GroupHistogram, Scheme};
 pub use chaos::{ChaosProxy, ChaosSchedule, Fault};
 pub use net::{

@@ -355,6 +355,181 @@ where
         // Stages 3–5: probe, per-group estimation, aggregation.
         session.finalize(schemes)
     }
+
+    /// Runs stages 1–2 only — grouping and honest perturbation — and
+    /// returns the result as a reusable [`PreparedReports`].
+    ///
+    /// The protocol's honest work is attack-independent: the plan and the
+    /// perturbed reports depend on `(honest values, n_total, ε, ε₀, rng)`
+    /// but never on what the coalition will send. A caller sweeping
+    /// attacks, defenses, or schemes over one population (the experiment
+    /// engine's report cache) can therefore prepare once and replay via
+    /// [`Dap::run_schemes_prepared`], paying for perturbation a single
+    /// time. The privacy contract is enforced here, where the spending
+    /// happens.
+    pub fn prepare_reports<R: RngCore>(
+        &self,
+        honest: &[f64],
+        byzantine: usize,
+        rng: &mut R,
+    ) -> Result<PreparedReports, DapError> {
+        let cfg = &self.config;
+        let n_total = honest.len() + byzantine;
+        if n_total == 0 {
+            return Err(DapError::EmptyPopulation);
+        }
+        let plan = GroupPlan::build(n_total, cfg.eps, cfg.eps0, rng);
+        // A throwaway session gives us the validated per-group client
+        // assignments without duplicating the budget arithmetic here.
+        let session = DapSession::new(*cfg, plan.clone(), &self.mech_factory)?;
+        let mut accountant = PrivacyAccountant::new(n_total, cfg.eps);
+
+        let n_honest = honest.len();
+        let mut group_reports = Vec::with_capacity(plan.assignment.len());
+        for g in 0..session.group_count() {
+            let assign = session.client_assignment(g)?;
+            let mech = (self.mech_factory)(assign.eps_t);
+            let mut report_buf = vec![0.0f64; assign.k_t];
+            let honest_members =
+                plan.assignment[g].iter().filter(|&&u| u < n_honest).count();
+            let mut reports = Vec::with_capacity(honest_members * assign.k_t);
+            for &user in &plan.assignment[g] {
+                if user < n_honest {
+                    accountant.charge(user, assign.total_spend())?;
+                    assign.perturb_into(&mech, honest[user], &mut report_buf, rng);
+                    reports.extend_from_slice(&report_buf);
+                }
+            }
+            group_reports.push(reports);
+        }
+        debug_assert!(accountant.all_depleted() || byzantine > 0);
+        Ok(PreparedReports {
+            plan,
+            group_reports,
+            n_honest,
+            n_total,
+            eps: cfg.eps,
+            eps0: cfg.eps0,
+        })
+    }
+
+    /// [`Dap::run_schemes_on`] with stages 1–2 replayed from a
+    /// [`PreparedReports`]: the cached honest reports are ingested verbatim
+    /// and only the coalition's reports are drawn fresh from `rng`.
+    ///
+    /// The prepared value must come from a [`Dap`] with the same grouping
+    /// parameters (ε, ε₀) and population shape; mismatches are rejected so
+    /// a stale cache entry cannot silently aggregate under the wrong plan.
+    pub fn run_schemes_prepared<R: RngCore>(
+        &self,
+        prepared: &PreparedReports,
+        attack: &dyn Attack,
+        schemes: &[Scheme],
+        rng: &mut R,
+    ) -> Result<Vec<DapOutput>, DapError> {
+        let poison = self.poison_batches(prepared, attack, rng)?;
+        self.run_schemes_prepared_with(prepared, &poison, schemes)
+    }
+
+    /// The coalition's reports against a [`PreparedReports`], one batch per
+    /// group in group order — the attack-dependent half of a replay, split
+    /// out so callers can memoize it (poison batches are a pure function of
+    /// `(prepared plan, attack, rng stream)` and the experiment engine
+    /// sweeps the same attack over one population many times).
+    pub fn poison_batches<R: RngCore>(
+        &self,
+        prepared: &PreparedReports,
+        attack: &dyn Attack,
+        rng: &mut R,
+    ) -> Result<Vec<Vec<f64>>, DapError> {
+        let cfg = &self.config;
+        self.check_prepared(prepared)?;
+        let session = DapSession::new(*cfg, prepared.plan.clone(), &self.mech_factory)?;
+        let mut batches = Vec::with_capacity(session.group_count());
+        for g in 0..session.group_count() {
+            let assign = session.client_assignment(g)?;
+            let byz_members = prepared.plan.assignment[g]
+                .iter()
+                .filter(|&&u| u >= prepared.n_honest)
+                .count();
+            let mech = (self.mech_factory)(assign.eps_t);
+            let mut poison = vec![0.0f64; byz_members * assign.k_t];
+            let n_poison = attack.reports_into(&mut poison, &mech, rng);
+            poison.truncate(n_poison);
+            batches.push(poison);
+        }
+        Ok(batches)
+    }
+
+    /// Replays stages 3–5 from a [`PreparedReports`] plus explicit per-group
+    /// poison batches (as produced by [`Dap::poison_batches`], possibly
+    /// served from a cache). Consumes no randomness: everything stochastic
+    /// happened when the two inputs were drawn.
+    pub fn run_schemes_prepared_with(
+        &self,
+        prepared: &PreparedReports,
+        poison: &[Vec<f64>],
+        schemes: &[Scheme],
+    ) -> Result<Vec<DapOutput>, DapError> {
+        let cfg = &self.config;
+        self.check_prepared(prepared)?;
+        let mut session = DapSession::new(*cfg, prepared.plan.clone(), &self.mech_factory)?;
+        if poison.len() != session.group_count() {
+            return Err(DapError::InvalidConfig {
+                field: "poison batches",
+                reason: format!(
+                    "{} batches for {} groups",
+                    poison.len(),
+                    session.group_count()
+                ),
+            });
+        }
+        for (g, batch) in poison.iter().enumerate() {
+            session.ingest_batch(g, &prepared.group_reports[g])?;
+            session.ingest_batch(g, batch)?;
+        }
+        session.finalize(schemes)
+    }
+
+    /// Rejects a [`PreparedReports`] whose grouping parameters do not match
+    /// this session's config, so a stale cache entry cannot silently
+    /// aggregate under the wrong plan.
+    fn check_prepared(&self, prepared: &PreparedReports) -> Result<(), DapError> {
+        let cfg = &self.config;
+        if prepared.eps != cfg.eps || prepared.eps0 != cfg.eps0 {
+            return Err(DapError::InvalidConfig {
+                field: "prepared reports",
+                reason: format!(
+                    "prepared under (ε={}, ε₀={}), session wants (ε={}, ε₀={})",
+                    prepared.eps, prepared.eps0, cfg.eps, cfg.eps0
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Stages 1–2 of a protocol run, frozen for replay: the shuffled
+/// [`GroupPlan`] plus every honest user's perturbed reports, per group in
+/// assignment order. Produced by [`Dap::prepare_reports`], consumed by
+/// [`Dap::run_schemes_prepared`]; the experiment engine caches these so a
+/// population swept across attacks and defenses is perturbed exactly once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedReports {
+    /// The shuffled group assignment the reports were perturbed under.
+    pub plan: GroupPlan,
+    /// Honest reports per group, concatenated in assignment order
+    /// (`k_t` consecutive reports per honest member).
+    pub group_reports: Vec<Vec<f64>>,
+    /// Honest population size; assignment indices `≥ n_honest` are
+    /// coalition slots whose reports the replay draws fresh.
+    pub n_honest: usize,
+    /// Total population size the plan was built for.
+    pub n_total: usize,
+    /// Budget ε the reports were perturbed under.
+    pub eps: f64,
+    /// Minimum group budget ε₀ the plan was built under.
+    pub eps0: f64,
 }
 
 #[cfg(test)]
@@ -494,6 +669,67 @@ mod tests {
             assert!(seen.insert(field), "'{field}' reused for two config fields");
         }
         assert_eq!(seen.len(), 8, "every config field must have its own name");
+    }
+
+    #[test]
+    fn prepared_replay_is_bit_identical_without_a_coalition() {
+        // With no coalition the inline path and the prepared path draw from
+        // the RNG in exactly the same order (plan shuffle, then every honest
+        // user's reports), so equally-seeded runs must agree to the bit.
+        let honest = honest_values(3_000, 11);
+        let dap = pm_dap(0.5, Scheme::EmfStar);
+        let schemes = [Scheme::Emf, Scheme::EmfStar];
+        let inline = dap
+            .run_schemes_on(&honest, 0, &NoAttack, &schemes, &mut seeded(12))
+            .unwrap();
+        let prepared = dap.prepare_reports(&honest, 0, &mut seeded(12)).unwrap();
+        let replayed =
+            dap.run_schemes_prepared(&prepared, &NoAttack, &schemes, &mut seeded(99)).unwrap();
+        for (a, b) in inline.iter().zip(&replayed) {
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+            assert_eq!(a.gamma.to_bits(), b.gamma.to_bits());
+        }
+    }
+
+    #[test]
+    fn prepared_replay_is_deterministic_and_accurate_under_attack() {
+        let honest = honest_values(6_000, 13);
+        let truth = smean(&honest);
+        let byzantine = 1_500;
+        let dap = pm_dap(0.5, Scheme::EmfStar);
+        let attack = UniformAttack::of_upper(0.5, 1.0);
+        let prepared = dap.prepare_reports(&honest, byzantine, &mut seeded(14)).unwrap();
+        // Honest report volume matches the plan's honest membership.
+        let n_honest_reports: usize =
+            prepared.group_reports.iter().map(|r| r.len()).sum();
+        let expected: usize = (0..prepared.plan.assignment.len())
+            .map(|g| {
+                prepared.plan.assignment[g].iter().filter(|&&u| u < honest.len()).count()
+                    * prepared.plan.reports_per_user[g]
+            })
+            .sum();
+        assert_eq!(n_honest_reports, expected);
+
+        let a = dap
+            .run_schemes_prepared(&prepared, &attack, &[Scheme::EmfStar], &mut seeded(15))
+            .unwrap();
+        let b = dap
+            .run_schemes_prepared(&prepared, &attack, &[Scheme::EmfStar], &mut seeded(15))
+            .unwrap();
+        assert_eq!(a[0].mean.to_bits(), b[0].mean.to_bits());
+        assert!((a[0].mean - truth).abs() < 0.1, "mean {} truth {}", a[0].mean, truth);
+    }
+
+    #[test]
+    fn prepared_budget_mismatch_is_rejected() {
+        let honest = honest_values(500, 17);
+        let prepared =
+            pm_dap(0.5, Scheme::Emf).prepare_reports(&honest, 100, &mut seeded(18)).unwrap();
+        let other = pm_dap(1.0, Scheme::Emf);
+        let err = other
+            .run_schemes_prepared(&prepared, &NoAttack, &[Scheme::Emf], &mut seeded(19))
+            .unwrap_err();
+        assert!(matches!(err, DapError::InvalidConfig { field: "prepared reports", .. }));
     }
 
     #[test]

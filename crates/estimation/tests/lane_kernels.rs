@@ -1,0 +1,111 @@
+//! Direct contracts on the E-step lane kernels, independent of the EM loop.
+//!
+//! * `axpy_lanes` must be *bit-identical* to the portable `axpy` on any
+//!   lane-multiple slice — same per-element product and single add, only
+//!   the loop structure differs.
+//! * `dot_lanes` reorders the summation, so it is held to ≤ 1e-12 relative
+//!   against a compensated (Kahan) reference instead.
+//! * Zero padding must be exactly invisible: padding both operands of a dot
+//!   with zeros, or an axpy's source with zeros, changes nothing.
+
+use dap_estimation::em::kernels::{axpy, axpy_lanes, dot, dot_lanes};
+use dap_estimation::LANES;
+use proptest::prelude::*;
+use rand::Rng;
+
+fn kahan_dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut sum = 0.0f64;
+    let mut c = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let term = x * y - c;
+        let t = sum + term;
+        c = (t - sum) - term;
+        sum = t;
+    }
+    sum
+}
+
+fn random_vec(seed: u64, len: usize) -> Vec<f64> {
+    let mut rng = dap_estimation::rng::seeded(seed);
+    (0..len).map(|_| rng.gen_range(-3.0..3.0)).collect()
+}
+
+proptest! {
+    /// `axpy_lanes == axpy` to the bit on lane-multiple slices.
+    #[test]
+    fn axpy_lanes_is_bit_identical(
+        chunks in 1usize..40,
+        a in -4.0f64..4.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let len = chunks * LANES;
+        let v = random_vec(seed, len);
+        let mut portable = random_vec(seed.wrapping_add(1), len);
+        let mut lanes = portable.clone();
+        axpy(&mut portable, &v, a);
+        axpy_lanes(&mut lanes, &v, a);
+        for (i, (p, l)) in portable.iter().zip(&lanes).enumerate() {
+            prop_assert_eq!(p.to_bits(), l.to_bits(), "axpy bit mismatch at {}", i);
+        }
+    }
+
+    /// Both dot kernels stay within 1e-12 (relative to the magnitude sum)
+    /// of a compensated reference.
+    #[test]
+    fn dot_kernels_match_kahan(
+        chunks in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let len = chunks * LANES;
+        let a = random_vec(seed, len);
+        let b = random_vec(seed.wrapping_add(2), len);
+        let reference = kahan_dot(&a, &b);
+        let scale = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum::<f64>().max(1.0);
+        prop_assert!((dot(&a, &b) - reference).abs() / scale <= 1e-12);
+        prop_assert!((dot_lanes(&a, &b) - reference).abs() / scale <= 1e-12);
+    }
+
+    /// Zero padding is invisible: padding both dot operands to the next
+    /// lane multiple gives the identical bit pattern, and an axpy from a
+    /// zero-padded source leaves the destination tail untouched.
+    #[test]
+    fn zero_padding_is_invisible(
+        len in 1usize..200,
+        a in -4.0f64..4.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let padded_len = len.div_ceil(LANES) * LANES;
+        let x = random_vec(seed, len);
+        let y = random_vec(seed.wrapping_add(3), len);
+        let mut xp = x.clone();
+        let mut yp = y.clone();
+        xp.resize(padded_len, 0.0);
+        yp.resize(padded_len, 0.0);
+
+        // Zero tail terms contribute exactly +0.0, so the padded dot stays
+        // within the kernel's ordinary reordering error of the true-prefix
+        // sum. (Bit-stability under *different* padded lengths is not
+        // promised — extra chunks shift elements between the two
+        // accumulator registers — but the analysis pads each band once, to
+        // one fixed length.)
+        let reference = kahan_dot(&x, &y);
+        let scale = x.iter().zip(&y).map(|(p, q)| (p * q).abs()).sum::<f64>().max(1.0);
+        prop_assert!((dot_lanes(&xp, &yp) - reference).abs() / scale <= 1e-12);
+
+        // The workspace zeroes `den`/`w` tails at prepare; model that here:
+        // a +0.0 tail must stay +0.0 to the bit (`+0.0 + a·0.0 = +0.0` for
+        // either sign of `a`), and the live prefix must match the portable
+        // kernel bit for bit.
+        let mut out = random_vec(seed.wrapping_add(4), len);
+        let mut out_portable = out.clone();
+        out.resize(padded_len, 0.0);
+        axpy_lanes(&mut out, &xp, a);
+        axpy(&mut out_portable, &x, a);
+        for (i, (p, l)) in out_portable.iter().zip(out.iter()).enumerate() {
+            prop_assert_eq!(p.to_bits(), l.to_bits(), "prefix mismatch at {}", i);
+        }
+        for (i, after) in out[len..].iter().enumerate() {
+            prop_assert_eq!(after.to_bits(), 0.0f64.to_bits(), "tail disturbed at {}", i);
+        }
+    }
+}

@@ -103,6 +103,28 @@ proptest! {
         assert_equivalent(&matrix, &counts, MStep::Constrained { gamma: 0.3 });
     }
 
+    /// Odd and prime output-grid sizes: every band length is coprime to the
+    /// kernel lane width, so the lane path (when the `lane-kernels` feature
+    /// is on) exercises its zero-padded tails on every single column — and
+    /// the portable path its scalar remainders.
+    #[test]
+    fn prime_d_out_structured_matches_dense(
+        eps in 0.0625f64..4.0,
+        d_in in 4usize..24,
+        prime_idx in 0usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let d_out = [89usize, 97, 113, 127][prime_idx];
+        let mech = PiecewiseMechanism::with_epsilon(eps).expect("valid eps");
+        let mut rng = dap_estimation::rng::seeded(seed.wrapping_add(97));
+        let region = random_region(&mut rng, &mech);
+        let matrix = TransformMatrix::for_numeric(&mech, d_in, d_out, &region);
+        prop_assume!(matrix.structure().is_some());
+        let counts = random_counts(&mut rng, d_out);
+        assert_equivalent(&matrix, &counts, MStep::Free);
+        assert_equivalent(&matrix, &counts, MStep::Constrained { gamma: rng.gen::<f64>() });
+    }
+
     /// Duchi's two-atom output usually falls back to the dense path; when it
     /// does analyze, it must satisfy the same bound — and either way the
     /// public solver must agree with the reference.
